@@ -1,0 +1,86 @@
+/**
+ * @file
+ * Section 8 ablation: encoding for approximability. Unreferenced
+ * B-frames are dead ends for error propagation; biasing the encoder
+ * toward more B-frames polarises the video into very important
+ * (anchor) and unimportant (B) bits — ideal for approximation — but
+ * can cost compression efficiency. The paper poses this trade-off
+ * as an open question to the video community; this bench maps it.
+ */
+
+#include <cstdio>
+
+#include "core/pipeline.h"
+#include "graph/importance.h"
+#include "sim/bench_config.h"
+#include "sim/binning.h"
+
+namespace videoapp {
+namespace {
+
+void
+run(const BenchConfig &config)
+{
+    SyntheticSpec spec = config.suite()[0];
+    Video source = generateSynthetic(spec);
+
+    std::printf("%-22s %14s %18s %16s\n", "GOP shape",
+                "payload bits", "unreferenced bits",
+                "cells/pixel");
+
+    struct Case
+    {
+        const char *name;
+        int b_frames;
+        bool b_refs;
+    };
+    for (const Case &c :
+         {Case{"IPPP (no B)", 0, false},
+          Case{"IBBP (2 B, no refs)", 2, false},
+          Case{"IBBBBP (4 B, no refs)", 4, false},
+          Case{"IBBP (2 B, B refs)", 2, true}}) {
+        EncoderConfig enc_config;
+        enc_config.gop.bFrames = c.b_frames;
+        enc_config.gop.bRefs = c.b_refs;
+        PreparedVideo prepared = prepareVideo(
+            source, enc_config, EccAssignment::paperTable1());
+
+        // Bits in frames no other frame references (error dead
+        // ends).
+        u64 unref_bits = 0;
+        for (std::size_t f = 0;
+             f < prepared.enc.side.frames.size(); ++f) {
+            if (!prepared.enc.side.frames[f].isReference)
+                unref_bits +=
+                    prepared.enc.video.payloads[f].size() * 8;
+        }
+
+        double cells = densityCellsPerPixel(prepared,
+                                            source.pixelCount());
+        std::printf("%-22s %14llu %17.1f%% %16.4f\n", c.name,
+                    static_cast<unsigned long long>(
+                        prepared.enc.video.payloadBits()),
+                    100.0 * unref_bits /
+                        prepared.enc.video.payloadBits(),
+                    cells);
+    }
+    std::printf("\n(More unreferenced B bits -> more of the stream "
+                "in low importance classes -> weaker ECC -> higher "
+                "density; but B-heavy GOPs may inflate the payload, "
+                "the tension Section 8 describes.)\n");
+}
+
+} // namespace
+} // namespace videoapp
+
+int
+main()
+{
+    using namespace videoapp;
+    BenchConfig config = BenchConfig::fromEnv();
+    printBenchBanner(
+        "Section 8 ablation: B-frame structure vs approximability",
+        config);
+    run(config);
+    return 0;
+}

@@ -1,0 +1,156 @@
+/**
+ * @file
+ * Section 8 ablation: CABAC vs CAVLC. CABAC compresses better (the
+ * paper quotes up to 15%) but is maximally error-intolerant; CAVLC
+ * gives up compression for resilience. The paper studies CABAC to
+ * be conservative; this bench quantifies both sides of that choice.
+ */
+
+#include <algorithm>
+#include <cstdio>
+
+#include "core/pipeline.h"
+#include "graph/importance.h"
+#include "quality/psnr.h"
+#include "sim/bench_config.h"
+#include "sim/binning.h"
+#include "sim/monte_carlo.h"
+#include "quality/bdrate.h"
+#include "storage/error_injector.h"
+
+namespace videoapp {
+namespace {
+
+/** BD-Rate of CAVLC against CABAC over a CRF sweep. */
+void
+bdRateComparison(const BenchConfig &config)
+{
+    Video source = generateSynthetic(config.suite()[0]);
+    std::vector<RdPoint> cabac_curve, cavlc_curve;
+    for (int crf : {16, 20, 24, 28}) {
+        for (EntropyKind kind :
+             {EntropyKind::CABAC, EntropyKind::CAVLC}) {
+            EncoderConfig enc_config;
+            enc_config.crf = crf;
+            enc_config.entropy = kind;
+            EncodeResult enc = encodeVideo(source, enc_config);
+            RdPoint point{
+                static_cast<double>(enc.video.payloadBits()),
+                psnrVideo(source, decodeVideo(enc.video))};
+            (kind == EntropyKind::CABAC ? cabac_curve : cavlc_curve)
+                .push_back(point);
+        }
+    }
+    auto rate = bdRate(cabac_curve, cavlc_curve);
+    auto psnr = bdPsnr(cabac_curve, cavlc_curve);
+    if (rate && psnr)
+        std::printf("\nBD-Rate of CAVLC vs CABAC: %+.1f%% bits at "
+                    "equal quality (BD-PSNR %+.2f dB; paper quotes "
+                    "CABAC as 10-15%% more efficient)\n",
+                    100.0 * *rate, *psnr);
+}
+
+/** Mean PSNR under whole-stream corruption, with/without
+ * concealment. */
+void
+concealmentComparison(const BenchConfig &config)
+{
+    std::printf("\nError concealment (copy-from-reference when the "
+                "decoder detects desync), PSNR vs clean at raw "
+                "1e-3:\n\n%-8s %14s %16s %16s\n", "coder",
+                "no conceal", "conceal", "concealed MBs");
+    for (EntropyKind kind :
+         {EntropyKind::CABAC, EntropyKind::CAVLC}) {
+        Video source = generateSynthetic(config.suite()[0]);
+        EncoderConfig enc_config;
+        enc_config.entropy = kind;
+        EncodeResult enc = encodeVideo(source, enc_config);
+        Video clean = decodeVideo(enc.video);
+
+        double plain_total = 0, conceal_total = 0;
+        u64 concealed = 0, total_mbs = 0;
+        Rng rng(7700);
+        for (int r = 0; r < config.runs; ++r) {
+            EncodedVideo corrupted = enc.video;
+            for (auto &payload : corrupted.payloads)
+                injectErrors(payload, 1e-3, rng);
+            plain_total += psnrVideo(clean, decodeVideo(corrupted));
+            DecodeOptions opt;
+            opt.concealErrors = true;
+            DecodeStats stats;
+            conceal_total += psnrVideo(
+                clean, decodeVideo(corrupted, opt, &stats));
+            concealed += stats.concealedMbs;
+            total_mbs = stats.totalMbs;
+        }
+        std::printf("%-8s %14.2f %16.2f %11llu/%llu\n",
+                    entropyKindName(kind),
+                    plain_total / config.runs,
+                    conceal_total / config.runs,
+                    static_cast<unsigned long long>(concealed /
+                                                    config.runs),
+                    static_cast<unsigned long long>(total_mbs));
+    }
+}
+
+void
+run(const BenchConfig &config)
+{
+    std::printf("%-8s %14s %16s %16s %16s\n", "coder",
+                "payload bits", "loss@1e-5 (dB)", "loss@1e-4 (dB)",
+                "loss@1e-3 (dB)");
+
+    for (EntropyKind kind :
+         {EntropyKind::CABAC, EntropyKind::CAVLC}) {
+        u64 total_bits = 0;
+        double loss[3] = {0, 0, 0};
+        const double rates[3] = {1e-5, 1e-4, 1e-3};
+
+        int video_idx = 0;
+        for (const SyntheticSpec &spec : config.suite()) {
+            Video source = generateSynthetic(spec);
+            EncoderConfig enc_config;
+            enc_config.entropy = kind;
+            EncodeResult enc = encodeVideo(source, enc_config);
+            ImportanceMap importance =
+                computeImportance(enc.side, enc.video);
+            total_bits += enc.video.payloadBits();
+
+            BitRangeSet all = classBits(enc, importance, 64);
+            Rng rng(7000 + static_cast<u64>(video_idx));
+            for (int r = 0; r < 3; ++r) {
+                LossStats stats =
+                    measureQualityLoss(source, enc, all, rates[r],
+                                       config.runs, rng);
+                loss[r] = std::max(loss[r], stats.maxLossDb);
+            }
+            ++video_idx;
+        }
+
+        std::printf("%-8s %14llu %16.2f %16.2f %16.2f\n",
+                    entropyKindName(kind),
+                    static_cast<unsigned long long>(total_bits),
+                    loss[0], loss[1], loss[2]);
+    }
+    std::printf("\n(CABAC compresses ~10%% better — the paper quotes "
+                "10-15%% — which is why the study adopts it despite "
+                "its error intolerance. Without resynchronisation "
+                "markers both coders lose the rest of the slice on "
+                "a flip; the concealment comparison below shows "
+                "where CAVLC's practical resilience comes from.)\n");
+}
+
+} // namespace
+} // namespace videoapp
+
+int
+main()
+{
+    using namespace videoapp;
+    BenchConfig config = BenchConfig::fromEnv();
+    printBenchBanner("Section 8 ablation: CABAC vs CAVLC", config);
+    run(config);
+    bdRateComparison(config);
+    concealmentComparison(config);
+    return 0;
+}

@@ -1,0 +1,146 @@
+/**
+ * @file
+ * Substrate ablation: scrubbing (refresh) interval of the MLC PCM.
+ *
+ * The paper adopts Guo et al.'s substrate tuned for a 3-month scrub
+ * interval (raw BER 1e-3). Resistance drift grows with log time, so
+ * longer retention raises the raw error rate and forces stronger
+ * protection; shorter scrubbing buys density at the cost of refresh
+ * traffic. This bench maps that retention/density trade-off with
+ * the cell model and the calibrated assignment machinery.
+ */
+
+#include <cstdio>
+
+#include "core/pipeline.h"
+#include "sim/bench_config.h"
+#include "storage/dram.h"
+#include "storage/pcm.h"
+
+namespace videoapp {
+namespace {
+
+void
+run(const BenchConfig &config)
+{
+    McPcm pcm; // calibrated: 1e-3 at the 3-month design point
+
+    std::printf("%-16s %14s %22s %20s\n", "scrub interval",
+                "raw BER", "weakest scheme@1e-6", "overhead");
+    struct Point
+    {
+        const char *label;
+        double seconds;
+    };
+    for (const Point &p :
+         {Point{"1 hour", 3600.0}, Point{"1 day", 86400.0},
+          Point{"1 week", 7 * 86400.0}, Point{"1 month", 30 * 86400.0},
+          Point{"3 months", kDefaultScrubSeconds},
+          Point{"1 year", 365.0 * 86400},
+          Point{"5 years", 5 * 365.0 * 86400}}) {
+        double raw = pcm.rawBitErrorRate(p.seconds);
+        EccScheme needed = weakestSchemeFor(1e-6, raw);
+        std::printf("%-16s %14.3e %22s %19.1f%%\n", p.label, raw,
+                    needed.name().c_str(), 100.0 * needed.overhead());
+    }
+
+    // End-to-end: density/quality of the variable design at three
+    // retention targets, reusing one prepared video.
+    SyntheticSpec spec = config.suite()[0];
+    Video source = generateSynthetic(spec);
+    PreparedVideo prepared = prepareVideo(
+        source, EncoderConfig{}, EccAssignment::paperTable1());
+
+    std::printf("\n%-16s %16s %14s\n", "scrub interval",
+                "cells/pixel", "PSNR vs clean");
+    for (const Point &p :
+         {Point{"1 week", 7 * 86400.0},
+          Point{"3 months", kDefaultScrubSeconds},
+          Point{"1 year", 365.0 * 86400}}) {
+        double raw = pcm.rawBitErrorRate(p.seconds);
+        ModeledChannel channel(raw);
+        double total = 0;
+        StorageOutcome outcome;
+        for (int r = 0; r < config.runs; ++r) {
+            Rng rng(8800 + static_cast<u64>(r));
+            outcome = storeAndRetrieve(prepared, channel, rng);
+            total += outcome.psnrVsReference;
+        }
+        std::printf("%-16s %16.4f %14.2f\n", p.label,
+                    outcome.cellsPerPixel, total / config.runs);
+    }
+    std::printf("\n(Protection fixed at the 3-month calibration: "
+                "shorter scrubbing leaves quality headroom, longer "
+                "retention erodes it — the knob Guo et al. tuned "
+                "and the paper inherited.)\n");
+
+    // The MLC design trade-off (Section 2.2): level count vs raw
+    // error rate at the same physical noise, and the ECC needed to
+    // bring each back to the 1e-6 class.
+    std::printf("\nLevels per cell vs reliability (same physical "
+                "noise, 3-month scrub):\n\n");
+    std::printf("%-12s %10s %14s %22s %14s\n", "levels",
+                "bits/cell", "raw BER", "scheme for 1e-6",
+                "net density");
+    for (int bits = 1; bits <= 4; ++bits) {
+        double raw =
+            pcm.rawBitErrorRateForLevels(bits, kDefaultScrubSeconds);
+        EccScheme needed = weakestSchemeFor(1e-6, raw);
+        bool achievable =
+            needed.effectiveBitErrorRate(raw) <= 1e-6;
+        if (achievable) {
+            double net = bits / (1.0 + needed.overhead());
+            std::printf("%-12d %10d %14.3e %22s %13.2fx\n",
+                        1 << bits, bits, raw,
+                        needed.name().c_str(), net);
+        } else {
+            std::printf("%-12d %10d %14.3e %22s %14s\n", 1 << bits,
+                        bits, raw, "(unprotectable)", "-");
+        }
+    }
+    std::printf("\n(8 levels with ECC beats both the reliable SLC "
+                "and the unprotectable 16-level point — the sweet "
+                "spot the paper's substrate sits on.)\n");
+
+    // Related-work substrate (Flikker/Sparkk): refresh-approximated
+    // DRAM, where the knob is refresh power instead of cell density.
+    ApproxDram dram;
+    std::printf("\nApproximate DRAM (related work): refresh "
+                "interval vs error rate and refresh power:\n\n");
+    std::printf("%-16s %14s %16s %14s\n", "refresh", "raw BER",
+                "refresh power", "PSNR@Table-1");
+    for (const Point &p :
+         {Point{"64 ms (JEDEC)", 0.064}, Point{"1 s", 1.0},
+          Point{"10 s", 10.0}, Point{"100 s", 100.0}}) {
+        double raw = dram.bitErrorRate(p.seconds);
+        ModeledChannel channel(raw);
+        double total = 0;
+        for (int r = 0; r < config.runs; ++r) {
+            Rng rng(8900 + static_cast<u64>(r));
+            total += storeAndRetrieve(prepared, channel, rng)
+                         .psnrVsReference;
+        }
+        std::printf("%-16s %14.3e %15.4f%% %14.2f\n", p.label, raw,
+                    100.0 * dram.refreshPowerFraction(p.seconds),
+                    total / config.runs);
+    }
+    std::printf("\n(At 100 s refresh — 0.06%% of standard refresh "
+                "power — the importance-partitioned protection "
+                "still holds quality, the Flikker-style trade "
+                "driven by VideoApp's analysis.)\n");
+}
+
+} // namespace
+} // namespace videoapp
+
+int
+main()
+{
+    using namespace videoapp;
+    BenchConfig config = BenchConfig::fromEnv();
+    printBenchBanner(
+        "Substrate ablation: PCM scrub interval vs density/quality",
+        config);
+    run(config);
+    return 0;
+}

@@ -1,0 +1,90 @@
+/**
+ * @file
+ * Section 8 ablation: slices per frame. Each slice gets its own
+ * entropy context and prediction barrier, cutting coding-error
+ * propagation at slice boundaries at the cost of extra bits. More
+ * slices -> lower peak importance -> weaker ECC suffices -> denser
+ * payload storage, but a larger bitstream and more precise header
+ * bytes. The paper deliberately uses one slice per frame to stay
+ * conservative and notes slicing would push the variable curve
+ * toward the ideal one.
+ *
+ * Each slicing configuration is recalibrated with the Section 7.2
+ * optimiser (importance distributions change with slicing, so a
+ * fixed threshold table would mis-protect).
+ */
+
+#include <algorithm>
+#include <cstdio>
+
+#include "core/pipeline.h"
+#include "graph/importance.h"
+#include "sim/bench_config.h"
+#include "sim/calibrate.h"
+
+namespace videoapp {
+namespace {
+
+void
+run(const BenchConfig &config)
+{
+    SyntheticSpec spec = config.suite()[0];
+    Video source = generateSynthetic(spec);
+
+    std::printf("%-8s %14s %16s %15s %17s %12s\n", "slices",
+                "payload bits", "max importance", "ECC overhead",
+                "payload cells/px", "PSNR@1e-3");
+
+    for (int slices : {1, 2, 4}) {
+        EncoderConfig enc_config;
+        enc_config.slicesPerFrame = slices;
+
+        EccAssignment assignment = calibrateAssignment(
+            {spec}, enc_config, config.runs, 0.3,
+            6100 + static_cast<u64>(slices));
+        PreparedVideo prepared =
+            prepareVideo(source, enc_config, assignment);
+
+        // Payload-only accounting isolates the ECC effect from the
+        // (scale-dependent) header cost.
+        StorageAccountant acc(3);
+        for (const auto &[t, data] : prepared.streams.data)
+            acc.addStream(data.size() * 8, EccScheme{t});
+
+        ModeledChannel channel(kPcmRawBer);
+        double total_psnr = 0;
+        for (int run = 0; run < config.runs; ++run) {
+            Rng rng(6000 + static_cast<u64>(run));
+            StorageOutcome outcome =
+                storeAndRetrieve(prepared, channel, rng);
+            total_psnr += outcome.psnrVsReference;
+        }
+
+        std::printf("%-8d %14llu %16.1f %14.1f%% %17.4f %12.2f\n",
+                    slices,
+                    static_cast<unsigned long long>(
+                        prepared.enc.video.payloadBits()),
+                    prepared.importance.maxImportance(),
+                    100.0 * acc.eccOverheadFraction(),
+                    acc.cellsPerPixel(source.pixelCount()),
+                    total_psnr / config.runs);
+    }
+    std::printf("\n(More slices cut the coding chains: peak "
+                "importance falls, the calibrated assignment "
+                "weakens, and payload density moves toward the "
+                "ideal curve — while the payload itself grows "
+                "slightly, the Section 8 trade-off.)\n");
+}
+
+} // namespace
+} // namespace videoapp
+
+int
+main()
+{
+    using namespace videoapp;
+    BenchConfig config = BenchConfig::fromEnv();
+    printBenchBanner("Section 8 ablation: slices per frame", config);
+    run(config);
+    return 0;
+}

@@ -1,0 +1,151 @@
+/**
+ * @file
+ * Section 4.3.1: time and space overheads of the VideoApp analysis.
+ *
+ * The paper reports a 2-3% time overhead relative to encoding
+ * (topological sort dominating) and graph structures an order of
+ * magnitude smaller than the raw video. Uses google-benchmark for
+ * the timing comparison.
+ */
+
+#include <benchmark/benchmark.h>
+
+#include "codec/encoder.h"
+#include "core/pipeline.h"
+#include "graph/importance.h"
+#include "sim/bench_config.h"
+#include "video/synthetic.h"
+
+namespace videoapp {
+namespace {
+
+const Video &
+benchVideo()
+{
+    static const Video video = [] {
+        BenchConfig config = BenchConfig::fromEnv();
+        return generateSynthetic(config.suite()[0]);
+    }();
+    return video;
+}
+
+const EncodeResult &
+benchEncoding()
+{
+    static const EncodeResult enc =
+        encodeVideo(benchVideo(), EncoderConfig{});
+    return enc;
+}
+
+void
+BM_Encode(benchmark::State &state)
+{
+    const Video &video = benchVideo();
+    for (auto _ : state) {
+        EncodeResult result = encodeVideo(video, EncoderConfig{});
+        benchmark::DoNotOptimize(result.video.payloadBits());
+    }
+}
+BENCHMARK(BM_Encode)->Unit(benchmark::kMillisecond);
+
+void
+BM_ImportanceAnalysis(benchmark::State &state)
+{
+    const EncodeResult &enc = benchEncoding();
+    for (auto _ : state) {
+        ImportanceMap map = computeImportance(enc.side, enc.video);
+        benchmark::DoNotOptimize(map.maxImportance());
+    }
+}
+BENCHMARK(BM_ImportanceAnalysis)->Unit(benchmark::kMillisecond);
+
+void
+BM_PivotsAndPartition(benchmark::State &state)
+{
+    const EncodeResult &enc = benchEncoding();
+    ImportanceMap importance =
+        computeImportance(enc.side, enc.video);
+    for (auto _ : state) {
+        EncodedVideo video = enc.video;
+        assignPivots(video, enc.side, importance,
+                     EccAssignment::paperTable1());
+        StreamSet streams = extractStreams(video);
+        benchmark::DoNotOptimize(streams.data.size());
+    }
+}
+BENCHMARK(BM_PivotsAndPartition)->Unit(benchmark::kMillisecond);
+
+/** Cost of each encoder feature relative to the full configuration. */
+void
+BM_EncodeFeature(benchmark::State &state)
+{
+    const Video &video = benchVideo();
+    EncoderConfig config;
+    switch (state.range(0)) {
+      case 0: break; // full defaults
+      case 1: config.subPel = SubPel::Full; break;
+      case 2: config.subPel = SubPel::Half; break;
+      case 3: config.intra4x4 = false; break;
+      case 4: config.deblocking = false; break;
+      case 5: config.partitionSearch = false; break;
+      case 6: config.subPartitions = false; break;
+      case 7: config.entropy = EntropyKind::CAVLC; break;
+    }
+    for (auto _ : state) {
+        EncodeResult result = encodeVideo(video, config);
+        benchmark::DoNotOptimize(result.video.payloadBits());
+    }
+    static const char *names[] = {
+        "full",    "no-subpel",     "half-pel",     "no-intra4",
+        "no-deblock", "no-partitions", "no-subparts", "cavlc"};
+    state.SetLabel(names[state.range(0)]);
+}
+BENCHMARK(BM_EncodeFeature)
+    ->DenseRange(0, 7)
+    ->Unit(benchmark::kMillisecond);
+
+void
+BM_Decode(benchmark::State &state)
+{
+    const EncodeResult &enc = benchEncoding();
+    for (auto _ : state) {
+        Video decoded = decodeVideo(enc.video);
+        benchmark::DoNotOptimize(decoded.frames.size());
+    }
+}
+BENCHMARK(BM_Decode)->Unit(benchmark::kMillisecond);
+
+/** Space accounting printed once after the timing runs. */
+void
+BM_GraphSpaceReport(benchmark::State &state)
+{
+    const EncodeResult &enc = benchEncoding();
+    u64 dep_bytes = 0;
+    u64 dep_count = 0;
+    for (const auto &frame : enc.side.frames) {
+        for (const auto &mb : frame.mbs) {
+            dep_count += mb.deps.size();
+            dep_bytes += mb.deps.size() * sizeof(CompDepRecord) +
+                         sizeof(MbRecord);
+        }
+    }
+    u64 raw_bytes = benchVideo().pixelCount() * 3 / 2;
+    u64 coded_bytes = enc.video.payloadBits() / 8;
+    for (auto _ : state)
+        benchmark::DoNotOptimize(dep_bytes);
+    state.counters["graph_MB"] =
+        static_cast<double>(dep_bytes) / (1 << 20);
+    state.counters["raw_video_MB"] =
+        static_cast<double>(raw_bytes) / (1 << 20);
+    state.counters["coded_MB"] =
+        static_cast<double>(coded_bytes) / (1 << 20);
+    state.counters["graph_vs_raw"] =
+        static_cast<double>(dep_bytes) / raw_bytes;
+    state.counters["edges"] = static_cast<double>(dep_count);
+}
+BENCHMARK(BM_GraphSpaceReport)->Iterations(1);
+
+} // namespace
+} // namespace videoapp
+
+BENCHMARK_MAIN();

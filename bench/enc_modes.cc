@@ -1,0 +1,119 @@
+/**
+ * @file
+ * Section 5 / Figure 7: which AES modes of operation are compatible
+ * with approximate video storage.
+ *
+ * Measures, per mode: (1) equal-block leakage (requirement #1 —
+ * secrecy), (2) single-ciphertext-bit-flip propagation (requirements
+ * #2/#3 — error confinement), and (3) the end-to-end quality of the
+ * encrypted approximate video pipeline at the PCM raw error rate
+ * compared to the unencrypted pipeline.
+ */
+
+#include <cstdio>
+#include <vector>
+
+#include "core/pipeline.h"
+#include "crypto/modes.h"
+#include "sim/bench_config.h"
+#include "video/synthetic.h"
+
+namespace videoapp {
+namespace {
+
+void
+microProperties()
+{
+    Rng rng(71);
+    Aes aes(Bytes(16, 0x5A));
+    AesBlock iv{};
+    for (std::size_t i = 0; i < iv.size(); ++i)
+        iv[i] = static_cast<u8>(rng.next());
+
+    // Plaintext with repeated blocks (video-like redundancy).
+    Bytes plain;
+    for (int i = 0; i < 256; ++i)
+        for (int j = 0; j < 16; ++j)
+            plain.push_back(static_cast<u8>(j + (i % 4)));
+
+    std::printf("%-6s %18s %22s %22s\n", "Mode", "leakage",
+                "bits damaged/flip", "confined to 1 bit");
+    for (CipherMode mode :
+         {CipherMode::ECB, CipherMode::CBC, CipherMode::CFB,
+          CipherMode::OFB, CipherMode::CTR}) {
+        double leakage = equalBlockLeakage(mode, aes, iv, plain);
+        double damaged = 0;
+        bool confined = true;
+        const int flips = 20;
+        for (int i = 0; i < flips; ++i) {
+            BitPos pos = rng.nextBelow(plain.size() * 8);
+            auto prop =
+                analyzeFlipPropagation(mode, aes, iv, plain, pos);
+            damaged += static_cast<double>(prop.damagedBits);
+            confined &= prop.confinedToFlippedBit;
+        }
+        std::printf("%-6s %18.2f %22.1f %22s\n",
+                    cipherModeName(mode).c_str(), leakage,
+                    damaged / flips, confined ? "yes" : "NO");
+    }
+    std::printf("\n(Paper: ECB fails secrecy; CBC propagates; OFB "
+                "and CTR meet all three requirements.)\n\n");
+}
+
+void
+endToEnd(const BenchConfig &config)
+{
+    SyntheticSpec spec = config.suite()[0];
+    Video source = generateSynthetic(spec);
+    PreparedVideo prepared = prepareVideo(
+        source, EncoderConfig{}, EccAssignment::paperTable1());
+
+    ModeledChannel channel(kPcmRawBer);
+    std::printf("End-to-end encrypted approximate storage (%s, raw "
+                "BER %.0e, %d runs):\n\n",
+                spec.name.c_str(), kPcmRawBer, config.runs);
+    std::printf("%-12s %22s\n", "Pipeline", "mean PSNR vs clean");
+
+    auto measure = [&](const char *name,
+                       std::optional<EncryptionConfig> enc_cfg,
+                       u64 seed) {
+        double total = 0;
+        for (int run = 0; run < config.runs; ++run) {
+            Rng rng(seed + static_cast<u64>(run));
+            StorageOutcome outcome = storeAndRetrieve(
+                prepared, channel, rng, enc_cfg);
+            total += outcome.psnrVsReference;
+        }
+        std::printf("%-12s %22.2f\n", name, total / config.runs);
+    };
+
+    measure("plain", std::nullopt, 500);
+    for (CipherMode mode : {CipherMode::CTR, CipherMode::OFB,
+                            CipherMode::CFB, CipherMode::CBC,
+                            CipherMode::ECB}) {
+        EncryptionConfig enc_cfg;
+        enc_cfg.mode = mode;
+        enc_cfg.key = Bytes(16, 0x77);
+        measure(cipherModeName(mode).c_str(), enc_cfg, 500);
+    }
+    std::printf("\n(OFB/CTR match the unencrypted pipeline; "
+                "CBC/ECB amplify every storage error across whole "
+                "cipher blocks.)\n");
+}
+
+} // namespace
+} // namespace videoapp
+
+int
+main()
+{
+    using namespace videoapp;
+    BenchConfig config = BenchConfig::fromEnv();
+    printBenchBanner(
+        "Section 5 / Figure 7: encryption modes over approximate "
+        "storage",
+        config);
+    microProperties();
+    endToEnd(config);
+    return 0;
+}

@@ -1,0 +1,76 @@
+/**
+ * @file
+ * Importance visualisation: encode a clip, run the VideoApp
+ * analysis, and dump per-MB importance heat maps as PGM images
+ * (one per frame, log-scaled) plus a text summary — handy for
+ * seeing the Figure 2(c) scan-order wedge and the anchor/B-frame
+ * polarisation with your own eyes.
+ */
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <string>
+
+#include "codec/encoder.h"
+#include "graph/importance.h"
+#include "video/synthetic.h"
+#include "video/yuv_io.h"
+
+int
+main(int argc, char **argv)
+{
+    using namespace videoapp;
+
+    std::string out_dir = argc > 1 ? argv[1] : "/tmp";
+
+    SyntheticSpec spec = standardSuite(0.4)[1]; // crowd_run
+    Video source = generateSynthetic(spec);
+    EncoderConfig config;
+    config.gop.gopSize = 16;
+    config.gop.bFrames = 2;
+    EncodeResult enc = encodeVideo(source, config);
+    ImportanceMap importance = computeImportance(enc.side, enc.video);
+
+    const int mbw = enc.video.mbWidth();
+    const int mbh = enc.video.mbHeight();
+    const double log_max =
+        std::log2(std::max(importance.maxImportance(), 2.0));
+
+    int dumped = 0;
+    std::printf("%-7s %-5s %-9s %16s %14s\n", "encIdx", "type",
+                "display", "max importance", "mean");
+    for (std::size_t f = 0; f < enc.side.frames.size(); ++f) {
+        double frame_max = 0, sum = 0;
+        Plane map(mbw * 4, mbh * 4); // 4x4 px per MB for visibility
+        for (int mby = 0; mby < mbh; ++mby) {
+            for (int mbx = 0; mbx < mbw; ++mbx) {
+                double v = importance.values[f][mby * mbw + mbx];
+                frame_max = std::max(frame_max, v);
+                sum += v;
+                u8 shade = static_cast<u8>(
+                    255.0 * std::log2(std::max(v, 1.0)) / log_max);
+                for (int y = 0; y < 4; ++y)
+                    for (int x = 0; x < 4; ++x)
+                        map.at(mbx * 4 + x, mby * 4 + y) = shade;
+            }
+        }
+        if (f < 8) {
+            std::string path = out_dir + "/importance_f" +
+                               std::to_string(f) + ".pgm";
+            if (savePgm(map, path))
+                ++dumped;
+        }
+        if (f < 12)
+            std::printf("%-7zu %-5s %-9d %16.1f %14.1f\n", f,
+                        frameTypeName(enc.side.frames[f].type),
+                        enc.side.frames[f].displayIdx, frame_max,
+                        sum / (mbw * mbh));
+    }
+    std::printf("\nWrote %d heat maps to %s/importance_f*.pgm "
+                "(bright = important).\n",
+                dumped, out_dir.c_str());
+    std::printf("Expect: I/P frames bright with a top-left bias "
+                "(the coding chain), B frames dark.\n");
+    return 0;
+}

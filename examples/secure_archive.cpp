@@ -1,0 +1,72 @@
+/**
+ * @file
+ * Encrypted approximate video archive (Section 5).
+ *
+ * DRM-style scenario: videos must be stored encrypted, yet the
+ * archive wants MLC density with approximate storage. The example
+ * partitions a video into reliability streams, encrypts each stream
+ * separately with AES-CTR (IVs derived per stream from one master
+ * IV), stores them approximately, and shows that quality matches
+ * the unencrypted pipeline — then repeats with CBC to show why
+ * chaining modes are incompatible.
+ */
+
+#include <cstdio>
+
+#include "core/pipeline.h"
+#include "video/synthetic.h"
+
+int
+main()
+{
+    using namespace videoapp;
+
+    SyntheticSpec spec = standardSuite(0.4)[10]; // pedestrian_area
+    Video source = generateSynthetic(spec);
+    std::printf("Archiving '%s' (%dx%d, %zu frames), encrypted\n\n",
+                spec.name.c_str(), source.width(), source.height(),
+                source.frames.size());
+
+    PreparedVideo prepared = prepareVideo(
+        source, EncoderConfig{}, EccAssignment::paperTable1());
+    ModeledChannel pcm(kPcmRawBer);
+
+    Bytes key(32, 0); // AES-256
+    for (std::size_t i = 0; i < key.size(); ++i)
+        key[i] = static_cast<u8>(i * 17 + 3);
+    AesBlock master_iv{};
+    master_iv[0] = 0xA5;
+
+    auto run = [&](const char *label,
+                   std::optional<EncryptionConfig> enc_cfg) {
+        double total = 0;
+        const int runs = 5;
+        for (int r = 0; r < runs; ++r) {
+            Rng rng(100 + static_cast<u64>(r));
+            StorageOutcome outcome =
+                storeAndRetrieve(prepared, pcm, rng, enc_cfg);
+            total += outcome.psnrVsReference;
+        }
+        std::printf("  %-28s mean PSNR vs clean: %6.2f dB\n", label,
+                    total / runs);
+    };
+
+    run("unencrypted", std::nullopt);
+
+    EncryptionConfig ctr{CipherMode::CTR, key, master_iv};
+    run("AES-256-CTR (compatible)", ctr);
+
+    EncryptionConfig ofb{CipherMode::OFB, key, master_iv};
+    run("AES-256-OFB (compatible)", ofb);
+
+    EncryptionConfig cbc{CipherMode::CBC, key, master_iv};
+    run("AES-256-CBC (INCOMPATIBLE)", cbc);
+
+    std::printf(
+        "\nCTR/OFB confine each storage bit error to one plaintext "
+        "bit, so the\napproximation analysis done before encryption "
+        "stays valid (Section 5.2).\nCBC turns every flipped bit "
+        "into a fully garbled 16-byte block, breaking\nthe "
+        "importance-based protection guarantees.\n");
+    return 0;
+}

@@ -1,0 +1,262 @@
+/**
+ * @file
+ * `vapp` — command-line front end to the VideoApp library for real
+ * footage (raw planar I420 files, e.g. produced with
+ * `ffmpeg -i in.mp4 -pix_fmt yuv420p out.yuv`).
+ *
+ * Commands:
+ *   encode   <in.yuv> <w> <h> <out.vap>   encode + analyse + pivot
+ *   decode   <in.vap> <out.yuv>           decode to raw I420
+ *   analyze  <in.yuv> <w> <h>             print importance stats
+ *   simulate <in.yuv> <w> <h>             full approximate-storage
+ *                                         round trip on MLC PCM
+ *
+ * Common options: --crf N, --gop N, --bframes N, --slices N,
+ * --cavlc, --no-deblock, --raw-ber X, --seed N, --conceal.
+ */
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "core/pipeline.h"
+#include "quality/metrics.h"
+#include "sim/monte_carlo.h"
+#include "video/yuv_io.h"
+
+namespace videoapp {
+namespace {
+
+struct CliOptions
+{
+    EncoderConfig encoder;
+    double rawBer = kPcmRawBer;
+    u64 seed = 1;
+    bool conceal = false;
+};
+
+void
+usage()
+{
+    std::fprintf(
+        stderr,
+        "usage: vapp <command> [args] [options]\n"
+        "  encode   <in.yuv> <w> <h> <out.vap>\n"
+        "  decode   <in.vap> <out.yuv>\n"
+        "  analyze  <in.yuv> <w> <h>\n"
+        "  simulate <in.yuv> <w> <h>\n"
+        "options: --crf N --gop N --bframes N --slices N --cavlc\n"
+        "         --no-deblock --raw-ber X --seed N --conceal\n");
+}
+
+/** Parse trailing --options; returns false on an unknown flag. */
+bool
+parseOptions(int argc, char **argv, int first, CliOptions &opts)
+{
+    for (int i = first; i < argc; ++i) {
+        std::string a = argv[i];
+        auto next = [&](double fallback) {
+            return i + 1 < argc ? std::atof(argv[++i]) : fallback;
+        };
+        if (a == "--crf")
+            opts.encoder.crf = static_cast<int>(next(24));
+        else if (a == "--gop")
+            opts.encoder.gop.gopSize = static_cast<int>(next(48));
+        else if (a == "--bframes")
+            opts.encoder.gop.bFrames = static_cast<int>(next(2));
+        else if (a == "--slices")
+            opts.encoder.slicesPerFrame = static_cast<int>(next(1));
+        else if (a == "--cavlc")
+            opts.encoder.entropy = EntropyKind::CAVLC;
+        else if (a == "--no-deblock")
+            opts.encoder.deblocking = false;
+        else if (a == "--raw-ber")
+            opts.rawBer = next(kPcmRawBer);
+        else if (a == "--seed")
+            opts.seed = static_cast<u64>(next(1));
+        else if (a == "--conceal")
+            opts.conceal = true;
+        else {
+            std::fprintf(stderr, "unknown option: %s\n", a.c_str());
+            return false;
+        }
+    }
+    return true;
+}
+
+Video
+loadOrDie(const std::string &path, int w, int h)
+{
+    Video v = loadI420(path, w, h);
+    if (v.frames.empty()) {
+        std::fprintf(stderr,
+                     "error: cannot read %dx%d I420 from '%s'\n", w,
+                     h, path.c_str());
+        std::exit(1);
+    }
+    return v;
+}
+
+int
+cmdEncode(const std::string &in, int w, int h, const std::string &out,
+          const CliOptions &opts)
+{
+    Video source = loadOrDie(in, w, h);
+    PreparedVideo prepared = prepareVideo(
+        source, opts.encoder, EccAssignment::paperTable1());
+    Bytes blob = serialize(prepared.enc.video);
+    std::ofstream f(out, std::ios::binary);
+    f.write(reinterpret_cast<const char *>(blob.data()),
+            static_cast<std::streamsize>(blob.size()));
+    if (!f) {
+        std::fprintf(stderr, "error: cannot write '%s'\n",
+                     out.c_str());
+        return 1;
+    }
+    std::printf("%zu frames -> %zu bytes (%.3f bits/pixel), "
+                "importance %.1f..%.1f, clean PSNR %.2f dB\n",
+                source.frames.size(), blob.size(),
+                8.0 * blob.size() / source.pixelCount(),
+                prepared.importance.minImportance(),
+                prepared.importance.maxImportance(),
+                cleanPsnr(source, prepared.enc));
+    return 0;
+}
+
+int
+cmdDecode(const std::string &in, const std::string &out,
+          const CliOptions &opts)
+{
+    std::ifstream f(in, std::ios::binary);
+    Bytes blob((std::istreambuf_iterator<char>(f)),
+               std::istreambuf_iterator<char>());
+    auto video = deserialize(blob);
+    if (!video) {
+        std::fprintf(stderr, "error: '%s' is not a vap stream\n",
+                     in.c_str());
+        return 1;
+    }
+    DecodeOptions dopts;
+    dopts.concealErrors = opts.conceal;
+    Video decoded = decodeVideo(*video, dopts);
+    if (!saveI420(decoded, out)) {
+        std::fprintf(stderr, "error: cannot write '%s'\n",
+                     out.c_str());
+        return 1;
+    }
+    std::printf("decoded %zu frames (%dx%d) -> %s\n",
+                decoded.frames.size(), decoded.width(),
+                decoded.height(), out.c_str());
+    return 0;
+}
+
+int
+cmdAnalyze(const std::string &in, int w, int h,
+           const CliOptions &opts)
+{
+    Video source = loadOrDie(in, w, h);
+    EncodeResult enc = encodeVideo(source, opts.encoder);
+    ImportanceMap importance = computeImportance(enc.side, enc.video);
+
+    std::printf("frames: %zu, payload %llu bits, headers %llu bits\n",
+                source.frames.size(),
+                static_cast<unsigned long long>(
+                    enc.video.payloadBits()),
+                static_cast<unsigned long long>(
+                    enc.video.headerBits()));
+    std::printf("importance: min %.1f max %.1f\n",
+                importance.minImportance(),
+                importance.maxImportance());
+
+    // Class histogram by storage share.
+    std::map<int, u64> class_bits;
+    u64 total_bits = 0;
+    for (std::size_t f = 0; f < enc.side.frames.size(); ++f) {
+        for (std::size_t m = 0; m < enc.side.frames[f].mbs.size();
+             ++m) {
+            int cls = ImportanceMap::classOf(
+                importance.values[f][m]);
+            class_bits[cls] += enc.side.frames[f].mbs[m].bitLength;
+            total_bits += enc.side.frames[f].mbs[m].bitLength;
+        }
+    }
+    std::printf("\n%-8s %12s %10s %10s\n", "class", "bits", "share",
+                "Table-1");
+    for (const auto &[cls, bits] : class_bits) {
+        EccScheme s =
+            EccAssignment::paperTable1().schemeForClass(cls);
+        std::printf("%-8d %12llu %9.2f%% %10s\n", cls,
+                    static_cast<unsigned long long>(bits),
+                    100.0 * bits / total_bits, s.name().c_str());
+    }
+    return 0;
+}
+
+int
+cmdSimulate(const std::string &in, int w, int h,
+            const CliOptions &opts)
+{
+    Video source = loadOrDie(in, w, h);
+    PreparedVideo prepared = prepareVideo(
+        source, opts.encoder, EccAssignment::paperTable1());
+    ModeledChannel channel(opts.rawBer);
+    Rng rng(opts.seed);
+    StorageOutcome outcome =
+        storeAndRetrieve(prepared, channel, rng);
+    QualityReport report =
+        measureQuality(source, outcome.decoded, false);
+
+    std::printf("raw BER %.1e on 8-level MLC PCM:\n", opts.rawBer);
+    std::printf("  density       %.4f cells/pixel\n",
+                outcome.cellsPerPixel);
+    std::printf("  ECC overhead  %.1f%%\n",
+                100.0 * outcome.eccOverheadFraction);
+    std::printf("  PSNR vs clean %.2f dB\n",
+                outcome.psnrVsReference);
+    std::printf("  vs original   %s\n", report.toString().c_str());
+    return 0;
+}
+
+} // namespace
+} // namespace videoapp
+
+int
+main(int argc, char **argv)
+{
+    using namespace videoapp;
+    if (argc < 2) {
+        usage();
+        return 1;
+    }
+    std::string cmd = argv[1];
+    CliOptions opts;
+
+    if (cmd == "encode" && argc >= 6) {
+        if (!parseOptions(argc, argv, 6, opts))
+            return 1;
+        return cmdEncode(argv[2], std::atoi(argv[3]),
+                         std::atoi(argv[4]), argv[5], opts);
+    }
+    if (cmd == "decode" && argc >= 4) {
+        if (!parseOptions(argc, argv, 4, opts))
+            return 1;
+        return cmdDecode(argv[2], argv[3], opts);
+    }
+    if (cmd == "analyze" && argc >= 5) {
+        if (!parseOptions(argc, argv, 5, opts))
+            return 1;
+        return cmdAnalyze(argv[2], std::atoi(argv[3]),
+                          std::atoi(argv[4]), opts);
+    }
+    if (cmd == "simulate" && argc >= 5) {
+        if (!parseOptions(argc, argv, 5, opts))
+            return 1;
+        return cmdSimulate(argv[2], std::atoi(argv[3]),
+                           std::atoi(argv[4]), opts);
+    }
+    usage();
+    return 1;
+}

@@ -1,0 +1,138 @@
+#include "codec/arith.h"
+
+namespace videoapp {
+
+namespace {
+
+constexpr u32 kTopValue = 1u << 24;
+
+} // namespace
+
+ArithEncoder::ArithEncoder()
+    : low_(0), range_(0xFFFFFFFFu), cache_(0), cacheSize_(1)
+{
+}
+
+void
+ArithEncoder::shiftLow()
+{
+    if (static_cast<u32>(low_ >> 32) != 0 ||
+        static_cast<u32>(low_) < 0xFF000000u) {
+        u8 carry = static_cast<u8>(low_ >> 32);
+        // Emit the cached byte (plus carry) and any pending 0xFF run.
+        while (cacheSize_ != 0) {
+            out_.push_back(static_cast<u8>(cache_ + carry));
+            cache_ = 0xFF;
+            --cacheSize_;
+        }
+        cache_ = static_cast<u8>(low_ >> 24);
+    }
+    ++cacheSize_;
+    low_ = (low_ << 8) & 0xFFFFFFFFull;
+}
+
+void
+ArithEncoder::encodeBin(BinContext &ctx, u32 bin)
+{
+    u32 bound = (range_ >> kProbBits) * ctx.prob;
+    if (bin == 0) {
+        range_ = bound;
+    } else {
+        low_ += bound;
+        range_ -= bound;
+    }
+    ctx.update(bin);
+    while (range_ < kTopValue) {
+        range_ <<= 8;
+        shiftLow();
+    }
+}
+
+void
+ArithEncoder::encodeBypass(u32 bin)
+{
+    range_ >>= 1;
+    if (bin != 0)
+        low_ += range_;
+    while (range_ < kTopValue) {
+        range_ <<= 8;
+        shiftLow();
+    }
+}
+
+Bytes
+ArithEncoder::finish()
+{
+    for (int i = 0; i < 5; ++i)
+        shiftLow();
+    Bytes result;
+    result.swap(out_);
+    // The first byte emitted is always the initial zero cache; drop
+    // it (the decoder compensates by priming with 5 reads of which
+    // the first is likewise synthetic).
+    if (!result.empty())
+        result.erase(result.begin());
+    low_ = 0;
+    range_ = 0xFFFFFFFFu;
+    cache_ = 0;
+    cacheSize_ = 1;
+    return result;
+}
+
+ArithDecoder::ArithDecoder(const Bytes &data, std::size_t offset,
+                           std::size_t length)
+    : data_(&data), begin_(offset), pos_(offset),
+      end_(offset + length), range_(0xFFFFFFFFu), code_(0)
+{
+    for (int i = 0; i < 4; ++i)
+        code_ = (code_ << 8) | nextByte();
+}
+
+u8
+ArithDecoder::nextByte()
+{
+    if (pos_ >= end_ || pos_ >= data_->size()) {
+        ++pos_;
+        return 0;
+    }
+    return (*data_)[pos_++];
+}
+
+u32
+ArithDecoder::decodeBin(BinContext &ctx)
+{
+    u32 bound = (range_ >> kProbBits) * ctx.prob;
+    u32 bin;
+    if (code_ < bound) {
+        bin = 0;
+        range_ = bound;
+    } else {
+        bin = 1;
+        code_ -= bound;
+        range_ -= bound;
+    }
+    ctx.update(bin);
+    while (range_ < kTopValue) {
+        range_ <<= 8;
+        code_ = (code_ << 8) | nextByte();
+    }
+    return bin;
+}
+
+u32
+ArithDecoder::decodeBypass()
+{
+    range_ >>= 1;
+    u32 bin = 0;
+    if (code_ >= range_) {
+        code_ -= range_;
+        bin = 1;
+    }
+    while (range_ < kTopValue) {
+        range_ <<= 8;
+        code_ = (code_ << 8) | nextByte();
+    }
+    return bin;
+}
+
+} // namespace videoapp

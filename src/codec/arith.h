@@ -1,0 +1,111 @@
+/**
+ * @file
+ * Adaptive binary arithmetic coder (the CABAC-style engine).
+ *
+ * A byte-oriented range coder with 11-bit adaptive probabilities per
+ * context, the same family of engine as H.264's CABAC: coding events
+ * take fractional bits, probabilities adapt with every bin, and any
+ * corruption of the coded bytes desynchronises both the arithmetic
+ * state and the context estimates for the rest of the slice — the
+ * error-propagation behaviour Section 3 of the paper studies.
+ *
+ * The decoder is total: reading past the end of the buffer yields
+ * zero bytes, so corrupted slices decode to bounded garbage rather
+ * than faulting.
+ */
+
+#ifndef VIDEOAPP_CODEC_ARITH_H_
+#define VIDEOAPP_CODEC_ARITH_H_
+
+#include <vector>
+
+#include "common/types.h"
+
+namespace videoapp {
+
+/** Probability scale: contexts hold P(bin = 0) in [1, kProbMax-1]. */
+inline constexpr u32 kProbBits = 11;
+inline constexpr u32 kProbMax = 1u << kProbBits; // 2048
+inline constexpr u16 kProbInit = kProbMax / 2;
+/** Adaptation shift: smaller adapts faster. */
+inline constexpr int kProbAdaptShift = 5;
+
+/** One adaptive context (probability state). */
+struct BinContext
+{
+    u16 prob = kProbInit;
+
+    void
+    update(u32 bin)
+    {
+        if (bin == 0)
+            prob = static_cast<u16>(
+                prob + ((kProbMax - prob) >> kProbAdaptShift));
+        else
+            prob = static_cast<u16>(prob - (prob >> kProbAdaptShift));
+    }
+};
+
+/** Range encoder producing a byte buffer. */
+class ArithEncoder
+{
+  public:
+    ArithEncoder();
+
+    /** Encode one bin under @p ctx and adapt it. */
+    void encodeBin(BinContext &ctx, u32 bin);
+
+    /** Encode an equiprobable (bypass) bin. */
+    void encodeBypass(u32 bin);
+
+    /** Flush and return the coded bytes; the encoder resets. */
+    Bytes finish();
+
+    /** Bits produced so far (approximate until finish). */
+    std::size_t
+    bitsProduced() const
+    {
+        return (out_.size() + cacheSize_) * 8;
+    }
+
+  private:
+    void shiftLow();
+
+    u64 low_;
+    u32 range_;
+    u8 cache_;
+    u64 cacheSize_;
+    Bytes out_;
+};
+
+/** Range decoder over a byte range. */
+class ArithDecoder
+{
+  public:
+    /** Decode from @p data starting at @p offset, @p length bytes. */
+    ArithDecoder(const Bytes &data, std::size_t offset,
+                 std::size_t length);
+
+    /** Decode one bin under @p ctx and adapt it. */
+    u32 decodeBin(BinContext &ctx);
+
+    /** Decode an equiprobable (bypass) bin. */
+    u32 decodeBypass();
+
+    /** Bytes consumed from the input window so far. */
+    std::size_t bytesConsumed() const { return pos_ - begin_; }
+
+  private:
+    u8 nextByte();
+
+    const Bytes *data_;
+    std::size_t begin_;
+    std::size_t pos_;
+    std::size_t end_;
+    u32 range_;
+    u32 code_;
+};
+
+} // namespace videoapp
+
+#endif // VIDEOAPP_CODEC_ARITH_H_

@@ -1,0 +1,206 @@
+#include "codec/container.h"
+
+namespace videoapp {
+
+namespace {
+
+constexpr u32 kMagic = 0x56415031; // "VAP1"
+
+void
+putU16(Bytes &out, u16 v)
+{
+    out.push_back(static_cast<u8>(v >> 8));
+    out.push_back(static_cast<u8>(v));
+}
+
+void
+putU32(Bytes &out, u32 v)
+{
+    putU16(out, static_cast<u16>(v >> 16));
+    putU16(out, static_cast<u16>(v));
+}
+
+void
+putU64(Bytes &out, u64 v)
+{
+    putU32(out, static_cast<u32>(v >> 32));
+    putU32(out, static_cast<u32>(v));
+}
+
+struct ByteCursor
+{
+    const Bytes *data;
+    std::size_t pos = 0;
+    bool ok = true;
+
+    u8
+    u8v()
+    {
+        if (pos >= data->size()) {
+            ok = false;
+            return 0;
+        }
+        return (*data)[pos++];
+    }
+
+    u16
+    u16v()
+    {
+        // Two statements: the evaluation order of a|b is unspecified.
+        u16 hi = u8v();
+        u16 lo = u8v();
+        return static_cast<u16>(hi << 8 | lo);
+    }
+
+    u32
+    u32v()
+    {
+        u32 hi = u16v();
+        return hi << 16 | u16v();
+    }
+
+    u64
+    u64v()
+    {
+        u64 hi = u32v();
+        return hi << 32 | u32v();
+    }
+};
+
+void
+serializeFrameHeader(Bytes &out, const FrameHeader &fh)
+{
+    putU16(out, fh.displayIdx);
+    out.push_back(static_cast<u8>(fh.type));
+    out.push_back(fh.qpBase);
+    putU32(out, static_cast<u32>(fh.ref0));
+    putU32(out, static_cast<u32>(fh.ref1));
+    out.push_back(static_cast<u8>(fh.slices.size()));
+    for (const auto &s : fh.slices) {
+        putU32(out, s.firstMb);
+        putU32(out, s.mbCount);
+        putU32(out, s.byteOffset);
+        putU32(out, s.byteLength);
+    }
+    putU16(out, static_cast<u16>(fh.pivots.size()));
+    for (const auto &p : fh.pivots) {
+        putU64(out, p.bitOffset);
+        out.push_back(p.schemeT);
+    }
+}
+
+bool
+deserializeFrameHeader(ByteCursor &in, FrameHeader &fh)
+{
+    fh.displayIdx = in.u16v();
+    fh.type = static_cast<FrameType>(in.u8v());
+    fh.qpBase = in.u8v();
+    fh.ref0 = static_cast<i32>(in.u32v());
+    fh.ref1 = static_cast<i32>(in.u32v());
+    u8 slices = in.u8v();
+    fh.slices.resize(slices);
+    for (auto &s : fh.slices) {
+        s.firstMb = in.u32v();
+        s.mbCount = in.u32v();
+        s.byteOffset = in.u32v();
+        s.byteLength = in.u32v();
+    }
+    u16 pivots = in.u16v();
+    fh.pivots.resize(pivots);
+    for (auto &p : fh.pivots) {
+        p.bitOffset = in.u64v();
+        p.schemeT = in.u8v();
+    }
+    return in.ok;
+}
+
+} // namespace
+
+u64
+EncodedVideo::payloadBits() const
+{
+    u64 total = 0;
+    for (const auto &p : payloads)
+        total += p.size() * 8;
+    return total;
+}
+
+u64
+EncodedVideo::headerBits() const
+{
+    return serializeHeaders(*this).size() * 8;
+}
+
+Bytes
+serializeHeaders(const EncodedVideo &video)
+{
+    Bytes out;
+    putU32(out, kMagic);
+    putU16(out, video.header.width);
+    putU16(out, video.header.height);
+    // fps as fixed-point 16.16.
+    putU32(out, static_cast<u32>(video.header.fps * 65536.0));
+    out.push_back(static_cast<u8>(video.header.entropy));
+    putU16(out, video.header.frameCount);
+    out.push_back(video.header.slicesPerFrame);
+    out.push_back(video.header.flags);
+    putU16(out, static_cast<u16>(video.frameHeaders.size()));
+    for (const auto &fh : video.frameHeaders)
+        serializeFrameHeader(out, fh);
+    return out;
+}
+
+Bytes
+serialize(const EncodedVideo &video)
+{
+    Bytes out = serializeHeaders(video);
+    putU16(out, static_cast<u16>(video.payloads.size()));
+    for (const auto &p : video.payloads) {
+        putU64(out, p.size());
+        out.insert(out.end(), p.begin(), p.end());
+    }
+    return out;
+}
+
+std::optional<EncodedVideo>
+deserialize(const Bytes &blob)
+{
+    ByteCursor in{&blob};
+    if (in.u32v() != kMagic || !in.ok)
+        return std::nullopt;
+
+    EncodedVideo video;
+    video.header.width = in.u16v();
+    video.header.height = in.u16v();
+    video.header.fps = in.u32v() / 65536.0;
+    video.header.entropy = static_cast<EntropyKind>(in.u8v());
+    video.header.frameCount = in.u16v();
+    video.header.slicesPerFrame = in.u8v();
+    video.header.flags = in.u8v();
+
+    u16 frames = in.u16v();
+    video.frameHeaders.resize(frames);
+    for (auto &fh : video.frameHeaders) {
+        if (!deserializeFrameHeader(in, fh))
+            return std::nullopt;
+    }
+
+    u16 payloads = in.u16v();
+    video.payloads.resize(payloads);
+    for (auto &p : video.payloads) {
+        u64 size = in.u64v();
+        // Compare against the remaining bytes: `pos + size` could
+        // wrap for adversarial 64-bit sizes.
+        if (!in.ok || size > blob.size() - in.pos)
+            return std::nullopt;
+        p.assign(blob.begin() + static_cast<std::ptrdiff_t>(in.pos),
+                 blob.begin() +
+                     static_cast<std::ptrdiff_t>(in.pos + size));
+        in.pos += size;
+    }
+    if (!in.ok)
+        return std::nullopt;
+    return video;
+}
+
+} // namespace videoapp

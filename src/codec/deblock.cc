@@ -1,0 +1,260 @@
+#include "codec/deblock.h"
+
+#include "codec/reconstruct.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdlib>
+
+namespace videoapp {
+
+namespace {
+
+/** Edge-activity threshold between facing pixels, grows with QP. */
+int
+alphaThreshold(int qp)
+{
+    // Close fit of the H.264 alpha table: ~0.8 * (2^(qp/6) - 1).
+    int a = static_cast<int>(0.8 * (std::pow(2.0, qp / 6.0) - 1.0));
+    return std::clamp(a, 0, 255);
+}
+
+/** Side-activity threshold, linear in QP like the H.264 beta table. */
+int
+betaThreshold(int qp)
+{
+    return std::clamp(qp / 2 - 7, 0, 18);
+}
+
+/** Clipping bound for the filter delta. */
+int
+tcBound(int qp, int bs)
+{
+    int base = std::max(1, qp / 10);
+    return base + (bs >= 3 ? 2 : bs == 2 ? 1 : 0);
+}
+
+u8
+clampPixel(int v)
+{
+    return static_cast<u8>(std::clamp(v, 0, 255));
+}
+
+/** The motion vector covering the 4x4 at (bx, by) inside the MB. */
+MotionVector
+mvAt(const MbCoding &mb, int bx, int by, bool l1)
+{
+    if (mb.intra)
+        return {};
+    int px = bx * 4, py = by * 4;
+    for (const auto &motion : mb.motions) {
+        if (px >= motion.rect.x &&
+            px < motion.rect.x + motion.rect.width &&
+            py >= motion.rect.y &&
+            py < motion.rect.y + motion.rect.height)
+            return l1 ? motion.mvL1 : motion.mv;
+    }
+    return {};
+}
+
+/**
+ * Pixel coordinate across an edge at @p edge: distance d >= 0 maps
+ * to the p side (d = 0 is p0 at edge-1, d = 1 is p1 at edge-2);
+ * d < 0 maps to the q side (d = -1 is q0 at edge, d = -2 is q1).
+ */
+int
+acrossEdge(int edge, int d)
+{
+    return d >= 0 ? edge - 1 - d : edge + (-d - 1);
+}
+
+/**
+ * Filter one 4-pixel edge segment. @p get/@p set address pixels as
+ * (offset along the edge, signed distance across it).
+ */
+template <typename Get, typename Set>
+void
+filterEdge(int length, int qp, int bs, Get get, Set set)
+{
+    if (bs == 0)
+        return;
+    const int alpha = alphaThreshold(qp);
+    const int beta = betaThreshold(qp);
+    const int tc = tcBound(qp, bs);
+    for (int i = 0; i < length; ++i) {
+        int p1 = get(i, 1), p0 = get(i, 0);
+        int q0 = get(i, -1), q1 = get(i, -2);
+        if (std::abs(p0 - q0) >= alpha || std::abs(p1 - p0) >= beta ||
+            std::abs(q1 - q0) >= beta)
+            continue;
+        int delta = std::clamp(
+            (((q0 - p0) * 4 + (p1 - q1) + 4) >> 3), -tc, tc);
+        set(i, 0, clampPixel(p0 + delta));
+        set(i, -1, clampPixel(q0 - delta));
+    }
+}
+
+} // namespace
+
+int
+boundaryStrength(const MbCoding &mb_p, int blk_p, const MbCoding &mb_q,
+                 int blk_q, bool mb_edge)
+{
+    if (mb_p.intra || mb_q.intra)
+        return mb_edge ? 4 : 3;
+    if ((blk_p < 24 && mb_p.coded[blk_p]) ||
+        (blk_q < 24 && mb_q.coded[blk_q]))
+        return 2;
+    // Motion discontinuity: vectors differ by >= 1 pel or the
+    // prediction direction differs.
+    if (mb_p.skip != mb_q.skip || mb_p.direction != mb_q.direction)
+        return 1;
+    int pbx = (blk_p % 4), pby = (blk_p / 4);
+    int qbx = (blk_q % 4), qby = (blk_q / 4);
+    MotionVector mp = mvAt(mb_p, pbx, pby, false);
+    MotionVector mq = mvAt(mb_q, qbx, qby, false);
+    if (std::abs(mp.x - mq.x) >= 4 || std::abs(mp.y - mq.y) >= 4)
+        return 1; // >= one full pixel (vectors are quarter-pel)
+    if (mb_p.direction != BiDirection::L0) {
+        MotionVector mp1 = mvAt(mb_p, pbx, pby, true);
+        MotionVector mq1 = mvAt(mb_q, qbx, qby, true);
+        if (std::abs(mp1.x - mq1.x) >= 4 ||
+            std::abs(mp1.y - mq1.y) >= 4)
+            return 1;
+    }
+    return 0;
+}
+
+void
+deblockFrame(Frame &recon, const std::vector<MbCoding> &codings,
+             int mb_width, int mb_height,
+             const std::vector<int> &slice_first_rows)
+{
+    auto is_slice_start_row = [&](int mby) {
+        for (int row : slice_first_rows)
+            if (row == mby)
+                return true;
+        return false;
+    };
+
+    Plane &y = recon.y();
+
+    // Vertical edges first (filtering horizontally across them),
+    // then horizontal edges, per the H.264 order. Edges lie on the
+    // 4x4 grid.
+    for (int mby = 0; mby < mb_height; ++mby) {
+        for (int mbx = 0; mbx < mb_width; ++mbx) {
+            const MbCoding &mb = codings[mby * mb_width + mbx];
+            int x0 = mbx * 16, y0 = mby * 16;
+
+            for (int bx = 0; bx < 4; ++bx) {
+                bool mb_edge = bx == 0;
+                if (mb_edge && mbx == 0)
+                    continue;
+                const MbCoding &left =
+                    mb_edge ? codings[mby * mb_width + mbx - 1] : mb;
+                for (int by = 0; by < 4; ++by) {
+                    int blk_q = by * 4 + bx;
+                    int blk_p =
+                        mb_edge ? by * 4 + 3 : by * 4 + bx - 1;
+                    int bs = boundaryStrength(left, blk_p, mb, blk_q,
+                                              mb_edge);
+                    int ex = x0 + bx * 4;
+                    int ey = y0 + by * 4;
+                    filterEdge(
+                        4, mb.qp, bs,
+                        [&](int i, int d) {
+                            return static_cast<int>(
+                                y.at(acrossEdge(ex, d), ey + i));
+                        },
+                        [&](int i, int d, u8 v) {
+                            y.at(acrossEdge(ex, d), ey + i) = v;
+                        });
+                }
+            }
+        }
+    }
+
+    for (int mby = 0; mby < mb_height; ++mby) {
+        for (int mbx = 0; mbx < mb_width; ++mbx) {
+            const MbCoding &mb = codings[mby * mb_width + mbx];
+            int x0 = mbx * 16, y0 = mby * 16;
+            for (int by = 0; by < 4; ++by) {
+                bool mb_edge = by == 0;
+                if (mb_edge && (mby == 0 || is_slice_start_row(mby)))
+                    continue;
+                const MbCoding &up =
+                    mb_edge ? codings[(mby - 1) * mb_width + mbx]
+                            : mb;
+                for (int bx = 0; bx < 4; ++bx) {
+                    int blk_q = by * 4 + bx;
+                    int blk_p =
+                        mb_edge ? 3 * 4 + bx : (by - 1) * 4 + bx;
+                    int bs = boundaryStrength(up, blk_p, mb, blk_q,
+                                              mb_edge);
+                    int ex = x0 + bx * 4;
+                    int ey = y0 + by * 4;
+                    filterEdge(
+                        4, mb.qp, bs,
+                        [&](int i, int d) {
+                            return static_cast<int>(
+                                y.at(ex + i, acrossEdge(ey, d)));
+                        },
+                        [&](int i, int d, u8 v) {
+                            y.at(ex + i, acrossEdge(ey, d)) = v;
+                        });
+                }
+            }
+        }
+    }
+
+    // Chroma: filter only macroblock edges (8x8 chroma blocks), with
+    // the boundary strength of the co-located luma edge.
+    for (int comp = 0; comp < 2; ++comp) {
+        Plane &c = comp == 0 ? recon.u() : recon.v();
+        for (int mby = 0; mby < mb_height; ++mby) {
+            for (int mbx = 0; mbx < mb_width; ++mbx) {
+                const MbCoding &mb = codings[mby * mb_width + mbx];
+                int x0 = mbx * 8, y0 = mby * 8;
+                if (mbx > 0) {
+                    const MbCoding &left =
+                        codings[mby * mb_width + mbx - 1];
+                    for (int seg = 0; seg < 2; ++seg) {
+                        int bs = boundaryStrength(
+                            left, seg * 8 + 3, mb, seg * 8, true);
+                        int ey = y0 + seg * 4;
+                        filterEdge(
+                            4, chromaQp(mb.qp), bs,
+                            [&](int i, int d) {
+                                return static_cast<int>(c.at(
+                                    acrossEdge(x0, d), ey + i));
+                            },
+                            [&](int i, int d, u8 v) {
+                                c.at(acrossEdge(x0, d), ey + i) = v;
+                            });
+                    }
+                }
+                if (mby > 0 && !is_slice_start_row(mby)) {
+                    const MbCoding &up =
+                        codings[(mby - 1) * mb_width + mbx];
+                    for (int seg = 0; seg < 2; ++seg) {
+                        int bs = boundaryStrength(
+                            up, 12 + seg * 2, mb, seg * 2, true);
+                        int ex = x0 + seg * 4;
+                        filterEdge(
+                            4, chromaQp(mb.qp), bs,
+                            [&](int i, int d) {
+                                return static_cast<int>(c.at(
+                                    ex + i, acrossEdge(y0, d)));
+                            },
+                            [&](int i, int d, u8 v) {
+                                c.at(ex + i, acrossEdge(y0, d)) = v;
+                            });
+                    }
+                }
+            }
+        }
+    }
+}
+
+} // namespace videoapp

@@ -1,0 +1,49 @@
+/**
+ * @file
+ * In-loop deblocking filter (H.264-style, simplified).
+ *
+ * Applied to a fully reconstructed frame before it becomes a
+ * reference: block-transform codecs create visible discontinuities
+ * at 4x4 block edges, and filtering them in-loop improves both the
+ * output and every frame predicted from it. Intra prediction uses
+ * the unfiltered samples (as in H.264), so the filter runs as a
+ * whole-frame pass after reconstruction on both encoder and decoder.
+ *
+ * Boundary strength follows the H.264 rules in spirit: strongest
+ * across intra macroblock edges, then edges with coded residual,
+ * then motion discontinuities; smooth regions pass untouched. The
+ * filter never crosses slice boundaries, preserving slice error
+ * independence.
+ */
+
+#ifndef VIDEOAPP_CODEC_DEBLOCK_H_
+#define VIDEOAPP_CODEC_DEBLOCK_H_
+
+#include <vector>
+
+#include "codec/types.h"
+#include "video/frame.h"
+
+namespace videoapp {
+
+/**
+ * Filter @p recon in place. @p codings holds the frame's macroblock
+ * decisions in scan order (one per MB); @p slice_first_rows lists
+ * the first MB row of every slice (edges at those rows are not
+ * filtered).
+ */
+void deblockFrame(Frame &recon, const std::vector<MbCoding> &codings,
+                  int mb_width, int mb_height,
+                  const std::vector<int> &slice_first_rows);
+
+/**
+ * Boundary strength between two 4x4 luma blocks (H.264-flavoured):
+ * 4 intra MB edge, 3 intra inner edge, 2 coded residual on either
+ * side, 1 motion discontinuity, 0 skip filtering. Exposed for tests.
+ */
+int boundaryStrength(const MbCoding &mb_p, int blk_p,
+                     const MbCoding &mb_q, int blk_q, bool mb_edge);
+
+} // namespace videoapp
+
+#endif // VIDEOAPP_CODEC_DEBLOCK_H_

@@ -1,0 +1,52 @@
+/**
+ * @file
+ * The video decoder.
+ *
+ * Robustness contract (DESIGN.md): any payload bytes — including
+ * arbitrarily corrupted ones — decode without crashing, producing a
+ * full-length video whose damaged regions reflect the corruption.
+ * Entropy state is confined to a slice, so decoding resynchronises
+ * at the next slice boundary (located via the precise headers),
+ * matching the paper's per-frame context reset (Section 3).
+ */
+
+#ifndef VIDEOAPP_CODEC_DECODER_H_
+#define VIDEOAPP_CODEC_DECODER_H_
+
+#include "codec/container.h"
+#include "video/frame.h"
+
+namespace videoapp {
+
+/** Decoder behaviour switches and statistics. */
+struct DecodeOptions
+{
+    /**
+     * Error concealment: when the entropy decoder overruns its
+     * slice window (a desync signal), stop parsing and conceal the
+     * remaining MBs of the slice by copying co-located pixels from
+     * the reference frame — the strategy production decoders use
+     * for error-prone channels.
+     */
+    bool concealErrors = false;
+};
+
+/** Filled by decodeVideo when a stats object is supplied. */
+struct DecodeStats
+{
+    u64 concealedMbs = 0;
+    u64 totalMbs = 0;
+};
+
+/**
+ * Decode @p coded into display order.
+ * @return a video with header.frameCount frames; corrupted payloads
+ *         yield damaged but structurally complete frames.
+ */
+Video decodeVideo(const EncodedVideo &coded,
+                  const DecodeOptions &options = {},
+                  DecodeStats *stats = nullptr);
+
+} // namespace videoapp
+
+#endif // VIDEOAPP_CODEC_DECODER_H_

@@ -1,0 +1,707 @@
+#include "codec/encoder.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+#include "codec/deblock.h"
+#include "codec/intra.h"
+#include "codec/intra4.h"
+#include "codec/inter.h"
+#include "codec/mb_grid.h"
+#include "codec/mb_syntax.h"
+#include "codec/reconstruct.h"
+#include "codec/transform.h"
+
+namespace videoapp {
+
+namespace {
+
+/** Rough bit cost of coding a motion vector difference. */
+double
+mvdBits(const MotionVector &mvd)
+{
+    auto bits = [](int v) {
+        return 2.0 * std::log2(std::abs(v) + 1.0) + 1.0;
+    };
+    return bits(mvd.x) + bits(mvd.y);
+}
+
+/** Quantise the residual of one prediction; fills coeffs/coded. */
+void
+quantiseMb(MbCoding &mb, const Frame &src, int mbx, int mby,
+           const u8 luma_pred[256], const u8 u_pred[64],
+           const u8 v_pred[64], bool skip_luma = false)
+{
+    int x0 = mbx * 16, y0 = mby * 16;
+    for (int blk = 0; !skip_luma && blk < 16; ++blk) {
+        int bx = (blk % 4) * 4, by = (blk / 4) * 4;
+        Residual4x4 res{};
+        for (int y = 0; y < 4; ++y)
+            for (int x = 0; x < 4; ++x)
+                res[y * 4 + x] = static_cast<i16>(
+                    src.y().at(x0 + bx + x, y0 + by + y) -
+                    luma_pred[(by + y) * 16 + bx + x]);
+        Residual4x4 levels = forwardQuant4x4(res, mb.qp, mb.intra);
+        mb.coded[blk] = anyNonZero(levels);
+        mb.coeffs[blk] = mb.coded[blk] ? levels : Residual4x4{};
+    }
+    int qpc = chromaQp(mb.qp);
+    int cx0 = mbx * 8, cy0 = mby * 8;
+    for (int comp = 0; comp < 2; ++comp) {
+        const Plane &plane = comp == 0 ? src.u() : src.v();
+        const u8 *pred = comp == 0 ? u_pred : v_pred;
+        for (int sub = 0; sub < 4; ++sub) {
+            int blk = 16 + comp * 4 + sub;
+            int bx = (sub % 2) * 4, by = (sub / 2) * 4;
+            Residual4x4 res{};
+            for (int y = 0; y < 4; ++y)
+                for (int x = 0; x < 4; ++x)
+                    res[y * 4 + x] = static_cast<i16>(
+                        plane.at(cx0 + bx + x, cy0 + by + y) -
+                        pred[(by + y) * 8 + bx + x]);
+            Residual4x4 levels = forwardQuant4x4(res, qpc, mb.intra);
+            mb.coded[blk] = anyNonZero(levels);
+            mb.coeffs[blk] = mb.coded[blk] ? levels : Residual4x4{};
+        }
+    }
+}
+
+/** Everything needed while encoding one frame. */
+class FrameEncoder
+{
+  public:
+    FrameEncoder(const EncoderConfig &config, RateControl &rc,
+                 const Video &source, const FramePlan &plan,
+                 int enc_idx, const std::vector<Frame> &recons)
+        : config_(config), rc_(rc),
+          src_(source.frames[plan.displayIdx]), plan_(plan),
+          encIdx_(enc_idx),
+          ref0_(plan.ref0 >= 0 ? &recons[plan.ref0] : nullptr),
+          ref1_(plan.ref1 >= 0 ? &recons[plan.ref1] : nullptr),
+          mbw_(src_.width() / kMbSize), mbh_(src_.height() / kMbSize),
+          recon_(src_.width(), src_.height()), grid_(mbw_, mbh_),
+          avgActivity_(RateControl::averageActivity(src_.y()))
+    {
+    }
+
+    /** Encode the frame; returns header, payload, analysis records. */
+    void
+    run(FrameHeader &header, Bytes &payload, FrameRecord &record)
+    {
+        header.displayIdx = static_cast<u16>(plan_.displayIdx);
+        header.type = plan_.type;
+        header.qpBase =
+            static_cast<u8>(rc_.frameBaseQp(plan_.type));
+        header.ref0 = plan_.ref0;
+        header.ref1 = plan_.ref1;
+
+        record.type = plan_.type;
+        record.encIdx = encIdx_;
+        record.displayIdx = plan_.displayIdx;
+        record.isReference = plan_.isReference;
+        record.mbs.resize(static_cast<std::size_t>(mbw_) * mbh_);
+
+        codings_.resize(static_cast<std::size_t>(mbw_) * mbh_);
+        int slices = std::clamp(config_.slicesPerFrame, 1, mbh_);
+        int rows_per_slice = (mbh_ + slices - 1) / slices;
+        std::vector<int> slice_first_rows;
+        for (int s = 0; s < slices; ++s) {
+            int row0 = s * rows_per_slice;
+            int row1 = std::min(mbh_, row0 + rows_per_slice);
+            if (row0 >= row1)
+                break;
+            slice_first_rows.push_back(row0);
+            encodeSlice(row0, row1, header, payload, record);
+        }
+
+        // In-loop deblocking after the whole frame (intra predicted
+        // from unfiltered samples; references and output filtered).
+        if (config_.deblocking)
+            deblockFrame(recon_, codings_, mbw_, mbh_,
+                         slice_first_rows);
+    }
+
+    Frame takeRecon() { return std::move(recon_); }
+
+  private:
+    void
+    encodeSlice(int row0, int row1, FrameHeader &header,
+                Bytes &payload, FrameRecord &record)
+    {
+        auto enc = makeSyntaxEncoder(config_.entropy);
+        int prev_qp = rc_.frameBaseQp(plan_.type);
+
+        SliceRecord slice;
+        slice.firstMb = static_cast<u32>(row0 * mbw_);
+        slice.mbCount = static_cast<u32>((row1 - row0) * mbw_);
+        slice.byteOffset = static_cast<u32>(payload.size());
+
+        std::vector<u64> offsets;
+        offsets.reserve(slice.mbCount);
+        // The coder may report nonzero bits before the first symbol
+        // (pending cache bytes); measure offsets relative to that.
+        const u64 bias = enc->bitsProduced();
+
+        for (int mby = row0; mby < row1; ++mby) {
+            for (int mbx = 0; mbx < mbw_; ++mbx) {
+                offsets.push_back(enc->bitsProduced() - bias);
+                MbPosition pos{mbx, mby, row0, plan_.type};
+                MbCoding mb = decideMb(pos, prev_qp);
+                int qp_before = prev_qp;
+                encodeMb(*enc, mb, pos, grid_, prev_qp);
+                (void)qp_before;
+                reconstructMb(recon_, mb, mbx, mby, ref0_, ref1_,
+                              mbAvail(pos));
+                recordMb(record, pos, mb);
+                codings_[static_cast<std::size_t>(mby) * mbw_ +
+                         mbx] = std::move(mb);
+            }
+        }
+
+        Bytes slice_bytes = enc->finishSlice();
+        slice.byteLength = static_cast<u32>(slice_bytes.size());
+        payload.insert(payload.end(), slice_bytes.begin(),
+                       slice_bytes.end());
+
+        // Finalise per-MB bit ranges (offsets are monotone but may
+        // lag/lead the flushed byte count by the coder's cache; clamp
+        // into the slice and difference them).
+        u64 slice_bits = static_cast<u64>(slice.byteLength) * 8;
+        u64 base_bits = static_cast<u64>(slice.byteOffset) * 8;
+        for (std::size_t i = 0; i < offsets.size(); ++i) {
+            u64 begin = std::min(offsets[i], slice_bits);
+            u64 end = i + 1 < offsets.size()
+                          ? std::min(offsets[i + 1], slice_bits)
+                          : slice_bits;
+            MbRecord &mrec = record.mbs[slice.firstMb + i];
+            mrec.bitOffset = base_bits + begin;
+            mrec.bitLength = end - begin;
+        }
+
+        header.slices.push_back(slice);
+    }
+
+    /** Record analysis metadata (dependencies) for a decided MB. */
+    void
+    recordMb(FrameRecord &record, const MbPosition &pos,
+             const MbCoding &mb)
+    {
+        MbRecord &mrec =
+            record.mbs[static_cast<std::size_t>(pos.mby) * mbw_ +
+                       pos.mbx];
+        mrec.intra = mb.intra;
+        mrec.skip = mb.skip;
+        mrec.qp = static_cast<u8>(mb.qp);
+
+        if (mb.intra) {
+            bool left = grid_.leftAvail(pos.mbx, pos.mby,
+                                        pos.sliceFirstRow);
+            bool up =
+                grid_.upAvail(pos.mbx, pos.mby, pos.sliceFirstRow);
+            MbAvail avail = mbAvail(pos);
+            std::vector<IntraDependency> deps =
+                mb.intra4
+                    ? intra4Dependencies(mb, avail.left, avail.up,
+                                         avail.upLeft,
+                                         avail.upRight)
+                    : intraDependencies(mb.intraMode, left, up);
+            for (const auto &dep : deps) {
+                int nx = pos.mbx + dep.dx;
+                int ny = pos.mby + dep.dy;
+                if (nx < 0 || ny < 0 || nx >= mbw_ || ny >= mbh_)
+                    continue;
+                mrec.deps.push_back(
+                    {encIdx_, static_cast<u16>(ny * mbw_ + nx),
+                     static_cast<float>(dep.weight)});
+            }
+            return;
+        }
+
+        for (const auto &motion : mb.motions) {
+            double share =
+                motion.direction == BiDirection::Bi ? 0.5 : 1.0;
+            // Each rectangle carries rect_area/256 of the MB's unit
+            // incoming weight, split across source MBs by referenced
+            // pixels (the half-pel filter footprint enlarges the
+            // counted region, so normalise by the actual total).
+            double rect_share =
+                static_cast<double>(motion.rect.width *
+                                    motion.rect.height) /
+                256.0;
+            auto add = [&](int ref_enc, const MotionVector &mv) {
+                if (ref_enc < 0)
+                    return;
+                auto areas = referenceAreas(
+                    pos.mbx * 16 + motion.rect.x,
+                    pos.mby * 16 + motion.rect.y, motion.rect.width,
+                    motion.rect.height, mv, src_.width(),
+                    src_.height());
+                long total = 0;
+                for (const auto &area : areas)
+                    total += area.pixels;
+                if (total == 0)
+                    return;
+                for (const auto &area : areas) {
+                    mrec.deps.push_back(
+                        {ref_enc,
+                         static_cast<u16>(area.mby * mbw_ + area.mbx),
+                         static_cast<float>(
+                             static_cast<double>(area.pixels) /
+                             total * rect_share * share)});
+                }
+            };
+            if (motion.direction != BiDirection::L1)
+                add(plan_.ref0, motion.mv);
+            if (motion.direction != BiDirection::L0)
+                add(plan_.ref1, motion.mvL1);
+        }
+    }
+
+    /** Slice-aware neighbour availability of the current MB. */
+    MbAvail
+    mbAvail(const MbPosition &pos) const
+    {
+        MbAvail avail;
+        avail.left =
+            grid_.leftAvail(pos.mbx, pos.mby, pos.sliceFirstRow);
+        avail.up = grid_.upAvail(pos.mbx, pos.mby, pos.sliceFirstRow);
+        avail.upLeft =
+            grid_.upLeftAvail(pos.mbx, pos.mby, pos.sliceFirstRow);
+        avail.upRight =
+            grid_.upRightAvail(pos.mbx, pos.mby, pos.sliceFirstRow);
+        return avail;
+    }
+
+    /**
+     * Cost-estimate an intra4x4 candidate. Mode selection predicts
+     * from the SOURCE plane (the usual fast-encoder approximation
+     * for not-yet-reconstructed in-MB neighbours); the committed
+     * residual is recomputed against real reconstruction in
+     * reconstructIntra4Luma.
+     */
+    double
+    estimateIntra4(const MbPosition &pos, MbCoding &mb,
+                   double lambda)
+    {
+        const MbAvail avail = mbAvail(pos);
+        const int x0 = pos.mbx * 16, y0 = pos.mby * 16;
+        double cost = lambda * 2.0; // intra4 flag + overhead
+        for (int blk = 0; blk < 16; ++blk) {
+            int bx = blk % 4, by = blk / 4;
+            int x = x0 + bx * 4, y = y0 + by * 4;
+            bool left = bx > 0 || avail.left;
+            bool above = by > 0 || avail.up;
+            bool corner = (bx > 0 && by > 0) ||
+                          (bx > 0 ? avail.up
+                                  : (by > 0 ? avail.left
+                                            : avail.upLeft));
+            bool above_right =
+                by == 0 ? (bx < 3 ? avail.up : avail.upRight)
+                        : bx < 3;
+            Intra4Neighbors neighbors = gatherIntra4Neighbors(
+                src_.y(), x, y, left, above, corner, above_right);
+            Intra4Mode predicted = predictedIntra4BlockMode(
+                grid_, pos, mb, blk);
+
+            double best_cost = 1e18;
+            for (int m = 0; m < kIntra4ModeCount; ++m) {
+                auto mode = static_cast<Intra4Mode>(m);
+                if (!intra4ModeAvailable(mode, neighbors))
+                    continue;
+                u8 pred[16];
+                predictIntra4(neighbors, mode, pred);
+                double sad = 0;
+                for (int dy = 0; dy < 4; ++dy)
+                    for (int dx = 0; dx < 4; ++dx)
+                        sad += std::abs(
+                            static_cast<int>(
+                                src_.y().at(x + dx, y + dy)) -
+                            pred[dy * 4 + dx]);
+                double bits = mode == predicted ? 1.0 : 4.0;
+                double c = sad + lambda * bits;
+                if (c < best_cost) {
+                    best_cost = c;
+                    mb.intra4Modes[blk] = static_cast<u8>(m);
+                }
+            }
+            cost += best_cost;
+        }
+        return cost;
+    }
+
+    /** Mode decision for one macroblock. */
+    MbCoding
+    decideMb(const MbPosition &pos, int prev_qp)
+    {
+        const int mbx = pos.mbx, mby = pos.mby;
+        bool left = grid_.leftAvail(mbx, mby, pos.sliceFirstRow);
+        bool up = grid_.upAvail(mbx, mby, pos.sliceFirstRow);
+
+        int qp = rc_.mbQp(plan_.type, src_.y(), mbx, mby,
+                          avgActivity_);
+        double lambda = RateControl::lambdaFor(qp);
+
+        // Try skip first in P/B frames: prediction at the predicted
+        // MV whose residual quantises to nothing.
+        if (plan_.type != FrameType::I && config_.allowSkip &&
+            ref0_ != nullptr) {
+            MbCoding skip_mb;
+            skip_mb.skip = true;
+            skip_mb.qp = prev_qp;
+            MotionInfo motion;
+            motion.rect = {0, 0, 16, 16};
+            motion.mv = grid_.predictMv(mbx, mby, pos.sliceFirstRow,
+                                        false);
+            motion.direction = BiDirection::L0;
+            skip_mb.motions.push_back(motion);
+            u8 pred[256], up_[64], vp[64];
+            predictMbLuma(skip_mb, mbx, mby, recon_.y(), &ref0_->y(),
+                          nullptr, left, up, pred);
+            predictMbChroma(skip_mb, mbx, mby, recon_.u(),
+                            &ref0_->u(), nullptr, left, up, up_);
+            predictMbChroma(skip_mb, mbx, mby, recon_.v(),
+                            &ref0_->v(), nullptr, left, up, vp);
+            quantiseMb(skip_mb, src_, mbx, mby, pred, up_, vp);
+            bool all_zero = true;
+            for (bool c : skip_mb.coded)
+                all_zero &= !c;
+            if (all_zero) {
+                // Wipe the (zero) residual state and commit to skip.
+                skip_mb.coded.fill(false);
+                return skip_mb;
+            }
+        }
+
+        // Intra candidate: best of the four 16x16 modes by SAD.
+        MbCoding intra_mb;
+        intra_mb.intra = true;
+        intra_mb.qp = qp;
+        double intra_cost = 1e18;
+        for (int m = 0; m < kIntraModeCount; ++m) {
+            auto mode = static_cast<IntraMode>(m);
+            PredBlock<16> pred = predictLuma16(recon_.y(), mbx, mby,
+                                               mode, left, up);
+            double cost =
+                static_cast<double>(intraSad16(src_.y(), mbx, mby,
+                                               pred)) +
+                lambda * 4.0;
+            if (cost < intra_cost) {
+                intra_cost = cost;
+                intra_mb.intraMode = mode;
+            }
+        }
+        // Intra4x4 candidate: nine directional modes per block.
+        MbCoding intra4_mb;
+        intra4_mb.intra = true;
+        intra4_mb.intra4 = true;
+        intra4_mb.qp = qp;
+        double intra4_cost = 1e18;
+        if (config_.intra4x4)
+            intra4_cost = estimateIntra4(pos, intra4_mb, lambda);
+
+        // Bias against intra in predicted frames (header cost and
+        // the reference-chain value of inter coding).
+        if (plan_.type != FrameType::I) {
+            intra_cost += lambda * 8.0;
+            intra4_cost += lambda * 8.0;
+        }
+
+        MbCoding best = intra_mb;
+        double best_cost = intra_cost;
+        if (intra4_cost < best_cost) {
+            best = intra4_mb;
+            best_cost = intra4_cost;
+        }
+
+        if (plan_.type != FrameType::I && ref0_ != nullptr) {
+            MbCoding inter_mb = decideInter(pos, qp, lambda);
+            double inter_cost = interCost(inter_mb, pos, lambda);
+            if (inter_cost < best_cost) {
+                best = inter_mb;
+                best_cost = inter_cost;
+            }
+        }
+
+        // Quantise the residual of the winner. Intra4x4 luma is
+        // quantised block-by-block against the real reconstruction
+        // (and written into recon_ right away; the later
+        // reconstructMb call is idempotent).
+        u8 pred[256] = {}, up_[64], vp[64];
+        if (best.intra && best.intra4) {
+            reconstructIntra4Luma(recon_.y(), best, mbx, mby,
+                                  mbAvail(pos), &src_.y());
+        } else {
+            predictMbLuma(best, mbx, mby, recon_.y(),
+                          ref0_ ? &ref0_->y() : nullptr,
+                          ref1_ ? &ref1_->y() : nullptr, left, up,
+                          pred);
+        }
+        predictMbChroma(best, mbx, mby, recon_.u(),
+                        ref0_ ? &ref0_->u() : nullptr,
+                        ref1_ ? &ref1_->u() : nullptr, left, up, up_);
+        predictMbChroma(best, mbx, mby, recon_.v(),
+                        ref0_ ? &ref0_->v() : nullptr,
+                        ref1_ ? &ref1_->v() : nullptr, left, up, vp);
+        quantiseMb(best, src_, mbx, mby, pred, up_, vp,
+                   best.intra && best.intra4);
+        return best;
+    }
+
+    /** SAD+rate cost of a decided inter MB (for intra/inter choice). */
+    double
+    interCost(const MbCoding &mb, const MbPosition &pos,
+              double lambda)
+    {
+        double cost = 0;
+        for (std::size_t i = 0; i < mb.motions.size(); ++i) {
+            const MotionInfo &motion = mb.motions[i];
+            int dx = pos.mbx * 16 + motion.rect.x;
+            int dy = pos.mby * 16 + motion.rect.y;
+            // SAD of the final prediction for this rect.
+            u8 buf[256];
+            const Plane *r0 = ref0_ ? &ref0_->y() : nullptr;
+            const Plane *r1 = ref1_ ? &ref1_->y() : nullptr;
+            if (motion.direction == BiDirection::Bi && r0 && r1) {
+                u8 b0[256], b1[256];
+                compensateRect(*r0, dx, dy, motion.rect.width,
+                               motion.rect.height, motion.mv, b0);
+                compensateRect(*r1, dx, dy, motion.rect.width,
+                               motion.rect.height, motion.mvL1, b1);
+                averagePredictions(
+                    b0, b1, motion.rect.width * motion.rect.height,
+                    buf);
+            } else if (motion.direction == BiDirection::L1 && r1) {
+                compensateRect(*r1, dx, dy, motion.rect.width,
+                               motion.rect.height, motion.mvL1, buf);
+            } else if (r0) {
+                compensateRect(*r0, dx, dy, motion.rect.width,
+                               motion.rect.height, motion.mv, buf);
+            } else {
+                return 1e18;
+            }
+            for (int y = 0; y < motion.rect.height; ++y)
+                for (int x = 0; x < motion.rect.width; ++x)
+                    cost += std::abs(
+                        static_cast<int>(src_.y().at(dx + x, dy + y)) -
+                        buf[y * motion.rect.width + x]);
+            // Rate term per vector coded.
+            double vectors =
+                motion.direction == BiDirection::Bi ? 2.0 : 1.0;
+            cost += lambda * (6.0 * vectors + 2.0);
+        }
+        return cost;
+    }
+
+    /** Search one rectangle in one list; predictor-aware. */
+    MotionSearchResult
+    searchRect(const PartitionGeom &rect, const MbPosition &pos,
+               const MotionVector &predictor, bool l1)
+    {
+        const Plane &ref = l1 ? ref1_->y() : ref0_->y();
+        return motionSearch(src_.y(), pos.mbx * 16 + rect.x,
+                            pos.mby * 16 + rect.y, rect.width,
+                            rect.height, ref, predictor,
+                            config_.searchRange, config_.subPel);
+    }
+
+    /**
+     * Fill motions for a given set of rectangles using chained
+     * predictors; returns total SAD + lambda * mvd bits.
+     */
+    double
+    fillMotions(MbCoding &mb, const std::vector<PartitionGeom> &rects,
+                const MbPosition &pos, BiDirection dir, double lambda)
+    {
+        mb.motions.clear();
+        double cost = 0;
+        for (std::size_t i = 0; i < rects.size(); ++i) {
+            MotionInfo motion;
+            motion.rect = rects[i];
+            motion.direction = dir;
+            double rect_cost = 0;
+            if (dir != BiDirection::L1) {
+                MotionVector pred =
+                    mvPredictorForRect(grid_, pos, i, mb, false);
+                auto result = searchRect(rects[i], pos, pred, false);
+                motion.mv = result.mv;
+                rect_cost += result.sad +
+                             lambda * mvdBits(result.mv - pred);
+            }
+            if (dir != BiDirection::L0) {
+                MotionVector pred =
+                    mvPredictorForRect(grid_, pos, i, mb, true);
+                auto result = searchRect(rects[i], pos, pred, true);
+                motion.mvL1 = result.mv;
+                rect_cost += result.sad +
+                             lambda * mvdBits(result.mv - pred);
+            }
+            if (dir == BiDirection::Bi)
+                rect_cost /= 2.0; // averaging roughly halves the error
+            cost += rect_cost;
+            mb.motions.push_back(motion);
+        }
+        return cost;
+    }
+
+    /** Inter mode decision: direction, partition, sub-partitions. */
+    MbCoding
+    decideInter(const MbPosition &pos, int qp, double lambda)
+    {
+        MbCoding mb;
+        mb.qp = qp;
+
+        // Direction at 16x16 granularity (B frames).
+        BiDirection dir = BiDirection::L0;
+        std::vector<PartitionGeom> whole = {{0, 0, 16, 16}};
+        MbCoding probe;
+        probe.qp = qp;
+        double best_dir_cost =
+            fillMotions(probe, whole, pos, BiDirection::L0, lambda);
+        MbCoding best_probe = probe;
+        if (plan_.type == FrameType::B && ref1_ != nullptr) {
+            for (BiDirection d :
+                 {BiDirection::L1, BiDirection::Bi}) {
+                MbCoding candidate;
+                candidate.qp = qp;
+                double cost =
+                    fillMotions(candidate, whole, pos, d, lambda) +
+                    lambda * 1.0;
+                if (cost < best_dir_cost) {
+                    best_dir_cost = cost;
+                    best_probe = candidate;
+                    dir = d;
+                }
+            }
+        }
+
+        mb.direction = dir;
+        mb.partition = Partition::P16x16;
+        mb.motions = best_probe.motions;
+        double best_cost = best_dir_cost;
+
+        if (config_.partitionSearch) {
+            for (Partition part : {Partition::P16x8, Partition::P8x16,
+                                   Partition::P8x8}) {
+                MbCoding candidate;
+                candidate.qp = qp;
+                candidate.direction = dir;
+                candidate.partition = part;
+                double cost = fillMotions(candidate,
+                                          partitionGeom(part), pos,
+                                          dir, lambda) +
+                              lambda * 2.0 *
+                                  (part == Partition::P8x8 ? 4 : 2);
+                if (cost < best_cost) {
+                    best_cost = cost;
+                    mb = candidate;
+                }
+            }
+        }
+
+        if (mb.partition == Partition::P8x8 && config_.subPartitions) {
+            // Refine each 8x8 independently. Rebuild the rect list
+            // with the chosen sub-partitions at the end so the
+            // predictor chain stays consistent.
+            for (int blk = 0; blk < 4; ++blk) {
+                double best_sub_cost = 1e18;
+                SubPartition best_sub = SubPartition::S8x8;
+                for (int s = 0; s < kSubPartitionCount; ++s) {
+                    auto sub = static_cast<SubPartition>(s);
+                    MbCoding candidate = mb;
+                    candidate.subs[blk] = sub;
+                    std::vector<PartitionGeom> rects;
+                    for (int b = 0; b < 4; ++b) {
+                        auto g = subPartitionGeom(candidate.subs[b],
+                                                  (b % 2) * 8,
+                                                  (b / 2) * 8);
+                        rects.insert(rects.end(), g.begin(), g.end());
+                    }
+                    double cost =
+                        fillMotions(candidate, rects, pos, dir,
+                                    lambda) +
+                        lambda * 2.0 * static_cast<double>(
+                                           rects.size());
+                    if (cost < best_sub_cost) {
+                        best_sub_cost = cost;
+                        best_sub = sub;
+                    }
+                }
+                mb.subs[blk] = best_sub;
+            }
+            std::vector<PartitionGeom> rects;
+            for (int b = 0; b < 4; ++b) {
+                auto g = subPartitionGeom(mb.subs[b], (b % 2) * 8,
+                                          (b / 2) * 8);
+                rects.insert(rects.end(), g.begin(), g.end());
+            }
+            fillMotions(mb, rects, pos, dir, lambda);
+        }
+        return mb;
+    }
+
+    const EncoderConfig &config_;
+    RateControl &rc_;
+    const Frame &src_;
+    const FramePlan &plan_;
+    int encIdx_;
+    const Frame *ref0_;
+    const Frame *ref1_;
+    int mbw_, mbh_;
+    Frame recon_;
+    MbGrid grid_;
+    double avgActivity_;
+    std::vector<MbCoding> codings_;
+};
+
+} // namespace
+
+EncodeResult
+encodeVideo(const Video &source, const EncoderConfig &config)
+{
+    assert(!source.frames.empty());
+    assert(source.width() % 16 == 0 && source.height() % 16 == 0);
+
+    EncodeResult result;
+    auto plan = planGop(static_cast<int>(source.frames.size()),
+                        config.gop);
+    RateControl rc(config.crf);
+    if (config.targetKbps > 0)
+        rc.setBitrateTarget(config.targetKbps, source.fps);
+
+    result.video.header.width = static_cast<u16>(source.width());
+    result.video.header.height = static_cast<u16>(source.height());
+    result.video.header.fps = source.fps;
+    result.video.header.entropy = config.entropy;
+    result.video.header.frameCount =
+        static_cast<u16>(source.frames.size());
+    result.video.header.slicesPerFrame =
+        static_cast<u8>(std::max(config.slicesPerFrame, 1));
+    result.video.header.flags = config.deblocking ? 1 : 0;
+
+    std::vector<Frame> recons(plan.size());
+    for (std::size_t enc_idx = 0; enc_idx < plan.size(); ++enc_idx) {
+        FrameEncoder frame_encoder(config, rc, source, plan[enc_idx],
+                                   static_cast<int>(enc_idx), recons);
+        FrameHeader header;
+        Bytes payload;
+        FrameRecord record;
+        frame_encoder.run(header, payload, record);
+        recons[enc_idx] = frame_encoder.takeRecon();
+        rc.frameDone(payload.size() * 8);
+
+        result.video.frameHeaders.push_back(std::move(header));
+        result.video.payloads.push_back(std::move(payload));
+        result.side.frames.push_back(std::move(record));
+    }
+
+    // Reorder reconstructions into display order for callers.
+    result.reconFrames.assign(source.frames.size(),
+                              Frame(source.width(), source.height()));
+    for (std::size_t enc_idx = 0; enc_idx < plan.size(); ++enc_idx)
+        result.reconFrames[plan[enc_idx].displayIdx] =
+            std::move(recons[enc_idx]);
+    return result;
+}
+
+} // namespace videoapp

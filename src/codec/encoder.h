@@ -1,0 +1,112 @@
+/**
+ * @file
+ * The video encoder: GOP planning, mode decision, motion estimation,
+ * transform/quant, entropy coding — plus the dependency capture that
+ * feeds VideoApp's importance analysis (the paper integrates the
+ * analysis into the encoder as a post-processing step, Section 1).
+ */
+
+#ifndef VIDEOAPP_CODEC_ENCODER_H_
+#define VIDEOAPP_CODEC_ENCODER_H_
+
+#include <vector>
+
+#include "codec/container.h"
+#include "codec/gop.h"
+#include "codec/inter.h"
+#include "codec/rate_control.h"
+#include "video/frame.h"
+
+namespace videoapp {
+
+/** Encoder configuration (the paper's Section 6.3 knobs and more). */
+struct EncoderConfig
+{
+    /** Constant rate factor: 16 / 20 / 24 in the evaluation. */
+    int crf = kCrfStandard;
+    /**
+     * Average bitrate target in kbit/s (0 = pure CRF mode). When
+     * set, a reactive rate controller trims the per-frame QP around
+     * the CRF point to track the target.
+     */
+    int targetKbps = 0;
+    GopConfig gop;
+    EntropyKind entropy = EntropyKind::CABAC;
+    /** Slices per frame (Section 8; 1 = the paper's conservative
+     * default). */
+    int slicesPerFrame = 1;
+    /** Motion search range in pixels. */
+    int searchRange = 16;
+    /** Evaluate 16x8/8x16/8x8 partitions. */
+    bool partitionSearch = true;
+    /** Evaluate 8x4/4x8/4x4 sub-partitions inside 8x8. */
+    bool subPartitions = true;
+    /** Allow skip macroblocks. */
+    bool allowSkip = true;
+    /** In-loop deblocking filter (H.264-style). */
+    bool deblocking = true;
+    /** Sub-pel motion estimation precision (H.264 uses quarter). */
+    SubPel subPel = SubPel::Quarter;
+    /** Evaluate intra4x4 prediction (9 directional modes). */
+    bool intra4x4 = true;
+};
+
+/** One compensation dependency: this MB reads pixels of that MB. */
+struct CompDepRecord
+{
+    i32 refFrame = 0;  // encode-order frame index of the source
+    u16 refMb = 0;     // MB index within that frame
+    float weight = 0;  // damaged-area transfer fraction in [0, 1]
+};
+
+/** Analysis-side record of one coded macroblock. */
+struct MbRecord
+{
+    u64 bitOffset = 0; // within the frame payload, bits
+    u64 bitLength = 0;
+    bool intra = false;
+    bool skip = false;
+    u8 qp = 26;
+    std::vector<CompDepRecord> deps;
+};
+
+/** Analysis-side record of one coded frame (encode order). */
+struct FrameRecord
+{
+    FrameType type = FrameType::I;
+    int encIdx = 0;
+    int displayIdx = 0;
+    bool isReference = true;
+    std::vector<MbRecord> mbs;
+};
+
+/** Side information the encoder hands to the analysis stage. */
+struct EncodeSideInfo
+{
+    std::vector<FrameRecord> frames;
+};
+
+/** Result of encoding: the bitstream plus analysis side info. */
+struct EncodeResult
+{
+    EncodedVideo video;
+    EncodeSideInfo side;
+    /**
+     * The encoder's reconstructed frames in display order — the
+     * "coded video without bit flips" that the paper's quality
+     * measurements use as the reference. A correct decoder must
+     * reproduce these bit-exactly from the clean bitstream.
+     */
+    std::vector<Frame> reconFrames;
+};
+
+/**
+ * Encode @p source under @p config.
+ * @pre source frames share dimensions, multiples of 16.
+ */
+EncodeResult encodeVideo(const Video &source,
+                         const EncoderConfig &config);
+
+} // namespace videoapp
+
+#endif // VIDEOAPP_CODEC_ENCODER_H_

@@ -1,0 +1,86 @@
+#include "codec/gop.h"
+
+#include <cassert>
+
+namespace videoapp {
+
+std::vector<FramePlan>
+planGop(int frame_count, const GopConfig &config)
+{
+    assert(frame_count > 0);
+    const int gop = config.gopSize > 0 ? config.gopSize : 1;
+    const int nb = config.bFrames >= 0 ? config.bFrames : 0;
+
+    std::vector<FramePlan> plan;
+    plan.reserve(frame_count);
+
+    int prev_anchor_enc = -1; // encode index of the last anchor
+    int display = 0;
+    while (display < frame_count) {
+        // Next anchor position: nb B-frames ahead, clamped to the
+        // end of the sequence and snapped to I-frame positions.
+        int anchor = display == 0 ? 0 : display + nb;
+        if (anchor >= frame_count)
+            anchor = frame_count - 1;
+        // If an I-frame boundary falls inside this mini-GOP, make
+        // the anchor land on it.
+        for (int d = display; d <= anchor; ++d) {
+            if (d > 0 && d % gop == 0) {
+                anchor = d;
+                break;
+            }
+        }
+
+        // Emit the anchor first (encode order).
+        FramePlan anchor_plan;
+        anchor_plan.displayIdx = anchor;
+        anchor_plan.type =
+            (anchor % gop == 0) ? FrameType::I : FrameType::P;
+        anchor_plan.ref0 =
+            anchor_plan.type == FrameType::I ? -1 : prev_anchor_enc;
+        anchor_plan.isReference = true;
+        int anchor_enc = static_cast<int>(plan.size());
+        plan.push_back(anchor_plan);
+
+        // Then the B-frames between the previous anchor and this one.
+        int prev_b_enc = -1;
+        for (int d = display; d < anchor; ++d) {
+            FramePlan b;
+            b.displayIdx = d;
+            b.type = FrameType::B;
+            if (config.bRefs && prev_b_enc >= 0)
+                b.ref0 = prev_b_enc; // chain through earlier B
+            else
+                b.ref0 = prev_anchor_enc;
+            b.ref1 = anchor_enc;
+            b.isReference = false; // may be flipped below
+            int enc = static_cast<int>(plan.size());
+            if (config.bRefs)
+                prev_b_enc = enc;
+            plan.push_back(b);
+        }
+
+        // Mark B-frames that ended up referenced.
+        if (config.bRefs) {
+            for (auto &p : plan)
+                p.isReference = false;
+            for (const auto &p : plan) {
+                if (p.ref0 >= 0)
+                    plan[p.ref0].isReference = true;
+                if (p.ref1 >= 0)
+                    plan[p.ref1].isReference = true;
+            }
+            // Anchors always stay references.
+            for (auto &p : plan)
+                if (p.type != FrameType::B)
+                    p.isReference = true;
+        }
+
+        prev_anchor_enc = anchor_enc;
+        display = anchor + 1;
+    }
+
+    return plan;
+}
+
+} // namespace videoapp

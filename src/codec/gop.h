@@ -1,0 +1,56 @@
+/**
+ * @file
+ * Group-of-pictures planning: frame types, display/encode order, and
+ * reference assignment (Section 2.3.1). Includes the Section 8
+ * encoder knobs: number of B-frames between anchors and whether
+ * B-frames may be used as references (unreferenced frames are dead
+ * ends for error propagation, which polarises importance).
+ */
+
+#ifndef VIDEOAPP_CODEC_GOP_H_
+#define VIDEOAPP_CODEC_GOP_H_
+
+#include <vector>
+
+#include "codec/types.h"
+
+namespace videoapp {
+
+/** GOP shape configuration. */
+struct GopConfig
+{
+    /** Distance between I-frames in display order. */
+    int gopSize = 48;
+    /** Consecutive B-frames between anchors (0 = IPPP...). */
+    int bFrames = 2;
+    /** May B-frames be referenced by other B-frames? */
+    bool bRefs = false;
+};
+
+/** One frame's plan, produced in encode order. */
+struct FramePlan
+{
+    int displayIdx = 0;
+    FrameType type = FrameType::I;
+    /**
+     * References as indices into the encode-order sequence
+     * (-1 = none). P uses ref0; B uses ref0 (past) and ref1
+     * (future in display order).
+     */
+    int ref0 = -1;
+    int ref1 = -1;
+    /** Will any later frame reference this one? */
+    bool isReference = true;
+};
+
+/**
+ * Plan @p frame_count frames under @p config. The result is in
+ * encode order; every frame's references appear earlier in the
+ * list (the property that makes the compensation graph a DAG).
+ */
+std::vector<FramePlan> planGop(int frame_count,
+                               const GopConfig &config);
+
+} // namespace videoapp
+
+#endif // VIDEOAPP_CODEC_GOP_H_

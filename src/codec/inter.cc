@@ -1,0 +1,258 @@
+#include "codec/inter.h"
+
+#include <algorithm>
+#include <cstdlib>
+#include <map>
+
+namespace videoapp {
+
+namespace {
+
+u8
+clampPixel(int v)
+{
+    return static_cast<u8>(std::clamp(v, 0, 255));
+}
+
+/** 6-tap H.264 half-sample filter over six consecutive samples. */
+int
+sixTap(int a, int b, int c, int d, int e, int f)
+{
+    return a - 5 * b + 20 * c + 20 * d - 5 * e + f;
+}
+
+/** Horizontal half-sample at integer row y, between ix and ix+1. */
+int
+halfHorizontal(const Plane &ref, int ix, int y)
+{
+    return sixTap(ref.atClamped(ix - 2, y), ref.atClamped(ix - 1, y),
+                  ref.atClamped(ix, y), ref.atClamped(ix + 1, y),
+                  ref.atClamped(ix + 2, y), ref.atClamped(ix + 3, y));
+}
+
+/** Vertical half-sample at integer column x, between iy and iy+1. */
+int
+halfVertical(const Plane &ref, int x, int iy)
+{
+    return sixTap(ref.atClamped(x, iy - 2), ref.atClamped(x, iy - 1),
+                  ref.atClamped(x, iy), ref.atClamped(x, iy + 1),
+                  ref.atClamped(x, iy + 2), ref.atClamped(x, iy + 3));
+}
+
+} // namespace
+
+u8
+sampleHalfPel(const Plane &reference, int x2, int y2)
+{
+    // Floor-divide the half-pel coordinates (they may be negative).
+    int ix = x2 >> 1, iy = y2 >> 1;
+    bool half_x = x2 & 1, half_y = y2 & 1;
+
+    if (!half_x && !half_y)
+        return reference.atClamped(ix, iy);
+    if (half_x && !half_y)
+        return clampPixel((halfHorizontal(reference, ix, iy) + 16) >>
+                          5);
+    if (!half_x && half_y)
+        return clampPixel((halfVertical(reference, ix, iy) + 16) >> 5);
+
+    // Centre position: 6-tap horizontally over vertical half
+    // samples (the H.264 j position).
+    int v[6];
+    for (int k = -2; k <= 3; ++k)
+        v[k + 2] = halfVertical(reference, ix + k, iy);
+    return clampPixel(
+        (sixTap(v[0], v[1], v[2], v[3], v[4], v[5]) + 512) >> 10);
+}
+
+u8
+sampleQuarterPel(const Plane &reference, int x4, int y4)
+{
+    bool quarter_x = x4 & 1, quarter_y = y4 & 1;
+    int hx = x4 >> 1, hy = y4 >> 1; // floor in half-pel units
+
+    if (!quarter_x && !quarter_y)
+        return sampleHalfPel(reference, hx, hy);
+    if (quarter_x && !quarter_y) {
+        int a = sampleHalfPel(reference, hx, hy);
+        int b = sampleHalfPel(reference, hx + 1, hy);
+        return static_cast<u8>((a + b + 1) >> 1);
+    }
+    if (!quarter_x && quarter_y) {
+        int a = sampleHalfPel(reference, hx, hy);
+        int b = sampleHalfPel(reference, hx, hy + 1);
+        return static_cast<u8>((a + b + 1) >> 1);
+    }
+    // Diagonal quarter: average the two diagonal half neighbours
+    // (the H.264 e/g/p/r positions).
+    int a = sampleHalfPel(reference, hx, hy);
+    int b = sampleHalfPel(reference, hx + 1, hy + 1);
+    return static_cast<u8>((a + b + 1) >> 1);
+}
+
+long
+sadRectQuarterPel(const Plane &source, int sx, int sy, int w, int h,
+                  const Plane &reference, const MotionVector &mv)
+{
+    long sad = 0;
+    int base_x = 4 * sx + mv.x;
+    int base_y = 4 * sy + mv.y;
+    if ((mv.x & 3) == 0 && (mv.y & 3) == 0) {
+        // Fast integer path.
+        int rx = base_x >> 2, ry = base_y >> 2;
+        for (int y = 0; y < h; ++y)
+            for (int x = 0; x < w; ++x)
+                sad += std::abs(
+                    static_cast<int>(source.at(sx + x, sy + y)) -
+                    reference.atClamped(rx + x, ry + y));
+        return sad;
+    }
+    for (int y = 0; y < h; ++y)
+        for (int x = 0; x < w; ++x)
+            sad += std::abs(
+                static_cast<int>(source.at(sx + x, sy + y)) -
+                sampleQuarterPel(reference, base_x + 4 * x,
+                                 base_y + 4 * y));
+    return sad;
+}
+
+MotionSearchResult
+motionSearch(const Plane &source, int sx, int sy, int w, int h,
+             const Plane &reference, const MotionVector &predictor,
+             int range, SubPel sub_pel)
+{
+    const int range4 = 4 * range; // bound in quarter-pel units
+    auto clamp_mv = [range4](int v) {
+        return std::clamp(v, -range4, range4);
+    };
+    auto eval = [&](const MotionVector &mv) {
+        return sadRectQuarterPel(source, sx, sy, w, h, reference,
+                                 mv);
+    };
+
+    // Stage 1: integer-pel diamond from the (rounded) predictor.
+    MotionVector best{
+        static_cast<i16>(clamp_mv(predictor.x & ~3)),
+        static_cast<i16>(clamp_mv(predictor.y & ~3))};
+    long best_sad = eval(best);
+
+    if (!(best.x == 0 && best.y == 0)) {
+        long zero_sad = eval({0, 0});
+        if (zero_sad < best_sad) {
+            best = {0, 0};
+            best_sad = zero_sad;
+        }
+    }
+
+    static const int large[4][2] = {{8, 0}, {-8, 0}, {0, 8}, {0, -8}};
+    static const int small_d[4][2] = {{4, 0}, {-4, 0}, {0, 4},
+                                      {0, -4}};
+    for (int iter = 0; iter < 64; ++iter) {
+        MotionVector centre = best;
+        for (const auto &d : large) {
+            MotionVector cand{
+                static_cast<i16>(clamp_mv(centre.x + d[0])),
+                static_cast<i16>(clamp_mv(centre.y + d[1]))};
+            if (cand == best)
+                continue;
+            long sad = eval(cand);
+            if (sad < best_sad) {
+                best_sad = sad;
+                best = cand;
+            }
+        }
+        if (best == centre)
+            break;
+    }
+    for (const auto &d : small_d) {
+        MotionVector cand{static_cast<i16>(clamp_mv(best.x + d[0])),
+                          static_cast<i16>(clamp_mv(best.y + d[1]))};
+        long sad = eval(cand);
+        if (sad < best_sad) {
+            best_sad = sad;
+            best = cand;
+        }
+    }
+
+    // Stages 2 and 3: half-pel then quarter-pel refinement.
+    auto refine = [&](int step) {
+        MotionVector centre = best;
+        for (int dy = -step; dy <= step; dy += step) {
+            for (int dx = -step; dx <= step; dx += step) {
+                if (dx == 0 && dy == 0)
+                    continue;
+                MotionVector cand{
+                    static_cast<i16>(clamp_mv(centre.x + dx)),
+                    static_cast<i16>(clamp_mv(centre.y + dy))};
+                long sad = eval(cand);
+                if (sad < best_sad) {
+                    best_sad = sad;
+                    best = cand;
+                }
+            }
+        }
+    };
+    if (sub_pel >= SubPel::Half)
+        refine(2);
+    if (sub_pel >= SubPel::Quarter)
+        refine(1);
+
+    return {best, best_sad};
+}
+
+void
+compensateRect(const Plane &reference, int dx, int dy, int w, int h,
+               const MotionVector &mv, u8 *out)
+{
+    int base_x = 4 * dx + mv.x;
+    int base_y = 4 * dy + mv.y;
+    if ((mv.x & 3) == 0 && (mv.y & 3) == 0) {
+        int rx = base_x >> 2, ry = base_y >> 2;
+        for (int y = 0; y < h; ++y)
+            for (int x = 0; x < w; ++x)
+                out[y * w + x] = reference.atClamped(rx + x, ry + y);
+        return;
+    }
+    for (int y = 0; y < h; ++y)
+        for (int x = 0; x < w; ++x)
+            out[y * w + x] = sampleQuarterPel(
+                reference, base_x + 4 * x, base_y + 4 * y);
+}
+
+void
+averagePredictions(const u8 *a, const u8 *b, int count, u8 *out)
+{
+    for (int i = 0; i < count; ++i)
+        out[i] = static_cast<u8>((a[i] + b[i] + 1) >> 1);
+}
+
+std::vector<AreaDependency>
+referenceAreas(int dx, int dy, int w, int h, const MotionVector &mv,
+               int width, int height)
+{
+    // Integer part of the reference window, expanded by the 6-tap
+    // support when the vector has a fractional component (quarter
+    // samples interpolate between half samples, so the footprint is
+    // the half-sample one).
+    bool frac_x = mv.x & 3, frac_y = mv.y & 3;
+    int x0 = (4 * dx + mv.x) >> 2;
+    int y0 = (4 * dy + mv.y) >> 2;
+    int left = frac_x ? 2 : 0, right = frac_x ? 3 : 0;
+    int top = frac_y ? 2 : 0, bottom = frac_y ? 3 : 0;
+
+    std::map<std::pair<int, int>, int> counts;
+    for (int y = -top; y < h + bottom; ++y) {
+        int sy = std::clamp(y0 + y, 0, height - 1);
+        for (int x = -left; x < w + right; ++x) {
+            int sx = std::clamp(x0 + x, 0, width - 1);
+            ++counts[{sx / kMbSize, sy / kMbSize}];
+        }
+    }
+    std::vector<AreaDependency> out;
+    out.reserve(counts.size());
+    for (const auto &[key, pixels] : counts)
+        out.push_back({key.first, key.second, pixels});
+    return out;
+}
+
+} // namespace videoapp

@@ -1,0 +1,100 @@
+/**
+ * @file
+ * Inter prediction: quarter-pel motion estimation and compensation
+ * over partitioned macroblocks, plus the reference-area accounting
+ * that produces the paper's compensation dependency weights
+ * (Section 4.1, Figure 4).
+ *
+ * Motion vectors are in QUARTER-pel units (H.264's native MV
+ * resolution). Half-sample positions use the H.264 6-tap filter
+ * (1, -5, 20, 20, -5, 1)/32; quarter samples average the nearest
+ * half/integer positions. Estimation runs an integer-pel diamond
+ * search followed by half- then quarter-pel refinements, the
+ * classic three-stage strategy.
+ */
+
+#ifndef VIDEOAPP_CODEC_INTER_H_
+#define VIDEOAPP_CODEC_INTER_H_
+
+#include <vector>
+
+#include "codec/types.h"
+#include "video/frame.h"
+
+namespace videoapp {
+
+/**
+ * Sample @p reference at half-pel coordinates (@p x2, @p y2), each
+ * in half-pel units. Integer positions read directly; half
+ * positions interpolate with the 6-tap filter (edge-clamped).
+ */
+u8 sampleHalfPel(const Plane &reference, int x2, int y2);
+
+/**
+ * Sample @p reference at quarter-pel coordinates (@p x4, @p y4).
+ * Quarter positions average the two nearest half/integer samples
+ * (H.264's bilinear quarter-sample rule).
+ */
+u8 sampleQuarterPel(const Plane &reference, int x4, int y4);
+
+/** Sub-pel precision of motion search/compensation. */
+enum class SubPel : u8 { Full = 0, Half = 1, Quarter = 2 };
+
+/** SAD between a source rect and a (quarter-pel) reference window. */
+long sadRectQuarterPel(const Plane &source, int sx, int sy, int w,
+                       int h, const Plane &reference,
+                       const MotionVector &mv);
+
+/** Result of a motion search (mv in quarter-pel units). */
+struct MotionSearchResult
+{
+    MotionVector mv;
+    long sad = 0;
+};
+
+/**
+ * Three-stage search for the rectangle (@p sx, @p sy, @p w, @p h)
+ * in @p reference: integer diamond around @p predictor, then half-
+ * and quarter-pel refinements as @p sub_pel allows. @p range bounds
+ * the vector in full pixels.
+ */
+MotionSearchResult motionSearch(const Plane &source, int sx, int sy,
+                                int w, int h, const Plane &reference,
+                                const MotionVector &predictor,
+                                int range,
+                                SubPel sub_pel = SubPel::Quarter);
+
+/**
+ * Write the motion-compensated prediction for the rectangle at
+ * absolute pixel position (@p dx, @p dy) into @p out (row-major
+ * w*h). @p mv is in quarter-pel units; reads are edge-clamped.
+ */
+void compensateRect(const Plane &reference, int dx, int dy, int w,
+                    int h, const MotionVector &mv, u8 *out);
+
+/** Average two predictions into @p out (bi-prediction). */
+void averagePredictions(const u8 *a, const u8 *b, int count, u8 *out);
+
+/** Weighted reference-area contribution of one source macroblock. */
+struct AreaDependency
+{
+    int mbx, mby;
+    int pixels;
+};
+
+/**
+ * For the compensated rectangle at absolute (@p dx, @p dy), size
+ * @p w x @p h, with quarter-pel motion vector @p mv into a frame of
+ * @p width x @p height: how many referenced pixels fall into each
+ * source MB (after edge clamping). Fractional positions reference
+ * the 6-tap footprint, so the counted region grows by the filter
+ * support; counts are normalised by the caller against their total.
+ */
+std::vector<AreaDependency> referenceAreas(int dx, int dy, int w,
+                                           int h,
+                                           const MotionVector &mv,
+                                           int width, int height);
+
+} // namespace videoapp
+
+#endif // VIDEOAPP_CODEC_INTER_H_

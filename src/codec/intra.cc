@@ -1,0 +1,163 @@
+#include "codec/intra.h"
+
+#include <algorithm>
+#include <cstdlib>
+
+namespace videoapp {
+
+namespace {
+
+u8
+clampPixel(int v)
+{
+    return static_cast<u8>(std::clamp(v, 0, 255));
+}
+
+template <int N>
+PredBlock<N>
+predictBlock(const Plane &recon, int x0, int y0, IntraMode mode,
+             bool left_avail, bool up_avail)
+{
+    PredBlock<N> out{};
+
+    // Effective mode after availability fallbacks.
+    IntraMode eff = mode;
+    if (eff == IntraMode::Vertical && !up_avail)
+        eff = IntraMode::DC;
+    if (eff == IntraMode::Horizontal && !left_avail)
+        eff = IntraMode::DC;
+    if (eff == IntraMode::Plane && (!left_avail || !up_avail))
+        eff = IntraMode::DC;
+
+    switch (eff) {
+      case IntraMode::Vertical:
+        for (int y = 0; y < N; ++y)
+            for (int x = 0; x < N; ++x)
+                out[y * N + x] = recon.at(x0 + x, y0 - 1);
+        break;
+      case IntraMode::Horizontal:
+        for (int y = 0; y < N; ++y)
+            for (int x = 0; x < N; ++x)
+                out[y * N + x] = recon.at(x0 - 1, y0 + y);
+        break;
+      case IntraMode::DC: {
+        int sum = 0, count = 0;
+        if (up_avail) {
+            for (int x = 0; x < N; ++x)
+                sum += recon.at(x0 + x, y0 - 1);
+            count += N;
+        }
+        if (left_avail) {
+            for (int y = 0; y < N; ++y)
+                sum += recon.at(x0 - 1, y0 + y);
+            count += N;
+        }
+        u8 dc = count ? static_cast<u8>((sum + count / 2) / count)
+                      : 128;
+        out.fill(dc);
+        break;
+      }
+      case IntraMode::Plane: {
+        // H.264 plane prediction fitted from the border pixels.
+        int h = 0, v = 0;
+        for (int i = 1; i <= N / 2; ++i) {
+            h += i * (recon.at(x0 + N / 2 - 1 + i, y0 - 1) -
+                      recon.at(x0 + N / 2 - 1 - i, y0 - 1));
+            v += i * (recon.at(x0 - 1, y0 + N / 2 - 1 + i) -
+                      recon.at(x0 - 1, y0 + N / 2 - 1 - i));
+        }
+        int scale = N == 16 ? 5 : 17; // per-size slope scaling
+        int b = (scale * h + 32) >> 6;
+        int c = (scale * v + 32) >> 6;
+        int a = 16 * (recon.at(x0 - 1, y0 + N - 1) +
+                      recon.at(x0 + N - 1, y0 - 1));
+        for (int y = 0; y < N; ++y)
+            for (int x = 0; x < N; ++x)
+                out[y * N + x] = clampPixel(
+                    (a + b * (x - (N / 2 - 1)) + c * (y - (N / 2 - 1)) +
+                     16) >> 5);
+        break;
+      }
+    }
+    return out;
+}
+
+} // namespace
+
+PredBlock<16>
+predictLuma16(const Plane &recon, int mbx, int mby, IntraMode mode,
+              bool left_avail, bool up_avail)
+{
+    return predictBlock<16>(recon, mbx * 16, mby * 16, mode,
+                            left_avail, up_avail);
+}
+
+PredBlock<8>
+predictChromaDc(const Plane &recon, int mbx, int mby, bool left_avail,
+                bool up_avail)
+{
+    return predictBlock<8>(recon, mbx * 8, mby * 8, IntraMode::DC,
+                           left_avail, up_avail);
+}
+
+long
+intraSad16(const Plane &source, int mbx, int mby,
+           const PredBlock<16> &prediction)
+{
+    long sad = 0;
+    int x0 = mbx * 16, y0 = mby * 16;
+    for (int y = 0; y < 16; ++y)
+        for (int x = 0; x < 16; ++x)
+            sad += std::abs(static_cast<int>(source.at(x0 + x, y0 + y)) -
+                            prediction[y * 16 + x]);
+    return sad;
+}
+
+std::vector<IntraDependency>
+intraDependencies(IntraMode mode, bool left_avail, bool up_avail)
+{
+    IntraMode eff = mode;
+    if (eff == IntraMode::Vertical && !up_avail)
+        eff = IntraMode::DC;
+    if (eff == IntraMode::Horizontal && !left_avail)
+        eff = IntraMode::DC;
+    if (eff == IntraMode::Plane && (!left_avail || !up_avail))
+        eff = IntraMode::DC;
+
+    switch (eff) {
+      case IntraMode::Vertical:
+        return {{0, -1, 1.0}};
+      case IntraMode::Horizontal:
+        return {{-1, 0, 1.0}};
+      case IntraMode::DC:
+        if (left_avail && up_avail)
+            return {{-1, 0, 0.5}, {0, -1, 0.5}};
+        if (left_avail)
+            return {{-1, 0, 1.0}};
+        if (up_avail)
+            return {{0, -1, 1.0}};
+        return {};
+      case IntraMode::Plane:
+        // 16 pixels above + 16 left + 1 corner = 33 contributors.
+        return {{0, -1, 16.0 / 33}, {-1, 0, 16.0 / 33},
+                {-1, -1, 1.0 / 33}};
+    }
+    return {};
+}
+
+IntraMode
+predictIntraMode(bool left_avail, IntraMode left, bool up_avail,
+                 IntraMode up)
+{
+    // H.264-style: the minimum of the neighbour modes, DC fallback.
+    if (left_avail && up_avail)
+        return static_cast<IntraMode>(
+            std::min(static_cast<u8>(left), static_cast<u8>(up)));
+    if (left_avail)
+        return left;
+    if (up_avail)
+        return up;
+    return IntraMode::DC;
+}
+
+} // namespace videoapp

@@ -1,0 +1,73 @@
+/**
+ * @file
+ * Intra prediction: 16x16 luma modes (Vertical, Horizontal, DC,
+ * Plane) and 8x8 chroma DC, predicting from reconstructed neighbour
+ * pixels within the same frame — the spatial dependences that feed
+ * the compensation edges of the VideoApp graph for intra MBs.
+ */
+
+#ifndef VIDEOAPP_CODEC_INTRA_H_
+#define VIDEOAPP_CODEC_INTRA_H_
+
+#include <array>
+#include <vector>
+
+#include "codec/types.h"
+#include "video/frame.h"
+
+namespace videoapp {
+
+/** A 16x16 (or 8x8 for chroma) prediction block. */
+template <int N>
+using PredBlock = std::array<u8, static_cast<std::size_t>(N) * N>;
+
+/**
+ * Predict the 16x16 luma block at MB position (@p mbx, @p mby) from
+ * the reconstructed plane @p recon. Unavailable neighbours (frame or
+ * slice boundary, controlled by @p left_avail / @p up_avail) fall
+ * back per the H.264 rules (DC uses 128 when nothing is available).
+ */
+PredBlock<16> predictLuma16(const Plane &recon, int mbx, int mby,
+                            IntraMode mode, bool left_avail,
+                            bool up_avail);
+
+/** Predict an 8x8 chroma block with the DC rule. */
+PredBlock<8> predictChromaDc(const Plane &recon, int mbx, int mby,
+                             bool left_avail, bool up_avail);
+
+/**
+ * Sum of absolute differences between the source 16x16 at
+ * (@p mbx, @p mby) and a candidate prediction; the encoder's intra
+ * mode selection cost.
+ */
+long intraSad16(const Plane &source, int mbx, int mby,
+                const PredBlock<16> &prediction);
+
+/**
+ * Which neighbour MBs a given intra mode reads pixels from, with the
+ * paper's area-proportional weights (Section 4.1: "distribute the
+ * weight of 1 across all MBs proportionally to the number of pixels
+ * they contribute").
+ */
+struct IntraDependency
+{
+    /** dx, dy in MB units (e.g. {-1, 0} = left MB) and weight. */
+    int dx, dy;
+    double weight;
+};
+
+std::vector<IntraDependency> intraDependencies(IntraMode mode,
+                                               bool left_avail,
+                                               bool up_avail);
+
+/**
+ * Most probable intra mode given decoded neighbour modes (predictive
+ * metadata coding: the bitstream codes "is it the predicted mode",
+ * then a correction — corrupting a neighbour corrupts this chain).
+ */
+IntraMode predictIntraMode(bool left_avail, IntraMode left,
+                           bool up_avail, IntraMode up);
+
+} // namespace videoapp
+
+#endif // VIDEOAPP_CODEC_INTRA_H_

@@ -1,0 +1,323 @@
+#include "codec/intra4.h"
+
+#include <algorithm>
+
+namespace videoapp {
+
+Intra4Neighbors
+gatherIntra4Neighbors(const Plane &recon, int x, int y,
+                      bool left_avail, bool above_avail,
+                      bool corner_avail, bool above_right_avail)
+{
+    Intra4Neighbors n;
+    n.leftAvail = left_avail && x > 0;
+    n.aboveAvail = above_avail && y > 0;
+    n.cornerAvail = corner_avail && x > 0 && y > 0;
+
+    if (n.aboveAvail) {
+        for (int i = 0; i < 4; ++i)
+            n.above[static_cast<std::size_t>(i)] =
+                recon.at(x + i, y - 1);
+        bool ar = above_right_avail && x + 4 < recon.width();
+        for (int i = 4; i < 8; ++i)
+            n.above[static_cast<std::size_t>(i)] =
+                ar ? recon.at(x + i, y - 1) : n.above[3];
+    }
+    if (n.leftAvail) {
+        for (int i = 0; i < 4; ++i)
+            n.left[static_cast<std::size_t>(i)] =
+                recon.at(x - 1, y + i);
+    }
+    if (n.cornerAvail)
+        n.corner = recon.at(x - 1, y - 1);
+    return n;
+}
+
+bool
+intra4ModeAvailable(Intra4Mode mode, const Intra4Neighbors &n)
+{
+    switch (mode) {
+      case Intra4Mode::Vertical:
+      case Intra4Mode::DiagDownLeft:
+      case Intra4Mode::VerticalLeft:
+        return n.aboveAvail;
+      case Intra4Mode::Horizontal:
+      case Intra4Mode::HorizontalUp:
+        return n.leftAvail;
+      case Intra4Mode::DC:
+        return true;
+      case Intra4Mode::DiagDownRight:
+      case Intra4Mode::VerticalRight:
+      case Intra4Mode::HorizontalDown:
+        return n.aboveAvail && n.leftAvail && n.cornerAvail;
+    }
+    return false;
+}
+
+void
+predictIntra4(const Intra4Neighbors &n, Intra4Mode mode, u8 out[16])
+{
+    if (!intra4ModeAvailable(mode, n))
+        mode = Intra4Mode::DC;
+
+    // p[i, -1]: above row, where i = -1 addresses the corner.
+    auto up = [&n](int i) -> int {
+        if (i < 0)
+            return n.corner;
+        return n.above[static_cast<std::size_t>(std::min(i, 7))];
+    };
+    // p[-1, i]: left column, i = -1 addresses the corner.
+    auto lf = [&n](int i) -> int {
+        if (i < 0)
+            return n.corner;
+        return n.left[static_cast<std::size_t>(std::min(i, 3))];
+    };
+    auto set = [out](int x, int y, int v) {
+        out[y * 4 + x] = static_cast<u8>(std::clamp(v, 0, 255));
+    };
+
+    switch (mode) {
+      case Intra4Mode::Vertical:
+        for (int y = 0; y < 4; ++y)
+            for (int x = 0; x < 4; ++x)
+                set(x, y, up(x));
+        break;
+
+      case Intra4Mode::Horizontal:
+        for (int y = 0; y < 4; ++y)
+            for (int x = 0; x < 4; ++x)
+                set(x, y, lf(y));
+        break;
+
+      case Intra4Mode::DC: {
+        int sum = 0, count = 0;
+        if (n.aboveAvail) {
+            for (int i = 0; i < 4; ++i)
+                sum += up(i);
+            count += 4;
+        }
+        if (n.leftAvail) {
+            for (int i = 0; i < 4; ++i)
+                sum += lf(i);
+            count += 4;
+        }
+        int dc = count ? (sum + count / 2) / count : 128;
+        for (int i = 0; i < 16; ++i)
+            out[i] = static_cast<u8>(dc);
+        break;
+      }
+
+      case Intra4Mode::DiagDownLeft:
+        for (int y = 0; y < 4; ++y) {
+            for (int x = 0; x < 4; ++x) {
+                if (x == 3 && y == 3)
+                    set(x, y, (up(6) + 3 * up(7) + 2) >> 2);
+                else
+                    set(x, y,
+                        (up(x + y) + 2 * up(x + y + 1) +
+                         up(x + y + 2) + 2) >> 2);
+            }
+        }
+        break;
+
+      case Intra4Mode::DiagDownRight:
+        for (int y = 0; y < 4; ++y) {
+            for (int x = 0; x < 4; ++x) {
+                if (x > y)
+                    set(x, y,
+                        (up(x - y - 2) + 2 * up(x - y - 1) +
+                         up(x - y) + 2) >> 2);
+                else if (x < y)
+                    set(x, y,
+                        (lf(y - x - 2) + 2 * lf(y - x - 1) +
+                         lf(y - x) + 2) >> 2);
+                else
+                    set(x, y,
+                        (up(0) + 2 * n.corner + lf(0) + 2) >> 2);
+            }
+        }
+        break;
+
+      case Intra4Mode::VerticalRight:
+        for (int y = 0; y < 4; ++y) {
+            for (int x = 0; x < 4; ++x) {
+                int z = 2 * x - y;
+                if (z >= 0 && z % 2 == 0)
+                    set(x, y,
+                        (up(x - (y >> 1) - 1) + up(x - (y >> 1)) +
+                         1) >> 1);
+                else if (z >= 0)
+                    set(x, y,
+                        (up(x - (y >> 1) - 2) +
+                         2 * up(x - (y >> 1) - 1) +
+                         up(x - (y >> 1)) + 2) >> 2);
+                else if (z == -1)
+                    set(x, y,
+                        (lf(0) + 2 * n.corner + up(0) + 2) >> 2);
+                else
+                    set(x, y,
+                        (lf(y - 2 * x - 1) + 2 * lf(y - 2 * x - 2) +
+                         lf(y - 2 * x - 3) + 2) >> 2);
+            }
+        }
+        break;
+
+      case Intra4Mode::HorizontalDown:
+        for (int y = 0; y < 4; ++y) {
+            for (int x = 0; x < 4; ++x) {
+                int z = 2 * y - x;
+                if (z >= 0 && z % 2 == 0)
+                    set(x, y,
+                        (lf(y - (x >> 1) - 1) + lf(y - (x >> 1)) +
+                         1) >> 1);
+                else if (z >= 0)
+                    set(x, y,
+                        (lf(y - (x >> 1) - 2) +
+                         2 * lf(y - (x >> 1) - 1) +
+                         lf(y - (x >> 1)) + 2) >> 2);
+                else if (z == -1)
+                    set(x, y,
+                        (lf(0) + 2 * n.corner + up(0) + 2) >> 2);
+                else
+                    set(x, y,
+                        (up(x - 2 * y - 1) + 2 * up(x - 2 * y - 2) +
+                         up(x - 2 * y - 3) + 2) >> 2);
+            }
+        }
+        break;
+
+      case Intra4Mode::VerticalLeft:
+        for (int y = 0; y < 4; ++y) {
+            for (int x = 0; x < 4; ++x) {
+                int i = x + (y >> 1);
+                if (y % 2 == 0)
+                    set(x, y, (up(i) + up(i + 1) + 1) >> 1);
+                else
+                    set(x, y,
+                        (up(i) + 2 * up(i + 1) + up(i + 2) + 2) >>
+                            2);
+            }
+        }
+        break;
+
+      case Intra4Mode::HorizontalUp:
+        for (int y = 0; y < 4; ++y) {
+            for (int x = 0; x < 4; ++x) {
+                int z = x + 2 * y;
+                if (z > 5) {
+                    set(x, y, lf(3));
+                } else if (z == 5) {
+                    set(x, y, (lf(2) + 3 * lf(3) + 2) >> 2);
+                } else if (z % 2 == 0) {
+                    set(x, y,
+                        (lf(y + (x >> 1)) + lf(y + (x >> 1) + 1) +
+                         1) >> 1);
+                } else {
+                    set(x, y,
+                        (lf(y + (x >> 1)) +
+                         2 * lf(y + (x >> 1) + 1) +
+                         lf(y + (x >> 1) + 2) + 2) >> 2);
+                }
+            }
+        }
+        break;
+    }
+}
+
+bool
+intra4UsesAbove(Intra4Mode mode)
+{
+    switch (mode) {
+      case Intra4Mode::Horizontal:
+      case Intra4Mode::HorizontalUp:
+        return false;
+      default:
+        return true;
+    }
+}
+
+bool
+intra4UsesLeft(Intra4Mode mode)
+{
+    switch (mode) {
+      case Intra4Mode::Vertical:
+      case Intra4Mode::DiagDownLeft:
+      case Intra4Mode::VerticalLeft:
+        return false;
+      default:
+        return true;
+    }
+}
+
+bool
+intra4UsesAboveRight(Intra4Mode mode)
+{
+    return mode == Intra4Mode::DiagDownLeft ||
+           mode == Intra4Mode::VerticalLeft;
+}
+
+bool
+intra4UsesCorner(Intra4Mode mode)
+{
+    return mode == Intra4Mode::DiagDownRight ||
+           mode == Intra4Mode::VerticalRight ||
+           mode == Intra4Mode::HorizontalDown;
+}
+
+std::vector<IntraDependency>
+intra4Dependencies(const MbCoding &mb, bool left_avail,
+                   bool up_avail, bool up_left_avail,
+                   bool up_right_avail)
+{
+    // Count border samples read from each neighbour MB across the
+    // twelve border blocks; interior blocks only reference pixels of
+    // this MB (transitive damage stays within the node).
+    double w_up = 0, w_left = 0, w_ul = 0, w_ur = 0;
+    for (int blk = 0; blk < 16; ++blk) {
+        int bx = blk % 4, by = blk / 4;
+        auto mode = static_cast<Intra4Mode>(
+            mb.intra4Modes[blk] % kIntra4ModeCount);
+        if (by == 0 && up_avail && intra4UsesAbove(mode))
+            w_up += 4;
+        if (by == 0 && intra4UsesAboveRight(mode)) {
+            if (bx < 3 && up_avail)
+                w_up += 4;
+            else if (bx == 3 && up_right_avail)
+                w_ur += 4;
+        }
+        if (bx == 0 && left_avail && intra4UsesLeft(mode))
+            w_left += 4;
+        if (bx == 0 && by == 0 && intra4UsesCorner(mode) &&
+            up_left_avail)
+            w_ul += 1;
+    }
+
+    double total = w_up + w_left + w_ul + w_ur;
+    std::vector<IntraDependency> deps;
+    if (total <= 0)
+        return deps;
+    if (w_up > 0)
+        deps.push_back({0, -1, w_up / total});
+    if (w_left > 0)
+        deps.push_back({-1, 0, w_left / total});
+    if (w_ul > 0)
+        deps.push_back({-1, -1, w_ul / total});
+    if (w_ur > 0)
+        deps.push_back({1, -1, w_ur / total});
+    return deps;
+}
+
+Intra4Mode
+predictIntra4Mode(bool left_avail, Intra4Mode left, bool above_avail,
+                  Intra4Mode above)
+{
+    // H.264: min of the neighbour modes; DC when either is missing.
+    Intra4Mode l = left_avail ? left : Intra4Mode::DC;
+    Intra4Mode a = above_avail ? above : Intra4Mode::DC;
+    if (!left_avail && !above_avail)
+        return Intra4Mode::DC;
+    return static_cast<Intra4Mode>(
+        std::min(static_cast<u8>(l), static_cast<u8>(a)));
+}
+
+} // namespace videoapp

@@ -1,0 +1,105 @@
+/**
+ * @file
+ * 4x4 intra prediction: the nine H.264 directional modes.
+ *
+ * Intra4x4 macroblocks predict each 4x4 luma block from its
+ * immediate reconstructed neighbours — including earlier blocks of
+ * the same macroblock — giving much better detail coding than the
+ * 16x16 modes and a finer-grained spatial dependency structure.
+ * Prediction inputs are the 13 standard samples: four above (A-D),
+ * four above-right (E-H, replicated from D when unavailable), four
+ * left (I-L) and the corner (M).
+ */
+
+#ifndef VIDEOAPP_CODEC_INTRA4_H_
+#define VIDEOAPP_CODEC_INTRA4_H_
+
+#include <array>
+#include <vector>
+
+#include "codec/intra.h"
+#include "codec/types.h"
+#include "video/frame.h"
+
+namespace videoapp {
+
+/** The nine 4x4 intra modes, H.264 numbering. */
+enum class Intra4Mode : u8 {
+    Vertical = 0,
+    Horizontal = 1,
+    DC = 2,
+    DiagDownLeft = 3,
+    DiagDownRight = 4,
+    VerticalRight = 5,
+    HorizontalDown = 6,
+    VerticalLeft = 7,
+    HorizontalUp = 8,
+};
+inline constexpr int kIntra4ModeCount = 9;
+
+/** Neighbour samples of one 4x4 block, with availability. */
+struct Intra4Neighbors
+{
+    std::array<u8, 8> above{}; // A-D then E-H (maybe replicated)
+    std::array<u8, 4> left{};  // I-L
+    u8 corner = 128;           // M
+    bool aboveAvail = false;
+    bool leftAvail = false;
+    bool cornerAvail = false;
+};
+
+/**
+ * Gather the neighbours of the 4x4 block whose top-left pixel is
+ * (@p x, @p y) in @p recon. The three availability flags describe
+ * which regions have been reconstructed (the caller derives them
+ * from block position and slice/frame boundaries);
+ * @p above_right_avail controls E-H (replicated from D otherwise).
+ */
+Intra4Neighbors gatherIntra4Neighbors(const Plane &recon, int x,
+                                      int y, bool left_avail,
+                                      bool above_avail,
+                                      bool corner_avail,
+                                      bool above_right_avail);
+
+/** Is @p mode usable with this neighbour availability? */
+bool intra4ModeAvailable(Intra4Mode mode,
+                         const Intra4Neighbors &neighbors);
+
+/**
+ * Predict one 4x4 block (@p out row-major). Unavailable modes fall
+ * back to DC, which itself falls back to 128 — total for corrupted
+ * streams.
+ */
+void predictIntra4(const Intra4Neighbors &neighbors, Intra4Mode mode,
+                   u8 out[16]);
+
+/**
+ * Most probable mode for a block given its left and above
+ * neighbouring blocks' modes (DC when a neighbour is missing or not
+ * intra4x4 — the H.264 rule).
+ */
+Intra4Mode predictIntra4Mode(bool left_avail, Intra4Mode left,
+                             bool above_avail, Intra4Mode above);
+
+/** Which border sample groups a mode reads. */
+bool intra4UsesAbove(Intra4Mode mode);
+bool intra4UsesLeft(Intra4Mode mode);
+bool intra4UsesAboveRight(Intra4Mode mode);
+bool intra4UsesCorner(Intra4Mode mode);
+
+/**
+ * Neighbour-MB dependency weights of an intra4x4 macroblock
+ * (Section 4.1 semantics: a unit of incoming damage distributed
+ * over the contributing neighbour MBs in proportion to referenced
+ * border samples). Only the border blocks reach outside the MB;
+ * availability flags follow reconstructIntra4Luma.
+ */
+std::vector<IntraDependency> intra4Dependencies(const MbCoding &mb,
+                                                bool left_avail,
+                                                bool up_avail,
+                                                bool up_left_avail,
+                                                bool up_right_avail);
+
+} // namespace videoapp
+
+#endif // VIDEOAPP_CODEC_INTRA4_H_

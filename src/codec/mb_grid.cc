@@ -1,0 +1,116 @@
+#include "codec/mb_grid.h"
+
+#include <cassert>
+
+namespace videoapp {
+
+MbGrid::MbGrid(int mb_width, int mb_height)
+    : mbWidth_(mb_width), mbHeight_(mb_height),
+      cells_(static_cast<std::size_t>(mb_width) * mb_height)
+{
+}
+
+void
+MbGrid::reset()
+{
+    for (auto &c : cells_)
+        c = MbState{};
+}
+
+MbState &
+MbGrid::at(int mbx, int mby)
+{
+    assert(mbx >= 0 && mbx < mbWidth_ && mby >= 0 && mby < mbHeight_);
+    return cells_[static_cast<std::size_t>(mby) * mbWidth_ + mbx];
+}
+
+const MbState &
+MbGrid::at(int mbx, int mby) const
+{
+    assert(mbx >= 0 && mbx < mbWidth_ && mby >= 0 && mby < mbHeight_);
+    return cells_[static_cast<std::size_t>(mby) * mbWidth_ + mbx];
+}
+
+bool
+MbGrid::leftAvail(int mbx, int mby, int slice_first_row) const
+{
+    (void)slice_first_row;
+    return mbx > 0 && at(mbx - 1, mby).valid;
+}
+
+bool
+MbGrid::upAvail(int mbx, int mby, int slice_first_row) const
+{
+    return mby > slice_first_row && at(mbx, mby - 1).valid;
+}
+
+bool
+MbGrid::upRightAvail(int mbx, int mby, int slice_first_row) const
+{
+    return mby > slice_first_row && mbx + 1 < mbWidth_ &&
+           at(mbx + 1, mby - 1).valid;
+}
+
+bool
+MbGrid::upLeftAvail(int mbx, int mby, int slice_first_row) const
+{
+    return mby > slice_first_row && mbx > 0 &&
+           at(mbx - 1, mby - 1).valid;
+}
+
+MotionVector
+MbGrid::predictMv(int mbx, int mby, int slice_first_row, bool l1) const
+{
+    auto vec = [l1](const MbState &s) {
+        return l1 ? s.mvL1 : s.mvL0;
+    };
+
+    bool a_avail = leftAvail(mbx, mby, slice_first_row);
+    bool b_avail = upAvail(mbx, mby, slice_first_row);
+    bool c_avail = upRightAvail(mbx, mby, slice_first_row);
+    int c_dx = 1;
+    if (!c_avail && upLeftAvail(mbx, mby, slice_first_row)) {
+        c_avail = true;
+        c_dx = -1;
+    }
+
+    // Candidates; intra neighbours count as zero vectors.
+    MotionVector a{}, b{}, c{};
+    if (a_avail && !at(mbx - 1, mby).intra)
+        a = vec(at(mbx - 1, mby));
+    if (b_avail && !at(mbx, mby - 1).intra)
+        b = vec(at(mbx, mby - 1));
+    if (c_avail && !at(mbx + c_dx, mby - 1).intra)
+        c = vec(at(mbx + c_dx, mby - 1));
+
+    // H.264 special case: with no row above, inherit the left MV.
+    if (a_avail && !b_avail && !c_avail)
+        return a;
+
+    return medianMv(a, b, c);
+}
+
+int
+MbGrid::skipCtx(int mbx, int mby, int slice_first_row) const
+{
+    int ctx = 0;
+    if (leftAvail(mbx, mby, slice_first_row) &&
+        !at(mbx - 1, mby).skip)
+        ++ctx;
+    if (upAvail(mbx, mby, slice_first_row) && !at(mbx, mby - 1).skip)
+        ++ctx;
+    return ctx;
+}
+
+int
+MbGrid::intraCtx(int mbx, int mby, int slice_first_row) const
+{
+    int ctx = 0;
+    if (leftAvail(mbx, mby, slice_first_row) && at(mbx - 1, mby).intra)
+        ++ctx;
+    if (upAvail(mbx, mby, slice_first_row) && at(mbx, mby - 1).intra)
+        ++ctx;
+    return ctx;
+}
+
+} // namespace videoapp

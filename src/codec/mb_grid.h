@@ -1,0 +1,85 @@
+/**
+ * @file
+ * Per-frame macroblock neighbour state shared by encoder and
+ * decoder.
+ *
+ * Every context selection and every metadata prediction (median
+ * motion vectors, intra-mode prediction, delta-QP chains) reads
+ * neighbour state from this grid; using one implementation on both
+ * sides is what guarantees bit-exact encoder/decoder parity — and it
+ * is exactly this shared state that bit flips desynchronise,
+ * producing the paper's coding-error propagation (Figure 2).
+ */
+
+#ifndef VIDEOAPP_CODEC_MB_GRID_H_
+#define VIDEOAPP_CODEC_MB_GRID_H_
+
+#include <array>
+#include <vector>
+
+#include "codec/types.h"
+
+namespace videoapp {
+
+/** Decoded state of one macroblock, as neighbours see it. */
+struct MbState
+{
+    bool valid = false;   // already coded in the current slice
+    bool skip = false;
+    bool intra = false;
+    IntraMode intraMode = IntraMode::DC;
+    bool intra4 = false;
+    std::array<u8, 16> intra4Modes{};
+    MotionVector mvL0;
+    MotionVector mvL1;
+    bool codedLuma = false;
+    bool codedChroma = false;
+};
+
+class MbGrid
+{
+  public:
+    MbGrid(int mb_width, int mb_height);
+
+    /** Reset all state (new frame). */
+    void reset();
+
+    MbState &at(int mbx, int mby);
+    const MbState &at(int mbx, int mby) const;
+
+    int mbWidth() const { return mbWidth_; }
+    int mbHeight() const { return mbHeight_; }
+
+    /**
+     * Neighbour availability. @p slice_first_row is the first MB row
+     * of the current slice: prediction never crosses a slice
+     * boundary (Section 8, slices).
+     */
+    bool leftAvail(int mbx, int mby, int slice_first_row) const;
+    bool upAvail(int mbx, int mby, int slice_first_row) const;
+    bool upRightAvail(int mbx, int mby, int slice_first_row) const;
+    bool upLeftAvail(int mbx, int mby, int slice_first_row) const;
+
+    /**
+     * H.264-style median motion vector predictor from the left, up
+     * and up-right neighbours (up-left substitutes a missing
+     * up-right). Intra or unavailable candidates contribute (0,0);
+     * when only the left neighbour exists, its vector is used
+     * directly. @p l1 selects the L1 vectors (B-frames).
+     */
+    MotionVector predictMv(int mbx, int mby, int slice_first_row,
+                           bool l1) const;
+
+    /** Context increments derived from neighbour state. */
+    int skipCtx(int mbx, int mby, int slice_first_row) const;
+    int intraCtx(int mbx, int mby, int slice_first_row) const;
+
+  private:
+    int mbWidth_;
+    int mbHeight_;
+    std::vector<MbState> cells_;
+};
+
+} // namespace videoapp
+
+#endif // VIDEOAPP_CODEC_MB_GRID_H_

@@ -1,0 +1,566 @@
+#include "codec/mb_syntax.h"
+
+#include "codec/intra.h"
+#include "codec/intra4.h"
+
+#include <algorithm>
+#include <cstdlib>
+
+namespace videoapp {
+
+namespace {
+
+/** Clamp decoded coefficient magnitudes (encoder caps at 2048 too). */
+constexpr i32 kMaxCoeff = 2048;
+/** Clamp decoded motion vector components. */
+constexpr i32 kMaxMvComponent = 1024;
+
+/** Partition rectangles of an MB in coding order. */
+std::vector<PartitionGeom>
+mbRects(const MbCoding &mb)
+{
+    if (mb.partition != Partition::P8x8)
+        return partitionGeom(mb.partition);
+    std::vector<PartitionGeom> rects;
+    for (int i = 0; i < 4; ++i) {
+        auto sub = subPartitionGeom(mb.subs[i], (i % 2) * 8,
+                                    (i / 2) * 8);
+        rects.insert(rects.end(), sub.begin(), sub.end());
+    }
+    return rects;
+}
+
+/** Index of @p mode among the three modes that are not @p pred. */
+int
+remainingModeIndex(IntraMode mode, IntraMode pred)
+{
+    int idx = 0;
+    for (int m = 0; m < kIntraModeCount; ++m) {
+        if (static_cast<IntraMode>(m) == pred)
+            continue;
+        if (static_cast<IntraMode>(m) == mode)
+            return idx;
+        ++idx;
+    }
+    return 0; // unreachable for mode != pred
+}
+
+IntraMode
+modeFromRemaining(int rem, IntraMode pred)
+{
+    int idx = 0;
+    for (int m = 0; m < kIntraModeCount; ++m) {
+        if (static_cast<IntraMode>(m) == pred)
+            continue;
+        if (idx == rem)
+            return static_cast<IntraMode>(m);
+        ++idx;
+    }
+    return IntraMode::DC;
+}
+
+IntraMode
+predictedIntraMode(const MbGrid &grid, const MbPosition &pos)
+{
+    bool left = grid.leftAvail(pos.mbx, pos.mby, pos.sliceFirstRow);
+    bool up = grid.upAvail(pos.mbx, pos.mby, pos.sliceFirstRow);
+    IntraMode left_mode = IntraMode::DC;
+    IntraMode up_mode = IntraMode::DC;
+    if (left) {
+        const MbState &s = grid.at(pos.mbx - 1, pos.mby);
+        left = s.intra;
+        left_mode = s.intraMode;
+    }
+    if (up) {
+        const MbState &s = grid.at(pos.mbx, pos.mby - 1);
+        up = s.intra;
+        up_mode = s.intraMode;
+    }
+    return predictIntraMode(left, left_mode, up, up_mode);
+}
+
+void
+encodeResidual(SyntaxEncoder &enc, const std::array<i16, 16> &coeffs)
+{
+    std::array<i16, 16> s{};
+    int last = -1;
+    for (int i = 0; i < 16; ++i) {
+        s[i] = coeffs[kZigzag4x4[i]];
+        if (s[i] != 0)
+            last = i;
+    }
+    // A coded block always has a nonzero coefficient.
+    for (int i = 0; i < 15 && i <= last; ++i) {
+        bool sig = s[i] != 0;
+        enc.flag(ctx::kSig + i, sig);
+        if (sig) {
+            bool is_last = i == last;
+            enc.flag(ctx::kLast + i, is_last);
+            if (is_last)
+                break;
+        }
+    }
+    // Position 15, when reached, is inferred significant.
+
+    for (int i = last; i >= 0; --i) {
+        if (s[i] == 0)
+            continue;
+        u32 mag = static_cast<u32>(std::abs(s[i]));
+        enc.uegk(ctx::kLevel, ctx::kLevel + 1, 14, 0, mag - 1);
+        enc.bypass(s[i] < 0 ? 1u : 0u);
+    }
+}
+
+std::array<i16, 16>
+decodeResidual(SyntaxDecoder &dec)
+{
+    std::array<int, 16> positions{};
+    int count = 0;
+    for (int i = 0; i < 16; ++i) {
+        bool sig;
+        bool is_last = false;
+        if (i < 15) {
+            sig = dec.flag(ctx::kSig + i) != 0;
+            if (sig)
+                is_last = dec.flag(ctx::kLast + i) != 0;
+        } else {
+            sig = true; // inferred
+        }
+        if (sig)
+            positions[count++] = i;
+        if (is_last)
+            break;
+    }
+
+    std::array<i16, 16> scanned{};
+    for (int k = count - 1; k >= 0; --k) {
+        u32 mag = dec.uegk(ctx::kLevel, ctx::kLevel + 1, 14, 0) + 1;
+        if (mag > static_cast<u32>(kMaxCoeff))
+            dec.noteViolation(); // beyond the encoder's level cap
+        i32 value = static_cast<i32>(
+            std::min<u32>(mag, static_cast<u32>(kMaxCoeff)));
+        if (dec.bypass())
+            value = -value;
+        scanned[positions[k]] = static_cast<i16>(value);
+    }
+
+    std::array<i16, 16> coeffs{};
+    for (int i = 0; i < 16; ++i)
+        coeffs[kZigzag4x4[i]] = scanned[i];
+    return coeffs;
+}
+
+void
+updateGridCell(MbGrid &grid, const MbPosition &pos, const MbCoding &mb)
+{
+    MbState &cell = grid.at(pos.mbx, pos.mby);
+    cell.valid = true;
+    cell.skip = mb.skip;
+    cell.intra = mb.intra;
+    cell.intraMode = mb.intraMode;
+    cell.intra4 = mb.intra && mb.intra4;
+    cell.intra4Modes = mb.intra4Modes;
+    cell.mvL0 = MotionVector{};
+    cell.mvL1 = MotionVector{};
+    if (!mb.intra && !mb.motions.empty()) {
+        // Only coded fields may reach the grid: the decoder never
+        // sees the unused list of a uni-directional MB, so storing
+        // it would desynchronise the predictor state.
+        const MotionInfo &m0 = mb.motions[0];
+        if (mb.skip || m0.direction != BiDirection::L1)
+            cell.mvL0 = m0.mv;
+        if (!mb.skip && m0.direction != BiDirection::L0)
+            cell.mvL1 = m0.mvL1;
+    }
+    cell.codedLuma = false;
+    cell.codedChroma = false;
+    for (int blk = 0; blk < 16; ++blk)
+        cell.codedLuma |= mb.coded[blk];
+    for (int blk = 16; blk < 24; ++blk)
+        cell.codedChroma |= mb.coded[blk];
+}
+
+} // namespace
+
+/**
+ * Predicted intra4 mode of block @p blk (raster in the MB),
+ * following the H.264 most-probable-mode rule: min of the left and
+ * above blocks' modes, DC when a neighbour is missing or its MB is
+ * not intra4x4. In-MB neighbours read @p mb (already decided
+ * blocks); across MBs the grid supplies neighbour state.
+ */
+Intra4Mode
+predictedIntra4BlockMode(const MbGrid &grid, const MbPosition &pos,
+                         const MbCoding &mb, int blk)
+{
+    int bx = blk % 4, by = blk / 4;
+
+    auto mb_block_mode = [](const MbState &cell, int b,
+                            bool &is_intra4) {
+        is_intra4 = cell.valid && cell.intra && cell.intra4;
+        return is_intra4 ? static_cast<Intra4Mode>(
+                               cell.intra4Modes[b] %
+                               kIntra4ModeCount)
+                         : Intra4Mode::DC;
+    };
+
+    bool left_avail = false, above_avail = false;
+    Intra4Mode left_mode = Intra4Mode::DC;
+    Intra4Mode above_mode = Intra4Mode::DC;
+
+    if (bx > 0) {
+        left_avail = true;
+        left_mode = static_cast<Intra4Mode>(
+            mb.intra4Modes[by * 4 + bx - 1] % kIntra4ModeCount);
+    } else if (grid.leftAvail(pos.mbx, pos.mby, pos.sliceFirstRow)) {
+        left_avail = true;
+        bool is_intra4;
+        left_mode = mb_block_mode(grid.at(pos.mbx - 1, pos.mby),
+                                  by * 4 + 3, is_intra4);
+    }
+
+    if (by > 0) {
+        above_avail = true;
+        above_mode = static_cast<Intra4Mode>(
+            mb.intra4Modes[(by - 1) * 4 + bx] % kIntra4ModeCount);
+    } else if (grid.upAvail(pos.mbx, pos.mby, pos.sliceFirstRow)) {
+        above_avail = true;
+        bool is_intra4;
+        above_mode = mb_block_mode(grid.at(pos.mbx, pos.mby - 1),
+                                   3 * 4 + bx, is_intra4);
+    }
+
+    return predictIntra4Mode(left_avail, left_mode, above_avail,
+                             above_mode);
+}
+
+MotionVector
+mvPredictorForRect(const MbGrid &grid, const MbPosition &pos,
+                   std::size_t rect_index, const MbCoding &mb, bool l1)
+{
+    if (rect_index == 0)
+        return grid.predictMv(pos.mbx, pos.mby, pos.sliceFirstRow, l1);
+    const MotionInfo &prev = mb.motions[rect_index - 1];
+    return l1 ? prev.mvL1 : prev.mv;
+}
+
+void
+encodeMb(SyntaxEncoder &enc, const MbCoding &mb, const MbPosition &pos,
+         MbGrid &grid, int &prev_qp)
+{
+    const bool inter_frame = pos.frameType != FrameType::I;
+
+    if (inter_frame) {
+        enc.flag(ctx::kSkip +
+                     grid.skipCtx(pos.mbx, pos.mby, pos.sliceFirstRow),
+                 mb.skip ? 1 : 0);
+        if (mb.skip) {
+            updateGridCell(grid, pos, mb);
+            return;
+        }
+        enc.flag(ctx::kIntraFlag + grid.intraCtx(pos.mbx, pos.mby,
+                                                 pos.sliceFirstRow),
+                 mb.intra ? 1 : 0);
+    }
+
+    if (mb.intra) {
+        enc.flag(ctx::kIntra4, mb.intra4 ? 1 : 0);
+        if (mb.intra4) {
+            // Per-block most-probable-mode coding (H.264 style).
+            for (int blk = 0; blk < 16; ++blk) {
+                Intra4Mode pred = predictedIntra4BlockMode(grid, pos,
+                                                           mb, blk);
+                auto mode = static_cast<Intra4Mode>(
+                    mb.intra4Modes[blk] % kIntra4ModeCount);
+                bool match = mode == pred;
+                enc.flag(ctx::kIntra4Mode, match ? 1 : 0);
+                if (!match) {
+                    u32 rem = static_cast<u32>(mode) <
+                                      static_cast<u32>(pred)
+                                  ? static_cast<u32>(mode)
+                                  : static_cast<u32>(mode) - 1;
+                    enc.bypass((rem >> 2) & 1);
+                    enc.bypass((rem >> 1) & 1);
+                    enc.bypass(rem & 1);
+                }
+            }
+        } else {
+            IntraMode pred = predictedIntraMode(grid, pos);
+            bool match = mb.intraMode == pred;
+            enc.flag(ctx::kIntraMode, match ? 1 : 0);
+            if (!match) {
+                int rem = remainingModeIndex(mb.intraMode, pred);
+                enc.flag(ctx::kIntraMode + 1, rem > 0 ? 1 : 0);
+                if (rem > 0)
+                    enc.bypass(static_cast<u32>(rem - 1));
+            }
+        }
+    } else {
+        // Partition tree.
+        enc.flag(ctx::kPartition,
+                 mb.partition != Partition::P16x16 ? 1 : 0);
+        if (mb.partition != Partition::P16x16) {
+            enc.flag(ctx::kPartition + 1,
+                     mb.partition != Partition::P16x8 ? 1 : 0);
+            if (mb.partition != Partition::P16x8)
+                enc.flag(ctx::kPartition + 2,
+                         mb.partition == Partition::P8x8 ? 1 : 0);
+        }
+        if (mb.partition == Partition::P8x8) {
+            for (int i = 0; i < 4; ++i) {
+                SubPartition s = mb.subs[i];
+                enc.flag(ctx::kSubPartition,
+                         s != SubPartition::S8x8 ? 1 : 0);
+                if (s != SubPartition::S8x8) {
+                    enc.flag(ctx::kSubPartition + 1,
+                             s != SubPartition::S8x4 ? 1 : 0);
+                    if (s != SubPartition::S8x4)
+                        enc.flag(ctx::kSubPartition + 2,
+                                 s == SubPartition::S4x4 ? 1 : 0);
+                }
+            }
+        }
+        if (pos.frameType == FrameType::B) {
+            enc.flag(ctx::kBiDirection,
+                     mb.direction != BiDirection::L0 ? 1 : 0);
+            if (mb.direction != BiDirection::L0)
+                enc.flag(ctx::kBiDirection + 1,
+                         mb.direction == BiDirection::Bi ? 1 : 0);
+        }
+
+        // Motion vector differences, predictively coded.
+        for (std::size_t i = 0; i < mb.motions.size(); ++i) {
+            const MotionInfo &motion = mb.motions[i];
+            if (motion.direction != BiDirection::L1) {
+                MotionVector pred =
+                    mvPredictorForRect(grid, pos, i, mb, false);
+                MotionVector mvd = motion.mv - pred;
+                enc.sevlc(ctx::kMvdX, ctx::kMvdX + 1, 8, 2, mvd.x);
+                enc.sevlc(ctx::kMvdY, ctx::kMvdY + 1, 8, 2, mvd.y);
+            }
+            if (motion.direction != BiDirection::L0) {
+                MotionVector pred =
+                    mvPredictorForRect(grid, pos, i, mb, true);
+                MotionVector mvd = motion.mvL1 - pred;
+                enc.sevlc(ctx::kMvdX + 2, ctx::kMvdX + 3, 8, 2, mvd.x);
+                enc.sevlc(ctx::kMvdY + 2, ctx::kMvdY + 3, 8, 2, mvd.y);
+            }
+        }
+    }
+
+    // Delta QP (predictive: relative to the previous MB's QP).
+    enc.sevlc(ctx::kQpDelta, ctx::kQpDelta + 1, 6, 0, mb.qp - prev_qp);
+    prev_qp = mb.qp;
+
+    // Coded block pattern: per-8x8 luma + per-component chroma, then
+    // per-4x4 flags inside coded groups.
+    bool luma8[4];
+    for (int g = 0; g < 4; ++g) {
+        int gx = g % 2, gy = g / 2;
+        luma8[g] = false;
+        for (int sy = 0; sy < 2; ++sy)
+            for (int sx = 0; sx < 2; ++sx)
+                luma8[g] |= mb.coded[(gy * 2 + sy) * 4 + gx * 2 + sx];
+        enc.flag(ctx::kCbf, luma8[g] ? 1 : 0);
+    }
+    bool chroma_any[2];
+    for (int comp = 0; comp < 2; ++comp) {
+        chroma_any[comp] = false;
+        for (int sub = 0; sub < 4; ++sub)
+            chroma_any[comp] |= mb.coded[16 + comp * 4 + sub];
+        enc.flag(ctx::kCbf + 1, chroma_any[comp] ? 1 : 0);
+    }
+    for (int g = 0; g < 4; ++g) {
+        if (!luma8[g])
+            continue;
+        int gx = g % 2, gy = g / 2;
+        for (int sy = 0; sy < 2; ++sy)
+            for (int sx = 0; sx < 2; ++sx) {
+                int blk = (gy * 2 + sy) * 4 + gx * 2 + sx;
+                enc.flag(ctx::kCbf + 2, mb.coded[blk] ? 1 : 0);
+            }
+    }
+    for (int comp = 0; comp < 2; ++comp) {
+        if (!chroma_any[comp])
+            continue;
+        for (int sub = 0; sub < 4; ++sub)
+            enc.flag(ctx::kCbf + 3,
+                     mb.coded[16 + comp * 4 + sub] ? 1 : 0);
+    }
+
+    // Residuals.
+    for (int blk = 0; blk < 24; ++blk)
+        if (mb.coded[blk])
+            encodeResidual(enc, mb.coeffs[blk]);
+
+    updateGridCell(grid, pos, mb);
+}
+
+MbCoding
+decodeMb(SyntaxDecoder &dec, const MbPosition &pos, MbGrid &grid,
+         int &prev_qp)
+{
+    MbCoding mb;
+    mb.qp = prev_qp;
+    const bool inter_frame = pos.frameType != FrameType::I;
+
+    if (inter_frame) {
+        mb.skip = dec.flag(ctx::kSkip + grid.skipCtx(pos.mbx, pos.mby,
+                                                     pos.sliceFirstRow))
+                  != 0;
+        if (mb.skip) {
+            // Skip: 16x16, predicted motion, no residual.
+            mb.intra = false;
+            MotionInfo motion;
+            motion.rect = {0, 0, 16, 16};
+            motion.mv = grid.predictMv(pos.mbx, pos.mby,
+                                       pos.sliceFirstRow, false);
+            motion.direction = BiDirection::L0;
+            mb.motions.push_back(motion);
+            updateGridCell(grid, pos, mb);
+            return mb;
+        }
+        mb.intra = dec.flag(ctx::kIntraFlag +
+                            grid.intraCtx(pos.mbx, pos.mby,
+                                          pos.sliceFirstRow)) != 0;
+    } else {
+        mb.intra = true;
+    }
+
+    if (mb.intra) {
+        mb.intra4 = dec.flag(ctx::kIntra4) != 0;
+        if (mb.intra4) {
+            for (int blk = 0; blk < 16; ++blk) {
+                Intra4Mode pred = predictedIntra4BlockMode(grid, pos,
+                                                           mb, blk);
+                if (dec.flag(ctx::kIntra4Mode)) {
+                    mb.intra4Modes[blk] = static_cast<u8>(pred);
+                } else {
+                    // Three statements: `a | b` does not sequence
+                    // its operands.
+                    u32 b2 = dec.bypass();
+                    u32 b1 = dec.bypass();
+                    u32 b0 = dec.bypass();
+                    u32 rem = (b2 << 2) | (b1 << 1) | b0;
+                    u32 mode = rem < static_cast<u32>(pred)
+                                   ? rem
+                                   : rem + 1;
+                    mb.intra4Modes[blk] = static_cast<u8>(
+                        mode % kIntra4ModeCount);
+                }
+            }
+        } else {
+            IntraMode pred = predictedIntraMode(grid, pos);
+            if (dec.flag(ctx::kIntraMode)) {
+                mb.intraMode = pred;
+            } else {
+                int rem = 0;
+                if (dec.flag(ctx::kIntraMode + 1))
+                    rem = 1 + static_cast<int>(dec.bypass());
+                mb.intraMode = modeFromRemaining(rem, pred);
+            }
+        }
+    } else {
+        if (dec.flag(ctx::kPartition) == 0) {
+            mb.partition = Partition::P16x16;
+        } else if (dec.flag(ctx::kPartition + 1) == 0) {
+            mb.partition = Partition::P16x8;
+        } else if (dec.flag(ctx::kPartition + 2) == 0) {
+            mb.partition = Partition::P8x16;
+        } else {
+            mb.partition = Partition::P8x8;
+        }
+        if (mb.partition == Partition::P8x8) {
+            for (int i = 0; i < 4; ++i) {
+                if (dec.flag(ctx::kSubPartition) == 0)
+                    mb.subs[i] = SubPartition::S8x8;
+                else if (dec.flag(ctx::kSubPartition + 1) == 0)
+                    mb.subs[i] = SubPartition::S8x4;
+                else if (dec.flag(ctx::kSubPartition + 2) == 0)
+                    mb.subs[i] = SubPartition::S4x8;
+                else
+                    mb.subs[i] = SubPartition::S4x4;
+            }
+        }
+        mb.direction = BiDirection::L0;
+        if (pos.frameType == FrameType::B) {
+            if (dec.flag(ctx::kBiDirection))
+                mb.direction = dec.flag(ctx::kBiDirection + 1)
+                                   ? BiDirection::Bi
+                                   : BiDirection::L1;
+        }
+
+        auto clamp_mv = [&dec](i32 v) {
+            if (v < -kMaxMvComponent || v > kMaxMvComponent)
+                dec.noteViolation(); // encoders never emit these
+            return static_cast<i16>(
+                std::clamp<i32>(v, -kMaxMvComponent, kMaxMvComponent));
+        };
+
+        std::vector<PartitionGeom> rects = mbRects(mb);
+        mb.motions.reserve(rects.size());
+        for (std::size_t i = 0; i < rects.size(); ++i) {
+            MotionInfo motion;
+            motion.rect = rects[i];
+            motion.direction = mb.direction;
+            if (mb.direction != BiDirection::L1) {
+                MotionVector pred =
+                    mvPredictorForRect(grid, pos, i, mb, false);
+                i32 dx = dec.sevlc(ctx::kMvdX, ctx::kMvdX + 1, 8, 2);
+                i32 dy = dec.sevlc(ctx::kMvdY, ctx::kMvdY + 1, 8, 2);
+                motion.mv = {clamp_mv(pred.x + dx),
+                             clamp_mv(pred.y + dy)};
+            }
+            if (mb.direction != BiDirection::L0) {
+                MotionVector pred =
+                    mvPredictorForRect(grid, pos, i, mb, true);
+                i32 dx =
+                    dec.sevlc(ctx::kMvdX + 2, ctx::kMvdX + 3, 8, 2);
+                i32 dy =
+                    dec.sevlc(ctx::kMvdY + 2, ctx::kMvdY + 3, 8, 2);
+                motion.mvL1 = {clamp_mv(pred.x + dx),
+                               clamp_mv(pred.y + dy)};
+            }
+            mb.motions.push_back(motion);
+        }
+    }
+
+    i32 qp_delta = dec.sevlc(ctx::kQpDelta, ctx::kQpDelta + 1, 6, 0);
+    if (prev_qp + qp_delta < kMinQp || prev_qp + qp_delta > kMaxQp)
+        dec.noteViolation(); // QP left the legal range: desync
+    mb.qp = clampQp(prev_qp + qp_delta);
+    prev_qp = mb.qp;
+
+    bool luma8[4];
+    for (int g = 0; g < 4; ++g)
+        luma8[g] = dec.flag(ctx::kCbf) != 0;
+    bool chroma_any[2];
+    for (int comp = 0; comp < 2; ++comp)
+        chroma_any[comp] = dec.flag(ctx::kCbf + 1) != 0;
+    for (int g = 0; g < 4; ++g) {
+        if (!luma8[g])
+            continue;
+        int gx = g % 2, gy = g / 2;
+        for (int sy = 0; sy < 2; ++sy)
+            for (int sx = 0; sx < 2; ++sx) {
+                int blk = (gy * 2 + sy) * 4 + gx * 2 + sx;
+                mb.coded[blk] = dec.flag(ctx::kCbf + 2) != 0;
+            }
+    }
+    for (int comp = 0; comp < 2; ++comp) {
+        if (!chroma_any[comp])
+            continue;
+        for (int sub = 0; sub < 4; ++sub)
+            mb.coded[16 + comp * 4 + sub] =
+                dec.flag(ctx::kCbf + 3) != 0;
+    }
+
+    for (int blk = 0; blk < 24; ++blk)
+        if (mb.coded[blk])
+            mb.coeffs[blk] = decodeResidual(dec);
+
+    updateGridCell(grid, pos, mb);
+    return mb;
+}
+
+} // namespace videoapp

@@ -1,0 +1,70 @@
+/**
+ * @file
+ * Macroblock syntax: the exact sequence of entropy-coded decisions
+ * per MB, mirrored between encodeMb() and decodeMb().
+ *
+ * The layout follows H.264's structure (Section 2.3.3): header
+ * (skip / intra flag / partitioning / prediction metadata with
+ * predictive coding), delta QP, coded-block pattern, then the
+ * quantised transform coefficients with significance maps.
+ */
+
+#ifndef VIDEOAPP_CODEC_MB_SYNTAX_H_
+#define VIDEOAPP_CODEC_MB_SYNTAX_H_
+
+#include "codec/intra4.h"
+#include "codec/mb_grid.h"
+#include "codec/syntax.h"
+#include "codec/types.h"
+
+namespace videoapp {
+
+/** Position/slice context handed to the MB syntax routines. */
+struct MbPosition
+{
+    int mbx = 0;
+    int mby = 0;
+    int sliceFirstRow = 0;
+    FrameType frameType = FrameType::I;
+};
+
+/**
+ * Entropy-encode @p mb. @p prev_qp is the running QP predictor of
+ * the slice; updated to this MB's QP when the MB codes one.
+ * The grid cell for this MB is updated.
+ */
+void encodeMb(SyntaxEncoder &enc, const MbCoding &mb,
+              const MbPosition &pos, MbGrid &grid, int &prev_qp);
+
+/**
+ * Parse one MB. Never fails: corrupted input produces an arbitrary
+ * but bounded MbCoding (all magnitudes clamped, loops bounded),
+ * which is the decoder-robustness contract of DESIGN.md.
+ */
+MbCoding decodeMb(SyntaxDecoder &dec, const MbPosition &pos,
+                  MbGrid &grid, int &prev_qp);
+
+/**
+ * Reconstruct the motion vectors of @p mb's partition rectangles
+ * from the coded motion-vector differences @p mvds (in coding
+ * order); shared by encoder (to compute mvds) and decoder (to apply
+ * them). Exposed for tests.
+ */
+MotionVector mvPredictorForRect(const MbGrid &grid,
+                                const MbPosition &pos,
+                                std::size_t rect_index,
+                                const MbCoding &mb, bool l1);
+
+/**
+ * Predicted intra4x4 mode of block @p blk (raster order within the
+ * MB): the H.264 most-probable-mode rule over the left and above
+ * blocks, DC when a neighbour is missing or not intra4x4. Used by
+ * both the syntax coder and the encoder's mode costing.
+ */
+Intra4Mode predictedIntra4BlockMode(const MbGrid &grid,
+                                    const MbPosition &pos,
+                                    const MbCoding &mb, int blk);
+
+} // namespace videoapp
+
+#endif // VIDEOAPP_CODEC_MB_SYNTAX_H_

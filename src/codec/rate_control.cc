@@ -1,0 +1,102 @@
+#include "codec/rate_control.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace videoapp {
+
+int
+RateControl::frameBaseQp(FrameType type) const
+{
+    int qp = crf_ + abrOffset_;
+    switch (type) {
+      case FrameType::I:
+        qp -= 3; // anchors deserve quality: everything references them
+        break;
+      case FrameType::P:
+        break;
+      case FrameType::B:
+        qp += 2; // rarely referenced; spend less
+        break;
+    }
+    return clampQp(qp);
+}
+
+void
+RateControl::setBitrateTarget(int kbps, double fps)
+{
+    if (kbps <= 0 || fps <= 0) {
+        bitsPerFrameTarget_ = 0.0;
+        return;
+    }
+    bitsPerFrameTarget_ = 1000.0 * kbps / fps;
+}
+
+void
+RateControl::frameDone(u64 bits)
+{
+    if (bitsPerFrameTarget_ <= 0.0)
+        return;
+    bitsProduced_ += bits;
+    ++framesDone_;
+    double target = bitsPerFrameTarget_ * framesDone_;
+    double ratio = static_cast<double>(bitsProduced_) / target;
+    // QP moves ~6 per doubling of size, so log2 of the overshoot
+    // ratio is the natural correction; damp and clamp it.
+    abrOffset_ = std::clamp(
+        static_cast<int>(std::lround(4.0 * std::log2(ratio))), -10,
+        10);
+}
+
+double
+RateControl::mbActivity(const Plane &source, int mbx, int mby)
+{
+    int x0 = mbx * kMbSize, y0 = mby * kMbSize;
+    double sum = 0, sum_sq = 0;
+    for (int y = 0; y < kMbSize; ++y) {
+        for (int x = 0; x < kMbSize; ++x) {
+            double v = source.at(x0 + x, y0 + y);
+            sum += v;
+            sum_sq += v * v;
+        }
+    }
+    const double n = kMbSize * kMbSize;
+    double mean = sum / n;
+    double var = sum_sq / n - mean * mean;
+    return var > 0 ? var : 0;
+}
+
+double
+RateControl::averageActivity(const Plane &source)
+{
+    int mbw = source.width() / kMbSize;
+    int mbh = source.height() / kMbSize;
+    double total = 0;
+    for (int y = 0; y < mbh; ++y)
+        for (int x = 0; x < mbw; ++x)
+            total += mbActivity(source, x, y);
+    return (mbw != 0 && mbh != 0) ? total / (mbw * mbh) : 0;
+}
+
+int
+RateControl::mbQp(FrameType type, const Plane &source, int mbx,
+                  int mby, double avg_activity) const
+{
+    int qp = frameBaseQp(type);
+    // Adaptive quantisation in the x264 spirit: QP follows the log
+    // ratio of local to average activity, clamped to a small window.
+    double act = mbActivity(source, mbx, mby);
+    double ratio = (act + 1.0) / (avg_activity + 1.0);
+    int offset = static_cast<int>(
+        std::lround(1.5 * std::log2(ratio)));
+    offset = std::clamp(offset, -3, 3);
+    return clampQp(qp + offset);
+}
+
+double
+RateControl::lambdaFor(int qp)
+{
+    return 0.85 * std::pow(2.0, (qp - 12) / 3.0);
+}
+
+} // namespace videoapp

@@ -1,0 +1,71 @@
+/**
+ * @file
+ * CRF-style rate control (Section 6.3): a constant-rate-factor
+ * quality target mapped to per-MB quantisation parameters, spending
+ * fewer bits on high-activity content the way real encoders do
+ * ("the encoder will encode fast moving objects more aggressively").
+ */
+
+#ifndef VIDEOAPP_CODEC_RATE_CONTROL_H_
+#define VIDEOAPP_CODEC_RATE_CONTROL_H_
+
+#include "codec/types.h"
+#include "video/frame.h"
+
+namespace videoapp {
+
+/** The paper's three quality targets. */
+inline constexpr int kCrfVeryHigh = 16;
+inline constexpr int kCrfHigh = 20;
+inline constexpr int kCrfStandard = 24;
+
+class RateControl
+{
+  public:
+    explicit RateControl(int crf) : crf_(crf) {}
+
+    /** Base QP of a frame: CRF plus the frame-type offset. */
+    int frameBaseQp(FrameType type) const;
+
+    /**
+     * Enable average-bitrate tracking: @p kbps at @p fps. The
+     * controller reacts to the running bits-vs-budget ratio with a
+     * bounded QP offset (x264's ABR spirit).
+     */
+    void setBitrateTarget(int kbps, double fps);
+
+    /** Report the coded size of a finished frame (payload bits). */
+    void frameDone(u64 bits);
+
+    /** Current ABR offset added on top of the CRF QP. */
+    int abrOffset() const { return abrOffset_; }
+
+    /**
+     * QP for the MB at (@p mbx, @p mby): the frame base adjusted by
+     * the MB's texture activity relative to @p avg_activity.
+     */
+    int mbQp(FrameType type, const Plane &source, int mbx, int mby,
+             double avg_activity) const;
+
+    /** Lagrangian lambda for mode decisions at @p qp. */
+    static double lambdaFor(int qp);
+
+    /** Luma variance of the 16x16 MB at (@p mbx, @p mby). */
+    static double mbActivity(const Plane &source, int mbx, int mby);
+
+    /** Mean MB activity over the whole plane. */
+    static double averageActivity(const Plane &source);
+
+    int crf() const { return crf_; }
+
+  private:
+    int crf_;
+    double bitsPerFrameTarget_ = 0.0; // 0 = CRF-only mode
+    u64 bitsProduced_ = 0;
+    u64 framesDone_ = 0;
+    int abrOffset_ = 0;
+};
+
+} // namespace videoapp
+
+#endif // VIDEOAPP_CODEC_RATE_CONTROL_H_

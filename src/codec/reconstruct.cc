@@ -1,0 +1,237 @@
+#include "codec/reconstruct.h"
+
+#include <algorithm>
+#include <array>
+
+#include "codec/intra.h"
+#include "codec/intra4.h"
+#include "codec/inter.h"
+#include "codec/transform.h"
+
+namespace videoapp {
+
+namespace {
+
+u8
+clampPixel(int v)
+{
+    return static_cast<u8>(std::clamp(v, 0, 255));
+}
+
+/** Fill an inter prediction rectangle, handling direction and
+ * missing references. */
+void
+interRect(const MotionInfo &motion, int base_x, int base_y,
+          const Plane *ref0, const Plane *ref1, int scale, u8 *mb_buf,
+          int stride)
+{
+    // Rectangle in plane coordinates (chroma: halved geometry).
+    int rx = motion.rect.x / scale;
+    int ry = motion.rect.y / scale;
+    int rw = std::max(motion.rect.width / scale, 1);
+    int rh = std::max(motion.rect.height / scale, 1);
+    int dx = base_x + rx;
+    int dy = base_y + ry;
+    MotionVector mv0{static_cast<i16>(motion.mv.x / scale),
+                     static_cast<i16>(motion.mv.y / scale)};
+    MotionVector mv1{static_cast<i16>(motion.mvL1.x / scale),
+                     static_cast<i16>(motion.mvL1.y / scale)};
+
+    std::array<u8, 256> p0{}, p1{};
+    auto fill = [&](const Plane *ref, const MotionVector &mv, u8 *out) {
+        if (ref) {
+            compensateRect(*ref, dx, dy, rw, rh, mv, out);
+        } else {
+            for (int i = 0; i < rw * rh; ++i)
+                out[i] = 128; // corrupted stream: neutral prediction
+        }
+    };
+
+    const u8 *src = p0.data();
+    switch (motion.direction) {
+      case BiDirection::L0:
+        fill(ref0, mv0, p0.data());
+        break;
+      case BiDirection::L1:
+        fill(ref1, mv1, p0.data());
+        break;
+      case BiDirection::Bi:
+        fill(ref0, mv0, p0.data());
+        fill(ref1, mv1, p1.data());
+        averagePredictions(p0.data(), p1.data(), rw * rh, p0.data());
+        break;
+    }
+    for (int y = 0; y < rh; ++y)
+        for (int x = 0; x < rw; ++x)
+            mb_buf[(ry + y) * stride + rx + x] = src[y * rw + x];
+}
+
+} // namespace
+
+int
+chromaQp(int luma_qp)
+{
+    static const int kTable[22] = {29, 30, 31, 32, 32, 33, 34, 34,
+                                   35, 35, 36, 36, 37, 37, 37, 38,
+                                   38, 38, 39, 39, 39, 39};
+    int qp = clampQp(luma_qp);
+    if (qp < 30)
+        return qp;
+    return kTable[qp - 30];
+}
+
+void
+predictMbLuma(const MbCoding &mb, int mbx, int mby,
+              const Plane &recon_y, const Plane *ref0_y,
+              const Plane *ref1_y, bool left_avail, bool up_avail,
+              u8 out[256])
+{
+    if (mb.intra) {
+        PredBlock<16> pred = predictLuma16(recon_y, mbx, mby,
+                                           mb.intraMode, left_avail,
+                                           up_avail);
+        std::copy(pred.begin(), pred.end(), out);
+        return;
+    }
+    for (const auto &motion : mb.motions)
+        interRect(motion, mbx * 16, mby * 16, ref0_y, ref1_y, 1, out,
+                  16);
+}
+
+void
+predictMbChroma(const MbCoding &mb, int mbx, int mby,
+                const Plane &recon_c, const Plane *ref0_c,
+                const Plane *ref1_c, bool left_avail, bool up_avail,
+                u8 out[64])
+{
+    if (mb.intra) {
+        PredBlock<8> pred = predictChromaDc(recon_c, mbx, mby,
+                                            left_avail, up_avail);
+        std::copy(pred.begin(), pred.end(), out);
+        return;
+    }
+    for (const auto &motion : mb.motions)
+        interRect(motion, mbx * 8, mby * 8, ref0_c, ref1_c, 2, out, 8);
+}
+
+void
+reconstructIntra4Luma(Plane &recon_y, MbCoding &mb, int mbx, int mby,
+                      const MbAvail &avail, const Plane *source)
+{
+    const int x0 = mbx * 16, y0 = mby * 16;
+    for (int blk = 0; blk < 16; ++blk) {
+        int bx = blk % 4, by = blk / 4;
+        int x = x0 + bx * 4, y = y0 + by * 4;
+
+        // Availability of this block's neighbour regions.
+        bool left = bx > 0 || avail.left;
+        bool above = by > 0 || avail.up;
+        bool corner;
+        if (bx > 0 && by > 0)
+            corner = true;
+        else if (bx > 0) // top row, corner is in the up MB
+            corner = avail.up;
+        else if (by > 0) // left column, corner is in the left MB
+            corner = avail.left;
+        else
+            corner = avail.upLeft;
+        bool above_right;
+        if (by == 0)
+            above_right = bx < 3 ? avail.up : avail.upRight;
+        else
+            above_right = bx < 3; // in-MB, already reconstructed
+
+        Intra4Neighbors neighbors = gatherIntra4Neighbors(
+            recon_y, x, y, left, above, corner, above_right);
+        u8 pred[16];
+        predictIntra4(neighbors,
+                      static_cast<Intra4Mode>(
+                          mb.intra4Modes[blk] % kIntra4ModeCount),
+                      pred);
+
+        if (source) {
+            Residual4x4 res{};
+            for (int dy = 0; dy < 4; ++dy)
+                for (int dx = 0; dx < 4; ++dx)
+                    res[dy * 4 + dx] = static_cast<i16>(
+                        source->at(x + dx, y + dy) -
+                        pred[dy * 4 + dx]);
+            Residual4x4 levels = forwardQuant4x4(res, mb.qp, true);
+            mb.coded[blk] = anyNonZero(levels);
+            mb.coeffs[blk] = mb.coded[blk] ? levels : Residual4x4{};
+        }
+
+        Residual4x4 res{};
+        if (mb.coded[blk])
+            res = inverseQuant4x4(mb.coeffs[blk], mb.qp);
+        for (int dy = 0; dy < 4; ++dy)
+            for (int dx = 0; dx < 4; ++dx)
+                recon_y.at(x + dx, y + dy) = clampPixel(
+                    pred[dy * 4 + dx] + res[dy * 4 + dx]);
+    }
+}
+
+void
+reconstructMb(Frame &recon, const MbCoding &mb, int mbx, int mby,
+              const Frame *ref0, const Frame *ref1,
+              const MbAvail &avail)
+{
+    const bool left_avail = avail.left;
+    const bool up_avail = avail.up;
+
+    // Luma.
+    if (mb.intra && mb.intra4) {
+        // Sequential per-block reconstruction with the coefficients
+        // already in mb (idempotent; see header).
+        MbCoding &mutable_mb = const_cast<MbCoding &>(mb);
+        reconstructIntra4Luma(recon.y(), mutable_mb, mbx, mby, avail,
+                              nullptr);
+    } else {
+        u8 pred[256];
+        predictMbLuma(mb, mbx, mby, recon.y(),
+                      ref0 ? &ref0->y() : nullptr,
+                      ref1 ? &ref1->y() : nullptr, left_avail,
+                      up_avail, pred);
+        int x0 = mbx * 16, y0 = mby * 16;
+        for (int blk = 0; blk < 16; ++blk) {
+            int bx = (blk % 4) * 4;
+            int by = (blk / 4) * 4;
+            Residual4x4 res{};
+            if (mb.coded[blk])
+                res = inverseQuant4x4(mb.coeffs[blk], mb.qp);
+            for (int y = 0; y < 4; ++y)
+                for (int x = 0; x < 4; ++x)
+                    recon.y().at(x0 + bx + x, y0 + by + y) =
+                        clampPixel(pred[(by + y) * 16 + bx + x] +
+                                   res[y * 4 + x]);
+        }
+    }
+
+    // Chroma (U then V; coefficient blocks 16..19 and 20..23).
+    int qpc = chromaQp(mb.qp);
+    for (int comp = 0; comp < 2; ++comp) {
+        Plane &plane = comp == 0 ? recon.u() : recon.v();
+        const Plane *r0 = ref0 ? (comp == 0 ? &ref0->u() : &ref0->v())
+                               : nullptr;
+        const Plane *r1 = ref1 ? (comp == 0 ? &ref1->u() : &ref1->v())
+                               : nullptr;
+        u8 cpred[64];
+        predictMbChroma(mb, mbx, mby, plane, r0, r1, left_avail,
+                        up_avail, cpred);
+        int cx0 = mbx * 8, cy0 = mby * 8;
+        for (int sub = 0; sub < 4; ++sub) {
+            int blk = 16 + comp * 4 + sub;
+            int bx = (sub % 2) * 4;
+            int by = (sub / 2) * 4;
+            Residual4x4 res{};
+            if (mb.coded[blk])
+                res = inverseQuant4x4(mb.coeffs[blk], qpc);
+            for (int y = 0; y < 4; ++y)
+                for (int x = 0; x < 4; ++x)
+                    plane.at(cx0 + bx + x, cy0 + by + y) = clampPixel(
+                        cpred[(by + y) * 8 + bx + x] + res[y * 4 + x]);
+        }
+    }
+}
+
+} // namespace videoapp

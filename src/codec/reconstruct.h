@@ -1,0 +1,78 @@
+/**
+ * @file
+ * Shared macroblock prediction and reconstruction.
+ *
+ * The encoder (after its mode decision) and the decoder (after
+ * parsing) both turn an MbCoding into pixels through these
+ * functions, guaranteeing that the encoder's reference frames are
+ * bit-exactly what the decoder reconstructs.
+ */
+
+#ifndef VIDEOAPP_CODEC_RECONSTRUCT_H_
+#define VIDEOAPP_CODEC_RECONSTRUCT_H_
+
+#include "codec/types.h"
+#include "video/frame.h"
+
+namespace videoapp {
+
+/** H.264 chroma QP derived from the luma QP. */
+int chromaQp(int luma_qp);
+
+/**
+ * Build the 16x16 luma prediction for @p mb at (@p mbx, @p mby).
+ * Intra modes read reconstructed neighbours of @p recon_y; inter
+ * rectangles read @p ref0_y / @p ref1_y (either may be null when the
+ * frame type has no such list — missing references predict 128,
+ * keeping corrupted streams total).
+ */
+void predictMbLuma(const MbCoding &mb, int mbx, int mby,
+                   const Plane &recon_y, const Plane *ref0_y,
+                   const Plane *ref1_y, bool left_avail,
+                   bool up_avail, u8 out[256]);
+
+/**
+ * Build one 8x8 chroma prediction (@p recon_c / refs are the same
+ * component's planes). Inter motion vectors are halved.
+ */
+void predictMbChroma(const MbCoding &mb, int mbx, int mby,
+                     const Plane &recon_c, const Plane *ref0_c,
+                     const Plane *ref1_c, bool left_avail,
+                     bool up_avail, u8 out[64]);
+
+/** Neighbour availability of a macroblock (slice-aware). */
+struct MbAvail
+{
+    bool left = false;
+    bool up = false;
+    bool upLeft = false;
+    bool upRight = false;
+};
+
+/**
+ * Apply @p mb's residual on top of its prediction and write the
+ * reconstructed pixels into @p recon.
+ */
+void reconstructMb(Frame &recon, const MbCoding &mb, int mbx, int mby,
+                   const Frame *ref0, const Frame *ref1,
+                   const MbAvail &avail);
+
+/**
+ * Intra4x4 luma reconstruction: sequentially predict each 4x4 block
+ * from already-reconstructed neighbours (including earlier blocks
+ * of this MB), add the residual, and write @p recon_y.
+ *
+ * With @p source set (encoder path) the residual is computed from
+ * the source pixels and quantised into @p mb (coeffs/coded filled);
+ * with @p source null (decoder path, and the encoder's later
+ * reconstructMb call) the existing coefficients are applied. The
+ * function is idempotent once coefficients are fixed, which is what
+ * keeps encoder and decoder bit-exact.
+ */
+void reconstructIntra4Luma(Plane &recon_y, MbCoding &mb, int mbx,
+                           int mby, const MbAvail &avail,
+                           const Plane *source);
+
+} // namespace videoapp
+
+#endif // VIDEOAPP_CODEC_RECONSTRUCT_H_

@@ -1,0 +1,269 @@
+#include "codec/syntax.h"
+
+#include <cassert>
+
+namespace videoapp {
+
+namespace {
+
+/** Cap on decoded magnitudes: corrupted streams must stay bounded. */
+constexpr u32 kMaxDecodedValue = 1u << 20;
+/** Cap on Exp-Golomb prefix length during decode. */
+constexpr int kMaxEgPrefix = 24;
+
+} // namespace
+
+const char *
+entropyKindName(EntropyKind kind)
+{
+    return kind == EntropyKind::CABAC ? "CABAC" : "CAVLC";
+}
+
+// --- Shared binarisation ------------------------------------------------
+
+void
+SyntaxEncoder::encodeExpGolomb(u32 value, int k)
+{
+    // Order-k Exp-Golomb in bypass bins (H.264 UEGk suffix).
+    while (value >= (1u << k)) {
+        bypass(1);
+        value -= 1u << k;
+        ++k;
+        if (k > 30)
+            break; // unreachable for capped values; safety net
+    }
+    bypass(0);
+    for (int i = k - 1; i >= 0; --i)
+        bypass((value >> i) & 1u);
+}
+
+u32
+SyntaxDecoder::decodeExpGolomb(int k)
+{
+    u32 value = 0;
+    int count = 0;
+    while (bypass() == 1) {
+        value += 1u << k;
+        ++k;
+        if (++count > kMaxEgPrefix) {
+            // Well-formed streams never reach this prefix length.
+            noteViolation();
+            break;
+        }
+    }
+    for (int i = k - 1; i >= 0; --i)
+        value += bypass() << i;
+    if (value > kMaxDecodedValue) {
+        noteViolation();
+        return kMaxDecodedValue;
+    }
+    return value;
+}
+
+void
+SyntaxEncoder::uegk(int ctx_first, int ctx_rest, int max_prefix, int k,
+                    u32 value)
+{
+    int prefix = static_cast<int>(
+        value < static_cast<u32>(max_prefix) ? value : max_prefix);
+    for (int i = 0; i < prefix; ++i)
+        flag(i == 0 ? ctx_first : ctx_rest, 1);
+    if (prefix < max_prefix)
+        flag(prefix == 0 ? ctx_first : ctx_rest, 0);
+    else
+        encodeExpGolomb(value - max_prefix, k);
+}
+
+u32
+SyntaxDecoder::uegk(int ctx_first, int ctx_rest, int max_prefix, int k)
+{
+    int prefix = 0;
+    while (prefix < max_prefix &&
+           flag(prefix == 0 ? ctx_first : ctx_rest) == 1)
+        ++prefix;
+    if (prefix < max_prefix)
+        return static_cast<u32>(prefix);
+    u32 value = static_cast<u32>(max_prefix) + decodeExpGolomb(k);
+    return value > kMaxDecodedValue ? kMaxDecodedValue : value;
+}
+
+void
+SyntaxEncoder::sevlc(int ctx_first, int ctx_rest, int max_prefix, int k,
+                     i32 value)
+{
+    u32 mag = static_cast<u32>(value < 0 ? -value : value);
+    uegk(ctx_first, ctx_rest, max_prefix, k, mag);
+    if (mag != 0)
+        bypass(value < 0 ? 1u : 0u);
+}
+
+i32
+SyntaxDecoder::sevlc(int ctx_first, int ctx_rest, int max_prefix, int k)
+{
+    u32 mag = uegk(ctx_first, ctx_rest, max_prefix, k);
+    if (mag == 0)
+        return 0;
+    return bypass() ? -static_cast<i32>(mag) : static_cast<i32>(mag);
+}
+
+// --- CABAC backend -------------------------------------------------------
+
+CabacEncoder::CabacEncoder()
+    : contexts_(ctx::kCount)
+{
+}
+
+void
+CabacEncoder::flag(int ctx_id, u32 bit)
+{
+    assert(ctx_id >= 0 && ctx_id < ctx::kCount);
+    arith_.encodeBin(contexts_[ctx_id], bit);
+}
+
+void
+CabacEncoder::bypass(u32 bit)
+{
+    arith_.encodeBypass(bit);
+}
+
+Bytes
+CabacEncoder::finishSlice()
+{
+    Bytes out = arith_.finish();
+    // Fresh contexts for the next slice (per-slice reset, which is
+    // what allows the decoder to resynchronise after corruption).
+    contexts_.assign(ctx::kCount, BinContext{});
+    return out;
+}
+
+std::size_t
+CabacEncoder::bitsProduced() const
+{
+    return arith_.bitsProduced();
+}
+
+CabacDecoder::CabacDecoder(const Bytes &data, std::size_t offset,
+                           std::size_t length)
+    : arith_(data, offset, length), windowBytes_(length),
+      contexts_(ctx::kCount)
+{
+}
+
+u32
+CabacDecoder::flag(int ctx_id)
+{
+    assert(ctx_id >= 0 && ctx_id < ctx::kCount);
+    return arith_.decodeBin(contexts_[ctx_id]);
+}
+
+u32
+CabacDecoder::bypass()
+{
+    return arith_.decodeBypass();
+}
+
+bool
+CabacDecoder::exhausted() const
+{
+    // The range decoder legitimately looks ahead a few bytes; only
+    // a clear overrun indicates desync.
+    return arith_.bytesConsumed() > windowBytes_ + 8;
+}
+
+// --- CAVLC backend ---------------------------------------------------------
+
+void
+CavlcEncoder::flag(int ctx_id, u32 bit)
+{
+    (void)ctx_id; // no adaptive state: this is what buys resilience
+    writer_.writeBit(bit);
+}
+
+void
+CavlcEncoder::bypass(u32 bit)
+{
+    writer_.writeBit(bit);
+}
+
+void
+CavlcEncoder::uegk(int ctx_first, int ctx_rest, int max_prefix, int k,
+                   u32 value)
+{
+    (void)ctx_first;
+    (void)ctx_rest;
+    (void)max_prefix;
+    // Plain order-k Exp-Golomb codeword, H.264 ue(v) style.
+    encodeExpGolomb(value, k);
+}
+
+Bytes
+CavlcEncoder::finishSlice()
+{
+    writer_.alignToByte();
+    return writer_.take();
+}
+
+std::size_t
+CavlcEncoder::bitsProduced() const
+{
+    return writer_.bitCount();
+}
+
+CavlcDecoder::CavlcDecoder(const Bytes &data, std::size_t offset,
+                           std::size_t length)
+    : reader_(data, offset * 8), endBit_((offset + length) * 8)
+{
+}
+
+u32
+CavlcDecoder::flag(int ctx_id)
+{
+    (void)ctx_id;
+    if (reader_.position() >= endBit_)
+        return 0;
+    return reader_.readBit();
+}
+
+u32
+CavlcDecoder::bypass()
+{
+    if (reader_.position() >= endBit_)
+        return 0;
+    return reader_.readBit();
+}
+
+u32
+CavlcDecoder::uegk(int ctx_first, int ctx_rest, int max_prefix, int k)
+{
+    (void)ctx_first;
+    (void)ctx_rest;
+    (void)max_prefix;
+    return decodeExpGolomb(k);
+}
+
+bool
+CavlcDecoder::exhausted() const
+{
+    return reader_.position() > endBit_ + 64;
+}
+
+// --- Factories -----------------------------------------------------------------
+
+std::unique_ptr<SyntaxEncoder>
+makeSyntaxEncoder(EntropyKind kind)
+{
+    if (kind == EntropyKind::CABAC)
+        return std::make_unique<CabacEncoder>();
+    return std::make_unique<CavlcEncoder>();
+}
+
+std::unique_ptr<SyntaxDecoder>
+makeSyntaxDecoder(EntropyKind kind, const Bytes &data,
+                  std::size_t offset, std::size_t length)
+{
+    if (kind == EntropyKind::CABAC)
+        return std::make_unique<CabacDecoder>(data, offset, length);
+    return std::make_unique<CavlcDecoder>(data, offset, length);
+}
+
+} // namespace videoapp

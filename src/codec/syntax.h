@@ -1,0 +1,214 @@
+/**
+ * @file
+ * Syntax-element coding layer: one macroblock syntax, two entropy
+ * backends.
+ *
+ * The MB coder speaks in semantic operations (context-conditioned
+ * flags, unary/Exp-Golomb hybrid magnitudes, bypass bits). The CABAC
+ * backend maps them onto the adaptive binary arithmetic coder with a
+ * per-slice context table; the CAVLC backend maps them onto plain
+ * variable-length codes with no adaptive state, reproducing the
+ * error-tolerance/compression trade-off of H.264's two entropy
+ * coders (Section 2.3.4).
+ */
+
+#ifndef VIDEOAPP_CODEC_SYNTAX_H_
+#define VIDEOAPP_CODEC_SYNTAX_H_
+
+#include <memory>
+#include <vector>
+
+#include "codec/arith.h"
+#include "common/bitstream.h"
+
+namespace videoapp {
+
+/** Entropy coder selection (encoder configuration). */
+enum class EntropyKind : u8 { CABAC = 0, CAVLC = 1 };
+
+const char *entropyKindName(EntropyKind kind);
+
+/**
+ * Context identifiers. Contexts are allocated per slice and reset at
+ * slice boundaries, which is what lets a decoder resynchronise at the
+ * next slice after corruption (Section 3).
+ */
+namespace ctx {
+
+inline constexpr int kSkip = 0;        // 3: by neighbour skip count
+inline constexpr int kIntraFlag = 3;   // 3: by neighbour intra count
+inline constexpr int kIntraMode = 6;   // 2 bins
+inline constexpr int kPartition = 8;   // 3 tree bins
+inline constexpr int kSubPartition = 11; // 3 tree bins
+inline constexpr int kBiDirection = 14;  // 2 bins
+inline constexpr int kMvdX = 16;       // 5: activity + prefix position
+inline constexpr int kMvdY = 21;       // 5
+inline constexpr int kQpDelta = 26;    // 3
+inline constexpr int kCbf = 29;        // 4: luma/chroma x neighbour cbf
+inline constexpr int kSig = 33;        // 15 coefficient positions
+inline constexpr int kLast = 48;       // 15
+inline constexpr int kLevel = 63;      // 10
+inline constexpr int kIntra4 = 73;     // intra16 vs intra4x4
+inline constexpr int kIntra4Mode = 74; // per-block predicted-mode flag
+inline constexpr int kCount = 75;
+
+} // namespace ctx
+
+/**
+ * Abstract syntax encoder. The non-virtual value helpers are built
+ * on the two primitive operations so both backends share
+ * binarisation logic where it matters (CABAC) and can override where
+ * the format differs (CAVLC uses direct Exp-Golomb).
+ */
+class SyntaxEncoder
+{
+  public:
+    virtual ~SyntaxEncoder() = default;
+
+    /** One context-conditioned binary decision. */
+    virtual void flag(int ctx_id, u32 bit) = 0;
+
+    /** One equiprobable bit (signs, suffixes). */
+    virtual void bypass(u32 bit) = 0;
+
+    /**
+     * Unsigned magnitude: truncated-unary prefix of up to
+     * @p max_prefix context-coded bins (first bin uses @p ctx_first,
+     * the rest @p ctx_rest), then an order-@p k Exp-Golomb suffix in
+     * bypass bins when the prefix saturates.
+     */
+    virtual void uegk(int ctx_first, int ctx_rest, int max_prefix,
+                      int k, u32 value);
+
+    /** Signed value: uegk magnitude plus sign bypass (0 = positive). */
+    void sevlc(int ctx_first, int ctx_rest, int max_prefix, int k,
+               i32 value);
+
+    /** Finish the slice and return its payload bytes. */
+    virtual Bytes finishSlice() = 0;
+
+    /** Approximate bits produced in the current slice. */
+    virtual std::size_t bitsProduced() const = 0;
+
+  protected:
+    void encodeExpGolomb(u32 value, int k);
+};
+
+/** Abstract syntax decoder (mirrors SyntaxEncoder). */
+class SyntaxDecoder
+{
+  public:
+    virtual ~SyntaxDecoder() = default;
+
+    virtual u32 flag(int ctx_id) = 0;
+    virtual u32 bypass() = 0;
+    virtual u32 uegk(int ctx_first, int ctx_rest, int max_prefix,
+                     int k);
+    i32 sevlc(int ctx_first, int ctx_rest, int max_prefix, int k);
+
+    /**
+     * True once the decoder has consumed clearly more data than the
+     * slice window holds — one desync signal error concealment acts
+     * on. A small overrun margin absorbs the arithmetic coder's
+     * normal lookahead so clean slices never trip it.
+     */
+    virtual bool exhausted() const = 0;
+
+    /**
+     * Record a syntax violation: a decoded value hit a clamp or
+     * length cap that well-formed streams never reach (callers add
+     * semantic checks such as out-of-range QP). Together with
+     * exhausted(), this is the corruption-detection signal.
+     */
+    void noteViolation() { violation_ = true; }
+
+    /** Any violation or window overrun so far? */
+    bool
+    sawCorruption() const
+    {
+        return violation_ || exhausted();
+    }
+
+  protected:
+    bool violation_ = false;
+
+  protected:
+    u32 decodeExpGolomb(int k);
+};
+
+/** CABAC backend: arithmetic coding + adaptive contexts. */
+class CabacEncoder : public SyntaxEncoder
+{
+  public:
+    CabacEncoder();
+
+    void flag(int ctx_id, u32 bit) override;
+    void bypass(u32 bit) override;
+    Bytes finishSlice() override;
+    std::size_t bitsProduced() const override;
+
+  private:
+    ArithEncoder arith_;
+    std::vector<BinContext> contexts_;
+};
+
+class CabacDecoder : public SyntaxDecoder
+{
+  public:
+    CabacDecoder(const Bytes &data, std::size_t offset,
+                 std::size_t length);
+
+    u32 flag(int ctx_id) override;
+    u32 bypass() override;
+    bool exhausted() const override;
+
+  private:
+    ArithDecoder arith_;
+    std::size_t windowBytes_;
+    std::vector<BinContext> contexts_;
+};
+
+/** CAVLC-style backend: static variable-length codes, no contexts. */
+class CavlcEncoder : public SyntaxEncoder
+{
+  public:
+    void flag(int ctx_id, u32 bit) override;
+    void bypass(u32 bit) override;
+    void uegk(int ctx_first, int ctx_rest, int max_prefix, int k,
+              u32 value) override;
+    Bytes finishSlice() override;
+    std::size_t bitsProduced() const override;
+
+  private:
+    friend class SyntaxEncoder;
+    BitWriter writer_;
+};
+
+class CavlcDecoder : public SyntaxDecoder
+{
+  public:
+    CavlcDecoder(const Bytes &data, std::size_t offset,
+                 std::size_t length);
+
+    u32 flag(int ctx_id) override;
+    u32 bypass() override;
+    u32 uegk(int ctx_first, int ctx_rest, int max_prefix,
+             int k) override;
+    bool exhausted() const override;
+
+  private:
+    friend class SyntaxDecoder;
+    BitReader reader_;
+    std::size_t endBit_;
+};
+
+/** Factory for the configured backend (fresh slice state). */
+std::unique_ptr<SyntaxEncoder> makeSyntaxEncoder(EntropyKind kind);
+std::unique_ptr<SyntaxDecoder> makeSyntaxDecoder(EntropyKind kind,
+                                                 const Bytes &data,
+                                                 std::size_t offset,
+                                                 std::size_t length);
+
+} // namespace videoapp
+
+#endif // VIDEOAPP_CODEC_SYNTAX_H_

@@ -1,0 +1,38 @@
+/**
+ * @file
+ * The H.264 4x4 integer transform and quantisation (Section 2.3.2,
+ * "transformation" and "quantization" coding tasks).
+ *
+ * Uses the standard core transform Cf and the MF/V multiplier tables
+ * of the H.264 reference model, so quantisation behaviour (and hence
+ * residual statistics feeding the entropy coder) matches real
+ * encoders. The DC Hadamard pass of Intra16x16 is omitted; this only
+ * affects compression of flat MBs, not the dependency structure.
+ */
+
+#ifndef VIDEOAPP_CODEC_TRANSFORM_H_
+#define VIDEOAPP_CODEC_TRANSFORM_H_
+
+#include <array>
+
+#include "common/types.h"
+
+namespace videoapp {
+
+/** A 4x4 block of residual samples (row major). */
+using Residual4x4 = std::array<i16, 16>;
+
+/** Forward transform + quantisation at @p qp. @p intra picks the
+ * rounding offset (f = 2^qbits/3 intra, /6 inter). */
+Residual4x4 forwardQuant4x4(const Residual4x4 &residual, int qp,
+                            bool intra);
+
+/** Dequantisation + inverse transform back to the pixel domain. */
+Residual4x4 inverseQuant4x4(const Residual4x4 &levels, int qp);
+
+/** True if any quantised level is nonzero. */
+bool anyNonZero(const Residual4x4 &levels);
+
+} // namespace videoapp
+
+#endif // VIDEOAPP_CODEC_TRANSFORM_H_

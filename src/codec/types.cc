@@ -1,0 +1,69 @@
+#include "codec/types.h"
+
+#include <algorithm>
+
+namespace videoapp {
+
+const char *
+frameTypeName(FrameType t)
+{
+    switch (t) {
+      case FrameType::I: return "I";
+      case FrameType::P: return "P";
+      case FrameType::B: return "B";
+    }
+    return "?";
+}
+
+MotionVector
+medianMv(const MotionVector &a, const MotionVector &b,
+         const MotionVector &c)
+{
+    auto med = [](i16 x, i16 y, i16 z) {
+        return std::max(std::min(x, y),
+                        std::min(std::max(x, y), z));
+    };
+    return {med(a.x, b.x, c.x), med(a.y, b.y, c.y)};
+}
+
+std::vector<PartitionGeom>
+partitionGeom(Partition p)
+{
+    switch (p) {
+      case Partition::P16x16:
+        return {{0, 0, 16, 16}};
+      case Partition::P16x8:
+        return {{0, 0, 16, 8}, {0, 8, 16, 8}};
+      case Partition::P8x16:
+        return {{0, 0, 8, 16}, {8, 0, 8, 16}};
+      case Partition::P8x8:
+        return {{0, 0, 8, 8}, {8, 0, 8, 8}, {0, 8, 8, 8},
+                {8, 8, 8, 8}};
+    }
+    return {};
+}
+
+std::vector<PartitionGeom>
+subPartitionGeom(SubPartition s, int bx, int by)
+{
+    switch (s) {
+      case SubPartition::S8x8:
+        return {{bx, by, 8, 8}};
+      case SubPartition::S8x4:
+        return {{bx, by, 8, 4}, {bx, by + 4, 8, 4}};
+      case SubPartition::S4x8:
+        return {{bx, by, 4, 8}, {bx + 4, by, 4, 8}};
+      case SubPartition::S4x4:
+        return {{bx, by, 4, 4}, {bx + 4, by, 4, 4},
+                {bx, by + 4, 4, 4}, {bx + 4, by + 4, 4, 4}};
+    }
+    return {};
+}
+
+int
+clampQp(int qp)
+{
+    return std::clamp(qp, kMinQp, kMaxQp);
+}
+
+} // namespace videoapp

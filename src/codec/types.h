@@ -1,0 +1,150 @@
+/**
+ * @file
+ * Shared types of the H.264-flavoured codec: frame types, macroblock
+ * modes, partitions, and motion vectors.
+ *
+ * The codec implements the structural features the paper's analysis
+ * depends on (Section 2.3): I/P/B frames, 16x16 macroblocks with
+ * motion-compensated partitions down to 4x4, 16x16 intra prediction,
+ * predictive metadata coding (median motion vectors, delta QP), and
+ * context-adaptive entropy coding with per-slice context reset.
+ */
+
+#ifndef VIDEOAPP_CODEC_TYPES_H_
+#define VIDEOAPP_CODEC_TYPES_H_
+
+#include <array>
+#include <cstdint>
+#include <vector>
+
+#include "common/types.h"
+
+namespace videoapp {
+
+/** Macroblock edge length in luma pixels. */
+inline constexpr int kMbSize = 16;
+
+/** Frame types (Section 2.3.1). */
+enum class FrameType : u8 { I, P, B };
+
+/** Returns "I", "P" or "B". */
+const char *frameTypeName(FrameType t);
+
+/** 16x16 luma intra prediction modes. */
+enum class IntraMode : u8 { Vertical = 0, Horizontal, DC, Plane };
+inline constexpr int kIntraModeCount = 4;
+
+/** Luma partition shapes for inter prediction. */
+enum class Partition : u8 { P16x16 = 0, P16x8, P8x16, P8x8 };
+inline constexpr int kPartitionCount = 4;
+
+/** Sub-partitions of an 8x8 block (H.264 sub-macroblock types). */
+enum class SubPartition : u8 { S8x8 = 0, S8x4, S4x8, S4x4 };
+inline constexpr int kSubPartitionCount = 4;
+
+/** Prediction direction for B macroblocks. */
+enum class BiDirection : u8 { L0 = 0, L1, Bi };
+
+/**
+ * Motion vector in QUARTER-PEL units (x = 4 means one full pixel).
+ * Half-sample positions are interpolated with the H.264 6-tap
+ * filter, quarter samples bilinearly; see codec/inter.h.
+ */
+struct MotionVector
+{
+    i16 x = 0;
+    i16 y = 0;
+
+    bool operator==(const MotionVector &o) const = default;
+
+    MotionVector
+    operator+(const MotionVector &o) const
+    {
+        return {static_cast<i16>(x + o.x), static_cast<i16>(y + o.y)};
+    }
+
+    MotionVector
+    operator-(const MotionVector &o) const
+    {
+        return {static_cast<i16>(x - o.x), static_cast<i16>(y - o.y)};
+    }
+};
+
+/** Component-wise median of three motion vectors (H.264 MV pred). */
+MotionVector medianMv(const MotionVector &a, const MotionVector &b,
+                      const MotionVector &c);
+
+/** One motion-compensated rectangle within a macroblock. */
+struct PartitionGeom
+{
+    int x = 0;      // offset within the MB, luma pixels
+    int y = 0;
+    int width = kMbSize;
+    int height = kMbSize;
+};
+
+/**
+ * Rectangles of a luma partition shape. For P8x8 the caller expands
+ * each 8x8 with subPartitionGeom().
+ */
+std::vector<PartitionGeom> partitionGeom(Partition p);
+
+/** Rectangles of a sub-partition within the 8x8 at (bx, by). */
+std::vector<PartitionGeom> subPartitionGeom(SubPartition s, int bx,
+                                            int by);
+
+/** Motion data for one compensated rectangle. */
+struct MotionInfo
+{
+    PartitionGeom rect;
+    MotionVector mv;         // for L0 (or the only list)
+    MotionVector mvL1;       // for L1 when direction != L0
+    BiDirection direction = BiDirection::L0;
+};
+
+/** Per-macroblock coding decision produced by the encoder. */
+struct MbCoding
+{
+    bool intra = false;
+    bool skip = false;
+
+    IntraMode intraMode = IntraMode::DC;
+    /** Intra MB uses per-4x4-block prediction (9 modes) instead of
+     * one 16x16 mode. */
+    bool intra4 = false;
+    /** Intra4Mode per 4x4 luma block (raster order) when intra4. */
+    std::array<u8, 16> intra4Modes{};
+
+    Partition partition = Partition::P16x16;
+    std::array<SubPartition, 4> subs{SubPartition::S8x8,
+                                     SubPartition::S8x8,
+                                     SubPartition::S8x8,
+                                     SubPartition::S8x8};
+    BiDirection direction = BiDirection::L0;
+
+    /** All compensated rectangles with their motion vectors. */
+    std::vector<MotionInfo> motions;
+
+    /** Quantisation parameter used for this MB. */
+    int qp = 26;
+
+    /** Quantised coefficients: 16 luma 4x4 blocks + 8 chroma. */
+    std::array<std::array<i16, 16>, 24> coeffs{};
+    /** Per 4x4 block: any nonzero coefficient? */
+    std::array<bool, 24> coded{};
+};
+
+/** Zigzag scan order for 4x4 blocks. */
+inline constexpr std::array<u8, 16> kZigzag4x4 = {
+    0, 1, 4, 8, 5, 2, 3, 6, 9, 12, 13, 10, 7, 11, 14, 15};
+
+/** Valid QP range (H.264 luma). */
+inline constexpr int kMinQp = 0;
+inline constexpr int kMaxQp = 51;
+
+/** Clamp a QP into the valid range. */
+int clampQp(int qp);
+
+} // namespace videoapp
+
+#endif // VIDEOAPP_CODEC_TYPES_H_

@@ -1,0 +1,23 @@
+#include "common/bitstream.h"
+
+namespace videoapp {
+
+void
+flipBit(Bytes &bytes, BitPos pos)
+{
+    std::size_t byte = pos >> 3;
+    if (byte >= bytes.size())
+        return;
+    bytes[byte] ^= static_cast<u8>(0x80u >> (pos & 7));
+}
+
+u32
+getBit(const Bytes &bytes, BitPos pos)
+{
+    std::size_t byte = pos >> 3;
+    if (byte >= bytes.size())
+        return 0;
+    return (bytes[byte] >> (7 - (pos & 7))) & 1u;
+}
+
+} // namespace videoapp

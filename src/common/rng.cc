@@ -1,0 +1,146 @@
+#include "common/rng.h"
+
+#include <cmath>
+
+namespace videoapp {
+
+namespace {
+
+u64
+splitmix64(u64 &x)
+{
+    x += 0x9E3779B97F4A7C15ull;
+    u64 z = x;
+    z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ull;
+    z = (z ^ (z >> 27)) * 0x94D049BB133111EBull;
+    return z ^ (z >> 31);
+}
+
+u64
+rotl(u64 x, int k)
+{
+    return (x << k) | (x >> (64 - k));
+}
+
+} // namespace
+
+Rng::Rng(u64 seed)
+{
+    u64 x = seed;
+    for (auto &s : s_)
+        s = splitmix64(x);
+}
+
+u64
+Rng::next()
+{
+    u64 result = rotl(s_[1] * 5, 7) * 9;
+    u64 t = s_[1] << 17;
+    s_[2] ^= s_[0];
+    s_[3] ^= s_[1];
+    s_[1] ^= s_[2];
+    s_[0] ^= s_[3];
+    s_[2] ^= t;
+    s_[3] = rotl(s_[3], 45);
+    return result;
+}
+
+u64
+Rng::nextBelow(u64 bound)
+{
+    // Rejection sampling to avoid modulo bias.
+    u64 threshold = (~bound + 1) % bound;
+    for (;;) {
+        u64 r = next();
+        if (r >= threshold)
+            return r % bound;
+    }
+}
+
+double
+Rng::nextDouble()
+{
+    return (next() >> 11) * 0x1.0p-53;
+}
+
+double
+Rng::nextGaussian()
+{
+    if (hasGauss_) {
+        hasGauss_ = false;
+        return cachedGauss_;
+    }
+    double u1, u2;
+    do {
+        u1 = nextDouble();
+    } while (u1 <= 0.0);
+    u2 = nextDouble();
+    double r = std::sqrt(-2.0 * std::log(u1));
+    double theta = 2.0 * M_PI * u2;
+    cachedGauss_ = r * std::sin(theta);
+    hasGauss_ = true;
+    return r * std::cos(theta);
+}
+
+bool
+Rng::nextBool(double p)
+{
+    return nextDouble() < p;
+}
+
+u64
+Rng::nextBinomial(u64 n, double p)
+{
+    if (p <= 0.0 || n == 0)
+        return 0;
+    if (p >= 1.0)
+        return n;
+
+    double mean = static_cast<double>(n) * p;
+    if (mean < 32.0) {
+        // Inversion by sequential search over the CDF; exact and fast
+        // for the small-mean regime typical of low error rates.
+        double q = 1.0 - p;
+        double pmf = std::pow(q, static_cast<double>(n));
+        if (pmf <= 0.0) {
+            // Underflow guard for huge n with tiny p: fall back to a
+            // Poisson approximation, valid in exactly that regime.
+            double l = std::exp(-mean);
+            u64 k = 0;
+            double prod = nextDouble();
+            while (prod > l && k < n) {
+                ++k;
+                prod *= nextDouble();
+            }
+            return k;
+        }
+        double cdf = pmf;
+        double u = nextDouble();
+        u64 k = 0;
+        while (u > cdf && k < n) {
+            ++k;
+            pmf *= (static_cast<double>(n - k + 1) / k) * (p / q);
+            cdf += pmf;
+        }
+        return k;
+    }
+
+    // Normal approximation with continuity correction.
+    double sd = std::sqrt(mean * (1.0 - p));
+    for (;;) {
+        double x = mean + sd * nextGaussian() + 0.5;
+        if (x < 0.0)
+            continue;
+        u64 k = static_cast<u64>(x);
+        if (k <= n)
+            return k;
+    }
+}
+
+Rng
+Rng::split()
+{
+    return Rng(next());
+}
+
+} // namespace videoapp

@@ -1,0 +1,63 @@
+/**
+ * @file
+ * Deterministic pseudo-random number generation for simulation.
+ *
+ * All stochastic components (PCM error injection, Monte Carlo runs,
+ * synthetic video generation) draw from explicitly seeded Rng instances
+ * so every experiment is reproducible from its seed.
+ */
+
+#ifndef VIDEOAPP_COMMON_RNG_H_
+#define VIDEOAPP_COMMON_RNG_H_
+
+#include <cstdint>
+
+#include "common/types.h"
+
+namespace videoapp {
+
+/**
+ * xoshiro256** generator. Small, fast, and high quality; seeded through
+ * splitmix64 so any 64-bit seed yields a well-mixed state.
+ */
+class Rng
+{
+  public:
+    explicit Rng(u64 seed = 0x9E3779B97F4A7C15ull);
+
+    /** Next raw 64-bit value. */
+    u64 next();
+
+    /** Uniform integer in [0, bound). @p bound must be nonzero. */
+    u64 nextBelow(u64 bound);
+
+    /** Uniform double in [0, 1). */
+    double nextDouble();
+
+    /** Standard normal variate (Box-Muller, cached pair). */
+    double nextGaussian();
+
+    /** Bernoulli trial with probability @p p. */
+    bool nextBool(double p);
+
+    /**
+     * Binomial sample: number of successes in @p n trials with success
+     * probability @p p. Uses exact inversion for small n*p and a
+     * normal approximation with continuity correction for large ones,
+     * which is the regime of bit-error counts over multi-megabit
+     * streams (Section 6.4 of the paper).
+     */
+    u64 nextBinomial(u64 n, double p);
+
+    /** Derive an independent generator (for per-run streams). */
+    Rng split();
+
+  private:
+    u64 s_[4];
+    double cachedGauss_ = 0.0;
+    bool hasGauss_ = false;
+};
+
+} // namespace videoapp
+
+#endif // VIDEOAPP_COMMON_RNG_H_

@@ -1,0 +1,80 @@
+#include "common/stats.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace videoapp {
+
+void
+RunningStats::add(double x)
+{
+    ++n_;
+    sum_ += x;
+    sumSq_ += x * x;
+    min_ = std::min(min_, x);
+    max_ = std::max(max_, x);
+}
+
+double
+RunningStats::variance() const
+{
+    if (n_ < 2)
+        return 0.0;
+    double m = mean();
+    double v = (sumSq_ - n_ * m * m) / (n_ - 1);
+    return v > 0.0 ? v : 0.0;
+}
+
+double
+RunningStats::stddev() const
+{
+    return std::sqrt(variance());
+}
+
+double
+logChoose(int n, int k)
+{
+    return std::lgamma(n + 1.0) - std::lgamma(k + 1.0) -
+           std::lgamma(n - k + 1.0);
+}
+
+double
+binomialTailAbove(int n, double p, int t)
+{
+    if (p <= 0.0)
+        return 0.0;
+    if (p >= 1.0)
+        return t < n ? 1.0 : 0.0;
+    if (t >= n)
+        return 0.0;
+    if (t < 0)
+        return 1.0;
+
+    double lp = std::log(p);
+    double lq = std::log1p(-p);
+
+    // Sum P(X = k) for k in (t, n]. Terms decay geometrically once k
+    // is past the mean, so stop when a term no longer contributes.
+    double total = 0.0;
+    for (int k = t + 1; k <= n; ++k) {
+        double lterm = logChoose(n, k) + k * lp + (n - k) * lq;
+        double term = std::exp(lterm);
+        total += term;
+        if (term < total * 1e-18 && k > static_cast<int>(n * p) + 1)
+            break;
+    }
+    return std::min(total, 1.0);
+}
+
+double
+mean(const std::vector<double> &xs)
+{
+    if (xs.empty())
+        return 0.0;
+    double s = 0.0;
+    for (double x : xs)
+        s += x;
+    return s / xs.size();
+}
+
+} // namespace videoapp

@@ -1,0 +1,52 @@
+/**
+ * @file
+ * Small statistics helpers used by the experiment harness.
+ */
+
+#ifndef VIDEOAPP_COMMON_STATS_H_
+#define VIDEOAPP_COMMON_STATS_H_
+
+#include <cstddef>
+#include <vector>
+
+namespace videoapp {
+
+/** Online accumulator for mean / min / max / variance. */
+class RunningStats
+{
+  public:
+    void add(double x);
+
+    std::size_t count() const { return n_; }
+    double mean() const { return n_ ? sum_ / n_ : 0.0; }
+    double min() const { return min_; }
+    double max() const { return max_; }
+
+    /** Sample variance (n-1 denominator); 0 for fewer than 2 samples. */
+    double variance() const;
+    double stddev() const;
+
+  private:
+    std::size_t n_ = 0;
+    double sum_ = 0.0;
+    double sumSq_ = 0.0;
+    double min_ = 1e300;
+    double max_ = -1e300;
+};
+
+/**
+ * Binomial tail P(X > t) for X ~ Binomial(n, p), computed in log space
+ * so rates as small as 1e-30 are representable. This is the analytic
+ * uncorrectable-error model behind Figure 8.
+ */
+double binomialTailAbove(int n, double p, int t);
+
+/** log(n choose k) via lgamma. */
+double logChoose(int n, int k);
+
+/** Arithmetic mean of a vector (0 for empty input). */
+double mean(const std::vector<double> &xs);
+
+} // namespace videoapp
+
+#endif // VIDEOAPP_COMMON_STATS_H_

@@ -1,0 +1,32 @@
+/**
+ * @file
+ * Fundamental integer and byte types shared across VideoApp modules.
+ */
+
+#ifndef VIDEOAPP_COMMON_TYPES_H_
+#define VIDEOAPP_COMMON_TYPES_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace videoapp {
+
+using u8 = std::uint8_t;
+using u16 = std::uint16_t;
+using u32 = std::uint32_t;
+using u64 = std::uint64_t;
+using i8 = std::int8_t;
+using i16 = std::int16_t;
+using i32 = std::int32_t;
+using i64 = std::int64_t;
+
+/** A contiguous sequence of bytes, the unit of storage and encryption. */
+using Bytes = std::vector<u8>;
+
+/** Bit position within a byte vector (bit 0 = MSB of byte 0). */
+using BitPos = std::size_t;
+
+} // namespace videoapp
+
+#endif // VIDEOAPP_COMMON_TYPES_H_

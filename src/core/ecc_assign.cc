@@ -1,0 +1,209 @@
+#include "core/ecc_assign.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+#include "graph/importance.h"
+
+namespace videoapp {
+
+EccAssignment::EccAssignment(std::vector<Entry> entries,
+                             EccScheme fallback)
+    : entries_(std::move(entries)), fallback_(fallback)
+{
+    for (std::size_t i = 1; i < entries_.size(); ++i)
+        assert(entries_[i - 1].maxClass < entries_[i].maxClass);
+}
+
+EccAssignment
+EccAssignment::paperTable1()
+{
+    return EccAssignment(
+        {
+            {2, kEccNone},        // importance <= 4
+            {10, EccScheme{6}},   // ... <= 2^10
+            {13, EccScheme{7}},
+            {16, EccScheme{8}},
+            {20, EccScheme{9}},
+            {26, EccScheme{10}},
+        },
+        EccScheme{10});
+}
+
+EccAssignment
+EccAssignment::uniform(EccScheme scheme)
+{
+    return EccAssignment({}, scheme);
+}
+
+EccScheme
+EccAssignment::schemeFor(double importance) const
+{
+    return schemeForClass(ImportanceMap::classOf(importance));
+}
+
+EccScheme
+EccAssignment::schemeForClass(int cls) const
+{
+    for (const Entry &e : entries_)
+        if (cls <= e.maxClass)
+            return e.scheme;
+    return fallback_;
+}
+
+std::string
+EccAssignment::toString() const
+{
+    std::string out;
+    int prev = 0;
+    for (const Entry &e : entries_) {
+        out += std::to_string(prev) + "-" +
+               std::to_string(e.maxClass) + ": " + e.scheme.name() +
+               "; ";
+        prev = e.maxClass + 1;
+    }
+    out += std::to_string(prev) + "+: " + fallback_.name();
+    return out;
+}
+
+double
+interpolateLoss(const std::vector<ClassCurvePoint> &points,
+                double error_rate)
+{
+    if (points.empty() || error_rate <= 0)
+        return 0.0;
+    // Points are ascending in errorRate.
+    if (error_rate <= points.front().errorRate) {
+        // Below the measured range the loss scales ~linearly with
+        // the error rate (few, independent flips).
+        return points.front().lossDb * error_rate /
+               points.front().errorRate;
+    }
+    if (error_rate >= points.back().errorRate)
+        return points.back().lossDb;
+    for (std::size_t i = 1; i < points.size(); ++i) {
+        if (error_rate <= points[i].errorRate) {
+            double x0 = std::log(points[i - 1].errorRate);
+            double x1 = std::log(points[i].errorRate);
+            double t = (std::log(error_rate) - x0) / (x1 - x0);
+            return points[i - 1].lossDb +
+                   t * (points[i].lossDb - points[i - 1].lossDb);
+        }
+    }
+    return points.back().lossDb;
+}
+
+EccAssignment
+optimizeAssignment(const std::vector<ClassCurve> &curves,
+                   double budget_db, double raw_ber)
+{
+    std::vector<EccAssignment::Entry> entries;
+    double prev_storage = 0.0;
+    const std::vector<ClassCurvePoint> *prev_points = nullptr;
+    int min_t = 0; // classes are nested: strength must not decrease
+
+    for (const ClassCurve &curve : curves) {
+        double share = std::max(
+            curve.cumulativeStorage - prev_storage, 0.0);
+        double limit = budget_db * share;
+
+        // Weakest scheme whose incremental loss fits the limit.
+        EccScheme chosen = kEccPrecise;
+        auto incremental_loss = [&](double rate) {
+            double cum = interpolateLoss(curve.points, rate);
+            double prev =
+                prev_points ? interpolateLoss(*prev_points, rate)
+                            : 0.0;
+            return std::max(cum - prev, 0.0);
+        };
+        // Ladder: none, then BCH-1..16.
+        if (incremental_loss(raw_ber) <= limit) {
+            chosen = kEccNone;
+        } else {
+            for (int t = 1; t <= 16; ++t) {
+                EccScheme s{t};
+                if (incremental_loss(
+                        s.effectiveBitErrorRate(raw_ber)) <= limit) {
+                    chosen = s;
+                    break;
+                }
+            }
+        }
+        // Class i+1 strictly contains class i's failure modes; a
+        // weaker scheme than the previous class's would contradict
+        // the nesting (it can only appear through Monte Carlo noise
+        // in the incremental subtraction). Enforce monotonicity.
+        chosen.t = std::max(chosen.t, min_t);
+        min_t = chosen.t;
+
+        entries.push_back({curve.cls, chosen});
+        prev_storage = curve.cumulativeStorage;
+        prev_points = &curve.points;
+    }
+
+    // Fallback for classes above the measured range: strongest
+    // approximate scheme seen, upgraded to the last chosen one.
+    EccScheme fallback =
+        entries.empty() ? kEccPrecise : entries.back().scheme;
+    return EccAssignment(std::move(entries), fallback);
+}
+
+EccAssignment
+optimizeAssignmentConservative(const std::vector<ClassCurve> &curves,
+                               double compression_db_per_fraction,
+                               double raw_ber)
+{
+    std::vector<EccAssignment::Entry> entries;
+    double prev_storage = 0.0;
+    const std::vector<ClassCurvePoint> *prev_points = nullptr;
+    int min_t = 0;
+
+    for (const ClassCurve &curve : curves) {
+        double share = std::max(
+            curve.cumulativeStorage - prev_storage, 0.0);
+
+        auto incremental_loss = [&](double rate) {
+            double cum = interpolateLoss(curve.points, rate);
+            double prev =
+                prev_points ? interpolateLoss(*prev_points, rate)
+                            : 0.0;
+            return std::max(cum - prev, 0.0);
+        };
+
+        // Weakest scheme whose quality cost beats compression for
+        // the storage it saves relative to precise protection.
+        const double precise_overhead = kEccPrecise.overhead();
+        EccScheme chosen = kEccPrecise;
+        for (int t = 0; t <= 16; ++t) {
+            EccScheme s{t};
+            double rate = s.isNone()
+                              ? raw_ber
+                              : s.effectiveBitErrorRate(raw_ber);
+            double saved_fraction =
+                share * (precise_overhead - s.overhead()) /
+                (1.0 + precise_overhead);
+            double cost = incremental_loss(rate);
+            // Approximation must be a clear win: compression would
+            // lose compression_db_per_fraction * saved_fraction dB
+            // for the same storage reduction.
+            if (cost <=
+                compression_db_per_fraction * saved_fraction) {
+                chosen = s;
+                break;
+            }
+        }
+
+        chosen.t = std::max(chosen.t, min_t);
+        min_t = chosen.t;
+        entries.push_back({curve.cls, chosen});
+        prev_storage = curve.cumulativeStorage;
+        prev_points = &curve.points;
+    }
+
+    EccScheme fallback =
+        entries.empty() ? kEccPrecise : entries.back().scheme;
+    return EccAssignment(std::move(entries), fallback);
+}
+
+} // namespace videoapp

@@ -1,0 +1,108 @@
+/**
+ * @file
+ * Mapping macroblock importance to error-correction schemes
+ * (Section 4.4 / 7.2, Table 1), and the budgeted assignment
+ * optimiser that derives such a table from measured quality-loss
+ * curves.
+ */
+
+#ifndef VIDEOAPP_CORE_ECC_ASSIGN_H_
+#define VIDEOAPP_CORE_ECC_ASSIGN_H_
+
+#include <string>
+#include <vector>
+
+#include "storage/ecc_model.h"
+
+namespace videoapp {
+
+/**
+ * A table of importance-class thresholds to ECC schemes. Class i
+ * contains MBs with importance <= 2^i (Figure 10's class axis).
+ */
+class EccAssignment
+{
+  public:
+    struct Entry
+    {
+        int maxClass;     // applies to classes <= maxClass
+        EccScheme scheme;
+    };
+
+    EccAssignment() = default;
+
+    /** @p entries must be ascending in maxClass. @p fallback covers
+     * classes above the last entry. */
+    EccAssignment(std::vector<Entry> entries, EccScheme fallback);
+
+    /** The paper's Table 1. */
+    static EccAssignment paperTable1();
+
+    /** Uniform protection (the paper's baseline design). */
+    static EccAssignment uniform(EccScheme scheme);
+
+    /** Scheme for an importance value. */
+    EccScheme schemeFor(double importance) const;
+
+    /** Scheme for an importance class index. */
+    EccScheme schemeForClass(int cls) const;
+
+    const std::vector<Entry> &entries() const { return entries_; }
+    EccScheme fallback() const { return fallback_; }
+
+    std::string toString() const;
+
+  private:
+    std::vector<Entry> entries_;
+    EccScheme fallback_ = kEccPrecise;
+};
+
+/** One measured point of a cumulative quality-loss curve. */
+struct ClassCurvePoint
+{
+    double errorRate;
+    double lossDb; // positive dB of quality lost
+};
+
+/** Measured behaviour of one importance class (Figure 10). */
+struct ClassCurve
+{
+    int cls = 0;
+    /** Cumulative loss when all MBs of class <= cls see errorRate. */
+    std::vector<ClassCurvePoint> points;
+    /** Cumulative fraction of stream bits in classes <= cls. */
+    double cumulativeStorage = 0.0;
+};
+
+/**
+ * The Section 7.2 optimiser: distribute @p budget_db proportionally
+ * to each class's storage share, then give every class the weakest
+ * scheme whose post-correction error rate keeps that class's
+ * incremental quality loss within its share.
+ */
+EccAssignment optimizeAssignment(const std::vector<ClassCurve> &curves,
+                                 double budget_db,
+                                 double raw_ber = kPcmRawBer);
+
+/** Interpolate a cumulative-loss curve at @p error_rate
+ * (log-linear; 0 below the measured range). Exposed for tests. */
+double interpolateLoss(const std::vector<ClassCurvePoint> &points,
+                       double error_rate);
+
+/**
+ * The Section 7.2.1 alternative strategy: instead of spending a
+ * fixed quality budget, approximate a class only when the storage
+ * it saves beats what deterministic compression would buy for the
+ * same quality loss. @p compression_db_per_fraction is the
+ * compression trade-off slope — the paper measures 0.4-0.6 dB lost
+ * per 10-15% storage saved by encoding coarser, i.e. about 4 dB per
+ * unit storage fraction.
+ */
+EccAssignment optimizeAssignmentConservative(
+    const std::vector<ClassCurve> &curves,
+    double compression_db_per_fraction = 4.0,
+    double raw_ber = kPcmRawBer);
+
+} // namespace videoapp
+
+#endif // VIDEOAPP_CORE_ECC_ASSIGN_H_

@@ -1,0 +1,119 @@
+#include "core/partition.h"
+
+#include <algorithm>
+#include <cassert>
+
+#include "common/bitstream.h"
+
+namespace videoapp {
+
+void
+assignPivots(EncodedVideo &video, const EncodeSideInfo &side,
+             const ImportanceMap &importance,
+             const EccAssignment &assignment)
+{
+    assert(video.frameHeaders.size() == side.frames.size());
+    const std::size_t mb_per_frame =
+        static_cast<std::size_t>(video.mbPerFrame());
+
+    for (std::size_t f = 0; f < video.frameHeaders.size(); ++f) {
+        FrameHeader &header = video.frameHeaders[f];
+        header.pivots.clear();
+        const FrameRecord &frame = side.frames[f];
+
+        int current_t = -1;
+        for (const SliceRecord &slice : header.slices) {
+            u32 end = std::min<u32>(slice.firstMb + slice.mbCount,
+                                    static_cast<u32>(mb_per_frame));
+            for (u32 m = slice.firstMb; m < end; ++m) {
+                EccScheme scheme = assignment.schemeFor(
+                    importance.values[f][m]);
+                if (scheme.t != current_t) {
+                    header.pivots.push_back(
+                        {frame.mbs[m].bitOffset,
+                         static_cast<u8>(scheme.t)});
+                    current_t = scheme.t;
+                }
+            }
+        }
+        // Zero-length frames (or all-skip) still need one pivot so
+        // the extraction walk is total.
+        if (header.pivots.empty())
+            header.pivots.push_back({0, 16});
+    }
+}
+
+namespace {
+
+/** Walk a frame's pivot segments as [begin, end) bit ranges. */
+template <typename Fn>
+void
+forEachSegment(const FrameHeader &header, u64 payload_bits, Fn &&fn)
+{
+    for (std::size_t p = 0; p < header.pivots.size(); ++p) {
+        u64 begin = std::min(header.pivots[p].bitOffset, payload_bits);
+        u64 end = p + 1 < header.pivots.size()
+                      ? std::min(header.pivots[p + 1].bitOffset,
+                                 payload_bits)
+                      : payload_bits;
+        if (end > begin)
+            fn(static_cast<int>(header.pivots[p].schemeT), begin,
+               end);
+    }
+}
+
+} // namespace
+
+StreamSet
+extractStreams(const EncodedVideo &video)
+{
+    std::map<int, BitWriter> writers;
+    for (std::size_t f = 0; f < video.frameHeaders.size(); ++f) {
+        const Bytes &payload = video.payloads[f];
+        u64 payload_bits = payload.size() * 8;
+        forEachSegment(video.frameHeaders[f], payload_bits,
+                       [&](int t, u64 begin, u64 end) {
+                           BitWriter &w = writers[t];
+                           for (u64 bit = begin; bit < end; ++bit)
+                               w.writeBit(getBit(payload, bit));
+                       });
+    }
+
+    StreamSet out;
+    for (auto &[t, writer] : writers) {
+        out.bitLength[t] = writer.bitCount();
+        out.data[t] = writer.take();
+    }
+    return out;
+}
+
+EncodedVideo
+mergeStreams(const EncodedVideo &layout, const StreamSet &streams)
+{
+    EncodedVideo out = layout;
+    std::map<int, BitReader> readers;
+    for (const auto &[t, bytes] : streams.data)
+        readers.emplace(t, BitReader(bytes));
+
+    for (std::size_t f = 0; f < out.frameHeaders.size(); ++f) {
+        Bytes &payload = out.payloads[f];
+        u64 payload_bits = payload.size() * 8;
+        // Clear and refill from the streams.
+        std::fill(payload.begin(), payload.end(), 0);
+        forEachSegment(
+            out.frameHeaders[f], payload_bits,
+            [&](int t, u64 begin, u64 end) {
+                auto it = readers.find(t);
+                for (u64 bit = begin; bit < end; ++bit) {
+                    u32 v = it == readers.end() ? 0
+                                                : it->second.readBit();
+                    if (v)
+                        payload[bit / 8] |= static_cast<u8>(
+                            0x80u >> (bit % 8));
+                }
+            });
+    }
+    return out;
+}
+
+} // namespace videoapp

@@ -1,0 +1,114 @@
+#include "core/pipeline.h"
+
+#include "quality/psnr.h"
+
+namespace videoapp {
+
+u64
+PreparedVideo::payloadBits() const
+{
+    u64 total = 0;
+    for (const auto &[t, bits] : streams.bitLength)
+        total += bits;
+    return total;
+}
+
+u64
+PreparedVideo::headerBits() const
+{
+    return enc.video.headerBits();
+}
+
+PreparedVideo
+prepareVideo(const Video &source, const EncoderConfig &config,
+             const EccAssignment &assignment)
+{
+    PreparedVideo prepared;
+    prepared.enc = encodeVideo(source, config);
+    prepared.importance =
+        computeImportance(prepared.enc.side, prepared.enc.video);
+    prepared.assignment = assignment;
+    assignPivots(prepared.enc.video, prepared.enc.side,
+                 prepared.importance, assignment);
+    prepared.streams = extractStreams(prepared.enc.video);
+    return prepared;
+}
+
+void
+repartition(PreparedVideo &prepared, const EccAssignment &assignment)
+{
+    prepared.assignment = assignment;
+    assignPivots(prepared.enc.video, prepared.enc.side,
+                 prepared.importance, assignment);
+    prepared.streams = extractStreams(prepared.enc.video);
+}
+
+StorageOutcome
+storeAndRetrieve(const PreparedVideo &prepared,
+                 const StorageChannel &channel, Rng &rng,
+                 const std::optional<EncryptionConfig> &encryption)
+{
+    StorageOutcome outcome;
+
+    std::unique_ptr<StreamCryptor> cryptor;
+    if (encryption) {
+        cryptor = std::make_unique<StreamCryptor>(
+            encryption->mode, encryption->key, encryption->masterIv);
+    }
+
+    // Store each reliability stream with its own scheme.
+    StreamSet retrieved;
+    StorageAccountant accountant(3);
+    for (const auto &[t, data] : prepared.streams.data) {
+        EccScheme scheme{t};
+        Bytes to_store = data;
+        if (cryptor)
+            to_store = cryptor->encryptStream(
+                static_cast<u32>(t), to_store);
+
+        Bytes read = channel.roundTrip(to_store, scheme, rng);
+
+        if (cryptor)
+            read = cryptor->decryptStream(static_cast<u32>(t), read,
+                                          data.size());
+        retrieved.data[t] = std::move(read);
+        retrieved.bitLength[t] = prepared.streams.bitLength.at(t);
+        // Account the stored (possibly padded) size.
+        accountant.addStream(to_store.size() * 8, scheme);
+    }
+    accountant.addPreciseBits(prepared.headerBits());
+
+    EncodedVideo merged =
+        mergeStreams(prepared.enc.video, retrieved);
+    outcome.decoded = decodeVideo(merged);
+
+    // Quality against the error-free reconstruction, averaged per
+    // frame as the paper does.
+    Video reference;
+    reference.fps = outcome.decoded.fps;
+    reference.frames = prepared.enc.reconFrames;
+    outcome.psnrVsReference = psnrVideo(reference, outcome.decoded);
+
+    u64 pixels = static_cast<u64>(prepared.enc.video.header.width) *
+                 prepared.enc.video.header.height *
+                 prepared.enc.video.header.frameCount;
+    outcome.cellsPerPixel = accountant.cellsPerPixel(pixels);
+    outcome.eccOverheadFraction = accountant.eccOverheadFraction();
+    outcome.payloadBits = accountant.payloadBits();
+    outcome.parityBits = accountant.parityBits();
+    outcome.headerBits = prepared.headerBits();
+    return outcome;
+}
+
+double
+densityCellsPerPixel(const PreparedVideo &prepared, u64 pixel_count,
+                     int bits_per_cell)
+{
+    StorageAccountant accountant(bits_per_cell);
+    for (const auto &[t, data] : prepared.streams.data)
+        accountant.addStream(data.size() * 8, EccScheme{t});
+    accountant.addPreciseBits(prepared.headerBits());
+    return accountant.cellsPerPixel(pixel_count);
+}
+
+} // namespace videoapp

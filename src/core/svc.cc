@@ -1,0 +1,123 @@
+#include "core/svc.h"
+
+#include <algorithm>
+#include <cassert>
+
+namespace videoapp {
+
+namespace {
+
+u8
+clampPixel(int v)
+{
+    return static_cast<u8>(std::clamp(v, 0, 255));
+}
+
+/** Per-plane residual with +128 offset. */
+Plane
+planeResidual(const Plane &source, const Plane &base)
+{
+    Plane out(source.width(), source.height());
+    for (int y = 0; y < source.height(); ++y)
+        for (int x = 0; x < source.width(); ++x)
+            out.at(x, y) = clampPixel(source.at(x, y) -
+                                      base.at(x, y) + 128);
+    return out;
+}
+
+Plane
+planeApply(const Plane &base, const Plane &residual)
+{
+    Plane out(base.width(), base.height());
+    for (int y = 0; y < base.height(); ++y)
+        for (int x = 0; x < base.width(); ++x)
+            out.at(x, y) = clampPixel(base.at(x, y) +
+                                      residual.at(x, y) - 128);
+    return out;
+}
+
+} // namespace
+
+ScalableConfig
+ScalableConfig::forQuality(int crf)
+{
+    ScalableConfig config;
+    config.base.crf = clampQp(crf + 8);
+    config.enhancement.crf = crf;
+    // The residual layer has little temporal coherence left; short
+    // GOPs with no B frames decode it cheaply.
+    config.enhancement.gop.bFrames = 0;
+    return config;
+}
+
+Video
+residualVideo(const Video &source, const Video &base_recon)
+{
+    assert(source.frames.size() == base_recon.frames.size());
+    Video out;
+    out.fps = source.fps;
+    out.frames.reserve(source.frames.size());
+    for (std::size_t i = 0; i < source.frames.size(); ++i) {
+        Frame frame(source.width(), source.height());
+        frame.y() = planeResidual(source.frames[i].y(),
+                                  base_recon.frames[i].y());
+        frame.u() = planeResidual(source.frames[i].u(),
+                                  base_recon.frames[i].u());
+        frame.v() = planeResidual(source.frames[i].v(),
+                                  base_recon.frames[i].v());
+        out.frames.push_back(std::move(frame));
+    }
+    return out;
+}
+
+Video
+applyResidual(const Video &base, const Video &residual)
+{
+    assert(base.frames.size() == residual.frames.size());
+    Video out;
+    out.fps = base.fps;
+    out.frames.reserve(base.frames.size());
+    for (std::size_t i = 0; i < base.frames.size(); ++i) {
+        Frame frame(base.width(), base.height());
+        frame.y() = planeApply(base.frames[i].y(),
+                               residual.frames[i].y());
+        frame.u() = planeApply(base.frames[i].u(),
+                               residual.frames[i].u());
+        frame.v() = planeApply(base.frames[i].v(),
+                               residual.frames[i].v());
+        out.frames.push_back(std::move(frame));
+    }
+    return out;
+}
+
+ScalableEncodeResult
+encodeScalable(const Video &source, const ScalableConfig &config)
+{
+    ScalableEncodeResult result;
+    result.base = encodeVideo(source, config.base);
+
+    Video base_recon;
+    base_recon.fps = source.fps;
+    base_recon.frames = result.base.reconFrames;
+
+    Video residual = residualVideo(source, base_recon);
+    result.enhancement = encodeVideo(residual, config.enhancement);
+    return result;
+}
+
+Video
+decodeScalable(const EncodedVideo &base,
+               const EncodedVideo *enhancement)
+{
+    Video base_video = decodeVideo(base);
+    if (enhancement == nullptr)
+        return base_video;
+    Video residual = decodeVideo(*enhancement);
+    if (residual.frames.size() != base_video.frames.size() ||
+        residual.width() != base_video.width() ||
+        residual.height() != base_video.height())
+        return base_video; // mismatched layers: fall back to base
+    return applyResidual(base_video, residual);
+}
+
+} // namespace videoapp

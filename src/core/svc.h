@@ -1,0 +1,74 @@
+/**
+ * @file
+ * Quality-scalable (layered) video coding — the extension the paper
+ * sketches in its related work: "videos could be also encoded in a
+ * layered way, where each layer refines the quality produced by the
+ * previous (scalable video coding). Our work focuses on
+ * approximation within a layer, and is trivially extensible to
+ * multiple layers by adding another dimension of approximation."
+ *
+ * The base layer is a normal encoding at a coarser quality; the
+ * enhancement layer encodes the reconstruction residual (offset to
+ * the 128-centred pixel domain) and refines the base on decode.
+ * Losing enhancement bits degrades gracefully toward base quality,
+ * so the enhancement layer tolerates far weaker protection — the
+ * cross-layer approximation dimension of Guo et al., combined with
+ * VideoApp's within-layer analysis.
+ */
+
+#ifndef VIDEOAPP_CORE_SVC_H_
+#define VIDEOAPP_CORE_SVC_H_
+
+#include "codec/decoder.h"
+#include "codec/encoder.h"
+
+namespace videoapp {
+
+/** Configuration of a two-layer scalable encoding. */
+struct ScalableConfig
+{
+    /** Base layer settings; crf is typically coarse. */
+    EncoderConfig base;
+    /** Enhancement layer settings; crf controls refinement depth. */
+    EncoderConfig enhancement;
+
+    /** Paper-style default: base at CRF+8, enhancement at CRF. */
+    static ScalableConfig forQuality(int crf);
+};
+
+/** Both layers, each a full independently-analysable encoding. */
+struct ScalableEncodeResult
+{
+    EncodeResult base;
+    EncodeResult enhancement;
+
+    u64
+    totalPayloadBits() const
+    {
+        return base.video.payloadBits() +
+               enhancement.video.payloadBits();
+    }
+};
+
+/** Encode @p source into base + enhancement layers. */
+ScalableEncodeResult encodeScalable(const Video &source,
+                                    const ScalableConfig &config);
+
+/**
+ * Decode: base alone (when @p enhancement is null) or base refined
+ * by the enhancement residual. Either layer's payload may be
+ * corrupted; decoding is total.
+ */
+Video decodeScalable(const EncodedVideo &base,
+                     const EncodedVideo *enhancement);
+
+/** The residual video the enhancement layer encodes (exposed for
+ * tests): clamp(source - base_recon + 128). */
+Video residualVideo(const Video &source, const Video &base_recon);
+
+/** Apply a decoded residual onto a base reconstruction. */
+Video applyResidual(const Video &base, const Video &residual);
+
+} // namespace videoapp
+
+#endif // VIDEOAPP_CORE_SVC_H_

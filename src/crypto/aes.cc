@@ -1,0 +1,248 @@
+#include "crypto/aes.h"
+
+#include <algorithm>
+#include <cstring>
+
+namespace videoapp {
+
+namespace {
+
+/** Multiply by x in GF(2^8) with the AES reduction polynomial. */
+u8
+xtime(u8 a)
+{
+    return static_cast<u8>((a << 1) ^ ((a & 0x80) ? 0x1B : 0x00));
+}
+
+/** Full GF(2^8) multiplication. */
+u8
+gmul(u8 a, u8 b)
+{
+    u8 p = 0;
+    for (int i = 0; i < 8; ++i) {
+        if (b & 1)
+            p ^= a;
+        a = xtime(a);
+        b >>= 1;
+    }
+    return p;
+}
+
+struct SboxTables
+{
+    std::array<u8, 256> sbox;
+    std::array<u8, 256> inv;
+};
+
+/**
+ * Generate the S-box from first principles: multiplicative inverse in
+ * GF(2^8) followed by the FIPS-197 affine transformation. Generating
+ * rather than transcribing the table removes a whole class of typo
+ * bugs; the result is cross-checked against known vectors in tests.
+ */
+SboxTables
+makeSboxes()
+{
+    SboxTables t{};
+    // Build inverses via the 3-generator exponent/log trick.
+    std::array<u8, 256> log{}, alog{};
+    u8 x = 1;
+    for (int i = 0; i < 255; ++i) {
+        alog[i] = x;
+        log[x] = static_cast<u8>(i);
+        x = static_cast<u8>(x ^ xtime(x)); // multiply by 0x03
+    }
+    auto inverse = [&](u8 a) -> u8 {
+        if (a == 0)
+            return 0;
+        return alog[(255 - log[a]) % 255];
+    };
+    for (int i = 0; i < 256; ++i) {
+        u8 b = inverse(static_cast<u8>(i));
+        u8 s = 0;
+        for (int bit = 0; bit < 8; ++bit) {
+            u8 v = static_cast<u8>(
+                ((b >> bit) & 1) ^ ((b >> ((bit + 4) & 7)) & 1) ^
+                ((b >> ((bit + 5) & 7)) & 1) ^
+                ((b >> ((bit + 6) & 7)) & 1) ^
+                ((b >> ((bit + 7) & 7)) & 1) ^ ((0x63 >> bit) & 1));
+            s |= static_cast<u8>(v << bit);
+        }
+        t.sbox[i] = s;
+        t.inv[s] = static_cast<u8>(i);
+    }
+    return t;
+}
+
+const SboxTables &
+tables()
+{
+    static const SboxTables t = makeSboxes();
+    return t;
+}
+
+void
+subBytes(AesBlock &st)
+{
+    for (auto &b : st)
+        b = tables().sbox[b];
+}
+
+void
+invSubBytes(AesBlock &st)
+{
+    for (auto &b : st)
+        b = tables().inv[b];
+}
+
+// State layout: st[r + 4*c] = byte at row r, column c (FIPS order).
+void
+shiftRows(AesBlock &st)
+{
+    AesBlock t = st;
+    for (int r = 1; r < 4; ++r)
+        for (int c = 0; c < 4; ++c)
+            st[r + 4 * c] = t[r + 4 * ((c + r) & 3)];
+}
+
+void
+invShiftRows(AesBlock &st)
+{
+    AesBlock t = st;
+    for (int r = 1; r < 4; ++r)
+        for (int c = 0; c < 4; ++c)
+            st[r + 4 * ((c + r) & 3)] = t[r + 4 * c];
+}
+
+void
+mixColumns(AesBlock &st)
+{
+    for (int c = 0; c < 4; ++c) {
+        u8 a0 = st[4 * c], a1 = st[4 * c + 1];
+        u8 a2 = st[4 * c + 2], a3 = st[4 * c + 3];
+        st[4 * c] = static_cast<u8>(gmul(a0, 2) ^ gmul(a1, 3) ^ a2 ^ a3);
+        st[4 * c + 1] =
+            static_cast<u8>(a0 ^ gmul(a1, 2) ^ gmul(a2, 3) ^ a3);
+        st[4 * c + 2] =
+            static_cast<u8>(a0 ^ a1 ^ gmul(a2, 2) ^ gmul(a3, 3));
+        st[4 * c + 3] =
+            static_cast<u8>(gmul(a0, 3) ^ a1 ^ a2 ^ gmul(a3, 2));
+    }
+}
+
+void
+invMixColumns(AesBlock &st)
+{
+    for (int c = 0; c < 4; ++c) {
+        u8 a0 = st[4 * c], a1 = st[4 * c + 1];
+        u8 a2 = st[4 * c + 2], a3 = st[4 * c + 3];
+        st[4 * c] = static_cast<u8>(gmul(a0, 14) ^ gmul(a1, 11) ^
+                                    gmul(a2, 13) ^ gmul(a3, 9));
+        st[4 * c + 1] = static_cast<u8>(gmul(a0, 9) ^ gmul(a1, 14) ^
+                                        gmul(a2, 11) ^ gmul(a3, 13));
+        st[4 * c + 2] = static_cast<u8>(gmul(a0, 13) ^ gmul(a1, 9) ^
+                                        gmul(a2, 14) ^ gmul(a3, 11));
+        st[4 * c + 3] = static_cast<u8>(gmul(a0, 11) ^ gmul(a1, 13) ^
+                                        gmul(a2, 9) ^ gmul(a3, 14));
+    }
+}
+
+void
+addRoundKey(AesBlock &st, const u8 *rk)
+{
+    for (int i = 0; i < 16; ++i)
+        st[i] ^= rk[i];
+}
+
+} // namespace
+
+Aes::Aes(const u8 *key, std::size_t key_len)
+{
+    expandKey(key, key_len);
+}
+
+void
+Aes::expandKey(const u8 *key, std::size_t key_len)
+{
+    std::size_t nk; // key length in 32-bit words
+    switch (key_len) {
+      case 24:
+        nk = 6;
+        rounds_ = 12;
+        break;
+      case 32:
+        nk = 8;
+        rounds_ = 14;
+        break;
+      case 16:
+      default:
+        nk = 4;
+        rounds_ = 10;
+        break;
+    }
+
+    u8 padded[32] = {};
+    std::memcpy(padded, key, std::min(key_len, sizeof(padded)));
+
+    const std::size_t total_words =
+        4 * (static_cast<std::size_t>(rounds_) + 1);
+    // w[i] stored as 4 bytes at roundKeys_[4*i..4*i+3].
+    std::memcpy(roundKeys_.data(), padded, 4 * nk);
+
+    u8 rcon = 1;
+    for (std::size_t i = nk; i < total_words; ++i) {
+        u8 temp[4];
+        std::memcpy(temp, &roundKeys_[4 * (i - 1)], 4);
+        if (i % nk == 0) {
+            // RotWord + SubWord + Rcon.
+            u8 t0 = temp[0];
+            temp[0] = static_cast<u8>(tables().sbox[temp[1]] ^ rcon);
+            temp[1] = tables().sbox[temp[2]];
+            temp[2] = tables().sbox[temp[3]];
+            temp[3] = tables().sbox[t0];
+            rcon = xtime(rcon);
+        } else if (nk > 6 && i % nk == 4) {
+            for (auto &b : temp)
+                b = tables().sbox[b];
+        }
+        for (int b = 0; b < 4; ++b)
+            roundKeys_[4 * i + b] =
+                static_cast<u8>(roundKeys_[4 * (i - nk) + b] ^ temp[b]);
+    }
+}
+
+AesBlock
+Aes::encryptBlock(const AesBlock &in) const
+{
+    AesBlock st = in;
+    addRoundKey(st, &roundKeys_[0]);
+    for (int round = 1; round < rounds_; ++round) {
+        subBytes(st);
+        shiftRows(st);
+        mixColumns(st);
+        addRoundKey(st, &roundKeys_[16 * round]);
+    }
+    subBytes(st);
+    shiftRows(st);
+    addRoundKey(st, &roundKeys_[16 * rounds_]);
+    return st;
+}
+
+AesBlock
+Aes::decryptBlock(const AesBlock &in) const
+{
+    AesBlock st = in;
+    addRoundKey(st, &roundKeys_[16 * rounds_]);
+    for (int round = rounds_ - 1; round >= 1; --round) {
+        invShiftRows(st);
+        invSubBytes(st);
+        addRoundKey(st, &roundKeys_[16 * round]);
+        invMixColumns(st);
+    }
+    invShiftRows(st);
+    invSubBytes(st);
+    addRoundKey(st, &roundKeys_[0]);
+    return st;
+}
+
+} // namespace videoapp

@@ -1,0 +1,82 @@
+/**
+ * @file
+ * Block-cipher modes of operation (NIST SP 800-38A) and their
+ * error-propagation properties under approximate storage.
+ *
+ * Section 5 of the paper analyses which modes satisfy the three
+ * requirements for encryption over approximate storage:
+ *   1. secrecy (identical plaintext blocks must not leak),
+ *   2. bit flips in ciphertext must not propagate across blocks,
+ *   3. approximating ciphertext must equal approximating plaintext.
+ * ECB fails (1); CBC fails (2) and (3); OFB and CTR satisfy all
+ * three. `analyzeFlipPropagation` measures this empirically.
+ */
+
+#ifndef VIDEOAPP_CRYPTO_MODES_H_
+#define VIDEOAPP_CRYPTO_MODES_H_
+
+#include <string>
+
+#include "common/types.h"
+#include "crypto/aes.h"
+
+namespace videoapp {
+
+/**
+ * The four modes of Figure 7 plus CFB (not analysed in the paper but
+ * part of SP 800-38A; it fails requirement #2 like CBC — a flipped
+ * ciphertext bit flips the same plaintext bit but garbles the whole
+ * next block).
+ */
+enum class CipherMode { ECB, CBC, OFB, CTR, CFB };
+
+/** Human-readable mode name. */
+std::string cipherModeName(CipherMode mode);
+
+/**
+ * Encrypt @p plaintext. Input must be a multiple of 16 bytes for
+ * ECB/CBC (asserted); OFB/CTR are stream modes and accept any length.
+ * @p iv is ignored by ECB.
+ */
+Bytes encrypt(CipherMode mode, const Aes &aes, const AesBlock &iv,
+              const Bytes &plaintext);
+
+/** Inverse of encrypt() with the same mode/key/iv. */
+Bytes decrypt(CipherMode mode, const Aes &aes, const AesBlock &iv,
+              const Bytes &ciphertext);
+
+/** Result of a single-ciphertext-bit-flip propagation experiment. */
+struct FlipPropagation
+{
+    /** Plaintext bits that changed. */
+    std::size_t damagedBits = 0;
+    /** 16-byte plaintext blocks containing at least one changed bit. */
+    std::size_t damagedBlocks = 0;
+    /**
+     * True when the damage is confined to exactly the flipped bit —
+     * the paper's requirement #2/#3 for approximate storage.
+     */
+    bool confinedToFlippedBit = false;
+};
+
+/**
+ * Flip ciphertext bit @p bit_pos, decrypt, and diff against the
+ * original plaintext.
+ */
+FlipPropagation analyzeFlipPropagation(CipherMode mode, const Aes &aes,
+                                       const AesBlock &iv,
+                                       const Bytes &plaintext,
+                                       BitPos bit_pos);
+
+/**
+ * Measure ECB's dictionary leakage: the fraction of distinct
+ * plaintext block values among repeated blocks that remain
+ * distinguishable in the ciphertext (requirement #1). A mode with
+ * proper randomisation scores ~0; ECB scores 1.
+ */
+double equalBlockLeakage(CipherMode mode, const Aes &aes,
+                         const AesBlock &iv, const Bytes &plaintext);
+
+} // namespace videoapp
+
+#endif // VIDEOAPP_CRYPTO_MODES_H_

@@ -1,0 +1,52 @@
+#include "crypto/stream_crypto.h"
+
+namespace videoapp {
+
+StreamCryptor::StreamCryptor(CipherMode mode, const Bytes &key,
+                             const AesBlock &master_iv)
+    : mode_(mode), aes_(key), masterIv_(master_iv)
+{
+}
+
+AesBlock
+StreamCryptor::deriveIv(u32 stream_id) const
+{
+    AesBlock seed = masterIv_;
+    // Mix the stream id into the low bytes, then run it through the
+    // cipher so derived IVs are unrelated without the key.
+    seed[12] ^= static_cast<u8>(stream_id >> 24);
+    seed[13] ^= static_cast<u8>(stream_id >> 16);
+    seed[14] ^= static_cast<u8>(stream_id >> 8);
+    seed[15] ^= static_cast<u8>(stream_id);
+    return aes_.encryptBlock(seed);
+}
+
+Bytes
+StreamCryptor::encryptStream(u32 stream_id, const Bytes &plaintext) const
+{
+    Bytes padded = plaintext;
+    if (mode_ == CipherMode::ECB || mode_ == CipherMode::CBC) {
+        std::size_t rem = padded.size() % kAesBlockSize;
+        if (rem != 0)
+            padded.resize(padded.size() + (kAesBlockSize - rem), 0);
+    }
+    return encrypt(mode_, aes_, deriveIv(stream_id), padded);
+}
+
+Bytes
+StreamCryptor::decryptStream(u32 stream_id, const Bytes &ciphertext,
+                             std::size_t true_size) const
+{
+    Bytes plain = decrypt(mode_, aes_, deriveIv(stream_id), ciphertext);
+    if (plain.size() > true_size)
+        plain.resize(true_size);
+    return plain;
+}
+
+bool
+StreamCryptor::approximationCompatible(CipherMode mode)
+{
+    return mode == CipherMode::OFB || mode == CipherMode::CTR;
+}
+
+} // namespace videoapp

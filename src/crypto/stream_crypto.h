@@ -1,0 +1,60 @@
+/**
+ * @file
+ * Multi-stream encryption for partitioned approximate video storage.
+ *
+ * Section 5.3: after VideoApp partitions an encoded video into one
+ * stream per reliability level, each stream is encrypted separately.
+ * The IV for stream i is derived from a single master IV combined
+ * with the stream's identifier (here: AES-encrypting the master IV
+ * XOR the stream id, so IVs are unique and unpredictable without the
+ * key).
+ */
+
+#ifndef VIDEOAPP_CRYPTO_STREAM_CRYPTO_H_
+#define VIDEOAPP_CRYPTO_STREAM_CRYPTO_H_
+
+#include <vector>
+
+#include "crypto/modes.h"
+
+namespace videoapp {
+
+/**
+ * Encrypts/decrypts a set of independently stored streams under one
+ * key and one master IV.
+ */
+class StreamCryptor
+{
+  public:
+    StreamCryptor(CipherMode mode, const Bytes &key,
+                  const AesBlock &master_iv);
+
+    /** Derive the per-stream IV (deterministic in stream_id). */
+    AesBlock deriveIv(u32 stream_id) const;
+
+    /**
+     * Encrypt one stream. For block modes (ECB/CBC) the stream is
+     * zero-padded to a whole number of blocks; the caller must keep
+     * the true length (the container header does) and truncate after
+     * decryptStream.
+     */
+    Bytes encryptStream(u32 stream_id, const Bytes &plaintext) const;
+
+    /** Decrypt one stream; @p true_size trims block-mode padding. */
+    Bytes decryptStream(u32 stream_id, const Bytes &ciphertext,
+                        std::size_t true_size) const;
+
+    CipherMode mode() const { return mode_; }
+
+    /** True for modes satisfying all three §5.1 requirements. */
+    static bool approximationCompatible(CipherMode mode);
+
+  private:
+    CipherMode mode_;
+    Aes aes_;
+    AesBlock masterIv_;
+};
+
+} // namespace videoapp
+
+#endif // VIDEOAPP_CRYPTO_STREAM_CRYPTO_H_

@@ -1,0 +1,279 @@
+#include "graph/importance.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "graph/topo_sort.h"
+
+namespace videoapp {
+
+namespace {
+
+/** Flat node id for (frame, mb). */
+std::uint32_t
+nodeId(std::size_t frame, std::size_t mb, std::size_t mb_per_frame)
+{
+    return static_cast<std::uint32_t>(frame * mb_per_frame + mb);
+}
+
+/** Compensation graph: edges source-MB -> dependent-MB. */
+WeightedDag
+buildCompensationGraph(const EncodeSideInfo &side,
+                       std::size_t mb_per_frame)
+{
+    WeightedDag dag(side.frames.size() * mb_per_frame);
+    for (std::size_t f = 0; f < side.frames.size(); ++f) {
+        const FrameRecord &frame = side.frames[f];
+        for (std::size_t m = 0; m < frame.mbs.size(); ++m) {
+            for (const CompDepRecord &dep : frame.mbs[m].deps) {
+                dag.addEdge(nodeId(static_cast<std::size_t>(
+                                       dep.refFrame),
+                                   dep.refMb, mb_per_frame),
+                            nodeId(f, m, mb_per_frame), dep.weight);
+            }
+        }
+    }
+    return dag;
+}
+
+/**
+ * Coding graph: within each slice, a weight-1 chain in scan order
+ * (Section 4.2 — an error in MB i damages every subsequent MB of the
+ * slice through entropy desync and metadata misprediction).
+ */
+WeightedDag
+buildCodingGraph(const EncodeSideInfo &side, const EncodedVideo &video,
+                 std::size_t mb_per_frame)
+{
+    WeightedDag dag(side.frames.size() * mb_per_frame);
+    for (std::size_t f = 0; f < video.frameHeaders.size() &&
+                            f < side.frames.size();
+         ++f) {
+        for (const SliceRecord &slice : video.frameHeaders[f].slices) {
+            u32 end = std::min<u32>(slice.firstMb + slice.mbCount,
+                                    static_cast<u32>(mb_per_frame));
+            for (u32 m = slice.firstMb; m + 1 < end; ++m)
+                dag.addEdge(nodeId(f, m, mb_per_frame),
+                            nodeId(f, m + 1, mb_per_frame), 1.0f);
+        }
+    }
+    return dag;
+}
+
+ImportanceMap
+toMap(const std::vector<double> &flat, std::size_t frames,
+      std::size_t mb_per_frame)
+{
+    ImportanceMap map;
+    map.values.resize(frames);
+    for (std::size_t f = 0; f < frames; ++f) {
+        map.values[f].assign(
+            flat.begin() +
+                static_cast<std::ptrdiff_t>(f * mb_per_frame),
+            flat.begin() +
+                static_cast<std::ptrdiff_t>((f + 1) * mb_per_frame));
+    }
+    return map;
+}
+
+} // namespace
+
+double
+ImportanceMap::maxImportance() const
+{
+    double best = 0;
+    for (const auto &frame : values)
+        for (double v : frame)
+            best = std::max(best, v);
+    return best;
+}
+
+double
+ImportanceMap::minImportance() const
+{
+    double best = 1e300;
+    for (const auto &frame : values)
+        for (double v : frame)
+            best = std::min(best, v);
+    return values.empty() ? 0.0 : best;
+}
+
+int
+ImportanceMap::classOf(double importance)
+{
+    if (importance <= 1.0)
+        return 0;
+    return static_cast<int>(std::ceil(std::log2(importance)));
+}
+
+ImportanceMap
+computeCompensationImportance(const EncodeSideInfo &side,
+                              const EncodedVideo &video)
+{
+    (void)video;
+    const std::size_t mb_per_frame =
+        side.frames.empty() ? 0 : side.frames[0].mbs.size();
+    WeightedDag comp = buildCompensationGraph(side, mb_per_frame);
+    std::vector<double> init(comp.nodeCount(), 1.0);
+    auto flat = accumulateImportance(comp, init);
+    return toMap(flat, side.frames.size(), mb_per_frame);
+}
+
+ImportanceMap
+computeImportance(const EncodeSideInfo &side, const EncodedVideo &video)
+{
+    const std::size_t mb_per_frame =
+        side.frames.empty() ? 0 : side.frames[0].mbs.size();
+
+    // Steps 1-4: compensation graph, importance 1 at every node.
+    WeightedDag comp = buildCompensationGraph(side, mb_per_frame);
+    std::vector<double> init(comp.nodeCount(), 1.0);
+    std::vector<double> comp_importance =
+        accumulateImportance(comp, init);
+
+    // Steps 5-8: coding graph seeded with compensation importance.
+    WeightedDag coding = buildCodingGraph(side, video, mb_per_frame);
+    std::vector<double> final_importance =
+        accumulateImportance(coding, comp_importance);
+
+    return toMap(final_importance, side.frames.size(), mb_per_frame);
+}
+
+ImportanceMap
+computeImportanceStreaming(const EncodeSideInfo &side,
+                           const EncodedVideo &video)
+{
+    const std::size_t frames = side.frames.size();
+    const std::size_t mb_per_frame =
+        frames == 0 ? 0 : side.frames[0].mbs.size();
+
+    // GOP windows by display index: window k holds the frames whose
+    // display position lies in [display(I_k), display(I_{k+1})).
+    // With open GOPs the B frames at a window's tail reference the
+    // NEXT window's I frame, so the windows share exactly that I
+    // frame. Importance accumulation is linear, so processing
+    // windows in reverse and seeding the shared I frame with its
+    // already-accumulated importance is exact — this is the
+    // bounded-memory streaming evaluation of Section 4.3.1 (run
+    // back-to-front here for exactness; a live encoder would keep
+    // one window of lookahead instead).
+    std::vector<int> i_frame_displays;
+    std::vector<std::size_t> i_frame_enc;
+    for (std::size_t f = 0; f < frames; ++f) {
+        if (side.frames[f].type == FrameType::I) {
+            i_frame_displays.push_back(side.frames[f].displayIdx);
+            i_frame_enc.push_back(f);
+        }
+    }
+    if (i_frame_displays.empty())
+        return computeImportance(side, video); // degenerate input
+
+    auto window_of = [&](int display) {
+        std::size_t w = 0;
+        while (w + 1 < i_frame_displays.size() &&
+               display >= i_frame_displays[w + 1])
+            ++w;
+        return w;
+    };
+
+    const std::size_t window_count = i_frame_displays.size();
+    std::vector<std::vector<std::size_t>> members(window_count);
+    for (std::size_t f = 0; f < frames; ++f)
+        members[window_of(side.frames[f].displayIdx)].push_back(f);
+
+    std::vector<std::vector<double>> comp_importance(frames);
+
+    for (std::size_t w = window_count; w-- > 0;) {
+        // Node set: this window's members plus the next window's I
+        // frame (referenced by this window's tail B frames).
+        std::vector<std::size_t> node_frames = members[w];
+        bool has_extra = w + 1 < window_count;
+        if (has_extra)
+            node_frames.push_back(i_frame_enc[w + 1]);
+
+        std::vector<std::size_t> local_of(frames, SIZE_MAX);
+        for (std::size_t i = 0; i < node_frames.size(); ++i)
+            local_of[node_frames[i]] = i;
+
+        WeightedDag comp(node_frames.size() * mb_per_frame);
+        auto add_frame_edges = [&](std::size_t f,
+                                   bool self_edges_only,
+                                   bool defer_self_edges) {
+            const FrameRecord &frame = side.frames[f];
+            for (std::size_t m = 0; m < frame.mbs.size(); ++m) {
+                for (const CompDepRecord &dep : frame.mbs[m].deps) {
+                    std::size_t rf =
+                        static_cast<std::size_t>(dep.refFrame);
+                    bool self = rf == f;
+                    if (self_edges_only && !self)
+                        continue;
+                    if (defer_self_edges && self)
+                        continue;
+                    if (local_of[rf] == SIZE_MAX)
+                        continue;
+                    comp.addEdge(
+                        static_cast<std::uint32_t>(
+                            local_of[rf] * mb_per_frame +
+                            dep.refMb),
+                        static_cast<std::uint32_t>(
+                            local_of[f] * mb_per_frame + m),
+                        dep.weight);
+                }
+            }
+        };
+        for (std::size_t f : members[w]) {
+            // A shared I frame's internal (intra) edges must be
+            // applied exactly once, in the window processed last
+            // (the earlier-display one), so the internal
+            // propagation also amplifies the later window's
+            // contributions. Defer them here; they are added below
+            // when this I is the extra of window w-1.
+            bool defer = f == i_frame_enc[w] && w > 0;
+            add_frame_edges(f, false, defer);
+        }
+        if (has_extra)
+            add_frame_edges(i_frame_enc[w + 1], true, false);
+
+        std::vector<double> init(node_frames.size() * mb_per_frame,
+                                 1.0);
+        if (has_extra) {
+            // Seed the shared I frame with its importance from the
+            // (already processed) next window.
+            const auto &seed =
+                comp_importance[i_frame_enc[w + 1]];
+            std::size_t base =
+                local_of[i_frame_enc[w + 1]] * mb_per_frame;
+            for (std::size_t m = 0; m < mb_per_frame; ++m)
+                init[base + m] = seed[m];
+        }
+
+        std::vector<double> result =
+            accumulateImportance(comp, init);
+        for (std::size_t f : node_frames) {
+            std::size_t base = local_of[f] * mb_per_frame;
+            comp_importance[f].assign(
+                result.begin() + static_cast<std::ptrdiff_t>(base),
+                result.begin() +
+                    static_cast<std::ptrdiff_t>(base +
+                                                mb_per_frame));
+        }
+    }
+
+    // Steps 5-8: the coding chain, independently per slice.
+    ImportanceMap map;
+    map.values = std::move(comp_importance);
+    for (std::size_t f = 0;
+         f < frames && f < video.frameHeaders.size(); ++f) {
+        std::vector<double> &out = map.values[f];
+        for (const SliceRecord &slice :
+             video.frameHeaders[f].slices) {
+            u32 end = std::min<u32>(slice.firstMb + slice.mbCount,
+                                    static_cast<u32>(mb_per_frame));
+            for (u32 m = end; m-- > slice.firstMb + 1;)
+                out[m - 1] += out[m];
+        }
+    }
+    return map;
+}
+
+} // namespace videoapp

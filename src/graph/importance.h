@@ -1,0 +1,70 @@
+/**
+ * @file
+ * VideoApp's macroblock importance computation (Section 4.3).
+ *
+ * Importance of an MB = the number of MBs (weighted by damaged area)
+ * to which an error originating in that MB propagates, through
+ * compensation dependences (pixel-domain: motion compensation and
+ * intra prediction) and coding dependences (entropy context +
+ * predictive metadata, a weight-1 chain over the rest of the slice).
+ *
+ * The two graphs are processed in sequence exactly as the paper's
+ * 8-step algorithm: compensation importance first, which then seeds
+ * the coding pass — because compensation damage can follow coding
+ * damage but not vice versa (Figure 5).
+ */
+
+#ifndef VIDEOAPP_GRAPH_IMPORTANCE_H_
+#define VIDEOAPP_GRAPH_IMPORTANCE_H_
+
+#include <vector>
+
+#include "codec/container.h"
+#include "codec/encoder.h"
+
+namespace videoapp {
+
+/** Per-frame, per-MB importance values. */
+struct ImportanceMap
+{
+    /** importance[frameEncIdx][mbIdx], always >= 1. */
+    std::vector<std::vector<double>> values;
+
+    double maxImportance() const;
+    double minImportance() const;
+
+    /** Importance class: smallest i with importance <= 2^i. */
+    static int classOf(double importance);
+};
+
+/**
+ * Build both dependency graphs from the encoder's side info and run
+ * the two-phase accumulation. @p video provides slice geometry (the
+ * coding chain restarts at each slice).
+ */
+ImportanceMap computeImportance(const EncodeSideInfo &side,
+                                const EncodedVideo &video);
+
+/**
+ * The compensation-only importance (after step 4, before the coding
+ * pass); exposed for experiments that separate the two effects
+ * (Section 3's coding vs. compensation error discussion).
+ */
+ImportanceMap computeCompensationImportance(const EncodeSideInfo &side,
+                                            const EncodedVideo &video);
+
+/**
+ * Streaming implementation (Section 4.3.1): "steps 1-4 do not need
+ * to be performed on the entire graph at once, but ... can be
+ * independently performed on each connected component between two
+ * I-frames", and the coding pass per frame. This version walks the
+ * encode-order sequence one closed GOP window at a time with
+ * bounded working memory, producing results identical to
+ * computeImportance() (verified by tests).
+ */
+ImportanceMap computeImportanceStreaming(const EncodeSideInfo &side,
+                                         const EncodedVideo &video);
+
+} // namespace videoapp
+
+#endif // VIDEOAPP_GRAPH_IMPORTANCE_H_

@@ -1,0 +1,59 @@
+#include "graph/topo_sort.h"
+
+#include <cassert>
+
+namespace videoapp {
+
+std::vector<std::uint32_t>
+topologicalSort(const WeightedDag &dag)
+{
+    const std::size_t n = dag.nodeCount();
+    std::vector<std::uint32_t> in_degree(n, 0);
+    for (const auto &edges : dag.adjacency)
+        for (const auto &e : edges)
+            ++in_degree[e.to];
+
+    std::vector<std::uint32_t> order;
+    order.reserve(n);
+    // Queue of ready nodes; vector-as-stack keeps it allocation-lean.
+    std::vector<std::uint32_t> ready;
+    for (std::uint32_t v = 0; v < n; ++v)
+        if (in_degree[v] == 0)
+            ready.push_back(v);
+
+    while (!ready.empty()) {
+        std::uint32_t v = ready.back();
+        ready.pop_back();
+        order.push_back(v);
+        for (const auto &e : dag.adjacency[v]) {
+            if (--in_degree[e.to] == 0)
+                ready.push_back(e.to);
+        }
+    }
+    if (order.size() != n)
+        return {}; // cycle
+    return order;
+}
+
+std::vector<double>
+accumulateImportance(const WeightedDag &dag,
+                     const std::vector<double> &init)
+{
+    assert(init.size() == dag.nodeCount());
+    std::vector<std::uint32_t> order = topologicalSort(dag);
+    assert(!order.empty() || dag.nodeCount() == 0);
+
+    std::vector<double> importance = init;
+    // Backwards over the topological order: children are finalised
+    // before their parents are updated.
+    for (std::size_t i = order.size(); i-- > 0;) {
+        std::uint32_t v = order[i];
+        double sum = 0.0;
+        for (const auto &e : dag.adjacency[v])
+            sum += e.weight * importance[e.to];
+        importance[v] += sum;
+    }
+    return importance;
+}
+
+} // namespace videoapp

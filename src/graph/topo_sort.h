@@ -1,0 +1,57 @@
+/**
+ * @file
+ * Topological sorting of dependency graphs (step 3/7 of the paper's
+ * importance algorithm, Section 4.3).
+ */
+
+#ifndef VIDEOAPP_GRAPH_TOPO_SORT_H_
+#define VIDEOAPP_GRAPH_TOPO_SORT_H_
+
+#include <cstdint>
+#include <vector>
+
+namespace videoapp {
+
+/** Adjacency-list graph over nodes 0..n-1 with weighted edges. */
+struct WeightedDag
+{
+    struct Edge
+    {
+        std::uint32_t to;
+        float weight;
+    };
+
+    explicit WeightedDag(std::size_t nodes) : adjacency(nodes) {}
+
+    std::size_t nodeCount() const { return adjacency.size(); }
+
+    void
+    addEdge(std::uint32_t from, std::uint32_t to, float weight)
+    {
+        adjacency[from].push_back({to, weight});
+    }
+
+    /** Outgoing edges (damage flows from node to its dependents). */
+    std::vector<std::vector<Edge>> adjacency;
+};
+
+/**
+ * Kahn topological sort. @return node ids in an order where every
+ * edge goes forward; empty if the graph has a cycle (which would
+ * indicate a broken dependency capture — encoded video dependences
+ * always follow encode order).
+ */
+std::vector<std::uint32_t> topologicalSort(const WeightedDag &dag);
+
+/**
+ * The paper's backward accumulation (steps 2-4 / 6-8): initialise
+ * each node's importance to @p init (per node), then walk the
+ * topological order backwards adding the weighted sum of each
+ * node's children. @return the accumulated importance per node.
+ */
+std::vector<double> accumulateImportance(
+    const WeightedDag &dag, const std::vector<double> &init);
+
+} // namespace videoapp
+
+#endif // VIDEOAPP_GRAPH_TOPO_SORT_H_

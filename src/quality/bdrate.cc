@@ -1,0 +1,149 @@
+#include "quality/bdrate.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace videoapp {
+
+namespace {
+
+/** Evaluate the integral of a cubic's antiderivative at x. */
+double
+cubicIntegralAt(const std::vector<double> &c, double x)
+{
+    return c[0] * x + c[1] * x * x / 2 + c[2] * x * x * x / 3 +
+           c[3] * x * x * x * x / 4;
+}
+
+/** Mean of the fitted cubic over [lo, hi]. */
+double
+cubicMean(const std::vector<double> &c, double lo, double hi)
+{
+    return (cubicIntegralAt(c, hi) - cubicIntegralAt(c, lo)) /
+           (hi - lo);
+}
+
+/**
+ * Average gap between two curves y(x): fit cubics to both point
+ * sets and integrate the difference over the overlapping x range.
+ */
+std::optional<double>
+averageCurveGap(const std::vector<double> &x_ref,
+                const std::vector<double> &y_ref,
+                const std::vector<double> &x_test,
+                const std::vector<double> &y_test)
+{
+    if (x_ref.size() < 4 || x_test.size() < 4)
+        return std::nullopt;
+    double lo = std::max(*std::min_element(x_ref.begin(), x_ref.end()),
+                         *std::min_element(x_test.begin(),
+                                           x_test.end()));
+    double hi = std::min(*std::max_element(x_ref.begin(), x_ref.end()),
+                         *std::max_element(x_test.begin(),
+                                           x_test.end()));
+    if (hi <= lo)
+        return std::nullopt;
+    auto c_ref = fitCubic(x_ref, y_ref);
+    auto c_test = fitCubic(x_test, y_test);
+    if (c_ref.empty() || c_test.empty())
+        return std::nullopt;
+    return cubicMean(c_test, lo, hi) - cubicMean(c_ref, lo, hi);
+}
+
+} // namespace
+
+std::vector<double>
+fitCubic(const std::vector<double> &xs, const std::vector<double> &ys)
+{
+    const int n = 4;
+    // Normal equations A c = b with A[i][j] = sum x^(i+j).
+    double a[n][n] = {};
+    double b[n] = {};
+    for (std::size_t k = 0; k < xs.size(); ++k) {
+        double pow_i = 1.0;
+        for (int i = 0; i < n; ++i) {
+            double pow_ij = pow_i;
+            for (int j = 0; j < n; ++j) {
+                a[i][j] += pow_ij;
+                pow_ij *= xs[k];
+            }
+            b[i] += pow_i * ys[k];
+            pow_i *= xs[k];
+        }
+    }
+
+    // Gaussian elimination with partial pivoting.
+    for (int col = 0; col < n; ++col) {
+        int pivot = col;
+        for (int row = col + 1; row < n; ++row)
+            if (std::abs(a[row][col]) > std::abs(a[pivot][col]))
+                pivot = row;
+        if (std::abs(a[pivot][col]) < 1e-12)
+            return {};
+        if (pivot != col) {
+            for (int j = 0; j < n; ++j)
+                std::swap(a[col][j], a[pivot][j]);
+            std::swap(b[col], b[pivot]);
+        }
+        for (int row = col + 1; row < n; ++row) {
+            double f = a[row][col] / a[col][col];
+            for (int j = col; j < n; ++j)
+                a[row][j] -= f * a[col][j];
+            b[row] -= f * b[col];
+        }
+    }
+    std::vector<double> c(n);
+    for (int i = n - 1; i >= 0; --i) {
+        double s = b[i];
+        for (int j = i + 1; j < n; ++j)
+            s -= a[i][j] * c[static_cast<std::size_t>(j)];
+        c[static_cast<std::size_t>(i)] = s / a[i][i];
+    }
+    return c;
+}
+
+std::optional<double>
+bdPsnr(const std::vector<RdPoint> &reference,
+       const std::vector<RdPoint> &test)
+{
+    std::vector<double> xr, yr, xt, yt;
+    for (const auto &p : reference) {
+        if (p.bitrate <= 0)
+            return std::nullopt;
+        xr.push_back(std::log10(p.bitrate));
+        yr.push_back(p.psnr);
+    }
+    for (const auto &p : test) {
+        if (p.bitrate <= 0)
+            return std::nullopt;
+        xt.push_back(std::log10(p.bitrate));
+        yt.push_back(p.psnr);
+    }
+    return averageCurveGap(xr, yr, xt, yt);
+}
+
+std::optional<double>
+bdRate(const std::vector<RdPoint> &reference,
+       const std::vector<RdPoint> &test)
+{
+    // Swap axes: fit log-rate as a function of PSNR.
+    std::vector<double> xr, yr, xt, yt;
+    for (const auto &p : reference) {
+        if (p.bitrate <= 0)
+            return std::nullopt;
+        xr.push_back(p.psnr);
+        yr.push_back(std::log10(p.bitrate));
+    }
+    for (const auto &p : test) {
+        if (p.bitrate <= 0)
+            return std::nullopt;
+        xt.push_back(p.psnr);
+        yt.push_back(std::log10(p.bitrate));
+    }
+    auto gap = averageCurveGap(xr, yr, xt, yt);
+    if (!gap)
+        return std::nullopt;
+    return std::pow(10.0, *gap) - 1.0;
+}
+
+} // namespace videoapp

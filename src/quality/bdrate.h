@@ -1,0 +1,53 @@
+/**
+ * @file
+ * Bjøntegaard delta metrics (BD-Rate / BD-PSNR).
+ *
+ * The standard way to compare two encoders: fit third-order
+ * polynomials through each encoder's (log bitrate, PSNR) points and
+ * integrate the gap. BD-Rate is the average bitrate difference at
+ * equal quality (negative = the test encoder needs fewer bits);
+ * BD-PSNR is the average quality difference at equal bitrate. Used
+ * by the entropy-coder ablation to express the CABAC/CAVLC gap the
+ * same way the literature the paper cites does (Marpe et al.).
+ */
+
+#ifndef VIDEOAPP_QUALITY_BDRATE_H_
+#define VIDEOAPP_QUALITY_BDRATE_H_
+
+#include <optional>
+#include <vector>
+
+namespace videoapp {
+
+/** One rate-distortion point. */
+struct RdPoint
+{
+    double bitrate; // any consistent unit (bits, kbps, ...)
+    double psnr;    // dB
+};
+
+/**
+ * BD-PSNR of @p test against @p reference in dB (positive = test is
+ * better at equal rate). Requires >= 4 points per curve and an
+ * overlapping rate range; nullopt otherwise.
+ */
+std::optional<double> bdPsnr(const std::vector<RdPoint> &reference,
+                             const std::vector<RdPoint> &test);
+
+/**
+ * BD-Rate of @p test against @p reference as a fraction (e.g. -0.12
+ * = the test encoder needs 12% fewer bits at equal quality).
+ */
+std::optional<double> bdRate(const std::vector<RdPoint> &reference,
+                             const std::vector<RdPoint> &test);
+
+/**
+ * Least-squares cubic fit y = c0 + c1 x + c2 x^2 + c3 x^3.
+ * Exposed for tests. @return empty on singular systems.
+ */
+std::vector<double> fitCubic(const std::vector<double> &xs,
+                             const std::vector<double> &ys);
+
+} // namespace videoapp
+
+#endif // VIDEOAPP_QUALITY_BDRATE_H_

@@ -1,0 +1,35 @@
+#include "quality/metrics.h"
+
+#include <cstdio>
+
+#include "quality/psnr.h"
+#include "quality/ssim.h"
+#include "quality/vif.h"
+
+namespace videoapp {
+
+std::string
+QualityReport::toString() const
+{
+    char buf[128];
+    std::snprintf(buf, sizeof(buf),
+                  "PSNR %.2f dB  SSIM %.4f  MS-SSIM %.4f  VIFP %.4f",
+                  psnr, ssim, msssim, vifp);
+    return buf;
+}
+
+QualityReport
+measureQuality(const Video &reference, const Video &test,
+               bool with_expensive)
+{
+    QualityReport report;
+    report.psnr = psnrVideo(reference, test);
+    report.ssim = ssimVideo(reference, test);
+    if (with_expensive) {
+        report.msssim = msssimVideo(reference, test);
+        report.vifp = vifpVideo(reference, test);
+    }
+    return report;
+}
+
+} // namespace videoapp

@@ -1,0 +1,36 @@
+/**
+ * @file
+ * Unified quality-metric facade over PSNR / SSIM / MS-SSIM / VIFP,
+ * mirroring the report produced by the VQMT tool the paper used.
+ */
+
+#ifndef VIDEOAPP_QUALITY_METRICS_H_
+#define VIDEOAPP_QUALITY_METRICS_H_
+
+#include <string>
+
+#include "video/frame.h"
+
+namespace videoapp {
+
+/** All four metrics for one video pair (averaged across frames). */
+struct QualityReport
+{
+    double psnr = 0.0;
+    double ssim = 0.0;
+    double msssim = 0.0;
+    double vifp = 0.0;
+
+    std::string toString() const;
+};
+
+/**
+ * Compute all metrics. @p with_expensive controls whether MS-SSIM and
+ * VIFP are computed (they dominate runtime for large suites).
+ */
+QualityReport measureQuality(const Video &reference, const Video &test,
+                             bool with_expensive = true);
+
+} // namespace videoapp
+
+#endif // VIDEOAPP_QUALITY_METRICS_H_

@@ -1,0 +1,49 @@
+#include "quality/psnr.h"
+
+#include <cassert>
+#include <cmath>
+
+namespace videoapp {
+
+double
+meanSquaredError(const Plane &a, const Plane &b)
+{
+    assert(a.sameSize(b));
+    const auto &da = a.data();
+    const auto &db = b.data();
+    double sum = 0.0;
+    for (std::size_t i = 0; i < da.size(); ++i) {
+        double d = static_cast<double>(da[i]) - db[i];
+        sum += d * d;
+    }
+    return da.empty() ? 0.0 : sum / da.size();
+}
+
+double
+mseToPsnr(double mse)
+{
+    if (mse <= 0.0)
+        return kPsnrCap;
+    double psnr = 10.0 * std::log10(255.0 * 255.0 / mse);
+    return psnr > kPsnrCap ? kPsnrCap : psnr;
+}
+
+double
+psnrFrame(const Frame &a, const Frame &b)
+{
+    return mseToPsnr(meanSquaredError(a.y(), b.y()));
+}
+
+double
+psnrVideo(const Video &a, const Video &b)
+{
+    assert(a.frames.size() == b.frames.size());
+    if (a.frames.empty())
+        return kPsnrCap;
+    double sum = 0.0;
+    for (std::size_t i = 0; i < a.frames.size(); ++i)
+        sum += psnrFrame(a.frames[i], b.frames[i]);
+    return sum / a.frames.size();
+}
+
+} // namespace videoapp

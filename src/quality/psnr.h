@@ -1,0 +1,34 @@
+/**
+ * @file
+ * Peak signal-to-noise ratio, the paper's primary quality metric.
+ */
+
+#ifndef VIDEOAPP_QUALITY_PSNR_H_
+#define VIDEOAPP_QUALITY_PSNR_H_
+
+#include "video/frame.h"
+
+namespace videoapp {
+
+/** PSNR is capped at this value when the planes are identical. */
+inline constexpr double kPsnrCap = 100.0;
+
+/** Mean squared error between two equally sized planes. */
+double meanSquaredError(const Plane &a, const Plane &b);
+
+/** Luma PSNR between two frames in dB (capped at kPsnrCap). */
+double psnrFrame(const Frame &a, const Frame &b);
+
+/**
+ * Average per-frame luma PSNR over a sequence, the convention the
+ * paper follows ("average value across the frames"). Sequences must
+ * have equal length and dimensions.
+ */
+double psnrVideo(const Video &a, const Video &b);
+
+/** Convert an MSE value to PSNR dB for 8-bit content. */
+double mseToPsnr(double mse);
+
+} // namespace videoapp
+
+#endif // VIDEOAPP_QUALITY_PSNR_H_

@@ -1,0 +1,226 @@
+#include "quality/ssim.h"
+
+#include <array>
+#include <cassert>
+#include <cmath>
+#include <vector>
+
+namespace videoapp {
+
+namespace {
+
+constexpr int kWindow = 11;
+constexpr double kSigma = 1.5;
+constexpr double kC1 = (0.01 * 255) * (0.01 * 255);
+constexpr double kC2 = (0.03 * 255) * (0.03 * 255);
+
+const std::array<double, kWindow> &
+gaussianKernel()
+{
+    static const std::array<double, kWindow> kernel = [] {
+        std::array<double, kWindow> k{};
+        double sum = 0.0;
+        for (int i = 0; i < kWindow; ++i) {
+            double d = i - kWindow / 2;
+            k[i] = std::exp(-d * d / (2 * kSigma * kSigma));
+            sum += k[i];
+        }
+        for (auto &v : k)
+            v /= sum;
+        return k;
+    }();
+    return kernel;
+}
+
+/** Separable Gaussian filter; output is valid-region only. */
+std::vector<double>
+gaussianFilter(const std::vector<double> &img, int w, int h,
+               int &out_w, int &out_h)
+{
+    const auto &k = gaussianKernel();
+    out_w = w - kWindow + 1;
+    out_h = h - kWindow + 1;
+    if (out_w <= 0 || out_h <= 0) {
+        out_w = out_h = 0;
+        return {};
+    }
+
+    // Horizontal pass.
+    std::vector<double> tmp(static_cast<std::size_t>(out_w) * h);
+    for (int y = 0; y < h; ++y) {
+        for (int x = 0; x < out_w; ++x) {
+            double s = 0.0;
+            for (int i = 0; i < kWindow; ++i)
+                s += k[i] * img[static_cast<std::size_t>(y) * w + x + i];
+            tmp[static_cast<std::size_t>(y) * out_w + x] = s;
+        }
+    }
+    // Vertical pass.
+    std::vector<double> out(static_cast<std::size_t>(out_w) * out_h);
+    for (int y = 0; y < out_h; ++y) {
+        for (int x = 0; x < out_w; ++x) {
+            double s = 0.0;
+            for (int i = 0; i < kWindow; ++i)
+                s += k[i] *
+                     tmp[static_cast<std::size_t>(y + i) * out_w + x];
+            out[static_cast<std::size_t>(y) * out_w + x] = s;
+        }
+    }
+    return out;
+}
+
+std::vector<double>
+toDouble(const Plane &p)
+{
+    std::vector<double> out(p.data().size());
+    for (std::size_t i = 0; i < out.size(); ++i)
+        out[i] = p.data()[i];
+    return out;
+}
+
+/** Per-window luminance/contrast/structure products for one scale. */
+struct SsimSums
+{
+    double meanSsim = 1.0;     // full SSIM (with luminance term)
+    double meanCs = 1.0;       // contrast*structure only (for MS-SSIM)
+    bool valid = false;
+};
+
+SsimSums
+ssimPass(const Plane &pa, const Plane &pb)
+{
+    assert(pa.sameSize(pb));
+    int w = pa.width(), h = pa.height();
+    auto a = toDouble(pa);
+    auto b = toDouble(pb);
+
+    std::vector<double> aa(a.size()), bb(a.size()), ab(a.size());
+    for (std::size_t i = 0; i < a.size(); ++i) {
+        aa[i] = a[i] * a[i];
+        bb[i] = b[i] * b[i];
+        ab[i] = a[i] * b[i];
+    }
+
+    int ow, oh;
+    auto mu_a = gaussianFilter(a, w, h, ow, oh);
+    SsimSums sums;
+    if (ow == 0)
+        return sums;
+    auto mu_b = gaussianFilter(b, w, h, ow, oh);
+    auto s_aa = gaussianFilter(aa, w, h, ow, oh);
+    auto s_bb = gaussianFilter(bb, w, h, ow, oh);
+    auto s_ab = gaussianFilter(ab, w, h, ow, oh);
+
+    double total_ssim = 0.0, total_cs = 0.0;
+    std::size_t n = mu_a.size();
+    for (std::size_t i = 0; i < n; ++i) {
+        double ma = mu_a[i], mb = mu_b[i];
+        double va = s_aa[i] - ma * ma;
+        double vb = s_bb[i] - mb * mb;
+        double cov = s_ab[i] - ma * mb;
+        double lum = (2 * ma * mb + kC1) / (ma * ma + mb * mb + kC1);
+        double cs = (2 * cov + kC2) / (va + vb + kC2);
+        total_ssim += lum * cs;
+        total_cs += cs;
+    }
+    sums.meanSsim = total_ssim / n;
+    sums.meanCs = total_cs / n;
+    sums.valid = true;
+    return sums;
+}
+
+} // namespace
+
+Plane
+downsample2x(const Plane &p)
+{
+    int w = p.width() / 2, h = p.height() / 2;
+    Plane out(std::max(w, 1), std::max(h, 1));
+    for (int y = 0; y < out.height(); ++y) {
+        for (int x = 0; x < out.width(); ++x) {
+            int sx = 2 * x, sy = 2 * y;
+            int sum = p.atClamped(sx, sy) + p.atClamped(sx + 1, sy) +
+                      p.atClamped(sx, sy + 1) +
+                      p.atClamped(sx + 1, sy + 1);
+            out.at(x, y) = static_cast<u8>((sum + 2) / 4);
+        }
+    }
+    return out;
+}
+
+double
+ssimPlane(const Plane &a, const Plane &b)
+{
+    auto sums = ssimPass(a, b);
+    return sums.valid ? sums.meanSsim : 1.0;
+}
+
+double
+ssimFrame(const Frame &a, const Frame &b)
+{
+    return ssimPlane(a.y(), b.y());
+}
+
+double
+ssimVideo(const Video &a, const Video &b)
+{
+    assert(a.frames.size() == b.frames.size());
+    if (a.frames.empty())
+        return 1.0;
+    double sum = 0.0;
+    for (std::size_t i = 0; i < a.frames.size(); ++i)
+        sum += ssimFrame(a.frames[i], b.frames[i]);
+    return sum / a.frames.size();
+}
+
+double
+msssimPlane(const Plane &a, const Plane &b)
+{
+    // Standard MS-SSIM exponents (Wang et al. 2003).
+    static const double weights[5] = {0.0448, 0.2856, 0.3001, 0.2363,
+                                      0.1333};
+    Plane pa = a, pb = b;
+    double result = 1.0;
+    double used_weight = 0.0;
+    for (int scale = 0; scale < 5; ++scale) {
+        auto sums = ssimPass(pa, pb);
+        if (!sums.valid)
+            break;
+        bool last = scale == 4 || pa.width() / 2 < kWindow ||
+                    pa.height() / 2 < kWindow;
+        double term = last ? sums.meanSsim : sums.meanCs;
+        // Negative CS values can occur for badly damaged content;
+        // clamp to a small positive number before exponentiation.
+        term = term < 1e-6 ? 1e-6 : term;
+        result *= std::pow(term, weights[scale]);
+        used_weight += weights[scale];
+        if (last)
+            break;
+        pa = downsample2x(pa);
+        pb = downsample2x(pb);
+    }
+    // Renormalise if fewer than 5 scales fit the image.
+    if (used_weight > 0 && used_weight < 1.0)
+        result = std::pow(result, 1.0 / used_weight);
+    return result;
+}
+
+double
+msssimFrame(const Frame &a, const Frame &b)
+{
+    return msssimPlane(a.y(), b.y());
+}
+
+double
+msssimVideo(const Video &a, const Video &b)
+{
+    assert(a.frames.size() == b.frames.size());
+    if (a.frames.empty())
+        return 1.0;
+    double sum = 0.0;
+    for (std::size_t i = 0; i < a.frames.size(); ++i)
+        sum += msssimFrame(a.frames[i], b.frames[i]);
+    return sum / a.frames.size();
+}
+
+} // namespace videoapp

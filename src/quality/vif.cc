@@ -1,0 +1,158 @@
+#include "quality/vif.h"
+
+#include <cassert>
+#include <cmath>
+#include <vector>
+
+#include "quality/ssim.h"
+
+namespace videoapp {
+
+namespace {
+
+constexpr double kSigmaNsq = 2.0; // HVS internal neuron noise variance
+
+struct ScaleInfo
+{
+    double num = 0.0; // information in the distorted image
+    double den = 0.0; // information in the reference image
+};
+
+std::vector<double>
+boxFilter(const std::vector<double> &img, int w, int h, int win,
+          int &ow, int &oh)
+{
+    ow = w - win + 1;
+    oh = h - win + 1;
+    if (ow <= 0 || oh <= 0) {
+        ow = oh = 0;
+        return {};
+    }
+    double inv = 1.0 / (win * win);
+    std::vector<double> tmp(static_cast<std::size_t>(ow) * h);
+    for (int y = 0; y < h; ++y) {
+        double s = 0.0;
+        for (int i = 0; i < win; ++i)
+            s += img[static_cast<std::size_t>(y) * w + i];
+        tmp[static_cast<std::size_t>(y) * ow] = s;
+        for (int x = 1; x < ow; ++x) {
+            s += img[static_cast<std::size_t>(y) * w + x + win - 1] -
+                 img[static_cast<std::size_t>(y) * w + x - 1];
+            tmp[static_cast<std::size_t>(y) * ow + x] = s;
+        }
+    }
+    std::vector<double> out(static_cast<std::size_t>(ow) * oh);
+    for (int x = 0; x < ow; ++x) {
+        double s = 0.0;
+        for (int i = 0; i < win; ++i)
+            s += tmp[static_cast<std::size_t>(i) * ow + x];
+        out[x] = s * inv;
+        for (int y = 1; y < oh; ++y) {
+            s += tmp[static_cast<std::size_t>(y + win - 1) * ow + x] -
+                 tmp[static_cast<std::size_t>(y - 1) * ow + x];
+            out[static_cast<std::size_t>(y) * ow + x] = s * inv;
+        }
+    }
+    return out;
+}
+
+std::vector<double>
+toDouble(const Plane &p)
+{
+    std::vector<double> out(p.data().size());
+    for (std::size_t i = 0; i < out.size(); ++i)
+        out[i] = p.data()[i];
+    return out;
+}
+
+ScaleInfo
+vifScale(const Plane &pr, const Plane &pd, int win)
+{
+    ScaleInfo info;
+    int w = pr.width(), h = pr.height();
+    auto r = toDouble(pr);
+    auto d = toDouble(pd);
+
+    std::vector<double> rr(r.size()), dd(r.size()), rd(r.size());
+    for (std::size_t i = 0; i < r.size(); ++i) {
+        rr[i] = r[i] * r[i];
+        dd[i] = d[i] * d[i];
+        rd[i] = r[i] * d[i];
+    }
+
+    int ow, oh;
+    auto mu_r = boxFilter(r, w, h, win, ow, oh);
+    if (ow == 0)
+        return info;
+    auto mu_d = boxFilter(d, w, h, win, ow, oh);
+    auto s_rr = boxFilter(rr, w, h, win, ow, oh);
+    auto s_dd = boxFilter(dd, w, h, win, ow, oh);
+    auto s_rd = boxFilter(rd, w, h, win, ow, oh);
+
+    for (std::size_t i = 0; i < mu_r.size(); ++i) {
+        double var_r = s_rr[i] - mu_r[i] * mu_r[i];
+        double var_d = s_dd[i] - mu_d[i] * mu_d[i];
+        double cov = s_rd[i] - mu_r[i] * mu_d[i];
+        if (var_r < 0) var_r = 0;
+        if (var_d < 0) var_d = 0;
+
+        // Channel estimate: d = g*r + v, var(v) = sv.
+        double g = var_r > 1e-10 ? cov / var_r : 0.0;
+        double sv = var_d - g * cov;
+        if (g < 0) {
+            sv = var_d;
+            g = 0;
+        }
+        if (sv < 1e-10)
+            sv = 1e-10;
+
+        info.num += std::log2(1.0 + g * g * var_r /
+                                        (sv + kSigmaNsq));
+        info.den += std::log2(1.0 + var_r / kSigmaNsq);
+    }
+    return info;
+}
+
+} // namespace
+
+double
+vifpPlane(const Plane &ref, const Plane &dist)
+{
+    assert(ref.sameSize(dist));
+    Plane pr = ref, pd = dist;
+    double num = 0.0, den = 0.0;
+    for (int scale = 0; scale < 4; ++scale) {
+        int win = (1 << (4 - scale)) + 1; // 17, 9, 5, 3
+        auto info = vifScale(pr, pd, win);
+        num += info.num;
+        den += info.den;
+        if (pr.width() / 2 < win || pr.height() / 2 < win)
+            break;
+        pr = downsample2x(pr);
+        pd = downsample2x(pd);
+    }
+    if (den <= 0.0)
+        return 1.0;
+    double v = num / den;
+    return v < 0.0 ? 0.0 : v;
+}
+
+double
+vifpFrame(const Frame &ref, const Frame &dist)
+{
+    return vifpPlane(ref.y(), dist.y());
+}
+
+double
+vifpVideo(const Video &ref, const Video &dist)
+{
+    assert(ref.frames.size() == dist.frames.size());
+    if (ref.frames.empty())
+        return 1.0;
+    double sum = 0.0;
+    for (std::size_t i = 0; i < ref.frames.size(); ++i)
+        sum += vifpFrame(ref.frames[i], dist.frames[i]);
+    return sum / ref.frames.size();
+}
+
+} // namespace videoapp

@@ -1,0 +1,30 @@
+/**
+ * @file
+ * Pixel-domain Visual Information Fidelity (VIFP).
+ *
+ * Implements the multi-scale pixel-domain variant of Sheikh & Bovik's
+ * VIF, the fourth metric the VQMT tool reports. Each scale models the
+ * reference as a Gaussian source passed through a gain+noise channel
+ * and measures the ratio of mutual informations with and without the
+ * distortion channel.
+ */
+
+#ifndef VIDEOAPP_QUALITY_VIF_H_
+#define VIDEOAPP_QUALITY_VIF_H_
+
+#include "video/frame.h"
+
+namespace videoapp {
+
+/** VIFP between reference plane @p ref and distorted plane @p dist. */
+double vifpPlane(const Plane &ref, const Plane &dist);
+
+/** Luma VIFP of a frame pair (reference first). */
+double vifpFrame(const Frame &ref, const Frame &dist);
+
+/** Average per-frame luma VIFP over a sequence (reference first). */
+double vifpVideo(const Video &ref, const Video &dist);
+
+} // namespace videoapp
+
+#endif // VIDEOAPP_QUALITY_VIF_H_

@@ -1,0 +1,69 @@
+#include "sim/bench_config.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+
+namespace videoapp {
+
+BenchConfig
+BenchConfig::fromEnv()
+{
+    BenchConfig config;
+    if (const char *s = std::getenv("VIDEOAPP_BENCH_SCALE"))
+        config.scale = std::max(0.05, std::atof(s));
+    if (const char *s = std::getenv("VIDEOAPP_BENCH_RUNS"))
+        config.runs = std::max(1, std::atoi(s));
+    if (const char *s = std::getenv("VIDEOAPP_BENCH_VIDEOS"))
+        config.videos = std::max(1, std::atoi(s));
+    if (const char *s = std::getenv("VIDEOAPP_BENCH_CSV"))
+        config.csvDir = s;
+    return config;
+}
+
+CsvWriter::CsvWriter(const BenchConfig &config, const std::string &name,
+                     const std::string &header)
+{
+    if (config.csvDir.empty())
+        return;
+    std::string path = config.csvDir + "/" + name + ".csv";
+    file_ = std::fopen(path.c_str(), "w");
+    if (file_)
+        std::fprintf(file_, "%s\n", header.c_str());
+    else
+        std::fprintf(stderr, "warning: cannot write %s\n",
+                     path.c_str());
+}
+
+CsvWriter::~CsvWriter()
+{
+    if (file_)
+        std::fclose(file_);
+}
+
+void
+CsvWriter::row(const std::string &values)
+{
+    if (file_)
+        std::fprintf(file_, "%s\n", values.c_str());
+}
+
+std::vector<SyntheticSpec>
+BenchConfig::suite() const
+{
+    auto all = standardSuite(scale);
+    if (static_cast<std::size_t>(videos) < all.size())
+        all.resize(static_cast<std::size_t>(videos));
+    return all;
+}
+
+void
+printBenchBanner(const char *name, const BenchConfig &config)
+{
+    std::printf("=== %s ===\n", name);
+    std::printf("(scale %.2f, %d Monte Carlo runs, %d videos; set "
+                "VIDEOAPP_BENCH_{SCALE,RUNS,VIDEOS} to rescale)\n\n",
+                config.scale, config.runs, config.videos);
+}
+
+} // namespace videoapp

@@ -1,0 +1,68 @@
+/**
+ * @file
+ * Shared configuration for the experiment (bench) binaries.
+ *
+ * Every bench reproduces a paper table or figure at a default scale
+ * that completes in seconds; environment variables raise the scale
+ * toward the paper's full setup:
+ *   VIDEOAPP_BENCH_SCALE  resolution/length multiplier (default 0.3)
+ *   VIDEOAPP_BENCH_RUNS   Monte Carlo runs per point (default 5;
+ *                         paper uses 30)
+ *   VIDEOAPP_BENCH_VIDEOS suite videos to use (default 3; paper 14)
+ */
+
+#ifndef VIDEOAPP_SIM_BENCH_CONFIG_H_
+#define VIDEOAPP_SIM_BENCH_CONFIG_H_
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "video/synthetic.h"
+
+namespace videoapp {
+
+struct BenchConfig
+{
+    double scale = 0.3;
+    int runs = 5;
+    int videos = 3;
+    /** Directory for plot-ready CSV output ("" = disabled);
+     * VIDEOAPP_BENCH_CSV. */
+    std::string csvDir;
+
+    /** Read overrides from the environment. */
+    static BenchConfig fromEnv();
+
+    /** The first `videos` sequences of the standard suite. */
+    std::vector<SyntheticSpec> suite() const;
+};
+
+/** Print a one-line banner describing the bench configuration. */
+void printBenchBanner(const char *name, const BenchConfig &config);
+
+/**
+ * Plot-ready CSV emission: opened only when the bench was run with
+ * VIDEOAPP_BENCH_CSV=<dir>. Rows go to <dir>/<name>.csv; when
+ * disabled every call is a no-op, so bench code can emit
+ * unconditionally. tools/plot_figures.py consumes these files.
+ */
+class CsvWriter
+{
+  public:
+    CsvWriter(const BenchConfig &config, const std::string &name,
+              const std::string &header);
+    ~CsvWriter();
+
+    /** Append one row (caller formats the comma-separated values). */
+    void row(const std::string &values);
+
+    bool enabled() const { return file_ != nullptr; }
+
+  private:
+    std::FILE *file_ = nullptr;
+};
+
+} // namespace videoapp
+
+#endif // VIDEOAPP_SIM_BENCH_CONFIG_H_

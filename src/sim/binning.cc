@@ -1,0 +1,147 @@
+#include "sim/binning.h"
+
+#include <algorithm>
+#include <cassert>
+#include <set>
+
+namespace videoapp {
+
+void
+BitRangeSet::add(u32 frame, u64 begin, u64 end)
+{
+    if (end <= begin)
+        return;
+    ranges_.push_back({frame, begin, end});
+    prefix_.push_back(totalBits_);
+    totalBits_ += end - begin;
+}
+
+std::pair<u32, u64>
+BitRangeSet::locate(u64 flat_pos) const
+{
+    assert(flat_pos < totalBits_);
+    // Binary search over the prefix sums.
+    std::size_t lo = 0, hi = ranges_.size();
+    while (hi - lo > 1) {
+        std::size_t mid = (lo + hi) / 2;
+        if (prefix_[mid] <= flat_pos)
+            lo = mid;
+        else
+            hi = mid;
+    }
+    const Range &r = ranges_[lo];
+    return {r.frame, r.begin + (flat_pos - prefix_[lo])};
+}
+
+namespace {
+
+struct MbRef
+{
+    u32 frame;
+    u32 mb;
+    double importance;
+    u64 bits;
+};
+
+std::vector<MbRef>
+collectMbs(const EncodeResult &enc, const ImportanceMap &importance)
+{
+    std::vector<MbRef> mbs;
+    for (std::size_t f = 0; f < enc.side.frames.size(); ++f) {
+        const auto &frame = enc.side.frames[f];
+        for (std::size_t m = 0; m < frame.mbs.size(); ++m) {
+            mbs.push_back({static_cast<u32>(f), static_cast<u32>(m),
+                           importance.values[f][m],
+                           frame.mbs[m].bitLength});
+        }
+    }
+    return mbs;
+}
+
+void
+addMbBits(BitRangeSet &set, const EncodeResult &enc, u32 frame,
+          u32 mb)
+{
+    const MbRecord &rec = enc.side.frames[frame].mbs[mb];
+    set.add(frame, rec.bitOffset, rec.bitOffset + rec.bitLength);
+}
+
+} // namespace
+
+std::vector<ImportanceBin>
+buildImportanceBins(const EncodeResult &enc,
+                    const ImportanceMap &importance, int bin_count)
+{
+    std::vector<MbRef> mbs = collectMbs(enc, importance);
+    std::stable_sort(mbs.begin(), mbs.end(),
+                     [](const MbRef &a, const MbRef &b) {
+                         return a.importance < b.importance;
+                     });
+    u64 total_bits = 0;
+    for (const auto &mb : mbs)
+        total_bits += mb.bits;
+
+    std::vector<ImportanceBin> bins(
+        static_cast<std::size_t>(bin_count));
+    u64 per_bin = (total_bits + bin_count - 1) / bin_count;
+    u64 filled = 0;
+    std::size_t bin = 0;
+    for (const auto &mb : mbs) {
+        if (filled >= per_bin * (bin + 1) &&
+            bin + 1 < bins.size())
+            ++bin;
+        addMbBits(bins[bin].bits, enc, mb.frame, mb.mb);
+        bins[bin].maxImportance =
+            std::max(bins[bin].maxImportance, mb.importance);
+        filled += mb.bits;
+    }
+    return bins;
+}
+
+BitRangeSet
+classBits(const EncodeResult &enc, const ImportanceMap &importance,
+          int max_class)
+{
+    BitRangeSet set;
+    for (std::size_t f = 0; f < enc.side.frames.size(); ++f) {
+        const auto &frame = enc.side.frames[f];
+        for (std::size_t m = 0; m < frame.mbs.size(); ++m) {
+            if (ImportanceMap::classOf(importance.values[f][m]) <=
+                max_class)
+                addMbBits(set, enc, static_cast<u32>(f),
+                          static_cast<u32>(m));
+        }
+    }
+    return set;
+}
+
+double
+cumulativeStorageFraction(const EncodeResult &enc,
+                          const ImportanceMap &importance,
+                          int max_class)
+{
+    u64 total = 0, in_class = 0;
+    for (std::size_t f = 0; f < enc.side.frames.size(); ++f) {
+        const auto &frame = enc.side.frames[f];
+        for (std::size_t m = 0; m < frame.mbs.size(); ++m) {
+            total += frame.mbs[m].bitLength;
+            if (ImportanceMap::classOf(importance.values[f][m]) <=
+                max_class)
+                in_class += frame.mbs[m].bitLength;
+        }
+    }
+    return total ? static_cast<double>(in_class) / total : 0.0;
+}
+
+std::vector<int>
+occurringClasses(const EncodeResult &enc,
+                 const ImportanceMap &importance)
+{
+    std::set<int> classes;
+    for (std::size_t f = 0; f < enc.side.frames.size(); ++f)
+        for (double v : importance.values[f])
+            classes.insert(ImportanceMap::classOf(v));
+    return {classes.begin(), classes.end()};
+}
+
+} // namespace videoapp

@@ -1,0 +1,78 @@
+/**
+ * @file
+ * Bit-range bookkeeping for the paper's injection experiments:
+ * equal-storage importance bins (Figure 9) and cumulative importance
+ * classes (Figure 10).
+ */
+
+#ifndef VIDEOAPP_SIM_BINNING_H_
+#define VIDEOAPP_SIM_BINNING_H_
+
+#include <vector>
+
+#include "codec/encoder.h"
+#include "graph/importance.h"
+
+namespace videoapp {
+
+/** A set of disjoint payload bit ranges across frames. */
+class BitRangeSet
+{
+  public:
+    struct Range
+    {
+        u32 frame;  // encode-order frame index
+        u64 begin;  // bit offset within that frame's payload
+        u64 end;
+    };
+
+    void add(u32 frame, u64 begin, u64 end);
+
+    u64 totalBits() const { return totalBits_; }
+    const std::vector<Range> &ranges() const { return ranges_; }
+    bool empty() const { return totalBits_ == 0; }
+
+    /** Map a flat position in [0, totalBits) to (frame, bit). */
+    std::pair<u32, u64> locate(u64 flat_pos) const;
+
+  private:
+    std::vector<Range> ranges_;
+    std::vector<u64> prefix_; // cumulative bits before each range
+    u64 totalBits_ = 0;
+};
+
+/** One Figure 9 bin: equal storage, ascending importance. */
+struct ImportanceBin
+{
+    BitRangeSet bits;
+    double maxImportance = 0.0;
+};
+
+/**
+ * Sort all MBs by importance and split them into @p bin_count bins
+ * of (approximately) equal stored bits, least important first —
+ * exactly the Section 7.1 validation setup.
+ */
+std::vector<ImportanceBin> buildImportanceBins(
+    const EncodeResult &enc, const ImportanceMap &importance,
+    int bin_count);
+
+/**
+ * Bits of all MBs whose importance class is <= @p max_class
+ * (Figure 10's cumulative classes).
+ */
+BitRangeSet classBits(const EncodeResult &enc,
+                      const ImportanceMap &importance, int max_class);
+
+/** Fraction of total payload bits occupied by classes <= max_class. */
+double cumulativeStorageFraction(const EncodeResult &enc,
+                                 const ImportanceMap &importance,
+                                 int max_class);
+
+/** The set of importance classes that actually occur, ascending. */
+std::vector<int> occurringClasses(const EncodeResult &enc,
+                                  const ImportanceMap &importance);
+
+} // namespace videoapp
+
+#endif // VIDEOAPP_SIM_BINNING_H_

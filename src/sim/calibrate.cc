@@ -1,0 +1,85 @@
+#include "sim/calibrate.h"
+
+#include <algorithm>
+#include <map>
+
+#include "graph/importance.h"
+#include "sim/binning.h"
+#include "sim/monte_carlo.h"
+
+namespace videoapp {
+
+std::vector<double>
+defaultCalibrationRates()
+{
+    return {1e-12, 1e-10, 1e-8, 1e-6, 1e-4, 1e-3, 1e-2};
+}
+
+std::vector<ClassCurve>
+measureClassCurves(const std::vector<SyntheticSpec> &suite,
+                   const EncoderConfig &enc_config, int runs,
+                   const std::vector<double> &rates, u64 seed)
+{
+    std::map<int, std::vector<double>> loss;
+    std::map<int, double> storage;
+
+    u64 video_idx = 0;
+    for (const SyntheticSpec &spec : suite) {
+        Video source = generateSynthetic(spec);
+        EncodeResult enc = encodeVideo(source, enc_config);
+        ImportanceMap importance =
+            computeImportance(enc.side, enc.video);
+
+        Rng rng(seed + video_idx);
+        for (int cls : occurringClasses(enc, importance)) {
+            BitRangeSet bits = classBits(enc, importance, cls);
+            auto &row = loss[cls];
+            row.resize(rates.size(), 0.0);
+            for (std::size_t r = 0; r < rates.size(); ++r) {
+                LossStats stats = measureQualityLoss(
+                    source, enc, bits, rates[r], runs, rng);
+                row[r] = std::max(row[r], stats.maxLossDb);
+            }
+            storage[cls] = std::max(
+                storage[cls],
+                cumulativeStorageFraction(enc, importance, cls));
+        }
+        ++video_idx;
+    }
+
+    // True loss curves are monotone along both axes — in the error
+    // rate (more errors cannot help) and in the class index (classes
+    // are nested). Enforce both to strip Monte Carlo noise.
+    std::vector<ClassCurve> curves;
+    std::vector<double> running_loss;
+    double running_storage = 0.0;
+    for (auto &[cls, row] : loss) {
+        for (std::size_t r = 1; r < row.size(); ++r)
+            row[r] = std::max(row[r], row[r - 1]);
+        if (running_loss.empty())
+            running_loss.assign(row.size(), 0.0);
+        ClassCurve curve;
+        curve.cls = cls;
+        for (std::size_t r = 0; r < row.size(); ++r) {
+            running_loss[r] = std::max(running_loss[r], row[r]);
+            curve.points.push_back({rates[r], running_loss[r]});
+        }
+        running_storage = std::max(running_storage, storage[cls]);
+        curve.cumulativeStorage = running_storage;
+        curves.push_back(std::move(curve));
+    }
+    return curves;
+}
+
+EccAssignment
+calibrateAssignment(const std::vector<SyntheticSpec> &suite,
+                    const EncoderConfig &enc_config, int runs,
+                    double budget_db, u64 seed)
+{
+    auto curves = measureClassCurves(suite, enc_config, runs,
+                                     defaultCalibrationRates(),
+                                     seed);
+    return optimizeAssignment(curves, budget_db);
+}
+
+} // namespace videoapp

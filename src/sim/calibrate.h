@@ -1,0 +1,49 @@
+/**
+ * @file
+ * Assignment calibration: the paper's two-step use of VideoApp
+ * (Section 6): first profile a set of videos across error rates to
+ * establish the per-class approximation levels, then apply the
+ * resulting assignment when partitioning streams.
+ *
+ * The importance thresholds of the paper's Table 1 are empirical
+ * properties of the 720p evaluation suite; at other scales the same
+ * procedure yields a different (correctly scaled) table.
+ */
+
+#ifndef VIDEOAPP_SIM_CALIBRATE_H_
+#define VIDEOAPP_SIM_CALIBRATE_H_
+
+#include <vector>
+
+#include "codec/encoder.h"
+#include "core/ecc_assign.h"
+#include "video/synthetic.h"
+
+namespace videoapp {
+
+/** Default error-rate grid for curve measurement. */
+std::vector<double> defaultCalibrationRates();
+
+/**
+ * Measure the cumulative per-class quality-loss curves (Figure 10
+ * data) over @p suite with @p runs Monte Carlo runs per point.
+ * Worst case across videos and runs, per the paper's conservative
+ * reporting.
+ */
+std::vector<ClassCurve> measureClassCurves(
+    const std::vector<SyntheticSpec> &suite,
+    const EncoderConfig &enc_config, int runs,
+    const std::vector<double> &rates, u64 seed);
+
+/**
+ * Full calibration: measure curves, then run the Section 7.2
+ * optimiser with @p budget_db (0.3 dB in the paper).
+ */
+EccAssignment calibrateAssignment(
+    const std::vector<SyntheticSpec> &suite,
+    const EncoderConfig &enc_config, int runs, double budget_db,
+    u64 seed = 42);
+
+} // namespace videoapp
+
+#endif // VIDEOAPP_SIM_CALIBRATE_H_

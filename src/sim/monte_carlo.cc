@@ -1,0 +1,100 @@
+#include "sim/monte_carlo.h"
+
+#include <algorithm>
+#include <cmath>
+#include <unordered_set>
+
+#include "codec/decoder.h"
+#include "common/bitstream.h"
+#include "quality/psnr.h"
+
+namespace videoapp {
+
+std::vector<std::pair<u32, u64>>
+corruptPayloads(std::vector<Bytes> &payloads,
+                const BitRangeSet &targets, double error_rate,
+                Rng &rng)
+{
+    std::vector<std::pair<u32, u64>> flips;
+    if (targets.empty() || error_rate <= 0)
+        return flips;
+
+    const u64 n = targets.totalBits();
+    u64 count = rng.nextBinomial(n, error_rate);
+    count = std::min<u64>(count, n);
+
+    std::unordered_set<u64> seen;
+    while (seen.size() < count) {
+        u64 flat = rng.nextBelow(n);
+        if (!seen.insert(flat).second)
+            continue;
+        auto [frame, bit] = targets.locate(flat);
+        if (frame < payloads.size())
+            flipBit(payloads[frame], bit);
+        flips.emplace_back(frame, bit);
+    }
+    return flips;
+}
+
+Video
+decodeWithPayloads(const EncodeResult &enc, std::vector<Bytes> payloads)
+{
+    EncodedVideo video = enc.video;
+    video.payloads = std::move(payloads);
+    return decodeVideo(video);
+}
+
+double
+cleanPsnr(const Video &original, const EncodeResult &enc)
+{
+    Video recon;
+    recon.fps = original.fps;
+    recon.frames = enc.reconFrames;
+    return psnrVideo(original, recon);
+}
+
+LossStats
+measureQualityLoss(const Video &original, const EncodeResult &enc,
+                   const BitRangeSet &targets, double error_rate,
+                   int runs, Rng &rng)
+{
+    LossStats stats;
+    if (targets.empty())
+        return stats;
+
+    const double reference = cleanPsnr(original, enc);
+    const u64 n = targets.totalBits();
+    const double expected_errors =
+        static_cast<double>(n) * error_rate;
+
+    // Section 6.4 low-rate regime: inject exactly one error and
+    // scale the loss by P(any error in the video).
+    const bool scaled_mode = expected_errors < 1.0;
+    const double scale =
+        scaled_mode ? -std::expm1(static_cast<double>(n) *
+                                  std::log1p(-error_rate))
+                    : 1.0;
+
+    double total = 0.0;
+    for (int run = 0; run < runs; ++run) {
+        std::vector<Bytes> payloads = enc.video.payloads;
+        if (scaled_mode) {
+            u64 flat = rng.nextBelow(n);
+            auto [frame, bit] = targets.locate(flat);
+            if (frame < payloads.size())
+                flipBit(payloads[frame], bit);
+        } else {
+            corruptPayloads(payloads, targets, error_rate, rng);
+        }
+        Video decoded = decodeWithPayloads(enc, std::move(payloads));
+        double psnr = psnrVideo(original, decoded);
+        double loss = std::max(reference - psnr, 0.0) * scale;
+        total += loss;
+        stats.maxLossDb = std::max(stats.maxLossDb, loss);
+        ++stats.runs;
+    }
+    stats.meanLossDb = stats.runs ? total / stats.runs : 0.0;
+    return stats;
+}
+
+} // namespace videoapp

@@ -1,0 +1,62 @@
+/**
+ * @file
+ * Monte Carlo quality-loss measurement (Section 6.4): inject
+ * binomially distributed bit errors into selected payload ranges,
+ * decode, and measure the quality change against the error-free
+ * decode. Implements the paper's low-rate trick: when fewer than
+ * one error is expected per video, inject exactly one and scale the
+ * loss by the probability of any error occurring.
+ */
+
+#ifndef VIDEOAPP_SIM_MONTE_CARLO_H_
+#define VIDEOAPP_SIM_MONTE_CARLO_H_
+
+#include "codec/encoder.h"
+#include "common/rng.h"
+#include "sim/binning.h"
+#include "video/frame.h"
+
+namespace videoapp {
+
+/** Aggregated loss over the Monte Carlo runs. */
+struct LossStats
+{
+    /** Worst-case loss (the paper's conservative headline number). */
+    double maxLossDb = 0.0;
+    double meanLossDb = 0.0;
+    int runs = 0;
+};
+
+/**
+ * Flip bits inside @p targets of a copy of @p enc's payloads at
+ * @p error_rate and decode.
+ * @return per-run dB loss of PSNR(original, corrupted) versus
+ *         PSNR(original, clean reconstruction).
+ */
+LossStats measureQualityLoss(const Video &original,
+                             const EncodeResult &enc,
+                             const BitRangeSet &targets,
+                             double error_rate, int runs, Rng &rng);
+
+/**
+ * Corrupt a copy of the payloads: binomial error count over
+ * @p targets at @p error_rate, uniform positions. @return flipped
+ * (frame, bit) pairs. Exposed for experiment code reuse.
+ */
+std::vector<std::pair<u32, u64>> corruptPayloads(
+    std::vector<Bytes> &payloads, const BitRangeSet &targets,
+    double error_rate, Rng &rng);
+
+/**
+ * Decode @p enc's stream with @p payloads substituted; convenience
+ * for injection experiments.
+ */
+Video decodeWithPayloads(const EncodeResult &enc,
+                         std::vector<Bytes> payloads);
+
+/** PSNR of @p original against the encoder's clean reconstruction. */
+double cleanPsnr(const Video &original, const EncodeResult &enc);
+
+} // namespace videoapp
+
+#endif // VIDEOAPP_SIM_MONTE_CARLO_H_

@@ -1,0 +1,132 @@
+#include "storage/approx_store.h"
+
+#include <algorithm>
+
+#include "common/bitstream.h"
+
+#include "storage/error_injector.h"
+
+namespace videoapp {
+
+Bytes
+ModeledChannel::roundTrip(const Bytes &data, const EccScheme &scheme,
+                          Rng &rng) const
+{
+    Bytes out = data;
+    injectErrorsProtected(out, scheme, rawBer_, rng);
+    return out;
+}
+
+RealBchChannel::RealBchChannel(double raw_ber)
+    : rawBer_(raw_ber)
+{
+}
+
+RealBchChannel::RealBchChannel(const McPcm &pcm, double seconds)
+    : rawBer_(pcm.rawBitErrorRate(seconds)), pcm_(&pcm),
+      ageSeconds_(seconds)
+{
+}
+
+const BchCode &
+RealBchChannel::codeFor(int t) const
+{
+    auto it = codes_.find(t);
+    if (it == codes_.end())
+        it = codes_.emplace(t, std::make_unique<BchCode>(t)).first;
+    return *it->second;
+}
+
+Bytes
+RealBchChannel::roundTrip(const Bytes &data, const EccScheme &scheme,
+                          Rng &rng) const
+{
+    if (scheme.isNone()) {
+        Bytes out = data;
+        if (pcm_)
+            out = pcm_->storeAndRead(out, ageSeconds_, rng);
+        else
+            injectErrors(out, rawBer_, rng);
+        return out;
+    }
+
+    const BchCode &code = codeFor(scheme.t);
+    const std::size_t payload_bits = data.size() * 8;
+    Bytes out(data.size(), 0);
+
+    BitVec block(code.dataBits(), 0);
+    for (std::size_t start = 0; start < payload_bits;
+         start += code.dataBits()) {
+        std::size_t n =
+            std::min<std::size_t>(code.dataBits(), payload_bits - start);
+        // Gather payload bits (zero padded in the last block).
+        std::fill(block.begin(), block.end(), 0);
+        for (std::size_t i = 0; i < n; ++i)
+            block[i] = getBit(data, start + i);
+
+        BitVec codeword = code.encode(block);
+        Bytes stored = packBits(codeword);
+        if (pcm_)
+            stored = pcm_->storeAndRead(stored, ageSeconds_, rng);
+        else
+            injectErrors(stored, rawBer_, rng);
+        BitVec received = unpackBits(stored, codeword.size());
+
+        auto result = code.decode(received);
+        (void)result; // failed blocks keep their raw errors
+
+        for (std::size_t i = 0; i < n; ++i) {
+            if (received[i]) {
+                std::size_t p = start + i;
+                out[p / 8] |= static_cast<u8>(0x80u >> (p % 8));
+            }
+        }
+    }
+    return out;
+}
+
+u64
+parityBitsFor(u64 payload_bits, const EccScheme &scheme)
+{
+    if (scheme.isNone() || payload_bits == 0)
+        return 0;
+    u64 blocks = (payload_bits + kEccBlockBits - 1) / kEccBlockBits;
+    return blocks * static_cast<u64>(scheme.parityBits());
+}
+
+void
+StorageAccountant::addStream(u64 payload_bits, const EccScheme &scheme)
+{
+    payloadBits_ += payload_bits;
+    parityBits_ += parityBitsFor(payload_bits, scheme);
+}
+
+void
+StorageAccountant::addPreciseBits(u64 bits)
+{
+    addStream(bits, kEccPrecise);
+}
+
+u64
+StorageAccountant::cells() const
+{
+    return (storedBits() + bitsPerCell_ - 1) / bitsPerCell_;
+}
+
+double
+StorageAccountant::cellsPerPixel(u64 pixels) const
+{
+    if (pixels == 0)
+        return 0.0;
+    return static_cast<double>(cells()) / pixels;
+}
+
+double
+StorageAccountant::eccOverheadFraction() const
+{
+    if (storedBits() == 0)
+        return 0.0;
+    return static_cast<double>(parityBits_) / storedBits();
+}
+
+} // namespace videoapp

@@ -1,0 +1,128 @@
+/**
+ * @file
+ * The approximate store: streams of bits written to MLC PCM under a
+ * chosen error-correction scheme each, plus the density accounting
+ * used by Figure 11.
+ *
+ * Two channel implementations share one interface:
+ *  - RealBchChannel: systematic BCH encode, per-cell PCM noise (or
+ *    uniform raw bit errors), full syndrome decode. Ground truth.
+ *  - ModeledChannel: the closed-form equivalent (block error counts
+ *    binomially distributed; correctable blocks come back clean).
+ * The model is validated against the real channel in tests and used
+ * for the large Monte Carlo sweeps.
+ */
+
+#ifndef VIDEOAPP_STORAGE_APPROX_STORE_H_
+#define VIDEOAPP_STORAGE_APPROX_STORE_H_
+
+#include <map>
+#include <memory>
+
+#include "common/rng.h"
+#include "storage/bch.h"
+#include "storage/ecc_model.h"
+#include "storage/pcm.h"
+
+namespace videoapp {
+
+/**
+ * Abstract storage channel: what a stream looks like after living on
+ * the substrate for one scrub interval under a given ECC scheme.
+ */
+class StorageChannel
+{
+  public:
+    virtual ~StorageChannel() = default;
+
+    /** Store @p data, age, read, correct; return the payload. */
+    virtual Bytes roundTrip(const Bytes &data, const EccScheme &scheme,
+                            Rng &rng) const = 0;
+};
+
+/** Closed-form channel at a fixed raw bit error rate. */
+class ModeledChannel : public StorageChannel
+{
+  public:
+    explicit ModeledChannel(double raw_ber = kPcmRawBer)
+        : rawBer_(raw_ber)
+    {}
+
+    Bytes roundTrip(const Bytes &data, const EccScheme &scheme,
+                    Rng &rng) const override;
+
+    double rawBer() const { return rawBer_; }
+
+  private:
+    double rawBer_;
+};
+
+/**
+ * Bit-true channel: real BCH codec over blocks, errors injected
+ * either uniformly at @p raw_ber or through a cell-level PCM model.
+ */
+class RealBchChannel : public StorageChannel
+{
+  public:
+    /** Uniform raw bit errors at @p raw_ber. */
+    explicit RealBchChannel(double raw_ber = kPcmRawBer);
+
+    /** Cell-accurate noise via @p pcm aged @p seconds. */
+    RealBchChannel(const McPcm &pcm, double seconds);
+
+    Bytes roundTrip(const Bytes &data, const EccScheme &scheme,
+                    Rng &rng) const override;
+
+  private:
+    const BchCode &codeFor(int t) const;
+
+    double rawBer_;
+    const McPcm *pcm_ = nullptr;
+    double ageSeconds_ = 0.0;
+    mutable std::map<int, std::unique_ptr<BchCode>> codes_;
+};
+
+/**
+ * Accumulates stored streams and reports the density metrics of
+ * Figure 11: storage cells per encoded pixel.
+ */
+class StorageAccountant
+{
+  public:
+    explicit StorageAccountant(int bits_per_cell = 3)
+        : bitsPerCell_(bits_per_cell)
+    {}
+
+    /** Record a stream of @p payload_bits under @p scheme. */
+    void addStream(u64 payload_bits, const EccScheme &scheme);
+
+    /** Record precisely stored bits (headers; BCH-16 class). */
+    void addPreciseBits(u64 bits);
+
+    u64 payloadBits() const { return payloadBits_; }
+    u64 parityBits() const { return parityBits_; }
+
+    /** Total stored bits including parity. */
+    u64 storedBits() const { return payloadBits_ + parityBits_; }
+
+    /** MLC cells used. */
+    u64 cells() const;
+
+    /** Cells per pixel for a video of @p pixels pixels. */
+    double cellsPerPixel(u64 pixels) const;
+
+    /** Fraction of stored bits that are ECC parity. */
+    double eccOverheadFraction() const;
+
+  private:
+    int bitsPerCell_;
+    u64 payloadBits_ = 0;
+    u64 parityBits_ = 0;
+};
+
+/** Parity bits required to protect @p payload_bits under @p scheme. */
+u64 parityBitsFor(u64 payload_bits, const EccScheme &scheme);
+
+} // namespace videoapp
+
+#endif // VIDEOAPP_STORAGE_APPROX_STORE_H_

@@ -1,0 +1,244 @@
+#include "storage/bch.h"
+
+#include <cassert>
+#include <set>
+
+namespace videoapp {
+
+namespace {
+
+/**
+ * Multiply two polynomials with GF(2^10) coefficients (used only to
+ * build minimal polynomials, whose products have 0/1 coefficients).
+ */
+std::vector<u16>
+polyMulField(const std::vector<u16> &a, const std::vector<u16> &b,
+             const Gf1024 &gf)
+{
+    std::vector<u16> out(a.size() + b.size() - 1, 0);
+    for (std::size_t i = 0; i < a.size(); ++i) {
+        if (!a[i])
+            continue;
+        for (std::size_t j = 0; j < b.size(); ++j) {
+            if (b[j])
+                out[i + j] ^= gf.mul(a[i], b[j]);
+        }
+    }
+    return out;
+}
+
+/** Minimal polynomial over GF(2) of alpha^s (product over the coset). */
+std::vector<u8>
+minimalPoly(int s, const Gf1024 &gf)
+{
+    // Cyclotomic coset of s under doubling mod 1023.
+    std::set<int> coset;
+    int e = s % Gf1024::kOrder;
+    while (!coset.count(e)) {
+        coset.insert(e);
+        e = (2 * e) % Gf1024::kOrder;
+    }
+
+    std::vector<u16> poly{1};
+    for (int c : coset) {
+        // Multiply by (x + alpha^c).
+        std::vector<u16> factor{gf.alphaPow(c), 1};
+        poly = polyMulField(poly, factor, gf);
+    }
+
+    std::vector<u8> out(poly.size());
+    for (std::size_t i = 0; i < poly.size(); ++i) {
+        assert(poly[i] <= 1 && "minimal polynomial must be binary");
+        out[i] = static_cast<u8>(poly[i]);
+    }
+    return out;
+}
+
+/** Multiply two GF(2) polynomials. */
+std::vector<u8>
+polyMulBinary(const std::vector<u8> &a, const std::vector<u8> &b)
+{
+    std::vector<u8> out(a.size() + b.size() - 1, 0);
+    for (std::size_t i = 0; i < a.size(); ++i) {
+        if (!a[i])
+            continue;
+        for (std::size_t j = 0; j < b.size(); ++j)
+            out[i + j] ^= (a[i] & b[j]);
+    }
+    return out;
+}
+
+} // namespace
+
+BchCode::BchCode(int t, int data_bits)
+    : t_(t), k_(data_bits)
+{
+    assert(t >= 1);
+    const Gf1024 &gf = Gf1024::instance();
+
+    // g(x) = lcm of minimal polynomials of alpha^1 .. alpha^{2t}.
+    // Track which exponents are already covered by an included coset.
+    std::set<int> covered;
+    gen_ = {1};
+    for (int s = 1; s <= 2 * t; ++s) {
+        if (covered.count(s % Gf1024::kOrder))
+            continue;
+        int e = s % Gf1024::kOrder;
+        while (!covered.count(e)) {
+            covered.insert(e);
+            e = (2 * e) % Gf1024::kOrder;
+        }
+        gen_ = polyMulBinary(gen_, minimalPoly(s, gf));
+    }
+    parity_ = static_cast<int>(gen_.size()) - 1;
+
+    assert(k_ + parity_ <= Gf1024::kOrder &&
+           "shortened length exceeds the natural code length");
+}
+
+BitVec
+BchCode::encode(const BitVec &data) const
+{
+    assert(static_cast<int>(data.size()) == k_);
+
+    // Systematic encoding: remainder of data(x) * x^parity divided by
+    // g(x), computed with the standard LFSR formulation. data[0] is
+    // the highest-degree information coefficient.
+    BitVec lfsr(parity_, 0);
+    for (int i = 0; i < k_; ++i) {
+        u8 feedback = data[i] ^ lfsr[parity_ - 1];
+        for (int j = parity_ - 1; j > 0; --j)
+            lfsr[j] = (lfsr[j - 1] ^ (feedback & gen_[j])) & 1;
+        lfsr[0] = feedback & gen_[0];
+    }
+
+    BitVec codeword(k_ + parity_);
+    for (int i = 0; i < k_; ++i)
+        codeword[i] = data[i];
+    // lfsr[parity-1] is the highest-degree parity coefficient; store
+    // parity MSB-first to match the data convention.
+    for (int i = 0; i < parity_; ++i)
+        codeword[k_ + i] = lfsr[parity_ - 1 - i];
+    return codeword;
+}
+
+BchCode::DecodeResult
+BchCode::decode(BitVec &codeword) const
+{
+    const Gf1024 &gf = Gf1024::instance();
+    const int n = k_ + parity_;
+    assert(static_cast<int>(codeword.size()) == n);
+
+    // Syndromes S_i = r(alpha^i). Stored bit j is the coefficient of
+    // x^(n-1-j).
+    std::vector<u16> synd(2 * t_, 0);
+    bool any = false;
+    for (int j = 0; j < n; ++j) {
+        if (!codeword[j])
+            continue;
+        int exp = n - 1 - j;
+        for (int i = 1; i <= 2 * t_; ++i)
+            synd[i - 1] ^= gf.alphaPow(i * exp);
+        any = true;
+    }
+    (void)any;
+
+    bool all_zero = true;
+    for (u16 s : synd) {
+        if (s) {
+            all_zero = false;
+            break;
+        }
+    }
+    if (all_zero)
+        return {true, 0};
+
+    // Berlekamp-Massey: find the error locator polynomial C(x).
+    std::vector<u16> c{1}, b{1};
+    int l = 0, m = 1;
+    u16 bb = 1;
+    for (int step = 0; step < 2 * t_; ++step) {
+        // Discrepancy.
+        u16 d = synd[step];
+        for (int i = 1; i <= l && i < static_cast<int>(c.size()); ++i) {
+            if (c[i] && synd[step - i])
+                d ^= gf.mul(c[i], synd[step - i]);
+        }
+        if (d == 0) {
+            ++m;
+        } else if (2 * l <= step) {
+            std::vector<u16> temp = c;
+            u16 coeff = gf.div(d, bb);
+            if (c.size() < b.size() + m)
+                c.resize(b.size() + m, 0);
+            for (std::size_t i = 0; i < b.size(); ++i) {
+                if (b[i])
+                    c[i + m] ^= gf.mul(coeff, b[i]);
+            }
+            l = step + 1 - l;
+            b = temp;
+            bb = d;
+            m = 1;
+        } else {
+            u16 coeff = gf.div(d, bb);
+            if (c.size() < b.size() + m)
+                c.resize(b.size() + m, 0);
+            for (std::size_t i = 0; i < b.size(); ++i) {
+                if (b[i])
+                    c[i + m] ^= gf.mul(coeff, b[i]);
+            }
+            ++m;
+        }
+    }
+
+    if (l > t_)
+        return {false, 0}; // more errors than the code can locate
+
+    // Chien search restricted to the shortened positions. The error
+    // with polynomial exponent e corresponds to stored index n-1-e
+    // and is a root of C at alpha^{-e}.
+    std::vector<int> error_positions;
+    for (int e = 0; e < n; ++e) {
+        u16 x = gf.alphaPow(-e);
+        // Evaluate C at x by Horner.
+        u16 val = 0;
+        for (int i = static_cast<int>(c.size()) - 1; i >= 0; --i) {
+            val = gf.mul(val, x);
+            val ^= c[i];
+        }
+        if (val == 0)
+            error_positions.push_back(n - 1 - e);
+    }
+
+    if (static_cast<int>(error_positions.size()) != l)
+        return {false, 0}; // locator has roots outside the block
+
+    for (int pos : error_positions)
+        codeword[pos] ^= 1;
+    return {true, l};
+}
+
+Bytes
+packBits(const BitVec &bits)
+{
+    Bytes out((bits.size() + 7) / 8, 0);
+    for (std::size_t i = 0; i < bits.size(); ++i) {
+        if (bits[i])
+            out[i / 8] |= static_cast<u8>(0x80u >> (i % 8));
+    }
+    return out;
+}
+
+BitVec
+unpackBits(const Bytes &bytes, std::size_t bit_count)
+{
+    BitVec out(bit_count, 0);
+    for (std::size_t i = 0; i < bit_count; ++i) {
+        std::size_t byte = i / 8;
+        if (byte < bytes.size())
+            out[i] = (bytes[byte] >> (7 - i % 8)) & 1;
+    }
+    return out;
+}
+
+} // namespace videoapp

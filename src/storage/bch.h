@@ -1,0 +1,93 @@
+/**
+ * @file
+ * Binary BCH encoder/decoder over GF(2^10), shortened to 512-bit data
+ * blocks — the error correction family of the paper's Figure 8
+ * ("BCH-X" corrects X errors in a 512-bit PCM block plus 10*X bits of
+ * self-correcting code metadata).
+ *
+ * Encoding is systematic (data bits followed by parity bits), so the
+ * storage layer can locate payload bits without decoding. Decoding is
+ * the classic pipeline: syndromes, Berlekamp-Massey, Chien search.
+ */
+
+#ifndef VIDEOAPP_STORAGE_BCH_H_
+#define VIDEOAPP_STORAGE_BCH_H_
+
+#include <vector>
+
+#include "common/types.h"
+#include "storage/gf.h"
+
+namespace videoapp {
+
+/** Bit vector with one byte per bit; small and simple for 672 bits. */
+using BitVec = std::vector<u8>;
+
+/**
+ * A t-error-correcting BCH code over GF(2^10) shortened to @p data_bits
+ * information bits.
+ */
+class BchCode
+{
+  public:
+    /**
+     * @param t Correction capability (1..58 keeps deg g <= 580).
+     * @param data_bits Shortened data length (default 512, the PCM
+     *        block size used throughout the paper).
+     */
+    explicit BchCode(int t, int data_bits = 512);
+
+    int t() const { return t_; }
+    int dataBits() const { return k_; }
+    int parityBits() const { return parity_; }
+    int codewordBits() const { return k_ + parity_; }
+
+    /** Parity storage overhead relative to the data bits. */
+    double
+    overhead() const
+    {
+        return static_cast<double>(parity_) / k_;
+    }
+
+    /**
+     * Systematic encode. @p data must have dataBits() entries of 0/1.
+     * @return codeword of codewordBits() bits (data then parity).
+     */
+    BitVec encode(const BitVec &data) const;
+
+    /** Decode result. */
+    struct DecodeResult
+    {
+        /** False when the decoder detected an uncorrectable block. */
+        bool ok = false;
+        /** Number of bit errors corrected (valid when ok). */
+        int corrected = 0;
+    };
+
+    /**
+     * Correct @p codeword in place. Any pattern of <= t errors is
+     * corrected; heavier patterns are either detected (ok = false,
+     * codeword unchanged) or miscorrected, exactly like real
+     * hardware.
+     */
+    DecodeResult decode(BitVec &codeword) const;
+
+    /** The generator polynomial coefficients (GF(2), low degree first). */
+    const std::vector<u8> &generator() const { return gen_; }
+
+  private:
+    int t_;
+    int k_;
+    int parity_;
+    std::vector<u8> gen_; // generator polynomial over GF(2)
+};
+
+/** Pack a BitVec (0/1 per byte) into bytes, MSB first. */
+Bytes packBits(const BitVec &bits);
+
+/** Unpack @p bit_count bits from @p bytes into a BitVec. */
+BitVec unpackBits(const Bytes &bytes, std::size_t bit_count);
+
+} // namespace videoapp
+
+#endif // VIDEOAPP_STORAGE_BCH_H_

@@ -1,0 +1,67 @@
+#include "storage/dram.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "storage/error_injector.h"
+
+namespace videoapp {
+
+namespace {
+
+/** Standard normal CDF. */
+double
+phi(double z)
+{
+    return 0.5 * std::erfc(-z / std::sqrt(2.0));
+}
+
+/** Inverse standard normal CDF by bisection. */
+double
+phiInverse(double p)
+{
+    double lo = -40.0, hi = 40.0;
+    for (int i = 0; i < 200; ++i) {
+        double mid = 0.5 * (lo + hi);
+        if (phi(mid) < p)
+            lo = mid;
+        else
+            hi = mid;
+    }
+    return 0.5 * (lo + hi);
+}
+
+} // namespace
+
+ApproxDram::ApproxDram()
+{
+    // Calibrate the log-normal retention population through two
+    // anchor points: P(fail | 64 ms) = 1e-15 and
+    // P(fail | 100 s) = 1e-4.
+    const double t1 = kDramStandardRefresh, p1 = 1e-15;
+    const double t2 = 100.0, p2 = 1e-4;
+    double z1 = phiInverse(p1);
+    double z2 = phiInverse(p2);
+    sigma_ = (std::log(t2) - std::log(t1)) / (z2 - z1);
+    mu_ = std::log(t1) - z1 * sigma_;
+}
+
+double
+ApproxDram::bitErrorRate(double refresh_seconds) const
+{
+    if (refresh_seconds <= 0)
+        return 0.0;
+    double z = (std::log(refresh_seconds) - mu_) / sigma_;
+    return std::clamp(phi(z), 0.0, 1.0);
+}
+
+Bytes
+ApproxDram::storeAndRead(const Bytes &data, double refresh_seconds,
+                         Rng &rng) const
+{
+    Bytes out = data;
+    injectErrors(out, bitErrorRate(refresh_seconds), rng);
+    return out;
+}
+
+} // namespace videoapp

@@ -1,0 +1,63 @@
+/**
+ * @file
+ * Approximate DRAM substrate (related work: Flikker, Sparkk —
+ * Section 9 of the paper).
+ *
+ * DRAM approximation trades refresh power for retention errors:
+ * lengthening the refresh interval lets weak cells leak before they
+ * are recharged. Retention times across cells follow a heavy-tailed
+ * (log-normal) distribution, so the bit error rate rises smoothly
+ * with the refresh interval. This model lets the VideoApp pipeline
+ * run on a refresh-approximated DRAM instead of MLC PCM: the same
+ * importance-partitioned streams, with refresh interval (power) as
+ * the density... er, energy knob.
+ */
+
+#ifndef VIDEOAPP_STORAGE_DRAM_H_
+#define VIDEOAPP_STORAGE_DRAM_H_
+
+#include "common/rng.h"
+#include "common/types.h"
+
+namespace videoapp {
+
+/** Standard DRAM refresh interval (JEDEC 64 ms). */
+inline constexpr double kDramStandardRefresh = 0.064;
+
+/**
+ * Refresh-approximated DRAM: per-bit retention failures with a
+ * log-normal retention-time population, calibrated so the standard
+ * 64 ms refresh is effectively error-free (~1e-15) and a 100 s
+ * refresh reaches ~1e-4 — the regime the Flikker-family papers
+ * explore.
+ */
+class ApproxDram
+{
+  public:
+    ApproxDram();
+
+    /** Per-bit error probability for @p refresh_seconds. */
+    double bitErrorRate(double refresh_seconds) const;
+
+    /**
+     * Relative refresh power vs the standard interval (refresh
+     * energy scales inversely with the interval).
+     */
+    double
+    refreshPowerFraction(double refresh_seconds) const
+    {
+        return kDramStandardRefresh / refresh_seconds;
+    }
+
+    /** Store @p data and read it back after one refresh interval. */
+    Bytes storeAndRead(const Bytes &data, double refresh_seconds,
+                       Rng &rng) const;
+
+  private:
+    double mu_;    // log-normal location of retention times
+    double sigma_; // log-normal scale
+};
+
+} // namespace videoapp
+
+#endif // VIDEOAPP_STORAGE_DRAM_H_

@@ -1,0 +1,63 @@
+#include "storage/ecc_model.h"
+
+#include <cmath>
+
+#include "common/stats.h"
+
+namespace videoapp {
+
+double
+EccScheme::blockFailureRate(double raw_ber) const
+{
+    if (isNone())
+        return 1.0; // no block abstraction; callers use the raw rate
+    return binomialTailAbove(blockBits(), raw_ber, t);
+}
+
+double
+EccScheme::effectiveBitErrorRate(double raw_ber) const
+{
+    if (isNone())
+        return raw_ber;
+
+    // When correction fails the block keeps its raw errors; condition
+    // on failure (> t errors). The dominant failure term is exactly
+    // t+1 errors, of which a fraction land in the payload. We
+    // approximate E[errors | failure] with t+1, uniformly placed.
+    double p_fail = blockFailureRate(raw_ber);
+    double errors_in_data =
+        (t + 1.0) * kEccBlockBits / blockBits();
+    return p_fail * errors_in_data / kEccBlockBits;
+}
+
+std::string
+EccScheme::name() const
+{
+    if (isNone())
+        return "None";
+    return "BCH-" + std::to_string(t);
+}
+
+std::vector<EccScheme>
+figure8Schemes()
+{
+    return {EccScheme{6}, EccScheme{7}, EccScheme{8}, EccScheme{9},
+            EccScheme{10}, EccScheme{11}, EccScheme{16}};
+}
+
+EccScheme
+weakestSchemeFor(double target_ber, double raw_ber)
+{
+    if (raw_ber <= target_ber)
+        return kEccNone;
+    EccScheme best = kEccPrecise;
+    // Search the full ladder, weakest first.
+    for (int t = 1; t <= 16; ++t) {
+        EccScheme s{t};
+        if (s.effectiveBitErrorRate(raw_ber) <= target_ber)
+            return s;
+    }
+    return best;
+}
+
+} // namespace videoapp

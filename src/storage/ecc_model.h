@@ -1,0 +1,84 @@
+/**
+ * @file
+ * Analytic model of the BCH protection schemes (paper Figure 8 and
+ * Table 1): storage overhead and uncorrectable error rates for
+ * 512-bit blocks on a substrate with a given raw bit error rate.
+ */
+
+#ifndef VIDEOAPP_STORAGE_ECC_MODEL_H_
+#define VIDEOAPP_STORAGE_ECC_MODEL_H_
+
+#include <string>
+#include <vector>
+
+#include "common/types.h"
+
+namespace videoapp {
+
+/** Raw bit error rate of the paper's 8-level PCM substrate. */
+inline constexpr double kPcmRawBer = 1e-3;
+
+/** Data bits per protected storage block. */
+inline constexpr int kEccBlockBits = 512;
+
+/** Parity bits per corrected error (GF(2^10) BCH). */
+inline constexpr int kEccBitsPerError = 10;
+
+/**
+ * One error correction level: a BCH-t code, or no protection (t = 0).
+ */
+struct EccScheme
+{
+    int t = 0;
+
+    bool isNone() const { return t == 0; }
+
+    /** Parity bits added per 512-bit block. */
+    int parityBits() const { return kEccBitsPerError * t; }
+
+    /** Total stored bits per block. */
+    int blockBits() const { return kEccBlockBits + parityBits(); }
+
+    /** Fractional storage overhead (Figure 8, left axis). */
+    double
+    overhead() const
+    {
+        return static_cast<double>(parityBits()) / kEccBlockBits;
+    }
+
+    /**
+     * Probability that a block has more errors than the code
+     * corrects (Figure 8, right axis), for raw BER @p raw_ber.
+     */
+    double blockFailureRate(double raw_ber = kPcmRawBer) const;
+
+    /**
+     * Effective post-correction bit error rate seen by the payload:
+     * expected erroneous data bits per data bit. For t = 0 this is
+     * the raw rate itself.
+     */
+    double effectiveBitErrorRate(double raw_ber = kPcmRawBer) const;
+
+    std::string name() const;
+
+    bool operator==(const EccScheme &o) const { return t == o.t; }
+};
+
+/** No protection: data exposed to the raw substrate error rate. */
+inline constexpr EccScheme kEccNone{0};
+/** The precise-storage scheme (10^-16 class), used for headers. */
+inline constexpr EccScheme kEccPrecise{16};
+
+/** The scheme ladder evaluated in Figure 8. */
+std::vector<EccScheme> figure8Schemes();
+
+/**
+ * Weakest scheme from the Figure 8 ladder (including "none") whose
+ * effective bit error rate is at or below @p target_ber.
+ */
+EccScheme weakestSchemeFor(double target_ber,
+                           double raw_ber = kPcmRawBer);
+
+} // namespace videoapp
+
+#endif // VIDEOAPP_STORAGE_ECC_MODEL_H_

@@ -1,0 +1,116 @@
+#include "storage/error_injector.h"
+
+#include <algorithm>
+#include <unordered_set>
+
+#include "common/bitstream.h"
+
+namespace videoapp {
+
+namespace {
+
+/** Draw @p count distinct positions in [begin, end). */
+std::vector<BitPos>
+distinctPositions(BitPos begin, BitPos end, std::size_t count,
+                  Rng &rng)
+{
+    std::size_t range = end - begin;
+    count = std::min(count, range);
+    std::vector<BitPos> out;
+    out.reserve(count);
+    if (count * 3 < range) {
+        // Sparse: rejection sampling on a hash set.
+        std::unordered_set<BitPos> seen;
+        while (seen.size() < count) {
+            BitPos p = begin + rng.nextBelow(range);
+            if (seen.insert(p).second)
+                out.push_back(p);
+        }
+    } else {
+        // Dense: partial Fisher-Yates over the whole range.
+        std::vector<BitPos> all(range);
+        for (std::size_t i = 0; i < range; ++i)
+            all[i] = begin + i;
+        for (std::size_t i = 0; i < count; ++i) {
+            std::size_t j = i + rng.nextBelow(range - i);
+            std::swap(all[i], all[j]);
+            out.push_back(all[i]);
+        }
+    }
+    return out;
+}
+
+} // namespace
+
+std::vector<BitPos>
+injectErrors(Bytes &data, double rate, Rng &rng)
+{
+    return injectErrorsInRange(data, 0, data.size() * 8, rate, rng);
+}
+
+std::vector<BitPos>
+injectErrorCount(Bytes &data, std::size_t count, Rng &rng)
+{
+    auto positions = distinctPositions(0, data.size() * 8, count, rng);
+    for (BitPos p : positions)
+        flipBit(data, p);
+    return positions;
+}
+
+std::vector<BitPos>
+injectErrorsInRange(Bytes &data, BitPos begin, BitPos end, double rate,
+                    Rng &rng)
+{
+    end = std::min(end, data.size() * 8);
+    if (begin >= end || rate <= 0.0)
+        return {};
+    u64 n = end - begin;
+    u64 count = rng.nextBinomial(n, rate);
+    auto positions =
+        distinctPositions(begin, end, static_cast<std::size_t>(count),
+                          rng);
+    for (BitPos p : positions)
+        flipBit(data, p);
+    return positions;
+}
+
+std::vector<BitPos>
+injectErrorsProtected(Bytes &data, const EccScheme &scheme,
+                      double raw_ber, Rng &rng)
+{
+    if (scheme.isNone())
+        return injectErrors(data, raw_ber, rng);
+
+    std::vector<BitPos> flipped;
+    const std::size_t payload_bits = data.size() * 8;
+    const std::size_t block_payload =
+        static_cast<std::size_t>(kEccBlockBits);
+    const int block_total = scheme.blockBits();
+
+    for (std::size_t block_start = 0; block_start < payload_bits;
+         block_start += block_payload) {
+        std::size_t this_payload =
+            std::min(block_payload, payload_bits - block_start);
+        // The last block is still a full codeword (padded), so the
+        // error count is always drawn over blockBits() bits.
+        u64 errors = rng.nextBinomial(block_total, raw_ber);
+        if (errors <= static_cast<u64>(scheme.t))
+            continue; // corrected
+
+        // Uncorrectable: raw errors stay. Place them uniformly over
+        // the codeword; only payload hits damage data.
+        auto in_block = distinctPositions(
+            0, static_cast<std::size_t>(block_total),
+            static_cast<std::size_t>(errors), rng);
+        for (BitPos p : in_block) {
+            if (p < this_payload) {
+                BitPos abs = block_start + p;
+                flipBit(data, abs);
+                flipped.push_back(abs);
+            }
+        }
+    }
+    return flipped;
+}
+
+} // namespace videoapp

@@ -1,0 +1,58 @@
+/**
+ * @file
+ * Monte Carlo bit-error injection (Section 6.4 of the paper).
+ *
+ * Models the uncorrected errors a protected or unprotected stream
+ * experiences on the PCM substrate. Error counts follow the binomial
+ * distribution over the stream's bits; positions are uniform.
+ */
+
+#ifndef VIDEOAPP_STORAGE_ERROR_INJECTOR_H_
+#define VIDEOAPP_STORAGE_ERROR_INJECTOR_H_
+
+#include <vector>
+
+#include "common/rng.h"
+#include "common/types.h"
+#include "storage/ecc_model.h"
+
+namespace videoapp {
+
+/**
+ * Flip each bit of @p data independently with probability @p rate
+ * (binomial count + uniform distinct positions).
+ * @return the flipped bit positions.
+ */
+std::vector<BitPos> injectErrors(Bytes &data, double rate, Rng &rng);
+
+/** Flip exactly @p count random distinct bits. */
+std::vector<BitPos> injectErrorCount(Bytes &data, std::size_t count,
+                                     Rng &rng);
+
+/**
+ * Fast modeled ECC channel: expose @p data to raw bit errors at
+ * @p raw_ber as if stored in 512-bit BCH-protected blocks with
+ * @p scheme. Blocks whose error count is within the correction
+ * capability come back clean; heavier blocks keep the raw errors
+ * that landed in their payload portion (parity-bit errors don't
+ * damage payload). Statistically equivalent to the real
+ * encode/corrupt/decode path (validated in tests) but orders of
+ * magnitude faster, enabling the paper's 30-run Monte Carlo sweeps.
+ * @return flipped payload bit positions.
+ */
+std::vector<BitPos> injectErrorsProtected(Bytes &data,
+                                          const EccScheme &scheme,
+                                          double raw_ber, Rng &rng);
+
+/**
+ * Restrict injection to the bit range [@p begin, @p end) of @p data,
+ * flipping each bit with probability @p rate. Used by the Figure 9
+ * bin experiments, which corrupt one importance bin at a time.
+ */
+std::vector<BitPos> injectErrorsInRange(Bytes &data, BitPos begin,
+                                        BitPos end, double rate,
+                                        Rng &rng);
+
+} // namespace videoapp
+
+#endif // VIDEOAPP_STORAGE_ERROR_INJECTOR_H_

@@ -1,0 +1,25 @@
+#include "storage/gf.h"
+
+namespace videoapp {
+
+Gf1024::Gf1024()
+{
+    u32 x = 1;
+    for (int i = 0; i < kOrder; ++i) {
+        alog_[i] = static_cast<u16>(x);
+        log_[x] = i;
+        x <<= 1;
+        if (x & kFieldSize)
+            x ^= kPrimitivePoly;
+    }
+    log_[0] = -1; // undefined; never read for valid inputs
+}
+
+const Gf1024 &
+Gf1024::instance()
+{
+    static const Gf1024 gf;
+    return gf;
+}
+
+} // namespace videoapp

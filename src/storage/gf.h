@@ -1,0 +1,81 @@
+/**
+ * @file
+ * Arithmetic over GF(2^10), the field underlying the BCH codes the
+ * paper's storage substrate uses (10 parity bits per corrected error
+ * over 512-bit blocks implies codes shortened from n = 1023).
+ */
+
+#ifndef VIDEOAPP_STORAGE_GF_H_
+#define VIDEOAPP_STORAGE_GF_H_
+
+#include <array>
+
+#include "common/types.h"
+
+namespace videoapp {
+
+/**
+ * GF(2^10) with primitive polynomial x^10 + x^3 + 1. Elements are
+ * 10-bit integers; multiplication uses log/antilog tables built once.
+ */
+class Gf1024
+{
+  public:
+    static constexpr int kM = 10;
+    static constexpr int kFieldSize = 1 << kM;   // 1024
+    static constexpr int kOrder = kFieldSize - 1; // 1023
+    static constexpr u32 kPrimitivePoly = 0x409;  // x^10 + x^3 + 1
+
+    Gf1024();
+
+    /** alpha^i for i taken mod the group order. */
+    u16
+    alphaPow(int i) const
+    {
+        int e = i % kOrder;
+        if (e < 0)
+            e += kOrder;
+        return alog_[e];
+    }
+
+    /** Discrete log of nonzero @p a. */
+    int
+    log(u16 a) const
+    {
+        return log_[a];
+    }
+
+    u16
+    mul(u16 a, u16 b) const
+    {
+        if (a == 0 || b == 0)
+            return 0;
+        return alog_[(log_[a] + log_[b]) % kOrder];
+    }
+
+    u16
+    inv(u16 a) const
+    {
+        // a must be nonzero.
+        return alog_[(kOrder - log_[a]) % kOrder];
+    }
+
+    u16
+    div(u16 a, u16 b) const
+    {
+        if (a == 0)
+            return 0;
+        return alog_[(log_[a] - log_[b] + kOrder) % kOrder];
+    }
+
+    /** The process-wide instance (tables are immutable). */
+    static const Gf1024 &instance();
+
+  private:
+    std::array<u16, kOrder> alog_;
+    std::array<int, kFieldSize> log_;
+};
+
+} // namespace videoapp
+
+#endif // VIDEOAPP_STORAGE_GF_H_

@@ -1,0 +1,157 @@
+#include "storage/pcm.h"
+
+#include <cmath>
+
+namespace videoapp {
+
+namespace {
+
+/** Standard normal upper-tail probability Q(z). */
+double
+qFunction(double z)
+{
+    return 0.5 * std::erfc(z / std::sqrt(2.0));
+}
+
+/** Inverse of qFunction by bisection (z in [0, 40]). */
+double
+qInverse(double p)
+{
+    double lo = 0.0, hi = 40.0;
+    for (int i = 0; i < 200; ++i) {
+        double mid = 0.5 * (lo + hi);
+        if (qFunction(mid) > p)
+            lo = mid;
+        else
+            hi = mid;
+    }
+    return 0.5 * (lo + hi);
+}
+
+} // namespace
+
+u32
+grayEncode(u32 v)
+{
+    return v ^ (v >> 1);
+}
+
+u32
+grayDecode(u32 g)
+{
+    u32 v = 0;
+    while (g) {
+        v ^= g;
+        g >>= 1;
+    }
+    return v;
+}
+
+McPcm::McPcm(const PcmConfig &config)
+    : config_(config)
+{
+    // Calibration. A symbol error occurs when the analog level moves
+    // past the midpoint between adjacent levels (distance 0.5 in
+    // level units after biasing). Interior levels err on two sides,
+    // edge levels on one:
+    //   symbolErrorRate = 2 (M-1)/M * Q(0.5 / sigma_total)
+    // With Gray coding an adjacent-level error flips one of the
+    // bitsPerCell bits:
+    //   rawBer = symbolErrorRate / bitsPerCell
+    // At the scrub interval, drift noise is calibrated equal to
+    // write noise (the equalisation of Guo et al.), so
+    // sigma_total = sqrt(2) * sigma_write there.
+    int m = levels();
+    double edge_factor = 2.0 * (m - 1) / m;
+    double q_target =
+        config_.targetRawBer * config_.bitsPerCell / edge_factor;
+    double z = qInverse(q_target);
+    double sigma_total_at_scrub = 0.5 / z;
+    writeSigma_ = sigma_total_at_scrub / std::sqrt(2.0);
+
+    // Drift sigma grows with log10 of elapsed time (normalised to
+    // 1 second); nu is chosen so that at the scrub interval the
+    // drift sigma equals the write sigma.
+    driftNu_ = writeSigma_ / std::log10(1.0 + config_.scrubSeconds);
+}
+
+double
+McPcm::totalSigma(double seconds) const
+{
+    double drift_sigma =
+        driftNu_ * std::log10(1.0 + (seconds < 0 ? 0 : seconds));
+    return std::sqrt(writeSigma_ * writeSigma_ +
+                     drift_sigma * drift_sigma);
+}
+
+double
+McPcm::rawBitErrorRate(double seconds) const
+{
+    int m = levels();
+    double edge_factor = 2.0 * (m - 1) / m;
+    double ser = edge_factor * qFunction(0.5 / totalSigma(seconds));
+    return ser / config_.bitsPerCell;
+}
+
+double
+McPcm::rawBitErrorRateForLevels(int bits_per_cell,
+                                double seconds) const
+{
+    int m = 1 << bits_per_cell;
+    // Same physical noise, level spacing rescaled to fit m levels
+    // into the window the calibrated cell divides into levels()-1
+    // gaps.
+    double sigma = totalSigma(seconds) *
+                   static_cast<double>(m - 1) / (levels() - 1);
+    double edge_factor = 2.0 * (m - 1) / m;
+    double ser = edge_factor * qFunction(0.5 / sigma);
+    return ser / bits_per_cell;
+}
+
+Bytes
+McPcm::storeAndRead(const Bytes &data, double seconds, Rng &rng) const
+{
+    const int bpc = config_.bitsPerCell;
+    const int m = levels();
+    const double sigma = totalSigma(seconds);
+
+    Bytes out(data.size(), 0);
+    const std::size_t total_bits = data.size() * 8;
+
+    std::size_t bit = 0;
+    while (bit < total_bits) {
+        // Gather up to bitsPerCell bits into one symbol.
+        u32 symbol = 0;
+        int got = 0;
+        for (; got < bpc && bit + got < total_bits; ++got) {
+            std::size_t p = bit + got;
+            u32 b = (data[p / 8] >> (7 - p % 8)) & 1u;
+            symbol = (symbol << 1) | b;
+        }
+        if (got < bpc)
+            symbol <<= (bpc - got); // zero-pad the last cell
+
+        // Write the level whose Gray code is the symbol, perturb,
+        // read back. Adjacent levels then differ in exactly one
+        // payload bit.
+        int level = static_cast<int>(grayDecode(symbol));
+        double analog = level + rng.nextGaussian() * sigma;
+        int read_level = static_cast<int>(std::lround(analog));
+        if (read_level < 0)
+            read_level = 0;
+        if (read_level >= m)
+            read_level = m - 1;
+        u32 read_symbol = grayEncode(static_cast<u32>(read_level));
+
+        for (int i = 0; i < got; ++i) {
+            std::size_t p = bit + i;
+            u32 b = (read_symbol >> (bpc - 1 - i)) & 1u;
+            if (b)
+                out[p / 8] |= static_cast<u8>(0x80u >> (p % 8));
+        }
+        bit += got;
+    }
+    return out;
+}
+
+} // namespace videoapp

@@ -1,0 +1,117 @@
+/**
+ * @file
+ * Multi-level cell phase-change memory model.
+ *
+ * Follows the substrate of Guo et al. [5] as the paper adopts it
+ * (Section 2.2/6.2): 8 resistance levels per cell (3 bits), level
+ * ranges biased so that write/read circuit noise and time-dependent
+ * resistance drift contribute equal error probability at the
+ * scrubbing interval (3 months by default), yielding a raw bit error
+ * rate of 1e-3. Levels are Gray-coded so the dominant adjacent-level
+ * confusion flips a single bit.
+ */
+
+#ifndef VIDEOAPP_STORAGE_PCM_H_
+#define VIDEOAPP_STORAGE_PCM_H_
+
+#include "common/rng.h"
+#include "common/types.h"
+
+namespace videoapp {
+
+/** Seconds in the default scrubbing interval (3 months). */
+inline constexpr double kDefaultScrubSeconds = 90.0 * 24 * 3600;
+
+/** Configuration of the MLC PCM substrate. */
+struct PcmConfig
+{
+    int bitsPerCell = 3;                      // 8 levels
+    double scrubSeconds = kDefaultScrubSeconds;
+    /** Target raw BER at the scrub interval after level biasing. */
+    double targetRawBer = 1e-3;
+};
+
+/**
+ * Behavioural cell model. Calibration places half the error budget in
+ * write/read (time-independent Gaussian level noise) and half in
+ * drift (noise growing with log time), reproducing the equalisation
+ * of Guo et al.
+ */
+class McPcm
+{
+  public:
+    explicit McPcm(const PcmConfig &config = {});
+
+    int levels() const { return 1 << config_.bitsPerCell; }
+    int bitsPerCell() const { return config_.bitsPerCell; }
+
+    /** Analytic raw bit error rate after @p seconds since writing. */
+    double rawBitErrorRate(double seconds) const;
+
+    /** Raw BER at the configured scrub interval (the design point). */
+    double
+    rawBitErrorRate() const
+    {
+        return rawBitErrorRate(config_.scrubSeconds);
+    }
+
+    /**
+     * Store @p data into cells and read it back after @p seconds,
+     * with per-cell write noise and drift sampled from @p rng. The
+     * returned vector has the same size; errors appear as flipped
+     * bits (Gray-adjacent level confusions).
+     */
+    Bytes storeAndRead(const Bytes &data, double seconds,
+                       Rng &rng) const;
+
+    /** Cells needed to hold @p bits of data. */
+    u64
+    cellsFor(u64 bits) const
+    {
+        return (bits + config_.bitsPerCell - 1) / config_.bitsPerCell;
+    }
+
+    /** The calibrated per-component noise sigma (level units). */
+    double writeSigma() const { return writeSigma_; }
+    double driftNu() const { return driftNu_; }
+
+    /**
+     * Raw BER this cell's physical noise would give with a
+     * different level count in the same resistance window
+     * (Section 2.2's density/reliability design trade-off): with
+     * 2^b levels the level spacing shrinks by (2^b - 1)/(levels-1),
+     * magnifying the effective noise accordingly.
+     */
+    double rawBitErrorRateForLevels(int bits_per_cell,
+                                    double seconds) const;
+
+  private:
+    double totalSigma(double seconds) const;
+
+    PcmConfig config_;
+    double writeSigma_;
+    double driftNu_;
+};
+
+/**
+ * A single-level-cell reference substrate: 1 bit per cell, error
+ * rates negligible (1e-16 class) — the paper's SLC density baseline.
+ */
+struct SlcPcm
+{
+    static constexpr int kBitsPerCell = 1;
+    static constexpr double kRawBer = 1e-16;
+
+    static u64 cellsFor(u64 bits) { return bits; }
+};
+
+/** Gray-encode a symbol (used by cell <-> bit mapping; exposed for
+ * tests). */
+u32 grayEncode(u32 v);
+
+/** Inverse of grayEncode. */
+u32 grayDecode(u32 g);
+
+} // namespace videoapp
+
+#endif // VIDEOAPP_STORAGE_PCM_H_

@@ -1,0 +1,35 @@
+#include "video/frame.h"
+
+namespace videoapp {
+
+Frame::Frame(int width, int height)
+    : y_(width, height, 16),
+      u_(width / 2, height / 2, 128),
+      v_(width / 2, height / 2, 128)
+{
+    assert(width > 0 && height > 0);
+    assert(width % 16 == 0 && height % 16 == 0);
+}
+
+std::size_t
+Frame::pixelCount() const
+{
+    return static_cast<std::size_t>(width()) * height();
+}
+
+bool
+Frame::sameSize(const Frame &other) const
+{
+    return y_.sameSize(other.y_);
+}
+
+std::size_t
+Video::pixelCount() const
+{
+    std::size_t total = 0;
+    for (const auto &f : frames)
+        total += f.pixelCount();
+    return total;
+}
+
+} // namespace videoapp

@@ -1,0 +1,125 @@
+/**
+ * @file
+ * Raw video frames in YUV 4:2:0 planar format.
+ *
+ * Frames are the interface between the synthetic workload generator,
+ * the codec, and the quality metrics. Dimensions are constrained to
+ * multiples of 16 so every frame tiles exactly into macroblocks.
+ */
+
+#ifndef VIDEOAPP_VIDEO_FRAME_H_
+#define VIDEOAPP_VIDEO_FRAME_H_
+
+#include <cassert>
+#include <cstddef>
+#include <vector>
+
+#include "common/types.h"
+
+namespace videoapp {
+
+/**
+ * One image plane of 8-bit samples with explicit dimensions.
+ *
+ * Access is bounds-asserted in debug builds; the edge-extended
+ * accessors implement the unrestricted-motion-vector padding used by
+ * motion compensation.
+ */
+class Plane
+{
+  public:
+    Plane() = default;
+    Plane(int width, int height, u8 fill = 0)
+        : width_(width), height_(height),
+          data_(static_cast<std::size_t>(width) * height, fill)
+    {}
+
+    int width() const { return width_; }
+    int height() const { return height_; }
+
+    u8
+    at(int x, int y) const
+    {
+        assert(x >= 0 && x < width_ && y >= 0 && y < height_);
+        return data_[static_cast<std::size_t>(y) * width_ + x];
+    }
+
+    u8 &
+    at(int x, int y)
+    {
+        assert(x >= 0 && x < width_ && y >= 0 && y < height_);
+        return data_[static_cast<std::size_t>(y) * width_ + x];
+    }
+
+    /** Sample with coordinates clamped to the plane edges. */
+    u8
+    atClamped(int x, int y) const
+    {
+        if (x < 0) x = 0;
+        if (x >= width_) x = width_ - 1;
+        if (y < 0) y = 0;
+        if (y >= height_) y = height_ - 1;
+        return data_[static_cast<std::size_t>(y) * width_ + x];
+    }
+
+    const std::vector<u8> &data() const { return data_; }
+    std::vector<u8> &data() { return data_; }
+
+    bool
+    sameSize(const Plane &other) const
+    {
+        return width_ == other.width_ && height_ == other.height_;
+    }
+
+  private:
+    int width_ = 0;
+    int height_ = 0;
+    std::vector<u8> data_;
+};
+
+/**
+ * A YUV 4:2:0 frame: full-resolution luma plus half-resolution chroma.
+ */
+class Frame
+{
+  public:
+    Frame() = default;
+
+    /** @pre width and height are positive multiples of 16. */
+    Frame(int width, int height);
+
+    int width() const { return y_.width(); }
+    int height() const { return y_.height(); }
+
+    Plane &y() { return y_; }
+    Plane &u() { return u_; }
+    Plane &v() { return v_; }
+    const Plane &y() const { return y_; }
+    const Plane &u() const { return u_; }
+    const Plane &v() const { return v_; }
+
+    /** Number of luma pixels (the paper's density denominator). */
+    std::size_t pixelCount() const;
+
+    bool sameSize(const Frame &other) const;
+
+  private:
+    Plane y_, u_, v_;
+};
+
+/** A sequence of equally sized frames plus its nominal frame rate. */
+struct Video
+{
+    std::vector<Frame> frames;
+    double fps = 50.0;
+
+    int width() const { return frames.empty() ? 0 : frames[0].width(); }
+    int height() const { return frames.empty() ? 0 : frames[0].height(); }
+
+    /** Total luma pixels across all frames. */
+    std::size_t pixelCount() const;
+};
+
+} // namespace videoapp
+
+#endif // VIDEOAPP_VIDEO_FRAME_H_

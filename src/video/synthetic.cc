@@ -1,0 +1,260 @@
+#include "video/synthetic.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace videoapp {
+
+namespace {
+
+/**
+ * Smooth value-noise texture, periodic in both directions so panning
+ * wraps seamlessly. Sampled bilinearly between lattice points.
+ */
+class ValueNoise
+{
+  public:
+    ValueNoise(int cells_x, int cells_y, Rng &rng)
+        : cx_(std::max(cells_x, 2)), cy_(std::max(cells_y, 2)),
+          lattice_(static_cast<std::size_t>(cx_) * cy_)
+    {
+        for (auto &v : lattice_)
+            v = rng.nextDouble();
+    }
+
+    /** Sample at lattice-space coordinates (wrapping). */
+    double
+    sample(double x, double y) const
+    {
+        double fx = x - std::floor(x / cx_) * cx_;
+        double fy = y - std::floor(y / cy_) * cy_;
+        int x0 = static_cast<int>(fx) % cx_;
+        int y0 = static_cast<int>(fy) % cy_;
+        int x1 = (x0 + 1) % cx_;
+        int y1 = (y0 + 1) % cy_;
+        double tx = smooth(fx - std::floor(fx));
+        double ty = smooth(fy - std::floor(fy));
+        double a = at(x0, y0) * (1 - tx) + at(x1, y0) * tx;
+        double b = at(x0, y1) * (1 - tx) + at(x1, y1) * tx;
+        return a * (1 - ty) + b * ty;
+    }
+
+  private:
+    static double smooth(double t) { return t * t * (3 - 2 * t); }
+
+    double
+    at(int x, int y) const
+    {
+        return lattice_[static_cast<std::size_t>(y) * cx_ + x];
+    }
+
+    int cx_, cy_;
+    std::vector<double> lattice_;
+};
+
+struct Sprite
+{
+    double x, y;        // centre, pixels
+    double vx, vy;      // pixels/frame
+    double radius;      // pixels
+    double luma;        // 0..255
+    double cb, cr;      // chroma offsets
+    bool rect;          // rectangle vs. disc
+};
+
+u8
+clampPixel(double v)
+{
+    return static_cast<u8>(std::clamp(v, 0.0, 255.0));
+}
+
+} // namespace
+
+Video
+generateSynthetic(const SyntheticSpec &spec)
+{
+    Rng rng(spec.seed);
+    ValueNoise texture(spec.textureCells,
+                       std::max(2, spec.textureCells * spec.height /
+                                       std::max(spec.width, 1)),
+                       rng);
+    // Second texture bank used after an optional scene cut.
+    ValueNoise texture2(spec.textureCells + 3,
+                        spec.textureCells + 2, rng);
+    ValueNoise chromaTex(std::max(2, spec.textureCells / 2),
+                         std::max(2, spec.textureCells / 2), rng);
+
+    std::vector<Sprite> sprites(spec.sprites);
+    for (auto &s : sprites) {
+        s.x = rng.nextDouble() * spec.width;
+        s.y = rng.nextDouble() * spec.height;
+        double angle = rng.nextDouble() * 2 * M_PI;
+        double speed = (0.3 + 0.7 * rng.nextDouble()) * spec.spriteSpeed;
+        s.vx = std::cos(angle) * speed;
+        s.vy = std::sin(angle) * speed;
+        s.radius = 6 + rng.nextDouble() * spec.width / 10.0;
+        s.luma = 40 + rng.nextDouble() * 180;
+        s.cb = (rng.nextDouble() - 0.5) * 80;
+        s.cr = (rng.nextDouble() - 0.5) * 80;
+        s.rect = rng.nextBool(0.5);
+    }
+
+    Video video;
+    video.fps = spec.fps;
+    video.frames.reserve(spec.frames);
+
+    double cells_per_px = static_cast<double>(spec.textureCells) /
+                          std::max(spec.width, 1);
+
+    for (int t = 0; t < spec.frames; ++t) {
+        Frame frame(spec.width, spec.height);
+        bool post_cut = spec.sceneCutAt >= 0 && t >= spec.sceneCutAt;
+        const ValueNoise &tex = post_cut ? texture2 : texture;
+
+        double zoom = std::pow(spec.zoomRate, t);
+        double ox = spec.panX * t;
+        double oy = spec.panY * t;
+        double bright = spec.brightnessRamp * t;
+        double cx = spec.width / 2.0;
+        double cy = spec.height / 2.0;
+
+        for (int y = 0; y < spec.height; ++y) {
+            for (int x = 0; x < spec.width; ++x) {
+                // World coordinate after pan/zoom about the centre.
+                double wx = (x - cx) / zoom + cx + ox;
+                double wy = (y - cy) / zoom + cy + oy;
+                double n = tex.sample(wx * cells_per_px,
+                                      wy * cells_per_px);
+                double luma = 48 + 160 * n + bright;
+                frame.y().at(x, y) = clampPixel(luma);
+            }
+        }
+        for (int y = 0; y < spec.height / 2; ++y) {
+            for (int x = 0; x < spec.width / 2; ++x) {
+                double wx = (2 * x - cx) / zoom + cx + ox;
+                double wy = (2 * y - cy) / zoom + cy + oy;
+                double n = chromaTex.sample(wx * cells_per_px,
+                                            wy * cells_per_px);
+                frame.u().at(x, y) = clampPixel(128 + (n - 0.5) * 60);
+                frame.v().at(x, y) = clampPixel(128 + (0.5 - n) * 60);
+            }
+        }
+
+        // Composite sprites over the background.
+        for (const auto &s : sprites) {
+            double sx = s.x + s.vx * t;
+            double sy = s.y + s.vy * t;
+            // Wrap sprite centres so they stay in view.
+            sx = sx - std::floor(sx / spec.width) * spec.width;
+            sy = sy - std::floor(sy / spec.height) * spec.height;
+            int x0 = std::max(0, static_cast<int>(sx - s.radius));
+            int x1 = std::min(spec.width - 1,
+                              static_cast<int>(sx + s.radius));
+            int y0 = std::max(0, static_cast<int>(sy - s.radius));
+            int y1 = std::min(spec.height - 1,
+                              static_cast<int>(sy + s.radius));
+            for (int y = y0; y <= y1; ++y) {
+                for (int x = x0; x <= x1; ++x) {
+                    double dx = x - sx, dy = y - sy;
+                    bool inside = s.rect
+                        ? (std::abs(dx) <= s.radius * 0.8 &&
+                           std::abs(dy) <= s.radius * 0.6)
+                        : (dx * dx + dy * dy <= s.radius * s.radius);
+                    if (!inside)
+                        continue;
+                    // Light texture on the sprite so it is not flat.
+                    double shade = texture.sample(dx * 0.2, dy * 0.2);
+                    frame.y().at(x, y) =
+                        clampPixel(s.luma + 30 * (shade - 0.5) + bright);
+                    int cx2 = x / 2, cy2 = y / 2;
+                    frame.u().at(cx2, cy2) = clampPixel(128 + s.cb);
+                    frame.v().at(cx2, cy2) = clampPixel(128 + s.cr);
+                }
+            }
+        }
+
+        if (spec.noiseSigma > 0) {
+            for (auto &p : frame.y().data())
+                p = clampPixel(p + rng.nextGaussian() * spec.noiseSigma);
+        }
+
+        video.frames.push_back(std::move(frame));
+    }
+    return video;
+}
+
+std::vector<SyntheticSpec>
+standardSuite(double scale)
+{
+    auto dim = [scale](int base) {
+        int scaled = static_cast<int>(base * scale);
+        int snapped = std::max(32, (scaled / 16) * 16);
+        return snapped;
+    };
+    auto len = [scale](int base) {
+        return std::max(12, static_cast<int>(base * scale));
+    };
+
+    int w = dim(320), h = dim(192);
+
+    std::vector<SyntheticSpec> suite;
+    auto add = [&](SyntheticSpec s, u64 seed) {
+        s.width = w;
+        s.height = h;
+        s.frames = len(s.frames);
+        s.seed = seed;
+        suite.push_back(s);
+    };
+
+    // 14 sequences, one per content class the Xiph suite spans.
+    add({.name = "park_pan", .frames = 96, .textureCells = 14,
+         .panX = 1.5, .sprites = 0}, 101);
+    add({.name = "crowd_run", .frames = 96, .textureCells = 10,
+         .panX = 0.6, .sprites = 12, .spriteSpeed = 3.0}, 102);
+    add({.name = "ducks_takeoff", .frames = 96, .textureCells = 16,
+         .sprites = 8, .spriteSpeed = 4.0, .noiseSigma = 1.5}, 103);
+    add({.name = "in_to_tree", .frames = 96, .textureCells = 12,
+         .zoomRate = 1.004}, 104);
+    add({.name = "old_town_cross", .frames = 96, .textureCells = 20,
+         .panX = 0.4, .panY = 0.2}, 105);
+    add({.name = "shields", .frames = 96, .textureCells = 18,
+         .panX = 2.2, .sprites = 2}, 106);
+    add({.name = "stockholm", .frames = 96, .textureCells = 24,
+         .panY = 0.8}, 107);
+    add({.name = "mobcal", .frames = 96, .textureCells = 22,
+         .panX = -1.0, .sprites = 3, .spriteSpeed = 1.0}, 108);
+    add({.name = "parkrun", .frames = 96, .textureCells = 15,
+         .panX = 3.0, .sprites = 5, .spriteSpeed = 3.5,
+         .noiseSigma = 1.0}, 109);
+    add({.name = "blue_sky", .frames = 96, .textureCells = 6,
+         .zoomRate = 0.997, .sprites = 1}, 110);
+    add({.name = "pedestrian_area", .frames = 96, .textureCells = 9,
+         .sprites = 9, .spriteSpeed = 1.5}, 111);
+    add({.name = "riverbed", .frames = 96, .textureCells = 28,
+         .sprites = 0, .noiseSigma = 4.0}, 112);
+    add({.name = "rush_hour", .frames = 96, .textureCells = 11,
+         .sprites = 14, .spriteSpeed = 0.8,
+         .brightnessRamp = 0.15}, 113);
+    add({.name = "sunflower", .frames = 96, .textureCells = 8,
+         .sprites = 2, .spriteSpeed = 0.5, .sceneCutAt = 48}, 114);
+
+    return suite;
+}
+
+SyntheticSpec
+tinySpec(u64 seed)
+{
+    SyntheticSpec s;
+    s.name = "tiny";
+    s.width = 64;
+    s.height = 64;
+    s.frames = 20;
+    s.textureCells = 5;
+    s.panX = 0.8;
+    s.sprites = 2;
+    s.spriteSpeed = 1.5;
+    s.seed = seed;
+    return s;
+}
+
+} // namespace videoapp

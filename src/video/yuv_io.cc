@@ -1,0 +1,72 @@
+#include "video/yuv_io.h"
+
+#include <cstdio>
+#include <fstream>
+
+namespace videoapp {
+
+Video
+loadI420(const std::string &path, int width, int height, double fps)
+{
+    Video video;
+    video.fps = fps;
+    if (width <= 0 || height <= 0 || width % 16 || height % 16)
+        return video;
+
+    std::ifstream in(path, std::ios::binary);
+    if (!in)
+        return video;
+
+    std::size_t ysize = static_cast<std::size_t>(width) * height;
+    std::size_t csize = ysize / 4;
+
+    for (;;) {
+        Frame frame(width, height);
+        in.read(reinterpret_cast<char *>(frame.y().data().data()),
+                static_cast<std::streamsize>(ysize));
+        if (in.gcount() != static_cast<std::streamsize>(ysize))
+            break;
+        in.read(reinterpret_cast<char *>(frame.u().data().data()),
+                static_cast<std::streamsize>(csize));
+        if (in.gcount() != static_cast<std::streamsize>(csize))
+            break;
+        in.read(reinterpret_cast<char *>(frame.v().data().data()),
+                static_cast<std::streamsize>(csize));
+        if (in.gcount() != static_cast<std::streamsize>(csize))
+            break;
+        video.frames.push_back(std::move(frame));
+    }
+    return video;
+}
+
+bool
+saveI420(const Video &video, const std::string &path)
+{
+    std::ofstream out(path, std::ios::binary);
+    if (!out)
+        return false;
+    for (const auto &frame : video.frames) {
+        auto put = [&out](const Plane &p) {
+            out.write(reinterpret_cast<const char *>(p.data().data()),
+                      static_cast<std::streamsize>(p.data().size()));
+        };
+        put(frame.y());
+        put(frame.u());
+        put(frame.v());
+    }
+    return static_cast<bool>(out);
+}
+
+bool
+savePgm(const Plane &plane, const std::string &path)
+{
+    std::ofstream out(path, std::ios::binary);
+    if (!out)
+        return false;
+    out << "P5\n" << plane.width() << " " << plane.height() << "\n255\n";
+    out.write(reinterpret_cast<const char *>(plane.data().data()),
+              static_cast<std::streamsize>(plane.data().size()));
+    return static_cast<bool>(out);
+}
+
+} // namespace videoapp

@@ -1,0 +1,34 @@
+/**
+ * @file
+ * Minimal planar YUV and PGM file I/O.
+ *
+ * Lets users feed real footage into the pipeline (raw I420 files, as
+ * produced by `ffmpeg -pix_fmt yuv420p`) and dump frames or importance
+ * maps for visual inspection.
+ */
+
+#ifndef VIDEOAPP_VIDEO_YUV_IO_H_
+#define VIDEOAPP_VIDEO_YUV_IO_H_
+
+#include <string>
+
+#include "video/frame.h"
+
+namespace videoapp {
+
+/**
+ * Load a raw planar I420 file of known dimensions.
+ * @return empty video if the file cannot be read or is truncated.
+ */
+Video loadI420(const std::string &path, int width, int height,
+               double fps = 50.0);
+
+/** Write a video as raw planar I420. @return false on I/O error. */
+bool saveI420(const Video &video, const std::string &path);
+
+/** Dump one plane as a binary PGM image. @return false on I/O error. */
+bool savePgm(const Plane &plane, const std::string &path);
+
+} // namespace videoapp
+
+#endif // VIDEOAPP_VIDEO_YUV_IO_H_

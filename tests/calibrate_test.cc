@@ -1,0 +1,145 @@
+/**
+ * @file
+ * Calibration pipeline tests: curve measurement monotonicity, the
+ * derived assignments' budget compliance, and container fuzzing
+ * (random blobs must never crash or be accepted).
+ */
+
+#include <gtest/gtest.h>
+
+#include "codec/container.h"
+#include "common/rng.h"
+#include "core/pipeline.h"
+#include "sim/calibrate.h"
+#include "video/synthetic.h"
+
+namespace videoapp {
+namespace {
+
+TEST(Calibrate, CurvesAreMonotoneInClassAndRate)
+{
+    SyntheticSpec spec = tinySpec(81);
+    auto curves = measureClassCurves({spec}, EncoderConfig{}, 2,
+                                     {1e-6, 1e-4, 1e-2}, 900);
+    ASSERT_FALSE(curves.empty());
+    double prev_storage = 0.0;
+    std::vector<double> prev_loss;
+    for (const auto &curve : curves) {
+        EXPECT_GE(curve.cumulativeStorage, prev_storage);
+        prev_storage = curve.cumulativeStorage;
+        // Loss non-decreasing with rate within a class.
+        for (std::size_t i = 1; i < curve.points.size(); ++i)
+            EXPECT_GE(curve.points[i].lossDb,
+                      curve.points[i - 1].lossDb);
+        // And with class at equal rates.
+        if (!prev_loss.empty()) {
+            for (std::size_t i = 0; i < curve.points.size(); ++i)
+                EXPECT_GE(curve.points[i].lossDb + 1e-12,
+                          prev_loss[i]);
+        }
+        prev_loss.clear();
+        for (const auto &p : curve.points)
+            prev_loss.push_back(p.lossDb);
+    }
+    EXPECT_NEAR(curves.back().cumulativeStorage, 1.0, 1e-9);
+}
+
+TEST(Calibrate, DerivedAssignmentMonotoneStrength)
+{
+    SyntheticSpec spec = tinySpec(82);
+    EccAssignment table =
+        calibrateAssignment({spec}, EncoderConfig{}, 2, 0.3, 901);
+    int prev_t = 0;
+    for (const auto &entry : table.entries()) {
+        EXPECT_GE(entry.scheme.t, prev_t);
+        prev_t = entry.scheme.t;
+    }
+    EXPECT_GE(table.fallback().t, prev_t);
+}
+
+TEST(Calibrate, CalibratedPipelineRespectsBudget)
+{
+    // Run the calibrated assignment through the channel several
+    // times: mean quality loss must stay near the budget (worst
+    // case Monte Carlo noise allowed).
+    SyntheticSpec spec = tinySpec(83);
+    Video source = generateSynthetic(spec);
+    EccAssignment table =
+        calibrateAssignment({spec}, EncoderConfig{}, 3, 0.3, 902);
+    PreparedVideo prepared =
+        prepareVideo(source, EncoderConfig{}, table);
+
+    ModeledChannel channel(kPcmRawBer);
+    double total_loss = 0;
+    const int runs = 6;
+    for (int r = 0; r < runs; ++r) {
+        Rng rng(910 + static_cast<u64>(r));
+        StorageOutcome outcome =
+            storeAndRetrieve(prepared, channel, rng);
+        total_loss +=
+            std::max(0.0, 100.0 - outcome.psnrVsReference);
+    }
+    EXPECT_LT(total_loss / runs, 2.0);
+}
+
+TEST(ContainerFuzz, RandomBlobsNeverCrash)
+{
+    Rng rng(84);
+    for (int trial = 0; trial < 200; ++trial) {
+        Bytes blob(rng.nextBelow(600));
+        for (auto &b : blob)
+            b = static_cast<u8>(rng.next());
+        auto video = deserialize(blob);
+        if (video) {
+            // Rarely a random blob passes the magic check; decoding
+            // it must still be total.
+            Video decoded = decodeVideo(*video);
+            (void)decoded;
+        }
+    }
+    SUCCEED();
+}
+
+TEST(ContainerFuzz, TruncatedRealStreamRejectedOrDecodable)
+{
+    Video source = generateSynthetic(tinySpec(85));
+    EncodeResult enc = encodeVideo(source, EncoderConfig{});
+    Bytes blob = serialize(enc.video);
+    Rng rng(86);
+    for (int trial = 0; trial < 30; ++trial) {
+        std::size_t cut = 4 + rng.nextBelow(blob.size() - 4);
+        Bytes truncated(blob.begin(),
+                        blob.begin() +
+                            static_cast<std::ptrdiff_t>(cut));
+        auto video = deserialize(truncated);
+        if (video) {
+            Video decoded = decodeVideo(*video);
+            EXPECT_LE(decoded.frames.size(),
+                      source.frames.size());
+        }
+    }
+}
+
+TEST(ContainerFuzz, BitFlippedHeadersNeverCrashDecode)
+{
+    // The paper stores headers precisely, but a robust library must
+    // not crash even if they are damaged.
+    Video source = generateSynthetic(tinySpec(87));
+    EncodeResult enc = encodeVideo(source, EncoderConfig{});
+    Bytes blob = serialize(enc.video);
+    Rng rng(88);
+    for (int trial = 0; trial < 50; ++trial) {
+        Bytes damaged = blob;
+        for (int flips = 0; flips < 8; ++flips)
+            flipBit(damaged, rng.nextBelow(damaged.size() * 8));
+        auto video = deserialize(damaged);
+        if (video) {
+            Video decoded = decodeVideo(*video);
+            (void)decoded;
+        }
+    }
+    SUCCEED();
+}
+
+} // namespace
+} // namespace videoapp

@@ -1,0 +1,649 @@
+/**
+ * @file
+ * Codec component tests: transform/quant, arithmetic coder, syntax
+ * layer, GOP planning, intra/inter prediction helpers, container
+ * serialisation.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "codec/arith.h"
+#include "codec/container.h"
+#include "codec/gop.h"
+#include "codec/intra.h"
+#include "codec/inter.h"
+#include "codec/mb_grid.h"
+#include "codec/rate_control.h"
+#include "codec/reconstruct.h"
+#include "codec/syntax.h"
+#include "codec/transform.h"
+#include "codec/types.h"
+#include "common/rng.h"
+
+namespace videoapp {
+namespace {
+
+// --- Transform -----------------------------------------------------------
+
+TEST(Transform, RoundTripErrorBoundedByQp)
+{
+    Rng rng(1);
+    for (int qp : {0, 8, 16, 24, 32, 40}) {
+        double max_err = 0;
+        for (int trial = 0; trial < 50; ++trial) {
+            Residual4x4 res{};
+            for (auto &v : res)
+                v = static_cast<i16>(
+                    static_cast<int>(rng.nextBelow(511)) - 255);
+            Residual4x4 levels = forwardQuant4x4(res, qp, false);
+            Residual4x4 back = inverseQuant4x4(levels, qp);
+            for (int i = 0; i < 16; ++i)
+                max_err = std::max(
+                    max_err, std::abs(static_cast<double>(back[i]) -
+                                      res[i]));
+        }
+        // Quantisation step roughly doubles every 6 QP; the error
+        // must stay within ~one step (inter rounding offset is 1/6,
+        // so the worst case slightly exceeds half a step).
+        double step = 0.7 * std::pow(2.0, qp / 6.0);
+        EXPECT_LT(max_err, std::max(3.5, 1.8 * step)) << "qp " << qp;
+    }
+}
+
+TEST(Transform, ZeroResidualStaysZero)
+{
+    Residual4x4 zero{};
+    Residual4x4 levels = forwardQuant4x4(zero, 26, true);
+    EXPECT_FALSE(anyNonZero(levels));
+    Residual4x4 back = inverseQuant4x4(levels, 26);
+    for (i16 v : back)
+        EXPECT_EQ(v, 0);
+}
+
+TEST(Transform, HigherQpCoarser)
+{
+    Residual4x4 res{};
+    for (int i = 0; i < 16; ++i)
+        res[i] = static_cast<i16>(10 + 5 * i);
+    int nz_low = 0, nz_high = 0;
+    Residual4x4 lo = forwardQuant4x4(res, 4, false);
+    Residual4x4 hi = forwardQuant4x4(res, 44, false);
+    for (int i = 0; i < 16; ++i) {
+        nz_low += lo[i] != 0;
+        nz_high += hi[i] != 0;
+    }
+    EXPECT_GT(nz_low, nz_high);
+}
+
+// --- Arithmetic coder -------------------------------------------------------
+
+TEST(Arith, BypassRoundTrip)
+{
+    Rng rng(2);
+    std::vector<u32> bits(2000);
+    ArithEncoder enc;
+    for (auto &b : bits) {
+        b = static_cast<u32>(rng.nextBelow(2));
+        enc.encodeBypass(b);
+    }
+    Bytes coded = enc.finish();
+    ArithDecoder dec(coded, 0, coded.size());
+    for (u32 b : bits)
+        EXPECT_EQ(dec.decodeBypass(), b);
+}
+
+TEST(Arith, ContextRoundTripSkewed)
+{
+    // Highly skewed bits must round-trip and compress well.
+    Rng rng(3);
+    std::vector<u32> bits(20000);
+    for (auto &b : bits)
+        b = rng.nextBool(0.03) ? 1u : 0u;
+
+    ArithEncoder enc;
+    BinContext enc_ctx;
+    for (u32 b : bits)
+        enc.encodeBin(enc_ctx, b);
+    Bytes coded = enc.finish();
+
+    // ~0.03 entropy = 0.19 bits/symbol; allow generous slack.
+    EXPECT_LT(coded.size() * 8, bits.size() / 2);
+
+    ArithDecoder dec(coded, 0, coded.size());
+    BinContext dec_ctx;
+    for (u32 b : bits)
+        ASSERT_EQ(dec.decodeBin(dec_ctx), b);
+}
+
+TEST(Arith, MultiContextRoundTrip)
+{
+    Rng rng(4);
+    const int n_ctx = 8;
+    std::vector<std::pair<int, u32>> symbols(30000);
+    for (auto &[c, b] : symbols) {
+        c = static_cast<int>(rng.nextBelow(n_ctx));
+        b = rng.nextBool(0.1 + 0.1 * c) ? 1u : 0u;
+    }
+    ArithEncoder enc;
+    std::vector<BinContext> ectx(n_ctx);
+    for (auto [c, b] : symbols)
+        enc.encodeBin(ectx[c], b);
+    Bytes coded = enc.finish();
+
+    ArithDecoder dec(coded, 0, coded.size());
+    std::vector<BinContext> dctx(n_ctx);
+    for (auto [c, b] : symbols)
+        ASSERT_EQ(dec.decodeBin(dctx[c]), b);
+}
+
+TEST(Arith, DecoderTotalOnGarbage)
+{
+    Rng rng(5);
+    Bytes garbage(1000);
+    for (auto &b : garbage)
+        b = static_cast<u8>(rng.next());
+    ArithDecoder dec(garbage, 0, garbage.size());
+    BinContext ctx;
+    // Drain far more bins than the buffer could hold; must not hang
+    // or fault, and must keep returning 0/1.
+    for (int i = 0; i < 100000; ++i) {
+        u32 b = dec.decodeBin(ctx);
+        ASSERT_LE(b, 1u);
+    }
+}
+
+TEST(Arith, EmptyWindowDecodesZeros)
+{
+    Bytes empty;
+    ArithDecoder dec(empty, 0, 0);
+    BinContext ctx;
+    for (int i = 0; i < 100; ++i)
+        EXPECT_LE(dec.decodeBin(ctx), 1u);
+}
+
+// --- Syntax layer -------------------------------------------------------------
+
+class SyntaxParam : public ::testing::TestWithParam<EntropyKind>
+{
+};
+
+TEST_P(SyntaxParam, FlagAndBypassRoundTrip)
+{
+    Rng rng(6);
+    std::vector<u32> flags(5000);
+    auto enc = makeSyntaxEncoder(GetParam());
+    for (auto &f : flags) {
+        f = static_cast<u32>(rng.nextBelow(2));
+        enc->flag(ctx::kSig + static_cast<int>(rng.nextBelow(15)), f);
+    }
+    // Note: context ids must match decode order; replay with the
+    // same RNG sequence.
+    Bytes coded = enc->finishSlice();
+    Rng rng2(6);
+    auto dec = makeSyntaxDecoder(GetParam(), coded, 0, coded.size());
+    for (u32 f : flags) {
+        u32 expect_f = static_cast<u32>(rng2.nextBelow(2));
+        int c = ctx::kSig + static_cast<int>(rng2.nextBelow(15));
+        EXPECT_EQ(dec->flag(c), expect_f);
+        EXPECT_EQ(expect_f, f);
+    }
+}
+
+TEST_P(SyntaxParam, UegkRoundTripWideRange)
+{
+    std::vector<u32> values;
+    for (u32 v : {0u, 1u, 2u, 5u, 7u, 8u, 9u, 20u, 100u, 1000u,
+                  50000u})
+        values.push_back(v);
+    auto enc = makeSyntaxEncoder(GetParam());
+    for (u32 v : values)
+        enc->uegk(ctx::kLevel, ctx::kLevel + 1, 8, 2, v);
+    Bytes coded = enc->finishSlice();
+    auto dec = makeSyntaxDecoder(GetParam(), coded, 0, coded.size());
+    for (u32 v : values)
+        EXPECT_EQ(dec->uegk(ctx::kLevel, ctx::kLevel + 1, 8, 2), v);
+}
+
+TEST_P(SyntaxParam, SignedRoundTrip)
+{
+    std::vector<i32> values = {0, 1, -1, 3, -7, 15, -100, 512, -511};
+    auto enc = makeSyntaxEncoder(GetParam());
+    for (i32 v : values)
+        enc->sevlc(ctx::kMvdX, ctx::kMvdX + 1, 8, 2, v);
+    Bytes coded = enc->finishSlice();
+    auto dec = makeSyntaxDecoder(GetParam(), coded, 0, coded.size());
+    for (i32 v : values)
+        EXPECT_EQ(dec->sevlc(ctx::kMvdX, ctx::kMvdX + 1, 8, 2), v);
+}
+
+TEST_P(SyntaxParam, DecodeOnGarbageIsBounded)
+{
+    Rng rng(7);
+    Bytes garbage(400);
+    for (auto &b : garbage)
+        b = static_cast<u8>(rng.next());
+    auto dec = makeSyntaxDecoder(GetParam(), garbage, 0,
+                                 garbage.size());
+    for (int i = 0; i < 20000; ++i) {
+        u32 v = dec->uegk(ctx::kLevel, ctx::kLevel + 1, 14, 0);
+        ASSERT_LE(v, 1u << 20);
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(Backends, SyntaxParam,
+                         ::testing::Values(EntropyKind::CABAC,
+                                           EntropyKind::CAVLC),
+                         [](const auto &info) {
+                             return entropyKindName(info.param);
+                         });
+
+TEST(Syntax, CabacBeatsRawBitsOnSkewedFlags)
+{
+    // 95/5 flags: CABAC must land well under 1 bit per flag while
+    // CAVLC spends exactly 1.
+    Rng rng(8);
+    auto cabac = makeSyntaxEncoder(EntropyKind::CABAC);
+    auto cavlc = makeSyntaxEncoder(EntropyKind::CAVLC);
+    const int n = 20000;
+    for (int i = 0; i < n; ++i) {
+        u32 b = rng.nextBool(0.05) ? 1u : 0u;
+        cabac->flag(ctx::kSkip, b);
+        cavlc->flag(ctx::kSkip, b);
+    }
+    Bytes cabac_bytes = cabac->finishSlice();
+    Bytes cavlc_bytes = cavlc->finishSlice();
+    EXPECT_LT(cabac_bytes.size() * 2, cavlc_bytes.size());
+}
+
+// --- Types / geometry -----------------------------------------------------------
+
+TEST(Types, MedianMvComponentwise)
+{
+    MotionVector a{1, 10}, b{5, -2}, c{3, 4};
+    MotionVector m = medianMv(a, b, c);
+    EXPECT_EQ(m.x, 3);
+    EXPECT_EQ(m.y, 4);
+}
+
+TEST(Types, PartitionGeomCoversMb)
+{
+    for (int p = 0; p < kPartitionCount; ++p) {
+        auto part = static_cast<Partition>(p);
+        if (part == Partition::P8x8)
+            continue;
+        int area = 0;
+        for (const auto &g : partitionGeom(part))
+            area += g.width * g.height;
+        EXPECT_EQ(area, 256) << p;
+    }
+    // 8x8 with every sub-partition also tiles exactly.
+    for (int s = 0; s < kSubPartitionCount; ++s) {
+        int area = 0;
+        for (const auto &g : subPartitionGeom(
+                 static_cast<SubPartition>(s), 8, 8)) {
+            area += g.width * g.height;
+            EXPECT_GE(g.x, 8);
+            EXPECT_GE(g.y, 8);
+        }
+        EXPECT_EQ(area, 64) << s;
+    }
+}
+
+// --- GOP -----------------------------------------------------------------------
+
+TEST(Gop, ReferencesPrecedeUsers)
+{
+    for (int frames : {1, 2, 5, 30, 97}) {
+        for (int nb : {0, 2, 3}) {
+            GopConfig config{.gopSize = 12, .bFrames = nb};
+            auto plan = planGop(frames, config);
+            ASSERT_EQ(plan.size(), static_cast<std::size_t>(frames));
+            std::vector<bool> seen_display(frames, false);
+            for (std::size_t i = 0; i < plan.size(); ++i) {
+                EXPECT_LT(plan[i].ref0, static_cast<int>(i));
+                EXPECT_LT(plan[i].ref1, static_cast<int>(i));
+                ASSERT_GE(plan[i].displayIdx, 0);
+                ASSERT_LT(plan[i].displayIdx, frames);
+                EXPECT_FALSE(seen_display[plan[i].displayIdx]);
+                seen_display[plan[i].displayIdx] = true;
+            }
+        }
+    }
+}
+
+TEST(Gop, IFramesAtGopBoundaries)
+{
+    GopConfig config{.gopSize = 10, .bFrames = 2};
+    auto plan = planGop(35, config);
+    for (const auto &p : plan) {
+        if (p.displayIdx % 10 == 0)
+            EXPECT_EQ(p.type, FrameType::I) << p.displayIdx;
+        if (p.type == FrameType::I)
+            EXPECT_EQ(p.displayIdx % 10, 0) << p.displayIdx;
+        if (p.type == FrameType::B) {
+            EXPECT_GE(p.ref0, 0);
+            EXPECT_GE(p.ref1, 0);
+        }
+        if (p.type == FrameType::P)
+            EXPECT_GE(p.ref0, 0);
+    }
+}
+
+TEST(Gop, NoBFramesMeansIpppChain)
+{
+    GopConfig config{.gopSize = 8, .bFrames = 0};
+    auto plan = planGop(16, config);
+    for (std::size_t i = 0; i < plan.size(); ++i) {
+        EXPECT_EQ(plan[i].displayIdx, static_cast<int>(i));
+        EXPECT_NE(plan[i].type, FrameType::B);
+    }
+}
+
+TEST(Gop, BRefsChainWhenEnabled)
+{
+    GopConfig config{.gopSize = 20, .bFrames = 3, .bRefs = true};
+    auto plan = planGop(10, config);
+    bool b_referenced = false;
+    for (const auto &p : plan) {
+        if (p.type == FrameType::B && p.ref0 >= 0 &&
+            plan[p.ref0].type == FrameType::B)
+            b_referenced = true;
+    }
+    EXPECT_TRUE(b_referenced);
+}
+
+// --- Rate control -------------------------------------------------------------
+
+TEST(RateControl, FrameTypeOrdering)
+{
+    RateControl rc(24);
+    EXPECT_LT(rc.frameBaseQp(FrameType::I),
+              rc.frameBaseQp(FrameType::P));
+    EXPECT_LT(rc.frameBaseQp(FrameType::P),
+              rc.frameBaseQp(FrameType::B));
+}
+
+TEST(RateControl, ActivityRaisesQp)
+{
+    Plane flat(64, 64, 100);
+    Plane busy(64, 64, 100);
+    Rng rng(9);
+    for (auto &p : busy.data())
+        p = static_cast<u8>(rng.next());
+    RateControl rc(24);
+    double avg = 500.0;
+    int qp_flat = rc.mbQp(FrameType::P, flat, 0, 0, avg);
+    int qp_busy = rc.mbQp(FrameType::P, busy, 0, 0, avg);
+    EXPECT_LT(qp_flat, qp_busy);
+}
+
+// --- Motion helpers ---------------------------------------------------------------
+
+TEST(Inter, MotionSearchFindsExactShift)
+{
+    // Build a smooth reference (video-like, so the SAD landscape has
+    // a gradient the diamond search can follow) and a source that is
+    // the reference shifted by a known vector.
+    Plane ref(128, 128);
+    for (int y = 0; y < 128; ++y)
+        for (int x = 0; x < 128; ++x)
+            ref.at(x, y) = static_cast<u8>(
+                128 + 60 * std::sin(x * 0.13) * std::cos(y * 0.09));
+    Plane src(128, 128);
+    const int shift_x = 5, shift_y = -3;
+    for (int y = 0; y < 128; ++y)
+        for (int x = 0; x < 128; ++x)
+            src.at(x, y) = ref.atClamped(x + shift_x, y + shift_y);
+
+    auto result = motionSearch(src, 48, 48, 16, 16, ref,
+                               MotionVector{0, 0}, 16);
+    // Vectors are in quarter-pel units.
+    EXPECT_EQ(result.mv.x, 4 * shift_x);
+    EXPECT_EQ(result.mv.y, 4 * shift_y);
+    EXPECT_EQ(result.sad, 0);
+}
+
+TEST(Inter, ReferenceAreasSumToRectAreaForIntegerMvs)
+{
+    // Whole-pel vectors (multiples of 4) reference exactly w*h
+    // pixels.
+    for (MotionVector mv : {MotionVector{0, 0}, MotionVector{-8, 4},
+                            MotionVector{20, -24},
+                            MotionVector{300, 300}}) {
+        auto areas = referenceAreas(32, 32, 16, 16, mv, 128, 128);
+        int total = 0;
+        for (const auto &a : areas) {
+            total += a.pixels;
+            EXPECT_GE(a.mbx, 0);
+            EXPECT_LT(a.mbx, 8);
+            EXPECT_GE(a.mby, 0);
+            EXPECT_LT(a.mby, 8);
+        }
+        EXPECT_EQ(total, 256);
+        EXPECT_LE(areas.size(), 4u);
+    }
+}
+
+TEST(Inter, ReferenceAreasGrowWithSubPelFootprint)
+{
+    // A fractional component widens the region by the 6-tap
+    // support (2 left/top, 3 right/bottom).
+    auto areas = referenceAreas(32, 32, 16, 16, MotionVector{1, 0},
+                                128, 128);
+    int total = 0;
+    for (const auto &a : areas)
+        total += a.pixels;
+    EXPECT_EQ(total, (16 + 5) * 16);
+    auto both = referenceAreas(32, 32, 16, 16, MotionVector{1, 1},
+                               128, 128);
+    total = 0;
+    for (const auto &a : both)
+        total += a.pixels;
+    EXPECT_EQ(total, (16 + 5) * (16 + 5));
+}
+
+TEST(Inter, HalfPelInterpolationMatchesSixTap)
+{
+    Plane ref(32, 32, 0);
+    for (int y = 0; y < 32; ++y)
+        for (int x = 0; x < 32; ++x)
+            ref.at(x, y) = static_cast<u8>(10 * x);
+    // Horizontal half position between x=10 and x=11 on a ramp:
+    // the 6-tap filter reproduces the midpoint on linear content.
+    int v = sampleHalfPel(ref, 2 * 10 + 1, 2 * 16);
+    EXPECT_NEAR(v, 105, 1);
+    // Integer positions read exact samples.
+    EXPECT_EQ(sampleHalfPel(ref, 2 * 7, 2 * 5), ref.at(7, 5));
+}
+
+TEST(Inter, QuarterPelAveragesHalfSamples)
+{
+    Plane ref(32, 32, 0);
+    for (int y = 0; y < 32; ++y)
+        for (int x = 0; x < 32; ++x)
+            ref.at(x, y) = static_cast<u8>(10 * x);
+    // Quarter position between integer x=10 and half x=10.5 on a
+    // linear ramp: ~102.5 -> rounds to 102/103.
+    int v = sampleQuarterPel(ref, 4 * 10 + 1, 4 * 16);
+    EXPECT_NEAR(v, 103, 1);
+    // Whole positions fall through to the exact sample.
+    EXPECT_EQ(sampleQuarterPel(ref, 4 * 7, 4 * 5), ref.at(7, 5));
+    // Half positions fall through to the 6-tap value.
+    EXPECT_EQ(sampleQuarterPel(ref, 4 * 10 + 2, 4 * 16),
+              sampleHalfPel(ref, 2 * 10 + 1, 2 * 16));
+}
+
+TEST(Inter, AlignedReferenceHitsSingleMb)
+{
+    // 64 quarter-pel = 16 full pixels: exactly one MB down-right.
+    auto areas = referenceAreas(32, 32, 16, 16, MotionVector{64, 64},
+                                128, 128);
+    ASSERT_EQ(areas.size(), 1u);
+    EXPECT_EQ(areas[0].mbx, 3);
+    EXPECT_EQ(areas[0].mby, 3);
+    EXPECT_EQ(areas[0].pixels, 256);
+}
+
+// --- Intra helpers ------------------------------------------------------------------
+
+TEST(Intra, DependencyWeightsSumToOne)
+{
+    for (int m = 0; m < kIntraModeCount; ++m) {
+        auto mode = static_cast<IntraMode>(m);
+        auto deps = intraDependencies(mode, true, true);
+        double sum = 0;
+        for (const auto &d : deps)
+            sum += d.weight;
+        EXPECT_NEAR(sum, 1.0, 1e-9) << m;
+    }
+    // No neighbours: DC from 128, no dependencies.
+    EXPECT_TRUE(intraDependencies(IntraMode::DC, false, false)
+                    .empty());
+}
+
+TEST(Intra, VerticalCopiesAboveRow)
+{
+    Plane recon(64, 64, 0);
+    for (int x = 0; x < 16; ++x)
+        recon.at(16 + x, 15) = static_cast<u8>(100 + x);
+    auto pred = predictLuma16(recon, 1, 1, IntraMode::Vertical, true,
+                              true);
+    for (int y = 0; y < 16; ++y)
+        for (int x = 0; x < 16; ++x)
+            EXPECT_EQ(pred[y * 16 + x], 100 + x);
+}
+
+TEST(Intra, DcWithNoNeighboursIs128)
+{
+    Plane recon(64, 64, 7);
+    auto pred = predictLuma16(recon, 0, 0, IntraMode::DC, false,
+                              false);
+    for (u8 v : pred)
+        EXPECT_EQ(v, 128);
+}
+
+// --- MbGrid predictors ---------------------------------------------------------------
+
+TEST(MbGrid, MedianPredictorUsesThreeNeighbours)
+{
+    MbGrid grid(4, 4);
+    auto mark = [&](int x, int y, MotionVector mv) {
+        MbState &s = grid.at(x, y);
+        s.valid = true;
+        s.mvL0 = mv;
+    };
+    mark(0, 1, {2, 2});  // left of (1,1)
+    mark(1, 0, {8, 0});  // up
+    mark(2, 0, {4, 6});  // up-right
+    MotionVector pred = grid.predictMv(1, 1, 0, false);
+    EXPECT_EQ(pred.x, 4);
+    EXPECT_EQ(pred.y, 2);
+}
+
+TEST(MbGrid, OnlyLeftAvailableInheritsLeft)
+{
+    MbGrid grid(4, 4);
+    MbState &s = grid.at(0, 0);
+    s.valid = true;
+    s.mvL0 = {9, -9};
+    MotionVector pred = grid.predictMv(1, 0, 0, false);
+    EXPECT_EQ(pred.x, 9);
+    EXPECT_EQ(pred.y, -9);
+}
+
+TEST(MbGrid, CornerAvailabilityRules)
+{
+    MbGrid grid(4, 4);
+    for (int x = 0; x < 4; ++x)
+        for (int y = 0; y < 2; ++y)
+            grid.at(x, y).valid = true;
+    // MB (1,1): up-left = (0,0), up-right = (2,0).
+    EXPECT_TRUE(grid.upLeftAvail(1, 1, 0));
+    EXPECT_TRUE(grid.upRightAvail(1, 1, 0));
+    // Rightmost column has no up-right.
+    EXPECT_FALSE(grid.upRightAvail(3, 1, 0));
+    // First column has no up-left.
+    EXPECT_FALSE(grid.upLeftAvail(0, 1, 0));
+    // Slice starting at row 1 blocks all up-ish neighbours.
+    EXPECT_FALSE(grid.upLeftAvail(1, 1, 1));
+    EXPECT_FALSE(grid.upRightAvail(1, 1, 1));
+}
+
+TEST(MbGrid, SliceBoundaryBlocksUpNeighbour)
+{
+    MbGrid grid(4, 4);
+    grid.at(1, 1).valid = true;
+    grid.at(1, 2).valid = true;
+    // Row 2 starts a new slice: the MB above is off limits.
+    EXPECT_FALSE(grid.upAvail(1, 2, 2));
+    EXPECT_TRUE(grid.upAvail(1, 3, 2));
+}
+
+// --- Container ---------------------------------------------------------------------------
+
+TEST(Container, SerializeDeserializeRoundTrip)
+{
+    EncodedVideo video;
+    video.header.width = 64;
+    video.header.height = 48;
+    video.header.fps = 25.0;
+    video.header.entropy = EntropyKind::CAVLC;
+    video.header.frameCount = 2;
+    video.header.slicesPerFrame = 2;
+
+    FrameHeader fh;
+    fh.displayIdx = 1;
+    fh.type = FrameType::P;
+    fh.qpBase = 28;
+    fh.ref0 = 0;
+    fh.slices.push_back({0, 6, 0, 33});
+    fh.slices.push_back({6, 6, 33, 20});
+    fh.pivots.push_back({0, 10});
+    fh.pivots.push_back({100, 6});
+    video.frameHeaders.push_back(fh);
+    video.payloads.push_back(Bytes{1, 2, 3, 4, 5});
+
+    Bytes blob = serialize(video);
+    auto back = deserialize(blob);
+    ASSERT_TRUE(back.has_value());
+    EXPECT_EQ(back->header.width, 64);
+    EXPECT_EQ(back->header.entropy, EntropyKind::CAVLC);
+    EXPECT_NEAR(back->header.fps, 25.0, 1e-4);
+    ASSERT_EQ(back->frameHeaders.size(), 1u);
+    const FrameHeader &fh2 = back->frameHeaders[0];
+    EXPECT_EQ(fh2.displayIdx, 1);
+    EXPECT_EQ(fh2.type, FrameType::P);
+    EXPECT_EQ(fh2.ref0, 0);
+    EXPECT_EQ(fh2.ref1, -1);
+    ASSERT_EQ(fh2.slices.size(), 2u);
+    EXPECT_EQ(fh2.slices[1].byteOffset, 33u);
+    ASSERT_EQ(fh2.pivots.size(), 2u);
+    EXPECT_EQ(fh2.pivots[1].bitOffset, 100u);
+    EXPECT_EQ(fh2.pivots[1].schemeT, 6);
+    ASSERT_EQ(back->payloads.size(), 1u);
+    EXPECT_EQ(back->payloads[0], (Bytes{1, 2, 3, 4, 5}));
+}
+
+TEST(Container, DeserializeRejectsGarbage)
+{
+    Bytes garbage{1, 2, 3};
+    EXPECT_FALSE(deserialize(garbage).has_value());
+    Bytes empty;
+    EXPECT_FALSE(deserialize(empty).has_value());
+}
+
+TEST(Container, ChromaQpTableMatchesStandardShape)
+{
+    EXPECT_EQ(chromaQp(20), 20);
+    EXPECT_EQ(chromaQp(29), 29);
+    EXPECT_EQ(chromaQp(30), 29);
+    EXPECT_EQ(chromaQp(51), 39);
+    // Monotone non-decreasing.
+    for (int qp = 1; qp <= 51; ++qp)
+        EXPECT_GE(chromaQp(qp), chromaQp(qp - 1));
+}
+
+} // namespace
+} // namespace videoapp

@@ -1,0 +1,210 @@
+/**
+ * @file
+ * Unit tests for the common substrate: bit I/O, RNG, statistics.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <set>
+
+#include "common/bitstream.h"
+#include "common/rng.h"
+#include "common/stats.h"
+
+namespace videoapp {
+namespace {
+
+TEST(BitWriter, PacksMsbFirst)
+{
+    BitWriter w;
+    w.writeBits(0b1011, 4);
+    w.writeBits(0b0001, 4);
+    Bytes b = w.take();
+    ASSERT_EQ(b.size(), 1u);
+    EXPECT_EQ(b[0], 0xB1);
+}
+
+TEST(BitWriter, BitCountTracksPartialBytes)
+{
+    BitWriter w;
+    EXPECT_EQ(w.bitCount(), 0u);
+    w.writeBit(1);
+    EXPECT_EQ(w.bitCount(), 1u);
+    w.writeBits(0, 10);
+    EXPECT_EQ(w.bitCount(), 11u);
+}
+
+TEST(BitStream, RoundTripValues)
+{
+    BitWriter w;
+    Rng rng(42);
+    std::vector<std::pair<u32, int>> values;
+    for (int i = 0; i < 1000; ++i) {
+        int count = 1 + static_cast<int>(rng.nextBelow(24));
+        u32 v = static_cast<u32>(rng.next()) &
+                ((count == 32) ? ~0u : ((1u << count) - 1));
+        values.emplace_back(v, count);
+        w.writeBits(v, count);
+    }
+    Bytes bytes = w.take();
+    BitReader r(bytes);
+    for (auto [v, count] : values)
+        EXPECT_EQ(r.readBits(count), v);
+}
+
+TEST(BitReader, PastEndReturnsZeros)
+{
+    Bytes b{0xFF};
+    BitReader r(b);
+    EXPECT_EQ(r.readBits(8), 0xFFu);
+    EXPECT_EQ(r.readBits(16), 0u);
+    EXPECT_TRUE(r.exhausted());
+}
+
+TEST(BitReader, StartOffsetHonored)
+{
+    Bytes b{0b10110001, 0b01000000};
+    BitReader r(b, 4);
+    EXPECT_EQ(r.readBits(6), 0b000101u);
+}
+
+TEST(FlipBit, TogglesAndIgnoresOutOfRange)
+{
+    Bytes b{0x00, 0x00};
+    flipBit(b, 0);
+    EXPECT_EQ(b[0], 0x80);
+    flipBit(b, 15);
+    EXPECT_EQ(b[1], 0x01);
+    flipBit(b, 15);
+    EXPECT_EQ(b[1], 0x00);
+    flipBit(b, 99); // no-op
+    EXPECT_EQ(getBit(b, 0), 1u);
+    EXPECT_EQ(getBit(b, 99), 0u);
+}
+
+TEST(Rng, DeterministicForSeed)
+{
+    Rng a(123), b(123);
+    for (int i = 0; i < 100; ++i)
+        EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(Rng, DifferentSeedsDiverge)
+{
+    Rng a(1), b(2);
+    int same = 0;
+    for (int i = 0; i < 64; ++i)
+        same += a.next() == b.next();
+    EXPECT_LT(same, 2);
+}
+
+TEST(Rng, DoubleInUnitInterval)
+{
+    Rng rng(7);
+    for (int i = 0; i < 10000; ++i) {
+        double d = rng.nextDouble();
+        EXPECT_GE(d, 0.0);
+        EXPECT_LT(d, 1.0);
+    }
+}
+
+TEST(Rng, NextBelowBounds)
+{
+    Rng rng(11);
+    std::set<u64> seen;
+    for (int i = 0; i < 3000; ++i) {
+        u64 v = rng.nextBelow(17);
+        EXPECT_LT(v, 17u);
+        seen.insert(v);
+    }
+    EXPECT_EQ(seen.size(), 17u); // all values hit
+}
+
+TEST(Rng, GaussianMoments)
+{
+    Rng rng(5);
+    RunningStats stats;
+    for (int i = 0; i < 200000; ++i)
+        stats.add(rng.nextGaussian());
+    EXPECT_NEAR(stats.mean(), 0.0, 0.02);
+    EXPECT_NEAR(stats.stddev(), 1.0, 0.02);
+}
+
+TEST(Rng, BinomialSmallMeanMatches)
+{
+    Rng rng(9);
+    const u64 n = 1000;
+    const double p = 0.002; // mean 2
+    RunningStats stats;
+    for (int i = 0; i < 50000; ++i)
+        stats.add(static_cast<double>(rng.nextBinomial(n, p)));
+    EXPECT_NEAR(stats.mean(), n * p, 0.05);
+    EXPECT_NEAR(stats.variance(), n * p * (1 - p), 0.15);
+}
+
+TEST(Rng, BinomialLargeMeanMatches)
+{
+    Rng rng(13);
+    const u64 n = 100000;
+    const double p = 0.01; // mean 1000 -> normal approximation path
+    RunningStats stats;
+    for (int i = 0; i < 20000; ++i)
+        stats.add(static_cast<double>(rng.nextBinomial(n, p)));
+    EXPECT_NEAR(stats.mean(), 1000.0, 2.0);
+    EXPECT_NEAR(stats.stddev(), std::sqrt(n * p * (1 - p)), 1.0);
+}
+
+TEST(Rng, BinomialEdgeCases)
+{
+    Rng rng(1);
+    EXPECT_EQ(rng.nextBinomial(100, 0.0), 0u);
+    EXPECT_EQ(rng.nextBinomial(100, 1.0), 100u);
+    EXPECT_EQ(rng.nextBinomial(0, 0.5), 0u);
+}
+
+TEST(Stats, BinomialTailMatchesExactEnumeration)
+{
+    // P(X > 1) for Bin(3, 0.5) = (3 + 1) / 8 = 0.5.
+    EXPECT_NEAR(binomialTailAbove(3, 0.5, 1), 0.5, 1e-12);
+    // P(X > 0) = 1 - (1-p)^n.
+    EXPECT_NEAR(binomialTailAbove(10, 0.1, 0),
+                1.0 - std::pow(0.9, 10), 1e-12);
+    // Degenerate cases.
+    EXPECT_EQ(binomialTailAbove(10, 0.0, 0), 0.0);
+    EXPECT_EQ(binomialTailAbove(10, 0.5, 10), 0.0);
+    EXPECT_EQ(binomialTailAbove(10, 0.5, -1), 1.0);
+}
+
+TEST(Stats, BinomialTailHandlesTinyProbabilities)
+{
+    // 572-bit BCH-6 block at 1e-3 raw BER: known to be ~2e-6.
+    double tail = binomialTailAbove(572, 1e-3, 6);
+    EXPECT_GT(tail, 1e-7);
+    EXPECT_LT(tail, 1e-5);
+    // Deep tail should be tiny but positive.
+    double deep = binomialTailAbove(672, 1e-3, 16);
+    EXPECT_GT(deep, 0.0);
+    EXPECT_LT(deep, 1e-15);
+}
+
+TEST(Stats, RunningStatsBasics)
+{
+    RunningStats s;
+    for (double v : {1.0, 2.0, 3.0, 4.0})
+        s.add(v);
+    EXPECT_EQ(s.count(), 4u);
+    EXPECT_DOUBLE_EQ(s.mean(), 2.5);
+    EXPECT_DOUBLE_EQ(s.min(), 1.0);
+    EXPECT_DOUBLE_EQ(s.max(), 4.0);
+    EXPECT_NEAR(s.variance(), 5.0 / 3.0, 1e-12);
+}
+
+TEST(Stats, MeanOfVector)
+{
+    EXPECT_DOUBLE_EQ(mean({}), 0.0);
+    EXPECT_DOUBLE_EQ(mean({2.0, 4.0}), 3.0);
+}
+
+} // namespace
+} // namespace videoapp

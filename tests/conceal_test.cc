@@ -1,0 +1,108 @@
+/**
+ * @file
+ * Error concealment tests: clean streams are untouched, heavily
+ * corrupted slices are concealed from the co-located reference, and
+ * concealment improves quality under corruption.
+ */
+
+#include <gtest/gtest.h>
+
+#include "codec/decoder.h"
+#include "codec/encoder.h"
+#include "common/rng.h"
+#include "quality/psnr.h"
+#include "storage/error_injector.h"
+#include "video/synthetic.h"
+
+namespace videoapp {
+namespace {
+
+class ConcealParam : public ::testing::TestWithParam<EntropyKind>
+{
+  protected:
+    EncodeResult
+    encode(u64 seed)
+    {
+        Video source = generateSynthetic(tinySpec(seed));
+        EncoderConfig config;
+        config.entropy = GetParam();
+        config.gop.gopSize = 10;
+        source_ = std::move(source);
+        return encodeVideo(source_, config);
+    }
+
+    Video source_;
+};
+
+TEST_P(ConcealParam, CleanStreamUnchangedByConcealment)
+{
+    EncodeResult enc = encode(71);
+    DecodeOptions conceal;
+    conceal.concealErrors = true;
+    DecodeStats stats;
+    Video with = decodeVideo(enc.video, conceal, &stats);
+    Video without = decodeVideo(enc.video);
+    ASSERT_EQ(with.frames.size(), without.frames.size());
+    for (std::size_t i = 0; i < with.frames.size(); ++i)
+        EXPECT_EQ(with.frames[i].y().data(),
+                  without.frames[i].y().data());
+    EXPECT_EQ(stats.concealedMbs, 0u);
+    EXPECT_GT(stats.totalMbs, 0u);
+}
+
+TEST_P(ConcealParam, HeavyCorruptionTriggersConcealment)
+{
+    // Corruption detection is probabilistic (a desynced arithmetic
+    // decoder can emit well-formed-looking garbage for a while), so
+    // aggregate over several corruption draws.
+    EncodeResult enc = encode(72);
+    Rng rng(5);
+    u64 concealed_total = 0;
+    for (int trial = 0; trial < 10; ++trial) {
+        EncodedVideo corrupted = enc.video;
+        for (auto &payload : corrupted.payloads)
+            injectErrors(payload, 0.05, rng);
+        DecodeOptions conceal;
+        conceal.concealErrors = true;
+        DecodeStats stats;
+        Video decoded = decodeVideo(corrupted, conceal, &stats);
+        ASSERT_EQ(decoded.frames.size(), source_.frames.size());
+        EXPECT_LE(stats.concealedMbs, stats.totalMbs);
+        concealed_total += stats.concealedMbs;
+    }
+    EXPECT_GT(concealed_total, 0u);
+}
+
+TEST_P(ConcealParam, ConcealmentImprovesQualityUnderCorruption)
+{
+    EncodeResult enc = encode(73);
+    Video clean = decodeVideo(enc.video);
+
+    double with_total = 0, without_total = 0;
+    Rng rng(6);
+    const int trials = 8;
+    for (int t = 0; t < trials; ++t) {
+        EncodedVideo corrupted = enc.video;
+        for (auto &payload : corrupted.payloads)
+            injectErrors(payload, 5e-3, rng);
+        DecodeOptions conceal;
+        conceal.concealErrors = true;
+        with_total += psnrVideo(clean,
+                                decodeVideo(corrupted, conceal));
+        without_total += psnrVideo(clean, decodeVideo(corrupted));
+    }
+    // Concealment replaces garbage with plausible content; on
+    // average it must not hurt and should usually help.
+    EXPECT_GE(with_total, without_total - 2.0 * trials);
+    EXPECT_GT(with_total, 0.0);
+}
+
+INSTANTIATE_TEST_SUITE_P(Backends, ConcealParam,
+                         ::testing::Values(EntropyKind::CABAC,
+                                           EntropyKind::CAVLC),
+                         [](const auto &info) {
+                             return entropyKindName(info.param);
+                         });
+
+} // namespace
+} // namespace videoapp

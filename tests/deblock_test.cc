@@ -1,0 +1,171 @@
+/**
+ * @file
+ * In-loop deblocking filter tests: boundary strength rules, edge
+ * smoothing behaviour, slice-boundary isolation, and the end-to-end
+ * quality/parity effects.
+ */
+
+#include <gtest/gtest.h>
+
+#include "codec/deblock.h"
+#include "codec/decoder.h"
+#include "codec/encoder.h"
+#include "quality/psnr.h"
+#include "video/synthetic.h"
+
+namespace videoapp {
+namespace {
+
+MbCoding
+interMb(MotionVector mv, bool coded = false)
+{
+    MbCoding mb;
+    mb.intra = false;
+    mb.qp = 30;
+    MotionInfo motion;
+    motion.rect = {0, 0, 16, 16};
+    motion.mv = mv;
+    mb.motions.push_back(motion);
+    if (coded)
+        mb.coded[0] = true;
+    return mb;
+}
+
+TEST(BoundaryStrength, IntraStrongest)
+{
+    MbCoding intra;
+    intra.intra = true;
+    MbCoding inter = interMb({0, 0});
+    EXPECT_EQ(boundaryStrength(intra, 3, inter, 0, true), 4);
+    EXPECT_EQ(boundaryStrength(inter, 3, intra, 0, true), 4);
+    EXPECT_EQ(boundaryStrength(intra, 1, intra, 2, false), 3);
+}
+
+TEST(BoundaryStrength, CodedResidualMedium)
+{
+    MbCoding a = interMb({0, 0}, true);
+    MbCoding b = interMb({0, 0}, false);
+    EXPECT_EQ(boundaryStrength(a, 0, b, 0, true), 2);
+    EXPECT_EQ(boundaryStrength(b, 1, b, 2, false), 0);
+}
+
+TEST(BoundaryStrength, MotionDiscontinuityWeak)
+{
+    MbCoding a = interMb({4, 0});
+    MbCoding b = interMb({0, 0});
+    EXPECT_EQ(boundaryStrength(a, 3, b, 0, true), 1);
+    MbCoding c = interMb({4, 0});
+    EXPECT_EQ(boundaryStrength(a, 3, c, 0, true), 0);
+}
+
+TEST(Deblock, SmoothsIntraBlockEdge)
+{
+    // Two intra MBs side by side with a hard luma step at the MB
+    // boundary: the filter must shrink the step.
+    Frame frame(32, 16);
+    for (int y = 0; y < 16; ++y)
+        for (int x = 0; x < 32; ++x)
+            frame.y().at(x, y) = x < 16 ? 100 : 110;
+
+    MbCoding intra;
+    intra.intra = true;
+    intra.qp = 32;
+    std::vector<MbCoding> codings{intra, intra};
+
+    int step_before = std::abs(frame.y().at(15, 8) -
+                               frame.y().at(16, 8));
+    deblockFrame(frame, codings, 2, 1, {0});
+    int step_after = std::abs(frame.y().at(15, 8) -
+                              frame.y().at(16, 8));
+    EXPECT_LT(step_after, step_before);
+}
+
+TEST(Deblock, LeavesStrongRealEdgesAlone)
+{
+    // A step far above alpha(qp) is treated as a real image edge.
+    Frame frame(32, 16);
+    for (int y = 0; y < 16; ++y)
+        for (int x = 0; x < 32; ++x)
+            frame.y().at(x, y) = x < 16 ? 30 : 220;
+    MbCoding intra;
+    intra.intra = true;
+    intra.qp = 26;
+    std::vector<MbCoding> codings{intra, intra};
+    deblockFrame(frame, codings, 2, 1, {0});
+    EXPECT_EQ(frame.y().at(15, 8), 30);
+    EXPECT_EQ(frame.y().at(16, 8), 220);
+}
+
+TEST(Deblock, DoesNotCrossSliceBoundary)
+{
+    // Vertical step at the row-boundary between two slices must be
+    // untouched; the same boundary inside one slice is filtered.
+    auto make = [](int rows_per_slice) {
+        Frame frame(16, 32);
+        for (int y = 0; y < 32; ++y)
+            for (int x = 0; x < 16; ++x)
+                frame.y().at(x, y) = y < 16 ? 100 : 110;
+        MbCoding intra;
+        intra.intra = true;
+        intra.qp = 32;
+        std::vector<MbCoding> codings{intra, intra};
+        std::vector<int> firsts;
+        for (int r = 0; r < 2; r += rows_per_slice)
+            firsts.push_back(r);
+        deblockFrame(frame, codings, 1, 2, firsts);
+        return std::abs(frame.y().at(8, 15) - frame.y().at(8, 16));
+    };
+    int two_slices = make(1); // slice boundary at row 1
+    int one_slice = make(2);
+    EXPECT_LT(one_slice, 10);
+    EXPECT_EQ(two_slices, 10); // untouched across the boundary
+}
+
+TEST(Deblock, ImprovesEndToEndQualityAtHighQp)
+{
+    // At coarse quantisation blocking dominates; the filter must
+    // gain measurable PSNR on the decoded output.
+    Video source = generateSynthetic(tinySpec(61));
+    EncoderConfig with, without;
+    with.crf = 32;
+    without.crf = 32;
+    with.deblocking = true;
+    without.deblocking = false;
+    double psnr_with =
+        psnrVideo(source, decodeVideo(encodeVideo(source, with).video));
+    double psnr_without = psnrVideo(
+        source, decodeVideo(encodeVideo(source, without).video));
+    EXPECT_GT(psnr_with, psnr_without - 0.05);
+}
+
+TEST(Deblock, FlagRoundTripsThroughContainer)
+{
+    Video source = generateSynthetic(tinySpec(62));
+    EncoderConfig config;
+    config.deblocking = false;
+    EncodeResult enc = encodeVideo(source, config);
+    EXPECT_FALSE(enc.video.header.deblocking());
+    Bytes blob = serialize(enc.video);
+    auto back = deserialize(blob);
+    ASSERT_TRUE(back.has_value());
+    EXPECT_FALSE(back->header.deblocking());
+
+    config.deblocking = true;
+    EncodeResult enc2 = encodeVideo(source, config);
+    EXPECT_TRUE(enc2.video.header.deblocking());
+}
+
+TEST(Deblock, ParityHoldsWithFilterOff)
+{
+    Video source = generateSynthetic(tinySpec(63));
+    EncoderConfig config;
+    config.deblocking = false;
+    EncodeResult enc = encodeVideo(source, config);
+    Video decoded = decodeVideo(enc.video);
+    for (std::size_t i = 0; i < decoded.frames.size(); ++i)
+        EXPECT_EQ(decoded.frames[i].y().data(),
+                  enc.reconFrames[i].y().data());
+}
+
+} // namespace
+} // namespace videoapp

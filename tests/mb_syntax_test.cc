@@ -1,0 +1,314 @@
+/**
+ * @file
+ * Direct macroblock-syntax tests: encode/decode round trips for
+ * crafted MbCodings across frame types, partitions, directions and
+ * both entropy backends; metadata prediction chains; and bounded
+ * behaviour on corrupted bitstreams.
+ */
+
+#include <gtest/gtest.h>
+
+#include "codec/mb_grid.h"
+#include "codec/mb_syntax.h"
+#include "common/rng.h"
+#include "storage/error_injector.h"
+
+namespace videoapp {
+namespace {
+
+/** Build rects for a coding the same way the codec does. */
+std::vector<PartitionGeom>
+rectsFor(const MbCoding &mb)
+{
+    if (mb.partition != Partition::P8x8)
+        return partitionGeom(mb.partition);
+    std::vector<PartitionGeom> rects;
+    for (int i = 0; i < 4; ++i) {
+        auto sub = subPartitionGeom(mb.subs[i], (i % 2) * 8,
+                                    (i / 2) * 8);
+        rects.insert(rects.end(), sub.begin(), sub.end());
+    }
+    return rects;
+}
+
+/** Fill coherent motions for a crafted coding. */
+void
+fillMotions(MbCoding &mb, Rng &rng)
+{
+    mb.motions.clear();
+    for (const auto &rect : rectsFor(mb)) {
+        MotionInfo motion;
+        motion.rect = rect;
+        motion.direction = mb.direction;
+        motion.mv = {static_cast<i16>(
+                         static_cast<int>(rng.nextBelow(33)) - 16),
+                     static_cast<i16>(
+                         static_cast<int>(rng.nextBelow(33)) - 16)};
+        motion.mvL1 = {static_cast<i16>(
+                           static_cast<int>(rng.nextBelow(33)) - 16),
+                       static_cast<i16>(
+                           static_cast<int>(rng.nextBelow(33)) - 16)};
+        mb.motions.push_back(motion);
+    }
+}
+
+/** Random sparse coefficients (encoder-legal). */
+void
+fillCoeffs(MbCoding &mb, Rng &rng, double density)
+{
+    for (int blk = 0; blk < 24; ++blk) {
+        bool any = false;
+        for (int i = 0; i < 16; ++i) {
+            if (rng.nextBool(density)) {
+                int mag = 1 + static_cast<int>(rng.nextBelow(40));
+                mb.coeffs[blk][i] = static_cast<i16>(
+                    rng.nextBool(0.5) ? mag : -mag);
+                any = true;
+            } else {
+                mb.coeffs[blk][i] = 0;
+            }
+        }
+        mb.coded[blk] = any;
+        if (!any)
+            mb.coeffs[blk] = {};
+    }
+}
+
+bool
+sameCoding(const MbCoding &a, const MbCoding &b, FrameType type)
+{
+    if (a.skip != b.skip)
+        return false;
+    if (a.skip)
+        return true;
+    if (a.intra != b.intra || a.qp != b.qp)
+        return false;
+    if (a.intra)
+        return a.intraMode == b.intraMode &&
+               a.coded == b.coded && a.coeffs == b.coeffs;
+    if (a.partition != b.partition)
+        return false;
+    if (type == FrameType::B && a.direction != b.direction)
+        return false;
+    if (a.motions.size() != b.motions.size())
+        return false;
+    for (std::size_t i = 0; i < a.motions.size(); ++i) {
+        if (a.direction != BiDirection::L1 &&
+            !(a.motions[i].mv == b.motions[i].mv))
+            return false;
+        if (type == FrameType::B &&
+            a.direction != BiDirection::L0 &&
+            !(a.motions[i].mvL1 == b.motions[i].mvL1))
+            return false;
+    }
+    return a.coded == b.coded && a.coeffs == b.coeffs;
+}
+
+class MbSyntaxParam : public ::testing::TestWithParam<EntropyKind>
+{
+  protected:
+    /** Round trip a sequence of MBs through one slice. */
+    void
+    roundTrip(FrameType type, const std::vector<MbCoding> &mbs,
+              int mbw = 8)
+    {
+        auto enc = makeSyntaxEncoder(GetParam());
+        MbGrid enc_grid(mbw, 8);
+        int enc_qp = 26;
+        for (std::size_t i = 0; i < mbs.size(); ++i) {
+            MbPosition pos{static_cast<int>(i) % mbw,
+                           static_cast<int>(i) / mbw, 0, type};
+            encodeMb(*enc, mbs[i], pos, enc_grid, enc_qp);
+        }
+        Bytes coded = enc->finishSlice();
+
+        auto dec = makeSyntaxDecoder(GetParam(), coded, 0,
+                                     coded.size());
+        MbGrid dec_grid(mbw, 8);
+        int dec_qp = 26;
+        for (std::size_t i = 0; i < mbs.size(); ++i) {
+            MbPosition pos{static_cast<int>(i) % mbw,
+                           static_cast<int>(i) / mbw, 0, type};
+            MbCoding back = decodeMb(*dec, pos, dec_grid, dec_qp);
+            EXPECT_TRUE(sameCoding(mbs[i], back, type))
+                << "mb " << i << " backend "
+                << entropyKindName(GetParam());
+        }
+        EXPECT_FALSE(dec->sawCorruption());
+    }
+};
+
+TEST_P(MbSyntaxParam, IntraMbsRoundTrip)
+{
+    Rng rng(1);
+    std::vector<MbCoding> mbs;
+    for (int m = 0; m < kIntraModeCount * 2; ++m) {
+        MbCoding mb;
+        mb.intra = true;
+        mb.intraMode = static_cast<IntraMode>(m % kIntraModeCount);
+        mb.qp = 20 + m;
+        fillCoeffs(mb, rng, 0.2);
+        mbs.push_back(mb);
+    }
+    roundTrip(FrameType::I, mbs);
+}
+
+TEST_P(MbSyntaxParam, InterPartitionsRoundTrip)
+{
+    Rng rng(2);
+    std::vector<MbCoding> mbs;
+    for (int p = 0; p < kPartitionCount; ++p) {
+        MbCoding mb;
+        mb.partition = static_cast<Partition>(p);
+        if (mb.partition == Partition::P8x8)
+            for (int s = 0; s < 4; ++s)
+                mb.subs[s] = static_cast<SubPartition>(
+                    rng.nextBelow(kSubPartitionCount));
+        mb.qp = 26;
+        fillMotions(mb, rng);
+        fillCoeffs(mb, rng, 0.1);
+        mbs.push_back(mb);
+    }
+    roundTrip(FrameType::P, mbs);
+}
+
+TEST_P(MbSyntaxParam, SkipMbsRoundTrip)
+{
+    std::vector<MbCoding> mbs;
+    for (int i = 0; i < 6; ++i) {
+        MbCoding mb;
+        mb.skip = true;
+        mb.qp = 26;
+        MotionInfo motion;
+        motion.rect = {0, 0, 16, 16};
+        // Skip uses the predicted MV: with an all-skip history the
+        // predictor is zero everywhere, keeping the chain coherent.
+        motion.mv = {0, 0};
+        mb.motions.push_back(motion);
+        mbs.push_back(mb);
+    }
+    roundTrip(FrameType::P, mbs);
+}
+
+TEST_P(MbSyntaxParam, BDirectionsRoundTrip)
+{
+    Rng rng(3);
+    std::vector<MbCoding> mbs;
+    for (BiDirection dir : {BiDirection::L0, BiDirection::L1,
+                            BiDirection::Bi}) {
+        MbCoding mb;
+        mb.direction = dir;
+        mb.partition = Partition::P16x8;
+        mb.qp = 28;
+        fillMotions(mb, rng);
+        fillCoeffs(mb, rng, 0.15);
+        mbs.push_back(mb);
+    }
+    roundTrip(FrameType::B, mbs);
+}
+
+TEST_P(MbSyntaxParam, QpChainFollowsDeltas)
+{
+    Rng rng(4);
+    std::vector<MbCoding> mbs;
+    int qps[] = {26, 30, 30, 22, 51, 0, 26};
+    for (int qp : qps) {
+        MbCoding mb;
+        mb.intra = true;
+        mb.intraMode = IntraMode::DC;
+        mb.qp = qp;
+        fillCoeffs(mb, rng, 0.1);
+        mbs.push_back(mb);
+    }
+    roundTrip(FrameType::I, mbs);
+}
+
+TEST_P(MbSyntaxParam, ExtremeCoefficientsRoundTrip)
+{
+    MbCoding mb;
+    mb.intra = true;
+    mb.qp = 26;
+    mb.coded[0] = true;
+    mb.coeffs[0][0] = 2048;   // encoder cap
+    mb.coeffs[0][15] = -2048; // last zigzag position
+    mb.coded[23] = true;
+    mb.coeffs[23][7] = 1;
+    roundTrip(FrameType::I, {mb});
+}
+
+TEST_P(MbSyntaxParam, DecodeCorruptSliceIsBoundedAndTotal)
+{
+    // Encode a real slice, corrupt it heavily, decode the same MB
+    // count; everything must stay in range.
+    Rng rng(5);
+    std::vector<MbCoding> mbs;
+    for (int i = 0; i < 16; ++i) {
+        MbCoding mb;
+        mb.intra = true;
+        mb.intraMode = static_cast<IntraMode>(
+            rng.nextBelow(kIntraModeCount));
+        mb.qp = 26;
+        fillCoeffs(mb, rng, 0.3);
+        mbs.push_back(mb);
+    }
+    auto enc = makeSyntaxEncoder(GetParam());
+    MbGrid enc_grid(4, 4);
+    int enc_qp = 26;
+    for (std::size_t i = 0; i < mbs.size(); ++i) {
+        MbPosition pos{static_cast<int>(i) % 4,
+                       static_cast<int>(i) / 4, 0, FrameType::I};
+        encodeMb(*enc, mbs[i], pos, enc_grid, enc_qp);
+    }
+    Bytes coded = enc->finishSlice();
+
+    for (int trial = 0; trial < 20; ++trial) {
+        Bytes corrupted = coded;
+        injectErrors(corrupted, 0.05, rng);
+        auto dec = makeSyntaxDecoder(GetParam(), corrupted, 0,
+                                     corrupted.size());
+        MbGrid dec_grid(4, 4);
+        int dec_qp = 26;
+        for (std::size_t i = 0; i < mbs.size(); ++i) {
+            MbPosition pos{static_cast<int>(i) % 4,
+                           static_cast<int>(i) / 4, 0, FrameType::I};
+            MbCoding back = decodeMb(*dec, pos, dec_grid, dec_qp);
+            EXPECT_GE(back.qp, kMinQp);
+            EXPECT_LE(back.qp, kMaxQp);
+            for (int blk = 0; blk < 24; ++blk)
+                for (i16 c : back.coeffs[blk])
+                    EXPECT_LE(std::abs(static_cast<int>(c)), 2048);
+            for (const auto &motion : back.motions) {
+                EXPECT_LE(std::abs(static_cast<int>(motion.mv.x)),
+                          1024);
+                EXPECT_LE(std::abs(static_cast<int>(motion.mv.y)),
+                          1024);
+            }
+        }
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(Backends, MbSyntaxParam,
+                         ::testing::Values(EntropyKind::CABAC,
+                                           EntropyKind::CAVLC),
+                         [](const auto &info) {
+                             return entropyKindName(info.param);
+                         });
+
+TEST(MbSyntax, PredictorChainWithinMb)
+{
+    // For rect index > 0 the predictor is the previous rect's MV.
+    MbGrid grid(4, 4);
+    MbPosition pos{1, 1, 0, FrameType::P};
+    MbCoding mb;
+    mb.partition = Partition::P16x8;
+    MotionInfo first;
+    first.rect = {0, 0, 16, 8};
+    first.mv = {14, -6};
+    mb.motions.push_back(first);
+    MotionVector pred = mvPredictorForRect(grid, pos, 1, mb, false);
+    EXPECT_EQ(pred.x, 14);
+    EXPECT_EQ(pred.y, -6);
+}
+
+} // namespace
+} // namespace videoapp

@@ -1,0 +1,220 @@
+/**
+ * @file
+ * Quality metric tests: identity values, known distortions,
+ * monotonicity with noise level, and cross-metric consistency.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/rng.h"
+#include "quality/bdrate.h"
+#include "quality/metrics.h"
+#include "quality/psnr.h"
+#include "quality/ssim.h"
+#include "quality/vif.h"
+#include "video/synthetic.h"
+
+namespace videoapp {
+namespace {
+
+Video
+addNoise(const Video &v, double sigma, u64 seed)
+{
+    Rng rng(seed);
+    Video out = v;
+    for (auto &frame : out.frames)
+        for (auto &p : frame.y().data()) {
+            double nv = p + rng.nextGaussian() * sigma;
+            p = static_cast<u8>(std::clamp(nv, 0.0, 255.0));
+        }
+    return out;
+}
+
+class QualityFixture : public ::testing::Test
+{
+  protected:
+    void
+    SetUp() override
+    {
+        video_ = generateSynthetic(tinySpec(42));
+    }
+
+    Video video_;
+};
+
+TEST_F(QualityFixture, IdentityPsnrIsCapped)
+{
+    EXPECT_DOUBLE_EQ(psnrVideo(video_, video_), kPsnrCap);
+}
+
+TEST_F(QualityFixture, IdentitySsimIsOne)
+{
+    EXPECT_NEAR(ssimVideo(video_, video_), 1.0, 1e-9);
+    EXPECT_NEAR(msssimVideo(video_, video_), 1.0, 1e-9);
+}
+
+TEST_F(QualityFixture, IdentityVifpIsOne)
+{
+    EXPECT_NEAR(vifpVideo(video_, video_), 1.0, 1e-6);
+}
+
+TEST(Psnr, KnownUniformErrorValue)
+{
+    // A constant offset of 1 everywhere gives MSE 1 -> 48.13 dB.
+    Frame a(32, 32), b(32, 32);
+    for (auto &p : a.y().data())
+        p = 100;
+    for (auto &p : b.y().data())
+        p = 101;
+    EXPECT_NEAR(meanSquaredError(a.y(), b.y()), 1.0, 1e-12);
+    EXPECT_NEAR(psnrFrame(a, b), 48.1308, 1e-3);
+}
+
+TEST(Psnr, MseToPsnrEdgeCases)
+{
+    EXPECT_DOUBLE_EQ(mseToPsnr(0.0), kPsnrCap);
+    EXPECT_NEAR(mseToPsnr(255.0 * 255.0), 0.0, 1e-9);
+}
+
+TEST_F(QualityFixture, AllMetricsDecreaseWithNoise)
+{
+    Video light = addNoise(video_, 2.0, 1);
+    Video heavy = addNoise(video_, 12.0, 2);
+
+    EXPECT_GT(psnrVideo(video_, light), psnrVideo(video_, heavy));
+    EXPECT_GT(ssimVideo(video_, light), ssimVideo(video_, heavy));
+    EXPECT_GT(msssimVideo(video_, light), msssimVideo(video_, heavy));
+    EXPECT_GT(vifpVideo(video_, light), vifpVideo(video_, heavy));
+}
+
+TEST_F(QualityFixture, SsimBounded)
+{
+    Video heavy = addNoise(video_, 40.0, 3);
+    double s = ssimVideo(video_, heavy);
+    EXPECT_GE(s, -1.0);
+    EXPECT_LE(s, 1.0);
+    double ms = msssimVideo(video_, heavy);
+    EXPECT_GE(ms, 0.0);
+    EXPECT_LE(ms, 1.0);
+}
+
+TEST_F(QualityFixture, VifpBoundedBelowOneForDistortion)
+{
+    Video noisy = addNoise(video_, 8.0, 4);
+    double v = vifpVideo(video_, noisy);
+    EXPECT_GT(v, 0.0);
+    EXPECT_LT(v, 1.0);
+}
+
+TEST_F(QualityFixture, LocalisedDamageScoresWorseThanNothing)
+{
+    // Corrupt one 16x16 block badly.
+    Video damaged = video_;
+    for (int y = 16; y < 32; ++y)
+        for (int x = 16; x < 32; ++x)
+            damaged.frames[5].y().at(x, y) = 0;
+    EXPECT_LT(psnrVideo(video_, damaged), kPsnrCap);
+    EXPECT_LT(ssimVideo(video_, damaged), 1.0);
+}
+
+TEST_F(QualityFixture, ReportFormatsAllMetrics)
+{
+    Video noisy = addNoise(video_, 5.0, 6);
+    QualityReport report = measureQuality(video_, noisy);
+    EXPECT_GT(report.psnr, 20.0);
+    EXPECT_LT(report.psnr, 50.0);
+    EXPECT_GT(report.ssim, 0.0);
+    EXPECT_GT(report.msssim, 0.0);
+    EXPECT_GT(report.vifp, 0.0);
+    std::string text = report.toString();
+    EXPECT_NE(text.find("PSNR"), std::string::npos);
+    EXPECT_NE(text.find("VIFP"), std::string::npos);
+}
+
+TEST_F(QualityFixture, CheapModeSkipsExpensiveMetrics)
+{
+    Video noisy = addNoise(video_, 5.0, 7);
+    QualityReport report = measureQuality(video_, noisy, false);
+    EXPECT_GT(report.psnr, 0.0);
+    EXPECT_DOUBLE_EQ(report.msssim, 0.0);
+    EXPECT_DOUBLE_EQ(report.vifp, 0.0);
+}
+
+TEST(BdRate, IdenticalCurvesGiveZero)
+{
+    std::vector<RdPoint> curve = {{100, 30}, {200, 33}, {400, 36},
+                                  {800, 39}};
+    auto rate = bdRate(curve, curve);
+    auto psnr = bdPsnr(curve, curve);
+    ASSERT_TRUE(rate.has_value());
+    ASSERT_TRUE(psnr.has_value());
+    EXPECT_NEAR(*rate, 0.0, 1e-9);
+    EXPECT_NEAR(*psnr, 0.0, 1e-9);
+}
+
+TEST(BdRate, UniformPsnrShiftMeasuredExactly)
+{
+    std::vector<RdPoint> ref = {{100, 30}, {200, 33}, {400, 36},
+                                {800, 39}};
+    std::vector<RdPoint> test = ref;
+    for (auto &p : test)
+        p.psnr += 1.0;
+    auto psnr = bdPsnr(ref, test);
+    ASSERT_TRUE(psnr.has_value());
+    EXPECT_NEAR(*psnr, 1.0, 1e-6);
+}
+
+TEST(BdRate, UniformRateScaleMeasuredExactly)
+{
+    std::vector<RdPoint> ref = {{100, 30}, {200, 33}, {400, 36},
+                                {800, 39}};
+    std::vector<RdPoint> test = ref;
+    for (auto &p : test)
+        p.bitrate *= 1.15; // 15% more bits everywhere
+    auto rate = bdRate(ref, test);
+    ASSERT_TRUE(rate.has_value());
+    EXPECT_NEAR(*rate, 0.15, 1e-6);
+}
+
+TEST(BdRate, RejectsDegenerateInput)
+{
+    std::vector<RdPoint> three = {{100, 30}, {200, 33}, {400, 36}};
+    EXPECT_FALSE(bdRate(three, three).has_value());
+    std::vector<RdPoint> disjoint_a = {{1, 1}, {2, 2}, {3, 3},
+                                       {4, 4}};
+    std::vector<RdPoint> disjoint_b = {{100, 30}, {200, 33},
+                                       {400, 36}, {800, 39}};
+    EXPECT_FALSE(bdPsnr(disjoint_a, disjoint_b).has_value());
+    std::vector<RdPoint> zero_rate = {{0, 30}, {200, 33}, {400, 36},
+                                      {800, 39}};
+    EXPECT_FALSE(bdRate(zero_rate, zero_rate).has_value());
+}
+
+TEST(BdRate, CubicFitRecoversPolynomial)
+{
+    // y = 2 - x + 0.5 x^2 + 0.25 x^3 sampled at 6 points.
+    std::vector<double> xs = {-2, -1, 0, 1, 2, 3};
+    std::vector<double> ys;
+    for (double x : xs)
+        ys.push_back(2 - x + 0.5 * x * x + 0.25 * x * x * x);
+    auto c = fitCubic(xs, ys);
+    ASSERT_EQ(c.size(), 4u);
+    EXPECT_NEAR(c[0], 2.0, 1e-9);
+    EXPECT_NEAR(c[1], -1.0, 1e-9);
+    EXPECT_NEAR(c[2], 0.5, 1e-9);
+    EXPECT_NEAR(c[3], 0.25, 1e-9);
+}
+
+TEST(Ssim, DownsampleHalvesDimensions)
+{
+    Plane p(32, 48, 100);
+    Plane d = downsample2x(p);
+    EXPECT_EQ(d.width(), 16);
+    EXPECT_EQ(d.height(), 24);
+    EXPECT_EQ(d.at(3, 3), 100);
+}
+
+} // namespace
+} // namespace videoapp

@@ -1,0 +1,311 @@
+/**
+ * @file
+ * Simulation harness tests: bit-range sets, equal-storage bins,
+ * class bits, and the Monte Carlo loss measurement — including the
+ * headline validation that higher-importance bins cause more damage
+ * (the property behind Figure 9).
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+
+#include "sim/bench_config.h"
+#include "sim/binning.h"
+#include "common/bitstream.h"
+#include "sim/calibrate.h"
+#include "quality/psnr.h"
+#include "sim/monte_carlo.h"
+#include "video/synthetic.h"
+
+namespace videoapp {
+namespace {
+
+TEST(BitRangeSet, LocateWalksRanges)
+{
+    BitRangeSet set;
+    set.add(0, 10, 20);  // 10 bits
+    set.add(2, 100, 105); // 5 bits
+    set.add(5, 0, 1);     // 1 bit
+    EXPECT_EQ(set.totalBits(), 16u);
+
+    auto [f0, b0] = set.locate(0);
+    EXPECT_EQ(f0, 0u);
+    EXPECT_EQ(b0, 10u);
+    auto [f1, b1] = set.locate(9);
+    EXPECT_EQ(f1, 0u);
+    EXPECT_EQ(b1, 19u);
+    auto [f2, b2] = set.locate(10);
+    EXPECT_EQ(f2, 2u);
+    EXPECT_EQ(b2, 100u);
+    auto [f3, b3] = set.locate(15);
+    EXPECT_EQ(f3, 5u);
+    EXPECT_EQ(b3, 0u);
+}
+
+TEST(BitRangeSet, EmptyRangeIgnored)
+{
+    BitRangeSet set;
+    set.add(0, 5, 5);
+    EXPECT_TRUE(set.empty());
+}
+
+class SimFixture : public ::testing::Test
+{
+  protected:
+    void
+    SetUp() override
+    {
+        source_ = generateSynthetic(tinySpec(51));
+        EncoderConfig config;
+        config.gop.gopSize = 10;
+        config.gop.bFrames = 2;
+        enc_ = encodeVideo(source_, config);
+        importance_ = computeImportance(enc_.side, enc_.video);
+    }
+
+    Video source_;
+    EncodeResult enc_;
+    ImportanceMap importance_;
+};
+
+TEST_F(SimFixture, BinsEqualStorageAndOrderedImportance)
+{
+    auto bins = buildImportanceBins(enc_, importance_, 8);
+    ASSERT_EQ(bins.size(), 8u);
+
+    u64 total = 0;
+    for (const auto &bin : bins)
+        total += bin.bits.totalBits();
+    EXPECT_EQ(total, enc_.video.payloadBits());
+
+    // Roughly equal storage (one MB granularity slack).
+    u64 per_bin = total / 8;
+    for (const auto &bin : bins) {
+        EXPECT_GT(bin.bits.totalBits(), per_bin / 3);
+        EXPECT_LT(bin.bits.totalBits(), per_bin * 3);
+    }
+    // Strictly ordered max importance.
+    for (std::size_t b = 1; b < bins.size(); ++b)
+        EXPECT_GE(bins[b].maxImportance, bins[b - 1].maxImportance);
+}
+
+TEST_F(SimFixture, ClassBitsAreCumulative)
+{
+    auto classes = occurringClasses(enc_, importance_);
+    ASSERT_GE(classes.size(), 3u);
+    u64 prev = 0;
+    for (int cls : classes) {
+        u64 bits = classBits(enc_, importance_, cls).totalBits();
+        EXPECT_GE(bits, prev);
+        prev = bits;
+    }
+    // The top class covers everything.
+    EXPECT_EQ(prev, enc_.video.payloadBits());
+    EXPECT_NEAR(cumulativeStorageFraction(enc_, importance_,
+                                          classes.back()),
+                1.0, 1e-12);
+}
+
+TEST_F(SimFixture, ZeroRateMeansZeroLoss)
+{
+    auto bins = buildImportanceBins(enc_, importance_, 4);
+    Rng rng(1);
+    LossStats stats = measureQualityLoss(source_, enc_,
+                                         bins[0].bits, 0.0, 3, rng);
+    EXPECT_DOUBLE_EQ(stats.maxLossDb, 0.0);
+}
+
+TEST_F(SimFixture, HighImportanceBinsHurtMore)
+{
+    // The Figure 9 validation at test scale: corrupting the most
+    // important bin at a fixed rate must cause more quality loss
+    // than corrupting the least important bin.
+    auto bins = buildImportanceBins(enc_, importance_, 8);
+    Rng rng_low(2), rng_high(2);
+    const double rate = 3e-4;
+    const int runs = 6;
+    LossStats low = measureQualityLoss(
+        source_, enc_, bins.front().bits, rate, runs, rng_low);
+    LossStats high = measureQualityLoss(
+        source_, enc_, bins.back().bits, rate, runs, rng_high);
+    EXPECT_GT(high.meanLossDb, low.meanLossDb);
+}
+
+TEST_F(SimFixture, LossGrowsWithErrorRate)
+{
+    BitRangeSet all = classBits(enc_, importance_, 64);
+    Rng rng(3);
+    LossStats light =
+        measureQualityLoss(source_, enc_, all, 1e-5, 4, rng);
+    LossStats heavy =
+        measureQualityLoss(source_, enc_, all, 1e-3, 4, rng);
+    EXPECT_GE(heavy.meanLossDb, light.meanLossDb);
+    EXPECT_GT(heavy.meanLossDb, 0.0);
+}
+
+TEST_F(SimFixture, LowRateScalingShrinksLoss)
+{
+    // In the scaled regime the reported loss is multiplied by the
+    // probability of any flip, so it must drop with the rate.
+    BitRangeSet all = classBits(enc_, importance_, 64);
+    Rng rng_a(4), rng_b(4);
+    LossStats r9 =
+        measureQualityLoss(source_, enc_, all, 1e-9, 3, rng_a);
+    LossStats r12 =
+        measureQualityLoss(source_, enc_, all, 1e-12, 3, rng_b);
+    EXPECT_GT(r9.meanLossDb, r12.meanLossDb);
+    EXPECT_LT(r12.meanLossDb, 0.01);
+}
+
+TEST_F(SimFixture, CorruptPayloadsRespectsTargets)
+{
+    auto bins = buildImportanceBins(enc_, importance_, 4);
+    std::vector<Bytes> payloads = enc_.video.payloads;
+    Rng rng(5);
+    auto flips = corruptPayloads(payloads, bins[1].bits, 0.01, rng);
+    EXPECT_FALSE(flips.empty());
+    // Every flip must fall inside one of the bin's ranges.
+    for (auto [frame, bit] : flips) {
+        bool inside = false;
+        for (const auto &r : bins[1].bits.ranges())
+            if (r.frame == frame && bit >= r.begin && bit < r.end)
+                inside = true;
+        EXPECT_TRUE(inside) << "frame " << frame << " bit " << bit;
+    }
+}
+
+TEST_F(SimFixture, CleanPsnrMatchesDirectComputation)
+{
+    double direct = cleanPsnr(source_, enc_);
+    EXPECT_GT(direct, 25.0);
+    EXPECT_LT(direct, kPsnrCap);
+}
+
+TEST(Figure3Property, EarlyScanFlipsHurtMoreThanLateOnes)
+{
+    // The Figure 2(c)/Figure 3 wedge as an invariant: a flip in the
+    // first MB of a P frame damages (at least as much as) a flip in
+    // the last MB, averaged over frames and trials.
+    SyntheticSpec spec = tinySpec(57);
+    Video source = generateSynthetic(spec);
+    EncoderConfig config;
+    config.gop.gopSize = 1000; // one I frame then P frames
+    config.gop.bFrames = 0;
+    EncodeResult enc = encodeVideo(source, config);
+    Video clean = decodeWithPayloads(enc, enc.video.payloads);
+
+    Rng rng(58);
+    double first_damage = 0, last_damage = 0;
+    int samples = 0;
+    for (std::size_t f = 1; f < enc.side.frames.size() && samples < 6;
+         ++f) {
+        const auto &mbs = enc.side.frames[f].mbs;
+        const MbRecord &first = mbs.front();
+        const MbRecord &last = mbs.back();
+        if (first.bitLength == 0 || last.bitLength == 0)
+            continue;
+        ++samples;
+
+        auto damage = [&](const MbRecord &mb) {
+            std::vector<Bytes> payloads = enc.video.payloads;
+            flipBit(payloads[f],
+                    mb.bitOffset + rng.nextBelow(mb.bitLength));
+            Video decoded =
+                decodeWithPayloads(enc, std::move(payloads));
+            return kPsnrCap - psnrVideo(clean, decoded);
+        };
+        first_damage += damage(first);
+        last_damage += damage(last);
+    }
+    ASSERT_GT(samples, 2);
+    EXPECT_GE(first_damage, last_damage);
+    EXPECT_GT(first_damage, 0.0);
+}
+
+TEST(BenchConfig, EnvOverridesParsed)
+{
+    setenv("VIDEOAPP_BENCH_SCALE", "0.7", 1);
+    setenv("VIDEOAPP_BENCH_RUNS", "9", 1);
+    setenv("VIDEOAPP_BENCH_VIDEOS", "2", 1);
+    setenv("VIDEOAPP_BENCH_CSV", "/tmp/somewhere", 1);
+    BenchConfig config = BenchConfig::fromEnv();
+    EXPECT_NEAR(config.scale, 0.7, 1e-12);
+    EXPECT_EQ(config.runs, 9);
+    EXPECT_EQ(config.videos, 2);
+    EXPECT_EQ(config.csvDir, "/tmp/somewhere");
+    EXPECT_EQ(config.suite().size(), 2u);
+    unsetenv("VIDEOAPP_BENCH_SCALE");
+    unsetenv("VIDEOAPP_BENCH_RUNS");
+    unsetenv("VIDEOAPP_BENCH_VIDEOS");
+    unsetenv("VIDEOAPP_BENCH_CSV");
+}
+
+TEST(BenchConfig, CsvWriterNoopWhenDisabled)
+{
+    BenchConfig config; // csvDir empty
+    CsvWriter csv(config, "nope", "a,b");
+    EXPECT_FALSE(csv.enabled());
+    csv.row("1,2"); // must be a harmless no-op
+}
+
+TEST(BenchConfig, CsvWriterWritesRows)
+{
+    BenchConfig config;
+    config.csvDir = ::testing::TempDir();
+    {
+        CsvWriter csv(config, "va_csv_test", "x,y");
+        ASSERT_TRUE(csv.enabled());
+        csv.row("1,2");
+        csv.row("3,4");
+    }
+    std::ifstream in(config.csvDir + "/va_csv_test.csv");
+    std::string line;
+    std::getline(in, line);
+    EXPECT_EQ(line, "x,y");
+    std::getline(in, line);
+    EXPECT_EQ(line, "1,2");
+    std::remove((config.csvDir + "/va_csv_test.csv").c_str());
+}
+
+TEST(Calibrate, DeterministicForSeed)
+{
+    SyntheticSpec spec = tinySpec(55);
+    auto a = measureClassCurves({spec}, EncoderConfig{}, 2,
+                                {1e-5, 1e-3}, 77);
+    auto b = measureClassCurves({spec}, EncoderConfig{}, 2,
+                                {1e-5, 1e-3}, 77);
+    ASSERT_EQ(a.size(), b.size());
+    for (std::size_t i = 0; i < a.size(); ++i) {
+        EXPECT_EQ(a[i].cls, b[i].cls);
+        for (std::size_t p = 0; p < a[i].points.size(); ++p)
+            EXPECT_DOUBLE_EQ(a[i].points[p].lossDb,
+                             b[i].points[p].lossDb);
+    }
+}
+
+TEST(HeaderFraction, ShrinksTowardPaperScaleClaim)
+{
+    // The paper reports precise headers < 0.1% of storage at
+    // 720p/500 frames. Header cost per frame is ~constant while
+    // payload grows with resolution, so the fraction must fall as
+    // the clip grows; check the trend at two scales.
+    auto fraction = [](int w, int h, int frames) {
+        SyntheticSpec spec = tinySpec(56);
+        spec.width = w;
+        spec.height = h;
+        spec.frames = frames;
+        Video source = generateSynthetic(spec);
+        EncodeResult enc = encodeVideo(source, EncoderConfig{});
+        return static_cast<double>(enc.video.headerBits()) /
+               (enc.video.payloadBits() + enc.video.headerBits());
+    };
+    double small = fraction(64, 64, 12);
+    double large = fraction(192, 128, 24);
+    EXPECT_LT(large, small);
+    EXPECT_LT(large, 0.12);
+}
+
+} // namespace
+} // namespace videoapp

@@ -1,0 +1,559 @@
+/**
+ * @file
+ * Storage substrate tests: GF(2^10) arithmetic, the BCH codec, the
+ * analytic ECC model behind Figure 8, the MLC PCM cell model, error
+ * injection, and the modeled-vs-real channel equivalence.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <set>
+
+#include "common/bitstream.h"
+#include "common/rng.h"
+#include "storage/approx_store.h"
+#include "storage/bch.h"
+#include "storage/ecc_model.h"
+#include "storage/error_injector.h"
+#include "storage/dram.h"
+#include "storage/gf.h"
+#include "storage/pcm.h"
+
+namespace videoapp {
+namespace {
+
+// --- GF(2^10) ---------------------------------------------------------
+
+TEST(Gf1024, GeneratorHasFullOrder)
+{
+    const auto &gf = Gf1024::instance();
+    std::set<u16> seen;
+    for (int i = 0; i < Gf1024::kOrder; ++i)
+        seen.insert(gf.alphaPow(i));
+    EXPECT_EQ(seen.size(), static_cast<std::size_t>(Gf1024::kOrder));
+    EXPECT_EQ(gf.alphaPow(0), 1);
+    EXPECT_EQ(gf.alphaPow(Gf1024::kOrder), 1); // wraps
+}
+
+TEST(Gf1024, MulAndInverseAgree)
+{
+    const auto &gf = Gf1024::instance();
+    Rng rng(3);
+    for (int i = 0; i < 1000; ++i) {
+        u16 a = static_cast<u16>(1 + rng.nextBelow(1023));
+        u16 b = static_cast<u16>(1 + rng.nextBelow(1023));
+        EXPECT_EQ(gf.mul(a, gf.inv(a)), 1);
+        EXPECT_EQ(gf.div(gf.mul(a, b), b), a);
+        EXPECT_EQ(gf.mul(a, 0), 0);
+        EXPECT_EQ(gf.mul(0, b), 0);
+    }
+}
+
+TEST(Gf1024, MulMatchesCarrylessReference)
+{
+    // Reference: schoolbook carry-less multiply then reduce.
+    auto ref_mul = [](u32 a, u32 b) {
+        u32 prod = 0;
+        for (int i = 0; i < 10; ++i)
+            if ((b >> i) & 1)
+                prod ^= a << i;
+        for (int i = 19; i >= 10; --i)
+            if ((prod >> i) & 1)
+                prod ^= Gf1024::kPrimitivePoly << (i - 10);
+        return prod;
+    };
+    const auto &gf = Gf1024::instance();
+    Rng rng(4);
+    for (int i = 0; i < 2000; ++i) {
+        u16 a = static_cast<u16>(rng.nextBelow(1024));
+        u16 b = static_cast<u16>(rng.nextBelow(1024));
+        EXPECT_EQ(gf.mul(a, b), ref_mul(a, b));
+    }
+}
+
+// --- BCH ---------------------------------------------------------------
+
+class BchParam : public ::testing::TestWithParam<int>
+{
+};
+
+TEST_P(BchParam, ParityBitsAreTenPerError)
+{
+    BchCode code(GetParam());
+    EXPECT_EQ(code.parityBits(), 10 * GetParam());
+    EXPECT_EQ(code.dataBits(), 512);
+}
+
+TEST_P(BchParam, CleanCodewordDecodesWithZeroCorrections)
+{
+    Rng rng(20 + GetParam());
+    BchCode code(GetParam());
+    BitVec data(code.dataBits());
+    for (auto &b : data)
+        b = static_cast<u8>(rng.nextBelow(2));
+    BitVec cw = code.encode(data);
+    auto result = code.decode(cw);
+    EXPECT_TRUE(result.ok);
+    EXPECT_EQ(result.corrected, 0);
+    for (int i = 0; i < code.dataBits(); ++i)
+        EXPECT_EQ(cw[i], data[i]);
+}
+
+TEST_P(BchParam, CorrectsUpToTErrors)
+{
+    const int t = GetParam();
+    Rng rng(40 + t);
+    BchCode code(t);
+    for (int trial = 0; trial < 10; ++trial) {
+        BitVec data(code.dataBits());
+        for (auto &b : data)
+            b = static_cast<u8>(rng.nextBelow(2));
+        BitVec cw = code.encode(data);
+
+        int errors = 1 + static_cast<int>(rng.nextBelow(t));
+        std::set<int> positions;
+        while (static_cast<int>(positions.size()) < errors)
+            positions.insert(
+                static_cast<int>(rng.nextBelow(cw.size())));
+        BitVec corrupted = cw;
+        for (int p : positions)
+            corrupted[p] ^= 1;
+
+        auto result = code.decode(corrupted);
+        EXPECT_TRUE(result.ok);
+        EXPECT_EQ(result.corrected, errors);
+        EXPECT_EQ(corrupted, cw);
+    }
+}
+
+TEST_P(BchParam, ExactlyTErrorsCorrected)
+{
+    const int t = GetParam();
+    Rng rng(60 + t);
+    BchCode code(t);
+    BitVec data(code.dataBits());
+    for (auto &b : data)
+        b = static_cast<u8>(rng.nextBelow(2));
+    BitVec cw = code.encode(data);
+
+    std::set<int> positions;
+    while (static_cast<int>(positions.size()) < t)
+        positions.insert(static_cast<int>(rng.nextBelow(cw.size())));
+    BitVec corrupted = cw;
+    for (int p : positions)
+        corrupted[p] ^= 1;
+    auto result = code.decode(corrupted);
+    EXPECT_TRUE(result.ok);
+    EXPECT_EQ(result.corrected, t);
+    EXPECT_EQ(corrupted, cw);
+}
+
+TEST_P(BchParam, BeyondCapacityNeverCrashesAndIsUsuallyDetected)
+{
+    const int t = GetParam();
+    Rng rng(80 + t);
+    BchCode code(t);
+    int detected = 0;
+    const int trials = 10;
+    for (int trial = 0; trial < trials; ++trial) {
+        BitVec data(code.dataBits());
+        for (auto &b : data)
+            b = static_cast<u8>(rng.nextBelow(2));
+        BitVec cw = code.encode(data);
+        std::set<int> positions;
+        while (static_cast<int>(positions.size()) < t + 2)
+            positions.insert(
+                static_cast<int>(rng.nextBelow(cw.size())));
+        BitVec corrupted = cw;
+        for (int p : positions)
+            corrupted[p] ^= 1;
+        auto result = code.decode(corrupted);
+        detected += result.ok ? 0 : 1;
+    }
+    // t+2 errors exceed capacity; the decoder must flag most cases.
+    EXPECT_GE(detected, trials / 2);
+}
+
+INSTANTIATE_TEST_SUITE_P(Strengths, BchParam,
+                         ::testing::Values(1, 2, 6, 7, 8, 9, 10, 11,
+                                           16));
+
+TEST(Bch, ErrorsInParityAreAlsoCorrected)
+{
+    Rng rng(5);
+    BchCode code(6);
+    BitVec data(code.dataBits());
+    for (auto &b : data)
+        b = static_cast<u8>(rng.nextBelow(2));
+    BitVec cw = code.encode(data);
+    BitVec corrupted = cw;
+    // Flip three parity-region bits.
+    corrupted[513] ^= 1;
+    corrupted[530] ^= 1;
+    corrupted[571] ^= 1;
+    auto result = code.decode(corrupted);
+    EXPECT_TRUE(result.ok);
+    EXPECT_EQ(result.corrected, 3);
+    EXPECT_EQ(corrupted, cw);
+}
+
+TEST(Bch, PackUnpackRoundTrip)
+{
+    Rng rng(6);
+    BitVec bits(677);
+    for (auto &b : bits)
+        b = static_cast<u8>(rng.nextBelow(2));
+    Bytes packed = packBits(bits);
+    EXPECT_EQ(packed.size(), (bits.size() + 7) / 8);
+    BitVec back = unpackBits(packed, bits.size());
+    EXPECT_EQ(back, bits);
+}
+
+// --- ECC analytic model (Figure 8) --------------------------------------
+
+TEST(EccModel, OverheadsMatchFigure8)
+{
+    EXPECT_NEAR(EccScheme{6}.overhead(), 0.1172, 1e-4);
+    EXPECT_NEAR(EccScheme{7}.overhead(), 0.1367, 1e-3);
+    EXPECT_NEAR(EccScheme{8}.overhead(), 0.1563, 1e-3);
+    EXPECT_NEAR(EccScheme{9}.overhead(), 0.1758, 1e-3);
+    EXPECT_NEAR(EccScheme{10}.overhead(), 0.1953, 1e-3);
+    EXPECT_NEAR(EccScheme{16}.overhead(), 0.3125, 1e-3);
+    EXPECT_DOUBLE_EQ(kEccNone.overhead(), 0.0);
+}
+
+TEST(EccModel, FailureRatesDecreaseWithStrength)
+{
+    double prev = 1.0;
+    for (const auto &scheme : figure8Schemes()) {
+        double rate = scheme.blockFailureRate();
+        EXPECT_LT(rate, prev) << scheme.name();
+        prev = rate;
+    }
+    // BCH-6 at 1e-3 raw BER yields ~1e-6-class uncorrectable rates.
+    double ber6 = EccScheme{6}.effectiveBitErrorRate();
+    EXPECT_GT(ber6, 1e-9);
+    EXPECT_LT(ber6, 1e-7);
+    // BCH-16 reaches the precise-storage class.
+    EXPECT_LT(EccScheme{16}.effectiveBitErrorRate(), 1e-16);
+}
+
+TEST(EccModel, WeakestSchemeForTargets)
+{
+    EXPECT_TRUE(weakestSchemeFor(1e-2).isNone());
+    EXPECT_TRUE(weakestSchemeFor(1e-3).isNone());
+    EccScheme mid = weakestSchemeFor(1e-6);
+    EXPECT_GE(mid.t, 4);
+    EXPECT_LE(mid.t, 6);
+    EccScheme strong = weakestSchemeFor(1e-16);
+    EXPECT_LE(strong.t, 16);
+    EXPECT_GE(strong.t, 12);
+    // Monotone: tighter targets need at least as strong a scheme.
+    EXPECT_LE(weakestSchemeFor(1e-6).t, weakestSchemeFor(1e-10).t);
+}
+
+// --- PCM ---------------------------------------------------------------
+
+TEST(Pcm, CalibratedRawBerAtScrubInterval)
+{
+    McPcm pcm;
+    EXPECT_NEAR(pcm.rawBitErrorRate(), 1e-3, 1e-4);
+}
+
+TEST(Pcm, ErrorRateGrowsWithAge)
+{
+    McPcm pcm;
+    double young = pcm.rawBitErrorRate(3600.0);
+    double scrub = pcm.rawBitErrorRate(kDefaultScrubSeconds);
+    double old_age = pcm.rawBitErrorRate(10 * kDefaultScrubSeconds);
+    EXPECT_LT(young, scrub);
+    EXPECT_LT(scrub, old_age);
+}
+
+TEST(Pcm, EmpiricalBerMatchesAnalytic)
+{
+    McPcm pcm;
+    Rng rng(77);
+    Bytes data(64 * 1024);
+    for (auto &b : data)
+        b = static_cast<u8>(rng.next());
+    Bytes read = pcm.storeAndRead(data, kDefaultScrubSeconds, rng);
+    ASSERT_EQ(read.size(), data.size());
+    std::size_t flips = 0;
+    for (std::size_t i = 0; i < data.size(); ++i)
+        flips += static_cast<std::size_t>(
+            __builtin_popcount(data[i] ^ read[i]));
+    double ber = static_cast<double>(flips) / (data.size() * 8);
+    // 512K bits at 1e-3 -> ~524 errors; allow generous Monte Carlo
+    // slack plus model mismatch from edge levels.
+    EXPECT_NEAR(ber, 1e-3, 4e-4);
+}
+
+TEST(Pcm, GrayAdjacencyProperty)
+{
+    for (u32 level = 0; level + 1 < 8; ++level) {
+        u32 a = grayEncode(level);
+        u32 b = grayEncode(level + 1);
+        EXPECT_EQ(__builtin_popcount(a ^ b), 1) << level;
+    }
+    for (u32 v = 0; v < 8; ++v)
+        EXPECT_EQ(grayDecode(grayEncode(v)), v);
+}
+
+TEST(Pcm, CellsForRoundsUp)
+{
+    McPcm pcm;
+    EXPECT_EQ(pcm.cellsFor(3), 1u);
+    EXPECT_EQ(pcm.cellsFor(4), 2u);
+    EXPECT_EQ(pcm.cellsFor(0), 0u);
+    EXPECT_EQ(SlcPcm::cellsFor(7), 7u);
+}
+
+TEST(Pcm, MoreLevelsMoreErrorsAtSamePhysicalNoise)
+{
+    // Section 2.2's design trade-off: packing more levels into the
+    // same resistance window raises the error rate steeply.
+    McPcm pcm; // calibrated as 8-level (3 bits)
+    double slc = pcm.rawBitErrorRateForLevels(1, kDefaultScrubSeconds);
+    double b2 = pcm.rawBitErrorRateForLevels(2, kDefaultScrubSeconds);
+    double b3 = pcm.rawBitErrorRateForLevels(3, kDefaultScrubSeconds);
+    double b4 = pcm.rawBitErrorRateForLevels(4, kDefaultScrubSeconds);
+    EXPECT_LT(slc, 1e-12);         // SLC: effectively precise
+    EXPECT_LT(b2, b3 / 100);       // each extra bit costs decades
+    EXPECT_LT(b3, b4 / 10);
+    EXPECT_NEAR(b3, pcm.rawBitErrorRate(), 1e-6); // self-consistent
+}
+
+// --- Approximate DRAM (related-work substrate) ------------------------------
+
+TEST(Dram, CalibrationAnchors)
+{
+    ApproxDram dram;
+    EXPECT_NEAR(std::log10(dram.bitErrorRate(kDramStandardRefresh)),
+                -15.0, 0.2);
+    EXPECT_NEAR(std::log10(dram.bitErrorRate(100.0)), -4.0, 0.2);
+}
+
+TEST(Dram, ErrorRateMonotoneInRefreshInterval)
+{
+    ApproxDram dram;
+    double prev = 0;
+    for (double t : {0.064, 0.5, 2.0, 10.0, 60.0, 300.0}) {
+        double ber = dram.bitErrorRate(t);
+        EXPECT_GE(ber, prev);
+        prev = ber;
+    }
+    EXPECT_DOUBLE_EQ(dram.bitErrorRate(0.0), 0.0);
+}
+
+TEST(Dram, RefreshPowerScalesInversely)
+{
+    ApproxDram dram;
+    EXPECT_DOUBLE_EQ(dram.refreshPowerFraction(kDramStandardRefresh),
+                     1.0);
+    EXPECT_NEAR(dram.refreshPowerFraction(0.64), 0.1, 1e-12);
+}
+
+TEST(Dram, StoreAndReadInjectsAtModelRate)
+{
+    ApproxDram dram;
+    Rng rng(31);
+    Bytes data(32 * 1024, 0xA5);
+    // Pick an interval with a convenient error rate (~1e-4).
+    Bytes read = dram.storeAndRead(data, 100.0, rng);
+    std::size_t flips = 0;
+    for (std::size_t i = 0; i < data.size(); ++i)
+        flips += static_cast<std::size_t>(
+            __builtin_popcount(data[i] ^ read[i]));
+    double expected = data.size() * 8 * dram.bitErrorRate(100.0);
+    EXPECT_NEAR(static_cast<double>(flips), expected,
+                5 * std::sqrt(expected) + 3);
+}
+
+// --- Error injection -----------------------------------------------------
+
+TEST(ErrorInjector, RateZeroInjectsNothing)
+{
+    Rng rng(1);
+    Bytes data(1024, 0xAB);
+    Bytes orig = data;
+    auto flips = injectErrors(data, 0.0, rng);
+    EXPECT_TRUE(flips.empty());
+    EXPECT_EQ(data, orig);
+}
+
+TEST(ErrorInjector, MeanMatchesRate)
+{
+    Rng rng(2);
+    double total = 0;
+    const int runs = 200;
+    for (int r = 0; r < runs; ++r) {
+        Bytes data(4096, 0);
+        total += static_cast<double>(
+            injectErrors(data, 1e-3, rng).size());
+    }
+    double expected = 4096 * 8 * 1e-3; // 32.8 per run
+    EXPECT_NEAR(total / runs, expected, 2.0);
+}
+
+TEST(ErrorInjector, RangeRestrictionHolds)
+{
+    Rng rng(3);
+    Bytes data(1024, 0);
+    auto flips = injectErrorsInRange(data, 1000, 2000, 0.05, rng);
+    EXPECT_FALSE(flips.empty());
+    for (BitPos p : flips) {
+        EXPECT_GE(p, 1000u);
+        EXPECT_LT(p, 2000u);
+    }
+    // Bits outside the range must be untouched.
+    for (std::size_t bit = 0; bit < 1000; ++bit)
+        EXPECT_EQ(getBit(data, bit), 0u);
+    for (std::size_t bit = 2000; bit < 8192; ++bit)
+        EXPECT_EQ(getBit(data, bit), 0u);
+}
+
+TEST(ErrorInjector, ExactCountDistinct)
+{
+    Rng rng(4);
+    Bytes data(128, 0);
+    auto flips = injectErrorCount(data, 50, rng);
+    EXPECT_EQ(flips.size(), 50u);
+    std::set<BitPos> unique(flips.begin(), flips.end());
+    EXPECT_EQ(unique.size(), 50u);
+    std::size_t set_bits = 0;
+    for (u8 b : data)
+        set_bits += static_cast<std::size_t>(__builtin_popcount(b));
+    EXPECT_EQ(set_bits, 50u);
+}
+
+TEST(ErrorInjector, ProtectedStreamMostlyClean)
+{
+    Rng rng(5);
+    Bytes data(64 * 1024, 0x5C);
+    Bytes orig = data;
+    // BCH-10 at 1e-3: block failure ~1e-10, so 1k blocks stay clean.
+    auto flips = injectErrorsProtected(data, EccScheme{10}, 1e-3, rng);
+    EXPECT_TRUE(flips.empty());
+    EXPECT_EQ(data, orig);
+}
+
+TEST(ErrorInjector, UnprotectedEqualsRawRate)
+{
+    Rng rng(6);
+    Bytes data(16 * 1024, 0);
+    auto flips = injectErrorsProtected(data, kEccNone, 1e-3, rng);
+    double expected = 16 * 1024 * 8 * 1e-3;
+    EXPECT_NEAR(static_cast<double>(flips.size()), expected,
+                5 * std::sqrt(expected));
+}
+
+// --- Channels -------------------------------------------------------------
+
+TEST(Channels, RealChannelCorrectsEverythingAtModerateRate)
+{
+    // At raw 1e-3 with BCH-16, essentially no block fails; the real
+    // codec must return the exact payload.
+    Rng rng(7);
+    Bytes data(2048);
+    for (auto &b : data)
+        b = static_cast<u8>(rng.next());
+    RealBchChannel channel(1e-3);
+    Bytes out = channel.roundTrip(data, EccScheme{16}, rng);
+    EXPECT_EQ(out, data);
+}
+
+TEST(Channels, RealChannelPassesErrorsWhenUnprotected)
+{
+    Rng rng(8);
+    Bytes data(8192, 0);
+    RealBchChannel channel(1e-2);
+    Bytes out = channel.roundTrip(data, kEccNone, rng);
+    std::size_t flips = 0;
+    for (std::size_t i = 0; i < data.size(); ++i)
+        flips += static_cast<std::size_t>(
+            __builtin_popcount(data[i] ^ out[i]));
+    double expected = 8192 * 8 * 1e-2;
+    EXPECT_NEAR(static_cast<double>(flips), expected,
+                5 * std::sqrt(expected));
+}
+
+TEST(Channels, ModeledMatchesRealStatistically)
+{
+    // Use a high raw rate so BCH-2 blocks fail often enough to
+    // compare distributions in reasonable time.
+    const double raw = 8e-3;
+    const EccScheme scheme{2};
+    Rng rng_model(9), rng_real(10);
+    ModeledChannel model(raw);
+    RealBchChannel real(raw);
+
+    auto run = [&](const StorageChannel &ch, Rng &rng) {
+        double damaged = 0;
+        const int runs = 30;
+        for (int r = 0; r < runs; ++r) {
+            Bytes data(1024, 0); // 16 blocks
+            Bytes out = ch.roundTrip(data, scheme, rng);
+            for (std::size_t i = 0; i < data.size(); ++i)
+                damaged += __builtin_popcount(data[i] ^ out[i]);
+        }
+        return damaged / runs;
+    };
+
+    double m = run(model, rng_model);
+    double r = run(real, rng_real);
+    // Block failure ~2.6% at these settings -> ~0.4 failed blocks
+    // per run, ~1.3 damaged payload bits on average. The two channels
+    // must agree within Monte Carlo noise.
+    EXPECT_GT(m, 0.1);
+    EXPECT_GT(r, 0.1);
+    EXPECT_NEAR(m, r, std::max(m, r));
+}
+
+TEST(Channels, PcmBackedChannelRoundTrips)
+{
+    Rng rng(11);
+    McPcm pcm;
+    RealBchChannel channel(pcm, kDefaultScrubSeconds);
+    Bytes data(1024);
+    for (auto &b : data)
+        b = static_cast<u8>(rng.next());
+    // BCH-16 over PCM at the scrub interval: error-free payload.
+    Bytes out = channel.roundTrip(data, EccScheme{16}, rng);
+    EXPECT_EQ(out, data);
+}
+
+// --- Accounting -------------------------------------------------------------
+
+TEST(Accounting, ParityBitsRoundUpPerBlock)
+{
+    EXPECT_EQ(parityBitsFor(512, EccScheme{6}), 60u);
+    EXPECT_EQ(parityBitsFor(513, EccScheme{6}), 120u);
+    EXPECT_EQ(parityBitsFor(0, EccScheme{6}), 0u);
+    EXPECT_EQ(parityBitsFor(1 << 20, kEccNone), 0u);
+}
+
+TEST(Accounting, CellsPerPixelMatchesHandComputation)
+{
+    StorageAccountant acc(3);
+    acc.addStream(512 * 100, EccScheme{6}); // 51200 + 6000 parity
+    acc.addPreciseBits(512);                // + 512 + 160
+    EXPECT_EQ(acc.payloadBits(), 51200u + 512u);
+    EXPECT_EQ(acc.parityBits(), 6000u + 160u);
+    u64 bits = 51200 + 6000 + 512 + 160;
+    EXPECT_EQ(acc.cells(), (bits + 2) / 3);
+    EXPECT_NEAR(acc.cellsPerPixel(10000),
+                static_cast<double>((bits + 2) / 3) / 10000, 1e-12);
+}
+
+TEST(Accounting, UniformBch16MatchesPaperOverhead)
+{
+    // Uniform correction on MLC: 31.3% overhead (Figure 8 / §7.3).
+    StorageAccountant acc(3);
+    acc.addStream(512 * 1000, EccScheme{16});
+    EXPECT_NEAR(acc.eccOverheadFraction(), 0.3125 / 1.3125, 1e-3);
+}
+
+} // namespace
+} // namespace videoapp

@@ -1,0 +1,141 @@
+/**
+ * @file
+ * Scalable (layered) coding tests: residual round trip, enhancement
+ * refinement, graceful degradation when the enhancement layer is
+ * corrupted or dropped, and the cross-layer approximation property
+ * (enhancement bits tolerate much weaker protection).
+ */
+
+#include <gtest/gtest.h>
+
+#include "core/svc.h"
+#include "common/rng.h"
+#include "quality/psnr.h"
+#include "storage/error_injector.h"
+#include "video/synthetic.h"
+
+namespace videoapp {
+namespace {
+
+class SvcFixture : public ::testing::Test
+{
+  protected:
+    void
+    SetUp() override
+    {
+        source_ = generateSynthetic(tinySpec(91));
+        result_ = encodeScalable(source_,
+                                 ScalableConfig::forQuality(20));
+    }
+
+    Video source_;
+    ScalableEncodeResult result_;
+};
+
+TEST(Svc, ResidualRoundTripIsLosslessWithinClamp)
+{
+    // b approximates a (like a base-layer reconstruction does), so
+    // residuals stay far from the clamp and the round trip is exact.
+    Video a = generateSynthetic(tinySpec(92));
+    Video b = a;
+    Rng rng(95);
+    for (auto &frame : b.frames)
+        for (auto &p : frame.y().data())
+            p = static_cast<u8>(std::clamp<int>(
+                p + static_cast<int>(rng.nextBelow(21)) - 10, 0,
+                255));
+    Video residual = residualVideo(a, b);
+    Video back = applyResidual(b, residual);
+    for (std::size_t i = 0; i < a.frames.size(); ++i) {
+        EXPECT_EQ(back.frames[i].y().data(), a.frames[i].y().data());
+        EXPECT_EQ(back.frames[i].u().data(), a.frames[i].u().data());
+        EXPECT_EQ(back.frames[i].v().data(), a.frames[i].v().data());
+    }
+}
+
+TEST_F(SvcFixture, EnhancementRefinesBase)
+{
+    Video base_only = decodeScalable(result_.base.video, nullptr);
+    Video refined = decodeScalable(result_.base.video,
+                                   &result_.enhancement.video);
+    double psnr_base = psnrVideo(source_, base_only);
+    double psnr_refined = psnrVideo(source_, refined);
+    EXPECT_GT(psnr_refined, psnr_base + 2.0);
+}
+
+TEST_F(SvcFixture, CorruptEnhancementDegradesGracefully)
+{
+    // Heavy corruption of the enhancement layer must never drop the
+    // output far below base quality (errors are confined to the
+    // residual domain).
+    Video base_only = decodeScalable(result_.base.video, nullptr);
+    double psnr_base = psnrVideo(source_, base_only);
+
+    Rng rng(7);
+    EncodedVideo corrupted = result_.enhancement.video;
+    for (auto &payload : corrupted.payloads)
+        injectErrors(payload, 1e-3, rng);
+    Video refined = decodeScalable(result_.base.video, &corrupted);
+    double psnr_corrupt = psnrVideo(source_, refined);
+    EXPECT_GT(psnr_corrupt, psnr_base - 9.0);
+}
+
+TEST_F(SvcFixture, BaseCorruptionHurtsMoreThanEnhancement)
+{
+    // The cross-layer dimension: the same error rate applied to the
+    // base layer costs more quality than applied to the
+    // enhancement (averaged over a few draws).
+    double base_damage = 0, enh_damage = 0;
+    Video clean = decodeScalable(result_.base.video,
+                                 &result_.enhancement.video);
+    for (u64 seed = 0; seed < 4; ++seed) {
+        Rng rng_a(100 + seed), rng_b(100 + seed);
+        EncodedVideo bad_base = result_.base.video;
+        for (auto &p : bad_base.payloads)
+            injectErrors(p, 3e-4, rng_a);
+        EncodedVideo bad_enh = result_.enhancement.video;
+        for (auto &p : bad_enh.payloads)
+            injectErrors(p, 3e-4, rng_b);
+
+        base_damage += psnrVideo(
+            clean, decodeScalable(bad_base,
+                                  &result_.enhancement.video));
+        enh_damage += psnrVideo(
+            clean, decodeScalable(result_.base.video, &bad_enh));
+    }
+    EXPECT_LT(base_damage, enh_damage);
+}
+
+TEST_F(SvcFixture, LayerSizesAreSane)
+{
+    EXPECT_GT(result_.base.video.payloadBits(), 0u);
+    EXPECT_GT(result_.enhancement.video.payloadBits(), 0u);
+    // Two layers cost more than one encoding at the target quality,
+    // but not absurdly more.
+    EncoderConfig single;
+    single.crf = 20;
+    EncodeResult one = encodeVideo(source_, single);
+    EXPECT_LT(result_.totalPayloadBits(),
+              4 * one.video.payloadBits());
+}
+
+TEST_F(SvcFixture, MismatchedLayersFallBackToBase)
+{
+    // An enhancement stream with different dimensions is rejected.
+    Video other = generateSynthetic(tinySpec(94));
+    SyntheticSpec small;
+    small.width = 32;
+    small.height = 32;
+    small.frames = static_cast<int>(other.frames.size());
+    Video small_video = generateSynthetic(small);
+    EncodeResult wrong = encodeVideo(small_video, EncoderConfig{});
+    Video decoded =
+        decodeScalable(result_.base.video, &wrong.video);
+    Video base_only = decodeScalable(result_.base.video, nullptr);
+    for (std::size_t i = 0; i < decoded.frames.size(); ++i)
+        EXPECT_EQ(decoded.frames[i].y().data(),
+                  base_only.frames[i].y().data());
+}
+
+} // namespace
+} // namespace videoapp

@@ -1,0 +1,150 @@
+/**
+ * @file
+ * Tests for frames, synthetic sequence generation, and raw video I/O.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <set>
+
+#include "video/frame.h"
+#include "video/synthetic.h"
+#include "video/yuv_io.h"
+
+namespace videoapp {
+namespace {
+
+TEST(Frame, DimensionsAndChromaSubsampling)
+{
+    Frame f(64, 48);
+    EXPECT_EQ(f.width(), 64);
+    EXPECT_EQ(f.height(), 48);
+    EXPECT_EQ(f.u().width(), 32);
+    EXPECT_EQ(f.u().height(), 24);
+    EXPECT_EQ(f.v().width(), 32);
+    EXPECT_EQ(f.pixelCount(), 64u * 48u);
+}
+
+TEST(Plane, ClampedAccessAtEdges)
+{
+    Plane p(4, 4);
+    p.at(0, 0) = 10;
+    p.at(3, 3) = 20;
+    EXPECT_EQ(p.atClamped(-5, -5), 10);
+    EXPECT_EQ(p.atClamped(100, 100), 20);
+    EXPECT_EQ(p.atClamped(0, 0), 10);
+}
+
+TEST(Synthetic, DeterministicForSeed)
+{
+    SyntheticSpec spec = tinySpec(9);
+    Video a = generateSynthetic(spec);
+    Video b = generateSynthetic(spec);
+    ASSERT_EQ(a.frames.size(), b.frames.size());
+    for (std::size_t i = 0; i < a.frames.size(); ++i)
+        EXPECT_EQ(a.frames[i].y().data(), b.frames[i].y().data());
+}
+
+TEST(Synthetic, DifferentSeedsDiffer)
+{
+    Video a = generateSynthetic(tinySpec(1));
+    Video b = generateSynthetic(tinySpec(2));
+    EXPECT_NE(a.frames[0].y().data(), b.frames[0].y().data());
+}
+
+TEST(Synthetic, TemporalCoherenceWithoutCut)
+{
+    // Adjacent frames of a panning scene must be much more similar
+    // than distant ones — the property motion compensation exploits.
+    SyntheticSpec spec = tinySpec(3);
+    Video v = generateSynthetic(spec);
+    auto sad = [&](const Frame &a, const Frame &b) {
+        long total = 0;
+        for (std::size_t i = 0; i < a.y().data().size(); ++i)
+            total += std::abs(static_cast<int>(a.y().data()[i]) -
+                              static_cast<int>(b.y().data()[i]));
+        return total;
+    };
+    long near = sad(v.frames[5], v.frames[6]);
+    long far = sad(v.frames[0], v.frames[15]);
+    EXPECT_LT(near, far);
+}
+
+TEST(Synthetic, SceneCutBreaksSimilarity)
+{
+    SyntheticSpec spec = tinySpec(4);
+    spec.sceneCutAt = 10;
+    spec.sprites = 0;
+    Video v = generateSynthetic(spec);
+    auto sad = [&](const Frame &a, const Frame &b) {
+        long total = 0;
+        for (std::size_t i = 0; i < a.y().data().size(); ++i)
+            total += std::abs(static_cast<int>(a.y().data()[i]) -
+                              static_cast<int>(b.y().data()[i]));
+        return total;
+    };
+    long before = sad(v.frames[8], v.frames[9]);
+    long across = sad(v.frames[9], v.frames[10]);
+    EXPECT_GT(across, 3 * before);
+}
+
+TEST(Synthetic, StandardSuiteHas14Sequences)
+{
+    auto suite = standardSuite(0.25);
+    EXPECT_EQ(suite.size(), 14u);
+    for (const auto &spec : suite) {
+        EXPECT_EQ(spec.width % 16, 0) << spec.name;
+        EXPECT_EQ(spec.height % 16, 0) << spec.name;
+        EXPECT_GE(spec.frames, 12) << spec.name;
+        EXPECT_FALSE(spec.name.empty());
+    }
+}
+
+TEST(Synthetic, SuiteNamesUnique)
+{
+    auto suite = standardSuite(0.25);
+    std::set<std::string> names;
+    for (const auto &spec : suite)
+        names.insert(spec.name);
+    EXPECT_EQ(names.size(), suite.size());
+}
+
+TEST(YuvIo, SaveLoadRoundTrip)
+{
+    Video v = generateSynthetic(tinySpec(5));
+    std::string path = ::testing::TempDir() + "/va_roundtrip.yuv";
+    ASSERT_TRUE(saveI420(v, path));
+    Video back = loadI420(path, v.width(), v.height());
+    ASSERT_EQ(back.frames.size(), v.frames.size());
+    for (std::size_t i = 0; i < v.frames.size(); ++i) {
+        EXPECT_EQ(back.frames[i].y().data(), v.frames[i].y().data());
+        EXPECT_EQ(back.frames[i].u().data(), v.frames[i].u().data());
+        EXPECT_EQ(back.frames[i].v().data(), v.frames[i].v().data());
+    }
+    std::remove(path.c_str());
+}
+
+TEST(YuvIo, LoadRejectsBadDimensions)
+{
+    Video v = loadI420("/nonexistent", 64, 64);
+    EXPECT_TRUE(v.frames.empty());
+    Video odd = loadI420("/nonexistent", 63, 64);
+    EXPECT_TRUE(odd.frames.empty());
+}
+
+TEST(YuvIo, PgmDump)
+{
+    Plane p(16, 16, 200);
+    std::string path = ::testing::TempDir() + "/va_dump.pgm";
+    ASSERT_TRUE(savePgm(p, path));
+    std::ifstream in(path, std::ios::binary);
+    std::string magic;
+    in >> magic;
+    EXPECT_EQ(magic, "P5");
+    std::remove(path.c_str());
+}
+
+} // namespace
+} // namespace videoapp

@@ -1,0 +1,140 @@
+#!/usr/bin/env python3
+"""Regenerate the paper's figures from bench CSV output.
+
+Usage:
+    mkdir -p out && VIDEOAPP_BENCH_CSV=out ./build/bench/fig03_flip_position
+    (repeat for fig09/fig10/fig11, or run all benches)
+    python3 tools/plot_figures.py out
+
+Produces fig03.png, fig09.png, fig10.png, fig11.png next to the CSVs,
+matching the layout of the paper's Figures 3, 9, 10 and 11.
+Requires matplotlib.
+"""
+
+import csv
+import os
+import sys
+from collections import defaultdict
+
+
+def load(path):
+    with open(path) as f:
+        return list(csv.DictReader(f))
+
+
+def plot_fig03(rows, out):
+    import matplotlib.pyplot as plt
+    import numpy as np
+
+    xs = sorted({int(r["mbx"]) for r in rows})
+    ys = sorted({int(r["mby"]) for r in rows})
+    grid = np.full((len(ys), len(xs)), np.nan)
+    for r in rows:
+        grid[int(r["mby"]), int(r["mbx"])] = float(r["psnr_db"])
+    fig, ax = plt.subplots(figsize=(7, 4))
+    im = ax.imshow(grid, cmap="viridis", origin="upper")
+    ax.set_xlabel("MB x")
+    ax.set_ylabel("MB y")
+    ax.set_title("Fig. 3: frame PSNR (dB) after one bit flip, "
+                 "by MB position")
+    fig.colorbar(im, label="PSNR (dB)")
+    fig.tight_layout()
+    fig.savefig(out)
+    print("wrote", out)
+
+
+def plot_fig09(rows, out):
+    import matplotlib.pyplot as plt
+
+    by_bin = defaultdict(list)
+    for r in rows:
+        by_bin[int(r["bin"])].append(
+            (float(r["error_rate"]), -float(r["loss_db"])))
+    fig, ax = plt.subplots(figsize=(8, 5))
+    for b in sorted(by_bin):
+        pts = sorted(by_bin[b])
+        ax.plot([p[0] for p in pts], [p[1] for p in pts],
+                marker="o", markersize=3, label=f"bin {b}")
+    ax.set_xscale("log")
+    ax.set_xlabel("error probability")
+    ax.set_ylabel("quality change (dB)")
+    ax.set_title("Fig. 9(a): loss per equal-storage importance bin")
+    ax.legend(fontsize=6, ncol=2)
+    fig.tight_layout()
+    fig.savefig(out)
+    print("wrote", out)
+
+
+def plot_fig10(rows, out):
+    import matplotlib.pyplot as plt
+
+    by_cls = defaultdict(list)
+    for r in rows:
+        by_cls[int(r["class"])].append(
+            (float(r["error_rate"]), -float(r["loss_db"])))
+    fig, ax = plt.subplots(figsize=(8, 5))
+    for c in sorted(by_cls):
+        pts = sorted(by_cls[c])
+        ax.plot([p[0] for p in pts], [p[1] for p in pts],
+                marker="s", markersize=3, label=f"class {c}")
+    ax.set_xscale("log")
+    ax.set_xlabel("error probability")
+    ax.set_ylabel("cumulative quality change (dB)")
+    ax.set_title("Fig. 10(a): cumulative loss per importance class")
+    ax.legend(fontsize=6, ncol=2)
+    fig.tight_layout()
+    fig.savefig(out)
+    print("wrote", out)
+
+
+def plot_fig11(rows, out):
+    import matplotlib.pyplot as plt
+
+    by_design = defaultdict(list)
+    for r in rows:
+        by_design[r["design"]].append(
+            (float(r["cells_per_pixel"]), float(r["psnr_db"])))
+    fig, ax = plt.subplots(figsize=(7, 4))
+    markers = {"Uniform": "o", "Variable": "^", "Ideal": "s"}
+    for design, pts in by_design.items():
+        pts.sort()
+        ax.plot([p[0] for p in pts], [p[1] for p in pts],
+                marker=markers.get(design, "x"), label=design)
+    ax.set_xlabel("storage cells per encoded pixel")
+    ax.set_ylabel("PSNR (dB)")
+    ax.set_title("Fig. 11: density of uniform / variable / ideal "
+                 "correction")
+    ax.legend()
+    fig.tight_layout()
+    fig.savefig(out)
+    print("wrote", out)
+
+
+def main():
+    try:
+        import matplotlib  # noqa: F401
+    except ImportError:
+        print("matplotlib is required: pip install matplotlib",
+              file=sys.stderr)
+        sys.exit(2)
+    directory = sys.argv[1] if len(sys.argv) > 1 else "."
+    plotters = {
+        "fig03": plot_fig03,
+        "fig09": plot_fig09,
+        "fig10": plot_fig10,
+        "fig11": plot_fig11,
+    }
+    found = False
+    for name, plot in plotters.items():
+        path = os.path.join(directory, name + ".csv")
+        if os.path.exists(path):
+            found = True
+            plot(load(path), os.path.join(directory, name + ".png"))
+    if not found:
+        print(f"no figure CSVs found in '{directory}'; run the "
+              "benches with VIDEOAPP_BENCH_CSV set", file=sys.stderr)
+        sys.exit(1)
+
+
+if __name__ == "__main__":
+    main()
