@@ -18,6 +18,7 @@
 
 #include "codec/decoder.h"
 #include "codec/encoder.h"
+#include "common/parallel.h"
 #include "common/rng.h"
 #include "graph/importance.h"
 #include "sim/bench_config.h"
@@ -64,44 +65,75 @@ run(const BenchConfig &config)
         computeImportance(enc.side, enc.video);
     Video clean = decodeVideo(enc.video);
 
+    // Each sample is an independent flip/decode/count trial: child
+    // seeds are split from the master generator up front (one draw
+    // per sample), the trials run on the thread pool, and the
+    // aggregation below walks the results in sample order — so the
+    // output is identical at any thread count.
+    struct Sample
+    {
+        bool valid = false;
+        std::size_t f = 0, m = 0;
+        double imp = 0;
+        u64 damagedMbs = 0;
+        int damagedFrames = 0;
+    };
+    const std::size_t samples = 40;
     Rng rng(99);
-    std::vector<double> log_importance, log_damage;
-    u64 max_damaged_mbs = 0;
-    int max_damaged_frames = 0;
+    std::vector<u64> seeds(samples);
+    for (u64 &s : seeds)
+        s = rng.next();
 
-    const int samples = 40;
-    std::printf("%-8s %-6s %14s %14s %14s\n", "frame", "mb",
-                "importance", "damaged MBs", "damaged frames");
-    for (int s = 0; s < samples; ++s) {
-        std::size_t f = rng.nextBelow(enc.side.frames.size());
+    std::vector<Sample> results(samples);
+    parallelFor(samples, [&](std::size_t s) {
+        Rng sample_rng(seeds[s]);
+        std::size_t f =
+            sample_rng.nextBelow(enc.side.frames.size());
         const auto &mbs = enc.side.frames[f].mbs;
-        std::size_t m = rng.nextBelow(mbs.size());
+        std::size_t m = sample_rng.nextBelow(mbs.size());
         if (mbs[m].bitLength == 0)
-            continue;
+            return;
 
         EncodedVideo corrupted = enc.video;
-        u64 bit =
-            mbs[m].bitOffset + rng.nextBelow(mbs[m].bitLength);
+        u64 bit = mbs[m].bitOffset +
+                  sample_rng.nextBelow(mbs[m].bitLength);
         flipBit(corrupted.payloads[f], bit);
         Video decoded = decodeVideo(corrupted);
         auto [damaged_mbs, damaged_frames] =
             countDamage(clean, decoded);
 
-        max_damaged_mbs = std::max(max_damaged_mbs, damaged_mbs);
-        max_damaged_frames =
-            std::max(max_damaged_frames, damaged_frames);
+        Sample &out = results[s];
+        out.valid = true;
+        out.f = f;
+        out.m = m;
+        out.imp = importance.values[f][m];
+        out.damagedMbs = damaged_mbs;
+        out.damagedFrames = damaged_frames;
+    });
 
-        double imp = importance.values[f][m];
-        if (damaged_mbs > 0) {
-            log_importance.push_back(std::log2(imp));
+    std::vector<double> log_importance, log_damage;
+    u64 max_damaged_mbs = 0;
+    int max_damaged_frames = 0;
+    std::printf("%-8s %-6s %14s %14s %14s\n", "frame", "mb",
+                "importance", "damaged MBs", "damaged frames");
+    for (std::size_t s = 0; s < samples; ++s) {
+        const Sample &r = results[s];
+        if (!r.valid)
+            continue;
+        max_damaged_mbs = std::max(max_damaged_mbs, r.damagedMbs);
+        max_damaged_frames =
+            std::max(max_damaged_frames, r.damagedFrames);
+        if (r.damagedMbs > 0) {
+            log_importance.push_back(std::log2(r.imp));
             log_damage.push_back(
-                std::log2(static_cast<double>(damaged_mbs)));
+                std::log2(static_cast<double>(r.damagedMbs)));
         }
         if (s < 12)
-            std::printf("%-8zu %-6zu %14.1f %14llu %14d\n", f, m,
-                        imp,
-                        static_cast<unsigned long long>(damaged_mbs),
-                        damaged_frames);
+            std::printf(
+                "%-8zu %-6zu %14.1f %14llu %14d\n", r.f, r.m,
+                r.imp,
+                static_cast<unsigned long long>(r.damagedMbs),
+                r.damagedFrames);
     }
 
     // Pearson correlation in log space.

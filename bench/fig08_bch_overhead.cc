@@ -48,7 +48,7 @@ crossCheckRealCodec()
 
     double analytic = scheme.blockFailureRate(raw);
 
-    BchCode code(scheme.t);
+    const BchCode &code = cachedBchCode(scheme.t);
     Rng rng(1234);
     int failures = 0;
     for (int b = 0; b < blocks; ++b) {

@@ -1,0 +1,306 @@
+/**
+ * @file
+ * Performance of the parallel trial layer and the word-packed BCH
+ * hot path (not a paper figure — an engineering bench).
+ *
+ * Three measurements, written to BENCH_pipeline.json:
+ *  1. prepare / store+retrieve wall time at 1/2/4/8 threads, with
+ *     throughput (Mbit/s of stored payload) and speedup vs 1 thread.
+ *  2. single-thread BCH codec: packed byte path (encodeBytes /
+ *     decodeBytes) vs the bit-vector reference path on the same
+ *     blocks.
+ *  3. a determinism check: storeAndRetrieve with the same seed at 1
+ *     and 4 threads must produce the identical outcome.
+ *
+ * Thread counts above the machine's core count still run (the pool
+ * just oversubscribes), so the JSON is always four rows; speedups
+ * saturate at the physical core count.
+ */
+
+#include <chrono>
+#include <cstdio>
+#include <vector>
+
+#include "common/parallel.h"
+#include "common/rng.h"
+#include "core/pipeline.h"
+#include "sim/bench_config.h"
+#include "storage/bch.h"
+
+namespace videoapp {
+namespace {
+
+double
+now()
+{
+    using clock = std::chrono::steady_clock;
+    return std::chrono::duration<double>(
+               clock::now().time_since_epoch())
+        .count();
+}
+
+struct ThreadPoint
+{
+    int threads = 0;
+    double prepareSeconds = 0;
+    double storeRetrieveSeconds = 0;
+    double mbitPerSecond = 0;
+    double speedup = 0;
+};
+
+struct BchPoint
+{
+    double referenceEncodeSeconds = 0;
+    double packedEncodeSeconds = 0;
+    double referenceDecodeSeconds = 0;
+    double packedDecodeSeconds = 0;
+    double encodeSpeedup = 0;
+    double decodeSpeedup = 0;
+};
+
+/** Identical storage outcome? (bitwise on every scalar). */
+bool
+sameOutcome(const StorageOutcome &a, const StorageOutcome &b)
+{
+    if (a.psnrVsReference != b.psnrVsReference ||
+        a.cellsPerPixel != b.cellsPerPixel ||
+        a.payloadBits != b.payloadBits ||
+        a.parityBits != b.parityBits ||
+        a.decoded.frames.size() != b.decoded.frames.size())
+        return false;
+    for (std::size_t f = 0; f < a.decoded.frames.size(); ++f) {
+        const Frame &fa = a.decoded.frames[f];
+        const Frame &fb = b.decoded.frames[f];
+        for (int y = 0; y < fa.y().height(); ++y)
+            for (int x = 0; x < fa.y().width(); ++x)
+                if (fa.y().at(x, y) != fb.y().at(x, y))
+                    return false;
+    }
+    return true;
+}
+
+std::vector<ThreadPoint>
+benchPipeline(const BenchConfig &config, const Video &source)
+{
+    const std::vector<int> counts = {1, 2, 4, 8};
+    std::vector<ThreadPoint> points;
+
+    ModeledChannel channel(kPcmRawBer);
+    const int iters = std::max(2, config.runs);
+
+    for (int n : counts) {
+        setThreadCount(n);
+        ThreadPoint p;
+        p.threads = n;
+
+        double t0 = now();
+        PreparedVideo prepared = prepareVideo(
+            source, EncoderConfig{}, EccAssignment::paperTable1());
+        p.prepareSeconds = now() - t0;
+
+        u64 stored_bits = 0;
+        t0 = now();
+        for (int i = 0; i < iters; ++i) {
+            Rng rng = Rng::forStream(5150, static_cast<u64>(i));
+            StorageOutcome outcome =
+                storeAndRetrieve(prepared, channel, rng);
+            stored_bits += outcome.payloadBits + outcome.parityBits;
+        }
+        p.storeRetrieveSeconds = now() - t0;
+        p.mbitPerSecond = p.storeRetrieveSeconds > 0
+                              ? static_cast<double>(stored_bits) /
+                                    p.storeRetrieveSeconds / 1e6
+                              : 0;
+        points.push_back(p);
+    }
+
+    for (ThreadPoint &p : points) {
+        double base = points.front().storeRetrieveSeconds;
+        p.speedup = p.storeRetrieveSeconds > 0
+                        ? base / p.storeRetrieveSeconds
+                        : 0;
+    }
+    setThreadCount(0); // back to the environment default
+    return points;
+}
+
+BchPoint
+benchBch()
+{
+    const int t = 6;
+    const BchCode &code = cachedBchCode(t);
+    const int blocks = 1500;
+
+    // Pre-generate random blocks (identical inputs for both paths).
+    Rng rng(31337);
+    std::vector<Bytes> data(blocks,
+                            Bytes(code.dataBits() / 8, 0));
+    for (Bytes &block : data)
+        for (u8 &byte : block)
+            byte = static_cast<u8>(rng.nextBelow(256));
+
+    BchPoint p;
+    Bytes codeword(code.codewordBytes(), 0);
+
+    // --- encode ---
+    double t0 = now();
+    for (const Bytes &block : data) {
+        BitVec bits = unpackBits(block,
+                                 static_cast<std::size_t>(
+                                     code.dataBits()));
+        BitVec cw = code.encodeReference(bits);
+        (void)cw;
+    }
+    p.referenceEncodeSeconds = now() - t0;
+
+    t0 = now();
+    for (const Bytes &block : data)
+        code.encodeBytes(block.data(), codeword.data());
+    p.packedEncodeSeconds = now() - t0;
+
+    // --- decode (t injected errors per block) ---
+    std::vector<Bytes> corrupted(blocks);
+    for (int b = 0; b < blocks; ++b) {
+        code.encodeBytes(data[static_cast<std::size_t>(b)].data(),
+                         codeword.data());
+        Bytes cw = codeword;
+        for (int e = 0; e < t; ++e) {
+            u64 bit = rng.nextBelow(
+                static_cast<u64>(code.codewordBits()));
+            cw[bit / 8] ^= static_cast<u8>(0x80u >> (bit % 8));
+        }
+        corrupted[static_cast<std::size_t>(b)] = std::move(cw);
+    }
+
+    t0 = now();
+    for (const Bytes &cw : corrupted) {
+        BitVec bits = unpackBits(
+            cw, static_cast<std::size_t>(code.codewordBits()));
+        auto result = code.decodeReference(bits);
+        (void)result;
+    }
+    p.referenceDecodeSeconds = now() - t0;
+
+    t0 = now();
+    for (Bytes cw : corrupted) {
+        auto result = code.decodeBytes(cw.data());
+        (void)result;
+    }
+    p.packedDecodeSeconds = now() - t0;
+
+    p.encodeSpeedup = p.packedEncodeSeconds > 0
+                          ? p.referenceEncodeSeconds /
+                                p.packedEncodeSeconds
+                          : 0;
+    p.decodeSpeedup = p.packedDecodeSeconds > 0
+                          ? p.referenceDecodeSeconds /
+                                p.packedDecodeSeconds
+                          : 0;
+    return p;
+}
+
+bool
+checkDeterminism(const Video &source)
+{
+    PreparedVideo prepared = prepareVideo(
+        source, EncoderConfig{}, EccAssignment::paperTable1());
+    ModeledChannel channel(kPcmRawBer);
+
+    setThreadCount(1);
+    Rng rng_seq(777);
+    StorageOutcome sequential =
+        storeAndRetrieve(prepared, channel, rng_seq);
+
+    setThreadCount(4);
+    Rng rng_par(777);
+    StorageOutcome parallel =
+        storeAndRetrieve(prepared, channel, rng_par);
+
+    setThreadCount(0);
+    return sameOutcome(sequential, parallel);
+}
+
+void
+writeJson(const std::vector<ThreadPoint> &points, const BchPoint &bch,
+          bool deterministic)
+{
+    std::FILE *f = std::fopen("BENCH_pipeline.json", "w");
+    if (!f) {
+        std::perror("BENCH_pipeline.json");
+        return;
+    }
+    std::fprintf(f, "{\n  \"bench\": \"perf_pipeline\",\n");
+    std::fprintf(f, "  \"threads\": [\n");
+    for (std::size_t i = 0; i < points.size(); ++i) {
+        const ThreadPoint &p = points[i];
+        std::fprintf(f,
+                     "    {\"threads\": %d, \"prepare_s\": %.6f, "
+                     "\"store_retrieve_s\": %.6f, "
+                     "\"mbit_per_s\": %.3f, \"speedup\": %.3f}%s\n",
+                     p.threads, p.prepareSeconds,
+                     p.storeRetrieveSeconds, p.mbitPerSecond,
+                     p.speedup,
+                     i + 1 < points.size() ? "," : "");
+    }
+    std::fprintf(f, "  ],\n");
+    std::fprintf(
+        f,
+        "  \"bch_single_thread\": {\"reference_encode_s\": %.6f, "
+        "\"packed_encode_s\": %.6f, \"encode_speedup\": %.3f, "
+        "\"reference_decode_s\": %.6f, \"packed_decode_s\": %.6f, "
+        "\"decode_speedup\": %.3f},\n",
+        bch.referenceEncodeSeconds, bch.packedEncodeSeconds,
+        bch.encodeSpeedup, bch.referenceDecodeSeconds,
+        bch.packedDecodeSeconds, bch.decodeSpeedup);
+    std::fprintf(f,
+                 "  \"parallel_equals_sequential\": %s\n}\n",
+                 deterministic ? "true" : "false");
+    std::fclose(f);
+}
+
+void
+run(const BenchConfig &config)
+{
+    Video source = generateSynthetic(config.suite()[0]);
+
+    std::printf("%-8s %12s %18s %12s %9s\n", "threads",
+                "prepare (s)", "store+retrieve (s)", "Mbit/s",
+                "speedup");
+    std::vector<ThreadPoint> points = benchPipeline(config, source);
+    for (const ThreadPoint &p : points)
+        std::printf("%-8d %12.3f %18.3f %12.2f %8.2fx\n", p.threads,
+                    p.prepareSeconds, p.storeRetrieveSeconds,
+                    p.mbitPerSecond, p.speedup);
+
+    BchPoint bch = benchBch();
+    std::printf("\nBCH-6 single-thread codec (1500 blocks):\n"
+                "  encode: reference %.3f s, packed %.3f s "
+                "(%.2fx)\n"
+                "  decode: reference %.3f s, packed %.3f s "
+                "(%.2fx)\n",
+                bch.referenceEncodeSeconds, bch.packedEncodeSeconds,
+                bch.encodeSpeedup, bch.referenceDecodeSeconds,
+                bch.packedDecodeSeconds, bch.decodeSpeedup);
+
+    bool deterministic = checkDeterminism(source);
+    std::printf("\nparallel == sequential outcome: %s\n",
+                deterministic ? "yes" : "NO (BUG)");
+
+    writeJson(points, bch, deterministic);
+    std::printf("wrote BENCH_pipeline.json\n");
+}
+
+} // namespace
+} // namespace videoapp
+
+int
+main()
+{
+    using namespace videoapp;
+    BenchConfig config = BenchConfig::fromEnv();
+    printBenchBanner(
+        "perf: parallel pipeline and word-packed BCH hot path",
+        config);
+    run(config);
+    return 0;
+}

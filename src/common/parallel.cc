@@ -1,0 +1,210 @@
+#include "common/parallel.h"
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <cstdlib>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace videoapp {
+
+namespace {
+
+/** True on pool worker threads; nested parallelFor runs inline. */
+thread_local bool t_in_worker = false;
+
+int
+defaultThreadCount()
+{
+    if (const char *env = std::getenv("VIDEOAPP_THREADS")) {
+        int n = std::atoi(env);
+        if (n >= 1)
+            return n;
+    }
+    unsigned hw = std::thread::hardware_concurrency();
+    return hw ? static_cast<int>(hw) : 1;
+}
+
+/**
+ * One parallelFor invocation: a dynamically chunked index range the
+ * workers and the caller drain together.
+ */
+struct Job
+{
+    std::size_t n = 0;
+    std::size_t chunk = 1;
+    const std::function<void(std::size_t)> *fn = nullptr;
+    std::atomic<std::size_t> next{0};
+    std::exception_ptr error;
+    std::mutex errorMutex;
+
+    /** Claim and execute chunks until the range is exhausted. */
+    void
+    runSlice()
+    {
+        bool was_worker = t_in_worker;
+        t_in_worker = true;
+        for (;;) {
+            std::size_t begin = next.fetch_add(chunk);
+            if (begin >= n)
+                break;
+            std::size_t end = std::min(begin + chunk, n);
+            try {
+                for (std::size_t i = begin; i < end; ++i)
+                    (*fn)(i);
+            } catch (...) {
+                std::lock_guard<std::mutex> lock(errorMutex);
+                if (!error)
+                    error = std::current_exception();
+            }
+        }
+        t_in_worker = was_worker;
+    }
+};
+
+class ThreadPool
+{
+  public:
+    explicit ThreadPool(int threads)
+    {
+        for (int i = 0; i + 1 < threads; ++i)
+            workers_.emplace_back([this] { workerLoop(); });
+    }
+
+    ~ThreadPool()
+    {
+        {
+            std::lock_guard<std::mutex> lock(mutex_);
+            stop_ = true;
+        }
+        wake_.notify_all();
+        for (auto &w : workers_)
+            w.join();
+    }
+
+    int size() const { return static_cast<int>(workers_.size()) + 1; }
+
+    void
+    run(Job &job)
+    {
+        // One top-level parallelFor at a time; concurrent callers
+        // queue here (nested calls never reach run()).
+        std::lock_guard<std::mutex> run_lock(runMutex_);
+        {
+            std::lock_guard<std::mutex> lock(mutex_);
+            job_ = &job;
+            ++generation_;
+        }
+        wake_.notify_all();
+        job.runSlice(); // the caller is worker 0
+        // The caller's slice only returns once every chunk is
+        // claimed; wait for workers still running theirs. active_
+        // is mutated under mutex_, so once it reaches zero no
+        // worker holds a pointer to the (stack-allocated) job.
+        std::unique_lock<std::mutex> lock(mutex_);
+        idle_.wait(lock, [&] { return active_ == 0; });
+        job_ = nullptr;
+    }
+
+  private:
+    void
+    workerLoop()
+    {
+        std::uint64_t seen = 0;
+        for (;;) {
+            Job *job = nullptr;
+            {
+                std::unique_lock<std::mutex> lock(mutex_);
+                wake_.wait(lock, [&] {
+                    return stop_ || (job_ && generation_ != seen);
+                });
+                if (stop_)
+                    return;
+                job = job_;
+                seen = generation_;
+                ++active_;
+            }
+            job->runSlice();
+            {
+                std::lock_guard<std::mutex> lock(mutex_);
+                --active_;
+            }
+            idle_.notify_all();
+        }
+    }
+
+    std::vector<std::thread> workers_;
+    std::mutex runMutex_;
+    std::mutex mutex_;
+    std::condition_variable wake_;
+    std::condition_variable idle_;
+    Job *job_ = nullptr;
+    std::uint64_t generation_ = 0;
+    int active_ = 0;
+    bool stop_ = false;
+};
+
+std::mutex g_pool_mutex;
+std::unique_ptr<ThreadPool> g_pool;
+int g_requested_threads = 0; // 0 = resolve from env/hardware
+
+ThreadPool &
+pool()
+{
+    std::lock_guard<std::mutex> lock(g_pool_mutex);
+    int want = g_requested_threads >= 1 ? g_requested_threads
+                                        : defaultThreadCount();
+    if (!g_pool || g_pool->size() != want)
+        g_pool = std::make_unique<ThreadPool>(want);
+    return *g_pool;
+}
+
+} // namespace
+
+int
+threadCount()
+{
+    std::lock_guard<std::mutex> lock(g_pool_mutex);
+    return g_requested_threads >= 1 ? g_requested_threads
+                                    : defaultThreadCount();
+}
+
+void
+setThreadCount(int n)
+{
+    std::lock_guard<std::mutex> lock(g_pool_mutex);
+    g_requested_threads = n >= 1 ? n : 0;
+    g_pool.reset(); // relaunched at the right size on next use
+}
+
+void
+parallelFor(std::size_t n, const std::function<void(std::size_t)> &fn)
+{
+    if (n == 0)
+        return;
+    if (n == 1 || t_in_worker || threadCount() == 1) {
+        bool was_worker = t_in_worker;
+        t_in_worker = true; // inline nested loops below this one too
+        for (std::size_t i = 0; i < n; ++i)
+            fn(i);
+        t_in_worker = was_worker;
+        return;
+    }
+
+    ThreadPool &p = pool();
+    Job job;
+    job.n = n;
+    // ~8 chunks per thread balances uneven work without contending
+    // on the shared counter.
+    job.chunk = std::max<std::size_t>(
+        1, n / (static_cast<std::size_t>(p.size()) * 8));
+    job.fn = &fn;
+    p.run(job);
+    if (job.error)
+        std::rethrow_exception(job.error);
+}
+
+} // namespace videoapp

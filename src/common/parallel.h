@@ -1,0 +1,59 @@
+/**
+ * @file
+ * Fixed-size thread pool and the parallelFor primitive behind the
+ * Monte Carlo trial loops, per-stream storage, and per-frame
+ * importance analysis.
+ *
+ * The pool is process-wide and lazy: the first parallelFor spins up
+ * threadCount() - 1 workers (the calling thread also executes work).
+ * The thread count comes from VIDEOAPP_THREADS when set, otherwise
+ * std::thread::hardware_concurrency(); benches override it with
+ * setThreadCount().
+ *
+ * Determinism contract: parallelFor partitions [0, n) dynamically,
+ * so callers must make each index's work independent of execution
+ * order — draw per-index RNG seeds *before* the loop (see
+ * Rng::forStream) and reduce results from an index-addressed buffer
+ * *after* it. Every parallelized loop in this repo follows that
+ * pattern, which is why parallel runs are bit-identical to
+ * sequential ones.
+ *
+ * Nested parallelFor calls execute inline on the calling worker, so
+ * composed layers (e.g. parallel trials each calling the
+ * parallel-per-stream storeAndRetrieve) cannot deadlock the pool.
+ */
+
+#ifndef VIDEOAPP_COMMON_PARALLEL_H_
+#define VIDEOAPP_COMMON_PARALLEL_H_
+
+#include <cstddef>
+#include <functional>
+
+namespace videoapp {
+
+/**
+ * Worker threads used by parallelFor: VIDEOAPP_THREADS if set (>= 1),
+ * else hardware_concurrency(), never less than 1.
+ */
+int threadCount();
+
+/**
+ * Override the pool size (tears down and relaunches the pool).
+ * @p n < 1 resets to the environment/hardware default. Must not be
+ * called concurrently with parallelFor.
+ */
+void setThreadCount(int n);
+
+/**
+ * Run fn(i) for every i in [0, n). Blocks until all indices finish.
+ * Executes inline when the pool has one thread, n <= 1, or the
+ * caller is itself a pool worker (nested loop). The first exception
+ * thrown by fn is rethrown on the calling thread after the loop
+ * drains.
+ */
+void parallelFor(std::size_t n,
+                 const std::function<void(std::size_t)> &fn);
+
+} // namespace videoapp
+
+#endif // VIDEOAPP_COMMON_PARALLEL_H_

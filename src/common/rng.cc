@@ -143,4 +143,23 @@ Rng::split()
     return Rng(next());
 }
 
+u64
+Rng::deriveSeed(u64 master, u64 stream)
+{
+    // Two rounds of splitmix64 over the (master, stream) pair: the
+    // finalizer is bijective per round, so distinct streams under
+    // one master never collide after the first round, and the
+    // second decorrelates nearby masters.
+    u64 x = master;
+    u64 h = splitmix64(x); // advances x
+    x ^= (stream + 1) * 0xBF58476D1CE4E5B9ull;
+    return splitmix64(x) ^ h;
+}
+
+Rng
+Rng::forStream(u64 master, u64 stream)
+{
+    return Rng(deriveSeed(master, stream));
+}
+
 } // namespace videoapp

@@ -52,6 +52,18 @@ class Rng
     /** Derive an independent generator (for per-run streams). */
     Rng split();
 
+    /**
+     * Deterministically mix a @p master seed with a @p stream index
+     * into an independent child seed. Unlike split(), this does not
+     * consume generator state, so trial i's seed is the same whether
+     * trials run sequentially or in parallel — the basis of the
+     * parallel runner's bit-identical-to-sequential guarantee.
+     */
+    static u64 deriveSeed(u64 master, u64 stream);
+
+    /** Child generator seeded with deriveSeed(master, stream). */
+    static Rng forStream(u64 master, u64 stream);
+
   private:
     u64 s_[4];
     double cachedGauss_ = 0.0;

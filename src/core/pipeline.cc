@@ -1,5 +1,6 @@
 #include "core/pipeline.h"
 
+#include "common/parallel.h"
 #include "quality/psnr.h"
 
 namespace videoapp {
@@ -56,25 +57,54 @@ storeAndRetrieve(const PreparedVideo &prepared,
             encryption->mode, encryption->key, encryption->masterIv);
     }
 
-    // Store each reliability stream with its own scheme.
-    StreamSet retrieved;
-    StorageAccountant accountant(3);
+    // Store each reliability stream with its own scheme, in
+    // parallel. Per-stream child generators are seeded from @p rng
+    // in stream order before the loop and results merged in stream
+    // order after it, so the outcome is identical at any thread
+    // count (and to the sequential run with the same seed).
+    struct StreamWork
+    {
+        int t = 0;
+        const Bytes *data = nullptr;
+        u64 seed = 0;
+        Bytes read;
+        u64 storedBits = 0;
+    };
+    std::vector<StreamWork> work;
+    work.reserve(prepared.streams.data.size());
     for (const auto &[t, data] : prepared.streams.data) {
-        EccScheme scheme{t};
-        Bytes to_store = data;
+        StreamWork w;
+        w.t = t;
+        w.data = &data;
+        w.seed = rng.next();
+        work.push_back(std::move(w));
+    }
+
+    parallelFor(work.size(), [&](std::size_t i) {
+        StreamWork &w = work[i];
+        EccScheme scheme{w.t};
+        Rng stream_rng(w.seed);
+        Bytes to_store = *w.data;
         if (cryptor)
             to_store = cryptor->encryptStream(
-                static_cast<u32>(t), to_store);
+                static_cast<u32>(w.t), to_store);
 
-        Bytes read = channel.roundTrip(to_store, scheme, rng);
+        Bytes read = channel.roundTrip(to_store, scheme, stream_rng);
 
         if (cryptor)
-            read = cryptor->decryptStream(static_cast<u32>(t), read,
-                                          data.size());
-        retrieved.data[t] = std::move(read);
-        retrieved.bitLength[t] = prepared.streams.bitLength.at(t);
-        // Account the stored (possibly padded) size.
-        accountant.addStream(to_store.size() * 8, scheme);
+            read = cryptor->decryptStream(static_cast<u32>(w.t),
+                                          read, w.data->size());
+        w.read = std::move(read);
+        w.storedBits = to_store.size() * 8; // stored (padded) size
+    });
+
+    StreamSet retrieved;
+    StorageAccountant accountant(3);
+    for (StreamWork &w : work) {
+        retrieved.data[w.t] = std::move(w.read);
+        retrieved.bitLength[w.t] =
+            prepared.streams.bitLength.at(w.t);
+        accountant.addStream(w.storedBits, EccScheme{w.t});
     }
     accountant.addPreciseBits(prepared.headerBits());
 

@@ -84,6 +84,11 @@ struct EncryptionConfig
  * scheme; headers are precise by construction), retrieve, decode and
  * measure. @p encryption, when set, encrypts each stream before
  * storage and decrypts after retrieval (Section 5.3).
+ *
+ * Streams are stored concurrently on the parallelFor pool: @p rng is
+ * consumed only to seed one child generator per stream (in stream
+ * order, before the parallel region), so the outcome is bit-identical
+ * at any thread count.
  */
 StorageOutcome storeAndRetrieve(
     const PreparedVideo &prepared, const StorageChannel &channel,

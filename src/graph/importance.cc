@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 
+#include "common/parallel.h"
 #include "graph/topo_sort.h"
 
 namespace videoapp {
@@ -37,27 +38,32 @@ buildCompensationGraph(const EncodeSideInfo &side,
 }
 
 /**
- * Coding graph: within each slice, a weight-1 chain in scan order
- * (Section 4.2 — an error in MB i damages every subsequent MB of the
- * slice through entropy desync and metadata misprediction).
+ * Coding-chain accumulation (steps 5-8, Section 4.2): within each
+ * slice, an error in MB i damages every subsequent MB through
+ * entropy desync and metadata misprediction — a weight-1 chain in
+ * scan order, i.e. a suffix sum walked from the slice tail. Slices
+ * are independent, so frames run on the parallelFor pool; the
+ * per-chain additions happen in the same order as the equivalent
+ * coding-DAG backward walk, keeping results bit-identical to the
+ * sequential graph formulation.
  */
-WeightedDag
-buildCodingGraph(const EncodeSideInfo &side, const EncodedVideo &video,
-                 std::size_t mb_per_frame)
+void
+accumulateCodingChains(std::vector<std::vector<double>> &values,
+                       const EncodedVideo &video,
+                       std::size_t mb_per_frame)
 {
-    WeightedDag dag(side.frames.size() * mb_per_frame);
-    for (std::size_t f = 0; f < video.frameHeaders.size() &&
-                            f < side.frames.size();
-         ++f) {
-        for (const SliceRecord &slice : video.frameHeaders[f].slices) {
+    std::size_t frames =
+        std::min(values.size(), video.frameHeaders.size());
+    parallelFor(frames, [&](std::size_t f) {
+        std::vector<double> &out = values[f];
+        for (const SliceRecord &slice :
+             video.frameHeaders[f].slices) {
             u32 end = std::min<u32>(slice.firstMb + slice.mbCount,
                                     static_cast<u32>(mb_per_frame));
-            for (u32 m = slice.firstMb; m + 1 < end; ++m)
-                dag.addEdge(nodeId(f, m, mb_per_frame),
-                            nodeId(f, m + 1, mb_per_frame), 1.0f);
+            for (u32 m = end; m-- > slice.firstMb + 1;)
+                out[m - 1] += out[m];
         }
-    }
-    return dag;
+    });
 }
 
 ImportanceMap
@@ -131,12 +137,11 @@ computeImportance(const EncodeSideInfo &side, const EncodedVideo &video)
     std::vector<double> comp_importance =
         accumulateImportance(comp, init);
 
-    // Steps 5-8: coding graph seeded with compensation importance.
-    WeightedDag coding = buildCodingGraph(side, video, mb_per_frame);
-    std::vector<double> final_importance =
-        accumulateImportance(coding, comp_importance);
-
-    return toMap(final_importance, side.frames.size(), mb_per_frame);
+    // Steps 5-8: coding chains seeded with compensation importance.
+    ImportanceMap map =
+        toMap(comp_importance, side.frames.size(), mb_per_frame);
+    accumulateCodingChains(map.values, video, mb_per_frame);
+    return map;
 }
 
 ImportanceMap
@@ -262,17 +267,7 @@ computeImportanceStreaming(const EncodeSideInfo &side,
     // Steps 5-8: the coding chain, independently per slice.
     ImportanceMap map;
     map.values = std::move(comp_importance);
-    for (std::size_t f = 0;
-         f < frames && f < video.frameHeaders.size(); ++f) {
-        std::vector<double> &out = map.values[f];
-        for (const SliceRecord &slice :
-             video.frameHeaders[f].slices) {
-            u32 end = std::min<u32>(slice.firstMb + slice.mbCount,
-                                    static_cast<u32>(mb_per_frame));
-            for (u32 m = end; m-- > slice.firstMb + 1;)
-                out[m - 1] += out[m];
-        }
-    }
+    accumulateCodingChains(map.values, video, mb_per_frame);
     return map;
 }
 

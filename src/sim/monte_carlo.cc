@@ -6,6 +6,7 @@
 
 #include "codec/decoder.h"
 #include "common/bitstream.h"
+#include "common/parallel.h"
 #include "quality/psnr.h"
 
 namespace videoapp {
@@ -75,20 +76,35 @@ measureQualityLoss(const Video &original, const EncodeResult &enc,
                                   std::log1p(-error_rate))
                     : 1.0;
 
-    double total = 0.0;
-    for (int run = 0; run < runs; ++run) {
+    // Trials run in parallel. Each trial's seed is drawn from the
+    // caller's generator *before* the loop, and per-trial losses are
+    // reduced in trial order afterwards, so the result is
+    // bit-identical no matter how many threads execute it (and the
+    // caller's rng advances by exactly `runs` draws either way).
+    std::vector<u64> seeds(static_cast<std::size_t>(runs));
+    for (u64 &s : seeds)
+        s = rng.next();
+
+    std::vector<double> losses(static_cast<std::size_t>(runs), 0.0);
+    parallelFor(static_cast<std::size_t>(runs), [&](std::size_t run) {
+        Rng trial_rng(seeds[run]);
         std::vector<Bytes> payloads = enc.video.payloads;
         if (scaled_mode) {
-            u64 flat = rng.nextBelow(n);
+            u64 flat = trial_rng.nextBelow(n);
             auto [frame, bit] = targets.locate(flat);
             if (frame < payloads.size())
                 flipBit(payloads[frame], bit);
         } else {
-            corruptPayloads(payloads, targets, error_rate, rng);
+            corruptPayloads(payloads, targets, error_rate,
+                            trial_rng);
         }
         Video decoded = decodeWithPayloads(enc, std::move(payloads));
         double psnr = psnrVideo(original, decoded);
-        double loss = std::max(reference - psnr, 0.0) * scale;
+        losses[run] = std::max(reference - psnr, 0.0) * scale;
+    });
+
+    double total = 0.0;
+    for (double loss : losses) {
         total += loss;
         stats.maxLossDb = std::max(stats.maxLossDb, loss);
         ++stats.runs;

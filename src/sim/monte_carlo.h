@@ -32,6 +32,10 @@ struct LossStats
  * @p error_rate and decode.
  * @return per-run dB loss of PSNR(original, corrupted) versus
  *         PSNR(original, clean reconstruction).
+ *
+ * Trials execute on the parallelFor pool with one child generator
+ * per trial (seeds drawn from @p rng up front, one draw per run);
+ * the result is bit-identical at any thread count.
  */
 LossStats measureQualityLoss(const Video &original,
                              const EncodeResult &enc,

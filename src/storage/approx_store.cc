@@ -2,8 +2,6 @@
 
 #include <algorithm>
 
-#include "common/bitstream.h"
-
 #include "storage/error_injector.h"
 
 namespace videoapp {
@@ -28,15 +26,6 @@ RealBchChannel::RealBchChannel(const McPcm &pcm, double seconds)
 {
 }
 
-const BchCode &
-RealBchChannel::codeFor(int t) const
-{
-    auto it = codes_.find(t);
-    if (it == codes_.end())
-        it = codes_.emplace(t, std::make_unique<BchCode>(t)).first;
-    return *it->second;
-}
-
 Bytes
 RealBchChannel::roundTrip(const Bytes &data, const EccScheme &scheme,
                           Rng &rng) const
@@ -50,37 +39,39 @@ RealBchChannel::roundTrip(const Bytes &data, const EccScheme &scheme,
         return out;
     }
 
-    const BchCode &code = codeFor(scheme.t);
-    const std::size_t payload_bits = data.size() * 8;
+    const BchCode &code = cachedBchCode(scheme.t);
+    const std::size_t data_bytes =
+        static_cast<std::size_t>(code.dataBits()) / 8;
     Bytes out(data.size(), 0);
 
-    BitVec block(code.dataBits(), 0);
-    for (std::size_t start = 0; start < payload_bits;
-         start += code.dataBits()) {
-        std::size_t n =
-            std::min<std::size_t>(code.dataBits(), payload_bits - start);
-        // Gather payload bits (zero padded in the last block).
-        std::fill(block.begin(), block.end(), 0);
-        for (std::size_t i = 0; i < n; ++i)
-            block[i] = getBit(data, start + i);
+    // Blocks are 512 data bits = 64 bytes, so each maps to a whole
+    // byte range of the payload; encode/decode straight from packed
+    // bytes (the word-parallel hot path), no per-bit gathering.
+    Bytes block(data_bytes, 0);
+    Bytes stored(code.codewordBytes(), 0);
+    for (std::size_t start = 0; start < data.size();
+         start += data_bytes) {
+        std::size_t nb =
+            std::min<std::size_t>(data_bytes, data.size() - start);
+        std::copy(data.begin() + static_cast<std::ptrdiff_t>(start),
+                  data.begin() +
+                      static_cast<std::ptrdiff_t>(start + nb),
+                  block.begin());
+        std::fill(block.begin() + static_cast<std::ptrdiff_t>(nb),
+                  block.end(), 0); // zero pad the last block
 
-        BitVec codeword = code.encode(block);
-        Bytes stored = packBits(codeword);
+        code.encodeBytes(block.data(), stored.data());
         if (pcm_)
             stored = pcm_->storeAndRead(stored, ageSeconds_, rng);
         else
             injectErrors(stored, rawBer_, rng);
-        BitVec received = unpackBits(stored, codeword.size());
 
-        auto result = code.decode(received);
+        auto result = code.decodeBytes(stored.data());
         (void)result; // failed blocks keep their raw errors
 
-        for (std::size_t i = 0; i < n; ++i) {
-            if (received[i]) {
-                std::size_t p = start + i;
-                out[p / 8] |= static_cast<u8>(0x80u >> (p % 8));
-            }
-        }
+        std::copy(stored.begin(),
+                  stored.begin() + static_cast<std::ptrdiff_t>(nb),
+                  out.begin() + static_cast<std::ptrdiff_t>(start));
     }
     return out;
 }

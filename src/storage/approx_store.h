@@ -16,9 +16,6 @@
 #ifndef VIDEOAPP_STORAGE_APPROX_STORE_H_
 #define VIDEOAPP_STORAGE_APPROX_STORE_H_
 
-#include <map>
-#include <memory>
-
 #include "common/rng.h"
 #include "storage/bch.h"
 #include "storage/ecc_model.h"
@@ -74,12 +71,13 @@ class RealBchChannel : public StorageChannel
                     Rng &rng) const override;
 
   private:
-    const BchCode &codeFor(int t) const;
-
+    // Codes come from the process-wide cachedBchCode() cache, so
+    // channels stay stateless and trials can share one channel
+    // across threads (a lazily filled per-channel map raced once
+    // Monte Carlo trials ran concurrently).
     double rawBer_;
     const McPcm *pcm_ = nullptr;
     double ageSeconds_ = 0.0;
-    mutable std::map<int, std::unique_ptr<BchCode>> codes_;
 };
 
 /**

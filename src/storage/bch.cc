@@ -1,7 +1,11 @@
 #include "storage/bch.h"
 
 #include <cassert>
+#include <map>
+#include <memory>
+#include <mutex>
 #include <set>
+#include <utility>
 
 namespace videoapp {
 
@@ -68,6 +72,49 @@ polyMulBinary(const std::vector<u8> &a, const std::vector<u8> &b)
     return out;
 }
 
+/*
+ * Packed parity register layout ("stream order"): register index i
+ * holds the coefficient of x^(parity-1-i) — i.e. index 0 is the
+ * highest-degree parity coefficient, exactly the order in which
+ * parity bits appear in the systematic codeword. Index i lives in
+ * word i/64 at bit 63 - i%64 (MSB first), matching the codeword
+ * byte packing, so the register can be copied straight into the
+ * output. Bits at index >= parity stay zero by construction: the
+ * stream-left shift pulls zeros in from beyond the register and the
+ * XOR masks never set them.
+ */
+
+/** Shift the stream-ordered register left by one bit. */
+inline void
+shiftLeft1(u64 *reg, int words)
+{
+    for (int w = 0; w < words - 1; ++w)
+        reg[w] = (reg[w] << 1) | (reg[w + 1] >> 63);
+    reg[words - 1] <<= 1;
+}
+
+/** Shift the stream-ordered register left by one byte. */
+inline void
+shiftLeft8(u64 *reg, int words)
+{
+    for (int w = 0; w < words - 1; ++w)
+        reg[w] = (reg[w] << 8) | (reg[w + 1] >> 56);
+    reg[words - 1] <<= 8;
+}
+
+/** Load packed MSB-first bytes into MSB-first u64 words. */
+inline u64
+loadWordBe(const u8 *bytes, std::size_t available)
+{
+    u64 w = 0;
+    for (std::size_t j = 0; j < 8; ++j) {
+        w <<= 8;
+        if (j < available)
+            w |= bytes[j];
+    }
+    return w;
+}
+
 } // namespace
 
 BchCode::BchCode(int t, int data_bits)
@@ -94,10 +141,274 @@ BchCode::BchCode(int t, int data_bits)
 
     assert(k_ + parity_ <= Gf1024::kOrder &&
            "shortened length exceeds the natural code length");
+
+    // Pack g in stream order: genMask_ index i = gen_[parity-1-i].
+    parityWords_ = (parity_ + 63) / 64;
+    genMask_.assign(parityWords_, 0);
+    for (int i = 0; i < parity_; ++i) {
+        if (gen_[parity_ - 1 - i])
+            genMask_[i / 64] |= 1ull << (63 - i % 64);
+    }
+
+    // Byte-step table: byteTable_[v] is the register after feeding
+    // the 8 bits of v into a zero register bit-serially. The CRC
+    // identity R' = (R << 8) ^ T[data_byte ^ top8(R)] then advances
+    // eight data bits per lookup.
+    byteTable_.assign(256 * static_cast<std::size_t>(parityWords_),
+                      0);
+    for (int v = 0; v < 256; ++v) {
+        u64 *entry =
+            &byteTable_[static_cast<std::size_t>(v) * parityWords_];
+        for (int bit = 7; bit >= 0; --bit) {
+            u64 fb = ((static_cast<u64>(v) >> bit) & 1) ^
+                     (entry[0] >> 63);
+            shiftLeft1(entry, parityWords_);
+            if (fb) {
+                for (int w = 0; w < parityWords_; ++w)
+                    entry[w] ^= genMask_[w];
+            }
+        }
+    }
+
+    // Per-byte syndrome table: one XOR of a 2t-entry row folds a
+    // whole received byte into all syndromes at once. Built from the
+    // 8 per-bit contribution vectors of each byte position with the
+    // subset-DP  T[v] = T[v & (v-1)] ^ T[lowest set bit of v].
+    const int n = k_ + parity_;
+    const std::size_t nbytes = codewordBytes();
+    const std::size_t row = static_cast<std::size_t>(2 * t_);
+    syndTable_.assign(nbytes * 256 * row, 0);
+    std::vector<u16> bit_contrib(8 * row);
+    for (std::size_t p = 0; p < nbytes; ++p) {
+        u16 *table = &syndTable_[p * 256 * row];
+        std::fill(bit_contrib.begin(), bit_contrib.end(), 0);
+        for (int b = 0; b < 8; ++b) {
+            int j = static_cast<int>(p) * 8 + (7 - b);
+            if (j >= n)
+                continue; // pad bit: contributes nothing
+            int e = (n - 1 - j) % Gf1024::kOrder;
+            int acc = e;
+            for (std::size_t i = 0; i < row; ++i) {
+                bit_contrib[static_cast<std::size_t>(b) * row + i] =
+                    gf.alphaPow(acc);
+                acc += e;
+                if (acc >= Gf1024::kOrder)
+                    acc -= Gf1024::kOrder;
+            }
+        }
+        for (int v = 1; v < 256; ++v) {
+            const u16 *lower = &table[static_cast<std::size_t>(
+                                          v & (v - 1)) *
+                                      row];
+            const u16 *bit =
+                &bit_contrib[static_cast<std::size_t>(
+                                 __builtin_ctz(
+                                     static_cast<unsigned>(v))) *
+                             row];
+            u16 *out = &table[static_cast<std::size_t>(v) * row];
+            for (std::size_t i = 0; i < row; ++i)
+                out[i] = lower[i] ^ bit[i];
+        }
+    }
+}
+
+void
+BchCode::parityOf(const u8 *data, std::size_t bit_count,
+                  u64 *reg) const
+{
+    for (int w = 0; w < parityWords_; ++w)
+        reg[w] = 0;
+
+    const std::size_t full_bytes = bit_count / 8;
+    for (std::size_t b = 0; b < full_bytes; ++b) {
+        u64 f = (data[b] ^ (reg[0] >> 56)) & 0xff;
+        shiftLeft8(reg, parityWords_);
+        const u64 *entry = &byteTable_[f * parityWords_];
+        for (int w = 0; w < parityWords_; ++w)
+            reg[w] ^= entry[w];
+    }
+    // Tail bits (only when dataBits() is not byte aligned).
+    for (std::size_t i = full_bytes * 8; i < bit_count; ++i) {
+        u64 d = (data[i / 8] >> (7 - i % 8)) & 1;
+        u64 fb = d ^ (reg[0] >> 63);
+        shiftLeft1(reg, parityWords_);
+        if (fb) {
+            for (int w = 0; w < parityWords_; ++w)
+                reg[w] ^= genMask_[w];
+        }
+    }
+}
+
+void
+BchCode::encodeBytes(const u8 *data, u8 *codeword) const
+{
+    assert(k_ % 8 == 0 &&
+           "packed byte encoding needs byte-aligned data length");
+
+    u64 reg[16];
+    parityOf(data, static_cast<std::size_t>(k_), reg);
+
+    const std::size_t data_bytes = static_cast<std::size_t>(k_) / 8;
+    for (std::size_t b = 0; b < data_bytes; ++b)
+        codeword[b] = data[b];
+    const std::size_t parity_bytes = codewordBytes() - data_bytes;
+    for (std::size_t b = 0; b < parity_bytes; ++b)
+        codeword[data_bytes + b] = static_cast<u8>(
+            reg[b / 8] >> (56 - 8 * (b % 8)));
 }
 
 BitVec
 BchCode::encode(const BitVec &data) const
+{
+    assert(static_cast<int>(data.size()) == k_);
+
+    Bytes packed = packBits(data);
+    u64 reg[16];
+    parityOf(packed.data(), static_cast<std::size_t>(k_), reg);
+
+    BitVec codeword(k_ + parity_);
+    for (int i = 0; i < k_; ++i)
+        codeword[i] = data[i];
+    for (int i = 0; i < parity_; ++i)
+        codeword[k_ + i] = static_cast<u8>(
+            (reg[i / 64] >> (63 - i % 64)) & 1);
+    return codeword;
+}
+
+BchCode::DecodeResult
+BchCode::decodeBytes(u8 *codeword) const
+{
+    const Gf1024 &gf = Gf1024::instance();
+    const int n = k_ + parity_;
+    const std::size_t nbytes = codewordBytes();
+
+    // Syndromes S_i = r(alpha^i), i = 1..2t: fold each received
+    // byte into all 2t syndromes with one precomputed row XOR (pad
+    // bits beyond n are zeroed inside the table).
+    const std::size_t row = static_cast<std::size_t>(2 * t_);
+    std::vector<u16> synd(row, 0);
+    for (std::size_t p = 0; p < nbytes; ++p) {
+        u8 v = codeword[p];
+        if (!v)
+            continue;
+        const u16 *entry =
+            &syndTable_[(p * 256 + v) * row];
+        for (std::size_t i = 0; i < row; ++i)
+            synd[i] ^= entry[i];
+    }
+
+    bool all_zero = true;
+    for (u16 s : synd) {
+        if (s) {
+            all_zero = false;
+            break;
+        }
+    }
+    if (all_zero)
+        return {true, 0};
+
+    // Berlekamp-Massey: find the error locator polynomial C(x).
+    std::vector<u16> c{1}, b{1};
+    int l = 0, m = 1;
+    u16 bb = 1;
+    for (int step = 0; step < 2 * t_; ++step) {
+        u16 d = synd[step];
+        for (int i = 1; i <= l && i < static_cast<int>(c.size()); ++i) {
+            if (c[i] && synd[step - i])
+                d ^= gf.mul(c[i], synd[step - i]);
+        }
+        if (d == 0) {
+            ++m;
+        } else if (2 * l <= step) {
+            std::vector<u16> temp = c;
+            u16 coeff = gf.div(d, bb);
+            if (c.size() < b.size() + m)
+                c.resize(b.size() + m, 0);
+            for (std::size_t i = 0; i < b.size(); ++i) {
+                if (b[i])
+                    c[i + m] ^= gf.mul(coeff, b[i]);
+            }
+            l = step + 1 - l;
+            b = temp;
+            bb = d;
+            m = 1;
+        } else {
+            u16 coeff = gf.div(d, bb);
+            if (c.size() < b.size() + m)
+                c.resize(b.size() + m, 0);
+            for (std::size_t i = 0; i < b.size(); ++i) {
+                if (b[i])
+                    c[i + m] ^= gf.mul(coeff, b[i]);
+            }
+            ++m;
+        }
+    }
+
+    if (l > t_)
+        return {false, 0}; // more errors than the code can locate
+
+    // Chien search restricted to the shortened positions, stopping
+    // once all l roots are found (a degree-l locator has no more).
+    // Evaluated in the log domain: C(alpha^{-e}) = sum_i c_i *
+    // alpha^{-i*e}, so each nonzero coefficient keeps a running
+    // exponent bumped by -i per position — one antilog lookup per
+    // term instead of a field multiply.
+    u16 constant = 0;
+    int nterms = 0;
+    int term_acc[2 * 58 + 1];
+    int term_step[2 * 58 + 1];
+    for (std::size_t i = 0; i < c.size(); ++i) {
+        if (!c[i])
+            continue;
+        if (i == 0) {
+            constant = c[i];
+            continue;
+        }
+        term_acc[nterms] = gf.log(c[i]);
+        term_step[nterms] =
+            Gf1024::kOrder -
+            static_cast<int>(i) % Gf1024::kOrder;
+        ++nterms;
+    }
+    std::vector<int> error_positions;
+    for (int e = 0; e < n; ++e) {
+        u16 val = constant;
+        for (int i = 0; i < nterms; ++i) {
+            val ^= gf.alphaPow(term_acc[i]);
+            term_acc[i] += term_step[i];
+            if (term_acc[i] >= Gf1024::kOrder)
+                term_acc[i] -= Gf1024::kOrder;
+        }
+        if (val == 0) {
+            error_positions.push_back(n - 1 - e);
+            if (static_cast<int>(error_positions.size()) == l)
+                break;
+        }
+    }
+
+    if (static_cast<int>(error_positions.size()) != l)
+        return {false, 0}; // locator has roots outside the block
+
+    for (int pos : error_positions)
+        codeword[pos / 8] ^= static_cast<u8>(0x80u >> (pos % 8));
+    return {true, l};
+}
+
+BchCode::DecodeResult
+BchCode::decode(BitVec &codeword) const
+{
+    const int n = k_ + parity_;
+    assert(static_cast<int>(codeword.size()) == n);
+
+    Bytes packed = packBits(codeword);
+    DecodeResult result = decodeBytes(packed.data());
+    if (result.ok && result.corrected > 0)
+        codeword = unpackBits(packed, static_cast<std::size_t>(n));
+    return result;
+}
+
+BitVec
+BchCode::encodeReference(const BitVec &data) const
 {
     assert(static_cast<int>(data.size()) == k_);
 
@@ -123,7 +434,7 @@ BchCode::encode(const BitVec &data) const
 }
 
 BchCode::DecodeResult
-BchCode::decode(BitVec &codeword) const
+BchCode::decodeReference(BitVec &codeword) const
 {
     const Gf1024 &gf = Gf1024::instance();
     const int n = k_ + parity_;
@@ -132,16 +443,13 @@ BchCode::decode(BitVec &codeword) const
     // Syndromes S_i = r(alpha^i). Stored bit j is the coefficient of
     // x^(n-1-j).
     std::vector<u16> synd(2 * t_, 0);
-    bool any = false;
     for (int j = 0; j < n; ++j) {
         if (!codeword[j])
             continue;
         int exp = n - 1 - j;
         for (int i = 1; i <= 2 * t_; ++i)
             synd[i - 1] ^= gf.alphaPow(i * exp);
-        any = true;
     }
-    (void)any;
 
     bool all_zero = true;
     for (u16 s : synd) {
@@ -216,6 +524,23 @@ BchCode::decode(BitVec &codeword) const
     for (int pos : error_positions)
         codeword[pos] ^= 1;
     return {true, l};
+}
+
+const BchCode &
+cachedBchCode(int t, int data_bits)
+{
+    static std::mutex mutex;
+    static std::map<std::pair<int, int>, std::unique_ptr<BchCode>>
+        cache;
+    std::lock_guard<std::mutex> lock(mutex);
+    auto key = std::make_pair(t, data_bits);
+    auto it = cache.find(key);
+    if (it == cache.end())
+        it = cache
+                 .emplace(key,
+                          std::make_unique<BchCode>(t, data_bits))
+                 .first;
+    return *it->second;
 }
 
 Bytes

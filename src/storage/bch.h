@@ -8,6 +8,13 @@
  * Encoding is systematic (data bits followed by parity bits), so the
  * storage layer can locate payload bits without decoding. Decoding is
  * the classic pipeline: syndromes, Berlekamp-Massey, Chien search.
+ *
+ * The hot path operates on packed 64-bit words: encoding runs a
+ * byte-at-a-time table-driven LFSR over the packed parity register,
+ * and decoding scans the received word for set bits with ctz instead
+ * of walking one byte per bit. The one-byte-per-bit BitVec API is
+ * kept at the boundary (and as bit-serial reference implementations
+ * that the packed path is validated against in tests).
  */
 
 #ifndef VIDEOAPP_STORAGE_BCH_H_
@@ -72,15 +79,69 @@ class BchCode
      */
     DecodeResult decode(BitVec &codeword) const;
 
+    /** Bytes of a packed codeword (MSB-first, zero pad bits). */
+    std::size_t
+    codewordBytes() const
+    {
+        return (static_cast<std::size_t>(k_ + parity_) + 7) / 8;
+    }
+
+    /**
+     * Word-parallel systematic encode straight from packed bytes
+     * (the storage hot path; requires dataBits() % 8 == 0).
+     * @p data holds dataBits() bits MSB-first; @p codeword receives
+     * codewordBytes() bytes laid out exactly like
+     * packBits(encode(...)).
+     */
+    void encodeBytes(const u8 *data, u8 *codeword) const;
+
+    /** Word-parallel decode of a packed codeword, in place. */
+    DecodeResult decodeBytes(u8 *codeword) const;
+
+    /**
+     * Bit-serial encode (the original one-byte-per-bit formulation).
+     * Kept as the validation oracle for the packed path and as the
+     * perf baseline; produces identical codewords.
+     */
+    BitVec encodeReference(const BitVec &data) const;
+
+    /** Bit-serial decode; identical behaviour to decode(). */
+    DecodeResult decodeReference(BitVec &codeword) const;
+
     /** The generator polynomial coefficients (GF(2), low degree first). */
     const std::vector<u8> &generator() const { return gen_; }
 
   private:
+    /**
+     * Parity of @p bit_count data bits from packed @p data into the
+     * stream-ordered register @p reg (see bch.cc for the layout).
+     */
+    void parityOf(const u8 *data, std::size_t bit_count,
+                  u64 *reg) const;
+
     int t_;
     int k_;
     int parity_;
     std::vector<u8> gen_; // generator polynomial over GF(2)
+
+    // Packed-LFSR state derived from gen_ at construction.
+    int parityWords_ = 0;    // 64-bit words in the parity register
+    std::vector<u64> genMask_;   // g packed in stream order
+    std::vector<u64> byteTable_; // 256 * parityWords_ remainders
+
+    // Per-byte syndrome contributions: syndTable_[(p * 256 + v) * 2t
+    // + i] is the contribution of byte value v at codeword byte p to
+    // syndrome S_{i+1}; pad bits beyond codewordBits() contribute
+    // zero, matching the bit-serial skip.
+    std::vector<u16> syndTable_;
 };
+
+/**
+ * Process-wide shared code cache: generator polynomial and LFSR
+ * tables are built once per (t, data_bits) and reused by every
+ * channel and bench. Thread safe.
+ */
+const BchCode &cachedBchCode(int t, int data_bits = 512);
 
 /** Pack a BitVec (0/1 per byte) into bytes, MSB first. */
 Bytes packBits(const BitVec &bits);

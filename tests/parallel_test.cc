@@ -1,0 +1,222 @@
+/**
+ * @file
+ * Thread pool and determinism tests: parallelFor semantics (coverage,
+ * nesting, exceptions, pool sizing), RNG stream splitting, and the
+ * contract that parallel execution is bit-identical to sequential for
+ * the Monte Carlo and storage pipelines.
+ */
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <memory>
+#include <set>
+#include <stdexcept>
+
+#include "common/parallel.h"
+#include "common/rng.h"
+#include "core/pipeline.h"
+#include "sim/binning.h"
+#include "sim/monte_carlo.h"
+#include "video/synthetic.h"
+
+namespace videoapp {
+namespace {
+
+// --- parallelFor semantics ---------------------------------------------
+
+TEST(ParallelFor, CoversEveryIndexExactlyOnce)
+{
+    setThreadCount(4);
+    const std::size_t n = 1000;
+    std::unique_ptr<std::atomic<int>[]> hits(
+        new std::atomic<int>[n]());
+    parallelFor(n, [&](std::size_t i) { hits[i].fetch_add(1); });
+    for (std::size_t i = 0; i < n; ++i)
+        EXPECT_EQ(hits[i].load(), 1) << "index " << i;
+    setThreadCount(0);
+}
+
+TEST(ParallelFor, ZeroAndSingleIteration)
+{
+    std::atomic<int> calls{0};
+    parallelFor(0, [&](std::size_t) { calls.fetch_add(1); });
+    EXPECT_EQ(calls.load(), 0);
+    parallelFor(1, [&](std::size_t i) {
+        EXPECT_EQ(i, 0u);
+        calls.fetch_add(1);
+    });
+    EXPECT_EQ(calls.load(), 1);
+}
+
+TEST(ParallelFor, NestedCallsRunInline)
+{
+    setThreadCount(4);
+    std::atomic<int> total{0};
+    parallelFor(8, [&](std::size_t) {
+        parallelFor(16, [&](std::size_t) { total.fetch_add(1); });
+    });
+    EXPECT_EQ(total.load(), 8 * 16);
+    setThreadCount(0);
+}
+
+TEST(ParallelFor, ExceptionPropagatesToCaller)
+{
+    setThreadCount(4);
+    EXPECT_THROW(parallelFor(64,
+                             [&](std::size_t i) {
+                                 if (i == 13)
+                                     throw std::runtime_error("boom");
+                             }),
+                 std::runtime_error);
+    // The pool must still be usable afterwards.
+    std::atomic<int> calls{0};
+    parallelFor(32, [&](std::size_t) { calls.fetch_add(1); });
+    EXPECT_EQ(calls.load(), 32);
+    setThreadCount(0);
+}
+
+TEST(ParallelFor, SetThreadCountControlsPool)
+{
+    setThreadCount(3);
+    EXPECT_EQ(threadCount(), 3);
+    setThreadCount(1);
+    EXPECT_EQ(threadCount(), 1);
+    std::atomic<int> calls{0};
+    parallelFor(10, [&](std::size_t) { calls.fetch_add(1); });
+    EXPECT_EQ(calls.load(), 10);
+    setThreadCount(0); // back to environment/hardware default
+    EXPECT_GE(threadCount(), 1);
+}
+
+// --- RNG stream splitting ----------------------------------------------
+
+TEST(RngSplit, DeriveSeedIsDeterministic)
+{
+    EXPECT_EQ(Rng::deriveSeed(42, 0), Rng::deriveSeed(42, 0));
+    EXPECT_EQ(Rng::deriveSeed(0, 7), Rng::deriveSeed(0, 7));
+}
+
+TEST(RngSplit, StreamsAndMastersAreDistinct)
+{
+    std::set<u64> seeds;
+    for (u64 master = 0; master < 8; ++master)
+        for (u64 stream = 0; stream < 64; ++stream)
+            seeds.insert(Rng::deriveSeed(master, stream));
+    EXPECT_EQ(seeds.size(), 8u * 64u);
+}
+
+TEST(RngSplit, ForStreamMatchesDerivedSeed)
+{
+    Rng direct(Rng::deriveSeed(99, 3));
+    Rng split = Rng::forStream(99, 3);
+    for (int i = 0; i < 16; ++i)
+        EXPECT_EQ(direct.next(), split.next());
+}
+
+// --- parallel == sequential for the pipelines --------------------------
+
+class DeterminismFixture : public ::testing::Test
+{
+  protected:
+    void
+    SetUp() override
+    {
+        source_ = generateSynthetic(tinySpec(51));
+        EncoderConfig config;
+        config.gop.gopSize = 10;
+        config.gop.bFrames = 2;
+        enc_ = encodeVideo(source_, config);
+        importance_ = computeImportance(enc_.side, enc_.video);
+    }
+
+    void
+    TearDown() override
+    {
+        setThreadCount(0);
+    }
+
+    Video source_;
+    EncodeResult enc_;
+    ImportanceMap importance_;
+};
+
+TEST_F(DeterminismFixture, MeasureQualityLossIsThreadCountInvariant)
+{
+    BitRangeSet all = classBits(enc_, importance_, 64);
+    ASSERT_FALSE(all.empty());
+
+    setThreadCount(1);
+    Rng rng_seq(5);
+    LossStats sequential = measureQualityLoss(source_, enc_, all,
+                                              1e-3, 6, rng_seq);
+
+    setThreadCount(4);
+    Rng rng_par(5);
+    LossStats parallel = measureQualityLoss(source_, enc_, all,
+                                            1e-3, 6, rng_par);
+
+    EXPECT_EQ(sequential.runs, parallel.runs);
+    EXPECT_DOUBLE_EQ(sequential.maxLossDb, parallel.maxLossDb);
+    EXPECT_DOUBLE_EQ(sequential.meanLossDb, parallel.meanLossDb);
+    // The caller's generator must advance identically too.
+    EXPECT_EQ(rng_seq.next(), rng_par.next());
+}
+
+TEST_F(DeterminismFixture, StoreAndRetrieveIsThreadCountInvariant)
+{
+    PreparedVideo prepared = prepareVideo(
+        source_, EncoderConfig{}, EccAssignment::paperTable1());
+    ModeledChannel channel(kPcmRawBer);
+
+    setThreadCount(1);
+    Rng rng_seq(777);
+    StorageOutcome sequential =
+        storeAndRetrieve(prepared, channel, rng_seq);
+
+    setThreadCount(4);
+    Rng rng_par(777);
+    StorageOutcome parallel =
+        storeAndRetrieve(prepared, channel, rng_par);
+
+    EXPECT_DOUBLE_EQ(sequential.psnrVsReference,
+                     parallel.psnrVsReference);
+    EXPECT_EQ(sequential.payloadBits, parallel.payloadBits);
+    EXPECT_EQ(sequential.parityBits, parallel.parityBits);
+    EXPECT_DOUBLE_EQ(sequential.cellsPerPixel,
+                     parallel.cellsPerPixel);
+    ASSERT_EQ(sequential.decoded.frames.size(),
+              parallel.decoded.frames.size());
+    for (std::size_t f = 0; f < sequential.decoded.frames.size();
+         ++f) {
+        const Plane &a = sequential.decoded.frames[f].y();
+        const Plane &b = parallel.decoded.frames[f].y();
+        for (int y = 0; y < a.height(); ++y)
+            for (int x = 0; x < a.width(); ++x)
+                ASSERT_EQ(a.at(x, y), b.at(x, y))
+                    << "frame " << f << " (" << x << "," << y << ")";
+    }
+    EXPECT_EQ(rng_seq.next(), rng_par.next());
+}
+
+TEST_F(DeterminismFixture, ImportanceIsThreadCountInvariant)
+{
+    setThreadCount(1);
+    ImportanceMap sequential =
+        computeImportance(enc_.side, enc_.video);
+    setThreadCount(4);
+    ImportanceMap parallel =
+        computeImportance(enc_.side, enc_.video);
+
+    ASSERT_EQ(sequential.values.size(), parallel.values.size());
+    for (std::size_t f = 0; f < sequential.values.size(); ++f) {
+        ASSERT_EQ(sequential.values[f].size(),
+                  parallel.values[f].size());
+        for (std::size_t m = 0; m < sequential.values[f].size(); ++m)
+            ASSERT_EQ(sequential.values[f][m], parallel.values[f][m])
+                << "frame " << f << " mb " << m;
+    }
+}
+
+} // namespace
+} // namespace videoapp

@@ -210,6 +210,114 @@ TEST(Bch, PackUnpackRoundTrip)
     EXPECT_EQ(back, bits);
 }
 
+// --- packed hot path vs bit-serial reference ----------------------------
+
+TEST(BchPacked, EncodeMatchesReferenceForAllStrengths)
+{
+    for (int t = 1; t <= 16; ++t) {
+        const BchCode &code = cachedBchCode(t);
+        Rng rng(600 + t);
+        for (int trial = 0; trial < 5; ++trial) {
+            Bytes data(static_cast<std::size_t>(code.dataBits()) / 8);
+            for (u8 &b : data)
+                b = static_cast<u8>(rng.nextBelow(256));
+
+            BitVec ref_cw = code.encodeReference(unpackBits(
+                data, static_cast<std::size_t>(code.dataBits())));
+
+            Bytes packed_cw(code.codewordBytes(), 0xAA);
+            code.encodeBytes(data.data(), packed_cw.data());
+            EXPECT_EQ(packed_cw, packBits(ref_cw))
+                << "t=" << t << " trial=" << trial;
+        }
+    }
+}
+
+TEST(BchPacked, DecodeMatchesReferenceForAllStrengths)
+{
+    // Random codewords with 0..t injected errors: the packed decoder
+    // must agree with the bit-serial reference on the result flags,
+    // the corrected count, and the corrected codeword itself.
+    for (int t = 1; t <= 16; ++t) {
+        const BchCode &code = cachedBchCode(t);
+        Rng rng(700 + t);
+        for (int trial = 0; trial < 5; ++trial) {
+            Bytes data(static_cast<std::size_t>(code.dataBits()) / 8);
+            for (u8 &b : data)
+                b = static_cast<u8>(rng.nextBelow(256));
+            Bytes cw(code.codewordBytes(), 0);
+            code.encodeBytes(data.data(), cw.data());
+
+            int errors = static_cast<int>(
+                rng.nextBelow(static_cast<u64>(t) + 1));
+            std::set<u64> positions;
+            while (static_cast<int>(positions.size()) < errors)
+                positions.insert(rng.nextBelow(
+                    static_cast<u64>(code.codewordBits())));
+            Bytes corrupted = cw;
+            for (u64 p : positions)
+                corrupted[p / 8] ^=
+                    static_cast<u8>(0x80u >> (p % 8));
+
+            BitVec ref_bits = unpackBits(
+                corrupted,
+                static_cast<std::size_t>(code.codewordBits()));
+            auto ref = code.decodeReference(ref_bits);
+
+            Bytes packed = corrupted;
+            auto got = code.decodeBytes(packed.data());
+
+            EXPECT_EQ(got.ok, ref.ok) << "t=" << t;
+            EXPECT_EQ(got.corrected, ref.corrected) << "t=" << t;
+            EXPECT_EQ(packed, packBits(ref_bits)) << "t=" << t;
+            if (got.ok) {
+                EXPECT_EQ(packed, cw) << "t=" << t;
+            }
+        }
+    }
+}
+
+TEST(BchPacked, DecodeAgreesOnOverloadedBlocks)
+{
+    // Beyond-capacity patterns: both paths must take the identical
+    // branch (detected-and-unchanged or miscorrected the same way).
+    const BchCode &code = cachedBchCode(4);
+    Rng rng(811);
+    for (int trial = 0; trial < 10; ++trial) {
+        Bytes data(static_cast<std::size_t>(code.dataBits()) / 8);
+        for (u8 &b : data)
+            b = static_cast<u8>(rng.nextBelow(256));
+        Bytes cw(code.codewordBytes(), 0);
+        code.encodeBytes(data.data(), cw.data());
+        Bytes corrupted = cw;
+        std::set<u64> positions;
+        while (positions.size() < 7)
+            positions.insert(rng.nextBelow(
+                static_cast<u64>(code.codewordBits())));
+        for (u64 p : positions)
+            corrupted[p / 8] ^= static_cast<u8>(0x80u >> (p % 8));
+
+        BitVec ref_bits = unpackBits(
+            corrupted,
+            static_cast<std::size_t>(code.codewordBits()));
+        auto ref = code.decodeReference(ref_bits);
+        auto got = code.decodeBytes(corrupted.data());
+        EXPECT_EQ(got.ok, ref.ok);
+        EXPECT_EQ(got.corrected, ref.corrected);
+        EXPECT_EQ(corrupted, packBits(ref_bits));
+    }
+}
+
+TEST(BchPacked, CachedCodeIsSharedPerStrength)
+{
+    const BchCode &a = cachedBchCode(6);
+    const BchCode &b = cachedBchCode(6);
+    EXPECT_EQ(&a, &b);
+    EXPECT_NE(&a, &cachedBchCode(7));
+    EXPECT_EQ(a.t(), 6);
+    EXPECT_EQ(cachedBchCode(7).t(), 7);
+}
+
 // --- ECC analytic model (Figure 8) --------------------------------------
 
 TEST(EccModel, OverheadsMatchFigure8)
