@@ -12,17 +12,27 @@
  *  3. a determinism check: storeAndRetrieve with the same seed at 1
  *     and 4 threads must produce the identical outcome.
  *
+ * The JSON also carries the bench config and a full telemetry
+ * snapshot (see src/common/telemetry.h); tools/check_bench_regression.py
+ * diffs it against bench/baselines/BENCH_pipeline.baseline.json in CI.
+ * VIDEOAPP_BENCH_OUT overrides the output path (default
+ * BENCH_pipeline.json in the current directory).
+ *
  * Thread counts above the machine's core count still run (the pool
  * just oversubscribes), so the JSON is always four rows; speedups
  * saturate at the physical core count.
  */
 
+#include <cerrno>
 #include <chrono>
 #include <cstdio>
+#include <cstdlib>
+#include <cstring>
 #include <vector>
 
 #include "common/parallel.h"
 #include "common/rng.h"
+#include "common/telemetry.h"
 #include "core/pipeline.h"
 #include "sim/bench_config.h"
 #include "storage/bch.h"
@@ -46,6 +56,10 @@ struct ThreadPoint
     double storeRetrieveSeconds = 0;
     double mbitPerSecond = 0;
     double speedup = 0;
+    // Output-size metrics (identical at every thread count by the
+    // determinism contract; the CI gate hard-checks them).
+    u64 payloadBits = 0;
+    u64 parityBits = 0;
 };
 
 struct BchPoint
@@ -105,6 +119,8 @@ benchPipeline(const BenchConfig &config, const Video &source)
             StorageOutcome outcome =
                 storeAndRetrieve(prepared, channel, rng);
             stored_bits += outcome.payloadBits + outcome.parityBits;
+            p.payloadBits = outcome.payloadBits;
+            p.parityBits = outcome.parityBits;
         }
         p.storeRetrieveSeconds = now() - t0;
         p.mbitPerSecond = p.storeRetrieveSeconds > 0
@@ -220,27 +236,48 @@ checkDeterminism(const Video &source)
     return sameOutcome(sequential, parallel);
 }
 
-void
-writeJson(const std::vector<ThreadPoint> &points, const BchPoint &bch,
+/** Output path: VIDEOAPP_BENCH_OUT or BENCH_pipeline.json in cwd. */
+std::string
+outputPath()
+{
+    if (const char *out = std::getenv("VIDEOAPP_BENCH_OUT"))
+        return out;
+    return "BENCH_pipeline.json";
+}
+
+bool
+writeJson(const BenchConfig &config,
+          const std::vector<ThreadPoint> &points, const BchPoint &bch,
           bool deterministic)
 {
-    std::FILE *f = std::fopen("BENCH_pipeline.json", "w");
+    const std::string path = outputPath();
+    std::FILE *f = std::fopen(path.c_str(), "w");
     if (!f) {
-        std::perror("BENCH_pipeline.json");
-        return;
+        std::fprintf(stderr,
+                     "error: cannot write bench results to '%s': %s\n"
+                     "(set VIDEOAPP_BENCH_OUT to a writable path)\n",
+                     path.c_str(), std::strerror(errno));
+        return false;
     }
     std::fprintf(f, "{\n  \"bench\": \"perf_pipeline\",\n");
+    std::fprintf(f,
+                 "  \"config\": {\"scale\": %.3f, \"runs\": %d, "
+                 "\"videos\": %d},\n",
+                 config.scale, config.runs, config.videos);
     std::fprintf(f, "  \"threads\": [\n");
     for (std::size_t i = 0; i < points.size(); ++i) {
         const ThreadPoint &p = points[i];
-        std::fprintf(f,
-                     "    {\"threads\": %d, \"prepare_s\": %.6f, "
-                     "\"store_retrieve_s\": %.6f, "
-                     "\"mbit_per_s\": %.3f, \"speedup\": %.3f}%s\n",
-                     p.threads, p.prepareSeconds,
-                     p.storeRetrieveSeconds, p.mbitPerSecond,
-                     p.speedup,
-                     i + 1 < points.size() ? "," : "");
+        std::fprintf(
+            f,
+            "    {\"threads\": %d, \"prepare_s\": %.6f, "
+            "\"store_retrieve_s\": %.6f, "
+            "\"mbit_per_s\": %.3f, \"speedup\": %.3f, "
+            "\"payload_bits\": %llu, \"parity_bits\": %llu}%s\n",
+            p.threads, p.prepareSeconds, p.storeRetrieveSeconds,
+            p.mbitPerSecond, p.speedup,
+            static_cast<unsigned long long>(p.payloadBits),
+            static_cast<unsigned long long>(p.parityBits),
+            i + 1 < points.size() ? "," : "");
     }
     std::fprintf(f, "  ],\n");
     std::fprintf(
@@ -253,14 +290,26 @@ writeJson(const std::vector<ThreadPoint> &points, const BchPoint &bch,
         bch.encodeSpeedup, bch.referenceDecodeSeconds,
         bch.packedDecodeSeconds, bch.decodeSpeedup);
     std::fprintf(f,
-                 "  \"parallel_equals_sequential\": %s\n}\n",
+                 "  \"parallel_equals_sequential\": %s,\n",
                  deterministic ? "true" : "false");
-    std::fclose(f);
+    std::string telemetry =
+        telemetry::globalRegistry().snapshotJson(2);
+    std::fprintf(f, "  \"telemetry\": %s\n}\n", telemetry.c_str());
+    if (std::fclose(f) != 0) {
+        std::fprintf(stderr, "error: failed to flush '%s': %s\n",
+                     path.c_str(), std::strerror(errno));
+        return false;
+    }
+    return true;
 }
 
-void
+bool
 run(const BenchConfig &config)
 {
+    // Counters must reflect this bench run only (and be comparable
+    // against the committed baseline), so start from zero.
+    telemetry::globalRegistry().resetAll();
+
     Video source = generateSynthetic(config.suite()[0]);
 
     std::printf("%-8s %12s %18s %12s %9s\n", "threads",
@@ -286,8 +335,10 @@ run(const BenchConfig &config)
     std::printf("\nparallel == sequential outcome: %s\n",
                 deterministic ? "yes" : "NO (BUG)");
 
-    writeJson(points, bch, deterministic);
-    std::printf("wrote BENCH_pipeline.json\n");
+    if (!writeJson(config, points, bch, deterministic))
+        return false;
+    std::printf("wrote %s\n", outputPath().c_str());
+    return true;
 }
 
 } // namespace
@@ -301,6 +352,5 @@ main()
     printBenchBanner(
         "perf: parallel pipeline and word-packed BCH hot path",
         config);
-    run(config);
-    return 0;
+    return run(config) ? 0 : 1;
 }

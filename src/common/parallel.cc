@@ -1,5 +1,7 @@
 #include "common/parallel.h"
 
+#include "common/telemetry.h"
+
 #include <atomic>
 #include <condition_variable>
 #include <cstdint>
@@ -92,7 +94,15 @@ class ThreadPool
     {
         // One top-level parallelFor at a time; concurrent callers
         // queue here (nested calls never reach run()).
+        VA_TELEM_ONLY(auto va_wait_start =
+                          std::chrono::steady_clock::now();)
         std::lock_guard<std::mutex> run_lock(runMutex_);
+        VA_TELEM_ONLY(VA_TELEM_HIST(
+            "parallel.queue_wait_ns",
+            static_cast<u64>(
+                std::chrono::duration_cast<std::chrono::nanoseconds>(
+                    std::chrono::steady_clock::now() - va_wait_start)
+                    .count()));)
         {
             std::lock_guard<std::mutex> lock(mutex_);
             job_ = &job;
@@ -191,9 +201,13 @@ parallelFor(std::size_t n, const std::function<void(std::size_t)> &fn)
         for (std::size_t i = 0; i < n; ++i)
             fn(i);
         t_in_worker = was_worker;
+        VA_TELEM_COUNT("parallel.loops_inline", 1);
+        VA_TELEM_COUNT("parallel.tasks_dispatched", n);
         return;
     }
 
+    VA_TELEM_COUNT("parallel.loops_pooled", 1);
+    VA_TELEM_COUNT("parallel.tasks_dispatched", n);
     ThreadPool &p = pool();
     Job job;
     job.n = n;

@@ -1,0 +1,250 @@
+#include "common/telemetry.h"
+
+#include <cinttypes>
+#include <cstdio>
+#include <map>
+#include <memory>
+#include <mutex>
+
+namespace videoapp {
+namespace telemetry {
+
+unsigned
+currentShard()
+{
+    static std::atomic<unsigned> next{0};
+    thread_local unsigned shard =
+        next.fetch_add(1, std::memory_order_relaxed) %
+        kCounterShards;
+    return shard;
+}
+
+namespace {
+
+/** Append @p indent spaces to @p out. */
+void
+pad(std::string &out, int indent)
+{
+    out.append(static_cast<std::size_t>(indent > 0 ? indent : 0),
+               ' ');
+}
+
+/** Append a JSON string literal (metric names need no escaping). */
+void
+appendQuoted(std::string &out, const std::string &s)
+{
+    out += '"';
+    for (char c : s) {
+        if (c == '"' || c == '\\')
+            out += '\\';
+        out += c;
+    }
+    out += '"';
+}
+
+void
+appendU64(std::string &out, u64 v)
+{
+    char buf[32];
+    std::snprintf(buf, sizeof buf, "%" PRIu64, v);
+    out += buf;
+}
+
+/** Fixed-point seconds: deterministic formatting across platforms. */
+void
+appendSeconds(std::string &out, double s)
+{
+    char buf[64];
+    std::snprintf(buf, sizeof buf, "%.9f", s);
+    out += buf;
+}
+
+} // namespace
+
+/**
+ * Metric storage. Maps are keyed by name; entries are allocated
+ * once and never removed, so references handed out by the lookup
+ * functions stay valid until the registry is destroyed.
+ */
+template <bool Enabled> class BasicRegistryImpl
+{
+  public:
+    std::mutex mutex;
+    std::map<std::string, std::unique_ptr<BasicCounter<Enabled>>,
+             std::less<>>
+        counters;
+    std::map<std::string, std::unique_ptr<BasicTimer<Enabled>>,
+             std::less<>>
+        timers;
+    std::map<std::string, std::unique_ptr<BasicHistogram<Enabled>>,
+             std::less<>>
+        histograms;
+
+    template <typename Map>
+    auto &
+    intern(Map &map, std::string_view name)
+    {
+        std::lock_guard<std::mutex> lock(mutex);
+        auto it = map.find(name);
+        if (it == map.end()) {
+            it = map.emplace(std::string(name),
+                             std::make_unique<
+                                 typename Map::mapped_type::
+                                     element_type>())
+                     .first;
+        }
+        return *it->second;
+    }
+};
+
+template <bool Enabled>
+BasicRegistry<Enabled>::BasicRegistry()
+    : impl_(new BasicRegistryImpl<Enabled>)
+{
+}
+
+template <bool Enabled> BasicRegistry<Enabled>::~BasicRegistry()
+{
+    delete impl_;
+}
+
+template <bool Enabled>
+BasicCounter<Enabled> &
+BasicRegistry<Enabled>::counter(std::string_view name)
+{
+    return impl_->intern(impl_->counters, name);
+}
+
+template <bool Enabled>
+BasicTimer<Enabled> &
+BasicRegistry<Enabled>::timer(std::string_view name)
+{
+    return impl_->intern(impl_->timers, name);
+}
+
+template <bool Enabled>
+BasicHistogram<Enabled> &
+BasicRegistry<Enabled>::histogram(std::string_view name)
+{
+    return impl_->intern(impl_->histograms, name);
+}
+
+template <bool Enabled>
+void
+BasicRegistry<Enabled>::resetAll()
+{
+    std::lock_guard<std::mutex> lock(impl_->mutex);
+    for (auto &entry : impl_->counters)
+        entry.second->reset();
+    for (auto &entry : impl_->timers)
+        entry.second->reset();
+    for (auto &entry : impl_->histograms)
+        entry.second->reset();
+}
+
+template <bool Enabled>
+std::string
+BasicRegistry<Enabled>::snapshotJson(int indent) const
+{
+    std::lock_guard<std::mutex> lock(impl_->mutex);
+    std::string out;
+    out += "{\n";
+    pad(out, indent + 2);
+    out += "\"schema_version\": ";
+    appendU64(out, static_cast<u64>(kSchemaVersion));
+    out += ",\n";
+
+    // Counters.
+    pad(out, indent + 2);
+    out += "\"counters\": {";
+    bool first = true;
+    for (const auto &[name, c] : impl_->counters) {
+        out += first ? "\n" : ",\n";
+        first = false;
+        pad(out, indent + 4);
+        appendQuoted(out, name);
+        out += ": ";
+        appendU64(out, c->value());
+    }
+    if (!first) {
+        out += '\n';
+        pad(out, indent + 2);
+    }
+    out += "},\n";
+
+    // Timers.
+    pad(out, indent + 2);
+    out += "\"timers\": {";
+    first = true;
+    for (const auto &[name, t] : impl_->timers) {
+        out += first ? "\n" : ",\n";
+        first = false;
+        pad(out, indent + 4);
+        appendQuoted(out, name);
+        out += ": {\"calls\": ";
+        appendU64(out, t->calls());
+        out += ", \"total_s\": ";
+        appendSeconds(out, t->totalSeconds());
+        out += "}";
+    }
+    if (!first) {
+        out += '\n';
+        pad(out, indent + 2);
+    }
+    out += "},\n";
+
+    // Histograms (only non-empty buckets, ascending bounds).
+    pad(out, indent + 2);
+    out += "\"histograms\": {";
+    first = true;
+    for (const auto &[name, h] : impl_->histograms) {
+        out += first ? "\n" : ",\n";
+        first = false;
+        pad(out, indent + 4);
+        appendQuoted(out, name);
+        out += ": {\"count\": ";
+        appendU64(out, h->count());
+        out += ", \"sum\": ";
+        appendU64(out, h->sum());
+        out += ", \"buckets\": [";
+        bool first_bucket = true;
+        for (int b = 0; b < BasicHistogram<Enabled>::kBuckets;
+             ++b) {
+            u64 n = h->bucketCount(b);
+            if (!n)
+                continue;
+            if (!first_bucket)
+                out += ", ";
+            first_bucket = false;
+            out += "{\"le\": ";
+            appendU64(
+                out,
+                BasicHistogram<Enabled>::bucketUpperBound(b));
+            out += ", \"count\": ";
+            appendU64(out, n);
+            out += "}";
+        }
+        out += "]}";
+    }
+    if (!first) {
+        out += '\n';
+        pad(out, indent + 2);
+    }
+    out += "}\n";
+    pad(out, indent);
+    out += "}";
+    return out;
+}
+
+template class BasicRegistry<true>;
+template class BasicRegistry<false>;
+
+Registry &
+globalRegistry()
+{
+    static Registry registry;
+    return registry;
+}
+
+} // namespace telemetry
+} // namespace videoapp

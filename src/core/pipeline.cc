@@ -1,6 +1,7 @@
 #include "core/pipeline.h"
 
 #include "common/parallel.h"
+#include "common/telemetry.h"
 #include "quality/psnr.h"
 
 namespace videoapp {
@@ -25,13 +26,26 @@ prepareVideo(const Video &source, const EncoderConfig &config,
              const EccAssignment &assignment)
 {
     PreparedVideo prepared;
-    prepared.enc = encodeVideo(source, config);
-    prepared.importance =
-        computeImportance(prepared.enc.side, prepared.enc.video);
+    {
+        VA_TELEM_SCOPE("pipeline.encode");
+        prepared.enc = encodeVideo(source, config);
+    }
+    {
+        VA_TELEM_SCOPE("pipeline.importance");
+        prepared.importance =
+            computeImportance(prepared.enc.side, prepared.enc.video);
+    }
     prepared.assignment = assignment;
-    assignPivots(prepared.enc.video, prepared.enc.side,
-                 prepared.importance, assignment);
-    prepared.streams = extractStreams(prepared.enc.video);
+    {
+        VA_TELEM_SCOPE("pipeline.assign_pivots");
+        assignPivots(prepared.enc.video, prepared.enc.side,
+                     prepared.importance, assignment);
+    }
+    {
+        VA_TELEM_SCOPE("pipeline.extract_streams");
+        prepared.streams = extractStreams(prepared.enc.video);
+    }
+    VA_TELEM_COUNT("pipeline.videos_prepared", 1);
     return prepared;
 }
 
@@ -39,9 +53,15 @@ void
 repartition(PreparedVideo &prepared, const EccAssignment &assignment)
 {
     prepared.assignment = assignment;
-    assignPivots(prepared.enc.video, prepared.enc.side,
-                 prepared.importance, assignment);
-    prepared.streams = extractStreams(prepared.enc.video);
+    {
+        VA_TELEM_SCOPE("pipeline.assign_pivots");
+        assignPivots(prepared.enc.video, prepared.enc.side,
+                     prepared.importance, assignment);
+    }
+    {
+        VA_TELEM_SCOPE("pipeline.extract_streams");
+        prepared.streams = extractStreams(prepared.enc.video);
+    }
 }
 
 StorageOutcome
@@ -80,23 +100,29 @@ storeAndRetrieve(const PreparedVideo &prepared,
         work.push_back(std::move(w));
     }
 
-    parallelFor(work.size(), [&](std::size_t i) {
-        StreamWork &w = work[i];
-        EccScheme scheme{w.t};
-        Rng stream_rng(w.seed);
-        Bytes to_store = *w.data;
-        if (cryptor)
-            to_store = cryptor->encryptStream(
-                static_cast<u32>(w.t), to_store);
+    {
+        VA_TELEM_SCOPE("pipeline.store_streams");
+        parallelFor(work.size(), [&](std::size_t i) {
+            StreamWork &w = work[i];
+            EccScheme scheme{w.t};
+            Rng stream_rng(w.seed);
+            Bytes to_store = *w.data;
+            if (cryptor)
+                to_store = cryptor->encryptStream(
+                    static_cast<u32>(w.t), to_store);
 
-        Bytes read = channel.roundTrip(to_store, scheme, stream_rng);
+            Bytes read =
+                channel.roundTrip(to_store, scheme, stream_rng);
 
-        if (cryptor)
-            read = cryptor->decryptStream(static_cast<u32>(w.t),
-                                          read, w.data->size());
-        w.read = std::move(read);
-        w.storedBits = to_store.size() * 8; // stored (padded) size
-    });
+            if (cryptor)
+                read = cryptor->decryptStream(static_cast<u32>(w.t),
+                                              read, w.data->size());
+            w.read = std::move(read);
+            w.storedBits =
+                to_store.size() * 8; // stored (padded) size
+        });
+    }
+    VA_TELEM_COUNT("pipeline.streams_stored", work.size());
 
     StreamSet retrieved;
     StorageAccountant accountant(3);
@@ -108,16 +134,26 @@ storeAndRetrieve(const PreparedVideo &prepared,
     }
     accountant.addPreciseBits(prepared.headerBits());
 
-    EncodedVideo merged =
-        mergeStreams(prepared.enc.video, retrieved);
-    outcome.decoded = decodeVideo(merged);
+    EncodedVideo merged;
+    {
+        VA_TELEM_SCOPE("pipeline.merge_streams");
+        merged = mergeStreams(prepared.enc.video, retrieved);
+    }
+    {
+        VA_TELEM_SCOPE("pipeline.decode");
+        outcome.decoded = decodeVideo(merged);
+    }
 
     // Quality against the error-free reconstruction, averaged per
     // frame as the paper does.
     Video reference;
     reference.fps = outcome.decoded.fps;
     reference.frames = prepared.enc.reconFrames;
-    outcome.psnrVsReference = psnrVideo(reference, outcome.decoded);
+    {
+        VA_TELEM_SCOPE("pipeline.quality_psnr");
+        outcome.psnrVsReference =
+            psnrVideo(reference, outcome.decoded);
+    }
 
     u64 pixels = static_cast<u64>(prepared.enc.video.header.width) *
                  prepared.enc.video.header.height *

@@ -7,6 +7,7 @@
 #include "codec/decoder.h"
 #include "common/bitstream.h"
 #include "common/parallel.h"
+#include "common/telemetry.h"
 #include "quality/psnr.h"
 
 namespace videoapp {
@@ -87,17 +88,25 @@ measureQualityLoss(const Video &original, const EncodeResult &enc,
 
     std::vector<double> losses(static_cast<std::size_t>(runs), 0.0);
     parallelFor(static_cast<std::size_t>(runs), [&](std::size_t run) {
+        VA_TELEM_SCOPE("sim.trial");
         Rng trial_rng(seeds[run]);
         std::vector<Bytes> payloads = enc.video.payloads;
+        u64 flips = 0;
         if (scaled_mode) {
             u64 flat = trial_rng.nextBelow(n);
             auto [frame, bit] = targets.locate(flat);
             if (frame < payloads.size())
                 flipBit(payloads[frame], bit);
+            flips = 1;
         } else {
-            corruptPayloads(payloads, targets, error_rate,
-                            trial_rng);
+            flips = corruptPayloads(payloads, targets, error_rate,
+                                    trial_rng)
+                        .size();
         }
+        VA_TELEM_COUNT("sim.trials", 1);
+        VA_TELEM_COUNT("sim.bits_flipped", flips);
+        VA_TELEM_COUNT("sim.payload_bytes_processed",
+                       enc.video.payloadBits() / 8);
         Video decoded = decodeWithPayloads(enc, std::move(payloads));
         double psnr = psnrVideo(original, decoded);
         losses[run] = std::max(reference - psnr, 0.0) * scale;

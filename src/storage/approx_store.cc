@@ -1,7 +1,9 @@
 #include "storage/approx_store.h"
 
 #include <algorithm>
+#include <cstring>
 
+#include "common/telemetry.h"
 #include "storage/error_injector.h"
 
 namespace videoapp {
@@ -11,7 +13,11 @@ ModeledChannel::roundTrip(const Bytes &data, const EccScheme &scheme,
                           Rng &rng) const
 {
     Bytes out = data;
-    injectErrorsProtected(out, scheme, rawBer_, rng);
+    std::vector<BitPos> damaged =
+        injectErrorsProtected(out, scheme, rawBer_, rng);
+    VA_TELEM_COUNT("storage.model.streams_stored", 1);
+    VA_TELEM_COUNT("storage.model.bits_damaged",
+                   static_cast<u64>(damaged.size()));
     return out;
 }
 
@@ -68,6 +74,16 @@ RealBchChannel::roundTrip(const Bytes &data, const EccScheme &scheme,
 
         auto result = code.decodeBytes(stored.data());
         (void)result; // failed blocks keep their raw errors
+        VA_TELEM_COUNT("storage.channel.blocks_stored", 1);
+        // The channel still holds the pre-noise block, so a decode
+        // that "succeeded" onto the wrong data is detectable here
+        // (the decoder itself cannot know).
+        VA_TELEM_COUNT("storage.channel.blocks_miscorrected",
+                       (result.ok &&
+                        std::memcmp(stored.data(), block.data(),
+                                    data_bytes) != 0)
+                           ? u64{1}
+                           : u64{0});
 
         std::copy(stored.begin(),
                   stored.begin() + static_cast<std::ptrdiff_t>(nb),

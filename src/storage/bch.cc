@@ -1,5 +1,7 @@
 #include "storage/bch.h"
 
+#include "common/telemetry.h"
+
 #include <cassert>
 #include <map>
 #include <memory>
@@ -297,6 +299,8 @@ BchCode::decodeBytes(u8 *codeword) const
             synd[i] ^= entry[i];
     }
 
+    VA_TELEM_COUNT("storage.bch.blocks_decoded", 1);
+
     bool all_zero = true;
     for (u16 s : synd) {
         if (s) {
@@ -304,8 +308,10 @@ BchCode::decodeBytes(u8 *codeword) const
             break;
         }
     }
-    if (all_zero)
+    if (all_zero) {
+        VA_TELEM_COUNT("storage.bch.blocks_clean", 1);
         return {true, 0};
+    }
 
     // Berlekamp-Massey: find the error locator polynomial C(x).
     std::vector<u16> c{1}, b{1};
@@ -344,8 +350,10 @@ BchCode::decodeBytes(u8 *codeword) const
         }
     }
 
-    if (l > t_)
+    if (l > t_) {
+        VA_TELEM_COUNT("storage.bch.blocks_uncorrectable", 1);
         return {false, 0}; // more errors than the code can locate
+    }
 
     // Chien search restricted to the shortened positions, stopping
     // once all l roots are found (a degree-l locator has no more).
@@ -386,11 +394,15 @@ BchCode::decodeBytes(u8 *codeword) const
         }
     }
 
-    if (static_cast<int>(error_positions.size()) != l)
+    if (static_cast<int>(error_positions.size()) != l) {
+        VA_TELEM_COUNT("storage.bch.blocks_uncorrectable", 1);
         return {false, 0}; // locator has roots outside the block
+    }
 
     for (int pos : error_positions)
         codeword[pos / 8] ^= static_cast<u8>(0x80u >> (pos % 8));
+    VA_TELEM_COUNT("storage.bch.bits_corrected",
+                   static_cast<u64>(l));
     return {true, l};
 }
 

@@ -318,16 +318,19 @@ TEST(Gop, IFramesAtGopBoundaries)
     GopConfig config{.gopSize = 10, .bFrames = 2};
     auto plan = planGop(35, config);
     for (const auto &p : plan) {
-        if (p.displayIdx % 10 == 0)
+        if (p.displayIdx % 10 == 0) {
             EXPECT_EQ(p.type, FrameType::I) << p.displayIdx;
-        if (p.type == FrameType::I)
+        }
+        if (p.type == FrameType::I) {
             EXPECT_EQ(p.displayIdx % 10, 0) << p.displayIdx;
+        }
         if (p.type == FrameType::B) {
             EXPECT_GE(p.ref0, 0);
             EXPECT_GE(p.ref1, 0);
         }
-        if (p.type == FrameType::P)
+        if (p.type == FrameType::P) {
             EXPECT_GE(p.ref0, 0);
+        }
     }
 }
 

@@ -1,0 +1,292 @@
+/**
+ * @file
+ * Telemetry subsystem tests: exact concurrent counter sums from
+ * parallelFor workers, log-histogram bucket boundaries, snapshot
+ * JSON determinism across thread counts, and the disabled-mode
+ * variants compiling to stateless no-ops.
+ *
+ * Enabled-mode behaviour is tested through BasicCounter<true> etc.
+ * explicitly, so these tests pass in both -DVIDEOAPP_TELEMETRY=ON
+ * and OFF builds.
+ */
+
+#include <gtest/gtest.h>
+
+#include <limits>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/parallel.h"
+#include "common/telemetry.h"
+
+namespace videoapp {
+namespace telemetry {
+namespace {
+
+// --- disabled mode is a stateless no-op --------------------------------
+
+static_assert(sizeof(BasicCounter<false>) == 1,
+              "disabled counter must carry no state");
+static_assert(sizeof(BasicHistogram<false>) == 1,
+              "disabled histogram must carry no state");
+static_assert(sizeof(BasicTimer<false>) == 1,
+              "disabled timer must carry no state");
+static_assert(sizeof(BasicScopedTimer<false>) == 1,
+              "disabled scoped timer must carry no state");
+static_assert(sizeof(BasicCounter<true>) >=
+                  kCounterShards * 64,
+              "enabled counter must be shard-padded");
+
+TEST(TelemetryDisabled, OperationsAreNoOpsAndReadZero)
+{
+    BasicCounter<false> counter;
+    counter.add();
+    counter.add(1000);
+    EXPECT_EQ(counter.value(), 0u);
+
+    BasicHistogram<false> hist;
+    hist.record(7);
+    hist.record(1u << 20);
+    EXPECT_EQ(hist.count(), 0u);
+    EXPECT_EQ(hist.sum(), 0u);
+    EXPECT_EQ(hist.bucketCount(3), 0u);
+
+    BasicTimer<false> timer;
+    {
+        BasicScopedTimer<false> scope(timer);
+    }
+    timer.add(12345);
+    EXPECT_EQ(timer.calls(), 0u);
+    EXPECT_EQ(timer.totalNanoseconds(), 0u);
+    EXPECT_DOUBLE_EQ(timer.totalSeconds(), 0.0);
+}
+
+TEST(TelemetryDisabled, RegistrySnapshotsEmptyMetrics)
+{
+    BasicRegistry<false> registry;
+    registry.counter("a.b").add(9);
+    registry.timer("t").add(9);
+    registry.histogram("h").record(9);
+    std::string json = registry.snapshotJson();
+    EXPECT_NE(json.find("\"schema_version\": 1"), std::string::npos);
+    EXPECT_NE(json.find("\"a.b\": 0"), std::string::npos);
+    EXPECT_NE(json.find("\"t\": {\"calls\": 0"), std::string::npos);
+    EXPECT_NE(json.find("\"h\": {\"count\": 0"), std::string::npos);
+}
+
+// --- counters ----------------------------------------------------------
+
+TEST(TelemetryCounter, SingleThreadAddsAreExact)
+{
+    BasicCounter<true> counter;
+    EXPECT_EQ(counter.value(), 0u);
+    counter.add();
+    counter.add(41);
+    EXPECT_EQ(counter.value(), 42u);
+    counter.reset();
+    EXPECT_EQ(counter.value(), 0u);
+}
+
+TEST(TelemetryCounter, ConcurrentIncrementsFromParallelForSumExactly)
+{
+    setThreadCount(4);
+    BasicCounter<true> counter;
+    const std::size_t n = 100000;
+    parallelFor(n, [&](std::size_t i) { counter.add(i % 3 + 1); });
+    u64 expected = 0;
+    for (std::size_t i = 0; i < n; ++i)
+        expected += i % 3 + 1;
+    EXPECT_EQ(counter.value(), expected);
+    setThreadCount(0);
+}
+
+TEST(TelemetryCounter, ConcurrentIncrementsFromRawThreadsSumExactly)
+{
+    BasicCounter<true> counter;
+    const int threads = 8;
+    const int per_thread = 50000;
+    std::vector<std::thread> pool;
+    for (int t = 0; t < threads; ++t)
+        pool.emplace_back([&] {
+            for (int i = 0; i < per_thread; ++i)
+                counter.add();
+        });
+    for (auto &t : pool)
+        t.join();
+    EXPECT_EQ(counter.value(),
+              static_cast<u64>(threads) * per_thread);
+}
+
+// --- histogram buckets -------------------------------------------------
+
+TEST(TelemetryHistogram, BucketBoundaries)
+{
+    using H = BasicHistogram<true>;
+    // Bucket 0 is exactly zero; bucket b covers [2^(b-1), 2^b - 1].
+    EXPECT_EQ(H::bucketOf(0), 0);
+    EXPECT_EQ(H::bucketOf(1), 1);
+    EXPECT_EQ(H::bucketOf(2), 2);
+    EXPECT_EQ(H::bucketOf(3), 2);
+    EXPECT_EQ(H::bucketOf(4), 3);
+    EXPECT_EQ(H::bucketOf(7), 3);
+    EXPECT_EQ(H::bucketOf(8), 4);
+    EXPECT_EQ(H::bucketOf(std::numeric_limits<u64>::max()), 64);
+
+    EXPECT_EQ(H::bucketUpperBound(0), 0u);
+    EXPECT_EQ(H::bucketUpperBound(1), 1u);
+    EXPECT_EQ(H::bucketUpperBound(2), 3u);
+    EXPECT_EQ(H::bucketUpperBound(3), 7u);
+    EXPECT_EQ(H::bucketUpperBound(64),
+              std::numeric_limits<u64>::max());
+
+    // Every boundary value lands in a bucket whose bound contains it.
+    for (int b = 1; b < 64; ++b) {
+        u64 lo = u64{1} << (b - 1);
+        u64 hi = H::bucketUpperBound(b);
+        EXPECT_EQ(H::bucketOf(lo), b) << "low edge of bucket " << b;
+        EXPECT_EQ(H::bucketOf(hi), b) << "high edge of bucket " << b;
+    }
+}
+
+TEST(TelemetryHistogram, RecordCountsAndSums)
+{
+    BasicHistogram<true> hist;
+    hist.record(0);
+    hist.record(1);
+    hist.record(2);
+    hist.record(3);
+    hist.record(1024);
+    EXPECT_EQ(hist.count(), 5u);
+    EXPECT_EQ(hist.sum(), 1030u);
+    EXPECT_EQ(hist.bucketCount(0), 1u);
+    EXPECT_EQ(hist.bucketCount(1), 1u);
+    EXPECT_EQ(hist.bucketCount(2), 2u);
+    EXPECT_EQ(hist.bucketCount(11), 1u); // 1024 = 2^10
+    hist.reset();
+    EXPECT_EQ(hist.count(), 0u);
+    EXPECT_EQ(hist.sum(), 0u);
+}
+
+// --- timers ------------------------------------------------------------
+
+TEST(TelemetryTimer, ScopedTimerAccumulates)
+{
+    BasicTimer<true> timer;
+    {
+        BasicScopedTimer<true> scope(timer);
+    }
+    {
+        BasicScopedTimer<true> scope(timer);
+    }
+    EXPECT_EQ(timer.calls(), 2u);
+    // Monotonic clock: elapsed time is never negative.
+    EXPECT_GE(timer.totalSeconds(), 0.0);
+}
+
+// --- registry / snapshot -----------------------------------------------
+
+TEST(TelemetryRegistry, LookupInternsByName)
+{
+    BasicRegistry<true> registry;
+    BasicCounter<true> &a = registry.counter("x");
+    BasicCounter<true> &b = registry.counter("x");
+    EXPECT_EQ(&a, &b);
+    BasicCounter<true> &c = registry.counter("y");
+    EXPECT_NE(&a, &c);
+}
+
+TEST(TelemetryRegistry, ResetAllZeroesEverything)
+{
+    BasicRegistry<true> registry;
+    registry.counter("c").add(5);
+    registry.timer("t").add(5);
+    registry.histogram("h").record(5);
+    registry.resetAll();
+    EXPECT_EQ(registry.counter("c").value(), 0u);
+    EXPECT_EQ(registry.timer("t").calls(), 0u);
+    EXPECT_EQ(registry.histogram("h").count(), 0u);
+}
+
+/** Fill @p registry with a deterministic workload at @p threads. */
+std::string
+snapshotAtThreadCount(int threads)
+{
+    setThreadCount(threads);
+    BasicRegistry<true> registry;
+    BasicCounter<true> &blocks = registry.counter("z.blocks");
+    BasicCounter<true> &bits = registry.counter("a.bits");
+    BasicHistogram<true> &sizes = registry.histogram("m.sizes");
+    parallelFor(5000, [&](std::size_t i) {
+        blocks.add(1);
+        bits.add(i % 7);
+        sizes.record(i % 1000);
+    });
+    setThreadCount(0);
+    return registry.snapshotJson(2);
+}
+
+TEST(TelemetryRegistry, SnapshotJsonDeterministicAcrossThreadCounts)
+{
+    std::string one = snapshotAtThreadCount(1);
+    std::string four = snapshotAtThreadCount(4);
+    std::string eight = snapshotAtThreadCount(8);
+    EXPECT_EQ(one, four);
+    EXPECT_EQ(one, eight);
+    // Keys must appear sorted regardless of registration order.
+    EXPECT_LT(one.find("\"a.bits\""), one.find("\"z.blocks\""));
+    EXPECT_NE(one.find("\"schema_version\": 1"), std::string::npos);
+}
+
+TEST(TelemetryRegistry, SnapshotShapeMatchesSchema)
+{
+    BasicRegistry<true> registry;
+    registry.counter("c1").add(3);
+    registry.timer("t1").add(1500000000); // 1.5 s
+    registry.histogram("h1").record(0);
+    registry.histogram("h1").record(5);
+    std::string json = registry.snapshotJson();
+
+    EXPECT_NE(json.find("\"c1\": 3"), std::string::npos);
+    EXPECT_NE(json.find("\"calls\": 1"), std::string::npos);
+    EXPECT_NE(json.find("\"total_s\": 1.500000000"),
+              std::string::npos);
+    EXPECT_NE(json.find("\"count\": 2"), std::string::npos);
+    EXPECT_NE(json.find("\"sum\": 5"), std::string::npos);
+    // Bucket 0 (le 0) and bucket 3 (le 7) each saw one sample.
+    EXPECT_NE(json.find("{\"le\": 0, \"count\": 1}"),
+              std::string::npos);
+    EXPECT_NE(json.find("{\"le\": 7, \"count\": 1}"),
+              std::string::npos);
+}
+
+TEST(TelemetryRegistry, GlobalRegistryIsASingleton)
+{
+    EXPECT_EQ(&globalRegistry(), &globalRegistry());
+    // The build-selected variant matches the compile-time switch.
+    EXPECT_EQ(kEnabled, VIDEOAPP_TELEMETRY != 0);
+}
+
+// --- macros ------------------------------------------------------------
+
+TEST(TelemetryMacros, CountScopeAndHistCompileAndRespectMode)
+{
+    u64 before = globalRegistry()
+                     .counter("test.macro_counter")
+                     .value();
+    VA_TELEM_COUNT("test.macro_counter", 2);
+    {
+        VA_TELEM_SCOPE("test.macro_timer");
+        VA_TELEM_HIST("test.macro_hist", 42);
+    }
+    u64 after =
+        globalRegistry().counter("test.macro_counter").value();
+    if (kEnabled)
+        EXPECT_EQ(after, before + 2);
+    else
+        EXPECT_EQ(after, 0u);
+}
+
+} // namespace
+} // namespace telemetry
+} // namespace videoapp

@@ -1,0 +1,248 @@
+#!/usr/bin/env python3
+"""Compare a fresh BENCH_pipeline.json against a committed baseline.
+
+Two classes of fields are checked:
+
+* HARD fields (exit 1 on violation): correctness and output-size
+  metrics that are deterministic for a fixed bench config — the
+  parallel==sequential flag, per-thread payload/parity bit totals,
+  and the deterministic telemetry counters (BCH blocks decoded /
+  bits corrected / uncorrectable, modeled-channel damage, trial and
+  stream counts). A relative tolerance (--count-tolerance, default
+  2%) absorbs cross-platform libm jitter while still catching real
+  behaviour changes.
+
+* SOFT fields (warn, exit 0): wall-clock timings, throughput and
+  speedups, which drift with runner load. --strict-timing promotes
+  them to hard failures (--timing-tolerance, default 100% = 2x).
+
+The two files must have been produced with the same bench config
+(scale / runs / videos); a mismatch is a usage error (exit 2), not a
+regression, since counts are only comparable at equal scale.
+
+Exit codes: 0 ok (possibly with warnings), 1 regression, 2 usage or
+input error.
+
+Regenerating the baseline after an intentional perf/behaviour change
+(see EXPERIMENTS.md):
+
+    VIDEOAPP_BENCH_SCALE=0.15 VIDEOAPP_BENCH_RUNS=2 \
+    VIDEOAPP_BENCH_VIDEOS=1 VIDEOAPP_THREADS=4 \
+    VIDEOAPP_BENCH_OUT=bench/baselines/BENCH_pipeline.baseline.json \
+    ./build/bench/perf_pipeline
+"""
+
+import argparse
+import json
+import sys
+
+# Telemetry counters that are deterministic for a fixed bench config
+# and therefore hard-checked. Scheduling-dependent counters
+# (parallel.loops_* etc.) and everything under timers/histograms are
+# soft: they describe how the work was executed, not what it
+# computed.
+HARD_COUNTERS = [
+    "pipeline.videos_prepared",
+    "pipeline.streams_stored",
+    "storage.bch.blocks_decoded",
+    "storage.bch.blocks_clean",
+    "storage.bch.bits_corrected",
+    "storage.bch.blocks_uncorrectable",
+    "storage.channel.blocks_stored",
+    "storage.channel.blocks_miscorrected",
+    "storage.model.streams_stored",
+    "storage.model.bits_damaged",
+    "sim.trials",
+    "sim.bits_flipped",
+]
+
+
+class Report:
+    def __init__(self):
+        self.failures = []
+        self.warnings = []
+
+    def fail(self, message):
+        self.failures.append(message)
+
+    def warn(self, message):
+        self.warnings.append(message)
+
+
+def load(path):
+    try:
+        with open(path, "r", encoding="utf-8") as f:
+            return json.load(f)
+    except (OSError, json.JSONDecodeError) as e:
+        print(f"error: cannot read {path}: {e}", file=sys.stderr)
+        sys.exit(2)
+
+
+def rel_diff(current, baseline):
+    """Relative difference of two scalars, 0 when both are zero."""
+    if baseline == 0 and current == 0:
+        return 0.0
+    denom = max(abs(baseline), 1e-12)
+    return abs(current - baseline) / denom
+
+
+def check_scalar(report, name, current, baseline, tolerance, hard):
+    if current is None:
+        report.fail(f"{name}: missing from current results")
+        return
+    if baseline is None:
+        # New metric with no baseline entry: fine, note it.
+        report.warn(f"{name}: not in baseline (new metric?)")
+        return
+    diff = rel_diff(current, baseline)
+    if diff <= tolerance:
+        return
+    message = (
+        f"{name}: current {current} vs baseline {baseline} "
+        f"({diff * 100:.1f}% off, tolerance {tolerance * 100:.0f}%)"
+    )
+    if hard:
+        report.fail(message)
+    else:
+        report.warn(message)
+
+
+def check_config(current, baseline):
+    ca, cb = current.get("config"), baseline.get("config")
+    if ca is None or cb is None:
+        print(
+            "error: one of the files has no \"config\" section; "
+            "regenerate both with the current perf_pipeline",
+            file=sys.stderr,
+        )
+        sys.exit(2)
+    if ca != cb:
+        print(
+            f"error: bench configs differ (current {ca}, baseline "
+            f"{cb}); counts are only comparable at equal scale — "
+            "rerun with the baseline's VIDEOAPP_BENCH_* settings "
+            "or regenerate the baseline",
+            file=sys.stderr,
+        )
+        sys.exit(2)
+
+
+def check_correctness(report, current):
+    if current.get("parallel_equals_sequential") is not True:
+        report.fail(
+            "parallel_equals_sequential is not true: parallel "
+            "execution no longer matches sequential output"
+        )
+
+
+def check_thread_rows(report, current, baseline, count_tol,
+                      timing_tol, strict_timing):
+    rows_c = {r["threads"]: r for r in current.get("threads", [])}
+    rows_b = {r["threads"]: r for r in baseline.get("threads", [])}
+    for n in sorted(rows_b):
+        if n not in rows_c:
+            report.fail(f"threads[{n}]: row missing from current run")
+            continue
+        rc, rb = rows_c[n], rows_b[n]
+        for key in ("payload_bits", "parity_bits"):
+            check_scalar(report, f"threads[{n}].{key}", rc.get(key),
+                         rb.get(key), count_tol, hard=True)
+        for key in ("prepare_s", "store_retrieve_s"):
+            check_scalar(report, f"threads[{n}].{key}", rc.get(key),
+                         rb.get(key), timing_tol,
+                         hard=strict_timing)
+
+
+def check_bch(report, current, baseline, timing_tol, strict_timing):
+    bc = current.get("bch_single_thread", {})
+    bb = baseline.get("bch_single_thread", {})
+    for key in ("packed_encode_s", "packed_decode_s"):
+        check_scalar(report, f"bch_single_thread.{key}", bc.get(key),
+                     bb.get(key), timing_tol, hard=strict_timing)
+
+
+def check_telemetry(report, current, baseline, count_tol):
+    tc = current.get("telemetry")
+    tb = baseline.get("telemetry")
+    if tc is None:
+        report.fail("telemetry section missing from current results")
+        return
+    if tb is None:
+        report.warn("telemetry section missing from baseline")
+        return
+    sv_c = tc.get("schema_version")
+    sv_b = tb.get("schema_version")
+    if sv_c != sv_b:
+        report.warn(
+            f"telemetry schema_version changed "
+            f"({sv_b} -> {sv_c}); counter comparison may be stale"
+        )
+    cc = tc.get("counters", {})
+    cb = tb.get("counters", {})
+    for name in HARD_COUNTERS:
+        # A counter neither side recorded stayed at zero (metrics
+        # register on first increment).
+        check_scalar(report, f"telemetry.counters.{name}",
+                     cc.get(name, 0), cb.get(name, 0), count_tol,
+                     hard=True)
+    # Everything else (scheduling counters, new metrics): soft.
+    for name in sorted(set(cc) | set(cb)):
+        if name in HARD_COUNTERS:
+            continue
+        check_scalar(report, f"telemetry.counters.{name}",
+                     cc.get(name, 0), cb.get(name, 0), count_tol,
+                     hard=False)
+
+
+def main():
+    parser = argparse.ArgumentParser(
+        description=__doc__,
+        formatter_class=argparse.RawDescriptionHelpFormatter,
+    )
+    parser.add_argument("--current", required=True,
+                        help="freshly produced BENCH_pipeline.json")
+    parser.add_argument(
+        "--baseline", required=True,
+        help="committed bench/baselines/BENCH_pipeline.baseline.json")
+    parser.add_argument(
+        "--count-tolerance", type=float, default=0.02,
+        help="relative tolerance for hard count/size fields "
+             "(default 0.02)")
+    parser.add_argument(
+        "--timing-tolerance", type=float, default=1.0,
+        help="relative tolerance for timing fields (default 1.0, "
+             "i.e. 2x)")
+    parser.add_argument(
+        "--strict-timing", action="store_true",
+        help="treat timing drift beyond tolerance as a failure "
+             "instead of a warning")
+    args = parser.parse_args()
+
+    current = load(args.current)
+    baseline = load(args.baseline)
+    check_config(current, baseline)
+
+    report = Report()
+    check_correctness(report, current)
+    check_thread_rows(report, current, baseline,
+                      args.count_tolerance, args.timing_tolerance,
+                      args.strict_timing)
+    check_bch(report, current, baseline, args.timing_tolerance,
+              args.strict_timing)
+    check_telemetry(report, current, baseline, args.count_tolerance)
+
+    for w in report.warnings:
+        print(f"warning: {w}")
+    for f in report.failures:
+        print(f"FAIL: {f}")
+    if report.failures:
+        print(f"\n{len(report.failures)} regression(s) vs baseline "
+              f"{args.baseline}")
+        return 1
+    print(f"ok: within tolerance of baseline {args.baseline} "
+          f"({len(report.warnings)} warning(s))")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
