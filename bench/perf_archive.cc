@@ -1,0 +1,313 @@
+/**
+ * @file
+ * Performance of the VAPP archive service (not a paper figure — an
+ * engineering bench for the persistent store built on the paper's
+ * storage model).
+ *
+ * Measurements, written to BENCH_archive.json:
+ *  1. put / get(inject 1e-3) / scrub(age 1e-3) wall time at 1/2/4/8
+ *     pool threads over a small multi-video archive, with payload
+ *     throughput and speedup vs 1 thread.
+ *  2. hard output counts per row: stored payload/cell bytes and the
+ *     scrub repair totals, which are deterministic for a fixed
+ *     config and seed at any thread count.
+ *  3. two correctness flags: put -> flush -> reopen -> get
+ *     reproduces the stored bitstreams exactly (round_trip_exact),
+ *     and the 4-thread run leaves the identical archive and repair
+ *     counts as the 1-thread run (parallel_equals_sequential).
+ *
+ * The JSON carries the bench config and a telemetry snapshot;
+ * tools/check_bench_regression.py diffs it against
+ * bench/baselines/BENCH_archive.baseline.json in CI.
+ * VIDEOAPP_BENCH_OUT overrides the output path.
+ */
+
+#include <algorithm>
+#include <cerrno>
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "archive/archive_service.h"
+#include "common/crc32.h"
+#include "common/parallel.h"
+#include "common/telemetry.h"
+#include "sim/bench_config.h"
+
+namespace videoapp {
+namespace {
+
+double
+now()
+{
+    using clock = std::chrono::steady_clock;
+    return std::chrono::duration<double>(
+               clock::now().time_since_epoch())
+        .count();
+}
+
+struct ThreadPoint
+{
+    int threads = 0;
+    double putSeconds = 0;
+    double getSeconds = 0;
+    double scrubSeconds = 0;
+    double mbitPerSecond = 0;
+    double speedup = 0;
+    // Hard-checked outputs (identical at every thread count by the
+    // determinism contract).
+    u64 payloadBytes = 0;
+    u64 cellBytes = 0;
+    u64 scrubBlocksRewritten = 0;
+    u64 scrubBitsCorrected = 0;
+    /** CRC of the serialized post-scrub archive (determinism). */
+    u32 archiveCrc = 0;
+};
+
+std::string
+scratchPath(int threads)
+{
+    const char *tmp = std::getenv("TMPDIR");
+    return std::string(tmp ? tmp : "/tmp") + "/perf_archive_" +
+           std::to_string(threads) + ".vapp";
+}
+
+std::string
+benchVideoName(std::size_t i)
+{
+    std::string name = "video";
+    name += std::to_string(i);
+    return name;
+}
+
+ThreadPoint
+benchOneThreadCount(int threads, int iters,
+                    const std::vector<PreparedVideo> &prepared)
+{
+    setThreadCount(threads);
+    ThreadPoint p;
+    p.threads = threads;
+    const std::size_t videos = prepared.size();
+
+    ArchiveService service(scratchPath(threads));
+    std::remove(service.path().c_str());
+    service.open();
+
+    double t0 = now();
+    for (int it = 0; it < iters; ++it) {
+        parallelFor(videos, [&](std::size_t i) {
+            service.put(benchVideoName(i), prepared[i], {});
+        });
+    }
+    p.putSeconds = now() - t0;
+
+    u64 get_bits = 0;
+    t0 = now();
+    for (int it = 0; it < iters; ++it) {
+        std::vector<u64> bits(videos, 0);
+        parallelFor(videos, [&](std::size_t i) {
+            ArchiveGetOptions options;
+            options.injectRawBer = 1e-3;
+            options.seed = static_cast<u64>(it) * 100 + i;
+            ArchiveGetResult got =
+                service.get(benchVideoName(i), options);
+            for (const auto &[t, data] : got.streams.data)
+                bits[i] += data.size() * 8;
+        });
+        for (u64 b : bits)
+            get_bits += b;
+    }
+    p.getSeconds = now() - t0;
+    p.mbitPerSecond =
+        p.getSeconds > 0
+            ? static_cast<double>(get_bits) / p.getSeconds / 1e6
+            : 0;
+
+    t0 = now();
+    for (int it = 0; it < iters; ++it) {
+        ScrubOptions age;
+        age.ageRawBer = 1e-3;
+        age.seed = static_cast<u64>(it);
+        ScrubReport report = service.scrub(age);
+        p.scrubBlocksRewritten += report.blocksRewritten;
+        p.scrubBitsCorrected += report.cells.bitsCorrected;
+    }
+    p.scrubSeconds = now() - t0;
+
+    for (const ArchiveVideoStat &s : service.stat()) {
+        p.payloadBytes += s.payloadBytes;
+        p.cellBytes += s.cellBytes;
+    }
+    service.flush();
+    Archive on_disk;
+    if (readArchive(service.path(), on_disk) == ArchiveError::None)
+        p.archiveCrc = crc32(serializeArchive(on_disk));
+    std::remove(service.path().c_str());
+    setThreadCount(0);
+    return p;
+}
+
+/** put -> flush -> reopen -> get reproduces the exact bitstreams. */
+bool
+checkRoundTripExact(const std::vector<PreparedVideo> &prepared)
+{
+    std::string path = scratchPath(0);
+    std::remove(path.c_str());
+    {
+        ArchiveService service(path);
+        if (service.open() != ArchiveError::None)
+            return false;
+        for (std::size_t i = 0; i < prepared.size(); ++i)
+            service.put(benchVideoName(i), prepared[i], {});
+        if (service.flush() != ArchiveError::None)
+            return false;
+    }
+    ArchiveService service(path);
+    if (service.open(false) != ArchiveError::None)
+        return false;
+    bool exact = true;
+    for (std::size_t i = 0; i < prepared.size(); ++i) {
+        ArchiveGetResult got = service.get(benchVideoName(i));
+        if (got.error != ArchiveError::None ||
+            got.streams.data != prepared[i].streams.data)
+            exact = false;
+    }
+    std::remove(path.c_str());
+    return exact;
+}
+
+std::string
+outputPath()
+{
+    if (const char *out = std::getenv("VIDEOAPP_BENCH_OUT"))
+        return out;
+    return "BENCH_archive.json";
+}
+
+bool
+writeJson(const BenchConfig &config,
+          const std::vector<ThreadPoint> &points,
+          bool round_trip_exact, bool deterministic)
+{
+    const std::string path = outputPath();
+    std::FILE *f = std::fopen(path.c_str(), "w");
+    if (!f) {
+        std::fprintf(stderr,
+                     "error: cannot write bench results to '%s': %s\n"
+                     "(set VIDEOAPP_BENCH_OUT to a writable path)\n",
+                     path.c_str(), std::strerror(errno));
+        return false;
+    }
+    std::fprintf(f, "{\n  \"bench\": \"perf_archive\",\n");
+    std::fprintf(f,
+                 "  \"config\": {\"scale\": %.3f, \"runs\": %d, "
+                 "\"videos\": %d},\n",
+                 config.scale, config.runs, config.videos);
+    std::fprintf(f, "  \"threads\": [\n");
+    for (std::size_t i = 0; i < points.size(); ++i) {
+        const ThreadPoint &p = points[i];
+        std::fprintf(
+            f,
+            "    {\"threads\": %d, \"put_s\": %.6f, "
+            "\"get_s\": %.6f, \"scrub_s\": %.6f, "
+            "\"mbit_per_s\": %.3f, \"speedup\": %.3f, "
+            "\"payload_bytes\": %llu, \"cell_bytes\": %llu, "
+            "\"scrub_blocks_rewritten\": %llu, "
+            "\"scrub_bits_corrected\": %llu}%s\n",
+            p.threads, p.putSeconds, p.getSeconds, p.scrubSeconds,
+            p.mbitPerSecond, p.speedup,
+            static_cast<unsigned long long>(p.payloadBytes),
+            static_cast<unsigned long long>(p.cellBytes),
+            static_cast<unsigned long long>(p.scrubBlocksRewritten),
+            static_cast<unsigned long long>(p.scrubBitsCorrected),
+            i + 1 < points.size() ? "," : "");
+    }
+    std::fprintf(f, "  ],\n");
+    std::fprintf(f, "  \"round_trip_exact\": %s,\n",
+                 round_trip_exact ? "true" : "false");
+    std::fprintf(f, "  \"parallel_equals_sequential\": %s,\n",
+                 deterministic ? "true" : "false");
+    std::string telemetry =
+        telemetry::globalRegistry().snapshotJson(2);
+    std::fprintf(f, "  \"telemetry\": %s\n}\n", telemetry.c_str());
+    if (std::fclose(f) != 0) {
+        std::fprintf(stderr, "error: failed to flush '%s': %s\n",
+                     path.c_str(), std::strerror(errno));
+        return false;
+    }
+    return true;
+}
+
+bool
+run(const BenchConfig &config)
+{
+    telemetry::globalRegistry().resetAll();
+
+    const std::size_t videos = static_cast<std::size_t>(
+        std::max(2, config.videos));
+    const int iters = std::max(2, config.runs);
+    auto suite = standardSuite(config.scale);
+    std::vector<PreparedVideo> prepared;
+    prepared.reserve(videos);
+    for (std::size_t i = 0; i < videos; ++i) {
+        Video source = generateSynthetic(suite[i % suite.size()]);
+        prepared.push_back(prepareVideo(
+            source, EncoderConfig{}, EccAssignment::paperTable1()));
+    }
+
+    std::printf("%-8s %9s %9s %9s %10s %9s\n", "threads",
+                "put (s)", "get (s)", "scrub (s)", "Mbit/s",
+                "speedup");
+    std::vector<ThreadPoint> points;
+    for (int n : {1, 2, 4, 8})
+        points.push_back(benchOneThreadCount(n, iters, prepared));
+    for (ThreadPoint &p : points) {
+        const ThreadPoint &base = points.front();
+        double total =
+            p.putSeconds + p.getSeconds + p.scrubSeconds;
+        double base_total = base.putSeconds + base.getSeconds +
+                            base.scrubSeconds;
+        p.speedup = total > 0 ? base_total / total : 0;
+        std::printf("%-8d %9.3f %9.3f %9.3f %10.2f %8.2fx\n",
+                    p.threads, p.putSeconds, p.getSeconds,
+                    p.scrubSeconds, p.mbitPerSecond, p.speedup);
+    }
+
+    bool deterministic = true;
+    for (const ThreadPoint &p : points) {
+        const ThreadPoint &base = points.front();
+        if (p.archiveCrc != base.archiveCrc ||
+            p.payloadBytes != base.payloadBytes ||
+            p.cellBytes != base.cellBytes ||
+            p.scrubBlocksRewritten != base.scrubBlocksRewritten ||
+            p.scrubBitsCorrected != base.scrubBitsCorrected)
+            deterministic = false;
+    }
+    std::printf("\nparallel == sequential archive: %s\n",
+                deterministic ? "yes" : "NO (BUG)");
+
+    bool round_trip_exact = checkRoundTripExact(prepared);
+    std::printf("put -> reopen -> get bit-exact: %s\n",
+                round_trip_exact ? "yes" : "NO (BUG)");
+
+    if (!writeJson(config, points, round_trip_exact, deterministic))
+        return false;
+    std::printf("wrote %s\n", outputPath().c_str());
+    return round_trip_exact && deterministic;
+}
+
+} // namespace
+} // namespace videoapp
+
+int
+main()
+{
+    using namespace videoapp;
+    BenchConfig config = BenchConfig::fromEnv();
+    printBenchBanner(
+        "perf: VAPP archive service (put/get/scrub)", config);
+    return run(config) ? 0 : 1;
+}

@@ -11,8 +11,18 @@
  *   simulate <in.yuv> <w> <h>             full approximate-storage
  *                                         round trip on MLC PCM
  *
+ * Archive commands (persistent VAPP containers, src/archive/):
+ *   archive put   <a.vapp> <name> <in.yuv> <w> <h>   store a video
+ *   archive get   <a.vapp> <name> <out.yuv>          retrieve+decode
+ *   archive scrub <a.vapp>                           repair pass
+ *   archive stat  <a.vapp>                           list contents
+ *
  * Common options: --crf N, --gop N, --bframes N, --slices N,
  * --cavlc, --no-deblock, --raw-ber X, --seed N, --conceal.
+ * Archive options: --key HEX (AES key: encrypts on put, decrypts on
+ * get), --mode ecb|cbc|ctr|ofb|cfb, --key-id N. `get`/`scrub` age
+ * the device at --raw-ber first when the flag is given (default:
+ * read the cells exactly as stored).
  */
 
 #include <cstdio>
@@ -22,6 +32,7 @@
 #include <string>
 #include <vector>
 
+#include "archive/archive_service.h"
 #include "core/pipeline.h"
 #include "quality/metrics.h"
 #include "sim/monte_carlo.h"
@@ -34,8 +45,13 @@ struct CliOptions
 {
     EncoderConfig encoder;
     double rawBer = kPcmRawBer;
+    /** Whether --raw-ber appeared (archive reads default to 0). */
+    bool rawBerGiven = false;
     u64 seed = 1;
     bool conceal = false;
+    Bytes key;
+    CipherMode mode = CipherMode::CTR;
+    u32 keyId = 0;
 };
 
 void
@@ -48,8 +64,58 @@ usage()
         "  decode   <in.vap> <out.yuv>\n"
         "  analyze  <in.yuv> <w> <h>\n"
         "  simulate <in.yuv> <w> <h>\n"
+        "  archive put   <a.vapp> <name> <in.yuv> <w> <h>\n"
+        "  archive get   <a.vapp> <name> <out.yuv>\n"
+        "  archive scrub <a.vapp>\n"
+        "  archive stat  <a.vapp>\n"
         "options: --crf N --gop N --bframes N --slices N --cavlc\n"
-        "         --no-deblock --raw-ber X --seed N --conceal\n");
+        "         --no-deblock --raw-ber X --seed N --conceal\n"
+        "         --key HEX --mode ecb|cbc|ctr|ofb|cfb --key-id N\n");
+}
+
+/** Parse "deadbeef.." into bytes; false on odd length/bad digit. */
+bool
+parseHex(const std::string &hex, Bytes &out)
+{
+    if (hex.size() % 2 != 0)
+        return false;
+    out.clear();
+    out.reserve(hex.size() / 2);
+    auto nibble = [](char c) -> int {
+        if (c >= '0' && c <= '9')
+            return c - '0';
+        if (c >= 'a' && c <= 'f')
+            return c - 'a' + 10;
+        if (c >= 'A' && c <= 'F')
+            return c - 'A' + 10;
+        return -1;
+    };
+    for (std::size_t i = 0; i < hex.size(); i += 2) {
+        int hi = nibble(hex[i]);
+        int lo = nibble(hex[i + 1]);
+        if (hi < 0 || lo < 0)
+            return false;
+        out.push_back(static_cast<u8>(hi << 4 | lo));
+    }
+    return true;
+}
+
+bool
+parseMode(const std::string &name, CipherMode &mode)
+{
+    if (name == "ecb")
+        mode = CipherMode::ECB;
+    else if (name == "cbc")
+        mode = CipherMode::CBC;
+    else if (name == "ctr")
+        mode = CipherMode::CTR;
+    else if (name == "ofb")
+        mode = CipherMode::OFB;
+    else if (name == "cfb")
+        mode = CipherMode::CFB;
+    else
+        return false;
+    return true;
 }
 
 /** Parse trailing --options; returns false on an unknown flag. */
@@ -61,7 +127,24 @@ parseOptions(int argc, char **argv, int first, CliOptions &opts)
         auto next = [&](double fallback) {
             return i + 1 < argc ? std::atof(argv[++i]) : fallback;
         };
-        if (a == "--crf")
+        auto nextStr = [&]() -> std::string {
+            return i + 1 < argc ? argv[++i] : "";
+        };
+        if (a == "--key") {
+            if (!parseHex(nextStr(), opts.key)) {
+                std::fprintf(stderr, "--key wants hex bytes\n");
+                return false;
+            }
+        } else if (a == "--mode") {
+            if (!parseMode(nextStr(), opts.mode)) {
+                std::fprintf(
+                    stderr,
+                    "--mode wants ecb|cbc|ctr|ofb|cfb\n");
+                return false;
+            }
+        } else if (a == "--key-id") {
+            opts.keyId = static_cast<u32>(next(0));
+        } else if (a == "--crf")
             opts.encoder.crf = static_cast<int>(next(24));
         else if (a == "--gop")
             opts.encoder.gop.gopSize = static_cast<int>(next(48));
@@ -73,8 +156,10 @@ parseOptions(int argc, char **argv, int first, CliOptions &opts)
             opts.encoder.entropy = EntropyKind::CAVLC;
         else if (a == "--no-deblock")
             opts.encoder.deblocking = false;
-        else if (a == "--raw-ber")
+        else if (a == "--raw-ber") {
             opts.rawBer = next(kPcmRawBer);
+            opts.rawBerGiven = true;
+        }
         else if (a == "--seed")
             opts.seed = static_cast<u64>(next(1));
         else if (a == "--conceal")
@@ -220,6 +305,193 @@ cmdSimulate(const std::string &in, int w, int h,
     return 0;
 }
 
+/** Open an existing archive or explain why it cannot be read. */
+bool
+openOrComplain(ArchiveService &service, bool create_if_missing)
+{
+    ArchiveError err = service.open(create_if_missing);
+    if (err != ArchiveError::None) {
+        std::fprintf(stderr, "error: cannot open '%s': %s\n",
+                     service.path().c_str(),
+                     archiveErrorName(err));
+        return false;
+    }
+    return true;
+}
+
+int
+cmdArchivePut(const std::string &archive, const std::string &name,
+              const std::string &in, int w, int h,
+              const CliOptions &opts)
+{
+    Video source = loadOrDie(in, w, h);
+    ArchiveService service(archive);
+    if (!openOrComplain(service, true))
+        return 1;
+
+    PreparedVideo prepared = prepareVideo(
+        source, opts.encoder, EccAssignment::paperTable1());
+
+    ArchivePutOptions put;
+    if (!opts.key.empty()) {
+        EncryptionConfig enc;
+        enc.mode = opts.mode;
+        enc.key = opts.key;
+        enc.keyId = opts.keyId;
+        // The master IV is a nonce, derived deterministically from
+        // the seed and name so puts are reproducible; vary --seed
+        // (or name) across puts under one key.
+        Rng iv_rng(Rng::deriveSeed(
+            opts.seed, std::hash<std::string>{}(name)));
+        for (auto &b : enc.masterIv)
+            b = static_cast<u8>(iv_rng.next());
+        put.encryption = enc;
+    }
+    service.put(name, prepared, put);
+    ArchiveError err = service.flush();
+    if (err != ArchiveError::None) {
+        std::fprintf(stderr, "error: cannot write '%s': %s\n",
+                     archive.c_str(), archiveErrorName(err));
+        return 1;
+    }
+    std::printf("stored '%s': %zu frames, %llu payload bytes in "
+                "%llu cell bytes%s\n",
+                name.c_str(), source.frames.size(),
+                static_cast<unsigned long long>(
+                    prepared.payloadBits() / 8),
+                static_cast<unsigned long long>(
+                    service.stat().back().cellBytes),
+                opts.key.empty() ? "" : " (encrypted)");
+    return 0;
+}
+
+int
+cmdArchiveGet(const std::string &archive, const std::string &name,
+              const std::string &out, const CliOptions &opts)
+{
+    ArchiveService service(archive);
+    if (!openOrComplain(service, false))
+        return 1;
+
+    ArchiveGetOptions get;
+    get.injectRawBer = opts.rawBerGiven ? opts.rawBer : 0.0;
+    get.seed = opts.seed;
+    get.conceal = opts.conceal;
+    get.key = opts.key;
+    ArchiveGetResult result = service.get(name, get);
+    if (result.error != ArchiveError::None) {
+        std::fprintf(stderr, "error: get '%s': %s\n", name.c_str(),
+                     archiveErrorName(result.error));
+        return 1;
+    }
+    if (!saveI420(result.decoded, out)) {
+        std::fprintf(stderr, "error: cannot write '%s'\n",
+                     out.c_str());
+        return 1;
+    }
+    std::printf(
+        "retrieved '%s': %zu frames (%dx%d) -> %s\n"
+        "  blocks: %llu read, %llu corrected (%llu bits), "
+        "%llu uncorrectable\n",
+        name.c_str(), result.decoded.frames.size(),
+        result.decoded.width(), result.decoded.height(),
+        out.c_str(),
+        static_cast<unsigned long long>(result.cells.blocksRead),
+        static_cast<unsigned long long>(
+            result.cells.blocksCorrected),
+        static_cast<unsigned long long>(result.cells.bitsCorrected),
+        static_cast<unsigned long long>(
+            result.cells.blocksUncorrectable));
+    return 0;
+}
+
+int
+cmdArchiveScrub(const std::string &archive, const CliOptions &opts)
+{
+    ArchiveService service(archive);
+    if (!openOrComplain(service, false))
+        return 1;
+
+    ScrubOptions scrub;
+    scrub.ageRawBer = opts.rawBerGiven ? opts.rawBer : 0.0;
+    scrub.seed = opts.seed;
+    ScrubReport report = service.scrub(scrub);
+    ArchiveError err = service.flush();
+    if (err != ArchiveError::None) {
+        std::fprintf(stderr, "error: cannot write '%s': %s\n",
+                     archive.c_str(), archiveErrorName(err));
+        return 1;
+    }
+    std::printf(
+        "scrubbed %llu videos / %llu streams:\n"
+        "  blocks: %llu read, %llu rewritten (%llu bits "
+        "corrected), %llu uncorrectable\n"
+        "  streams: %llu damaged, %llu miscorrected\n",
+        static_cast<unsigned long long>(report.videos),
+        static_cast<unsigned long long>(report.streams),
+        static_cast<unsigned long long>(report.cells.blocksRead),
+        static_cast<unsigned long long>(report.blocksRewritten),
+        static_cast<unsigned long long>(report.cells.bitsCorrected),
+        static_cast<unsigned long long>(
+            report.cells.blocksUncorrectable),
+        static_cast<unsigned long long>(report.streamsDamaged),
+        static_cast<unsigned long long>(report.streamsMiscorrected));
+    return 0;
+}
+
+int
+cmdArchiveStat(const std::string &archive)
+{
+    ArchiveService service(archive);
+    if (!openOrComplain(service, false))
+        return 1;
+
+    std::printf("%-20s %9s %7s %8s %14s %14s %5s\n", "name", "dims",
+                "frames", "streams", "payload B", "cell B", "enc");
+    for (const auto &s : service.stat()) {
+        char dims[16];
+        std::snprintf(dims, sizeof dims, "%dx%d", s.width,
+                      s.height);
+        std::printf("%-20s %9s %7zu %8zu %14llu %14llu %5s\n",
+                    s.name.c_str(), dims, s.frames, s.streamCount,
+                    static_cast<unsigned long long>(s.payloadBytes),
+                    static_cast<unsigned long long>(s.cellBytes),
+                    s.encrypted ? "yes" : "no");
+    }
+    std::printf("%zu video(s)\n", service.videoCount());
+    return 0;
+}
+
+int
+cmdArchive(int argc, char **argv, CliOptions &opts)
+{
+    std::string sub = argc >= 3 ? argv[2] : "";
+    if (sub == "put" && argc >= 8) {
+        if (!parseOptions(argc, argv, 8, opts))
+            return 1;
+        return cmdArchivePut(argv[3], argv[4], argv[5],
+                             std::atoi(argv[6]), std::atoi(argv[7]),
+                             opts);
+    }
+    if (sub == "get" && argc >= 6) {
+        if (!parseOptions(argc, argv, 6, opts))
+            return 1;
+        return cmdArchiveGet(argv[3], argv[4], argv[5], opts);
+    }
+    if (sub == "scrub" && argc >= 4) {
+        if (!parseOptions(argc, argv, 4, opts))
+            return 1;
+        return cmdArchiveScrub(argv[3], opts);
+    }
+    if (sub == "stat" && argc >= 4) {
+        if (!parseOptions(argc, argv, 4, opts))
+            return 1;
+        return cmdArchiveStat(argv[3]);
+    }
+    usage();
+    return 1;
+}
+
 } // namespace
 } // namespace videoapp
 
@@ -234,6 +506,8 @@ main(int argc, char **argv)
     std::string cmd = argv[1];
     CliOptions opts;
 
+    if (cmd == "archive")
+        return cmdArchive(argc, argv, opts);
     if (cmd == "encode" && argc >= 6) {
         if (!parseOptions(argc, argv, 6, opts))
             return 1;

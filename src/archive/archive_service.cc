@@ -1,0 +1,342 @@
+#include "archive/archive_service.h"
+
+#include <fstream>
+#include <functional>
+#include <memory>
+
+#include "common/crc32.h"
+#include "common/parallel.h"
+#include "common/telemetry.h"
+
+namespace videoapp {
+
+namespace {
+
+/** The record's precise layout: headers plus payload placement.
+ * Payload bytes are zero-filled placeholders — only their sizes
+ * matter to mergeStreams, and only the sizes are persisted — so the
+ * in-memory record matches a reopened one byte for byte. */
+EncodedVideo
+layoutOf(const EncodedVideo &video)
+{
+    EncodedVideo layout;
+    layout.header = video.header;
+    layout.frameHeaders = video.frameHeaders;
+    layout.payloads.reserve(video.payloads.size());
+    for (const auto &p : video.payloads)
+        layout.payloads.emplace_back(p.size(), 0);
+    return layout;
+}
+
+} // namespace
+
+VideoRecord
+recordFromPrepared(const PreparedVideo &prepared,
+                   const std::optional<EncryptionConfig> &encryption)
+{
+    VA_TELEM_LATENCY("archive.record_build");
+    VideoRecord record;
+    record.layout = layoutOf(prepared.enc.video);
+
+    std::unique_ptr<StreamCryptor> cryptor;
+    if (encryption) {
+        cryptor = std::make_unique<StreamCryptor>(
+            encryption->mode, encryption->key, encryption->masterIv);
+        record.crypto = cryptor->meta(encryption->keyId);
+    }
+
+    // One StreamRecord per reliability stream, ascending t (map
+    // order). Encrypt + BCH-encode is pure per-stream work, so it
+    // runs on the pool.
+    struct StreamWork
+    {
+        int t = 0;
+        const Bytes *data = nullptr;
+        u64 bitLength = 0;
+    };
+    std::vector<StreamWork> work;
+    work.reserve(prepared.streams.data.size());
+    for (const auto &[t, data] : prepared.streams.data)
+        work.push_back(
+            {t, &data, prepared.streams.bitLength.at(t)});
+
+    record.streams.resize(work.size());
+    parallelFor(work.size(), [&](std::size_t i) {
+        const StreamWork &w = work[i];
+        StreamRecord &s = record.streams[i];
+        s.schemeT = w.t;
+        s.bitLength = w.bitLength;
+        s.trueBytes = w.data->size();
+        Bytes to_store = *w.data;
+        if (cryptor)
+            to_store = cryptor->encryptStream(
+                static_cast<u32>(w.t), to_store);
+        s.image = exportCellImage(to_store, EccScheme{w.t});
+        s.cellsCrc = crc32(s.image.cells);
+    });
+    VA_TELEM_COUNT("archive.streams_encoded", work.size());
+    return record;
+}
+
+ArchiveService::ArchiveService(std::string path)
+    : path_(std::move(path))
+{}
+
+std::mutex &
+ArchiveService::shardFor(const std::string &name) const
+{
+    return shards_[std::hash<std::string>{}(name) % kLockShards];
+}
+
+ArchiveError
+ArchiveService::open(bool create_if_missing)
+{
+    VA_TELEM_LATENCY("archive.open");
+    std::unique_lock dir(dirMutex_);
+    {
+        std::ifstream probe(path_, std::ios::binary);
+        if (!probe) {
+            if (!create_if_missing)
+                return ArchiveError::Io;
+            archive_ = Archive{};
+            return ArchiveError::None;
+        }
+    }
+    Archive loaded;
+    ArchiveError err = readArchive(path_, loaded);
+    if (err != ArchiveError::None)
+        return err;
+    archive_ = std::move(loaded);
+    VA_TELEM_COUNT("archive.opens", 1);
+    return ArchiveError::None;
+}
+
+ArchiveError
+ArchiveService::flush()
+{
+    VA_TELEM_LATENCY("archive.flush");
+    // Exclusive directory lock: every cells reader/writer holds at
+    // least a shared directory lock, so this alone quiesces the
+    // archive for a consistent snapshot.
+    std::unique_lock dir(dirMutex_);
+    ArchiveError err = writeArchive(archive_, path_);
+    if (err == ArchiveError::None)
+        VA_TELEM_COUNT("archive.flushes", 1);
+    return err;
+}
+
+ArchiveError
+ArchiveService::put(const std::string &name,
+                    const PreparedVideo &prepared,
+                    const ArchivePutOptions &options)
+{
+    VA_TELEM_LATENCY("archive.put");
+    // Heavy work (encrypt + BCH encode) happens outside any lock;
+    // only the map insert needs the directory writer lock.
+    VideoRecord record = recordFromPrepared(prepared, options.encryption);
+
+    std::unique_lock dir(dirMutex_);
+    archive_.videos[name] = std::move(record);
+    VA_TELEM_COUNT("archive.puts", 1);
+    return ArchiveError::None;
+}
+
+ArchiveGetResult
+ArchiveService::get(const std::string &name,
+                    const ArchiveGetOptions &options) const
+{
+    VA_TELEM_LATENCY("archive.get");
+    ArchiveGetResult result;
+
+    // Copy what the decode needs under the locks; the expensive
+    // degrade/decode/decrypt/merge runs on private copies.
+    EncodedVideo layout;
+    std::optional<StreamCryptoMeta> crypto;
+    std::vector<StreamRecord> streams;
+    {
+        std::shared_lock dir(dirMutex_);
+        auto it = archive_.videos.find(name);
+        if (it == archive_.videos.end()) {
+            result.error = ArchiveError::NotFound;
+            return result;
+        }
+        std::lock_guard shard(shardFor(name));
+        layout = it->second.layout;
+        crypto = it->second.crypto;
+        streams = it->second.streams;
+    }
+
+    std::unique_ptr<StreamCryptor> cryptor;
+    if (crypto) {
+        if (options.key.empty()) {
+            result.error = ArchiveError::KeyRequired;
+            return result;
+        }
+        cryptor = std::make_unique<StreamCryptor>(
+            crypto->mode, options.key, crypto->masterIv);
+    }
+
+    // Mirror storeAndRetrieve exactly: one child seed per stream,
+    // drawn in ascending-t order before the parallel region. With
+    // the same seed and raw BER, the decoded video is bit-identical
+    // to the in-memory RealBchChannel round trip.
+    Rng master(options.seed);
+    std::vector<u64> seeds(streams.size());
+    for (auto &seed : seeds)
+        seed = master.next();
+
+    std::vector<Bytes> read(streams.size());
+    std::vector<CellReadStats> stats(streams.size());
+    parallelFor(streams.size(), [&](std::size_t i) {
+        StreamRecord &s = streams[i];
+        if (options.injectRawBer > 0.0) {
+            Rng stream_rng(seeds[i]);
+            degradeCellImage(s.image, options.injectRawBer,
+                             stream_rng);
+        }
+        Bytes payload = readCellImage(s.image, &stats[i]);
+        if (cryptor)
+            payload = cryptor->decryptStream(
+                static_cast<u32>(s.schemeT), payload,
+                static_cast<std::size_t>(s.trueBytes));
+        read[i] = std::move(payload);
+    });
+
+    for (std::size_t i = 0; i < streams.size(); ++i) {
+        result.streams.data[streams[i].schemeT] = std::move(read[i]);
+        result.streams.bitLength[streams[i].schemeT] =
+            streams[i].bitLength;
+        result.cells.merge(stats[i]);
+    }
+
+    DecodeOptions decode;
+    decode.concealErrors = options.conceal;
+    result.decoded = decodeStreams(layout, result.streams, decode);
+
+    VA_TELEM_COUNT("archive.gets", 1);
+    VA_TELEM_COUNT("archive.read.blocks_corrected",
+                   result.cells.blocksCorrected);
+    VA_TELEM_COUNT("archive.read.blocks_uncorrectable",
+                   result.cells.blocksUncorrectable);
+    return result;
+}
+
+ScrubReport
+ArchiveService::scrub(const ScrubOptions &options)
+{
+    VA_TELEM_LATENCY("archive.scrub");
+    ScrubReport report;
+
+    // Snapshot the sorted name list first, then scrub each video on
+    // the pool with the task re-acquiring the directory lock itself.
+    // No service lock may be held across parallelFor(): the pool
+    // serializes top-level loops and runs user code under its own
+    // mutex, so dir -> pool here against pool -> dir in a caller's
+    // parallelFor-wrapped put()/get() would be a deadlock cycle.
+    // Per-video seeds derive from (seed, index) over the snapshot
+    // order, so the report is identical at any thread count.
+    std::vector<std::string> names;
+    {
+        std::shared_lock dir(dirMutex_);
+        names.reserve(archive_.videos.size());
+        for (const auto &[name, record] : archive_.videos)
+            names.push_back(name);
+    }
+
+    std::vector<ScrubReport> locals(names.size());
+    std::vector<u8> scrubbed(names.size(), 0);
+    parallelFor(names.size(), [&](std::size_t v) {
+        std::shared_lock dir(dirMutex_);
+        auto it = archive_.videos.find(names[v]);
+        if (it == archive_.videos.end())
+            return; // removed after the snapshot: nothing to repair
+        std::lock_guard shard(shardFor(names[v]));
+        VideoRecord &record = it->second;
+        ScrubReport &local = locals[v];
+        u64 video_seed = Rng::deriveSeed(options.seed, v);
+        for (std::size_t i = 0; i < record.streams.size(); ++i) {
+            StreamRecord &s = record.streams[i];
+            if (options.ageRawBer > 0.0) {
+                Rng rng(Rng::deriveSeed(video_seed, i));
+                degradeCellImage(s.image, options.ageRawBer, rng);
+            }
+            CellReadStats st;
+            scrubCellImage(s.image, &st);
+            local.cells.merge(st);
+            local.blocksRewritten += st.blocksCorrected;
+            if (st.blocksUncorrectable > 0) {
+                ++local.streamsDamaged;
+            } else if (s.schemeT > 0 &&
+                       crc32(s.image.cells) != s.cellsCrc) {
+                // Every block decoded "successfully" yet the repaired
+                // image deviates from the pristine one: the decoder
+                // silently landed on a wrong codeword.
+                ++local.streamsMiscorrected;
+            }
+            ++local.streams;
+        }
+        scrubbed[v] = 1;
+    });
+
+    for (std::size_t v = 0; v < names.size(); ++v) {
+        report.cells.merge(locals[v].cells);
+        report.blocksRewritten += locals[v].blocksRewritten;
+        report.streamsMiscorrected += locals[v].streamsMiscorrected;
+        report.streamsDamaged += locals[v].streamsDamaged;
+        report.streams += locals[v].streams;
+        report.videos += scrubbed[v];
+    }
+
+    VA_TELEM_COUNT("archive.scrubs", 1);
+    VA_TELEM_COUNT("archive.scrub.blocks_read",
+                   report.cells.blocksRead);
+    VA_TELEM_COUNT("archive.scrub.blocks_rewritten",
+                   report.blocksRewritten);
+    VA_TELEM_COUNT("archive.scrub.bits_corrected",
+                   report.cells.bitsCorrected);
+    VA_TELEM_COUNT("archive.scrub.blocks_uncorrectable",
+                   report.cells.blocksUncorrectable);
+    VA_TELEM_COUNT("archive.scrub.streams_miscorrected",
+                   report.streamsMiscorrected);
+    return report;
+}
+
+ArchiveError
+ArchiveService::remove(const std::string &name)
+{
+    std::unique_lock dir(dirMutex_);
+    if (archive_.videos.erase(name) == 0)
+        return ArchiveError::NotFound;
+    VA_TELEM_COUNT("archive.removes", 1);
+    return ArchiveError::None;
+}
+
+std::vector<ArchiveVideoStat>
+ArchiveService::stat() const
+{
+    std::shared_lock dir(dirMutex_);
+    std::vector<ArchiveVideoStat> stats;
+    stats.reserve(archive_.videos.size());
+    for (const auto &[name, record] : archive_.videos) {
+        ArchiveVideoStat s;
+        s.name = name;
+        s.width = record.layout.header.width;
+        s.height = record.layout.header.height;
+        s.frames = record.layout.frameHeaders.size();
+        s.streamCount = record.streams.size();
+        s.payloadBytes = record.payloadBytes();
+        s.cellBytes = record.cellBytes();
+        s.encrypted = record.crypto.has_value();
+        stats.push_back(std::move(s));
+    }
+    return stats;
+}
+
+std::size_t
+ArchiveService::videoCount() const
+{
+    std::shared_lock dir(dirMutex_);
+    return archive_.videos.size();
+}
+
+} // namespace videoapp

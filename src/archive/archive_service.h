@@ -1,0 +1,170 @@
+/**
+ * @file
+ * Concurrent video store service over the VAPP container.
+ *
+ * put() runs a prepared video's streams through cell-image export
+ * (optionally encrypting first, Section 5.3) and files the record;
+ * get() re-reads the modeled device — with optional error injection
+ * at a chosen raw BER, reproducing the in-memory pipeline bit for
+ * bit at equal seeds — and decodes through the existing pipeline;
+ * scrub() re-reads every block of every stream, counts BCH
+ * corrections and detected miscorrections, and rewrites degraded
+ * blocks (the paper's 3-month scrub interval made an operation).
+ *
+ * Thread safety: all operations may be called concurrently,
+ * including from common/parallel pool workers. A reader-writer
+ * directory lock guards the name -> record map; per-video sharded
+ * mutexes (16 shards, keyed by name hash) serialize access to a
+ * record's cells, so operations on different videos proceed in
+ * parallel. Stochastic operations draw per-stream/per-video seeds
+ * deterministically before any parallel region, so results are
+ * bit-identical at any thread count.
+ *
+ * Durability: mutations act on the in-memory archive; flush()
+ * persists atomically (temp + rename). open() + get() after a
+ * process restart reproduces the exact stored bitstreams.
+ */
+
+#ifndef VIDEOAPP_ARCHIVE_ARCHIVE_SERVICE_H_
+#define VIDEOAPP_ARCHIVE_ARCHIVE_SERVICE_H_
+
+#include <array>
+#include <mutex>
+#include <shared_mutex>
+#include <string>
+#include <vector>
+
+#include "archive/vapp_container.h"
+#include "core/pipeline.h"
+
+namespace videoapp {
+
+struct ArchivePutOptions
+{
+    /** Encrypt each stream before storage (mode/key/IV/keyId). */
+    std::optional<EncryptionConfig> encryption;
+};
+
+struct ArchiveGetOptions
+{
+    /**
+     * When > 0, age a copy of the device at this raw bit error rate
+     * before decoding (the stored image itself is untouched). At the
+     * paper's 1e-3 with the same seed, the decode is bit-identical
+     * to the in-memory RealBchChannel round trip.
+     */
+    double injectRawBer = 0.0;
+    u64 seed = 1;
+    /** Conceal slices the decoder flags as damaged. */
+    bool conceal = false;
+    /** Decryption key; required when the record is encrypted. */
+    Bytes key;
+};
+
+struct ArchiveGetResult
+{
+    ArchiveError error = ArchiveError::None;
+    Video decoded;
+    /** The retrieved (decrypted, exact-length) streams. */
+    StreamSet streams;
+    CellReadStats cells;
+};
+
+struct ScrubOptions
+{
+    /** When > 0, age every stored image at this raw BER first —
+     * models the time since the last scrub pass. */
+    double ageRawBer = 0.0;
+    u64 seed = 1;
+};
+
+struct ScrubReport
+{
+    u64 videos = 0;
+    u64 streams = 0;
+    CellReadStats cells;
+    /** Corrected blocks whose repaired codeword was written back. */
+    u64 blocksRewritten = 0;
+    /** Streams fully "corrected" whose repaired image still deviates
+     * from its pristine CRC: at least one silent miscorrection. */
+    u64 streamsMiscorrected = 0;
+    /** Streams left with uncorrectable blocks. */
+    u64 streamsDamaged = 0;
+};
+
+/** Directory listing entry (archive stat). */
+struct ArchiveVideoStat
+{
+    std::string name;
+    int width = 0;
+    int height = 0;
+    std::size_t frames = 0;
+    std::size_t streamCount = 0;
+    u64 payloadBytes = 0;
+    u64 cellBytes = 0;
+    bool encrypted = false;
+};
+
+class ArchiveService
+{
+  public:
+    explicit ArchiveService(std::string path);
+    ArchiveService(const ArchiveService &) = delete;
+    ArchiveService &operator=(const ArchiveService &) = delete;
+
+    /**
+     * Load the archive at the configured path. A missing file is an
+     * empty archive when @p create_if_missing (the file appears on
+     * first flush); any other read problem is the error.
+     */
+    ArchiveError open(bool create_if_missing = true);
+
+    /** Persist the current state atomically. */
+    ArchiveError flush();
+
+    /** Store (or replace) @p name. Encoding runs on the pool. */
+    ArchiveError put(const std::string &name,
+                     const PreparedVideo &prepared,
+                     const ArchivePutOptions &options = {});
+
+    /** Retrieve and decode @p name. */
+    ArchiveGetResult get(const std::string &name,
+                         const ArchiveGetOptions &options = {}) const;
+
+    /** Scrub every video (videos run on the pool). */
+    ScrubReport scrub(const ScrubOptions &options = {});
+
+    /** Drop @p name from the archive. */
+    ArchiveError remove(const std::string &name);
+
+    /** Directory listing, sorted by name. */
+    std::vector<ArchiveVideoStat> stat() const;
+
+    std::size_t videoCount() const;
+
+    const std::string &path() const { return path_; }
+
+  private:
+    static constexpr unsigned kLockShards = 16;
+
+    std::mutex &shardFor(const std::string &name) const;
+
+    std::string path_;
+    /** Guards the videos map structure; shards guard record cells. */
+    mutable std::shared_mutex dirMutex_;
+    mutable std::array<std::mutex, kLockShards> shards_;
+    Archive archive_;
+};
+
+/**
+ * Build the archive record for @p prepared (the produce half of the
+ * pipeline <-> archive bridge; pure, lock-free, parallel across
+ * streams). Exposed for tests and custom stores.
+ */
+VideoRecord
+recordFromPrepared(const PreparedVideo &prepared,
+                   const std::optional<EncryptionConfig> &encryption);
+
+} // namespace videoapp
+
+#endif // VIDEOAPP_ARCHIVE_ARCHIVE_SERVICE_H_

@@ -1,0 +1,403 @@
+#include "archive/vapp_container.h"
+
+#include <cstdio>
+#include <fstream>
+
+#include "common/crc32.h"
+
+namespace videoapp {
+
+namespace {
+
+constexpr u32 kRecordMagic = 0x56524543; // "VREC"
+constexpr std::size_t kSuperblockSize = 32;
+
+void
+putU16(Bytes &out, u16 v)
+{
+    out.push_back(static_cast<u8>(v >> 8));
+    out.push_back(static_cast<u8>(v));
+}
+
+void
+putU32(Bytes &out, u32 v)
+{
+    putU16(out, static_cast<u16>(v >> 16));
+    putU16(out, static_cast<u16>(v));
+}
+
+void
+putU64(Bytes &out, u64 v)
+{
+    putU32(out, static_cast<u32>(v >> 32));
+    putU32(out, static_cast<u32>(v));
+}
+
+/** Bounds-checked big-endian reader over a byte range. */
+struct ByteCursor
+{
+    const u8 *data;
+    std::size_t size;
+    std::size_t pos = 0;
+    bool ok = true;
+
+    u8
+    u8v()
+    {
+        if (pos >= size) {
+            ok = false;
+            return 0;
+        }
+        return data[pos++];
+    }
+
+    u16
+    u16v()
+    {
+        // Two statements: the evaluation order of a|b is unspecified.
+        u16 hi = u8v();
+        u16 lo = u8v();
+        return static_cast<u16>(hi << 8 | lo);
+    }
+
+    u32
+    u32v()
+    {
+        u32 hi = u16v();
+        return hi << 16 | u16v();
+    }
+
+    u64
+    u64v()
+    {
+        u64 hi = u32v();
+        return hi << 32 | u32v();
+    }
+
+    std::size_t remaining() const { return ok ? size - pos : 0; }
+};
+
+} // namespace
+
+const char *
+archiveErrorName(ArchiveError error)
+{
+    switch (error) {
+      case ArchiveError::None: return "none";
+      case ArchiveError::Io: return "io";
+      case ArchiveError::BadMagic: return "bad-magic";
+      case ArchiveError::BadVersion: return "bad-version";
+      case ArchiveError::ShortRead: return "short-read";
+      case ArchiveError::CrcMismatch: return "crc-mismatch";
+      case ArchiveError::Malformed: return "malformed";
+      case ArchiveError::NotFound: return "not-found";
+      case ArchiveError::KeyRequired: return "key-required";
+    }
+    return "unknown";
+}
+
+u64
+VideoRecord::payloadBytes() const
+{
+    u64 total = 0;
+    for (const StreamRecord &s : streams)
+        total += s.image.payloadBytes;
+    return total;
+}
+
+u64
+VideoRecord::cellBytes() const
+{
+    u64 total = 0;
+    for (const StreamRecord &s : streams)
+        total += s.image.cells.size();
+    return total;
+}
+
+namespace {
+
+Bytes
+serializeRecordMeta(const VideoRecord &record)
+{
+    Bytes meta;
+    putU32(meta, kRecordMagic);
+
+    Bytes headers = serializeHeaders(record.layout);
+    putU32(meta, static_cast<u32>(headers.size()));
+    meta.insert(meta.end(), headers.begin(), headers.end());
+
+    // Payload placeholders: only the per-frame byte sizes survive;
+    // the content lives in the stream cell images.
+    putU32(meta, static_cast<u32>(record.layout.payloads.size()));
+    for (const Bytes &p : record.layout.payloads)
+        putU64(meta, p.size());
+
+    meta.push_back(record.crypto ? 1 : 0);
+    if (record.crypto) {
+        meta.push_back(static_cast<u8>(record.crypto->mode));
+        putU32(meta, record.crypto->keyId);
+        meta.insert(meta.end(), record.crypto->masterIv.begin(),
+                    record.crypto->masterIv.end());
+    }
+
+    putU16(meta, static_cast<u16>(record.streams.size()));
+    for (const StreamRecord &s : record.streams) {
+        meta.push_back(static_cast<u8>(s.schemeT));
+        putU64(meta, s.bitLength);
+        putU64(meta, s.trueBytes);
+        putU64(meta, s.image.payloadBytes);
+        putU64(meta, s.image.cells.size());
+        putU32(meta, s.cellsCrc);
+    }
+    return meta;
+}
+
+/**
+ * Parse a record's meta + cells range. @p meta_len bytes of metadata
+ * at @p bytes, cells following up to @p record_len.
+ */
+ArchiveError
+parseRecord(const u8 *bytes, std::size_t meta_len,
+            std::size_t record_len, VideoRecord &record)
+{
+    ByteCursor in{bytes, meta_len};
+    if (in.u32v() != kRecordMagic)
+        return in.ok ? ArchiveError::Malformed
+                     : ArchiveError::ShortRead;
+
+    u32 header_len = in.u32v();
+    if (!in.ok || header_len > in.remaining())
+        return ArchiveError::ShortRead;
+    Bytes header_blob(bytes + in.pos, bytes + in.pos + header_len);
+    in.pos += header_len;
+    auto layout = deserializeHeaders(header_blob);
+    if (!layout)
+        return ArchiveError::Malformed;
+    record.layout = std::move(*layout);
+
+    u32 frames = in.u32v();
+    if (!in.ok || frames > in.remaining() / 8)
+        return ArchiveError::ShortRead;
+    if (frames != record.layout.frameHeaders.size())
+        return ArchiveError::Malformed;
+    record.layout.payloads.clear();
+    u64 payload_total = 0;
+    for (u32 f = 0; f < frames; ++f) {
+        u64 size = in.u64v();
+        payload_total += size;
+        // Placeholder sizes can only come from real payloads, which
+        // the (larger) cell section holds; anything bigger is bogus
+        // and must not drive allocation.
+        if (!in.ok ||
+            payload_total > record_len + 16 * u64{frames} + 1024)
+            return ArchiveError::Malformed;
+        record.layout.payloads.emplace_back(
+            static_cast<std::size_t>(size), 0);
+    }
+
+    u8 has_crypto = in.u8v();
+    if (has_crypto > 1)
+        return ArchiveError::Malformed;
+    if (has_crypto) {
+        StreamCryptoMeta crypto;
+        u8 mode = in.u8v();
+        if (mode > static_cast<u8>(CipherMode::CFB))
+            return ArchiveError::Malformed;
+        crypto.mode = static_cast<CipherMode>(mode);
+        crypto.keyId = in.u32v();
+        for (u8 &b : crypto.masterIv)
+            b = in.u8v();
+        if (!in.ok)
+            return ArchiveError::ShortRead;
+        record.crypto = crypto;
+    }
+
+    u16 stream_count = in.u16v();
+    record.streams.resize(stream_count);
+    std::size_t cell_pos = meta_len;
+    int prev_t = -1;
+    for (StreamRecord &s : record.streams) {
+        s.schemeT = in.u8v();
+        s.bitLength = in.u64v();
+        s.trueBytes = in.u64v();
+        s.image.payloadBytes = in.u64v();
+        u64 cell_len = in.u64v();
+        s.cellsCrc = in.u32v();
+        if (!in.ok)
+            return ArchiveError::ShortRead;
+        if (s.schemeT <= prev_t || s.schemeT > 58 ||
+            s.trueBytes > s.image.payloadBytes ||
+            s.image.payloadBytes > cell_len ||
+            cell_len > record_len - cell_pos)
+            return ArchiveError::Malformed;
+        prev_t = s.schemeT;
+        s.image.schemeT = s.schemeT;
+        s.image.cells.assign(
+            bytes + cell_pos,
+            bytes + cell_pos + static_cast<std::size_t>(cell_len));
+        cell_pos += static_cast<std::size_t>(cell_len);
+    }
+    if (in.pos != meta_len || cell_pos != record_len)
+        return ArchiveError::Malformed;
+    return ArchiveError::None;
+}
+
+} // namespace
+
+Bytes
+serializeArchive(const Archive &archive)
+{
+    Bytes out(kSuperblockSize, 0);
+
+    struct DirEntry
+    {
+        const std::string *name;
+        u64 offset = 0;
+        u64 length = 0;
+        u64 metaLength = 0;
+        u32 metaCrc = 0;
+    };
+    std::vector<DirEntry> entries;
+    entries.reserve(archive.videos.size());
+
+    for (const auto &[name, record] : archive.videos) {
+        DirEntry e;
+        e.name = &name;
+        e.offset = out.size();
+        Bytes meta = serializeRecordMeta(record);
+        e.metaLength = meta.size();
+        e.metaCrc = crc32(meta);
+        out.insert(out.end(), meta.begin(), meta.end());
+        for (const StreamRecord &s : record.streams)
+            out.insert(out.end(), s.image.cells.begin(),
+                       s.image.cells.end());
+        e.length = out.size() - e.offset;
+        entries.push_back(e);
+    }
+
+    u64 dir_offset = out.size();
+    Bytes dir;
+    putU32(dir, static_cast<u32>(entries.size()));
+    for (const DirEntry &e : entries) {
+        putU16(dir, static_cast<u16>(e.name->size()));
+        dir.insert(dir.end(), e.name->begin(), e.name->end());
+        putU64(dir, e.offset);
+        putU64(dir, e.length);
+        putU64(dir, e.metaLength);
+        putU32(dir, e.metaCrc);
+    }
+    out.insert(out.end(), dir.begin(), dir.end());
+
+    Bytes super;
+    putU32(super, kVappMagic);
+    putU32(super, archive.version);
+    putU64(super, dir_offset);
+    putU64(super, dir.size());
+    putU32(super, crc32(dir));
+    putU32(super, crc32(super));
+    std::copy(super.begin(), super.end(), out.begin());
+    return out;
+}
+
+ArchiveError
+parseArchive(const Bytes &blob, Archive &out)
+{
+    if (blob.size() < kSuperblockSize)
+        return ArchiveError::ShortRead;
+    ByteCursor in{blob.data(), kSuperblockSize};
+    if (in.u32v() != kVappMagic)
+        return ArchiveError::BadMagic;
+    u32 version = in.u32v();
+    if (version == 0 || version > kVappFormatVersion)
+        return ArchiveError::BadVersion;
+    u64 dir_offset = in.u64v();
+    u64 dir_length = in.u64v();
+    u32 dir_crc = in.u32v();
+    u32 super_crc = in.u32v();
+    if (crc32(blob.data(), kSuperblockSize - 4) != super_crc)
+        return ArchiveError::CrcMismatch;
+    if (dir_offset > blob.size() ||
+        dir_length > blob.size() - dir_offset)
+        return ArchiveError::ShortRead;
+    if (crc32(blob.data() + dir_offset,
+              static_cast<std::size_t>(dir_length)) != dir_crc)
+        return ArchiveError::CrcMismatch;
+
+    out.version = version;
+    out.videos.clear();
+
+    ByteCursor dir{blob.data() + dir_offset,
+                   static_cast<std::size_t>(dir_length)};
+    u32 count = dir.u32v();
+    for (u32 i = 0; i < count; ++i) {
+        u16 name_len = dir.u16v();
+        if (!dir.ok || name_len > dir.remaining())
+            return ArchiveError::ShortRead;
+        std::string name(
+            reinterpret_cast<const char *>(dir.data + dir.pos),
+            name_len);
+        dir.pos += name_len;
+        u64 offset = dir.u64v();
+        u64 length = dir.u64v();
+        u64 meta_length = dir.u64v();
+        u32 meta_crc = dir.u32v();
+        if (!dir.ok)
+            return ArchiveError::ShortRead;
+        if (offset < kSuperblockSize || offset > blob.size() ||
+            length > blob.size() - offset || meta_length > length ||
+            out.videos.count(name))
+            return ArchiveError::Malformed;
+        if (crc32(blob.data() + offset,
+                  static_cast<std::size_t>(meta_length)) != meta_crc)
+            return ArchiveError::CrcMismatch;
+        VideoRecord record;
+        ArchiveError err = parseRecord(
+            blob.data() + offset,
+            static_cast<std::size_t>(meta_length),
+            static_cast<std::size_t>(length), record);
+        if (err != ArchiveError::None)
+            return err;
+        out.videos.emplace(std::move(name), std::move(record));
+    }
+    if (dir.pos != dir.size)
+        return ArchiveError::Malformed;
+    return ArchiveError::None;
+}
+
+ArchiveError
+readArchive(const std::string &path, Archive &out)
+{
+    std::ifstream f(path, std::ios::binary);
+    if (!f)
+        return ArchiveError::Io;
+    Bytes blob((std::istreambuf_iterator<char>(f)),
+               std::istreambuf_iterator<char>());
+    if (f.bad())
+        return ArchiveError::Io;
+    return parseArchive(blob, out);
+}
+
+ArchiveError
+writeArchive(const Archive &archive, const std::string &path)
+{
+    Bytes blob = serializeArchive(archive);
+    std::string tmp = path + ".tmp";
+    {
+        std::ofstream f(tmp, std::ios::binary | std::ios::trunc);
+        if (!f)
+            return ArchiveError::Io;
+        f.write(reinterpret_cast<const char *>(blob.data()),
+                static_cast<std::streamsize>(blob.size()));
+        if (!f) {
+            std::remove(tmp.c_str());
+            return ArchiveError::Io;
+        }
+    }
+    if (std::rename(tmp.c_str(), path.c_str()) != 0) {
+        std::remove(tmp.c_str());
+        return ArchiveError::Io;
+    }
+    return ArchiveError::None;
+}
+
+} // namespace videoapp

@@ -1,0 +1,132 @@
+/**
+ * @file
+ * The VAPP archive container: a versioned on-disk format that makes
+ * the paper's storage layout durable. One file holds many videos;
+ * each video record keeps the precise parts (stream/frame headers
+ * with pivot tables, per-stream ECC level and length metadata,
+ * AES mode/key-id/nonce metadata) next to the raw MLC PCM cell
+ * images of its partitioned streams, so a written archive *is* the
+ * modeled device — reopening it and decoding goes through the same
+ * BCH/decrypt/merge pipeline as an in-memory round trip.
+ *
+ * Layout (all integers big-endian, matching codec/container.cc):
+ *
+ *   superblock (32 bytes, offset 0)
+ *     u32 magic "VAPA"        u32 formatVersion
+ *     u64 directoryOffset     u64 directoryLength
+ *     u32 directoryCrc        u32 superblockCrc (bytes 0..27)
+ *   records (one per video, back to back)
+ *     meta  — CRC-protected precise metadata (see .cc)
+ *     cells — per-stream cell images, NOT checksummed: these are the
+ *             approximate bits, and degrading them is the point
+ *   directory (at directoryOffset)
+ *     u32 videoCount, then per video: name, record offset/length,
+ *     meta length, meta CRC
+ *
+ * Versioning rules: the major format version is bumped on any
+ * incompatible layout change; readers reject files whose version is
+ * newer than kVappFormatVersion and accept older ones. Record meta
+ * is length-prefixed, so future minor additions can append fields
+ * that old readers skip.
+ *
+ * Every reader path is total: bad magic, short reads, CRC
+ * mismatches and malformed counts return ArchiveError values, never
+ * crash (fuzzed in tests/archive_test.cc).
+ */
+
+#ifndef VIDEOAPP_ARCHIVE_VAPP_CONTAINER_H_
+#define VIDEOAPP_ARCHIVE_VAPP_CONTAINER_H_
+
+#include <map>
+#include <optional>
+#include <string>
+
+#include "codec/container.h"
+#include "crypto/stream_crypto.h"
+#include "storage/approx_store.h"
+
+namespace videoapp {
+
+/** "VAPA" — distinct from the codec blob's "VAP1". */
+inline constexpr u32 kVappMagic = 0x56415041;
+
+/** Current (and oldest supported) container format version. */
+inline constexpr u32 kVappFormatVersion = 1;
+
+/** Why an archive operation failed. */
+enum class ArchiveError
+{
+    None,
+    Io,           // cannot open/read/write/rename the file
+    BadMagic,     // not a VAPP archive
+    BadVersion,   // written by a newer format revision
+    ShortRead,    // file truncated mid-structure
+    CrcMismatch,  // precise metadata failed its integrity check
+    Malformed,    // counts/offsets inconsistent with the file
+    NotFound,     // no such video in the archive
+    KeyRequired,  // record is encrypted and no key was supplied
+};
+
+/** Stable name for logs and CLI messages. */
+const char *archiveErrorName(ArchiveError error);
+
+/** One reliability stream of an archived video. */
+struct StreamRecord
+{
+    /** BCH correction capability (0 = unprotected). */
+    int schemeT = 0;
+    /** Exact payload bit length (pre byte-padding). */
+    u64 bitLength = 0;
+    /** Plaintext byte size (trims cipher padding after decrypt). */
+    u64 trueBytes = 0;
+    /** CRC of the pristine cells at put time; scrub compares the
+     * repaired image against it to detect miscorrections. */
+    u32 cellsCrc = 0;
+    /** The modeled PCM cells holding this stream. */
+    CellImage image;
+};
+
+/** One archived video: the precise metadata plus its cell images. */
+struct VideoRecord
+{
+    /** Precise layout: headers, pivots, per-frame payload sizes.
+     * Payload bytes are zero-filled placeholders (only their sizes
+     * are persisted); real content lives in the stream images. */
+    EncodedVideo layout;
+    /** Set when the streams were encrypted before storage. */
+    std::optional<StreamCryptoMeta> crypto;
+    /** Streams in ascending schemeT order. */
+    std::vector<StreamRecord> streams;
+
+    u64 payloadBytes() const;
+    u64 cellBytes() const;
+};
+
+/** An in-memory archive: what one VAPP file holds. */
+struct Archive
+{
+    u32 version = kVappFormatVersion;
+    /** Keyed (and serialized) by name, sorted. */
+    std::map<std::string, VideoRecord> videos;
+};
+
+/** Serialize to the container byte layout documented above. */
+Bytes serializeArchive(const Archive &archive);
+
+/** Parse a container blob. @p out is valid only on None. */
+ArchiveError parseArchive(const Bytes &blob, Archive &out);
+
+/** Read and parse @p path. */
+ArchiveError readArchive(const std::string &path, Archive &out);
+
+/**
+ * Serialize and write @p path atomically (temp file in the same
+ * directory, then rename), so a crashed writer never leaves a
+ * half-written archive behind.
+ */
+ArchiveError writeArchive(const Archive &archive,
+                          const std::string &path);
+
+} // namespace videoapp
+
+#endif // VIDEOAPP_ARCHIVE_VAPP_CONTAINER_H_

@@ -162,14 +162,14 @@ serialize(const EncodedVideo &video)
     return out;
 }
 
-std::optional<EncodedVideo>
-deserialize(const Bytes &blob)
-{
-    ByteCursor in{&blob};
-    if (in.u32v() != kMagic || !in.ok)
-        return std::nullopt;
+namespace {
 
-    EncodedVideo video;
+/** Parse the serializeHeaders() section at the cursor. */
+bool
+parseHeaders(ByteCursor &in, EncodedVideo &video)
+{
+    if (in.u32v() != kMagic || !in.ok)
+        return false;
     video.header.width = in.u16v();
     video.header.height = in.u16v();
     video.header.fps = in.u32v() / 65536.0;
@@ -182,8 +182,30 @@ deserialize(const Bytes &blob)
     video.frameHeaders.resize(frames);
     for (auto &fh : video.frameHeaders) {
         if (!deserializeFrameHeader(in, fh))
-            return std::nullopt;
+            return false;
     }
+    return in.ok;
+}
+
+} // namespace
+
+std::optional<EncodedVideo>
+deserializeHeaders(const Bytes &blob)
+{
+    ByteCursor in{&blob};
+    EncodedVideo video;
+    if (!parseHeaders(in, video))
+        return std::nullopt;
+    return video;
+}
+
+std::optional<EncodedVideo>
+deserialize(const Bytes &blob)
+{
+    ByteCursor in{&blob};
+    EncodedVideo video;
+    if (!parseHeaders(in, video))
+        return std::nullopt;
 
     u16 payloads = in.u16v();
     video.payloads.resize(payloads);

@@ -101,6 +101,13 @@ std::optional<EncodedVideo> deserialize(const Bytes &blob);
 /** Serialise only the precise parts (for header-size accounting). */
 Bytes serializeHeaders(const EncodedVideo &video);
 
+/**
+ * Parse a blob produced by serializeHeaders(): the precise layout
+ * with empty payloads. Used by archives, which persist headers and
+ * payload placement separately from the approximate payload bits.
+ */
+std::optional<EncodedVideo> deserializeHeaders(const Bytes &blob);
+
 } // namespace videoapp
 
 #endif // VIDEOAPP_CODEC_CONTAINER_H_

@@ -1,0 +1,53 @@
+#include "common/crc32.h"
+
+#include <array>
+
+namespace videoapp {
+
+namespace {
+
+std::array<u32, 256>
+buildTable()
+{
+    std::array<u32, 256> table{};
+    for (u32 i = 0; i < 256; ++i) {
+        u32 c = i;
+        for (int k = 0; k < 8; ++k)
+            c = (c & 1) ? 0xEDB88320u ^ (c >> 1) : c >> 1;
+        table[i] = c;
+    }
+    return table;
+}
+
+const std::array<u32, 256> &
+table()
+{
+    static const std::array<u32, 256> t = buildTable();
+    return t;
+}
+
+} // namespace
+
+u32
+crc32Update(u32 crc, const u8 *data, std::size_t size)
+{
+    const auto &t = table();
+    crc = ~crc;
+    for (std::size_t i = 0; i < size; ++i)
+        crc = t[(crc ^ data[i]) & 0xFFu] ^ (crc >> 8);
+    return ~crc;
+}
+
+u32
+crc32(const u8 *data, std::size_t size)
+{
+    return crc32Update(0, data, size);
+}
+
+u32
+crc32(const Bytes &data)
+{
+    return crc32(data.data(), data.size());
+}
+
+} // namespace videoapp

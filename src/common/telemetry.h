@@ -305,6 +305,48 @@ template <> class BasicScopedTimer<false>
 
 using ScopedTimer = BasicScopedTimer<kEnabled>;
 
+template <bool Enabled> class BasicScopedLatency;
+
+/**
+ * RAII scope that records its wall time in MICROSECONDS into a
+ * histogram on exit — the latency-distribution counterpart of
+ * ScopedTimer's totals, used for per-operation service latencies
+ * (archive put/get/scrub) where the shape matters, not just the sum.
+ */
+template <> class BasicScopedLatency<true>
+{
+  public:
+    explicit BasicScopedLatency(BasicHistogram<true> &hist)
+        : hist_(hist), start_(std::chrono::steady_clock::now())
+    {
+    }
+
+    BasicScopedLatency(const BasicScopedLatency &) = delete;
+    BasicScopedLatency &operator=(const BasicScopedLatency &) = delete;
+
+    ~BasicScopedLatency()
+    {
+        auto us =
+            std::chrono::duration_cast<std::chrono::microseconds>(
+                std::chrono::steady_clock::now() - start_)
+                .count();
+        hist_.record(us > 0 ? static_cast<u64>(us) : 0);
+    }
+
+  private:
+    BasicHistogram<true> &hist_;
+    std::chrono::steady_clock::time_point start_;
+};
+
+/** Disabled scope: no clock reads, no state. */
+template <> class BasicScopedLatency<false>
+{
+  public:
+    explicit BasicScopedLatency(BasicHistogram<false> &) {}
+};
+
+using ScopedLatency = BasicScopedLatency<kEnabled>;
+
 // --- registry ----------------------------------------------------------
 
 template <bool Enabled> class BasicRegistryImpl;
@@ -391,6 +433,16 @@ Registry &globalRegistry();
         va_telem_hist_.record(value);                                  \
     } while (0)
 
+/** Record the rest of the enclosing scope's wall time, in
+ * microseconds, into the named latency histogram. */
+#define VA_TELEM_LATENCY(name)                                         \
+    static ::videoapp::telemetry::Histogram &VA_TELEM_CAT_(            \
+        va_telem_lat_hist_, __LINE__) =                                \
+        ::videoapp::telemetry::globalRegistry().histogram(name);       \
+    ::videoapp::telemetry::ScopedLatency VA_TELEM_CAT_(                \
+        va_telem_lat_scope_, __LINE__)(                                \
+        VA_TELEM_CAT_(va_telem_lat_hist_, __LINE__))
+
 #else
 
 #define VA_TELEM_ONLY(...)
@@ -417,6 +469,11 @@ Registry &globalRegistry();
             (void)(name);                                              \
             (void)(value);                                             \
         }                                                              \
+    } while (0)
+#define VA_TELEM_LATENCY(name)                                         \
+    do {                                                               \
+        if (false)                                                     \
+            (void)(name);                                              \
     } while (0)
 
 #endif // VIDEOAPP_TELEMETRY

@@ -134,15 +134,7 @@ storeAndRetrieve(const PreparedVideo &prepared,
     }
     accountant.addPreciseBits(prepared.headerBits());
 
-    EncodedVideo merged;
-    {
-        VA_TELEM_SCOPE("pipeline.merge_streams");
-        merged = mergeStreams(prepared.enc.video, retrieved);
-    }
-    {
-        VA_TELEM_SCOPE("pipeline.decode");
-        outcome.decoded = decodeVideo(merged);
-    }
+    outcome.decoded = decodeStreams(prepared.enc.video, retrieved);
 
     // Quality against the error-free reconstruction, averaged per
     // frame as the paper does.
@@ -164,6 +156,19 @@ storeAndRetrieve(const PreparedVideo &prepared,
     outcome.parityBits = accountant.parityBits();
     outcome.headerBits = prepared.headerBits();
     return outcome;
+}
+
+Video
+decodeStreams(const EncodedVideo &layout, const StreamSet &streams,
+              const DecodeOptions &options)
+{
+    EncodedVideo merged;
+    {
+        VA_TELEM_SCOPE("pipeline.merge_streams");
+        merged = mergeStreams(layout, streams);
+    }
+    VA_TELEM_SCOPE("pipeline.decode");
+    return decodeVideo(merged, options);
 }
 
 double

@@ -77,6 +77,8 @@ struct EncryptionConfig
     CipherMode mode = CipherMode::CTR;
     Bytes key;
     AesBlock masterIv{};
+    /** Key-management handle persisted by archives (not the key). */
+    u32 keyId = 0;
 };
 
 /**
@@ -99,6 +101,17 @@ StorageOutcome storeAndRetrieve(
  * prepared video's assignment, on @p bits_per_cell MLC. */
 double densityCellsPerPixel(const PreparedVideo &prepared,
                             u64 pixel_count, int bits_per_cell = 3);
+
+/**
+ * The read half of the pipeline as a standalone entry point:
+ * reassemble @p streams against @p layout's pivot tables and decode.
+ * @p layout only contributes the precise parts (headers and payload
+ * sizes) — exactly what an archive record persists, so a restarted
+ * process can decode a stored video from its record alone.
+ */
+Video decodeStreams(const EncodedVideo &layout,
+                    const StreamSet &streams,
+                    const DecodeOptions &options = {});
 
 /** Scheme of stream @p t as an EccScheme. */
 inline EccScheme

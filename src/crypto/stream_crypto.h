@@ -20,6 +20,21 @@
 namespace videoapp {
 
 /**
+ * Everything about a stream set's encryption that a storage system
+ * must persist to decrypt later — and nothing it must keep secret.
+ * The key itself is referred to by an application-assigned id and is
+ * supplied again at read time; the master IV is a nonce, safe to
+ * store in the clear (per-stream IVs derive from it under the key).
+ */
+struct StreamCryptoMeta
+{
+    CipherMode mode = CipherMode::CTR;
+    /** Application key-management handle (not the key). */
+    u32 keyId = 0;
+    AesBlock masterIv{};
+};
+
+/**
  * Encrypts/decrypts a set of independently stored streams under one
  * key and one master IV.
  */
@@ -45,6 +60,16 @@ class StreamCryptor
                         std::size_t true_size) const;
 
     CipherMode mode() const { return mode_; }
+
+    /** The master IV the per-stream IVs derive from. */
+    const AesBlock &masterIv() const { return masterIv_; }
+
+    /** Serializable metadata for @p key_id (see StreamCryptoMeta). */
+    StreamCryptoMeta
+    meta(u32 key_id) const
+    {
+        return StreamCryptoMeta{mode_, key_id, masterIv_};
+    }
 
     /** True for modes satisfying all three §5.1 requirements. */
     static bool approximationCompatible(CipherMode mode);

@@ -92,6 +92,155 @@ RealBchChannel::roundTrip(const Bytes &data, const EccScheme &scheme,
     return out;
 }
 
+CellImage
+exportCellImage(const Bytes &data, const EccScheme &scheme)
+{
+    CellImage image;
+    image.payloadBytes = data.size();
+    image.schemeT = scheme.t;
+    if (scheme.isNone()) {
+        image.cells = data;
+        return image;
+    }
+
+    const BchCode &code = cachedBchCode(scheme.t);
+    const std::size_t data_bytes =
+        static_cast<std::size_t>(code.dataBits()) / 8;
+    const std::size_t cw_bytes = code.codewordBytes();
+    const std::size_t blocks =
+        data.empty() ? 0 : (data.size() + data_bytes - 1) / data_bytes;
+    image.cells.resize(blocks * cw_bytes);
+
+    Bytes block(data_bytes, 0);
+    for (std::size_t b = 0; b < blocks; ++b) {
+        std::size_t start = b * data_bytes;
+        std::size_t nb =
+            std::min<std::size_t>(data_bytes, data.size() - start);
+        std::copy(data.begin() + static_cast<std::ptrdiff_t>(start),
+                  data.begin() +
+                      static_cast<std::ptrdiff_t>(start + nb),
+                  block.begin());
+        std::fill(block.begin() + static_cast<std::ptrdiff_t>(nb),
+                  block.end(), 0); // zero pad the last block
+        code.encodeBytes(block.data(),
+                         image.cells.data() + b * cw_bytes);
+        VA_TELEM_COUNT("storage.cells.blocks_encoded", 1);
+    }
+    return image;
+}
+
+namespace {
+
+/** Shared walk of readCellImage / scrubCellImage. */
+Bytes
+decodeCellImage(CellImage &image, CellReadStats *stats, bool repair)
+{
+    if (image.schemeT == 0) {
+        if (stats)
+            stats->blocksRead += image.cells.empty() ? 0 : 1;
+        Bytes out = image.cells;
+        out.resize(static_cast<std::size_t>(image.payloadBytes), 0);
+        return out;
+    }
+
+    const BchCode &code = cachedBchCode(image.schemeT);
+    const std::size_t data_bytes =
+        static_cast<std::size_t>(code.dataBits()) / 8;
+    const std::size_t cw_bytes = code.codewordBytes();
+    const std::size_t payload =
+        static_cast<std::size_t>(image.payloadBytes);
+    Bytes out(payload, 0);
+
+    Bytes codeword(cw_bytes, 0);
+    std::size_t start = 0;
+    for (std::size_t b = 0; b * cw_bytes + cw_bytes <=
+                            image.cells.size() && start < payload;
+         ++b, start += data_bytes) {
+        const u8 *cells = image.cells.data() + b * cw_bytes;
+        std::copy(cells, cells + cw_bytes, codeword.begin());
+        auto result = code.decodeBytes(codeword.data());
+        if (stats) {
+            ++stats->blocksRead;
+            if (result.ok && result.corrected > 0) {
+                ++stats->blocksCorrected;
+                stats->bitsCorrected +=
+                    static_cast<u64>(result.corrected);
+            }
+            if (!result.ok)
+                ++stats->blocksUncorrectable;
+        }
+        if (repair && result.ok && result.corrected > 0)
+            std::copy(codeword.begin(), codeword.end(),
+                      image.cells.begin() +
+                          static_cast<std::ptrdiff_t>(b * cw_bytes));
+        std::size_t nb = std::min(data_bytes, payload - start);
+        std::copy(codeword.begin(),
+                  codeword.begin() + static_cast<std::ptrdiff_t>(nb),
+                  out.begin() + static_cast<std::ptrdiff_t>(start));
+    }
+    return out;
+}
+
+} // namespace
+
+Bytes
+readCellImage(const CellImage &image, CellReadStats *stats)
+{
+    // decodeCellImage only mutates the image when repairing.
+    return decodeCellImage(const_cast<CellImage &>(image), stats,
+                           false);
+}
+
+Bytes
+scrubCellImage(CellImage &image, CellReadStats *stats)
+{
+    return decodeCellImage(image, stats, true);
+}
+
+void
+degradeCellImage(CellImage &image, double raw_ber, Rng &rng)
+{
+    if (image.schemeT == 0) {
+        injectErrors(image.cells, raw_ber, rng);
+        return;
+    }
+    // Block by block, in block order: the same injectErrors sequence
+    // RealBchChannel(raw_ber) consumes, so archive reads reproduce
+    // the in-memory round trip bit for bit at equal seeds.
+    const BchCode &code = cachedBchCode(image.schemeT);
+    const std::size_t cw_bits = code.codewordBytes() * 8;
+    for (std::size_t start = 0; start + cw_bits / 8 <=
+                                image.cells.size();
+         start += cw_bits / 8)
+        injectErrorsInRange(image.cells, start * 8,
+                            start * 8 + cw_bits, raw_ber, rng);
+}
+
+void
+degradeCellImage(CellImage &image, const McPcm &pcm, double seconds,
+                 Rng &rng)
+{
+    if (image.schemeT == 0) {
+        image.cells = pcm.storeAndRead(image.cells, seconds, rng);
+        return;
+    }
+    const BchCode &code = cachedBchCode(image.schemeT);
+    const std::size_t cw_bytes = code.codewordBytes();
+    Bytes block(cw_bytes, 0);
+    for (std::size_t start = 0;
+         start + cw_bytes <= image.cells.size(); start += cw_bytes) {
+        std::copy(image.cells.begin() +
+                      static_cast<std::ptrdiff_t>(start),
+                  image.cells.begin() +
+                      static_cast<std::ptrdiff_t>(start + cw_bytes),
+                  block.begin());
+        Bytes aged = pcm.storeAndRead(block, seconds, rng);
+        std::copy(aged.begin(), aged.end(),
+                  image.cells.begin() +
+                      static_cast<std::ptrdiff_t>(start));
+    }
+}
+
 u64
 parityBitsFor(u64 payload_bits, const EccScheme &scheme)
 {

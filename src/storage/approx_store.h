@@ -121,6 +121,77 @@ class StorageAccountant
 /** Parity bits required to protect @p payload_bits under @p scheme. */
 u64 parityBitsFor(u64 payload_bits, const EccScheme &scheme);
 
+// --- cell images -------------------------------------------------------
+//
+// A CellImage is the raw bit content of the MLC PCM cells backing one
+// stream: the concatenated packed BCH codewords (payload verbatim for
+// the unprotected scheme). Exporting an image at put time and
+// persisting it makes an on-disk archive *be* the modeled device —
+// reads, aging and scrubbing all operate on exactly the bits a real
+// substrate would hold, and a degraded image round-trips through the
+// same word-packed BCH decoder as the in-memory channels.
+
+/** One stream's worth of modeled PCM cells. */
+struct CellImage
+{
+    /** Packed codeword blocks (or the raw payload when schemeT = 0). */
+    Bytes cells;
+    /** Size in bytes of the payload the image encodes. */
+    u64 payloadBytes = 0;
+    /** BCH correction capability (0 = unprotected). */
+    int schemeT = 0;
+};
+
+/** Decode statistics of one pass over a cell image. */
+struct CellReadStats
+{
+    u64 blocksRead = 0;
+    /** Blocks the decoder repaired (>= 1 bit corrected). */
+    u64 blocksCorrected = 0;
+    u64 bitsCorrected = 0;
+    u64 blocksUncorrectable = 0;
+
+    void
+    merge(const CellReadStats &o)
+    {
+        blocksRead += o.blocksRead;
+        blocksCorrected += o.blocksCorrected;
+        bitsCorrected += o.bitsCorrected;
+        blocksUncorrectable += o.blocksUncorrectable;
+    }
+};
+
+/** BCH-encode @p data into the cells it would occupy under
+ * @p scheme (the write half of RealBchChannel::roundTrip). */
+CellImage exportCellImage(const Bytes &data, const EccScheme &scheme);
+
+/**
+ * Decode the payload back out of a (possibly degraded) image without
+ * modifying it. Uncorrectable blocks keep their raw errors, exactly
+ * like the in-memory channel.
+ */
+Bytes readCellImage(const CellImage &image,
+                    CellReadStats *stats = nullptr);
+
+/**
+ * Scrub pass: decode every block and rewrite corrected codewords in
+ * place, restoring the image to its error-free content wherever the
+ * code could repair it. Returns the decoded payload.
+ */
+Bytes scrubCellImage(CellImage &image, CellReadStats *stats = nullptr);
+
+/**
+ * Age the image with uniform raw bit errors at @p raw_ber. Errors
+ * are injected block by block in block order, consuming @p rng
+ * exactly like RealBchChannel(raw_ber), so export + degrade + read
+ * is bit-identical to the in-memory round trip at the same seed.
+ */
+void degradeCellImage(CellImage &image, double raw_ber, Rng &rng);
+
+/** Age the image cell-accurately through @p pcm for @p seconds. */
+void degradeCellImage(CellImage &image, const McPcm &pcm,
+                      double seconds, Rng &rng);
+
 } // namespace videoapp
 
 #endif // VIDEOAPP_STORAGE_APPROX_STORE_H_

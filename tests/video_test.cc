@@ -134,6 +134,71 @@ TEST(YuvIo, LoadRejectsBadDimensions)
     EXPECT_TRUE(odd.frames.empty());
 }
 
+TEST(YuvIo, TruncatedFileDropsPartialFrame)
+{
+    // A file cut mid-frame must yield only the complete frames,
+    // never a torn or half-read one.
+    Video v = generateSynthetic(tinySpec(6));
+    ASSERT_GE(v.frames.size(), 2u);
+    std::string path = ::testing::TempDir() + "/va_truncated.yuv";
+    ASSERT_TRUE(saveI420(v, path));
+
+    std::size_t frame_bytes =
+        v.frames[0].y().data().size() +
+        v.frames[0].u().data().size() +
+        v.frames[0].v().data().size();
+    // Cut in the luma plane, then in each chroma plane, of frame 2.
+    for (std::size_t cut_in_frame :
+         {frame_bytes / 3, v.frames[0].y().data().size() + 1,
+          frame_bytes - 1}) {
+        std::ifstream in(path, std::ios::binary);
+        std::vector<char> all((std::istreambuf_iterator<char>(in)),
+                              std::istreambuf_iterator<char>());
+        all.resize(frame_bytes + cut_in_frame);
+        std::string cut_path =
+            ::testing::TempDir() + "/va_truncated_cut.yuv";
+        std::ofstream out(cut_path, std::ios::binary);
+        out.write(all.data(),
+                  static_cast<std::streamsize>(all.size()));
+        out.close();
+
+        Video back = loadI420(cut_path, v.width(), v.height());
+        ASSERT_EQ(back.frames.size(), 1u)
+            << "cut at frame offset " << cut_in_frame;
+        EXPECT_EQ(back.frames[0].y().data(),
+                  v.frames[0].y().data());
+        EXPECT_EQ(back.frames[0].v().data(),
+                  v.frames[0].v().data());
+        std::remove(cut_path.c_str());
+    }
+    std::remove(path.c_str());
+}
+
+TEST(YuvIo, EmptyFileYieldsNoFrames)
+{
+    std::string path = ::testing::TempDir() + "/va_empty.yuv";
+    { std::ofstream out(path, std::ios::binary); }
+    Video v = loadI420(path, 64, 48);
+    EXPECT_TRUE(v.frames.empty());
+    std::remove(path.c_str());
+}
+
+TEST(YuvIo, ZeroAndNegativeDimensionsRejected)
+{
+    std::string path = ::testing::TempDir() + "/va_dims.yuv";
+    {
+        std::ofstream out(path, std::ios::binary);
+        std::vector<char> junk(4096, 0x42);
+        out.write(junk.data(),
+                  static_cast<std::streamsize>(junk.size()));
+    }
+    EXPECT_TRUE(loadI420(path, 0, 16).frames.empty());
+    EXPECT_TRUE(loadI420(path, 16, 0).frames.empty());
+    EXPECT_TRUE(loadI420(path, -16, 16).frames.empty());
+    EXPECT_TRUE(loadI420(path, 16, -16).frames.empty());
+    std::remove(path.c_str());
+}
+
 TEST(YuvIo, PgmDump)
 {
     Plane p(16, 16, 200);

@@ -1,35 +1,43 @@
 #!/usr/bin/env python3
-"""Compare a fresh BENCH_pipeline.json against a committed baseline.
+"""Compare a fresh bench JSON against a committed baseline.
+
+Supports the perf bench kinds (the "bench" field of the JSON):
+``perf_pipeline`` (BENCH_pipeline.json) and ``perf_archive``
+(BENCH_archive.json). The two files must be of the same kind and
+produced with the same bench config; mismatches are usage errors
+(exit 2), not regressions.
 
 Two classes of fields are checked:
 
-* HARD fields (exit 1 on violation): correctness and output-size
-  metrics that are deterministic for a fixed bench config — the
-  parallel==sequential flag, per-thread payload/parity bit totals,
-  and the deterministic telemetry counters (BCH blocks decoded /
-  bits corrected / uncorrectable, modeled-channel damage, trial and
-  stream counts). A relative tolerance (--count-tolerance, default
-  2%) absorbs cross-platform libm jitter while still catching real
-  behaviour changes.
+* HARD fields (exit 1 on violation): correctness flags and output
+  counts that are deterministic for a fixed bench config — the
+  parallel==sequential flag, per-thread payload/parity/cell totals,
+  scrub repair counts, and the deterministic telemetry counters. A
+  relative tolerance (--count-tolerance, default 2%) absorbs
+  cross-platform libm jitter while still catching real behaviour
+  changes.
 
 * SOFT fields (warn, exit 0): wall-clock timings, throughput and
   speedups, which drift with runner load. --strict-timing promotes
   them to hard failures (--timing-tolerance, default 100% = 2x).
 
-The two files must have been produced with the same bench config
-(scale / runs / videos); a mismatch is a usage error (exit 2), not a
-regression, since counts are only comparable at equal scale.
+Malformed input never raises: a missing section or key in either
+file is reported with a clear message (hard failure when the current
+run lost something the baseline has; exit 2 when the file cannot be
+interpreted at all).
 
 Exit codes: 0 ok (possibly with warnings), 1 regression, 2 usage or
 input error.
 
-Regenerating the baseline after an intentional perf/behaviour change
+Regenerating a baseline after an intentional perf/behaviour change
 (see EXPERIMENTS.md):
 
-    VIDEOAPP_BENCH_SCALE=0.15 VIDEOAPP_BENCH_RUNS=2 \
-    VIDEOAPP_BENCH_VIDEOS=1 VIDEOAPP_THREADS=4 \
-    VIDEOAPP_BENCH_OUT=bench/baselines/BENCH_pipeline.baseline.json \
+    VIDEOAPP_BENCH_SCALE=0.15 VIDEOAPP_BENCH_RUNS=2 \\
+    VIDEOAPP_BENCH_VIDEOS=1 VIDEOAPP_THREADS=4 \\
+    VIDEOAPP_BENCH_OUT=bench/baselines/BENCH_pipeline.baseline.json \\
     ./build/bench/perf_pipeline
+
+and likewise BENCH_archive.baseline.json with ./build/bench/perf_archive.
 """
 
 import argparse
@@ -40,7 +48,7 @@ import sys
 # and therefore hard-checked. Scheduling-dependent counters
 # (parallel.loops_* etc.) and everything under timers/histograms are
 # soft: they describe how the work was executed, not what it
-# computed.
+# computed. Counters a bench never touches stay 0 on both sides.
 HARD_COUNTERS = [
     "pipeline.videos_prepared",
     "pipeline.streams_stored",
@@ -52,9 +60,42 @@ HARD_COUNTERS = [
     "storage.channel.blocks_miscorrected",
     "storage.model.streams_stored",
     "storage.model.bits_damaged",
+    "storage.cells.blocks_encoded",
     "sim.trials",
     "sim.bits_flipped",
+    "archive.puts",
+    "archive.gets",
+    "archive.scrubs",
+    "archive.streams_encoded",
+    "archive.read.blocks_corrected",
+    "archive.read.blocks_uncorrectable",
+    "archive.scrub.blocks_read",
+    "archive.scrub.blocks_rewritten",
+    "archive.scrub.bits_corrected",
+    "archive.scrub.blocks_uncorrectable",
+    "archive.scrub.streams_miscorrected",
 ]
+
+# Per-kind row schemas: (hard keys, soft timing keys) of each entry
+# in the "threads" array.
+THREAD_ROW_KEYS = {
+    "perf_pipeline": (
+        ("payload_bits", "parity_bits"),
+        ("prepare_s", "store_retrieve_s"),
+    ),
+    "perf_archive": (
+        ("payload_bytes", "cell_bytes", "scrub_blocks_rewritten",
+         "scrub_bits_corrected"),
+        ("put_s", "get_s", "scrub_s"),
+    ),
+}
+
+# Per-kind correctness flags that must be true in the current run.
+CORRECTNESS_FLAGS = {
+    "perf_pipeline": ("parallel_equals_sequential",),
+    "perf_archive": ("parallel_equals_sequential",
+                     "round_trip_exact"),
+}
 
 
 class Report:
@@ -69,13 +110,20 @@ class Report:
         self.warnings.append(message)
 
 
+def usage_error(message):
+    print(f"error: {message}", file=sys.stderr)
+    sys.exit(2)
+
+
 def load(path):
     try:
         with open(path, "r", encoding="utf-8") as f:
-            return json.load(f)
+            data = json.load(f)
     except (OSError, json.JSONDecodeError) as e:
-        print(f"error: cannot read {path}: {e}", file=sys.stderr)
-        sys.exit(2)
+        usage_error(f"cannot read {path}: {e}")
+    if not isinstance(data, dict):
+        usage_error(f"{path}: top level is not a JSON object")
+    return data
 
 
 def rel_diff(current, baseline):
@@ -94,6 +142,12 @@ def check_scalar(report, name, current, baseline, tolerance, hard):
         # New metric with no baseline entry: fine, note it.
         report.warn(f"{name}: not in baseline (new metric?)")
         return
+    if not isinstance(current, (int, float)) or not isinstance(
+            baseline, (int, float)):
+        report.fail(
+            f"{name}: not numeric (current {current!r}, baseline "
+            f"{baseline!r})")
+        return
     diff = rel_diff(current, baseline)
     if diff <= tolerance:
         return
@@ -107,55 +161,106 @@ def check_scalar(report, name, current, baseline, tolerance, hard):
         report.warn(message)
 
 
+def check_kind(current, baseline, current_path, baseline_path):
+    """The bench kind ("bench" field) must be present and equal."""
+    kc = current.get("bench")
+    kb = baseline.get("bench")
+    # Pre-kind BENCH_pipeline.json files carry no "bench" field;
+    # treat them as perf_pipeline so old baselines keep working.
+    kc = kc if kc is not None else "perf_pipeline"
+    kb = kb if kb is not None else "perf_pipeline"
+    if kc != kb:
+        usage_error(
+            f"bench kinds differ: {current_path} is \"{kc}\" but "
+            f"{baseline_path} is \"{kb}\"; compare a run against "
+            "the baseline of the same bench binary")
+    if kc not in THREAD_ROW_KEYS:
+        usage_error(
+            f"unknown bench kind \"{kc}\"; this checker knows "
+            f"{sorted(THREAD_ROW_KEYS)} — update "
+            "tools/check_bench_regression.py for the new bench")
+    return kc
+
+
 def check_config(current, baseline):
     ca, cb = current.get("config"), baseline.get("config")
     if ca is None or cb is None:
-        print(
-            "error: one of the files has no \"config\" section; "
-            "regenerate both with the current perf_pipeline",
-            file=sys.stderr,
-        )
-        sys.exit(2)
+        usage_error(
+            "one of the files has no \"config\" section; "
+            "regenerate both with the current bench binary")
     if ca != cb:
-        print(
-            f"error: bench configs differ (current {ca}, baseline "
-            f"{cb}); counts are only comparable at equal scale — "
-            "rerun with the baseline's VIDEOAPP_BENCH_* settings "
-            "or regenerate the baseline",
-            file=sys.stderr,
-        )
-        sys.exit(2)
+        usage_error(
+            f"bench configs differ (current {ca}, baseline {cb}); "
+            "counts are only comparable at equal scale — rerun "
+            "with the baseline's VIDEOAPP_BENCH_* settings or "
+            "regenerate the baseline")
 
 
-def check_correctness(report, current):
-    if current.get("parallel_equals_sequential") is not True:
-        report.fail(
-            "parallel_equals_sequential is not true: parallel "
-            "execution no longer matches sequential output"
-        )
+def check_correctness(report, kind, current):
+    for flag in CORRECTNESS_FLAGS[kind]:
+        value = current.get(flag)
+        if value is None:
+            report.fail(
+                f"{flag}: missing from current results (the bench "
+                "did not emit its correctness flag)")
+        elif value is not True:
+            report.fail(
+                f"{flag} is not true: the bench detected a "
+                "correctness violation")
 
 
-def check_thread_rows(report, current, baseline, count_tol,
+def thread_rows(report, data, which):
+    """The "threads" array as {thread_count: row}, [] on damage."""
+    rows = data.get("threads")
+    if rows is None:
+        report.fail(f"threads section missing from {which} results")
+        return {}
+    if not isinstance(rows, list):
+        report.fail(f"threads section of {which} results is not a "
+                    "list")
+        return {}
+    by_count = {}
+    for i, row in enumerate(rows):
+        if not isinstance(row, dict) or "threads" not in row:
+            report.fail(
+                f"threads[{i}] of {which} results has no "
+                "\"threads\" key; regenerate with the current "
+                "bench binary")
+            continue
+        by_count[row["threads"]] = row
+    return by_count
+
+
+def check_thread_rows(report, kind, current, baseline, count_tol,
                       timing_tol, strict_timing):
-    rows_c = {r["threads"]: r for r in current.get("threads", [])}
-    rows_b = {r["threads"]: r for r in baseline.get("threads", [])}
+    hard_keys, timing_keys = THREAD_ROW_KEYS[kind]
+    rows_c = thread_rows(report, current, "current")
+    rows_b = thread_rows(report, baseline, "baseline")
+    if not rows_b:
+        report.warn("baseline has no usable thread rows")
     for n in sorted(rows_b):
         if n not in rows_c:
             report.fail(f"threads[{n}]: row missing from current run")
             continue
         rc, rb = rows_c[n], rows_b[n]
-        for key in ("payload_bits", "parity_bits"):
+        for key in hard_keys:
             check_scalar(report, f"threads[{n}].{key}", rc.get(key),
                          rb.get(key), count_tol, hard=True)
-        for key in ("prepare_s", "store_retrieve_s"):
+        for key in timing_keys:
             check_scalar(report, f"threads[{n}].{key}", rc.get(key),
                          rb.get(key), timing_tol,
                          hard=strict_timing)
 
 
 def check_bch(report, current, baseline, timing_tol, strict_timing):
-    bc = current.get("bch_single_thread", {})
-    bb = baseline.get("bch_single_thread", {})
+    bc = current.get("bch_single_thread")
+    bb = baseline.get("bch_single_thread")
+    if bb is None:
+        return
+    if bc is None:
+        report.fail("bch_single_thread section missing from "
+                    "current results")
+        return
     for key in ("packed_encode_s", "packed_decode_s"):
         check_scalar(report, f"bch_single_thread.{key}", bc.get(key),
                      bb.get(key), timing_tol, hard=strict_timing)
@@ -177,8 +282,15 @@ def check_telemetry(report, current, baseline, count_tol):
             f"telemetry schema_version changed "
             f"({sv_b} -> {sv_c}); counter comparison may be stale"
         )
-    cc = tc.get("counters", {})
-    cb = tb.get("counters", {})
+    cc = tc.get("counters")
+    cb = tb.get("counters")
+    if not isinstance(cc, dict):
+        report.fail("telemetry.counters missing from current "
+                    "results")
+        return
+    if not isinstance(cb, dict):
+        report.warn("telemetry.counters missing from baseline")
+        return
     for name in HARD_COUNTERS:
         # A counter neither side recorded stayed at zero (metrics
         # register on first increment).
@@ -200,10 +312,10 @@ def main():
         formatter_class=argparse.RawDescriptionHelpFormatter,
     )
     parser.add_argument("--current", required=True,
-                        help="freshly produced BENCH_pipeline.json")
+                        help="freshly produced bench JSON")
     parser.add_argument(
         "--baseline", required=True,
-        help="committed bench/baselines/BENCH_pipeline.baseline.json")
+        help="committed bench/baselines/*.baseline.json")
     parser.add_argument(
         "--count-tolerance", type=float, default=0.02,
         help="relative tolerance for hard count/size fields "
@@ -220,15 +332,17 @@ def main():
 
     current = load(args.current)
     baseline = load(args.baseline)
+    kind = check_kind(current, baseline, args.current, args.baseline)
     check_config(current, baseline)
 
     report = Report()
-    check_correctness(report, current)
-    check_thread_rows(report, current, baseline,
+    check_correctness(report, kind, current)
+    check_thread_rows(report, kind, current, baseline,
                       args.count_tolerance, args.timing_tolerance,
                       args.strict_timing)
-    check_bch(report, current, baseline, args.timing_tolerance,
-              args.strict_timing)
+    if kind == "perf_pipeline":
+        check_bch(report, current, baseline, args.timing_tolerance,
+                  args.strict_timing)
     check_telemetry(report, current, baseline, args.count_tolerance)
 
     for w in report.warnings:
