@@ -1,0 +1,546 @@
+/**
+ * @file
+ * Performance of the VAPP serving layer (not a paper figure — an
+ * engineering bench for the network store front end built on the
+ * archive service).
+ *
+ * Measurements, written to BENCH_server.json:
+ *  1. closed-loop loopback load at 16 and 64 concurrent
+ *     connections, each client issuing a deterministic mix of
+ *     GET_FRAMES / PUT / SCRUB / missing-name GETs, with wall time,
+ *     throughput and client-observed GET latency percentiles.
+ *  2. hard output counts per row: ok GETs, ok PUTs, ok SCRUBs,
+ *     not-found responses and lost responses (always 0 — an
+ *     admitted request never loses its response), all derived from
+ *     the fixed per-client schedule.
+ *  3. four correctness flags: every request got a response
+ *     (responses_all_accounted), wire GET frames are byte-identical
+ *     to a local ArchiveService::get (wire_matches_local), a warm
+ *     GET is served from the decoded-GOP cache without touching the
+ *     archive read path (cache_hit_skips_decode), and overflowing a
+ *     paused small queue answers Status::Retry for exactly the
+ *     overflow (backpressure_returns_retry).
+ *
+ * The JSON carries the bench config and a telemetry snapshot;
+ * tools/check_bench_regression.py diffs it against
+ * bench/baselines/BENCH_server.baseline.json in CI (latency soft,
+ * counts and flags hard). VIDEOAPP_BENCH_OUT overrides the output
+ * path.
+ */
+
+#include <algorithm>
+#include <cerrno>
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "archive/archive_service.h"
+#include "common/telemetry.h"
+#include "server/vapp_client.h"
+#include "server/vapp_server.h"
+#include "sim/bench_config.h"
+
+namespace videoapp {
+namespace {
+
+double
+now()
+{
+    using clock = std::chrono::steady_clock;
+    return std::chrono::duration<double>(
+               clock::now().time_since_epoch())
+        .count();
+}
+
+/** One load row: all clients at a fixed connection count. */
+struct LoadPoint
+{
+    int connections = 0;
+    double wallSeconds = 0;
+    double opsPerSecond = 0;
+    double getP50Us = 0;
+    double getP99Us = 0;
+    // Hard-checked outputs (fixed by the per-client op schedule).
+    u64 getsOk = 0;
+    u64 putsOk = 0;
+    u64 scrubsOk = 0;
+    u64 notFound = 0;
+    u64 responsesLost = 0;
+};
+
+std::string
+scratchPath()
+{
+    const char *tmp = std::getenv("TMPDIR");
+    return std::string(tmp ? tmp : "/tmp") + "/perf_server.vapp";
+}
+
+std::string
+benchVideoName(std::size_t i)
+{
+    std::string name = "video";
+    name += std::to_string(i);
+    return name;
+}
+
+double
+percentile(std::vector<double> &sorted_us, double p)
+{
+    if (sorted_us.empty())
+        return 0;
+    double rank = p * (sorted_us.size() - 1);
+    std::size_t lo = static_cast<std::size_t>(rank);
+    std::size_t hi = std::min(lo + 1, sorted_us.size() - 1);
+    double frac = rank - lo;
+    return sorted_us[lo] * (1 - frac) + sorted_us[hi] * frac;
+}
+
+/**
+ * The deterministic per-client op schedule. Client @p client does
+ * @p ops operations; op @p j is one of:
+ *   - j % 8 == 6               GET of a name that does not exist
+ *   - j % 8 == 3, client % 4 == 1   PUT of the client's own clip
+ *   - j % 8 == 7, client == 0  SCRUB (no aging)
+ *   - otherwise                GET of a stored video, cycling GOPs
+ * so the ok/not-found totals per row are a pure function of
+ * (connections, ops) and hard-checkable against the baseline.
+ */
+enum class OpKind { Get, GetMissing, Put, Scrub };
+
+OpKind
+scheduledOp(int client, int j)
+{
+    if (j % 8 == 6)
+        return OpKind::GetMissing;
+    if (j % 8 == 3 && client % 4 == 1)
+        return OpKind::Put;
+    if (j % 8 == 7 && client == 0)
+        return OpKind::Scrub;
+    return OpKind::Get;
+}
+
+struct ClientTally
+{
+    u64 getsOk = 0;
+    u64 putsOk = 0;
+    u64 scrubsOk = 0;
+    u64 notFound = 0;
+    u64 lost = 0;
+    std::vector<double> getLatencyUs;
+};
+
+void
+clientLoop(u16 port, int client, int ops, int videos, u32 gop_count,
+           const std::vector<PutRequest> &put_templates,
+           ClientTally &tally)
+{
+    VappClient c;
+    if (!c.connect("127.0.0.1", port)) {
+        tally.lost += static_cast<u64>(ops);
+        return;
+    }
+    for (int j = 0; j < ops; ++j) {
+        switch (scheduledOp(client, j)) {
+          case OpKind::GetMissing: {
+            GetFramesRequest get;
+            get.name = "no-such-video";
+            auto r = c.getFrames(get);
+            if (!r)
+                ++tally.lost;
+            else if (r->status == Status::NotFound)
+                ++tally.notFound;
+            break;
+          }
+          case OpKind::Put: {
+            PutRequest put =
+                put_templates[client % put_templates.size()];
+            put.name = "client" + std::to_string(client);
+            auto r = c.put(put);
+            if (!r)
+                ++tally.lost;
+            else if (r->status == Status::Ok)
+                ++tally.putsOk;
+            break;
+          }
+          case OpKind::Scrub: {
+            ScrubRequest scrub;
+            auto r = c.scrub(scrub);
+            if (!r)
+                ++tally.lost;
+            else if (r->status == Status::Ok)
+                ++tally.scrubsOk;
+            break;
+          }
+          case OpKind::Get: {
+            GetFramesRequest get;
+            get.name = benchVideoName(
+                static_cast<std::size_t>(client) % videos);
+            get.gop = static_cast<u32>(j) % gop_count;
+            double t0 = now();
+            auto r = c.getFrames(get);
+            double us = (now() - t0) * 1e6;
+            if (!r)
+                ++tally.lost;
+            else if (r->status == Status::Ok ||
+                     r->status == Status::Partial) {
+                ++tally.getsOk;
+                tally.getLatencyUs.push_back(us);
+            }
+            break;
+          }
+        }
+    }
+}
+
+LoadPoint
+benchOneConnectionCount(u16 port, int connections, int ops,
+                        int videos, u32 gop_count,
+                        const std::vector<PutRequest> &put_templates)
+{
+    LoadPoint p;
+    p.connections = connections;
+    std::vector<ClientTally> tallies(connections);
+    std::vector<std::thread> threads;
+    threads.reserve(connections);
+    double t0 = now();
+    for (int i = 0; i < connections; ++i)
+        threads.emplace_back([&, i] {
+            clientLoop(port, i, ops, videos, gop_count,
+                       put_templates, tallies[i]);
+        });
+    for (std::thread &t : threads)
+        t.join();
+    p.wallSeconds = now() - t0;
+
+    std::vector<double> latencies;
+    for (const ClientTally &t : tallies) {
+        p.getsOk += t.getsOk;
+        p.putsOk += t.putsOk;
+        p.scrubsOk += t.scrubsOk;
+        p.notFound += t.notFound;
+        p.responsesLost += t.lost;
+        latencies.insert(latencies.end(), t.getLatencyUs.begin(),
+                         t.getLatencyUs.end());
+    }
+    std::sort(latencies.begin(), latencies.end());
+    p.getP50Us = percentile(latencies, 0.50);
+    p.getP99Us = percentile(latencies, 0.99);
+    u64 total_ops = static_cast<u64>(connections) *
+                    static_cast<u64>(ops);
+    p.opsPerSecond = p.wallSeconds > 0
+                         ? static_cast<double>(total_ops) /
+                               p.wallSeconds
+                         : 0;
+    return p;
+}
+
+/** Wire GET frames == packFramesI420 over a local service get. */
+bool
+checkWireMatchesLocal(ArchiveService &service, u16 port, int videos)
+{
+    VappClient c;
+    if (!c.connect("127.0.0.1", port))
+        return false;
+    for (int i = 0; i < videos; ++i) {
+        const std::string name = benchVideoName(i);
+        ArchiveGetResult local = service.get(name);
+        if (local.error != ArchiveError::None)
+            return false;
+        auto ranges = gopRanges(local.frameHeaders,
+                                local.decoded.frames.size());
+        for (std::size_t g = 0; g < ranges.size(); ++g) {
+            GetFramesRequest get;
+            get.name = name;
+            get.gop = static_cast<u32>(g);
+            auto r = c.getFrames(get);
+            if (!r || r->status != Status::Ok)
+                return false;
+            Bytes expected =
+                packFramesI420(local.decoded, ranges[g].firstFrame,
+                               ranges[g].frameCount);
+            if (r->i420 != expected ||
+                r->firstFrame != ranges[g].firstFrame ||
+                r->frameCount != ranges[g].frameCount)
+                return false;
+        }
+    }
+    return true;
+}
+
+/** A warm GET is flagged fromCache and (when telemetry is compiled
+ * in) leaves the archive.gets counter untouched. */
+bool
+checkCacheHitSkipsDecode(VappServer &server, u16 port)
+{
+    server.cache().clear();
+    VappClient c;
+    if (!c.connect("127.0.0.1", port))
+        return false;
+    GetFramesRequest get;
+    get.name = benchVideoName(0);
+    auto miss = c.getFrames(get);
+    if (!miss || miss->status != Status::Ok || miss->fromCache)
+        return false;
+    u64 gets_before = 0;
+    if (telemetry::kEnabled)
+        gets_before = telemetry::globalRegistry()
+                          .counter("archive.gets")
+                          .value();
+    auto hit = c.getFrames(get);
+    if (!hit || hit->status != Status::Ok || !hit->fromCache ||
+        hit->i420 != miss->i420)
+        return false;
+    if (telemetry::kEnabled &&
+        telemetry::globalRegistry().counter("archive.gets").value() !=
+            gets_before)
+        return false;
+    return true;
+}
+
+/**
+ * Overflow a paused 4-deep queue with 8 pipelined GETs: exactly the
+ * overflow half must answer Status::Retry, and after resuming the
+ * drain the admitted half must answer normally.
+ */
+bool
+checkBackpressureReturnsRetry(ArchiveService &service)
+{
+    VappServerConfig config;
+    config.workers = 2;
+    config.queueCapacity = 4;
+    config.cacheBytes = 0;
+    VappServer server(service, config);
+    if (!server.start())
+        return false;
+    server.setDrainPaused(true);
+
+    VappClient c;
+    if (!c.connect("127.0.0.1", server.port()))
+        return false;
+    const int burst = 8;
+    GetFramesRequest get;
+    get.name = "no-such-video";
+    for (int i = 0; i < burst; ++i)
+        if (!c.send(Opcode::GetFrames,
+                    serializeGetFramesRequest(get)))
+            return false;
+    // The reader admits sequentially, so the rejects are answered
+    // first; wait for the queue to actually fill before resuming.
+    double deadline = now() + 10;
+    while (server.queueDepth() < config.queueCapacity &&
+           now() < deadline)
+        std::this_thread::sleep_for(std::chrono::milliseconds(1));
+    int retries = 0;
+    int answered = 0;
+    for (int i = 0; i < burst; ++i) {
+        if (i == burst - static_cast<int>(config.queueCapacity))
+            server.setDrainPaused(false);
+        auto r = c.receive();
+        if (!r)
+            return false;
+        ++answered;
+        if (static_cast<Status>(r->kind) == Status::Retry)
+            ++retries;
+    }
+    server.stop();
+    return answered == burst &&
+           retries == burst - static_cast<int>(config.queueCapacity);
+}
+
+std::string
+outputPath()
+{
+    if (const char *out = std::getenv("VIDEOAPP_BENCH_OUT"))
+        return out;
+    return "BENCH_server.json";
+}
+
+bool
+writeJson(const BenchConfig &config,
+          const std::vector<LoadPoint> &points, int ops_per_client,
+          bool all_accounted, bool wire_matches_local,
+          bool cache_hit_skips_decode, bool backpressure_retry)
+{
+    const std::string path = outputPath();
+    std::FILE *f = std::fopen(path.c_str(), "w");
+    if (!f) {
+        std::fprintf(stderr,
+                     "error: cannot write bench results to '%s': %s\n"
+                     "(set VIDEOAPP_BENCH_OUT to a writable path)\n",
+                     path.c_str(), std::strerror(errno));
+        return false;
+    }
+    std::fprintf(f, "{\n  \"bench\": \"perf_server\",\n");
+    std::fprintf(f,
+                 "  \"config\": {\"scale\": %.3f, \"runs\": %d, "
+                 "\"videos\": %d, \"ops_per_client\": %d},\n",
+                 config.scale, config.runs, config.videos,
+                 ops_per_client);
+    std::fprintf(f, "  \"threads\": [\n");
+    for (std::size_t i = 0; i < points.size(); ++i) {
+        const LoadPoint &p = points[i];
+        std::fprintf(
+            f,
+            "    {\"threads\": %d, \"wall_s\": %.6f, "
+            "\"ops_per_s\": %.3f, \"get_p50_us\": %.1f, "
+            "\"get_p99_us\": %.1f, \"gets_ok\": %llu, "
+            "\"puts_ok\": %llu, \"scrubs_ok\": %llu, "
+            "\"not_found\": %llu, \"responses_lost\": %llu}%s\n",
+            p.connections, p.wallSeconds, p.opsPerSecond, p.getP50Us,
+            p.getP99Us, static_cast<unsigned long long>(p.getsOk),
+            static_cast<unsigned long long>(p.putsOk),
+            static_cast<unsigned long long>(p.scrubsOk),
+            static_cast<unsigned long long>(p.notFound),
+            static_cast<unsigned long long>(p.responsesLost),
+            i + 1 < points.size() ? "," : "");
+    }
+    std::fprintf(f, "  ],\n");
+    std::fprintf(f, "  \"responses_all_accounted\": %s,\n",
+                 all_accounted ? "true" : "false");
+    std::fprintf(f, "  \"wire_matches_local\": %s,\n",
+                 wire_matches_local ? "true" : "false");
+    std::fprintf(f, "  \"cache_hit_skips_decode\": %s,\n",
+                 cache_hit_skips_decode ? "true" : "false");
+    std::fprintf(f, "  \"backpressure_returns_retry\": %s,\n",
+                 backpressure_retry ? "true" : "false");
+    std::string telemetry =
+        telemetry::globalRegistry().snapshotJson(2);
+    std::fprintf(f, "  \"telemetry\": %s\n}\n", telemetry.c_str());
+    if (std::fclose(f) != 0) {
+        std::fprintf(stderr, "error: failed to flush '%s': %s\n",
+                     path.c_str(), std::strerror(errno));
+        return false;
+    }
+    return true;
+}
+
+bool
+run(const BenchConfig &config)
+{
+    telemetry::globalRegistry().resetAll();
+
+    const int videos = std::max(1, config.videos);
+    const int ops = std::max(4, config.runs * 4);
+    auto suite = standardSuite(config.scale);
+    std::vector<Video> sources;
+    std::vector<PreparedVideo> prepared;
+    std::vector<PutRequest> put_templates;
+    for (int i = 0; i < videos; ++i) {
+        sources.push_back(generateSynthetic(
+            suite[static_cast<std::size_t>(i) % suite.size()]));
+        prepared.push_back(prepareVideo(sources.back(),
+                                        EncoderConfig{},
+                                        EccAssignment::paperTable1()));
+        PutRequest put;
+        put.width = static_cast<u16>(sources.back().width());
+        put.height = static_cast<u16>(sources.back().height());
+        put.frameCount =
+            static_cast<u32>(sources.back().frames.size());
+        put.i420 = packFramesI420(sources.back(), 0,
+                                  sources.back().frames.size());
+        put_templates.push_back(std::move(put));
+    }
+
+    ArchiveService service(scratchPath());
+    std::remove(service.path().c_str());
+    if (service.open() != ArchiveError::None) {
+        std::fprintf(stderr, "error: cannot open scratch archive\n");
+        return false;
+    }
+    for (int i = 0; i < videos; ++i)
+        service.put(benchVideoName(i), prepared[i], {});
+
+    VappServerConfig server_config;
+    server_config.workers = 4;
+    server_config.queueCapacity = 256;
+    VappServer server(service, server_config);
+    if (!server.start()) {
+        std::fprintf(stderr, "error: cannot start server: %s\n",
+                     std::strerror(errno));
+        return false;
+    }
+    const u16 port = server.port();
+
+    // One warm pass discovers the GOP count and fills the cache so
+    // the load rows measure the steady serving state.
+    u32 gop_count = 1;
+    {
+        VappClient c;
+        if (!c.connect("127.0.0.1", port))
+            return false;
+        for (int i = 0; i < videos; ++i) {
+            GetFramesRequest get;
+            get.name = benchVideoName(i);
+            auto r = c.getFrames(get);
+            if (!r || r->status != Status::Ok)
+                return false;
+            gop_count = std::max<u32>(1, r->gopCount);
+        }
+    }
+
+    std::printf("%-8s %9s %11s %11s %11s %7s %7s %7s %9s %6s\n",
+                "conns", "wall (s)", "ops/s", "p50 (us)", "p99 (us)",
+                "gets", "puts", "scrubs", "notfound", "lost");
+    std::vector<LoadPoint> points;
+    for (int n : {16, 64}) {
+        points.push_back(benchOneConnectionCount(
+            port, n, ops, videos, gop_count, put_templates));
+        const LoadPoint &p = points.back();
+        std::printf(
+            "%-8d %9.3f %11.1f %11.1f %11.1f %7llu %7llu %7llu "
+            "%9llu %6llu\n",
+            p.connections, p.wallSeconds, p.opsPerSecond, p.getP50Us,
+            p.getP99Us, static_cast<unsigned long long>(p.getsOk),
+            static_cast<unsigned long long>(p.putsOk),
+            static_cast<unsigned long long>(p.scrubsOk),
+            static_cast<unsigned long long>(p.notFound),
+            static_cast<unsigned long long>(p.responsesLost));
+    }
+
+    bool all_accounted = true;
+    for (const LoadPoint &p : points)
+        if (p.responsesLost != 0)
+            all_accounted = false;
+    std::printf("\nevery request answered: %s\n",
+                all_accounted ? "yes" : "NO (BUG)");
+
+    bool wire_matches_local =
+        checkWireMatchesLocal(service, port, videos);
+    std::printf("wire frames == local service get: %s\n",
+                wire_matches_local ? "yes" : "NO (BUG)");
+
+    bool cache_hit = checkCacheHitSkipsDecode(server, port);
+    std::printf("cache hit skips the read path: %s\n",
+                cache_hit ? "yes" : "NO (BUG)");
+
+    server.stop();
+
+    bool backpressure = checkBackpressureReturnsRetry(service);
+    std::printf("full queue answers Retry: %s\n",
+                backpressure ? "yes" : "NO (BUG)");
+
+    std::remove(service.path().c_str());
+    if (!writeJson(config, points, ops, all_accounted,
+                   wire_matches_local, cache_hit, backpressure))
+        return false;
+    std::printf("wrote %s\n", outputPath().c_str());
+    return all_accounted && wire_matches_local && cache_hit &&
+           backpressure;
+}
+
+} // namespace
+} // namespace videoapp
+
+int
+main()
+{
+    using namespace videoapp;
+    BenchConfig config = BenchConfig::fromEnv();
+    printBenchBanner(
+        "perf: VAPP store server (loopback load)", config);
+    return run(config) ? 0 : 1;
+}

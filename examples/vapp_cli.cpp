@@ -17,14 +17,25 @@
  *   archive scrub <a.vapp>                           repair pass
  *   archive stat  <a.vapp>                           list contents
  *
+ * Serving commands (network store front end, src/server/):
+ *   serve <a.vapp>                          run the store server
+ *   remote get   <host:port> <name> <gop> <out.yuv>
+ *   remote put   <host:port> <name> <in.yuv> <w> <h>
+ *   remote stat  <host:port>
+ *   remote scrub <host:port>
+ *   remote health <host:port>
+ *
  * Common options: --crf N, --gop N, --bframes N, --slices N,
  * --cavlc, --no-deblock, --raw-ber X, --seed N, --conceal.
  * Archive options: --key HEX (AES key: encrypts on put, decrypts on
  * get), --mode ecb|cbc|ctr|ofb|cfb, --key-id N. `get`/`scrub` age
  * the device at --raw-ber first when the flag is given (default:
  * read the cells exactly as stored).
+ * Serving options: --port N, --workers N, --queue N, --cache-mb N
+ * (serve); --deadline MS (remote get).
  */
 
+#include <csignal>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -32,9 +43,13 @@
 #include <string>
 #include <vector>
 
+#include <unistd.h>
+
 #include "archive/archive_service.h"
 #include "core/pipeline.h"
 #include "quality/metrics.h"
+#include "server/vapp_client.h"
+#include "server/vapp_server.h"
 #include "sim/monte_carlo.h"
 #include "video/yuv_io.h"
 
@@ -52,6 +67,11 @@ struct CliOptions
     Bytes key;
     CipherMode mode = CipherMode::CTR;
     u32 keyId = 0;
+    u16 port = 7411;
+    int workers = 4;
+    std::size_t queueCapacity = 256;
+    std::size_t cacheMb = 64;
+    u32 deadlineMs = 0;
 };
 
 void
@@ -68,9 +88,17 @@ usage()
         "  archive get   <a.vapp> <name> <out.yuv>\n"
         "  archive scrub <a.vapp>\n"
         "  archive stat  <a.vapp>\n"
+        "  serve <a.vapp>\n"
+        "  remote get    <host:port> <name> <gop> <out.yuv>\n"
+        "  remote put    <host:port> <name> <in.yuv> <w> <h>\n"
+        "  remote stat   <host:port>\n"
+        "  remote scrub  <host:port>\n"
+        "  remote health <host:port>\n"
         "options: --crf N --gop N --bframes N --slices N --cavlc\n"
         "         --no-deblock --raw-ber X --seed N --conceal\n"
-        "         --key HEX --mode ecb|cbc|ctr|ofb|cfb --key-id N\n");
+        "         --key HEX --mode ecb|cbc|ctr|ofb|cfb --key-id N\n"
+        "         --port N --workers N --queue N --cache-mb N\n"
+        "         --deadline MS\n");
 }
 
 /** Parse "deadbeef.." into bytes; false on odd length/bad digit. */
@@ -164,6 +192,16 @@ parseOptions(int argc, char **argv, int first, CliOptions &opts)
             opts.seed = static_cast<u64>(next(1));
         else if (a == "--conceal")
             opts.conceal = true;
+        else if (a == "--port")
+            opts.port = static_cast<u16>(next(7411));
+        else if (a == "--workers")
+            opts.workers = static_cast<int>(next(4));
+        else if (a == "--queue")
+            opts.queueCapacity = static_cast<std::size_t>(next(256));
+        else if (a == "--cache-mb")
+            opts.cacheMb = static_cast<std::size_t>(next(64));
+        else if (a == "--deadline")
+            opts.deadlineMs = static_cast<u32>(next(0));
         else {
             std::fprintf(stderr, "unknown option: %s\n", a.c_str());
             return false;
@@ -462,6 +500,310 @@ cmdArchiveStat(const std::string &archive)
     return 0;
 }
 
+volatile std::sig_atomic_t g_serve_stop = 0;
+
+void
+onServeSignal(int)
+{
+    g_serve_stop = 1;
+}
+
+int
+cmdServe(const std::string &archive, const CliOptions &opts)
+{
+    ArchiveService service(archive);
+    if (!openOrComplain(service, true))
+        return 1;
+
+    VappServerConfig config;
+    config.port = opts.port;
+    config.workers = opts.workers;
+    config.queueCapacity = opts.queueCapacity;
+    config.cacheBytes = opts.cacheMb << 20;
+    VappServer server(service, config);
+    if (!server.start()) {
+        std::fprintf(stderr, "error: cannot listen on port %u: %s\n",
+                     opts.port, std::strerror(errno));
+        return 1;
+    }
+    std::printf("serving '%s' on 127.0.0.1:%u "
+                "(%d workers, queue %zu, cache %zu MiB)\n",
+                archive.c_str(), server.port(), config.workers,
+                config.queueCapacity, opts.cacheMb);
+    std::fflush(stdout);
+
+    std::signal(SIGINT, onServeSignal);
+    std::signal(SIGTERM, onServeSignal);
+    while (!g_serve_stop)
+        ::pause();
+
+    std::printf("\nshutting down...\n");
+    server.stop();
+    // Remote puts/scrubs mutated the in-memory archive: persist.
+    ArchiveError err = service.flush();
+    if (err != ArchiveError::None) {
+        std::fprintf(stderr, "error: cannot write '%s': %s\n",
+                     archive.c_str(), archiveErrorName(err));
+        return 1;
+    }
+    return 0;
+}
+
+/** Split "host:port"; false on a missing/invalid port. */
+bool
+parseHostPort(const std::string &spec, std::string &host, u16 &port)
+{
+    std::size_t colon = spec.rfind(':');
+    if (colon == std::string::npos || colon + 1 >= spec.size())
+        return false;
+    host = spec.substr(0, colon);
+    int p = std::atoi(spec.c_str() + colon + 1);
+    if (p <= 0 || p > 65535)
+        return false;
+    port = static_cast<u16>(p);
+    return true;
+}
+
+bool
+connectOrComplain(VappClient &client, const std::string &spec)
+{
+    std::string host;
+    u16 port = 0;
+    if (!parseHostPort(spec, host, port)) {
+        std::fprintf(stderr, "error: bad address '%s' "
+                             "(want host:port)\n",
+                     spec.c_str());
+        return false;
+    }
+    if (!client.connect(host, port)) {
+        std::fprintf(stderr, "error: cannot connect to %s: %s\n",
+                     spec.c_str(), std::strerror(errno));
+        return false;
+    }
+    return true;
+}
+
+int
+cmdRemoteGet(const std::string &spec, const std::string &name,
+             u32 gop, const std::string &out,
+             const CliOptions &opts)
+{
+    VappClient client;
+    if (!connectOrComplain(client, spec))
+        return 1;
+
+    GetFramesRequest request;
+    request.name = name;
+    request.gop = gop;
+    request.injectRawBer = opts.rawBerGiven ? opts.rawBer : 0.0;
+    request.seed = opts.seed;
+    request.conceal = opts.conceal;
+    request.key = opts.key;
+    request.deadlineMs = opts.deadlineMs;
+    auto response = client.getFrames(request);
+    if (!response) {
+        std::fprintf(stderr, "error: %s\n",
+                     wireErrorName(client.lastError()));
+        return 1;
+    }
+    if (response->status != Status::Ok &&
+        response->status != Status::Partial) {
+        std::fprintf(stderr, "error: server answered %s\n",
+                     statusName(response->status));
+        return 1;
+    }
+    std::ofstream f(out, std::ios::binary);
+    f.write(reinterpret_cast<const char *>(response->i420.data()),
+            static_cast<std::streamsize>(response->i420.size()));
+    if (!f) {
+        std::fprintf(stderr, "error: cannot write '%s'\n",
+                     out.c_str());
+        return 1;
+    }
+    std::printf("GOP %u/%u of '%s': frames %u..%u (%ux%u) -> %s%s%s\n",
+                gop, response->gopCount, name.c_str(),
+                response->firstFrame,
+                response->firstFrame + response->frameCount - 1,
+                response->width, response->height, out.c_str(),
+                response->fromCache ? " [cache]" : "",
+                response->status == Status::Partial
+                    ? " [partial]"
+                    : "");
+    return 0;
+}
+
+int
+cmdRemotePut(const std::string &spec, const std::string &name,
+             const std::string &in, int w, int h,
+             const CliOptions &opts)
+{
+    Video source = loadOrDie(in, w, h);
+    VappClient client;
+    if (!connectOrComplain(client, spec))
+        return 1;
+
+    PutRequest request;
+    request.name = name;
+    request.width = static_cast<u16>(w);
+    request.height = static_cast<u16>(h);
+    request.frameCount = static_cast<u32>(source.frames.size());
+    request.i420 = packFramesI420(source, 0, source.frames.size());
+    request.key = opts.key;
+    request.cipherMode = static_cast<u8>(opts.mode);
+    request.keyId = opts.keyId;
+    request.ivSeed = opts.seed;
+    auto response = client.put(request);
+    if (!response) {
+        std::fprintf(stderr, "error: %s\n",
+                     wireErrorName(client.lastError()));
+        return 1;
+    }
+    if (response->status != Status::Ok) {
+        std::fprintf(stderr, "error: server answered %s\n",
+                     statusName(response->status));
+        return 1;
+    }
+    std::printf("stored '%s': %zu frames, %llu payload bytes in "
+                "%llu cell bytes%s\n",
+                name.c_str(), source.frames.size(),
+                static_cast<unsigned long long>(
+                    response->payloadBytes),
+                static_cast<unsigned long long>(response->cellBytes),
+                opts.key.empty() ? "" : " (encrypted)");
+    return 0;
+}
+
+int
+cmdRemoteStat(const std::string &spec)
+{
+    VappClient client;
+    if (!connectOrComplain(client, spec))
+        return 1;
+    auto response = client.stat();
+    if (!response || response->status != Status::Ok) {
+        std::fprintf(stderr, "error: %s\n",
+                     response
+                         ? statusName(response->status)
+                         : wireErrorName(client.lastError()));
+        return 1;
+    }
+    std::printf("%-20s %9s %7s %8s %14s %14s %5s\n", "name", "dims",
+                "frames", "streams", "payload B", "cell B", "enc");
+    for (const auto &s : response->videos) {
+        char dims[16];
+        std::snprintf(dims, sizeof dims, "%dx%d", s.width,
+                      s.height);
+        std::printf("%-20s %9s %7zu %8zu %14llu %14llu %5s\n",
+                    s.name.c_str(), dims, s.frames, s.streamCount,
+                    static_cast<unsigned long long>(s.payloadBytes),
+                    static_cast<unsigned long long>(s.cellBytes),
+                    s.encrypted ? "yes" : "no");
+    }
+    std::printf("%zu video(s)\n", response->videos.size());
+    return 0;
+}
+
+int
+cmdRemoteScrub(const std::string &spec, const CliOptions &opts)
+{
+    VappClient client;
+    if (!connectOrComplain(client, spec))
+        return 1;
+    ScrubRequest request;
+    request.ageRawBer = opts.rawBerGiven ? opts.rawBer : 0.0;
+    request.seed = opts.seed;
+    auto response = client.scrub(request);
+    if (!response || response->status != Status::Ok) {
+        std::fprintf(stderr, "error: %s\n",
+                     response
+                         ? statusName(response->status)
+                         : wireErrorName(client.lastError()));
+        return 1;
+    }
+    std::printf(
+        "scrubbed %llu videos / %llu streams:\n"
+        "  blocks: %llu read, %llu rewritten (%llu bits "
+        "corrected), %llu uncorrectable\n"
+        "  streams: %llu damaged, %llu miscorrected\n",
+        static_cast<unsigned long long>(response->videos),
+        static_cast<unsigned long long>(response->streams),
+        static_cast<unsigned long long>(response->blocksRead),
+        static_cast<unsigned long long>(response->blocksRewritten),
+        static_cast<unsigned long long>(response->bitsCorrected),
+        static_cast<unsigned long long>(
+            response->blocksUncorrectable),
+        static_cast<unsigned long long>(response->streamsDamaged),
+        static_cast<unsigned long long>(
+            response->streamsMiscorrected));
+    return 0;
+}
+
+int
+cmdRemoteHealth(const std::string &spec)
+{
+    VappClient client;
+    if (!connectOrComplain(client, spec))
+        return 1;
+    auto response = client.health();
+    if (!response || response->status != Status::Ok) {
+        std::fprintf(stderr, "error: %s\n",
+                     response
+                         ? statusName(response->status)
+                         : wireErrorName(client.lastError()));
+        return 1;
+    }
+    std::printf("queue: %u/%u (high water %u, rejected %llu)\n"
+                "cache: %llu bytes in %llu GOPs\n"
+                "archive: %llu video(s)\n",
+                response->queueDepth, response->queueCapacity,
+                response->queueHighWater,
+                static_cast<unsigned long long>(
+                    response->queueRejected),
+                static_cast<unsigned long long>(
+                    response->cacheBytes),
+                static_cast<unsigned long long>(
+                    response->cacheEntries),
+                static_cast<unsigned long long>(response->videos));
+    return 0;
+}
+
+int
+cmdRemote(int argc, char **argv, CliOptions &opts)
+{
+    std::string sub = argc >= 3 ? argv[2] : "";
+    if (sub == "get" && argc >= 7) {
+        if (!parseOptions(argc, argv, 7, opts))
+            return 1;
+        return cmdRemoteGet(argv[3], argv[4],
+                            static_cast<u32>(std::atoi(argv[5])),
+                            argv[6], opts);
+    }
+    if (sub == "put" && argc >= 8) {
+        if (!parseOptions(argc, argv, 8, opts))
+            return 1;
+        return cmdRemotePut(argv[3], argv[4], argv[5],
+                            std::atoi(argv[6]), std::atoi(argv[7]),
+                            opts);
+    }
+    if (sub == "stat" && argc >= 4) {
+        if (!parseOptions(argc, argv, 4, opts))
+            return 1;
+        return cmdRemoteStat(argv[3]);
+    }
+    if (sub == "scrub" && argc >= 4) {
+        if (!parseOptions(argc, argv, 4, opts))
+            return 1;
+        return cmdRemoteScrub(argv[3], opts);
+    }
+    if (sub == "health" && argc >= 4) {
+        if (!parseOptions(argc, argv, 4, opts))
+            return 1;
+        return cmdRemoteHealth(argv[3]);
+    }
+    usage();
+    return 1;
+}
+
 int
 cmdArchive(int argc, char **argv, CliOptions &opts)
 {
@@ -508,6 +850,13 @@ main(int argc, char **argv)
 
     if (cmd == "archive")
         return cmdArchive(argc, argv, opts);
+    if (cmd == "remote")
+        return cmdRemote(argc, argv, opts);
+    if (cmd == "serve" && argc >= 3) {
+        if (!parseOptions(argc, argv, 3, opts))
+            return 1;
+        return cmdServe(argv[2], opts);
+    }
     if (cmd == "encode" && argc >= 6) {
         if (!parseOptions(argc, argv, 6, opts))
             return 1;

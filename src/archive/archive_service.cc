@@ -212,6 +212,7 @@ ArchiveService::get(const std::string &name,
     DecodeOptions decode;
     decode.concealErrors = options.conceal;
     result.decoded = decodeStreams(layout, result.streams, decode);
+    result.frameHeaders = std::move(layout.frameHeaders);
 
     VA_TELEM_COUNT("archive.gets", 1);
     VA_TELEM_COUNT("archive.read.blocks_corrected",

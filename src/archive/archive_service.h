@@ -68,6 +68,10 @@ struct ArchiveGetResult
     /** The retrieved (decrypted, exact-length) streams. */
     StreamSet streams;
     CellReadStats cells;
+    /** Precise per-frame headers of the record (encode order) — the
+     * serving layer derives GOP boundaries from the I-frame display
+     * indices without re-reading the archive. */
+    std::vector<FrameHeader> frameHeaders;
 };
 
 struct ScrubOptions

@@ -1,0 +1,142 @@
+/**
+ * @file
+ * Sharded LRU cache of decoded GOPs under a byte budget.
+ *
+ * A GET_FRAMES miss pays the full read path — cell read, BCH decode,
+ * decrypt, entropy decode, reassembly — for the whole video; the hit
+ * path returns the packed I420 bytes of the requested GOP straight
+ * from memory. Entries are keyed by (video name, GOP index, key id)
+ * so different decryption keys never alias, and only *exact* reads
+ * (no error injection) are cached — an injected read is a stochastic
+ * experiment whose result must not be replayed.
+ *
+ * Sharding: the key hashes to one of kShards independent LRU lists,
+ * each guarded by its own mutex with its own slice of the byte
+ * budget, so concurrent server workers rarely contend. Eviction is
+ * LRU within the shard; an entry bigger than a shard's whole budget
+ * is simply not cached. PUT invalidates the video's entries, SCRUB
+ * invalidates everything (repair rewrites cells archive-wide).
+ *
+ * Telemetry (server.cache.*): hits, misses, evictions, plus
+ * insert/invalidate counts; bytes() and entries() back the HEALTH
+ * probe.
+ */
+
+#ifndef VIDEOAPP_SERVER_FRAME_CACHE_H_
+#define VIDEOAPP_SERVER_FRAME_CACHE_H_
+
+#include <atomic>
+#include <list>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "common/types.h"
+
+namespace videoapp {
+
+/** Cache key: one GOP of one video decoded under one key. */
+struct GopKey
+{
+    std::string video;
+    u32 gop = 0;
+    /** Key-management id (0 = unencrypted read). */
+    u32 keyId = 0;
+
+    bool
+    operator==(const GopKey &o) const
+    {
+        return gop == o.gop && keyId == o.keyId && video == o.video;
+    }
+};
+
+/** A decoded GOP ready to serve: packed I420 plus response fields. */
+struct DecodedGop
+{
+    u16 width = 0;
+    u16 height = 0;
+    u32 firstFrame = 0;
+    u32 frameCount = 0;
+    /** Total GOPs of the parent video. */
+    u32 gopCount = 0;
+    u64 blocksCorrected = 0;
+    u64 blocksUncorrectable = 0;
+    Bytes i420;
+
+    /** Budget charge: payload plus a small fixed overhead. */
+    std::size_t
+    chargedBytes() const
+    {
+        return i420.size() + 128;
+    }
+};
+
+class FrameCache
+{
+  public:
+    static constexpr unsigned kShards = 8;
+
+    /** @p byte_budget is split evenly across the shards. */
+    explicit FrameCache(std::size_t byte_budget);
+
+    FrameCache(const FrameCache &) = delete;
+    FrameCache &operator=(const FrameCache &) = delete;
+
+    /** Hit: a copy of the cached GOP, refreshed to MRU. */
+    std::optional<DecodedGop> get(const GopKey &key);
+
+    /** Insert (or refresh) @p gop, evicting LRU entries as needed.
+     * Oversized entries (beyond one shard's budget) are skipped. */
+    void put(const GopKey &key, DecodedGop gop);
+
+    /** Drop every GOP of @p video (all key ids). */
+    void eraseVideo(const std::string &video);
+
+    /** Drop everything (scrub invalidation). */
+    void clear();
+
+    std::size_t bytes() const { return bytes_.load(); }
+    std::size_t entries() const { return entries_.load(); }
+    u64 hits() const { return hits_.load(); }
+    u64 misses() const { return misses_.load(); }
+    u64 evictions() const { return evictions_.load(); }
+
+  private:
+    struct Entry
+    {
+        GopKey key;
+        DecodedGop gop;
+    };
+
+    struct GopKeyHash
+    {
+        std::size_t operator()(const GopKey &k) const;
+    };
+
+    struct Shard
+    {
+        std::mutex mutex;
+        /** Front = most recently used. */
+        std::list<Entry> lru;
+        std::unordered_map<GopKey, std::list<Entry>::iterator,
+                           GopKeyHash>
+            index;
+        std::size_t bytes = 0;
+    };
+
+    Shard &shardFor(const GopKey &key);
+
+    const std::size_t shardBudget_;
+    std::vector<Shard> shards_;
+    std::atomic<std::size_t> bytes_{0};
+    std::atomic<std::size_t> entries_{0};
+    std::atomic<u64> hits_{0};
+    std::atomic<u64> misses_{0};
+    std::atomic<u64> evictions_{0};
+};
+
+} // namespace videoapp
+
+#endif // VIDEOAPP_SERVER_FRAME_CACHE_H_

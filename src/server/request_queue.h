@@ -1,0 +1,207 @@
+/**
+ * @file
+ * Bounded MPMC request queue with per-class priorities and explicit
+ * backpressure — the admission-control stage of the VAPP server.
+ *
+ * Two priority classes: Serve (GET_FRAMES/STAT — interactive reads)
+ * always drains ahead of Maintain (PUT/SCRUB — heavy mutations), so
+ * a scrub storm cannot starve reads. Admission is all-or-nothing:
+ * tryPush() never blocks; when the queue is at capacity (both
+ * classes combined) it refuses the job and the caller answers the
+ * client with Status::Retry — load is shed at the edge with an
+ * explicit signal, never by silent drops or unbounded buffering.
+ *
+ * pop() blocks until a job or close() arrives; after close() the
+ * remaining jobs still drain (so no admitted request loses its
+ * response) and pop() returns nullopt once empty. The queue tracks
+ * its depth high-water mark and per-class rejection counts for the
+ * server.* telemetry namespace.
+ *
+ * Header-only template so tests can instantiate it with trivial job
+ * types; the server uses RequestQueue<ServerJob>.
+ */
+
+#ifndef VIDEOAPP_SERVER_REQUEST_QUEUE_H_
+#define VIDEOAPP_SERVER_REQUEST_QUEUE_H_
+
+#include <array>
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <mutex>
+#include <optional>
+
+#include "common/types.h"
+
+namespace videoapp {
+
+/** Priority class of a queued request (lower = drained first). */
+enum class QueueClass : unsigned
+{
+    Serve = 0,    // interactive reads: GET_FRAMES, STAT
+    Maintain = 1, // mutations: PUT, SCRUB
+};
+
+inline constexpr unsigned kQueueClasses = 2;
+
+template <typename Job> class RequestQueue
+{
+  public:
+    explicit RequestQueue(std::size_t capacity)
+        : capacity_(capacity > 0 ? capacity : 1)
+    {}
+
+    RequestQueue(const RequestQueue &) = delete;
+    RequestQueue &operator=(const RequestQueue &) = delete;
+
+    /**
+     * Admit @p job under @p cls. Returns false — without blocking —
+     * when the queue is full or closed; a full-queue refusal is the
+     * backpressure signal and bumps the class's rejection count.
+     */
+    bool
+    tryPush(QueueClass cls, Job job)
+    {
+        {
+            std::lock_guard lock(mutex_);
+            if (closed_)
+                return false;
+            if (size_ >= capacity_) {
+                ++rejected_[static_cast<unsigned>(cls)];
+                return false;
+            }
+            classes_[static_cast<unsigned>(cls)].push_back(
+                std::move(job));
+            ++size_;
+            if (size_ > highWater_)
+                highWater_ = size_;
+        }
+        ready_.notify_one();
+        return true;
+    }
+
+    /**
+     * Take the oldest job of the highest-priority non-empty class,
+     * blocking while the queue is empty (or drain-paused) and open.
+     * Returns nullopt only when closed and fully drained.
+     */
+    std::optional<Job>
+    pop()
+    {
+        std::unique_lock lock(mutex_);
+        ready_.wait(lock, [&] {
+            return (size_ > 0 && !drainPaused_) || closed_;
+        });
+        for (auto &q : classes_) {
+            if (q.empty())
+                continue;
+            Job job = std::move(q.front());
+            q.pop_front();
+            --size_;
+            return job;
+        }
+        return std::nullopt;
+    }
+
+    /** Non-blocking pop (tests and drain loops). */
+    std::optional<Job>
+    tryPop()
+    {
+        std::lock_guard lock(mutex_);
+        for (auto &q : classes_) {
+            if (q.empty())
+                continue;
+            Job job = std::move(q.front());
+            q.pop_front();
+            --size_;
+            return job;
+        }
+        return std::nullopt;
+    }
+
+    /**
+     * Drain gate: while paused, pop() blocks even when jobs are
+     * queued (admission via tryPush continues, so the queue fills to
+     * capacity and then rejects — the deterministic backpressure
+     * setup used by tests and the load bench). close() overrides a
+     * pause so shutdown always drains.
+     */
+    void
+    setDrainPaused(bool paused)
+    {
+        {
+            std::lock_guard lock(mutex_);
+            drainPaused_ = paused;
+        }
+        ready_.notify_all();
+    }
+
+    /** Refuse new jobs and wake every blocked pop(); queued jobs
+     * still drain so admitted requests keep their responses. */
+    void
+    close()
+    {
+        {
+            std::lock_guard lock(mutex_);
+            closed_ = true;
+        }
+        ready_.notify_all();
+    }
+
+    bool
+    closed() const
+    {
+        std::lock_guard lock(mutex_);
+        return closed_;
+    }
+
+    std::size_t
+    size() const
+    {
+        std::lock_guard lock(mutex_);
+        return size_;
+    }
+
+    std::size_t capacity() const { return capacity_; }
+
+    /** Deepest the queue has ever been (backpressure telemetry). */
+    std::size_t
+    highWater() const
+    {
+        std::lock_guard lock(mutex_);
+        return highWater_;
+    }
+
+    /** Full-queue refusals of @p cls since construction. */
+    u64
+    rejected(QueueClass cls) const
+    {
+        std::lock_guard lock(mutex_);
+        return rejected_[static_cast<unsigned>(cls)];
+    }
+
+    u64
+    rejectedTotal() const
+    {
+        std::lock_guard lock(mutex_);
+        u64 total = 0;
+        for (u64 r : rejected_)
+            total += r;
+        return total;
+    }
+
+  private:
+    const std::size_t capacity_;
+    mutable std::mutex mutex_;
+    std::condition_variable ready_;
+    std::array<std::deque<Job>, kQueueClasses> classes_;
+    std::size_t size_ = 0;
+    std::size_t highWater_ = 0;
+    std::array<u64, kQueueClasses> rejected_{};
+    bool closed_ = false;
+    bool drainPaused_ = false;
+};
+
+} // namespace videoapp
+
+#endif // VIDEOAPP_SERVER_REQUEST_QUEUE_H_

@@ -1,0 +1,246 @@
+#include "server/vapp_client.h"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+
+namespace videoapp {
+
+namespace {
+
+u32
+be32At(const u8 *p)
+{
+    return static_cast<u32>(p[0]) << 24 |
+           static_cast<u32>(p[1]) << 16 |
+           static_cast<u32>(p[2]) << 8 | static_cast<u32>(p[3]);
+}
+
+} // namespace
+
+VappClient::~VappClient()
+{
+    disconnect();
+}
+
+VappClient::VappClient(VappClient &&other) noexcept
+    : fd_(other.fd_), nextId_(other.nextId_),
+      lastError_(other.lastError_)
+{
+    other.fd_ = -1;
+}
+
+VappClient &
+VappClient::operator=(VappClient &&other) noexcept
+{
+    if (this != &other) {
+        disconnect();
+        fd_ = other.fd_;
+        nextId_ = other.nextId_;
+        lastError_ = other.lastError_;
+        other.fd_ = -1;
+    }
+    return *this;
+}
+
+bool
+VappClient::connect(const std::string &host, u16 port)
+{
+    disconnect();
+    fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+    if (fd_ < 0)
+        return false;
+    sockaddr_in addr{};
+    addr.sin_family = AF_INET;
+    addr.sin_port = htons(port);
+    if (::inet_pton(AF_INET, host.c_str(), &addr.sin_addr) != 1 ||
+        ::connect(fd_, reinterpret_cast<sockaddr *>(&addr),
+                  sizeof addr) < 0) {
+        ::close(fd_);
+        fd_ = -1;
+        return false;
+    }
+    lastError_ = WireError::None;
+    return true;
+}
+
+void
+VappClient::disconnect()
+{
+    if (fd_ >= 0) {
+        ::close(fd_);
+        fd_ = -1;
+    }
+}
+
+bool
+VappClient::sendAll(const Bytes &data)
+{
+    std::size_t off = 0;
+    while (off < data.size()) {
+        ssize_t n = ::send(fd_, data.data() + off,
+                           data.size() - off, MSG_NOSIGNAL);
+        if (n < 0) {
+            if (errno == EINTR)
+                continue;
+            lastError_ = WireError::ShortRead;
+            return false;
+        }
+        off += static_cast<std::size_t>(n);
+    }
+    return true;
+}
+
+bool
+VappClient::recvAll(u8 *data, std::size_t size)
+{
+    std::size_t off = 0;
+    while (off < size) {
+        ssize_t n = ::recv(fd_, data + off, size - off, 0);
+        if (n == 0) {
+            lastError_ = WireError::ShortRead;
+            return false;
+        }
+        if (n < 0) {
+            if (errno == EINTR)
+                continue;
+            lastError_ = WireError::ShortRead;
+            return false;
+        }
+        off += static_cast<std::size_t>(n);
+    }
+    return true;
+}
+
+bool
+VappClient::send(Opcode op, const Bytes &payload, u32 *request_id)
+{
+    if (fd_ < 0) {
+        lastError_ = WireError::ShortRead;
+        return false;
+    }
+    u32 id = nextId_++;
+    if (request_id)
+        *request_id = id;
+    return sendAll(encodeFrame(static_cast<u8>(op), id, payload));
+}
+
+std::optional<VappClient::RawResponse>
+VappClient::receive()
+{
+    if (fd_ < 0) {
+        lastError_ = WireError::ShortRead;
+        return std::nullopt;
+    }
+    u8 header[kWireHeaderBytes];
+    if (!recvAll(header, sizeof header))
+        return std::nullopt;
+    WireFrameHeader fh;
+    WireError err = parseFrameHeader(header, sizeof header, fh);
+    if (err != WireError::None) {
+        lastError_ = err;
+        return std::nullopt;
+    }
+    RawResponse response;
+    response.kind = fh.kind;
+    response.requestId = fh.requestId;
+    response.payload.resize(fh.payloadLength);
+    u8 crc_buf[4];
+    if (!recvAll(response.payload.data(),
+                 response.payload.size()) ||
+        !recvAll(crc_buf, sizeof crc_buf))
+        return std::nullopt;
+    err = verifyPayload(response.payload, be32At(crc_buf));
+    if (err != WireError::None) {
+        lastError_ = err;
+        return std::nullopt;
+    }
+    lastError_ = WireError::None;
+    return response;
+}
+
+std::optional<GetFramesResponse>
+VappClient::getFrames(const GetFramesRequest &request)
+{
+    if (!send(Opcode::GetFrames,
+              serializeGetFramesRequest(request)))
+        return std::nullopt;
+    auto raw = receive();
+    if (!raw)
+        return std::nullopt;
+    GetFramesResponse response;
+    if (!parseGetFramesResponse(raw->payload, response)) {
+        lastError_ = WireError::Malformed;
+        return std::nullopt;
+    }
+    return response;
+}
+
+std::optional<PutResponse>
+VappClient::put(const PutRequest &request)
+{
+    if (!send(Opcode::Put, serializePutRequest(request)))
+        return std::nullopt;
+    auto raw = receive();
+    if (!raw)
+        return std::nullopt;
+    PutResponse response;
+    if (!parsePutResponse(raw->payload, response)) {
+        lastError_ = WireError::Malformed;
+        return std::nullopt;
+    }
+    return response;
+}
+
+std::optional<StatResponse>
+VappClient::stat()
+{
+    if (!send(Opcode::Stat, Bytes{}))
+        return std::nullopt;
+    auto raw = receive();
+    if (!raw)
+        return std::nullopt;
+    StatResponse response;
+    if (!parseStatResponse(raw->payload, response)) {
+        lastError_ = WireError::Malformed;
+        return std::nullopt;
+    }
+    return response;
+}
+
+std::optional<ScrubResponse>
+VappClient::scrub(const ScrubRequest &request)
+{
+    if (!send(Opcode::Scrub, serializeScrubRequest(request)))
+        return std::nullopt;
+    auto raw = receive();
+    if (!raw)
+        return std::nullopt;
+    ScrubResponse response;
+    if (!parseScrubResponse(raw->payload, response)) {
+        lastError_ = WireError::Malformed;
+        return std::nullopt;
+    }
+    return response;
+}
+
+std::optional<HealthResponse>
+VappClient::health()
+{
+    if (!send(Opcode::Health, Bytes{}))
+        return std::nullopt;
+    auto raw = receive();
+    if (!raw)
+        return std::nullopt;
+    HealthResponse response;
+    if (!parseHealthResponse(raw->payload, response)) {
+        lastError_ = WireError::Malformed;
+        return std::nullopt;
+    }
+    return response;
+}
+
+} // namespace videoapp

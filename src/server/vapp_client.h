@@ -1,0 +1,87 @@
+/**
+ * @file
+ * Client library for the VAPP store server: one TCP connection
+ * speaking the wire protocol, with a synchronous request/response
+ * call per opcode plus a split send()/receive() pair for pipelined
+ * use (the load bench opens many requests before reading any
+ * response — that is how the backpressure path is exercised
+ * deterministically).
+ *
+ * The client is single-connection and not thread-safe; concurrency
+ * is modeled as one VappClient per thread, matching how independent
+ * players would hit a store front end.
+ */
+
+#ifndef VIDEOAPP_SERVER_VAPP_CLIENT_H_
+#define VIDEOAPP_SERVER_VAPP_CLIENT_H_
+
+#include <optional>
+#include <string>
+
+#include "server/wire.h"
+
+namespace videoapp {
+
+class VappClient
+{
+  public:
+    VappClient() = default;
+    ~VappClient();
+
+    VappClient(const VappClient &) = delete;
+    VappClient &operator=(const VappClient &) = delete;
+    /** Movable: the connection has a single owner. */
+    VappClient(VappClient &&other) noexcept;
+    VappClient &operator=(VappClient &&other) noexcept;
+
+    /** Connect to @p host:@p port; false on failure (errno kept). */
+    bool connect(const std::string &host, u16 port);
+    void disconnect();
+    bool connected() const { return fd_ >= 0; }
+
+    /** Failure detail of the last receive()/call that returned
+     * nullopt (ShortRead also covers a closed connection). */
+    WireError lastError() const { return lastError_; }
+
+    // --- synchronous calls (send one request, read one response) ---
+
+    std::optional<GetFramesResponse>
+    getFrames(const GetFramesRequest &request);
+    std::optional<PutResponse> put(const PutRequest &request);
+    std::optional<StatResponse> stat();
+    std::optional<ScrubResponse> scrub(const ScrubRequest &request);
+    std::optional<HealthResponse> health();
+
+    // --- pipelined interface --------------------------------------
+
+    /** One decoded response frame (kind is a Status byte). */
+    struct RawResponse
+    {
+        u8 kind = 0;
+        u32 requestId = 0;
+        Bytes payload;
+    };
+
+    /**
+     * Fire one request without waiting. The assigned request id is
+     * stored in @p request_id when non-null; responses may come back
+     * in any order relative to other in-flight requests.
+     */
+    bool send(Opcode op, const Bytes &payload,
+              u32 *request_id = nullptr);
+
+    /** Block for the next response frame on the connection. */
+    std::optional<RawResponse> receive();
+
+  private:
+    bool sendAll(const Bytes &data);
+    bool recvAll(u8 *data, std::size_t size);
+
+    int fd_ = -1;
+    u32 nextId_ = 1;
+    WireError lastError_ = WireError::None;
+};
+
+} // namespace videoapp
+
+#endif // VIDEOAPP_SERVER_VAPP_CLIENT_H_

@@ -1,0 +1,556 @@
+#include "server/vapp_server.h"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <functional>
+
+#include "common/crc32.h"
+#include "common/telemetry.h"
+
+namespace videoapp {
+
+struct VappServer::Connection
+{
+    int fd = -1;
+    /** Serializes response frames from workers + the reader. */
+    std::mutex writeMutex;
+    std::atomic<bool> open{true};
+    /** Reader thread exited; reaping may join and close. */
+    std::atomic<bool> finished{false};
+};
+
+namespace {
+
+/** Read exactly @p size bytes; false on EOF, error or shutdown. */
+bool
+recvFull(int fd, u8 *data, std::size_t size)
+{
+    std::size_t off = 0;
+    while (off < size) {
+        ssize_t n = ::recv(fd, data + off, size - off, 0);
+        if (n == 0)
+            return false;
+        if (n < 0) {
+            if (errno == EINTR)
+                continue;
+            return false;
+        }
+        off += static_cast<std::size_t>(n);
+    }
+    return true;
+}
+
+u32
+be32At(const u8 *p)
+{
+    return static_cast<u32>(p[0]) << 24 |
+           static_cast<u32>(p[1]) << 16 |
+           static_cast<u32>(p[2]) << 8 | static_cast<u32>(p[3]);
+}
+
+u32
+elapsedMs(std::chrono::steady_clock::time_point since)
+{
+    auto ms =
+        std::chrono::duration_cast<std::chrono::milliseconds>(
+            std::chrono::steady_clock::now() - since)
+            .count();
+    return ms > 0 ? static_cast<u32>(ms) : 0;
+}
+
+} // namespace
+
+VappServer::VappServer(ArchiveService &service,
+                       VappServerConfig config)
+    : service_(service), config_(config),
+      queue_(config.queueCapacity), cache_(config.cacheBytes)
+{}
+
+VappServer::~VappServer()
+{
+    stop();
+}
+
+bool
+VappServer::start()
+{
+    listenFd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+    if (listenFd_ < 0)
+        return false;
+    int one = 1;
+    ::setsockopt(listenFd_, SOL_SOCKET, SO_REUSEADDR, &one,
+                 sizeof one);
+    sockaddr_in addr{};
+    addr.sin_family = AF_INET;
+    addr.sin_port = htons(config_.port);
+    addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+    if (::bind(listenFd_, reinterpret_cast<sockaddr *>(&addr),
+               sizeof addr) < 0 ||
+        ::listen(listenFd_, 128) < 0) {
+        ::close(listenFd_);
+        listenFd_ = -1;
+        return false;
+    }
+    socklen_t len = sizeof addr;
+    if (::getsockname(listenFd_,
+                      reinterpret_cast<sockaddr *>(&addr),
+                      &len) == 0)
+        port_ = ntohs(addr.sin_port);
+
+    running_.store(true);
+    started_ = true;
+    int workers = config_.workers > 0 ? config_.workers : 1;
+    workers_.reserve(static_cast<std::size_t>(workers));
+    for (int i = 0; i < workers; ++i)
+        workers_.emplace_back([this] { workerLoop(); });
+    acceptThread_ = std::thread([this] { acceptLoop(); });
+    return true;
+}
+
+void
+VappServer::stop()
+{
+    if (!started_)
+        return;
+    bool was_running = running_.exchange(false);
+    if (was_running && listenFd_ >= 0)
+        ::shutdown(listenFd_, SHUT_RDWR);
+    if (acceptThread_.joinable())
+        acceptThread_.join();
+    if (listenFd_ >= 0) {
+        ::close(listenFd_);
+        listenFd_ = -1;
+    }
+
+    // Close the queue first: admitted jobs drain to their responses
+    // while the client connections are still writable.
+    queue_.close();
+    for (std::thread &w : workers_)
+        if (w.joinable())
+            w.join();
+    workers_.clear();
+
+    std::lock_guard lock(connMutex_);
+    for (auto &conn : connections_) {
+        conn->open.store(false);
+        ::shutdown(conn->fd, SHUT_RDWR);
+    }
+    for (std::thread &t : connThreads_)
+        if (t.joinable())
+            t.join();
+    for (auto &conn : connections_)
+        ::close(conn->fd);
+    connThreads_.clear();
+    connections_.clear();
+}
+
+void
+VappServer::setDrainPaused(bool paused)
+{
+    queue_.setDrainPaused(paused);
+}
+
+void
+VappServer::reapFinishedConnections()
+{
+    // Called under connMutex_. A finished reader set its flag as its
+    // last action, so joining here cannot block meaningfully.
+    for (std::size_t i = 0; i < connections_.size();) {
+        if (!connections_[i]->finished.load()) {
+            ++i;
+            continue;
+        }
+        if (connThreads_[i].joinable())
+            connThreads_[i].join();
+        ::close(connections_[i]->fd);
+        connections_.erase(connections_.begin() +
+                           static_cast<std::ptrdiff_t>(i));
+        connThreads_.erase(connThreads_.begin() +
+                           static_cast<std::ptrdiff_t>(i));
+    }
+}
+
+void
+VappServer::acceptLoop()
+{
+    while (running_.load()) {
+        int fd = ::accept(listenFd_, nullptr, nullptr);
+        if (fd < 0) {
+            if (errno == EINTR && running_.load())
+                continue;
+            break; // listen socket shut down: stopping
+        }
+        VA_TELEM_COUNT("server.connections", 1);
+        auto conn = std::make_shared<Connection>();
+        conn->fd = fd;
+        std::lock_guard lock(connMutex_);
+        reapFinishedConnections();
+        connections_.push_back(conn);
+        connThreads_.emplace_back(
+            [this, conn] { connectionLoop(conn); });
+    }
+}
+
+/** Write one frame to the connection (best effort once closed). */
+bool
+VappServer::sendFrame(Connection &conn, u8 kind, u32 request_id,
+                      const Bytes &payload)
+{
+    Bytes frame = encodeFrame(kind, request_id, payload);
+    std::lock_guard lock(conn.writeMutex);
+    if (!conn.open.load())
+        return false;
+    std::size_t off = 0;
+    while (off < frame.size()) {
+        ssize_t n = ::send(conn.fd, frame.data() + off,
+                           frame.size() - off, MSG_NOSIGNAL);
+        if (n < 0) {
+            if (errno == EINTR)
+                continue;
+            conn.open.store(false);
+            return false;
+        }
+        off += static_cast<std::size_t>(n);
+    }
+    return true;
+}
+
+bool
+VappServer::sendStatus(Connection &conn, Status status,
+                       u32 request_id)
+{
+    return sendFrame(conn, static_cast<u8>(status), request_id,
+                     serializeStatusOnly(status));
+}
+
+void
+VappServer::connectionLoop(std::shared_ptr<Connection> conn)
+{
+    u8 header[kWireHeaderBytes];
+    while (running_.load() && conn->open.load()) {
+        if (!recvFull(conn->fd, header, sizeof header))
+            break;
+        WireFrameHeader fh;
+        WireError err =
+            parseFrameHeader(header, sizeof header, fh);
+        if (err != WireError::None) {
+            // Framing lost (bad magic/version/CRC/length): answer
+            // once if possible, then drop the connection — there is
+            // no way to resynchronize a byte stream.
+            VA_TELEM_COUNT("server.frames.bad", 1);
+            sendStatus(*conn, Status::BadRequest, 0);
+            break;
+        }
+        Bytes payload(fh.payloadLength);
+        u8 crc_buf[4];
+        if (!recvFull(conn->fd, payload.data(), payload.size()) ||
+            !recvFull(conn->fd, crc_buf, sizeof crc_buf))
+            break;
+        if (verifyPayload(payload, be32At(crc_buf)) !=
+            WireError::None) {
+            // Framing held, the body is corrupt: report and keep
+            // the connection (the stream is still in sync).
+            VA_TELEM_COUNT("server.frames.bad", 1);
+            sendStatus(*conn, Status::BadRequest, fh.requestId);
+            continue;
+        }
+        if (fh.kind > static_cast<u8>(Opcode::Scrub)) {
+            VA_TELEM_COUNT("server.frames.bad", 1);
+            sendStatus(*conn, Status::BadRequest, fh.requestId);
+            continue;
+        }
+        Opcode op = static_cast<Opcode>(fh.kind);
+        VA_TELEM_COUNT("server.requests", 1);
+        if (op == Opcode::Health) {
+            // Served off-queue: liveness probes must work while the
+            // queue is saturated.
+            answerHealth(conn, fh.requestId);
+            continue;
+        }
+        QueueClass cls =
+            (op == Opcode::Put || op == Opcode::Scrub)
+                ? QueueClass::Maintain
+                : QueueClass::Serve;
+        ServerJob job;
+        job.conn = conn;
+        job.opcode = op;
+        job.requestId = fh.requestId;
+        job.payload = std::move(payload);
+        job.admitted = std::chrono::steady_clock::now();
+        if (!queue_.tryPush(cls, std::move(job))) {
+            // Explicit backpressure: the client backs off and
+            // retries instead of the server buffering unboundedly.
+            VA_TELEM_COUNT(cls == QueueClass::Serve
+                               ? "server.queue.rejected.serve"
+                               : "server.queue.rejected.maintain",
+                           1);
+            sendStatus(*conn, Status::Retry, fh.requestId);
+            continue;
+        }
+        VA_TELEM_HIST("server.queue.depth",
+                      static_cast<u64>(queue_.size()));
+    }
+    conn->open.store(false);
+    // Signal EOF to the peer now; the fd itself is closed when the
+    // connection is reaped (or at stop()), so the descriptor number
+    // cannot be reused while other threads may still reference it.
+    ::shutdown(conn->fd, SHUT_RDWR);
+    conn->finished.store(true);
+}
+
+void
+VappServer::workerLoop()
+{
+    while (auto job = queue_.pop())
+        execute(*job);
+}
+
+void
+VappServer::execute(const ServerJob &job)
+{
+    switch (job.opcode) {
+    case Opcode::GetFrames: handleGetFrames(job); break;
+    case Opcode::Put: handlePut(job); break;
+    case Opcode::Stat: handleStat(job); break;
+    case Opcode::Scrub: handleScrub(job); break;
+    case Opcode::Health: answerHealth(job.conn, job.requestId); break;
+    }
+}
+
+void
+VappServer::handleGetFrames(const ServerJob &job)
+{
+    VA_TELEM_LATENCY("server.op.get_frames");
+    GetFramesRequest request;
+    if (!parseGetFramesRequest(job.payload, request)) {
+        sendStatus(*job.conn, Status::BadRequest, job.requestId);
+        return;
+    }
+    if (request.deadlineMs > 0 &&
+        elapsedMs(job.admitted) > request.deadlineMs) {
+        // Queued past its deadline: shed it now instead of doing
+        // work the client has given up on.
+        VA_TELEM_COUNT("server.deadline_expired", 1);
+        sendStatus(*job.conn, Status::Deadline, job.requestId);
+        return;
+    }
+
+    const bool cacheable =
+        config_.cacheBytes > 0 && request.injectRawBer == 0.0;
+    GopKey cache_key{request.name, request.gop,
+                     request.key.empty() ? 0 : crc32(request.key)};
+    if (cacheable) {
+        if (auto hit = cache_.get(cache_key)) {
+            GetFramesResponse response;
+            response.status = hit->blocksUncorrectable > 0
+                                  ? Status::Partial
+                                  : Status::Ok;
+            response.width = hit->width;
+            response.height = hit->height;
+            response.firstFrame = hit->firstFrame;
+            response.frameCount = hit->frameCount;
+            response.gopCount = hit->gopCount;
+            response.fromCache = true;
+            response.blocksCorrected = hit->blocksCorrected;
+            response.blocksUncorrectable = hit->blocksUncorrectable;
+            response.i420 = std::move(hit->i420);
+            sendFrame(*job.conn,
+                        static_cast<u8>(response.status),
+                        job.requestId,
+                        serializeGetFramesResponse(response));
+            return;
+        }
+    }
+
+    ArchiveGetOptions options;
+    options.injectRawBer = request.injectRawBer;
+    options.seed = request.seed;
+    options.conceal = request.conceal;
+    options.key = request.key;
+    ArchiveGetResult result = service_.get(request.name, options);
+    if (result.error != ArchiveError::None) {
+        Status status = Status::Error;
+        if (result.error == ArchiveError::NotFound)
+            status = Status::NotFound;
+        else if (result.error == ArchiveError::KeyRequired)
+            status = Status::KeyRequired;
+        sendStatus(*job.conn, status, job.requestId);
+        return;
+    }
+
+    std::vector<GopRange> ranges =
+        gopRanges(result.frameHeaders, result.decoded.frames.size());
+    if (request.gop >= ranges.size()) {
+        sendStatus(*job.conn, Status::NotFound, job.requestId);
+        return;
+    }
+
+    GetFramesResponse response;
+    response.status = result.cells.blocksUncorrectable > 0
+                          ? Status::Partial
+                          : Status::Ok;
+    if (response.status == Status::Partial)
+        VA_TELEM_COUNT("server.partial_responses", 1);
+    response.width =
+        static_cast<u16>(result.decoded.width());
+    response.height =
+        static_cast<u16>(result.decoded.height());
+    response.gopCount = static_cast<u32>(ranges.size());
+    response.blocksCorrected = result.cells.blocksCorrected;
+    response.blocksUncorrectable = result.cells.blocksUncorrectable;
+
+    // One decode produced every GOP of the video: cache them all so
+    // the next hot read of any GOP skips the whole read path.
+    for (std::size_t g = 0; g < ranges.size(); ++g) {
+        DecodedGop gop;
+        gop.width = response.width;
+        gop.height = response.height;
+        gop.firstFrame = ranges[g].firstFrame;
+        gop.frameCount = ranges[g].frameCount;
+        gop.gopCount = response.gopCount;
+        gop.blocksCorrected = response.blocksCorrected;
+        gop.blocksUncorrectable = response.blocksUncorrectable;
+        gop.i420 = packFramesI420(result.decoded,
+                                  ranges[g].firstFrame,
+                                  ranges[g].frameCount);
+        if (g == request.gop) {
+            response.firstFrame = gop.firstFrame;
+            response.frameCount = gop.frameCount;
+            response.i420 = gop.i420;
+        }
+        if (cacheable)
+            cache_.put(GopKey{request.name, static_cast<u32>(g),
+                              cache_key.keyId},
+                       std::move(gop));
+    }
+    sendFrame(*job.conn, static_cast<u8>(response.status),
+                job.requestId,
+                serializeGetFramesResponse(response));
+}
+
+void
+VappServer::handlePut(const ServerJob &job)
+{
+    VA_TELEM_LATENCY("server.op.put");
+    PutRequest request;
+    if (!parsePutRequest(job.payload, request) ||
+        request.cipherMode > static_cast<u8>(CipherMode::CFB)) {
+        sendStatus(*job.conn, Status::BadRequest, job.requestId);
+        return;
+    }
+
+    Video video;
+    const std::size_t luma =
+        static_cast<std::size_t>(request.width) * request.height;
+    const std::size_t frame_bytes = luma * 3 / 2;
+    video.frames.reserve(request.frameCount);
+    for (u32 f = 0; f < request.frameCount; ++f) {
+        Frame frame(request.width, request.height);
+        const u8 *src = request.i420.data() + f * frame_bytes;
+        std::memcpy(frame.y().data().data(), src, luma);
+        std::memcpy(frame.u().data().data(), src + luma, luma / 4);
+        std::memcpy(frame.v().data().data(),
+                    src + luma + luma / 4, luma / 4);
+        video.frames.push_back(std::move(frame));
+    }
+
+    PreparedVideo prepared = prepareVideo(
+        video, EncoderConfig{}, EccAssignment::paperTable1());
+    ArchivePutOptions options;
+    if (!request.key.empty()) {
+        EncryptionConfig enc;
+        enc.mode = static_cast<CipherMode>(request.cipherMode);
+        enc.key = request.key;
+        enc.keyId = request.keyId;
+        // Same nonce derivation as the CLI: reproducible per
+        // (seed, name), distinct across names under one key.
+        Rng iv_rng(Rng::deriveSeed(
+            request.ivSeed,
+            std::hash<std::string>{}(request.name)));
+        for (auto &b : enc.masterIv)
+            b = static_cast<u8>(iv_rng.next());
+        options.encryption = enc;
+    }
+    if (service_.put(request.name, prepared, options) !=
+        ArchiveError::None) {
+        sendStatus(*job.conn, Status::Error, job.requestId);
+        return;
+    }
+    cache_.eraseVideo(request.name);
+
+    PutResponse response;
+    response.status = Status::Ok;
+    response.payloadBytes = prepared.payloadBits() / 8;
+    for (const ArchiveVideoStat &s : service_.stat())
+        if (s.name == request.name)
+            response.cellBytes = s.cellBytes;
+    sendFrame(*job.conn, static_cast<u8>(response.status),
+                job.requestId, serializePutResponse(response));
+}
+
+void
+VappServer::handleStat(const ServerJob &job)
+{
+    VA_TELEM_LATENCY("server.op.stat");
+    StatResponse response;
+    response.status = Status::Ok;
+    response.videos = service_.stat();
+    sendFrame(*job.conn, static_cast<u8>(response.status),
+                job.requestId, serializeStatResponse(response));
+}
+
+void
+VappServer::handleScrub(const ServerJob &job)
+{
+    VA_TELEM_LATENCY("server.op.scrub");
+    ScrubRequest request;
+    if (!parseScrubRequest(job.payload, request)) {
+        sendStatus(*job.conn, Status::BadRequest, job.requestId);
+        return;
+    }
+    ScrubOptions options;
+    options.ageRawBer = request.ageRawBer;
+    options.seed = request.seed;
+    ScrubReport report = service_.scrub(options);
+    // A scrub (with aging) may have changed any stream's cells:
+    // every cached decode is stale.
+    cache_.clear();
+
+    ScrubResponse response;
+    response.status = Status::Ok;
+    response.videos = report.videos;
+    response.streams = report.streams;
+    response.blocksRead = report.cells.blocksRead;
+    response.blocksRewritten = report.blocksRewritten;
+    response.bitsCorrected = report.cells.bitsCorrected;
+    response.blocksUncorrectable = report.cells.blocksUncorrectable;
+    response.streamsMiscorrected = report.streamsMiscorrected;
+    response.streamsDamaged = report.streamsDamaged;
+    sendFrame(*job.conn, static_cast<u8>(response.status),
+                job.requestId, serializeScrubResponse(response));
+}
+
+void
+VappServer::answerHealth(const std::shared_ptr<Connection> &conn,
+                         u32 request_id)
+{
+    HealthResponse response;
+    response.status = Status::Ok;
+    response.queueDepth = static_cast<u32>(queue_.size());
+    response.queueCapacity = static_cast<u32>(queue_.capacity());
+    response.queueHighWater =
+        static_cast<u32>(queue_.highWater());
+    response.queueRejected = queue_.rejectedTotal();
+    response.cacheBytes = cache_.bytes();
+    response.cacheEntries = cache_.entries();
+    response.videos = service_.videoCount();
+    sendFrame(*conn, static_cast<u8>(response.status), request_id,
+                serializeHealthResponse(response));
+}
+
+} // namespace videoapp

@@ -1,0 +1,150 @@
+/**
+ * @file
+ * The VAPP store server: a concurrent TCP front end over an
+ * ArchiveService, completing the paper's storage model into a
+ * serving system that can be load-tested end to end.
+ *
+ * Architecture (one process, loopback or LAN):
+ *
+ *   accept thread ─▶ per-connection reader threads
+ *        │                 │  parse wire frames (total parser)
+ *        │                 │  HEALTH answered inline (liveness must
+ *        │                 │  survive queue saturation)
+ *        │                 ▼
+ *        │          RequestQueue (bounded, Serve ahead of Maintain;
+ *        │                 │      full queue -> Status::Retry)
+ *        │                 ▼
+ *        └── worker pool: deadline check, FrameCache lookup,
+ *            ArchiveService get/put/scrub/stat, response write
+ *            (per-connection write mutex; responses may interleave
+ *            across requests of one pipelined connection)
+ *
+ * Read path: a GET_FRAMES miss decodes the *whole* video through
+ * ArchiveService::get (BCH read, decrypt, entropy decode, pivot
+ * reassembly), packs every GOP and caches them all, then answers
+ * with the requested one; a hit returns packed frames straight from
+ * memory, touching none of that. Exact reads (injectRawBer == 0)
+ * are the only cacheable ones — injected reads are stochastic
+ * experiments and always decode fresh.
+ *
+ * Degradation: requests carrying a deadline that expires while
+ * queued get Status::Deadline; reads whose low-importance streams
+ * had uncorrectable blocks still serve their frames with
+ * Status::Partial (approximate storage made visible, not an error).
+ *
+ * Shutdown (stop()): stop accepting, close the queue (admitted jobs
+ * still drain and answer), join workers, then unblock and join the
+ * connection readers — an admitted request never loses its response.
+ */
+
+#ifndef VIDEOAPP_SERVER_VAPP_SERVER_H_
+#define VIDEOAPP_SERVER_VAPP_SERVER_H_
+
+#include <atomic>
+#include <chrono>
+#include <memory>
+#include <thread>
+#include <vector>
+
+#include "archive/archive_service.h"
+#include "server/frame_cache.h"
+#include "server/request_queue.h"
+#include "server/wire.h"
+
+namespace videoapp {
+
+struct VappServerConfig
+{
+    /** TCP port to bind on 127.0.0.1 (0 = ephemeral, see port()). */
+    u16 port = 0;
+    /** Worker threads draining the request queue. */
+    int workers = 4;
+    /** Bounded queue capacity across both priority classes. */
+    std::size_t queueCapacity = 256;
+    /** Decoded-GOP cache byte budget (0 disables caching). */
+    std::size_t cacheBytes = 64u << 20;
+};
+
+class VappServer
+{
+  public:
+    /** @p service must outlive the server and be open()ed. */
+    VappServer(ArchiveService &service, VappServerConfig config);
+    ~VappServer();
+
+    VappServer(const VappServer &) = delete;
+    VappServer &operator=(const VappServer &) = delete;
+
+    /** Bind, listen and launch the threads; false on socket errors
+     * (errno preserved). Call at most once. */
+    bool start();
+
+    /** Graceful shutdown; idempotent, also run by the destructor. */
+    void stop();
+
+    /** The bound port (valid after start(); resolves port = 0). */
+    u16 port() const { return port_; }
+
+    FrameCache &cache() { return cache_; }
+    std::size_t queueDepth() const { return queue_.size(); }
+    std::size_t queueHighWater() const { return queue_.highWater(); }
+    u64 queueRejected() const { return queue_.rejectedTotal(); }
+
+    /**
+     * Test/bench hook: freeze the worker pool's queue drain so
+     * admitted requests pile up to capacity and the overflow is
+     * answered with Status::Retry deterministically. Admission,
+     * HEALTH and connection handling keep running.
+     */
+    void setDrainPaused(bool paused);
+
+  private:
+    struct Connection;
+
+    struct ServerJob
+    {
+        std::shared_ptr<Connection> conn;
+        Opcode opcode = Opcode::Health;
+        u32 requestId = 0;
+        Bytes payload;
+        std::chrono::steady_clock::time_point admitted;
+    };
+
+    void acceptLoop();
+    void connectionLoop(std::shared_ptr<Connection> conn);
+    void workerLoop();
+    void reapFinishedConnections();
+
+    static bool sendFrame(Connection &conn, u8 kind, u32 request_id,
+                          const Bytes &payload);
+    static bool sendStatus(Connection &conn, Status status,
+                           u32 request_id);
+
+    void execute(const ServerJob &job);
+    void handleGetFrames(const ServerJob &job);
+    void handlePut(const ServerJob &job);
+    void handleStat(const ServerJob &job);
+    void handleScrub(const ServerJob &job);
+    void answerHealth(const std::shared_ptr<Connection> &conn,
+                      u32 request_id);
+
+    ArchiveService &service_;
+    VappServerConfig config_;
+    RequestQueue<ServerJob> queue_;
+    FrameCache cache_;
+
+    int listenFd_ = -1;
+    u16 port_ = 0;
+    std::atomic<bool> running_{false};
+    bool started_ = false;
+    std::thread acceptThread_;
+    std::vector<std::thread> workers_;
+
+    std::mutex connMutex_;
+    std::vector<std::shared_ptr<Connection>> connections_;
+    std::vector<std::thread> connThreads_;
+};
+
+} // namespace videoapp
+
+#endif // VIDEOAPP_SERVER_VAPP_SERVER_H_

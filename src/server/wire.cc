@@ -1,0 +1,587 @@
+#include "server/wire.h"
+
+#include <algorithm>
+#include <bit>
+#include <cstring>
+
+#include "common/crc32.h"
+
+namespace videoapp {
+
+const char *
+opcodeName(Opcode op)
+{
+    switch (op) {
+    case Opcode::Health: return "HEALTH";
+    case Opcode::GetFrames: return "GET_FRAMES";
+    case Opcode::Put: return "PUT";
+    case Opcode::Stat: return "STAT";
+    case Opcode::Scrub: return "SCRUB";
+    }
+    return "unknown opcode";
+}
+
+const char *
+statusName(Status status)
+{
+    switch (status) {
+    case Status::Ok: return "OK";
+    case Status::Partial: return "PARTIAL";
+    case Status::NotFound: return "NOT_FOUND";
+    case Status::KeyRequired: return "KEY_REQUIRED";
+    case Status::Retry: return "RETRY";
+    case Status::Deadline: return "DEADLINE";
+    case Status::BadRequest: return "BAD_REQUEST";
+    case Status::Error: return "ERROR";
+    }
+    return "unknown status";
+}
+
+const char *
+wireErrorName(WireError error)
+{
+    switch (error) {
+    case WireError::None: return "none";
+    case WireError::ShortRead: return "short read";
+    case WireError::BadMagic: return "bad magic";
+    case WireError::BadVersion: return "unsupported version";
+    case WireError::Oversized: return "oversized payload";
+    case WireError::BadCrc: return "CRC mismatch";
+    case WireError::BadKind: return "unknown opcode/status";
+    case WireError::Malformed: return "malformed payload";
+    }
+    return "unknown wire error";
+}
+
+namespace {
+
+void
+putBe16(Bytes &out, u16 v)
+{
+    out.push_back(static_cast<u8>(v >> 8));
+    out.push_back(static_cast<u8>(v));
+}
+
+void
+putBe32(Bytes &out, u32 v)
+{
+    out.push_back(static_cast<u8>(v >> 24));
+    out.push_back(static_cast<u8>(v >> 16));
+    out.push_back(static_cast<u8>(v >> 8));
+    out.push_back(static_cast<u8>(v));
+}
+
+u16
+getBe16(const u8 *p)
+{
+    return static_cast<u16>(static_cast<u16>(p[0]) << 8 | p[1]);
+}
+
+u32
+getBe32(const u8 *p)
+{
+    return static_cast<u32>(p[0]) << 24 |
+           static_cast<u32>(p[1]) << 16 |
+           static_cast<u32>(p[2]) << 8 | static_cast<u32>(p[3]);
+}
+
+} // namespace
+
+Bytes
+encodeFrame(u8 kind, u32 requestId, const Bytes &payload)
+{
+    Bytes out;
+    out.reserve(kWireHeaderBytes + payload.size() + 4);
+    putBe32(out, kWireMagic);
+    putBe16(out, kWireVersion);
+    out.push_back(kind);
+    out.push_back(0); // flags
+    putBe32(out, requestId);
+    putBe32(out, static_cast<u32>(payload.size()));
+    putBe32(out, crc32(out.data(), 16));
+    out.insert(out.end(), payload.begin(), payload.end());
+    putBe32(out, crc32(payload));
+    return out;
+}
+
+WireError
+parseFrameHeader(const u8 *data, std::size_t size,
+                 WireFrameHeader &out)
+{
+    if (size < kWireHeaderBytes)
+        return WireError::ShortRead;
+    if (getBe32(data) != kWireMagic)
+        return WireError::BadMagic;
+    if (getBe16(data + 4) > kWireVersion)
+        return WireError::BadVersion;
+    if (getBe32(data + 16) != crc32(data, 16))
+        return WireError::BadCrc;
+    out.kind = data[6];
+    out.flags = data[7];
+    out.requestId = getBe32(data + 8);
+    out.payloadLength = getBe32(data + 12);
+    if (out.payloadLength > kWireMaxPayload)
+        return WireError::Oversized;
+    return WireError::None;
+}
+
+WireError
+verifyPayload(const Bytes &payload, u32 payload_crc)
+{
+    return crc32(payload) == payload_crc ? WireError::None
+                                         : WireError::BadCrc;
+}
+
+// --- payload primitives ------------------------------------------------
+
+void
+WireWriter::putU16(u16 v)
+{
+    putBe16(out_, v);
+}
+
+void
+WireWriter::putU32(u32 v)
+{
+    putBe32(out_, v);
+}
+
+void
+WireWriter::putU64(u64 v)
+{
+    putBe32(out_, static_cast<u32>(v >> 32));
+    putBe32(out_, static_cast<u32>(v));
+}
+
+void
+WireWriter::putDouble(double v)
+{
+    putU64(std::bit_cast<u64>(v));
+}
+
+void
+WireWriter::putBytes(const Bytes &bytes)
+{
+    putU32(static_cast<u32>(bytes.size()));
+    out_.insert(out_.end(), bytes.begin(), bytes.end());
+}
+
+void
+WireWriter::putString(const std::string &s)
+{
+    putU32(static_cast<u32>(s.size()));
+    out_.insert(out_.end(), s.begin(), s.end());
+}
+
+bool
+WireReader::getU8(u8 &v)
+{
+    if (data_.size() - pos_ < 1)
+        return false;
+    v = data_[pos_++];
+    return true;
+}
+
+bool
+WireReader::getU16(u16 &v)
+{
+    if (data_.size() - pos_ < 2)
+        return false;
+    v = getBe16(data_.data() + pos_);
+    pos_ += 2;
+    return true;
+}
+
+bool
+WireReader::getU32(u32 &v)
+{
+    if (data_.size() - pos_ < 4)
+        return false;
+    v = getBe32(data_.data() + pos_);
+    pos_ += 4;
+    return true;
+}
+
+bool
+WireReader::getU64(u64 &v)
+{
+    u32 hi = 0;
+    u32 lo = 0;
+    if (!getU32(hi) || !getU32(lo))
+        return false;
+    v = static_cast<u64>(hi) << 32 | lo;
+    return true;
+}
+
+bool
+WireReader::getDouble(double &v)
+{
+    u64 bits = 0;
+    if (!getU64(bits))
+        return false;
+    v = std::bit_cast<double>(bits);
+    return true;
+}
+
+bool
+WireReader::getBytes(Bytes &bytes)
+{
+    u32 n = 0;
+    if (!getU32(n) || data_.size() - pos_ < n)
+        return false;
+    bytes.assign(data_.begin() + static_cast<std::ptrdiff_t>(pos_),
+                 data_.begin() +
+                     static_cast<std::ptrdiff_t>(pos_ + n));
+    pos_ += n;
+    return true;
+}
+
+bool
+WireReader::getString(std::string &s)
+{
+    u32 n = 0;
+    if (!getU32(n) || data_.size() - pos_ < n)
+        return false;
+    s.assign(reinterpret_cast<const char *>(data_.data()) + pos_, n);
+    pos_ += n;
+    return true;
+}
+
+// --- requests ----------------------------------------------------------
+
+Bytes
+serializeGetFramesRequest(const GetFramesRequest &request)
+{
+    WireWriter w;
+    w.putString(request.name);
+    w.putU32(request.gop);
+    w.putDouble(request.injectRawBer);
+    w.putU64(request.seed);
+    w.putU8(request.conceal ? 1 : 0);
+    w.putBytes(request.key);
+    w.putU32(request.deadlineMs);
+    return w.take();
+}
+
+bool
+parseGetFramesRequest(const Bytes &payload, GetFramesRequest &out)
+{
+    WireReader r(payload);
+    u8 conceal = 0;
+    if (!r.getString(out.name) || !r.getU32(out.gop) ||
+        !r.getDouble(out.injectRawBer) || !r.getU64(out.seed) ||
+        !r.getU8(conceal) || !r.getBytes(out.key) ||
+        !r.getU32(out.deadlineMs) || !r.exhausted())
+        return false;
+    out.conceal = conceal != 0;
+    // NaN / negative rates would poison the injection path.
+    return out.injectRawBer >= 0.0 && out.injectRawBer <= 1.0;
+}
+
+Bytes
+serializePutRequest(const PutRequest &request)
+{
+    WireWriter w;
+    w.putString(request.name);
+    w.putU16(request.width);
+    w.putU16(request.height);
+    w.putU32(request.frameCount);
+    w.putBytes(request.i420);
+    w.putBytes(request.key);
+    w.putU8(request.cipherMode);
+    w.putU32(request.keyId);
+    w.putU64(request.ivSeed);
+    return w.take();
+}
+
+bool
+parsePutRequest(const Bytes &payload, PutRequest &out)
+{
+    WireReader r(payload);
+    if (!r.getString(out.name) || !r.getU16(out.width) ||
+        !r.getU16(out.height) || !r.getU32(out.frameCount) ||
+        !r.getBytes(out.i420) || !r.getBytes(out.key) ||
+        !r.getU8(out.cipherMode) || !r.getU32(out.keyId) ||
+        !r.getU64(out.ivSeed) || !r.exhausted())
+        return false;
+    if (out.name.empty() || out.width == 0 || out.height == 0 ||
+        out.width % 16 != 0 || out.height % 16 != 0 ||
+        out.frameCount == 0)
+        return false;
+    u64 frame_bytes = static_cast<u64>(out.width) * out.height * 3 / 2;
+    return out.i420.size() == frame_bytes * out.frameCount;
+}
+
+Bytes
+serializeScrubRequest(const ScrubRequest &request)
+{
+    WireWriter w;
+    w.putDouble(request.ageRawBer);
+    w.putU64(request.seed);
+    return w.take();
+}
+
+bool
+parseScrubRequest(const Bytes &payload, ScrubRequest &out)
+{
+    WireReader r(payload);
+    if (!r.getDouble(out.ageRawBer) || !r.getU64(out.seed) ||
+        !r.exhausted())
+        return false;
+    return out.ageRawBer >= 0.0 && out.ageRawBer <= 1.0;
+}
+
+// --- responses ---------------------------------------------------------
+
+Bytes
+serializeGetFramesResponse(const GetFramesResponse &response)
+{
+    WireWriter w;
+    w.putU8(static_cast<u8>(response.status));
+    w.putU16(response.width);
+    w.putU16(response.height);
+    w.putU32(response.firstFrame);
+    w.putU32(response.frameCount);
+    w.putU32(response.gopCount);
+    w.putU8(response.fromCache ? 1 : 0);
+    w.putU64(response.blocksCorrected);
+    w.putU64(response.blocksUncorrectable);
+    w.putBytes(response.i420);
+    return w.take();
+}
+
+bool
+parseGetFramesResponse(const Bytes &payload, GetFramesResponse &out)
+{
+    WireReader r(payload);
+    u8 status = 0;
+    if (!r.getU8(status) || status > static_cast<u8>(Status::Error))
+        return false;
+    out.status = static_cast<Status>(status);
+    if (out.status != Status::Ok && out.status != Status::Partial)
+        return true; // bare-status error response
+    u8 from_cache = 0;
+    if (!r.getU16(out.width) || !r.getU16(out.height) ||
+        !r.getU32(out.firstFrame) || !r.getU32(out.frameCount) ||
+        !r.getU32(out.gopCount) || !r.getU8(from_cache) ||
+        !r.getU64(out.blocksCorrected) ||
+        !r.getU64(out.blocksUncorrectable) ||
+        !r.getBytes(out.i420) || !r.exhausted())
+        return false;
+    out.fromCache = from_cache != 0;
+    return true;
+}
+
+Bytes
+serializePutResponse(const PutResponse &response)
+{
+    WireWriter w;
+    w.putU8(static_cast<u8>(response.status));
+    w.putU64(response.payloadBytes);
+    w.putU64(response.cellBytes);
+    return w.take();
+}
+
+bool
+parsePutResponse(const Bytes &payload, PutResponse &out)
+{
+    WireReader r(payload);
+    u8 status = 0;
+    if (!r.getU8(status) || status > static_cast<u8>(Status::Error))
+        return false;
+    out.status = static_cast<Status>(status);
+    if (out.status != Status::Ok)
+        return true;
+    return r.getU64(out.payloadBytes) && r.getU64(out.cellBytes) &&
+           r.exhausted();
+}
+
+Bytes
+serializeStatResponse(const StatResponse &response)
+{
+    WireWriter w;
+    w.putU8(static_cast<u8>(response.status));
+    w.putU32(static_cast<u32>(response.videos.size()));
+    for (const ArchiveVideoStat &v : response.videos) {
+        w.putString(v.name);
+        w.putU16(static_cast<u16>(v.width));
+        w.putU16(static_cast<u16>(v.height));
+        w.putU32(static_cast<u32>(v.frames));
+        w.putU32(static_cast<u32>(v.streamCount));
+        w.putU64(v.payloadBytes);
+        w.putU64(v.cellBytes);
+        w.putU8(v.encrypted ? 1 : 0);
+    }
+    return w.take();
+}
+
+bool
+parseStatResponse(const Bytes &payload, StatResponse &out)
+{
+    WireReader r(payload);
+    u8 status = 0;
+    if (!r.getU8(status) || status > static_cast<u8>(Status::Error))
+        return false;
+    out.status = static_cast<Status>(status);
+    if (out.status != Status::Ok)
+        return true;
+    u32 count = 0;
+    if (!r.getU32(count))
+        return false;
+    out.videos.clear();
+    for (u32 i = 0; i < count; ++i) {
+        ArchiveVideoStat v;
+        u16 width = 0;
+        u16 height = 0;
+        u32 frames = 0;
+        u32 streams = 0;
+        u8 encrypted = 0;
+        if (!r.getString(v.name) || !r.getU16(width) ||
+            !r.getU16(height) || !r.getU32(frames) ||
+            !r.getU32(streams) || !r.getU64(v.payloadBytes) ||
+            !r.getU64(v.cellBytes) || !r.getU8(encrypted))
+            return false;
+        v.width = width;
+        v.height = height;
+        v.frames = frames;
+        v.streamCount = streams;
+        v.encrypted = encrypted != 0;
+        out.videos.push_back(std::move(v));
+    }
+    return r.exhausted();
+}
+
+Bytes
+serializeScrubResponse(const ScrubResponse &response)
+{
+    WireWriter w;
+    w.putU8(static_cast<u8>(response.status));
+    w.putU64(response.videos);
+    w.putU64(response.streams);
+    w.putU64(response.blocksRead);
+    w.putU64(response.blocksRewritten);
+    w.putU64(response.bitsCorrected);
+    w.putU64(response.blocksUncorrectable);
+    w.putU64(response.streamsMiscorrected);
+    w.putU64(response.streamsDamaged);
+    return w.take();
+}
+
+bool
+parseScrubResponse(const Bytes &payload, ScrubResponse &out)
+{
+    WireReader r(payload);
+    u8 status = 0;
+    if (!r.getU8(status) || status > static_cast<u8>(Status::Error))
+        return false;
+    out.status = static_cast<Status>(status);
+    if (out.status != Status::Ok)
+        return true;
+    return r.getU64(out.videos) && r.getU64(out.streams) &&
+           r.getU64(out.blocksRead) &&
+           r.getU64(out.blocksRewritten) &&
+           r.getU64(out.bitsCorrected) &&
+           r.getU64(out.blocksUncorrectable) &&
+           r.getU64(out.streamsMiscorrected) &&
+           r.getU64(out.streamsDamaged) && r.exhausted();
+}
+
+Bytes
+serializeHealthResponse(const HealthResponse &response)
+{
+    WireWriter w;
+    w.putU8(static_cast<u8>(response.status));
+    w.putU32(response.queueDepth);
+    w.putU32(response.queueCapacity);
+    w.putU32(response.queueHighWater);
+    w.putU64(response.queueRejected);
+    w.putU64(response.cacheBytes);
+    w.putU64(response.cacheEntries);
+    w.putU64(response.videos);
+    return w.take();
+}
+
+bool
+parseHealthResponse(const Bytes &payload, HealthResponse &out)
+{
+    WireReader r(payload);
+    u8 status = 0;
+    if (!r.getU8(status) || status > static_cast<u8>(Status::Error))
+        return false;
+    out.status = static_cast<Status>(status);
+    if (out.status != Status::Ok)
+        return true;
+    return r.getU32(out.queueDepth) && r.getU32(out.queueCapacity) &&
+           r.getU32(out.queueHighWater) &&
+           r.getU64(out.queueRejected) && r.getU64(out.cacheBytes) &&
+           r.getU64(out.cacheEntries) && r.getU64(out.videos) &&
+           r.exhausted();
+}
+
+Bytes
+serializeStatusOnly(Status status)
+{
+    WireWriter w;
+    w.putU8(static_cast<u8>(status));
+    return w.take();
+}
+
+std::optional<Status>
+peekStatus(const Bytes &payload)
+{
+    if (payload.empty() ||
+        payload[0] > static_cast<u8>(Status::Error))
+        return std::nullopt;
+    return static_cast<Status>(payload[0]);
+}
+
+// --- frame packing & GOP ranges ----------------------------------------
+
+std::vector<GopRange>
+gopRanges(const std::vector<FrameHeader> &headers,
+          std::size_t frame_count)
+{
+    std::vector<u32> starts;
+    for (const FrameHeader &h : headers)
+        if (h.type == FrameType::I && h.displayIdx < frame_count)
+            starts.push_back(h.displayIdx);
+    std::sort(starts.begin(), starts.end());
+    // A leading non-I prefix (or no I frames at all) folds into the
+    // first GOP so every frame belongs to exactly one range.
+    if (starts.empty())
+        starts.push_back(0);
+    else
+        starts.front() = 0;
+    std::vector<GopRange> ranges;
+    for (std::size_t g = 0; g < starts.size(); ++g) {
+        u32 first = starts[g];
+        u32 end = g + 1 < starts.size()
+                      ? starts[g + 1]
+                      : static_cast<u32>(frame_count);
+        if (end > first)
+            ranges.push_back({first, end - first});
+    }
+    if (ranges.empty() && frame_count > 0)
+        ranges.push_back({0, static_cast<u32>(frame_count)});
+    return ranges;
+}
+
+Bytes
+packFramesI420(const Video &video, std::size_t first,
+               std::size_t count)
+{
+    Bytes out;
+    std::size_t end = std::min(first + count, video.frames.size());
+    for (std::size_t i = first; i < end; ++i) {
+        const Frame &f = video.frames[i];
+        out.insert(out.end(), f.y().data().begin(),
+                   f.y().data().end());
+        out.insert(out.end(), f.u().data().begin(),
+                   f.u().data().end());
+        out.insert(out.end(), f.v().data().begin(),
+                   f.v().data().end());
+    }
+    return out;
+}
+
+} // namespace videoapp

@@ -1,0 +1,311 @@
+/**
+ * @file
+ * The VAPP serving wire protocol: a length-prefixed binary framing
+ * shared by the server, the client library and the load bench.
+ *
+ * Every message travels as one frame:
+ *
+ *   header (20 bytes, all integers big-endian like the containers)
+ *     u32 magic "VSRV"     u16 version      u8 kind    u8 flags
+ *     u32 requestId        u32 payloadLength
+ *     u32 headerCrc        (crc32 of bytes 0..15)
+ *   payload (payloadLength bytes, opcode/status specific)
+ *   u32 payloadCrc         (crc32 of the payload bytes)
+ *
+ * `kind` is the request Opcode client->server and the response
+ * Status server->client; `requestId` is echoed verbatim so a client
+ * can pipeline requests on one connection. The parser is total:
+ * truncations, bad magic/version, oversized lengths and CRC flips
+ * all come back as typed WireError values, never a crash (fuzzed in
+ * tests/server_test.cc, mirroring the vapp_container fuzzing).
+ *
+ * Payload encodings are plain big-endian field sequences built with
+ * WireWriter and consumed with the bounds-checked WireReader; every
+ * parse*() is as total as the frame parser. Response payloads begin
+ * with the Status byte repeated, so a generic error response (status
+ * byte only) parses under every opcode's response type.
+ */
+
+#ifndef VIDEOAPP_SERVER_WIRE_H_
+#define VIDEOAPP_SERVER_WIRE_H_
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "archive/archive_service.h"
+#include "codec/container.h"
+#include "core/pipeline.h"
+
+namespace videoapp {
+
+/** "VSRV" — the serving protocol, distinct from both containers. */
+inline constexpr u32 kWireMagic = 0x56535256;
+
+/** Current (and oldest supported) wire protocol version. */
+inline constexpr u16 kWireVersion = 1;
+
+/** Encoded frame header size in bytes. */
+inline constexpr std::size_t kWireHeaderBytes = 20;
+
+/** Reject frames claiming payloads beyond this (memory safety). */
+inline constexpr u32 kWireMaxPayload = 256u << 20;
+
+/** Request opcodes (frame `kind`, client -> server). */
+enum class Opcode : u8
+{
+    Health = 0,    // liveness + load probe, served off-queue
+    GetFrames = 1, // decode one GOP of a stored video
+    Put = 2,       // store a raw I420 video under a name
+    Stat = 3,      // directory listing
+    Scrub = 4,     // archive-wide repair pass
+};
+
+/** Response status (frame `kind`, server -> client). */
+enum class Status : u8
+{
+    Ok = 0,
+    Partial = 1,     // served, but some blocks were uncorrectable
+    NotFound = 2,    // ArchiveError::NotFound mapped to the wire
+    KeyRequired = 3, // record is encrypted, no/empty key supplied
+    Retry = 4,       // request queue full: back off and resend
+    Deadline = 5,    // deadline expired before a worker got to it
+    BadRequest = 6,  // malformed frame or payload
+    Error = 7,       // any other server-side failure
+};
+
+/** Why a frame could not be decoded. */
+enum class WireError
+{
+    None,
+    ShortRead,  // connection closed / buffer truncated mid-frame
+    BadMagic,   // not a VSRV frame
+    BadVersion, // peer speaks a newer protocol revision
+    Oversized,  // payload length beyond kWireMaxPayload
+    BadCrc,     // header or payload failed its integrity check
+    BadKind,    // opcode/status byte outside the known range
+    Malformed,  // payload fields inconsistent with the opcode
+};
+
+const char *opcodeName(Opcode op);
+const char *statusName(Status status);
+const char *wireErrorName(WireError error);
+
+// --- framing -----------------------------------------------------------
+
+/** A parsed frame header (payload read separately). */
+struct WireFrameHeader
+{
+    u8 kind = 0;
+    u8 flags = 0;
+    u32 requestId = 0;
+    u32 payloadLength = 0;
+};
+
+/** Encode a complete frame (header + payload + payload CRC). */
+Bytes encodeFrame(u8 kind, u32 requestId, const Bytes &payload);
+
+/**
+ * Parse and validate a 20-byte frame header. @p data must hold at
+ * least kWireHeaderBytes; @p out is valid only on None.
+ */
+WireError parseFrameHeader(const u8 *data, std::size_t size,
+                           WireFrameHeader &out);
+
+/** Check a received payload against its trailing CRC field. */
+WireError verifyPayload(const Bytes &payload, u32 payload_crc);
+
+// --- payload primitives ------------------------------------------------
+
+/** Append-only big-endian field writer for payload bodies. */
+class WireWriter
+{
+  public:
+    void putU8(u8 v) { out_.push_back(v); }
+    void putU16(u16 v);
+    void putU32(u32 v);
+    void putU64(u64 v);
+    /** IEEE double carried as its u64 bit pattern. */
+    void putDouble(double v);
+    /** u32 length prefix + raw bytes. */
+    void putBytes(const Bytes &bytes);
+    void putString(const std::string &s);
+
+    Bytes take() { return std::move(out_); }
+
+  private:
+    Bytes out_;
+};
+
+/** Bounds-checked big-endian field reader; get*() return false once
+ * the payload is exhausted and never read past the end. */
+class WireReader
+{
+  public:
+    explicit WireReader(const Bytes &data) : data_(data) {}
+
+    bool getU8(u8 &v);
+    bool getU16(u16 &v);
+    bool getU32(u32 &v);
+    bool getU64(u64 &v);
+    bool getDouble(double &v);
+    bool getBytes(Bytes &bytes);
+    bool getString(std::string &s);
+
+    /** Everything consumed (trailing garbage is a parse error). */
+    bool exhausted() const { return pos_ == data_.size(); }
+
+  private:
+    const Bytes &data_;
+    std::size_t pos_ = 0;
+};
+
+// --- requests ----------------------------------------------------------
+
+struct GetFramesRequest
+{
+    std::string name;
+    /** GOP index into the video's I-frame-delimited ranges. */
+    u32 gop = 0;
+    /** Mirrors ArchiveGetOptions (0 = read cells as stored). */
+    double injectRawBer = 0.0;
+    u64 seed = 1;
+    bool conceal = false;
+    Bytes key;
+    /** Per-request deadline in ms (0 = none): expired requests get
+     * Status::Deadline instead of tying up a worker. */
+    u32 deadlineMs = 0;
+};
+
+struct PutRequest
+{
+    std::string name;
+    u16 width = 0;
+    u16 height = 0;
+    u32 frameCount = 0;
+    /** Raw planar I420 bytes, frameCount * (w*h*3/2). */
+    Bytes i420;
+    /** Encrypt before storage when key is non-empty. */
+    Bytes key;
+    u8 cipherMode = 0;
+    u32 keyId = 0;
+    /** Master-IV derivation seed (mixed with the name hash). */
+    u64 ivSeed = 1;
+};
+
+struct ScrubRequest
+{
+    double ageRawBer = 0.0;
+    u64 seed = 1;
+};
+
+Bytes serializeGetFramesRequest(const GetFramesRequest &request);
+bool parseGetFramesRequest(const Bytes &payload,
+                           GetFramesRequest &out);
+Bytes serializePutRequest(const PutRequest &request);
+bool parsePutRequest(const Bytes &payload, PutRequest &out);
+Bytes serializeScrubRequest(const ScrubRequest &request);
+bool parseScrubRequest(const Bytes &payload, ScrubRequest &out);
+// Health and Stat requests carry empty payloads.
+
+// --- responses ---------------------------------------------------------
+
+struct GetFramesResponse
+{
+    Status status = Status::Error;
+    u16 width = 0;
+    u16 height = 0;
+    /** Display index of the first returned frame. */
+    u32 firstFrame = 0;
+    u32 frameCount = 0;
+    /** Total GOPs in the video (lets clients iterate). */
+    u32 gopCount = 0;
+    /** Served from the decoded-GOP cache (no BCH/decrypt/decode). */
+    bool fromCache = false;
+    u64 blocksCorrected = 0;
+    u64 blocksUncorrectable = 0;
+    /** Raw planar I420 frames, display order. */
+    Bytes i420;
+};
+
+struct PutResponse
+{
+    Status status = Status::Error;
+    u64 payloadBytes = 0;
+    u64 cellBytes = 0;
+};
+
+struct StatResponse
+{
+    Status status = Status::Error;
+    std::vector<ArchiveVideoStat> videos;
+};
+
+struct ScrubResponse
+{
+    Status status = Status::Error;
+    u64 videos = 0;
+    u64 streams = 0;
+    u64 blocksRead = 0;
+    u64 blocksRewritten = 0;
+    u64 bitsCorrected = 0;
+    u64 blocksUncorrectable = 0;
+    u64 streamsMiscorrected = 0;
+    u64 streamsDamaged = 0;
+};
+
+struct HealthResponse
+{
+    Status status = Status::Error;
+    u32 queueDepth = 0;
+    u32 queueCapacity = 0;
+    u32 queueHighWater = 0;
+    u64 queueRejected = 0;
+    u64 cacheBytes = 0;
+    u64 cacheEntries = 0;
+    u64 videos = 0;
+};
+
+Bytes serializeGetFramesResponse(const GetFramesResponse &response);
+bool parseGetFramesResponse(const Bytes &payload,
+                            GetFramesResponse &out);
+Bytes serializePutResponse(const PutResponse &response);
+bool parsePutResponse(const Bytes &payload, PutResponse &out);
+Bytes serializeStatResponse(const StatResponse &response);
+bool parseStatResponse(const Bytes &payload, StatResponse &out);
+Bytes serializeScrubResponse(const ScrubResponse &response);
+bool parseScrubResponse(const Bytes &payload, ScrubResponse &out);
+Bytes serializeHealthResponse(const HealthResponse &response);
+bool parseHealthResponse(const Bytes &payload, HealthResponse &out);
+
+/** A bare-status payload (error responses under any opcode). */
+Bytes serializeStatusOnly(Status status);
+
+/** First payload byte as a Status; nullopt on empty/bad values. */
+std::optional<Status> peekStatus(const Bytes &payload);
+
+// --- frame packing & GOP ranges ----------------------------------------
+
+/** One GOP's frame range in display order. */
+struct GopRange
+{
+    u32 firstFrame = 0;
+    u32 frameCount = 0;
+};
+
+/**
+ * I-frame-delimited GOP ranges of a video, computed from its precise
+ * frame headers (display order; a leading non-I prefix folds into
+ * the first GOP). Never empty for a non-empty video.
+ */
+std::vector<GopRange>
+gopRanges(const std::vector<FrameHeader> &headers,
+          std::size_t frame_count);
+
+/** Concatenate frames [first, first+count) as raw planar I420. */
+Bytes packFramesI420(const Video &video, std::size_t first,
+                     std::size_t count);
+
+} // namespace videoapp
+
+#endif // VIDEOAPP_SERVER_WIRE_H_

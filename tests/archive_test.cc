@@ -427,6 +427,49 @@ TEST(ArchiveService_, ErrorPaths)
     EXPECT_EQ(service.videoCount(), 0u);
 }
 
+TEST(ArchiveService_, GetMissingIsTypedNotFound)
+{
+    // Regression guard for the serving layer: a miss must be the
+    // typed ArchiveError::NotFound with an empty result, never a
+    // throw or a zero-frame "success" (the server maps it to the
+    // wire's Status::NotFound).
+    ArchiveService service(tempPath("notfound"));
+    ASSERT_EQ(service.open(true), ArchiveError::None);
+
+    ArchiveGetResult missing = service.get("absent");
+    EXPECT_EQ(missing.error, ArchiveError::NotFound);
+    EXPECT_TRUE(missing.decoded.frames.empty());
+    EXPECT_TRUE(missing.streams.data.empty());
+    EXPECT_TRUE(missing.frameHeaders.empty());
+    EXPECT_EQ(missing.cells.blocksRead, 0u);
+
+    // A removed record reverts to the same typed miss.
+    PreparedVideo video = makePrepared(99);
+    ASSERT_EQ(service.put("gone", video, {}), ArchiveError::None);
+    ASSERT_EQ(service.remove("gone"), ArchiveError::None);
+    EXPECT_EQ(service.get("gone").error, ArchiveError::NotFound);
+}
+
+TEST(ArchiveService_, GetReportsPreciseFrameHeaders)
+{
+    // The serving layer derives GOP boundaries from these headers;
+    // they must match the prepared video's exactly.
+    ArchiveService service(tempPath("headers"));
+    ASSERT_EQ(service.open(), ArchiveError::None);
+    PreparedVideo video = makePrepared(98);
+    ASSERT_EQ(service.put("v", video, {}), ArchiveError::None);
+
+    ArchiveGetResult got = service.get("v");
+    ASSERT_EQ(got.error, ArchiveError::None);
+    const auto &expect = video.enc.video.frameHeaders;
+    ASSERT_EQ(got.frameHeaders.size(), expect.size());
+    for (std::size_t i = 0; i < expect.size(); ++i) {
+        EXPECT_EQ(got.frameHeaders[i].displayIdx,
+                  expect[i].displayIdx);
+        EXPECT_EQ(got.frameHeaders[i].type, expect[i].type);
+    }
+}
+
 TEST(ArchiveService_, StatReportsTheDirectory)
 {
     ArchiveService service(tempPath("stat"));

@@ -2,10 +2,10 @@
 """Compare a fresh bench JSON against a committed baseline.
 
 Supports the perf bench kinds (the "bench" field of the JSON):
-``perf_pipeline`` (BENCH_pipeline.json) and ``perf_archive``
-(BENCH_archive.json). The two files must be of the same kind and
-produced with the same bench config; mismatches are usage errors
-(exit 2), not regressions.
+``perf_pipeline`` (BENCH_pipeline.json), ``perf_archive``
+(BENCH_archive.json) and ``perf_server`` (BENCH_server.json). The
+two files must be of the same kind and produced with the same bench
+config; mismatches are usage errors (exit 2), not regressions.
 
 Two classes of fields are checked:
 
@@ -45,11 +45,16 @@ import json
 import sys
 
 # Telemetry counters that are deterministic for a fixed bench config
-# and therefore hard-checked. Scheduling-dependent counters
-# (parallel.loops_* etc.) and everything under timers/histograms are
-# soft: they describe how the work was executed, not what it
-# computed. Counters a bench never touches stay 0 on both sides.
-HARD_COUNTERS = [
+# and therefore hard-checked, per bench kind. Scheduling-dependent
+# counters (parallel.loops_* etc.) and everything under
+# timers/histograms are soft: they describe how the work was
+# executed, not what it computed. Counters a bench never touches
+# stay 0 on both sides. perf_server hard-checks no counters: its
+# telemetry (cache hit/miss splits, archive reads behind the cache,
+# queue depths) depends on request interleaving under real
+# concurrency — the schedule-derived response counts in its thread
+# rows are the deterministic contract instead.
+_STORAGE_HARD_COUNTERS = [
     "pipeline.videos_prepared",
     "pipeline.streams_stored",
     "storage.bch.blocks_decoded",
@@ -76,8 +81,17 @@ HARD_COUNTERS = [
     "archive.scrub.streams_miscorrected",
 ]
 
+HARD_COUNTERS = {
+    "perf_pipeline": _STORAGE_HARD_COUNTERS,
+    "perf_archive": _STORAGE_HARD_COUNTERS,
+    "perf_server": [],
+}
+
 # Per-kind row schemas: (hard keys, soft timing keys) of each entry
-# in the "threads" array.
+# in the "threads" array. For perf_server "threads" is the
+# concurrent connection count and the hard keys are response counts
+# fixed by the bench's per-client op schedule; the latency
+# percentiles are soft like any other timing.
 THREAD_ROW_KEYS = {
     "perf_pipeline": (
         ("payload_bits", "parity_bits"),
@@ -88,6 +102,11 @@ THREAD_ROW_KEYS = {
          "scrub_bits_corrected"),
         ("put_s", "get_s", "scrub_s"),
     ),
+    "perf_server": (
+        ("gets_ok", "puts_ok", "scrubs_ok", "not_found",
+         "responses_lost"),
+        ("wall_s", "ops_per_s", "get_p50_us", "get_p99_us"),
+    ),
 }
 
 # Per-kind correctness flags that must be true in the current run.
@@ -95,6 +114,9 @@ CORRECTNESS_FLAGS = {
     "perf_pipeline": ("parallel_equals_sequential",),
     "perf_archive": ("parallel_equals_sequential",
                      "round_trip_exact"),
+    "perf_server": ("responses_all_accounted", "wire_matches_local",
+                    "cache_hit_skips_decode",
+                    "backpressure_returns_retry"),
 }
 
 
@@ -266,7 +288,7 @@ def check_bch(report, current, baseline, timing_tol, strict_timing):
                      bb.get(key), timing_tol, hard=strict_timing)
 
 
-def check_telemetry(report, current, baseline, count_tol):
+def check_telemetry(report, kind, current, baseline, count_tol):
     tc = current.get("telemetry")
     tb = baseline.get("telemetry")
     if tc is None:
@@ -291,7 +313,8 @@ def check_telemetry(report, current, baseline, count_tol):
     if not isinstance(cb, dict):
         report.warn("telemetry.counters missing from baseline")
         return
-    for name in HARD_COUNTERS:
+    hard_counters = HARD_COUNTERS[kind]
+    for name in hard_counters:
         # A counter neither side recorded stayed at zero (metrics
         # register on first increment).
         check_scalar(report, f"telemetry.counters.{name}",
@@ -299,7 +322,7 @@ def check_telemetry(report, current, baseline, count_tol):
                      hard=True)
     # Everything else (scheduling counters, new metrics): soft.
     for name in sorted(set(cc) | set(cb)):
-        if name in HARD_COUNTERS:
+        if name in hard_counters:
             continue
         check_scalar(report, f"telemetry.counters.{name}",
                      cc.get(name, 0), cb.get(name, 0), count_tol,
@@ -343,7 +366,8 @@ def main():
     if kind == "perf_pipeline":
         check_bch(report, current, baseline, args.timing_tolerance,
                   args.strict_timing)
-    check_telemetry(report, current, baseline, args.count_tolerance)
+    check_telemetry(report, kind, current, baseline,
+                    args.count_tolerance)
 
     for w in report.warnings:
         print(f"warning: {w}")
