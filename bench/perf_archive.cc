@@ -36,6 +36,7 @@
 #include "common/parallel.h"
 #include "common/telemetry.h"
 #include "sim/bench_config.h"
+#include "simd/dispatch.h"
 
 namespace videoapp {
 namespace {
@@ -206,6 +207,8 @@ writeJson(const BenchConfig &config,
                  "  \"config\": {\"scale\": %.3f, \"runs\": %d, "
                  "\"videos\": %d},\n",
                  config.scale, config.runs, config.videos);
+    std::fprintf(f, "  \"simd_level\": \"%s\",\n",
+                 simd::simdLevelName(simd::simdActiveLevel()));
     std::fprintf(f, "  \"threads\": [\n");
     for (std::size_t i = 0; i < points.size(); ++i) {
         const ThreadPoint &p = points[i];

@@ -35,6 +35,7 @@
 #include "common/telemetry.h"
 #include "core/pipeline.h"
 #include "sim/bench_config.h"
+#include "simd/dispatch.h"
 #include "storage/bch.h"
 
 namespace videoapp {
@@ -56,6 +57,12 @@ struct ThreadPoint
     double storeRetrieveSeconds = 0;
     double mbitPerSecond = 0;
     double speedup = 0;
+    // Per-stage throughput (soft fields in the CI gate): raw YUV
+    // megabytes and frames through prepare, stored megabytes
+    // through store+retrieve.
+    double prepareMbPerSecond = 0;
+    double prepareFramesPerSecond = 0;
+    double storeRetrieveMbPerSecond = 0;
     // Output-size metrics (identical at every thread count by the
     // determinism contract; the CI gate hard-checks them).
     u64 payloadBits = 0;
@@ -102,6 +109,12 @@ benchPipeline(const BenchConfig &config, const Video &source)
     ModeledChannel channel(kPcmRawBer);
     const int iters = std::max(2, config.runs);
 
+    // Raw YUV 4:2:0 megabytes fed through prepare (1.5 bytes/pixel).
+    const double source_mb =
+        static_cast<double>(source.pixelCount()) * 1.5 / 1e6;
+    const double source_frames =
+        static_cast<double>(source.frames.size());
+
     for (int n : counts) {
         setThreadCount(n);
         ThreadPoint p;
@@ -111,6 +124,11 @@ benchPipeline(const BenchConfig &config, const Video &source)
         PreparedVideo prepared = prepareVideo(
             source, EncoderConfig{}, EccAssignment::paperTable1());
         p.prepareSeconds = now() - t0;
+        if (p.prepareSeconds > 0) {
+            p.prepareMbPerSecond = source_mb / p.prepareSeconds;
+            p.prepareFramesPerSecond =
+                source_frames / p.prepareSeconds;
+        }
 
         u64 stored_bits = 0;
         t0 = now();
@@ -127,6 +145,7 @@ benchPipeline(const BenchConfig &config, const Video &source)
                               ? static_cast<double>(stored_bits) /
                                     p.storeRetrieveSeconds / 1e6
                               : 0;
+        p.storeRetrieveMbPerSecond = p.mbitPerSecond / 8.0;
         points.push_back(p);
     }
 
@@ -264,6 +283,8 @@ writeJson(const BenchConfig &config,
                  "  \"config\": {\"scale\": %.3f, \"runs\": %d, "
                  "\"videos\": %d},\n",
                  config.scale, config.runs, config.videos);
+    std::fprintf(f, "  \"simd_level\": \"%s\",\n",
+                 simd::simdLevelName(simd::simdActiveLevel()));
     std::fprintf(f, "  \"threads\": [\n");
     for (std::size_t i = 0; i < points.size(); ++i) {
         const ThreadPoint &p = points[i];
@@ -272,9 +293,13 @@ writeJson(const BenchConfig &config,
             "    {\"threads\": %d, \"prepare_s\": %.6f, "
             "\"store_retrieve_s\": %.6f, "
             "\"mbit_per_s\": %.3f, \"speedup\": %.3f, "
+            "\"prepare_mb_per_s\": %.3f, "
+            "\"prepare_frames_per_s\": %.3f, "
+            "\"store_retrieve_mb_per_s\": %.3f, "
             "\"payload_bits\": %llu, \"parity_bits\": %llu}%s\n",
             p.threads, p.prepareSeconds, p.storeRetrieveSeconds,
-            p.mbitPerSecond, p.speedup,
+            p.mbitPerSecond, p.speedup, p.prepareMbPerSecond,
+            p.prepareFramesPerSecond, p.storeRetrieveMbPerSecond,
             static_cast<unsigned long long>(p.payloadBits),
             static_cast<unsigned long long>(p.parityBits),
             i + 1 < points.size() ? "," : "");
@@ -312,14 +337,17 @@ run(const BenchConfig &config)
 
     Video source = generateSynthetic(config.suite()[0]);
 
-    std::printf("%-8s %12s %18s %12s %9s\n", "threads",
-                "prepare (s)", "store+retrieve (s)", "Mbit/s",
-                "speedup");
+    std::printf("simd level: %s\n\n",
+                simd::simdLevelName(simd::simdActiveLevel()));
+    std::printf("%-8s %12s %11s %18s %12s %9s\n", "threads",
+                "prepare (s)", "prep MB/s", "store+retrieve (s)",
+                "Mbit/s", "speedup");
     std::vector<ThreadPoint> points = benchPipeline(config, source);
     for (const ThreadPoint &p : points)
-        std::printf("%-8d %12.3f %18.3f %12.2f %8.2fx\n", p.threads,
-                    p.prepareSeconds, p.storeRetrieveSeconds,
-                    p.mbitPerSecond, p.speedup);
+        std::printf("%-8d %12.3f %11.2f %18.3f %12.2f %8.2fx\n",
+                    p.threads, p.prepareSeconds, p.prepareMbPerSecond,
+                    p.storeRetrieveSeconds, p.mbitPerSecond,
+                    p.speedup);
 
     BchPoint bch = benchBch();
     std::printf("\nBCH-6 single-thread codec (1500 blocks):\n"

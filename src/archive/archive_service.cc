@@ -3,10 +3,13 @@
 #include <fstream>
 #include <functional>
 #include <memory>
+#include <set>
 
 #include "common/crc32.h"
 #include "common/parallel.h"
 #include "common/telemetry.h"
+#include "simd/dispatch.h"
+#include "storage/bch.h"
 
 namespace videoapp {
 
@@ -226,6 +229,7 @@ ScrubReport
 ArchiveService::scrub(const ScrubOptions &options)
 {
     VA_TELEM_LATENCY("archive.scrub");
+    simd::simdNoteStage("scrub");
     ScrubReport report;
 
     // Snapshot the sorted name list first, then scrub each video on
@@ -237,12 +241,25 @@ ArchiveService::scrub(const ScrubOptions &options)
     // Per-video seeds derive from (seed, index) over the snapshot
     // order, so the report is identical at any thread count.
     std::vector<std::string> names;
+    std::set<int> scheme_ts;
     {
         std::shared_lock dir(dirMutex_);
         names.reserve(archive_.videos.size());
-        for (const auto &[name, record] : archive_.videos)
+        for (const auto &[name, record] : archive_.videos) {
             names.push_back(name);
+            std::lock_guard shard(shardFor(name));
+            for (const StreamRecord &s : record.streams)
+                if (s.schemeT > 0)
+                    scheme_ts.insert(s.schemeT);
+        }
     }
+
+    // Build every BCH table the scrub will need up front: code
+    // construction is orders of magnitude dearer than a decode, and
+    // doing it here keeps the parallel workers on the lock-free
+    // cache fast path instead of serializing on first use.
+    for (int t : scheme_ts)
+        cachedBchCode(t);
 
     std::vector<ScrubReport> locals(names.size());
     std::vector<u8> scrubbed(names.size(), 0);

@@ -1,6 +1,7 @@
 #include "codec/deblock.h"
 
 #include "codec/reconstruct.h"
+#include "simd/dispatch.h"
 
 #include <algorithm>
 #include <cmath>
@@ -34,12 +35,6 @@ tcBound(int qp, int bs)
     return base + (bs >= 3 ? 2 : bs == 2 ? 1 : 0);
 }
 
-u8
-clampPixel(int v)
-{
-    return static_cast<u8>(std::clamp(v, 0, 255));
-}
-
 /** The motion vector covering the 4x4 at (bx, by) inside the MB. */
 MotionVector
 mvAt(const MbCoding &mb, int bx, int by, bool l1)
@@ -58,39 +53,46 @@ mvAt(const MbCoding &mb, int bx, int by, bool l1)
 }
 
 /**
- * Pixel coordinate across an edge at @p edge: distance d >= 0 maps
- * to the p side (d = 0 is p0 at edge-1, d = 1 is p1 at edge-2);
- * d < 0 maps to the q side (d = -1 is q0 at edge, d = -2 is q1).
+ * Filter a horizontal edge above plane row @p ey: the four rows
+ * across it (p1 = ey-2 .. q1 = ey+1) are contiguous in memory, so
+ * the kernel runs straight over them.
  */
-int
-acrossEdge(int edge, int d)
-{
-    return d >= 0 ? edge - 1 - d : edge + (-d - 1);
-}
-
-/**
- * Filter one 4-pixel edge segment. @p get/@p set address pixels as
- * (offset along the edge, signed distance across it).
- */
-template <typename Get, typename Set>
 void
-filterEdge(int length, int qp, int bs, Get get, Set set)
+filterHorizEdge(Plane &p, int ex, int ey, int count, int qp, int bs)
 {
     if (bs == 0)
         return;
-    const int alpha = alphaThreshold(qp);
-    const int beta = betaThreshold(qp);
-    const int tc = tcBound(qp, bs);
-    for (int i = 0; i < length; ++i) {
-        int p1 = get(i, 1), p0 = get(i, 0);
-        int q0 = get(i, -1), q1 = get(i, -2);
-        if (std::abs(p0 - q0) >= alpha || std::abs(p1 - p0) >= beta ||
-            std::abs(q1 - q0) >= beta)
-            continue;
-        int delta = std::clamp(
-            (((q0 - p0) * 4 + (p1 - q1) + 4) >> 3), -tc, tc);
-        set(i, 0, clampPixel(p0 + delta));
-        set(i, -1, clampPixel(q0 - delta));
+    u8 *base = p.data().data();
+    const std::size_t stride = p.width();
+    simd::simdKernels().deblockEdge(
+        base + (ey - 2) * stride + ex, base + (ey - 1) * stride + ex,
+        base + ey * stride + ex, base + (ey + 1) * stride + ex, count,
+        alphaThreshold(qp), betaThreshold(qp), tcBound(qp, bs));
+}
+
+/**
+ * Filter a vertical edge left of plane column @p ex by gathering the
+ * four columns across it into contiguous buffers and scattering the
+ * filtered p0/q0 columns back.
+ */
+void
+filterVertEdge(Plane &p, int ex, int ey, int count, int qp, int bs)
+{
+    if (bs == 0)
+        return;
+    u8 p1[16], p0[16], q0[16], q1[16];
+    for (int i = 0; i < count; ++i) {
+        p1[i] = p.at(ex - 2, ey + i);
+        p0[i] = p.at(ex - 1, ey + i);
+        q0[i] = p.at(ex, ey + i);
+        q1[i] = p.at(ex + 1, ey + i);
+    }
+    simd::simdKernels().deblockEdge(p1, p0, q0, q1, count,
+                                    alphaThreshold(qp),
+                                    betaThreshold(qp), tcBound(qp, bs));
+    for (int i = 0; i < count; ++i) {
+        p.at(ex - 1, ey + i) = p0[i];
+        p.at(ex, ey + i) = q0[i];
     }
 }
 
@@ -159,17 +161,8 @@ deblockFrame(Frame &recon, const std::vector<MbCoding> &codings,
                         mb_edge ? by * 4 + 3 : by * 4 + bx - 1;
                     int bs = boundaryStrength(left, blk_p, mb, blk_q,
                                               mb_edge);
-                    int ex = x0 + bx * 4;
-                    int ey = y0 + by * 4;
-                    filterEdge(
-                        4, mb.qp, bs,
-                        [&](int i, int d) {
-                            return static_cast<int>(
-                                y.at(acrossEdge(ex, d), ey + i));
-                        },
-                        [&](int i, int d, u8 v) {
-                            y.at(acrossEdge(ex, d), ey + i) = v;
-                        });
+                    filterVertEdge(y, x0 + bx * 4, y0 + by * 4, 4,
+                                   mb.qp, bs);
                 }
             }
         }
@@ -192,17 +185,8 @@ deblockFrame(Frame &recon, const std::vector<MbCoding> &codings,
                         mb_edge ? 3 * 4 + bx : (by - 1) * 4 + bx;
                     int bs = boundaryStrength(up, blk_p, mb, blk_q,
                                               mb_edge);
-                    int ex = x0 + bx * 4;
-                    int ey = y0 + by * 4;
-                    filterEdge(
-                        4, mb.qp, bs,
-                        [&](int i, int d) {
-                            return static_cast<int>(
-                                y.at(ex + i, acrossEdge(ey, d)));
-                        },
-                        [&](int i, int d, u8 v) {
-                            y.at(ex + i, acrossEdge(ey, d)) = v;
-                        });
+                    filterHorizEdge(y, x0 + bx * 4, y0 + by * 4, 4,
+                                    mb.qp, bs);
                 }
             }
         }
@@ -222,16 +206,8 @@ deblockFrame(Frame &recon, const std::vector<MbCoding> &codings,
                     for (int seg = 0; seg < 2; ++seg) {
                         int bs = boundaryStrength(
                             left, seg * 8 + 3, mb, seg * 8, true);
-                        int ey = y0 + seg * 4;
-                        filterEdge(
-                            4, chromaQp(mb.qp), bs,
-                            [&](int i, int d) {
-                                return static_cast<int>(c.at(
-                                    acrossEdge(x0, d), ey + i));
-                            },
-                            [&](int i, int d, u8 v) {
-                                c.at(acrossEdge(x0, d), ey + i) = v;
-                            });
+                        filterVertEdge(c, x0, y0 + seg * 4, 4,
+                                       chromaQp(mb.qp), bs);
                     }
                 }
                 if (mby > 0 && !is_slice_start_row(mby)) {
@@ -240,16 +216,8 @@ deblockFrame(Frame &recon, const std::vector<MbCoding> &codings,
                     for (int seg = 0; seg < 2; ++seg) {
                         int bs = boundaryStrength(
                             up, 12 + seg * 2, mb, seg * 2, true);
-                        int ex = x0 + seg * 4;
-                        filterEdge(
-                            4, chromaQp(mb.qp), bs,
-                            [&](int i, int d) {
-                                return static_cast<int>(c.at(
-                                    ex + i, acrossEdge(y0, d)));
-                            },
-                            [&](int i, int d, u8 v) {
-                                c.at(ex + i, acrossEdge(y0, d)) = v;
-                            });
+                        filterHorizEdge(c, x0 + seg * 4, y0, 4,
+                                        chromaQp(mb.qp), bs);
                     }
                 }
             }

@@ -12,10 +12,19 @@
 #include "codec/mb_syntax.h"
 #include "codec/reconstruct.h"
 #include "codec/transform.h"
+#include "simd/dispatch.h"
 
 namespace videoapp {
 
 namespace {
+
+/** Pointer to the pixel (x, y) of a plane. */
+inline const u8 *
+planePtr(const Plane &p, int x, int y)
+{
+    return p.data().data() + static_cast<std::size_t>(y) * p.width() +
+           x;
+}
 
 /** Rough bit cost of coding a motion vector difference. */
 double
@@ -33,15 +42,14 @@ quantiseMb(MbCoding &mb, const Frame &src, int mbx, int mby,
            const u8 luma_pred[256], const u8 u_pred[64],
            const u8 v_pred[64], bool skip_luma = false)
 {
+    const simd::SimdKernels &k = simd::simdKernels();
     int x0 = mbx * 16, y0 = mby * 16;
     for (int blk = 0; !skip_luma && blk < 16; ++blk) {
         int bx = (blk % 4) * 4, by = (blk / 4) * 4;
         Residual4x4 res{};
-        for (int y = 0; y < 4; ++y)
-            for (int x = 0; x < 4; ++x)
-                res[y * 4 + x] = static_cast<i16>(
-                    src.y().at(x0 + bx + x, y0 + by + y) -
-                    luma_pred[(by + y) * 16 + bx + x]);
+        k.residual4x4(planePtr(src.y(), x0 + bx, y0 + by),
+                      src.y().width(), luma_pred + by * 16 + bx, 16,
+                      res.data());
         Residual4x4 levels = forwardQuant4x4(res, mb.qp, mb.intra);
         mb.coded[blk] = anyNonZero(levels);
         mb.coeffs[blk] = mb.coded[blk] ? levels : Residual4x4{};
@@ -55,11 +63,9 @@ quantiseMb(MbCoding &mb, const Frame &src, int mbx, int mby,
             int blk = 16 + comp * 4 + sub;
             int bx = (sub % 2) * 4, by = (sub / 2) * 4;
             Residual4x4 res{};
-            for (int y = 0; y < 4; ++y)
-                for (int x = 0; x < 4; ++x)
-                    res[y * 4 + x] = static_cast<i16>(
-                        plane.at(cx0 + bx + x, cy0 + by + y) -
-                        pred[(by + y) * 8 + bx + x]);
+            k.residual4x4(planePtr(plane, cx0 + bx, cy0 + by),
+                          plane.width(), pred + by * 8 + bx, 8,
+                          res.data());
             Residual4x4 levels = forwardQuant4x4(res, qpc, mb.intra);
             mb.coded[blk] = anyNonZero(levels);
             mb.coeffs[blk] = mb.coded[blk] ? levels : Residual4x4{};
@@ -311,13 +317,10 @@ class FrameEncoder
                     continue;
                 u8 pred[16];
                 predictIntra4(neighbors, mode, pred);
-                double sad = 0;
-                for (int dy = 0; dy < 4; ++dy)
-                    for (int dx = 0; dx < 4; ++dx)
-                        sad += std::abs(
-                            static_cast<int>(
-                                src_.y().at(x + dx, y + dy)) -
-                            pred[dy * 4 + dx]);
+                double sad = static_cast<double>(
+                    simd::simdKernels().sad4x4(
+                        planePtr(src_.y(), x, y), src_.y().width(),
+                        pred));
                 double bits = mode == predicted ? 1.0 : 4.0;
                 double c = sad + lambda * bits;
                 if (c < best_cost) {
@@ -480,11 +483,10 @@ class FrameEncoder
             } else {
                 return 1e18;
             }
-            for (int y = 0; y < motion.rect.height; ++y)
-                for (int x = 0; x < motion.rect.width; ++x)
-                    cost += std::abs(
-                        static_cast<int>(src_.y().at(dx + x, dy + y)) -
-                        buf[y * motion.rect.width + x]);
+            cost += static_cast<double>(simd::simdKernels().sadRect(
+                planePtr(src_.y(), dx, dy), src_.y().width(), buf,
+                motion.rect.width, motion.rect.width,
+                motion.rect.height));
             // Rate term per vector coded.
             double vectors =
                 motion.direction == BiDirection::Bi ? 2.0 : 1.0;

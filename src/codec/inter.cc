@@ -1,7 +1,10 @@
 #include "codec/inter.h"
 
+#include "simd/dispatch.h"
+
 #include <algorithm>
 #include <cstdlib>
+#include <cstring>
 #include <map>
 
 namespace videoapp {
@@ -37,6 +40,148 @@ halfVertical(const Plane &ref, int x, int iy)
     return sixTap(ref.atClamped(x, iy - 2), ref.atClamped(x, iy - 1),
                   ref.atClamped(x, iy), ref.atClamped(x, iy + 1),
                   ref.atClamped(x, iy + 2), ref.atClamped(x, iy + 3));
+}
+
+/** Largest block the contiguous prediction buffers accommodate. */
+constexpr int kMaxRectSide = 16;
+
+/**
+ * True when every sample the six-tap interpolation of a w x h block
+ * anchored at quarter-pel (base_x4, base_y4) touches — including the
+ * +1 half-pel neighbour of quarter positions — lies strictly inside
+ * the plane, so atClamped degenerates to at and the row kernels can
+ * run without per-pixel clamping.
+ */
+bool
+interiorWindow(const Plane &ref, int base_x4, int base_y4, int w,
+               int h)
+{
+    int ix = base_x4 >> 2, iy = base_y4 >> 2;
+    return ix >= 2 && iy >= 2 && ix + w + 5 < ref.width() &&
+           iy + h + 5 < ref.height();
+}
+
+/**
+ * Fill @p out (contiguous, stride w) with w x h half-pel samples at
+ * half-coordinates (hx + 2x, hy + 2y) via the active kernel table.
+ * @p p00 addresses integer coordinate (0, 0) of a buffer in which
+ * every sample the six-tap filters touch is in bounds — either the
+ * reference plane itself (interior windows) or a clamped border
+ * patch in translated coordinates.
+ */
+void
+buildHalfRect(const u8 *p00, int stride, int hx, int hy, int w,
+              int h, u8 *out)
+{
+    const int ix = hx >> 1, iy = hy >> 1;
+    const bool fx = hx & 1, fy = hy & 1;
+    const u8 *base =
+        p00 + static_cast<std::ptrdiff_t>(iy) * stride + ix;
+    const simd::SimdKernels &k = simd::simdKernels();
+
+    if (!fx && !fy) {
+        for (int y = 0; y < h; ++y)
+            std::memcpy(out + y * w, base + y * stride,
+                        static_cast<std::size_t>(w));
+    } else if (fx && !fy) {
+        for (int y = 0; y < h; ++y)
+            k.halfHRow(base + y * stride, w, out + y * w);
+    } else if (!fx && fy) {
+        for (int y = 0; y < h; ++y)
+            k.halfVRow(base + y * stride, stride, w, out + y * w);
+    } else {
+        // Centre (j) position: raw vertical half-samples, then the
+        // 32-bit horizontal six-tap.
+        i16 raw[kMaxRectSide + 6];
+        for (int y = 0; y < h; ++y) {
+            k.halfVRowRaw(base + y * stride - 2, stride, w + 6, raw);
+            k.sixTapHRowI16(raw + 2, w, out + y * w);
+        }
+    }
+}
+
+/**
+ * Fill @p out (contiguous, stride w) with the motion-compensated
+ * prediction anchored at quarter-pel (base_x4, base_y4), matching
+ * sampleQuarterPel sample for sample. Coordinates address the
+ * buffer behind @p p00 (see buildHalfRect).
+ * @pre w, h <= kMaxRectSide and the window is in bounds.
+ */
+void
+buildPredRect(const u8 *p00, int stride, int base_x4, int base_y4,
+              int w, int h, u8 *out)
+{
+    const int hx = base_x4 >> 1, hy = base_y4 >> 1;
+    const bool qx = base_x4 & 1, qy = base_y4 & 1;
+    if (!qx && !qy) {
+        buildHalfRect(p00, stride, hx, hy, w, h, out);
+        return;
+    }
+    u8 a[kMaxRectSide * kMaxRectSide];
+    u8 b[kMaxRectSide * kMaxRectSide];
+    buildHalfRect(p00, stride, hx, hy, w, h, a);
+    if (qx && !qy)
+        buildHalfRect(p00, stride, hx + 1, hy, w, h, b);
+    else if (!qx && qy)
+        buildHalfRect(p00, stride, hx, hy + 1, w, h, b);
+    else // diagonal: average the two diagonal half neighbours
+        buildHalfRect(p00, stride, hx + 1, hy + 1, w, h, b);
+    simd::simdKernels().averageU8(a, b, w * h, out);
+}
+
+/** Patch side for a clamped border window: w + 6-tap support + the
+ * +1 integer column/row quarter offsets can add. */
+constexpr int kPatchSide = kMaxRectSide + 7;
+
+/**
+ * Gather the (ax..ax+cols-1) x (ay..ay+rows-1) integer window of
+ * @p ref into @p patch (stride cols) with border clamping, so
+ * patch[j * cols + i] == ref.atClamped(ax + i, ay + j).
+ */
+void
+fillClampedPatch(const Plane &ref, int ax, int ay, int cols,
+                 int rows, u8 *patch)
+{
+    const int rw = ref.width(), rh = ref.height();
+    const u8 *data = ref.data().data();
+    for (int j = 0; j < rows; ++j) {
+        const u8 *row =
+            data +
+            static_cast<std::size_t>(std::clamp(ay + j, 0, rh - 1)) *
+                rw;
+        u8 *dst = patch + static_cast<std::size_t>(j) * cols;
+        int i = 0;
+        for (; i < cols && ax + i < 0; ++i)
+            dst[i] = row[0];
+        int run = std::min(cols, rw - ax) - i;
+        if (run > 0) {
+            std::memcpy(dst + i, row + ax + i,
+                        static_cast<std::size_t>(run));
+            i += run;
+        }
+        for (; i < cols; ++i)
+            dst[i] = row[rw - 1];
+    }
+}
+
+/**
+ * buildPredRect for windows that spill past the plane border: gather
+ * a clamped integer patch once, then interpolate inside it with the
+ * same kernels. Bit-exact with the per-sample sampleQuarterPel
+ * fallback because each patch byte equals atClamped of the original
+ * coordinate.
+ * @pre w, h <= kMaxRectSide.
+ */
+void
+buildPredRectClamped(const Plane &ref, int base_x4, int base_y4,
+                     int w, int h, u8 *out)
+{
+    const int ax = (base_x4 >> 2) - 2, ay = (base_y4 >> 2) - 2;
+    const int cols = w + 7, rows = h + 7;
+    u8 patch[kPatchSide * kPatchSide];
+    fillClampedPatch(ref, ax, ay, cols, rows, patch);
+    buildPredRect(patch, cols, base_x4 - 4 * ax, base_y4 - 4 * ay, w,
+                  h, out);
 }
 
 } // namespace
@@ -94,12 +239,31 @@ long
 sadRectQuarterPel(const Plane &source, int sx, int sy, int w, int h,
                   const Plane &reference, const MotionVector &mv)
 {
-    long sad = 0;
+    const simd::SimdKernels &k = simd::simdKernels();
+    const int src_stride = source.width();
+    const u8 *src = source.data().data() +
+                    static_cast<std::size_t>(sy) * src_stride + sx;
     int base_x = 4 * sx + mv.x;
     int base_y = 4 * sy + mv.y;
     if ((mv.x & 3) == 0 && (mv.y & 3) == 0) {
-        // Fast integer path.
+        // Integer path: direct SAD when the window is in bounds,
+        // scalar clamped loop at the frame border.
         int rx = base_x >> 2, ry = base_y >> 2;
+        if (rx >= 0 && ry >= 0 && rx + w <= reference.width() &&
+            ry + h <= reference.height()) {
+            const u8 *ref = reference.data().data() +
+                            static_cast<std::size_t>(ry) *
+                                reference.width() +
+                            rx;
+            return k.sadRect(src, src_stride, ref,
+                             reference.width(), w, h);
+        }
+        if (w <= kMaxRectSide && h <= kMaxRectSide) {
+            u8 patch[kMaxRectSide * kMaxRectSide];
+            fillClampedPatch(reference, rx, ry, w, h, patch);
+            return k.sadRect(src, src_stride, patch, w, w, h);
+        }
+        long sad = 0;
         for (int y = 0; y < h; ++y)
             for (int x = 0; x < w; ++x)
                 sad += std::abs(
@@ -107,6 +271,18 @@ sadRectQuarterPel(const Plane &source, int sx, int sy, int w, int h,
                     reference.atClamped(rx + x, ry + y));
         return sad;
     }
+    if (w <= kMaxRectSide && h <= kMaxRectSide) {
+        u8 pred[kMaxRectSide * kMaxRectSide];
+        if (interiorWindow(reference, base_x, base_y, w, h))
+            buildPredRect(reference.data().data(),
+                          reference.width(), base_x, base_y, w, h,
+                          pred);
+        else
+            buildPredRectClamped(reference, base_x, base_y, w, h,
+                                 pred);
+        return k.sadRect(src, src_stride, pred, w, w, h);
+    }
+    long sad = 0;
     for (int y = 0; y < h; ++y)
         for (int x = 0; x < w; ++x)
             sad += std::abs(
@@ -208,9 +384,35 @@ compensateRect(const Plane &reference, int dx, int dy, int w, int h,
     int base_y = 4 * dy + mv.y;
     if ((mv.x & 3) == 0 && (mv.y & 3) == 0) {
         int rx = base_x >> 2, ry = base_y >> 2;
+        if (rx >= 0 && ry >= 0 && rx + w <= reference.width() &&
+            ry + h <= reference.height()) {
+            const u8 *ref = reference.data().data() +
+                            static_cast<std::size_t>(ry) *
+                                reference.width() +
+                            rx;
+            for (int y = 0; y < h; ++y)
+                std::memcpy(out + y * w,
+                            ref + static_cast<std::size_t>(y) *
+                                      reference.width(),
+                            static_cast<std::size_t>(w));
+            return;
+        }
+        if (w <= kMaxRectSide && h <= kMaxRectSide) {
+            fillClampedPatch(reference, rx, ry, w, h, out);
+            return;
+        }
         for (int y = 0; y < h; ++y)
             for (int x = 0; x < w; ++x)
                 out[y * w + x] = reference.atClamped(rx + x, ry + y);
+        return;
+    }
+    if (w <= kMaxRectSide && h <= kMaxRectSide) {
+        if (interiorWindow(reference, base_x, base_y, w, h))
+            buildPredRect(reference.data().data(), reference.width(),
+                          base_x, base_y, w, h, out);
+        else
+            buildPredRectClamped(reference, base_x, base_y, w, h,
+                                 out);
         return;
     }
     for (int y = 0; y < h; ++y)
@@ -222,8 +424,7 @@ compensateRect(const Plane &reference, int dx, int dy, int w, int h,
 void
 averagePredictions(const u8 *a, const u8 *b, int count, u8 *out)
 {
-    for (int i = 0; i < count; ++i)
-        out[i] = static_cast<u8>((a[i] + b[i] + 1) >> 1);
+    simd::simdKernels().averageU8(a, b, count, out);
 }
 
 std::vector<AreaDependency>

@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <cstdlib>
 
+#include "simd/dispatch.h"
+
 namespace videoapp {
 
 namespace {
@@ -104,13 +106,11 @@ long
 intraSad16(const Plane &source, int mbx, int mby,
            const PredBlock<16> &prediction)
 {
-    long sad = 0;
     int x0 = mbx * 16, y0 = mby * 16;
-    for (int y = 0; y < 16; ++y)
-        for (int x = 0; x < 16; ++x)
-            sad += std::abs(static_cast<int>(source.at(x0 + x, y0 + y)) -
-                            prediction[y * 16 + x]);
-    return sad;
+    const u8 *src = source.data().data() +
+                    static_cast<std::size_t>(y0) * source.width() + x0;
+    return simd::simdKernels().sadRect(src, source.width(),
+                                       prediction.data(), 16, 16, 16);
 }
 
 std::vector<IntraDependency>

@@ -7,15 +7,25 @@
 #include "codec/intra4.h"
 #include "codec/inter.h"
 #include "codec/transform.h"
+#include "simd/dispatch.h"
 
 namespace videoapp {
 
 namespace {
 
-u8
-clampPixel(int v)
+/** Pointer to the pixel (x, y) of a plane. */
+inline u8 *
+planePtr(Plane &p, int x, int y)
 {
-    return static_cast<u8>(std::clamp(v, 0, 255));
+    return p.data().data() + static_cast<std::size_t>(y) * p.width() +
+           x;
+}
+
+inline const u8 *
+planePtr(const Plane &p, int x, int y)
+{
+    return p.data().data() + static_cast<std::size_t>(y) * p.width() +
+           x;
 }
 
 /** Fill an inter prediction rectangle, handling direction and
@@ -149,13 +159,11 @@ reconstructIntra4Luma(Plane &recon_y, MbCoding &mb, int mbx, int mby,
                           mb.intra4Modes[blk] % kIntra4ModeCount),
                       pred);
 
+        const simd::SimdKernels &k = simd::simdKernels();
         if (source) {
             Residual4x4 res{};
-            for (int dy = 0; dy < 4; ++dy)
-                for (int dx = 0; dx < 4; ++dx)
-                    res[dy * 4 + dx] = static_cast<i16>(
-                        source->at(x + dx, y + dy) -
-                        pred[dy * 4 + dx]);
+            k.residual4x4(planePtr(*source, x, y), source->width(),
+                          pred, 4, res.data());
             Residual4x4 levels = forwardQuant4x4(res, mb.qp, true);
             mb.coded[blk] = anyNonZero(levels);
             mb.coeffs[blk] = mb.coded[blk] ? levels : Residual4x4{};
@@ -164,10 +172,8 @@ reconstructIntra4Luma(Plane &recon_y, MbCoding &mb, int mbx, int mby,
         Residual4x4 res{};
         if (mb.coded[blk])
             res = inverseQuant4x4(mb.coeffs[blk], mb.qp);
-        for (int dy = 0; dy < 4; ++dy)
-            for (int dx = 0; dx < 4; ++dx)
-                recon_y.at(x + dx, y + dy) = clampPixel(
-                    pred[dy * 4 + dx] + res[dy * 4 + dx]);
+        k.reconstruct4x4(pred, 4, res.data(), planePtr(recon_y, x, y),
+                         recon_y.width());
     }
 }
 
@@ -193,17 +199,16 @@ reconstructMb(Frame &recon, const MbCoding &mb, int mbx, int mby,
                       ref1 ? &ref1->y() : nullptr, left_avail,
                       up_avail, pred);
         int x0 = mbx * 16, y0 = mby * 16;
+        const simd::SimdKernels &k = simd::simdKernels();
         for (int blk = 0; blk < 16; ++blk) {
             int bx = (blk % 4) * 4;
             int by = (blk / 4) * 4;
             Residual4x4 res{};
             if (mb.coded[blk])
                 res = inverseQuant4x4(mb.coeffs[blk], mb.qp);
-            for (int y = 0; y < 4; ++y)
-                for (int x = 0; x < 4; ++x)
-                    recon.y().at(x0 + bx + x, y0 + by + y) =
-                        clampPixel(pred[(by + y) * 16 + bx + x] +
-                                   res[y * 4 + x]);
+            k.reconstruct4x4(pred + by * 16 + bx, 16, res.data(),
+                             planePtr(recon.y(), x0 + bx, y0 + by),
+                             recon.y().width());
         }
     }
 
@@ -219,6 +224,7 @@ reconstructMb(Frame &recon, const MbCoding &mb, int mbx, int mby,
         predictMbChroma(mb, mbx, mby, plane, r0, r1, left_avail,
                         up_avail, cpred);
         int cx0 = mbx * 8, cy0 = mby * 8;
+        const simd::SimdKernels &k = simd::simdKernels();
         for (int sub = 0; sub < 4; ++sub) {
             int blk = 16 + comp * 4 + sub;
             int bx = (sub % 2) * 4;
@@ -226,10 +232,9 @@ reconstructMb(Frame &recon, const MbCoding &mb, int mbx, int mby,
             Residual4x4 res{};
             if (mb.coded[blk])
                 res = inverseQuant4x4(mb.coeffs[blk], qpc);
-            for (int y = 0; y < 4; ++y)
-                for (int x = 0; x < 4; ++x)
-                    plane.at(cx0 + bx + x, cy0 + by + y) = clampPixel(
-                        cpred[(by + y) * 8 + bx + x] + res[y * 4 + x]);
+            k.reconstruct4x4(cpred + (by * 8 + bx), 8, res.data(),
+                             planePtr(plane, cx0 + bx, cy0 + by),
+                             plane.width());
         }
     }
 }

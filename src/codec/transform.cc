@@ -1,131 +1,28 @@
 #include "codec/transform.h"
 
-#include <cstdlib>
+#include "simd/dispatch.h"
 
 namespace videoapp {
 
-namespace {
-
-// Quantisation multiplier tables of the H.264 reference model.
-// Rows: qp % 6. Columns: coefficient position class (a, b, c).
-constexpr int kMf[6][3] = {
-    {13107, 5243, 8066}, {11916, 4660, 7490}, {10082, 4194, 6554},
-    {9362, 3647, 5825},  {8192, 3355, 5243},  {7282, 2893, 4559},
-};
-
-constexpr int kV[6][3] = {
-    {10, 16, 13}, {11, 18, 14}, {13, 20, 16},
-    {14, 23, 18}, {16, 25, 20}, {18, 29, 23},
-};
-
-/** Position class within the 4x4: 0 = a, 1 = b, 2 = c. */
-constexpr int
-posClass(int i, int j)
-{
-    bool even_i = (i & 1) == 0;
-    bool even_j = (j & 1) == 0;
-    if (even_i && even_j)
-        return 0;
-    if (!even_i && !even_j)
-        return 1;
-    return 2;
-}
-
-/** Core forward transform: W = Cf X Cf^T. */
-void
-coreForward(const Residual4x4 &in, int out[16])
-{
-    int tmp[16];
-    // Rows: Cf applied to each row of X (as column vectors of X^T).
-    for (int i = 0; i < 4; ++i) {
-        int a = in[4 * i], b = in[4 * i + 1];
-        int c = in[4 * i + 2], d = in[4 * i + 3];
-        int s0 = a + d, s1 = b + c, s2 = b - c, s3 = a - d;
-        tmp[4 * i] = s0 + s1;
-        tmp[4 * i + 1] = 2 * s3 + s2;
-        tmp[4 * i + 2] = s0 - s1;
-        tmp[4 * i + 3] = s3 - 2 * s2;
-    }
-    // Columns.
-    for (int j = 0; j < 4; ++j) {
-        int a = tmp[j], b = tmp[4 + j], c = tmp[8 + j], d = tmp[12 + j];
-        int s0 = a + d, s1 = b + c, s2 = b - c, s3 = a - d;
-        out[j] = s0 + s1;
-        out[4 + j] = 2 * s3 + s2;
-        out[8 + j] = s0 - s1;
-        out[12 + j] = s3 - 2 * s2;
-    }
-}
-
-/** Core inverse transform with final >>6 rounding. */
-void
-coreInverse(const int in[16], Residual4x4 &out)
-{
-    int tmp[16];
-    for (int i = 0; i < 4; ++i) {
-        int a = in[4 * i], b = in[4 * i + 1];
-        int c = in[4 * i + 2], d = in[4 * i + 3];
-        int s0 = a + c, s1 = a - c;
-        int s2 = (b >> 1) - d, s3 = b + (d >> 1);
-        tmp[4 * i] = s0 + s3;
-        tmp[4 * i + 1] = s1 + s2;
-        tmp[4 * i + 2] = s1 - s2;
-        tmp[4 * i + 3] = s0 - s3;
-    }
-    for (int j = 0; j < 4; ++j) {
-        int a = tmp[j], b = tmp[4 + j], c = tmp[8 + j], d = tmp[12 + j];
-        int s0 = a + c, s1 = a - c;
-        int s2 = (b >> 1) - d, s3 = b + (d >> 1);
-        out[j] = static_cast<i16>((s0 + s3 + 32) >> 6);
-        out[4 + j] = static_cast<i16>((s1 + s2 + 32) >> 6);
-        out[8 + j] = static_cast<i16>((s1 - s2 + 32) >> 6);
-        out[12 + j] = static_cast<i16>((s0 - s3 + 32) >> 6);
-    }
-}
-
-} // namespace
+// The transform, quantisation tables and reference loops moved to
+// src/simd/kernels_scalar.cc as dispatch-table oracles; these entry
+// points just call through the active table.
 
 Residual4x4
 forwardQuant4x4(const Residual4x4 &residual, int qp, bool intra)
 {
-    int w[16];
-    coreForward(residual, w);
-
     Residual4x4 levels{};
-    const int qbits = 15 + qp / 6;
-    const int f = (1 << qbits) / (intra ? 3 : 6);
-    const int rem = qp % 6;
-    for (int i = 0; i < 4; ++i) {
-        for (int j = 0; j < 4; ++j) {
-            int idx = 4 * i + j;
-            int mf = kMf[rem][posClass(i, j)];
-            int v = w[idx];
-            int mag = (std::abs(v) * mf + f) >> qbits;
-            // Clamp to a sane range so entropy coding of corrupt
-            // streams stays bounded.
-            if (mag > 2048)
-                mag = 2048;
-            levels[idx] = static_cast<i16>(v < 0 ? -mag : mag);
-        }
-    }
+    simd::simdKernels().forwardQuant4x4(residual.data(), qp, intra,
+                                        levels.data());
     return levels;
 }
 
 Residual4x4
 inverseQuant4x4(const Residual4x4 &levels, int qp)
 {
-    int w[16];
-    const int shift = qp / 6;
-    const int rem = qp % 6;
-    for (int i = 0; i < 4; ++i) {
-        for (int j = 0; j < 4; ++j) {
-            int idx = 4 * i + j;
-            int v = kV[rem][posClass(i, j)];
-            w[idx] = (levels[idx] * v) << shift;
-        }
-    }
     Residual4x4 out{};
-    coreInverse(w, out);
+    simd::simdKernels().inverseQuant4x4(levels.data(), qp,
+                                        out.data());
     return out;
 }
 

@@ -3,6 +3,7 @@
 #include "common/parallel.h"
 #include "common/telemetry.h"
 #include "quality/psnr.h"
+#include "simd/dispatch.h"
 
 namespace videoapp {
 
@@ -26,6 +27,7 @@ prepareVideo(const Video &source, const EncoderConfig &config,
              const EccAssignment &assignment)
 {
     PreparedVideo prepared;
+    simd::simdNoteStage("prepare");
     {
         VA_TELEM_SCOPE("pipeline.encode");
         prepared.enc = encodeVideo(source, config);
@@ -70,6 +72,7 @@ storeAndRetrieve(const PreparedVideo &prepared,
                  const std::optional<EncryptionConfig> &encryption)
 {
     StorageOutcome outcome;
+    simd::simdNoteStage("store_retrieve");
 
     std::unique_ptr<StreamCryptor> cryptor;
     if (encryption) {
@@ -163,6 +166,7 @@ decodeStreams(const EncodedVideo &layout, const StreamSet &streams,
               const DecodeOptions &options)
 {
     EncodedVideo merged;
+    simd::simdNoteStage("decode");
     {
         VA_TELEM_SCOPE("pipeline.merge_streams");
         merged = mergeStreams(layout, streams);

@@ -1,0 +1,169 @@
+#include "simd/dispatch.h"
+
+#include "common/telemetry.h"
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+
+namespace videoapp {
+namespace simd {
+
+namespace {
+
+struct ActiveTable
+{
+    SimdKernels kernels;
+    SimdLevel level;
+};
+
+/** Compose the table for @p level (overlay up to that level). */
+SimdKernels
+composeTable(SimdLevel level)
+{
+    SimdKernels k;
+    fillScalarKernels(k);
+    if (level >= SimdLevel::Sse2)
+        fillSse2Kernels(k);
+    if (level >= SimdLevel::Avx2)
+        fillAvx2Kernels(k);
+    return k;
+}
+
+ActiveTable
+initActiveTable()
+{
+    SimdLevel level = simdMaxSupportedLevel();
+
+    const char *env = std::getenv("VIDEOAPP_SIMD");
+    SimdLevel requested;
+    if (env && simdParseLevel(env, &requested)) {
+        if (requested <= level) {
+            level = requested;
+        } else {
+            std::fprintf(stderr,
+                         "videoapp: VIDEOAPP_SIMD=%s not supported "
+                         "on this machine, using %s\n",
+                         env, simdLevelName(level));
+        }
+    } else if (env && *env && std::strcmp(env, "auto") != 0) {
+        std::fprintf(stderr,
+                     "videoapp: unknown VIDEOAPP_SIMD=%s "
+                     "(expected scalar|sse2|avx2|auto), using %s\n",
+                     env, simdLevelName(level));
+    }
+
+    telemetry::globalRegistry()
+        .counter(std::string("simd.active.") + simdLevelName(level))
+        .add(1);
+    return {composeTable(level), level};
+}
+
+const ActiveTable &
+activeTable()
+{
+    // Magic static: guaranteed one-time thread-safe initialization
+    // even when many threads race the first kernel call.
+    static const ActiveTable table = initActiveTable();
+    return table;
+}
+
+} // namespace
+
+const char *
+simdLevelName(SimdLevel level)
+{
+    switch (level) {
+    case SimdLevel::Sse2:
+        return "sse2";
+    case SimdLevel::Avx2:
+        return "avx2";
+    case SimdLevel::Scalar:
+    default:
+        return "scalar";
+    }
+}
+
+SimdLevel
+simdMaxSupportedLevel()
+{
+#if defined(__x86_64__) || defined(__i386__)
+    if (__builtin_cpu_supports("avx2")) {
+        SimdKernels probe;
+        fillScalarKernels(probe);
+        if (fillAvx2Kernels(probe))
+            return SimdLevel::Avx2;
+    }
+    if (__builtin_cpu_supports("sse2")) {
+        SimdKernels probe;
+        fillScalarKernels(probe);
+        if (fillSse2Kernels(probe))
+            return SimdLevel::Sse2;
+    }
+#endif
+    return SimdLevel::Scalar;
+}
+
+bool
+simdParseLevel(const char *text, SimdLevel *out)
+{
+    if (!text)
+        return false;
+    if (std::strcmp(text, "scalar") == 0) {
+        *out = SimdLevel::Scalar;
+        return true;
+    }
+    if (std::strcmp(text, "sse2") == 0) {
+        *out = SimdLevel::Sse2;
+        return true;
+    }
+    if (std::strcmp(text, "avx2") == 0) {
+        *out = SimdLevel::Avx2;
+        return true;
+    }
+    return false;
+}
+
+SimdLevel
+simdActiveLevel()
+{
+    return activeTable().level;
+}
+
+const SimdKernels &
+simdKernels()
+{
+    return activeTable().kernels;
+}
+
+const SimdKernels *
+simdKernelsFor(SimdLevel level)
+{
+    if (level > simdMaxSupportedLevel())
+        return nullptr;
+    static const SimdKernels scalar = composeTable(SimdLevel::Scalar);
+    static const SimdKernels sse2 = composeTable(SimdLevel::Sse2);
+    static const SimdKernels avx2 = composeTable(SimdLevel::Avx2);
+    switch (level) {
+    case SimdLevel::Sse2:
+        return &sse2;
+    case SimdLevel::Avx2:
+        return &avx2;
+    case SimdLevel::Scalar:
+    default:
+        return &scalar;
+    }
+}
+
+void
+simdNoteStage(const char *stage)
+{
+    telemetry::globalRegistry()
+        .counter(std::string("simd.") + stage + "." +
+                 simdLevelName(simdActiveLevel()))
+        .add(1);
+}
+
+} // namespace simd
+} // namespace videoapp

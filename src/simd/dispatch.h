@@ -1,0 +1,76 @@
+/**
+ * @file
+ * Runtime ISA selection for the SIMD kernel layer.
+ *
+ * The active kernel table is chosen once, on first use, from CPUID
+ * (highest ISA the machine supports among those compiled in) and the
+ * `VIDEOAPP_SIMD` environment variable (`scalar`, `sse2`, `avx2`, or
+ * `auto`), which can only lower the level — requesting an ISA the
+ * machine lacks falls back to the best supported one with a warning
+ * on stderr. Initialization is a C++ magic static, so concurrent
+ * first use from many threads is safe (pinned by SimdDispatchRace in
+ * tests/simd_test.cc under TSan).
+ *
+ * Callers in codec/ and storage/ grab the table with simdKernels()
+ * and call through its function pointers; tests can fetch a table
+ * pinned to a specific level with simdKernelsFor() to compare levels
+ * against the scalar oracle regardless of the environment.
+ */
+
+#ifndef VIDEOAPP_SIMD_DISPATCH_H_
+#define VIDEOAPP_SIMD_DISPATCH_H_
+
+#include "simd/kernels.h"
+
+namespace videoapp {
+namespace simd {
+
+/** ISA levels in strictly increasing capability order. */
+enum class SimdLevel
+{
+    Scalar = 0,
+    Sse2 = 1,
+    Avx2 = 2,
+};
+
+/** Stable lowercase name ("scalar", "sse2", "avx2"). */
+const char *simdLevelName(SimdLevel level);
+
+/**
+ * Highest level both compiled into this binary and supported by the
+ * running CPU. Scalar on non-x86 builds.
+ */
+SimdLevel simdMaxSupportedLevel();
+
+/**
+ * Parse a `VIDEOAPP_SIMD` value. Returns true and sets @p out for
+ * "scalar"/"sse2"/"avx2"; returns false for anything else (including
+ * "auto" and "", which mean no override).
+ */
+bool simdParseLevel(const char *text, SimdLevel *out);
+
+/** The level serving simdKernels(), fixed at first use. */
+SimdLevel simdActiveLevel();
+
+/** The active kernel table (env override + CPUID, cached). */
+const SimdKernels &simdKernels();
+
+/**
+ * The kernel table pinned to @p level, independent of the active
+ * selection. Null when the build machine cannot run that level (or
+ * it was not compiled in) — tests use this to enumerate testable
+ * levels.
+ */
+const SimdKernels *simdKernelsFor(SimdLevel level);
+
+/**
+ * Record in telemetry which ISA level served @p stage: bumps
+ * "simd.<stage>.<level>". Call once per coarse unit of work (per
+ * video, per scrub pass), not per kernel invocation.
+ */
+void simdNoteStage(const char *stage);
+
+} // namespace simd
+} // namespace videoapp
+
+#endif // VIDEOAPP_SIMD_DISPATCH_H_

@@ -1,0 +1,129 @@
+/**
+ * @file
+ * The kernel dispatch table of the SIMD layer: one function pointer
+ * per vectorizable hot kernel, filled per ISA level.
+ *
+ * Every kernel has a scalar implementation (the oracle the SIMD
+ * variants are fuzz-tested against, the same role BitVec plays for
+ * the packed BCH path) and optional SSE2/AVX2 overrides. Tables are
+ * composed by overlay: fillScalarKernels() defines every entry,
+ * fillSse2Kernels()/fillAvx2Kernels() replace only the entries they
+ * implement, so an ISA file never has to provide the full set and a
+ * non-x86 build degrades to all-scalar automatically.
+ *
+ * Kernel contracts are bit-exact: for identical inputs every level
+ * must produce identical outputs (tests/simd_test.cc pins this with
+ * randomized fuzz at every level available on the build machine).
+ * Pointer arguments are unaligned unless stated; callers guarantee
+ * the documented over-read windows (the six-tap kernels read a few
+ * samples beyond [0, count)).
+ */
+
+#ifndef VIDEOAPP_SIMD_KERNELS_H_
+#define VIDEOAPP_SIMD_KERNELS_H_
+
+#include <cstddef>
+
+#include "common/types.h"
+
+namespace videoapp {
+namespace simd {
+
+struct SimdKernels
+{
+    // --- codec: 4x4 transform + quantisation -------------------------
+    /** Forward H.264 core transform + quantisation (row major). */
+    void (*forwardQuant4x4)(const i16 residual[16], int qp,
+                            bool intra, i16 levels[16]);
+    /** Dequantisation + inverse transform with >>6 rounding. */
+    void (*inverseQuant4x4)(const i16 levels[16], int qp,
+                            i16 out[16]);
+
+    // --- codec: residual / reconstruction ----------------------------
+    /** res = src - pred over a 4x4 block (strided u8 inputs). */
+    void (*residual4x4)(const u8 *src, int src_stride, const u8 *pred,
+                        int pred_stride, i16 res[16]);
+    /** dst = clip255(pred + res) over a 4x4 block. */
+    void (*reconstruct4x4)(const u8 *pred, int pred_stride,
+                           const i16 res[16], u8 *dst,
+                           int dst_stride);
+
+    // --- codec: motion cost ------------------------------------------
+    /** Sum of absolute differences of a w x h rect (strided rows). */
+    long (*sadRect)(const u8 *a, int a_stride, const u8 *b,
+                    int b_stride, int w, int h);
+    /** SAD of a strided 4x4 source block vs 16 contiguous bytes. */
+    long (*sad4x4)(const u8 *src, int src_stride, const u8 *pred16);
+    /** out[i] = (a[i] + b[i] + 1) >> 1 (bi-prediction average). */
+    void (*averageU8)(const u8 *a, const u8 *b, int count, u8 *out);
+
+    // --- codec: quarter-pel interpolation ----------------------------
+    /**
+     * Horizontal half-sample row: out[i] = clip255((sixTap(src[i-2
+     * .. i+3]) + 16) >> 5). Reads src[-2 .. count+2].
+     */
+    void (*halfHRow)(const u8 *src, int count, u8 *out);
+    /**
+     * Vertical half-sample row at full precision: out[i] =
+     * sixTap(src[i - 2*stride .. i + 3*stride]) with no rounding or
+     * clipping (feeds the centre position's horizontal pass).
+     */
+    void (*halfVRowRaw)(const u8 *src, int stride, int count,
+                        i16 *out);
+    /** Vertical half-sample row, rounded: clip255((raw + 16) >> 5). */
+    void (*halfVRow)(const u8 *src, int stride, int count, u8 *out);
+    /**
+     * Centre (j) position: out[i] = clip255((sixTap(src[i-2 ..
+     * i+3]) + 512) >> 10) over raw i16 vertical half-samples, with
+     * 32-bit accumulation. Reads src[-2 .. count+2].
+     */
+    void (*sixTapHRowI16)(const i16 *src, int count, u8 *out);
+
+    // --- codec: deblocking -------------------------------------------
+    /**
+     * Filter @p count pixels of one edge. p1/p0 are the two sample
+     * rows on the p side (p0 adjacent to the edge), q0/q1 the q
+     * side; p0/q0 are updated in place. Matches the scalar
+     * filterEdge body: a lane is filtered only when |p0-q0| < alpha,
+     * |p1-p0| < beta and |q1-q0| < beta.
+     */
+    void (*deblockEdge)(u8 *p1, u8 *p0, u8 *q0, u8 *q1, int count,
+                        int alpha, int beta, int tc);
+
+    // --- storage: BCH ------------------------------------------------
+    /**
+     * Fold a packed codeword into the 2t syndromes: for every
+     * nonzero byte p, synd[i] ^= table[(p * 256 + cw[p]) * row + i].
+     */
+    void (*foldSyndromes)(const u8 *codeword, std::size_t nbytes,
+                          const u16 *table, std::size_t row,
+                          u16 *synd);
+    /**
+     * Log-domain Chien search over positions e = 0 .. n-1: at each
+     * position the locator value is constant XOR alog[acc[i]] over
+     * all terms, then acc[i] advances by step[i] mod 1023. Roots
+     * (position exponents e) are appended to @p roots until
+     * @p max_roots are found. @p alog holds alpha^0..alpha^1022 as
+     * i32 plus at least one padding entry. Returns the root count.
+     */
+    int (*chienScan)(i32 *acc, const i32 *step, int nterms,
+                     u16 constant, const i32 *alog, int n,
+                     int max_roots, i32 *roots);
+};
+
+/** Fill every entry with the scalar reference implementation. */
+void fillScalarKernels(SimdKernels &kernels);
+
+/**
+ * Overlay the SSE2 implementations. Returns false (table untouched)
+ * when the build carries no SSE2 code (non-x86 target).
+ */
+bool fillSse2Kernels(SimdKernels &kernels);
+
+/** Overlay the AVX2 implementations; false when not compiled in. */
+bool fillAvx2Kernels(SimdKernels &kernels);
+
+} // namespace simd
+} // namespace videoapp
+
+#endif // VIDEOAPP_SIMD_KERNELS_H_

@@ -1,0 +1,410 @@
+/**
+ * @file
+ * AVX2 implementations of the dispatch-table kernels.
+ *
+ * Compiled with -mavx2 and only ever called after a runtime CPUID
+ * check. AVX2 overlays the row-oriented kernels where the doubled
+ * lane width pays (SAD, interpolation rows, averages, syndrome
+ * folds) and adds the gather-based Chien search; the 4x4 block
+ * kernels keep their SSE2 forms, which the overlay composition in
+ * dispatch.cc inherits automatically.
+ */
+
+#include "simd/kernels.h"
+
+#if defined(__AVX2__)
+
+#include <immintrin.h>
+
+namespace videoapp {
+namespace simd {
+
+namespace {
+
+inline long
+hsum64(__m256i v)
+{
+    __m128i lo = _mm256_castsi256_si128(v);
+    __m128i hi = _mm256_extracti128_si256(v, 1);
+    __m128i sum = _mm_add_epi64(lo, hi);
+    return _mm_cvtsi128_si64(sum) +
+           _mm_cvtsi128_si64(_mm_unpackhi_epi64(sum, sum));
+}
+
+long
+avx2SadRect(const u8 *a, int a_stride, const u8 *b, int b_stride,
+            int w, int h)
+{
+    __m256i acc = _mm256_setzero_si256();
+    __m128i acc128 = _mm_setzero_si128();
+    long tail = 0;
+    int y = 0;
+    if (w == 16) {
+        // Two 16-pixel rows per 256-bit op, the dominant shape
+        // (whole-macroblock SAD in motion search).
+        for (; y + 2 <= h; y += 2) {
+            __m256i va = _mm256_inserti128_si256(
+                _mm256_castsi128_si256(_mm_loadu_si128(
+                    reinterpret_cast<const __m128i *>(
+                        a + y * a_stride))),
+                _mm_loadu_si128(reinterpret_cast<const __m128i *>(
+                    a + (y + 1) * a_stride)),
+                1);
+            __m256i vb = _mm256_inserti128_si256(
+                _mm256_castsi128_si256(_mm_loadu_si128(
+                    reinterpret_cast<const __m128i *>(
+                        b + y * b_stride))),
+                _mm_loadu_si128(reinterpret_cast<const __m128i *>(
+                    b + (y + 1) * b_stride)),
+                1);
+            acc = _mm256_add_epi64(acc, _mm256_sad_epu8(va, vb));
+        }
+    }
+    for (; y < h; ++y) {
+        const u8 *pa = a + y * a_stride;
+        const u8 *pb = b + y * b_stride;
+        int x = 0;
+        for (; x + 32 <= w; x += 32) {
+            __m256i va = _mm256_loadu_si256(
+                reinterpret_cast<const __m256i *>(pa + x));
+            __m256i vb = _mm256_loadu_si256(
+                reinterpret_cast<const __m256i *>(pb + x));
+            acc = _mm256_add_epi64(acc, _mm256_sad_epu8(va, vb));
+        }
+        if (x + 16 <= w) {
+            __m128i va = _mm_loadu_si128(
+                reinterpret_cast<const __m128i *>(pa + x));
+            __m128i vb = _mm_loadu_si128(
+                reinterpret_cast<const __m128i *>(pb + x));
+            acc128 = _mm_add_epi64(acc128, _mm_sad_epu8(va, vb));
+            x += 16;
+        }
+        if (x + 8 <= w) {
+            __m128i va = _mm_loadl_epi64(
+                reinterpret_cast<const __m128i *>(pa + x));
+            __m128i vb = _mm_loadl_epi64(
+                reinterpret_cast<const __m128i *>(pb + x));
+            acc128 = _mm_add_epi64(acc128, _mm_sad_epu8(va, vb));
+            x += 8;
+        }
+        if (x + 4 <= w) {
+            __m128i va = _mm_cvtsi32_si128(
+                *reinterpret_cast<const int *>(pa + x));
+            __m128i vb = _mm_cvtsi32_si128(
+                *reinterpret_cast<const int *>(pb + x));
+            acc128 = _mm_add_epi64(acc128, _mm_sad_epu8(va, vb));
+            x += 4;
+        }
+        for (; x < w; ++x)
+            tail += pa[x] < pb[x] ? pb[x] - pa[x] : pa[x] - pb[x];
+    }
+    return tail + hsum64(acc) + _mm_cvtsi128_si64(acc128) +
+           _mm_cvtsi128_si64(_mm_unpackhi_epi64(acc128, acc128));
+}
+
+void
+avx2AverageU8(const u8 *a, const u8 *b, int count, u8 *out)
+{
+    int i = 0;
+    for (; i + 32 <= count; i += 32) {
+        __m256i va = _mm256_loadu_si256(
+            reinterpret_cast<const __m256i *>(a + i));
+        __m256i vb = _mm256_loadu_si256(
+            reinterpret_cast<const __m256i *>(b + i));
+        _mm256_storeu_si256(reinterpret_cast<__m256i *>(out + i),
+                            _mm256_avg_epu8(va, vb));
+    }
+    for (; i + 16 <= count; i += 16) {
+        __m128i va = _mm_loadu_si128(
+            reinterpret_cast<const __m128i *>(a + i));
+        __m128i vb = _mm_loadu_si128(
+            reinterpret_cast<const __m128i *>(b + i));
+        _mm_storeu_si128(reinterpret_cast<__m128i *>(out + i),
+                         _mm_avg_epu8(va, vb));
+    }
+    for (; i < count; ++i)
+        out[i] = static_cast<u8>((a[i] + b[i] + 1) >> 1);
+}
+
+/** Six-tap in 16 i16 lanes (inputs are 8-bit samples). */
+inline __m256i
+sixTapI16(__m256i a, __m256i b, __m256i c, __m256i d, __m256i e,
+          __m256i f)
+{
+    __m256i centre = _mm256_add_epi16(c, d);
+    __m256i outer = _mm256_add_epi16(b, e);
+    __m256i centre20 = _mm256_add_epi16(
+        _mm256_slli_epi16(centre, 4), _mm256_slli_epi16(centre, 2));
+    __m256i outer5 =
+        _mm256_add_epi16(_mm256_slli_epi16(outer, 2), outer);
+    return _mm256_add_epi16(_mm256_add_epi16(a, f),
+                            _mm256_sub_epi16(centre20, outer5));
+}
+
+inline __m256i
+loadU8AsI16(const u8 *p)
+{
+    return _mm256_cvtepu8_epi16(
+        _mm_loadu_si128(reinterpret_cast<const __m128i *>(p)));
+}
+
+/** Pack 16 i16 lanes to clamped u8 in lane order. */
+inline __m128i
+packClamp16(__m256i v)
+{
+    __m256i packed = _mm256_packus_epi16(v, v);
+    packed = _mm256_permute4x64_epi64(packed, 0xD8); // 0,2,1,3
+    return _mm256_castsi256_si128(packed);
+}
+
+void
+avx2HalfHRow(const u8 *src, int count, u8 *out)
+{
+    const __m256i round = _mm256_set1_epi16(16);
+    int i = 0;
+    for (; i + 16 <= count; i += 16) {
+        __m256i raw = sixTapI16(
+            loadU8AsI16(src + i - 2), loadU8AsI16(src + i - 1),
+            loadU8AsI16(src + i), loadU8AsI16(src + i + 1),
+            loadU8AsI16(src + i + 2), loadU8AsI16(src + i + 3));
+        __m256i rounded =
+            _mm256_srai_epi16(_mm256_add_epi16(raw, round), 5);
+        _mm_storeu_si128(reinterpret_cast<__m128i *>(out + i),
+                         packClamp16(rounded));
+    }
+    for (; i < count; ++i) {
+        int raw = src[i - 2] - 5 * src[i - 1] + 20 * src[i] +
+                  20 * src[i + 1] - 5 * src[i + 2] + src[i + 3];
+        raw = (raw + 16) >> 5;
+        out[i] = static_cast<u8>(raw < 0 ? 0 : raw > 255 ? 255 : raw);
+    }
+}
+
+void
+avx2HalfVRowRaw(const u8 *src, int stride, int count, i16 *out)
+{
+    int i = 0;
+    for (; i + 16 <= count; i += 16) {
+        __m256i raw = sixTapI16(loadU8AsI16(src - 2 * stride + i),
+                                loadU8AsI16(src - stride + i),
+                                loadU8AsI16(src + i),
+                                loadU8AsI16(src + stride + i),
+                                loadU8AsI16(src + 2 * stride + i),
+                                loadU8AsI16(src + 3 * stride + i));
+        _mm256_storeu_si256(reinterpret_cast<__m256i *>(out + i),
+                            raw);
+    }
+    for (; i < count; ++i)
+        out[i] = static_cast<i16>(
+            src[i - 2 * stride] - 5 * src[i - stride] + 20 * src[i] +
+            20 * src[i + stride] - 5 * src[i + 2 * stride] +
+            src[i + 3 * stride]);
+}
+
+void
+avx2HalfVRow(const u8 *src, int stride, int count, u8 *out)
+{
+    const __m256i round = _mm256_set1_epi16(16);
+    int i = 0;
+    for (; i + 16 <= count; i += 16) {
+        __m256i raw = sixTapI16(loadU8AsI16(src - 2 * stride + i),
+                                loadU8AsI16(src - stride + i),
+                                loadU8AsI16(src + i),
+                                loadU8AsI16(src + stride + i),
+                                loadU8AsI16(src + 2 * stride + i),
+                                loadU8AsI16(src + 3 * stride + i));
+        __m256i rounded =
+            _mm256_srai_epi16(_mm256_add_epi16(raw, round), 5);
+        _mm_storeu_si128(reinterpret_cast<__m128i *>(out + i),
+                         packClamp16(rounded));
+    }
+    for (; i < count; ++i) {
+        int raw = src[i - 2 * stride] - 5 * src[i - stride] +
+                  20 * src[i] + 20 * src[i + stride] -
+                  5 * src[i + 2 * stride] + src[i + 3 * stride];
+        raw = (raw + 16) >> 5;
+        out[i] = static_cast<u8>(raw < 0 ? 0 : raw > 255 ? 255 : raw);
+    }
+}
+
+void
+avx2SixTapHRowI16(const i16 *src, int count, u8 *out)
+{
+    const __m256i coeff_ab = _mm256_setr_epi16(
+        1, -5, 1, -5, 1, -5, 1, -5, 1, -5, 1, -5, 1, -5, 1, -5);
+    const __m256i coeff_cd = _mm256_set1_epi16(20);
+    const __m256i coeff_ef = _mm256_setr_epi16(
+        -5, 1, -5, 1, -5, 1, -5, 1, -5, 1, -5, 1, -5, 1, -5, 1);
+    const __m256i round = _mm256_set1_epi32(512);
+    int i = 0;
+    for (; i + 16 <= count; i += 16) {
+        __m256i vm2 = _mm256_loadu_si256(
+            reinterpret_cast<const __m256i *>(src + i - 2));
+        __m256i vm1 = _mm256_loadu_si256(
+            reinterpret_cast<const __m256i *>(src + i - 1));
+        __m256i v0 = _mm256_loadu_si256(
+            reinterpret_cast<const __m256i *>(src + i));
+        __m256i v1 = _mm256_loadu_si256(
+            reinterpret_cast<const __m256i *>(src + i + 1));
+        __m256i v2 = _mm256_loadu_si256(
+            reinterpret_cast<const __m256i *>(src + i + 2));
+        __m256i v3 = _mm256_loadu_si256(
+            reinterpret_cast<const __m256i *>(src + i + 3));
+
+        // unpack works per 128-bit half; the halves stay in lane
+        // order because lo/hi results are recombined per half below.
+        __m256i ab_lo = _mm256_unpacklo_epi16(vm2, vm1);
+        __m256i ab_hi = _mm256_unpackhi_epi16(vm2, vm1);
+        __m256i cd_lo = _mm256_unpacklo_epi16(v0, v1);
+        __m256i cd_hi = _mm256_unpackhi_epi16(v0, v1);
+        __m256i ef_lo = _mm256_unpacklo_epi16(v2, v3);
+        __m256i ef_hi = _mm256_unpackhi_epi16(v2, v3);
+
+        __m256i lo = _mm256_add_epi32(
+            _mm256_add_epi32(_mm256_madd_epi16(ab_lo, coeff_ab),
+                             _mm256_madd_epi16(cd_lo, coeff_cd)),
+            _mm256_madd_epi16(ef_lo, coeff_ef));
+        __m256i hi = _mm256_add_epi32(
+            _mm256_add_epi32(_mm256_madd_epi16(ab_hi, coeff_ab),
+                             _mm256_madd_epi16(cd_hi, coeff_cd)),
+            _mm256_madd_epi16(ef_hi, coeff_ef));
+        lo = _mm256_srai_epi32(_mm256_add_epi32(lo, round), 10);
+        hi = _mm256_srai_epi32(_mm256_add_epi32(hi, round), 10);
+        // packs interleaves per 128-bit half, matching the lo/hi
+        // split above, so lanes come out in order.
+        __m256i packed16 = _mm256_packs_epi32(lo, hi);
+        _mm_storeu_si128(reinterpret_cast<__m128i *>(out + i),
+                         packClamp16(packed16));
+    }
+    for (; i < count; ++i) {
+        int raw = src[i - 2] - 5 * src[i - 1] + 20 * src[i] +
+                  20 * src[i + 1] - 5 * src[i + 2] + src[i + 3];
+        raw = (raw + 512) >> 10;
+        out[i] = static_cast<u8>(raw < 0 ? 0 : raw > 255 ? 255 : raw);
+    }
+}
+
+void
+avx2FoldSyndromes(const u8 *codeword, std::size_t nbytes,
+                  const u16 *table, std::size_t row, u16 *synd)
+{
+    for (std::size_t p = 0; p < nbytes; ++p) {
+        u8 v = codeword[p];
+        if (!v)
+            continue;
+        const u16 *entry = &table[(p * 256 + v) * row];
+        std::size_t i = 0;
+        for (; i + 16 <= row; i += 16) {
+            __m256i s = _mm256_loadu_si256(
+                reinterpret_cast<const __m256i *>(synd + i));
+            __m256i e = _mm256_loadu_si256(
+                reinterpret_cast<const __m256i *>(entry + i));
+            _mm256_storeu_si256(
+                reinterpret_cast<__m256i *>(synd + i),
+                _mm256_xor_si256(s, e));
+        }
+        for (; i + 8 <= row; i += 8) {
+            __m128i s = _mm_loadu_si128(
+                reinterpret_cast<const __m128i *>(synd + i));
+            __m128i e = _mm_loadu_si128(
+                reinterpret_cast<const __m128i *>(entry + i));
+            _mm_storeu_si128(reinterpret_cast<__m128i *>(synd + i),
+                             _mm_xor_si128(s, e));
+        }
+        for (; i < row; ++i)
+            synd[i] ^= entry[i];
+    }
+}
+
+int
+avx2ChienScan(i32 *acc, const i32 *step, int nterms, u16 constant,
+              const i32 *alog, int n, int max_roots, i32 *roots)
+{
+    constexpr i32 kOrder = 1023;
+    int found = 0;
+    // Vectorize across positions: evaluate 8 consecutive e at once.
+    // Per term the 8 exponents are acc + step * {0..7} mod 1023,
+    // resolved by conditional subtraction (max value 1022 + 7*1022
+    // < 8*1023), with the antilog looked up by gather.
+    const __m256i lane_idx = _mm256_setr_epi32(0, 1, 2, 3, 4, 5, 6,
+                                               7);
+    const __m256i zero = _mm256_setzero_si256();
+    int e = 0;
+    for (; e + 8 <= n && found < max_roots; e += 8) {
+        __m256i val = _mm256_set1_epi32(constant);
+        for (int i = 0; i < nterms; ++i) {
+            __m256i idx = _mm256_add_epi32(
+                _mm256_set1_epi32(acc[i]),
+                _mm256_mullo_epi32(_mm256_set1_epi32(step[i]),
+                                   lane_idx));
+            for (int bound = 4 * kOrder; bound >= kOrder;
+                 bound >>= 1) {
+                __m256i over = _mm256_cmpgt_epi32(
+                    idx, _mm256_set1_epi32(bound - 1));
+                idx = _mm256_sub_epi32(
+                    idx,
+                    _mm256_and_si256(over,
+                                     _mm256_set1_epi32(bound)));
+            }
+            val = _mm256_xor_si256(
+                val, _mm256_i32gather_epi32(alog, idx, 4));
+            acc[i] += 8 * step[i] % kOrder;
+            acc[i] %= kOrder;
+        }
+        __m256i is_zero = _mm256_cmpeq_epi32(val, zero);
+        unsigned mask = static_cast<unsigned>(
+            _mm256_movemask_ps(_mm256_castsi256_ps(is_zero)));
+        while (mask && found < max_roots) {
+            int lane = __builtin_ctz(mask);
+            mask &= mask - 1;
+            roots[found++] = e + lane;
+        }
+    }
+    for (; e < n && found < max_roots; ++e) {
+        i32 val = constant;
+        for (int i = 0; i < nterms; ++i) {
+            val ^= alog[acc[i]];
+            acc[i] += step[i];
+            if (acc[i] >= kOrder)
+                acc[i] -= kOrder;
+        }
+        if (val == 0)
+            roots[found++] = e;
+    }
+    return found;
+}
+
+} // namespace
+
+bool
+fillAvx2Kernels(SimdKernels &kernels)
+{
+    kernels.sadRect = avx2SadRect;
+    kernels.averageU8 = avx2AverageU8;
+    kernels.halfHRow = avx2HalfHRow;
+    kernels.halfVRowRaw = avx2HalfVRowRaw;
+    kernels.halfVRow = avx2HalfVRow;
+    kernels.sixTapHRowI16 = avx2SixTapHRowI16;
+    kernels.foldSyndromes = avx2FoldSyndromes;
+    kernels.chienScan = avx2ChienScan;
+    return true;
+}
+
+} // namespace simd
+} // namespace videoapp
+
+#else // !defined(__AVX2__)
+
+namespace videoapp {
+namespace simd {
+
+bool
+fillAvx2Kernels(SimdKernels &)
+{
+    return false;
+}
+
+} // namespace simd
+} // namespace videoapp
+
+#endif

@@ -1,0 +1,312 @@
+/**
+ * @file
+ * Scalar reference implementations of every dispatch-table kernel.
+ *
+ * These are the oracles: straight ports of the loops that used to
+ * live inline in codec/transform.cc, codec/inter.cc,
+ * codec/deblock.cc and storage/bch.cc, kept deliberately simple so
+ * the SIMD variants have an unambiguous ground truth. Do not
+ * "optimise" this file — change the SIMD files instead.
+ */
+
+#include "simd/kernels.h"
+
+#include <algorithm>
+#include <cstdlib>
+
+namespace videoapp {
+namespace simd {
+
+namespace {
+
+inline u8
+clampPixel(int v)
+{
+    return static_cast<u8>(std::clamp(v, 0, 255));
+}
+
+inline int
+sixTap(int a, int b, int c, int d, int e, int f)
+{
+    return a - 5 * b + 20 * c + 20 * d - 5 * e + f;
+}
+
+// Quantisation multiplier tables of the H.264 reference model
+// (mirrored from codec/transform.cc). Rows: qp % 6. Columns:
+// coefficient position class (a, b, c).
+constexpr int kMf[6][3] = {
+    {13107, 5243, 8066}, {11916, 4660, 7490}, {10082, 4194, 6554},
+    {9362, 3647, 5825},  {8192, 3355, 5243},  {7282, 2893, 4559},
+};
+
+constexpr int kV[6][3] = {
+    {10, 16, 13}, {11, 18, 14}, {13, 20, 16},
+    {14, 23, 18}, {16, 25, 20}, {18, 29, 23},
+};
+
+constexpr int
+posClass(int i, int j)
+{
+    bool even_i = (i & 1) == 0;
+    bool even_j = (j & 1) == 0;
+    if (even_i && even_j)
+        return 0;
+    if (!even_i && !even_j)
+        return 1;
+    return 2;
+}
+
+void
+scalarForwardQuant4x4(const i16 residual[16], int qp, bool intra,
+                      i16 levels[16])
+{
+    int w[16];
+    int tmp[16];
+    for (int i = 0; i < 4; ++i) {
+        int a = residual[4 * i], b = residual[4 * i + 1];
+        int c = residual[4 * i + 2], d = residual[4 * i + 3];
+        int s0 = a + d, s1 = b + c, s2 = b - c, s3 = a - d;
+        tmp[4 * i] = s0 + s1;
+        tmp[4 * i + 1] = 2 * s3 + s2;
+        tmp[4 * i + 2] = s0 - s1;
+        tmp[4 * i + 3] = s3 - 2 * s2;
+    }
+    for (int j = 0; j < 4; ++j) {
+        int a = tmp[j], b = tmp[4 + j], c = tmp[8 + j],
+            d = tmp[12 + j];
+        int s0 = a + d, s1 = b + c, s2 = b - c, s3 = a - d;
+        w[j] = s0 + s1;
+        w[4 + j] = 2 * s3 + s2;
+        w[8 + j] = s0 - s1;
+        w[12 + j] = s3 - 2 * s2;
+    }
+
+    const int qbits = 15 + qp / 6;
+    const int f = (1 << qbits) / (intra ? 3 : 6);
+    const int rem = qp % 6;
+    for (int i = 0; i < 4; ++i) {
+        for (int j = 0; j < 4; ++j) {
+            int idx = 4 * i + j;
+            int mf = kMf[rem][posClass(i, j)];
+            int v = w[idx];
+            int mag = (std::abs(v) * mf + f) >> qbits;
+            if (mag > 2048)
+                mag = 2048;
+            levels[idx] = static_cast<i16>(v < 0 ? -mag : mag);
+        }
+    }
+}
+
+void
+scalarInverseQuant4x4(const i16 levels[16], int qp, i16 out[16])
+{
+    int w[16];
+    const int shift = qp / 6;
+    const int rem = qp % 6;
+    for (int i = 0; i < 4; ++i) {
+        for (int j = 0; j < 4; ++j) {
+            int idx = 4 * i + j;
+            int v = kV[rem][posClass(i, j)];
+            w[idx] = (levels[idx] * v) << shift;
+        }
+    }
+    int tmp[16];
+    for (int i = 0; i < 4; ++i) {
+        int a = w[4 * i], b = w[4 * i + 1];
+        int c = w[4 * i + 2], d = w[4 * i + 3];
+        int s0 = a + c, s1 = a - c;
+        int s2 = (b >> 1) - d, s3 = b + (d >> 1);
+        tmp[4 * i] = s0 + s3;
+        tmp[4 * i + 1] = s1 + s2;
+        tmp[4 * i + 2] = s1 - s2;
+        tmp[4 * i + 3] = s0 - s3;
+    }
+    for (int j = 0; j < 4; ++j) {
+        int a = tmp[j], b = tmp[4 + j], c = tmp[8 + j],
+            d = tmp[12 + j];
+        int s0 = a + c, s1 = a - c;
+        int s2 = (b >> 1) - d, s3 = b + (d >> 1);
+        out[j] = static_cast<i16>((s0 + s3 + 32) >> 6);
+        out[4 + j] = static_cast<i16>((s1 + s2 + 32) >> 6);
+        out[8 + j] = static_cast<i16>((s1 - s2 + 32) >> 6);
+        out[12 + j] = static_cast<i16>((s0 - s3 + 32) >> 6);
+    }
+}
+
+void
+scalarResidual4x4(const u8 *src, int src_stride, const u8 *pred,
+                  int pred_stride, i16 res[16])
+{
+    for (int y = 0; y < 4; ++y)
+        for (int x = 0; x < 4; ++x)
+            res[4 * y + x] = static_cast<i16>(
+                static_cast<int>(src[y * src_stride + x]) -
+                static_cast<int>(pred[y * pred_stride + x]));
+}
+
+void
+scalarReconstruct4x4(const u8 *pred, int pred_stride,
+                     const i16 res[16], u8 *dst, int dst_stride)
+{
+    for (int y = 0; y < 4; ++y)
+        for (int x = 0; x < 4; ++x)
+            dst[y * dst_stride + x] = clampPixel(
+                static_cast<int>(pred[y * pred_stride + x]) +
+                res[4 * y + x]);
+}
+
+long
+scalarSadRect(const u8 *a, int a_stride, const u8 *b, int b_stride,
+              int w, int h)
+{
+    long sad = 0;
+    for (int y = 0; y < h; ++y)
+        for (int x = 0; x < w; ++x)
+            sad += std::abs(static_cast<int>(a[y * a_stride + x]) -
+                            static_cast<int>(b[y * b_stride + x]));
+    return sad;
+}
+
+long
+scalarSad4x4(const u8 *src, int src_stride, const u8 *pred16)
+{
+    long sad = 0;
+    for (int y = 0; y < 4; ++y)
+        for (int x = 0; x < 4; ++x)
+            sad +=
+                std::abs(static_cast<int>(src[y * src_stride + x]) -
+                         static_cast<int>(pred16[4 * y + x]));
+    return sad;
+}
+
+void
+scalarAverageU8(const u8 *a, const u8 *b, int count, u8 *out)
+{
+    for (int i = 0; i < count; ++i)
+        out[i] = static_cast<u8>((a[i] + b[i] + 1) >> 1);
+}
+
+void
+scalarHalfHRow(const u8 *src, int count, u8 *out)
+{
+    for (int i = 0; i < count; ++i) {
+        int raw = sixTap(src[i - 2], src[i - 1], src[i], src[i + 1],
+                         src[i + 2], src[i + 3]);
+        out[i] = clampPixel((raw + 16) >> 5);
+    }
+}
+
+void
+scalarHalfVRowRaw(const u8 *src, int stride, int count, i16 *out)
+{
+    const u8 *r0 = src - 2 * stride;
+    const u8 *r1 = src - stride;
+    const u8 *r2 = src;
+    const u8 *r3 = src + stride;
+    const u8 *r4 = src + 2 * stride;
+    const u8 *r5 = src + 3 * stride;
+    for (int i = 0; i < count; ++i)
+        out[i] = static_cast<i16>(
+            sixTap(r0[i], r1[i], r2[i], r3[i], r4[i], r5[i]));
+}
+
+void
+scalarHalfVRow(const u8 *src, int stride, int count, u8 *out)
+{
+    const u8 *r0 = src - 2 * stride;
+    const u8 *r1 = src - stride;
+    const u8 *r2 = src;
+    const u8 *r3 = src + stride;
+    const u8 *r4 = src + 2 * stride;
+    const u8 *r5 = src + 3 * stride;
+    for (int i = 0; i < count; ++i) {
+        int raw = sixTap(r0[i], r1[i], r2[i], r3[i], r4[i], r5[i]);
+        out[i] = clampPixel((raw + 16) >> 5);
+    }
+}
+
+void
+scalarSixTapHRowI16(const i16 *src, int count, u8 *out)
+{
+    for (int i = 0; i < count; ++i) {
+        int raw = sixTap(src[i - 2], src[i - 1], src[i], src[i + 1],
+                         src[i + 2], src[i + 3]);
+        out[i] = clampPixel((raw + 512) >> 10);
+    }
+}
+
+void
+scalarDeblockEdge(u8 *p1, u8 *p0, u8 *q0, u8 *q1, int count,
+                  int alpha, int beta, int tc)
+{
+    for (int i = 0; i < count; ++i) {
+        int vp1 = p1[i], vp0 = p0[i];
+        int vq0 = q0[i], vq1 = q1[i];
+        if (std::abs(vp0 - vq0) >= alpha ||
+            std::abs(vp1 - vp0) >= beta ||
+            std::abs(vq1 - vq0) >= beta)
+            continue;
+        int delta = std::clamp(
+            (((vq0 - vp0) * 4 + (vp1 - vq1) + 4) >> 3), -tc, tc);
+        p0[i] = clampPixel(vp0 + delta);
+        q0[i] = clampPixel(vq0 - delta);
+    }
+}
+
+void
+scalarFoldSyndromes(const u8 *codeword, std::size_t nbytes,
+                    const u16 *table, std::size_t row, u16 *synd)
+{
+    for (std::size_t p = 0; p < nbytes; ++p) {
+        u8 v = codeword[p];
+        if (!v)
+            continue;
+        const u16 *entry = &table[(p * 256 + v) * row];
+        for (std::size_t i = 0; i < row; ++i)
+            synd[i] ^= entry[i];
+    }
+}
+
+int
+scalarChienScan(i32 *acc, const i32 *step, int nterms, u16 constant,
+                const i32 *alog, int n, int max_roots, i32 *roots)
+{
+    constexpr i32 kOrder = 1023;
+    int found = 0;
+    for (int e = 0; e < n && found < max_roots; ++e) {
+        i32 val = constant;
+        for (int i = 0; i < nterms; ++i) {
+            val ^= alog[acc[i]];
+            acc[i] += step[i];
+            if (acc[i] >= kOrder)
+                acc[i] -= kOrder;
+        }
+        if (val == 0)
+            roots[found++] = e;
+    }
+    return found;
+}
+
+} // namespace
+
+void
+fillScalarKernels(SimdKernels &kernels)
+{
+    kernels.forwardQuant4x4 = scalarForwardQuant4x4;
+    kernels.inverseQuant4x4 = scalarInverseQuant4x4;
+    kernels.residual4x4 = scalarResidual4x4;
+    kernels.reconstruct4x4 = scalarReconstruct4x4;
+    kernels.sadRect = scalarSadRect;
+    kernels.sad4x4 = scalarSad4x4;
+    kernels.averageU8 = scalarAverageU8;
+    kernels.halfHRow = scalarHalfHRow;
+    kernels.halfVRowRaw = scalarHalfVRowRaw;
+    kernels.halfVRow = scalarHalfVRow;
+    kernels.sixTapHRowI16 = scalarSixTapHRowI16;
+    kernels.deblockEdge = scalarDeblockEdge;
+    kernels.foldSyndromes = scalarFoldSyndromes;
+    kernels.chienScan = scalarChienScan;
+}
+
+} // namespace simd
+} // namespace videoapp

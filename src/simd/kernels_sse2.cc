@@ -1,0 +1,663 @@
+/**
+ * @file
+ * SSE2 implementations of the dispatch-table kernels.
+ *
+ * Compiled with -msse2 on x86 targets (see simd/CMakeLists.txt) and
+ * selected at runtime only on machines that support the ISA, so the
+ * rest of the binary never executes these instructions. Every
+ * function is bit-exact against the scalar oracle in
+ * kernels_scalar.cc over the documented input domains; the notable
+ * exact-match tricks are called out inline (psadbw for SAD, pavgb
+ * for the +1-rounded average, packus for the 0..255 clamp, and
+ * sign-extend shifts to reproduce the scalar i16 wrap).
+ */
+
+#include "simd/kernels.h"
+
+#if defined(__SSE2__)
+
+#include <emmintrin.h>
+
+#include <cstring>
+
+namespace videoapp {
+namespace simd {
+
+namespace {
+
+/** 4x4 i16 transpose of the low 64 bits of r0..r3. */
+inline void
+transpose4x4LowI16(__m128i &r0, __m128i &r1, __m128i &r2, __m128i &r3)
+{
+    __m128i u0 = _mm_unpacklo_epi16(r0, r1); // a0 b0 a1 b1 a2 b2 a3 b3
+    __m128i u1 = _mm_unpacklo_epi16(r2, r3); // c0 d0 c1 d1 c2 d2 c3 d3
+    __m128i c01 = _mm_unpacklo_epi32(u0, u1); // col0 | col1
+    __m128i c23 = _mm_unpackhi_epi32(u0, u1); // col2 | col3
+    r0 = c01;
+    r1 = _mm_unpackhi_epi64(c01, c01);
+    r2 = c23;
+    r3 = _mm_unpackhi_epi64(c23, c23);
+}
+
+/** 4x4 i32 transpose (full registers). */
+inline void
+transpose4x4I32(__m128i &r0, __m128i &r1, __m128i &r2, __m128i &r3)
+{
+    __m128i u0 = _mm_unpacklo_epi32(r0, r1);
+    __m128i u1 = _mm_unpackhi_epi32(r0, r1);
+    __m128i u2 = _mm_unpacklo_epi32(r2, r3);
+    __m128i u3 = _mm_unpackhi_epi32(r2, r3);
+    r0 = _mm_unpacklo_epi64(u0, u2);
+    r1 = _mm_unpackhi_epi64(u0, u2);
+    r2 = _mm_unpacklo_epi64(u1, u3);
+    r3 = _mm_unpackhi_epi64(u1, u3);
+}
+
+// Quantisation tables, mirrored from the scalar oracle.
+constexpr int kMf[6][3] = {
+    {13107, 5243, 8066}, {11916, 4660, 7490}, {10082, 4194, 6554},
+    {9362, 3647, 5825},  {8192, 3355, 5243},  {7282, 2893, 4559},
+};
+
+constexpr int kV[6][3] = {
+    {10, 16, 13}, {11, 18, 14}, {13, 20, 16},
+    {14, 23, 18}, {16, 25, 20}, {18, 29, 23},
+};
+
+void
+sse2ForwardQuant4x4(const i16 residual[16], int qp, bool intra,
+                    i16 levels[16])
+{
+    // Core transform in i16 lanes: inputs are residuals of 8-bit
+    // samples (|r| <= 255), so every intermediate fits (|W| <=
+    // 9180).
+    __m128i r0 = _mm_loadl_epi64(
+        reinterpret_cast<const __m128i *>(residual + 0));
+    __m128i r1 = _mm_loadl_epi64(
+        reinterpret_cast<const __m128i *>(residual + 4));
+    __m128i r2 = _mm_loadl_epi64(
+        reinterpret_cast<const __m128i *>(residual + 8));
+    __m128i r3 = _mm_loadl_epi64(
+        reinterpret_cast<const __m128i *>(residual + 12));
+
+    // Row pass on element columns (A = element 0 of every row, ...).
+    transpose4x4LowI16(r0, r1, r2, r3);
+    __m128i s0 = _mm_add_epi16(r0, r3);
+    __m128i s1 = _mm_add_epi16(r1, r2);
+    __m128i s2 = _mm_sub_epi16(r1, r2);
+    __m128i s3 = _mm_sub_epi16(r0, r3);
+    __m128i t0 = _mm_add_epi16(s0, s1);
+    __m128i t1 = _mm_add_epi16(_mm_add_epi16(s3, s3), s2);
+    __m128i t2 = _mm_sub_epi16(s0, s1);
+    __m128i t3 = _mm_sub_epi16(s3, _mm_add_epi16(s2, s2));
+
+    // t0..t3 hold tmp columns; transpose back to tmp rows for the
+    // column pass, whose outputs are the W rows.
+    transpose4x4LowI16(t0, t1, t2, t3);
+    s0 = _mm_add_epi16(t0, t3);
+    s1 = _mm_add_epi16(t1, t2);
+    s2 = _mm_sub_epi16(t1, t2);
+    s3 = _mm_sub_epi16(t0, t3);
+    __m128i w0 = _mm_add_epi16(s0, s1);
+    __m128i w1 = _mm_add_epi16(_mm_add_epi16(s3, s3), s2);
+    __m128i w2 = _mm_sub_epi16(s0, s1);
+    __m128i w3 = _mm_sub_epi16(s3, _mm_add_epi16(s2, s2));
+
+    // Quantise rows 0/2 (position classes a c a c) and rows 1/3
+    // (c b c b) as two 8-lane registers.
+    const int rem = qp % 6;
+    const int qbits = 15 + qp / 6;
+    const int f = (1 << qbits) / (intra ? 3 : 6);
+    const i16 mf_a = static_cast<i16>(kMf[rem][0]);
+    const i16 mf_b = static_cast<i16>(kMf[rem][1]);
+    const i16 mf_c = static_cast<i16>(kMf[rem][2]);
+    const __m128i mf_even =
+        _mm_setr_epi16(mf_a, mf_c, mf_a, mf_c, mf_a, mf_c, mf_a,
+                       mf_c);
+    const __m128i mf_odd =
+        _mm_setr_epi16(mf_c, mf_b, mf_c, mf_b, mf_c, mf_b, mf_c,
+                       mf_b);
+    const __m128i fvec = _mm_set1_epi32(f);
+    const __m128i shift = _mm_cvtsi32_si128(qbits);
+    const __m128i clamp = _mm_set1_epi16(2048);
+
+    auto quant_pair = [&](__m128i w, __m128i mf) {
+        __m128i sign = _mm_srai_epi16(w, 15);
+        __m128i absw =
+            _mm_sub_epi16(_mm_xor_si128(w, sign), sign);
+        // 16x16 -> 32 multiply: abs(W) <= 9180 and mf <= 13107, so
+        // the unsigned lo/hi halves recombine exactly.
+        __m128i lo = _mm_mullo_epi16(absw, mf);
+        __m128i hi = _mm_mulhi_epu16(absw, mf);
+        __m128i prod_lo = _mm_unpacklo_epi16(lo, hi);
+        __m128i prod_hi = _mm_unpackhi_epi16(lo, hi);
+        prod_lo =
+            _mm_sra_epi32(_mm_add_epi32(prod_lo, fvec), shift);
+        prod_hi =
+            _mm_sra_epi32(_mm_add_epi32(prod_hi, fvec), shift);
+        // Magnitudes are < 4096, so the signed pack cannot saturate.
+        __m128i mag = _mm_packs_epi32(prod_lo, prod_hi);
+        mag = _mm_min_epi16(mag, clamp);
+        return _mm_sub_epi16(_mm_xor_si128(mag, sign), sign);
+    };
+
+    __m128i rows02 = _mm_unpacklo_epi64(w0, w2);
+    __m128i rows13 = _mm_unpacklo_epi64(w1, w3);
+    __m128i q02 = quant_pair(rows02, mf_even);
+    __m128i q13 = quant_pair(rows13, mf_odd);
+
+    _mm_storel_epi64(reinterpret_cast<__m128i *>(levels + 0), q02);
+    _mm_storel_epi64(reinterpret_cast<__m128i *>(levels + 4), q13);
+    _mm_storel_epi64(reinterpret_cast<__m128i *>(levels + 8),
+                     _mm_unpackhi_epi64(q02, q02));
+    _mm_storel_epi64(reinterpret_cast<__m128i *>(levels + 12),
+                     _mm_unpackhi_epi64(q13, q13));
+}
+
+void
+sse2InverseQuant4x4(const i16 levels[16], int qp, i16 out[16])
+{
+    const int rem = qp % 6;
+    const __m128i shift = _mm_cvtsi32_si128(qp / 6);
+    const i16 v_a = static_cast<i16>(kV[rem][0]);
+    const i16 v_b = static_cast<i16>(kV[rem][1]);
+    const i16 v_c = static_cast<i16>(kV[rem][2]);
+    const __m128i v_even =
+        _mm_setr_epi16(v_a, v_c, v_a, v_c, v_a, v_c, v_a, v_c);
+    const __m128i v_odd =
+        _mm_setr_epi16(v_c, v_b, v_c, v_b, v_c, v_b, v_c, v_b);
+
+    // Dequantise into i32 rows (levels * v << shift can exceed i16):
+    // load a row, multiply 16x16 -> 32 via mullo/mulhi, then apply
+    // the qp/6 left shift in 32-bit lanes.
+    auto dequant_row = [&](const i16 *src, __m128i v) {
+        __m128i l = _mm_loadl_epi64(
+            reinterpret_cast<const __m128i *>(src));
+        __m128i plo = _mm_mullo_epi16(l, v);
+        __m128i phi = _mm_mulhi_epi16(l, v);
+        return _mm_sll_epi32(_mm_unpacklo_epi16(plo, phi), shift);
+    };
+    __m128i w0 = dequant_row(levels + 0, v_even);
+    __m128i w1 = dequant_row(levels + 4, v_odd);
+    __m128i w2 = dequant_row(levels + 8, v_even);
+    __m128i w3 = dequant_row(levels + 12, v_odd);
+
+    // Inverse butterfly, identical structure to the scalar core but
+    // in i32 lanes. Row pass operates on element columns.
+    transpose4x4I32(w0, w1, w2, w3);
+    __m128i s0 = _mm_add_epi32(w0, w2);
+    __m128i s1 = _mm_sub_epi32(w0, w2);
+    __m128i s2 = _mm_sub_epi32(_mm_srai_epi32(w1, 1), w3);
+    __m128i s3 = _mm_add_epi32(w1, _mm_srai_epi32(w3, 1));
+    __m128i t0 = _mm_add_epi32(s0, s3);
+    __m128i t1 = _mm_add_epi32(s1, s2);
+    __m128i t2 = _mm_sub_epi32(s1, s2);
+    __m128i t3 = _mm_sub_epi32(s0, s3);
+
+    transpose4x4I32(t0, t1, t2, t3);
+    s0 = _mm_add_epi32(t0, t2);
+    s1 = _mm_sub_epi32(t0, t2);
+    s2 = _mm_sub_epi32(_mm_srai_epi32(t1, 1), t3);
+    s3 = _mm_add_epi32(t1, _mm_srai_epi32(t3, 1));
+    const __m128i round = _mm_set1_epi32(32);
+    __m128i o0 = _mm_srai_epi32(
+        _mm_add_epi32(_mm_add_epi32(s0, s3), round), 6);
+    __m128i o1 = _mm_srai_epi32(
+        _mm_add_epi32(_mm_add_epi32(s1, s2), round), 6);
+    __m128i o2 = _mm_srai_epi32(
+        _mm_add_epi32(_mm_sub_epi32(s1, s2), round), 6);
+    __m128i o3 = _mm_srai_epi32(
+        _mm_add_epi32(_mm_sub_epi32(s0, s3), round), 6);
+
+    // The scalar oracle casts to i16 (modular wrap). Reproduce the
+    // wrap with a sign-extend-from-16 so the signed pack below never
+    // saturates differently.
+    auto wrap16 = [](__m128i v) {
+        return _mm_srai_epi32(_mm_slli_epi32(v, 16), 16);
+    };
+    __m128i lo = _mm_packs_epi32(wrap16(o0), wrap16(o1));
+    __m128i hi = _mm_packs_epi32(wrap16(o2), wrap16(o3));
+    _mm_storeu_si128(reinterpret_cast<__m128i *>(out + 0), lo);
+    _mm_storeu_si128(reinterpret_cast<__m128i *>(out + 8), hi);
+}
+
+void
+sse2Residual4x4(const u8 *src, int src_stride, const u8 *pred,
+                int pred_stride, i16 res[16])
+{
+    const __m128i zero = _mm_setzero_si128();
+    for (int y = 0; y < 4; y += 2) {
+        __m128i s = _mm_unpacklo_epi32(
+            _mm_cvtsi32_si128(*reinterpret_cast<const int *>(
+                src + y * src_stride)),
+            _mm_cvtsi32_si128(*reinterpret_cast<const int *>(
+                src + (y + 1) * src_stride)));
+        __m128i p = _mm_unpacklo_epi32(
+            _mm_cvtsi32_si128(*reinterpret_cast<const int *>(
+                pred + y * pred_stride)),
+            _mm_cvtsi32_si128(*reinterpret_cast<const int *>(
+                pred + (y + 1) * pred_stride)));
+        __m128i s16 = _mm_unpacklo_epi8(s, zero);
+        __m128i p16 = _mm_unpacklo_epi8(p, zero);
+        _mm_storeu_si128(reinterpret_cast<__m128i *>(res + 4 * y),
+                         _mm_sub_epi16(s16, p16));
+    }
+}
+
+void
+sse2Reconstruct4x4(const u8 *pred, int pred_stride, const i16 res[16],
+                   u8 *dst, int dst_stride)
+{
+    const __m128i zero = _mm_setzero_si128();
+    for (int y = 0; y < 4; y += 2) {
+        __m128i p = _mm_unpacklo_epi32(
+            _mm_cvtsi32_si128(*reinterpret_cast<const int *>(
+                pred + y * pred_stride)),
+            _mm_cvtsi32_si128(*reinterpret_cast<const int *>(
+                pred + (y + 1) * pred_stride)));
+        __m128i p16 = _mm_unpacklo_epi8(p, zero);
+        __m128i r16 = _mm_loadu_si128(
+            reinterpret_cast<const __m128i *>(res + 4 * y));
+        // Saturating add + unsigned pack reproduce clamp(p + r, 0,
+        // 255) for every i16 residual.
+        __m128i sum = _mm_adds_epi16(p16, r16);
+        __m128i packed = _mm_packus_epi16(sum, sum);
+        *reinterpret_cast<int *>(dst + y * dst_stride) =
+            _mm_cvtsi128_si32(packed);
+        *reinterpret_cast<int *>(dst + (y + 1) * dst_stride) =
+            _mm_cvtsi128_si32(_mm_srli_si128(packed, 4));
+    }
+}
+
+long
+sse2SadRect(const u8 *a, int a_stride, const u8 *b, int b_stride,
+            int w, int h)
+{
+    __m128i acc = _mm_setzero_si128();
+    long tail = 0;
+    for (int y = 0; y < h; ++y) {
+        const u8 *pa = a + y * a_stride;
+        const u8 *pb = b + y * b_stride;
+        int x = 0;
+        for (; x + 16 <= w; x += 16) {
+            __m128i va = _mm_loadu_si128(
+                reinterpret_cast<const __m128i *>(pa + x));
+            __m128i vb = _mm_loadu_si128(
+                reinterpret_cast<const __m128i *>(pb + x));
+            acc = _mm_add_epi64(acc, _mm_sad_epu8(va, vb));
+        }
+        if (x + 8 <= w) {
+            __m128i va = _mm_loadl_epi64(
+                reinterpret_cast<const __m128i *>(pa + x));
+            __m128i vb = _mm_loadl_epi64(
+                reinterpret_cast<const __m128i *>(pb + x));
+            acc = _mm_add_epi64(acc, _mm_sad_epu8(va, vb));
+            x += 8;
+        }
+        if (x + 4 <= w) {
+            // Both tails are zero-padded, so the extra lanes
+            // contribute |0 - 0| = 0.
+            __m128i va = _mm_cvtsi32_si128(
+                *reinterpret_cast<const int *>(pa + x));
+            __m128i vb = _mm_cvtsi32_si128(
+                *reinterpret_cast<const int *>(pb + x));
+            acc = _mm_add_epi64(acc, _mm_sad_epu8(va, vb));
+            x += 4;
+        }
+        for (; x < w; ++x)
+            tail += pa[x] < pb[x] ? pb[x] - pa[x] : pa[x] - pb[x];
+    }
+    return tail + _mm_cvtsi128_si64(acc) +
+           _mm_cvtsi128_si64(_mm_unpackhi_epi64(acc, acc));
+}
+
+long
+sse2Sad4x4(const u8 *src, int src_stride, const u8 *pred16)
+{
+    __m128i s = _mm_setr_epi32(
+        *reinterpret_cast<const int *>(src),
+        *reinterpret_cast<const int *>(src + src_stride),
+        *reinterpret_cast<const int *>(src + 2 * src_stride),
+        *reinterpret_cast<const int *>(src + 3 * src_stride));
+    __m128i p = _mm_loadu_si128(
+        reinterpret_cast<const __m128i *>(pred16));
+    __m128i sad = _mm_sad_epu8(s, p);
+    return _mm_cvtsi128_si64(sad) +
+           _mm_cvtsi128_si64(_mm_unpackhi_epi64(sad, sad));
+}
+
+void
+sse2AverageU8(const u8 *a, const u8 *b, int count, u8 *out)
+{
+    int i = 0;
+    // pavgb computes (a + b + 1) >> 1 exactly.
+    for (; i + 16 <= count; i += 16) {
+        __m128i va = _mm_loadu_si128(
+            reinterpret_cast<const __m128i *>(a + i));
+        __m128i vb = _mm_loadu_si128(
+            reinterpret_cast<const __m128i *>(b + i));
+        _mm_storeu_si128(reinterpret_cast<__m128i *>(out + i),
+                         _mm_avg_epu8(va, vb));
+    }
+    for (; i < count; ++i)
+        out[i] = static_cast<u8>((a[i] + b[i] + 1) >> 1);
+}
+
+/**
+ * Six-tap over six i16 registers, staying in i16 (valid when the
+ * inputs are 8-bit samples: result range [-2550, 10710]).
+ */
+inline __m128i
+sixTapI16(__m128i a, __m128i b, __m128i c, __m128i d, __m128i e,
+          __m128i f)
+{
+    __m128i centre = _mm_add_epi16(c, d);
+    __m128i outer = _mm_add_epi16(b, e);
+    // 20x = 16x + 4x, 5x = 4x + x.
+    __m128i centre20 = _mm_add_epi16(_mm_slli_epi16(centre, 4),
+                                     _mm_slli_epi16(centre, 2));
+    __m128i outer5 =
+        _mm_add_epi16(_mm_slli_epi16(outer, 2), outer);
+    return _mm_add_epi16(_mm_add_epi16(a, f),
+                         _mm_sub_epi16(centre20, outer5));
+}
+
+void
+sse2HalfHRow(const u8 *src, int count, u8 *out)
+{
+    const __m128i zero = _mm_setzero_si128();
+    const __m128i round = _mm_set1_epi16(16);
+    int i = 0;
+    for (; i + 8 <= count; i += 8) {
+        auto load16 = [&](int off) {
+            return _mm_unpacklo_epi8(
+                _mm_loadl_epi64(reinterpret_cast<const __m128i *>(
+                    src + i + off)),
+                zero);
+        };
+        __m128i raw =
+            sixTapI16(load16(-2), load16(-1), load16(0), load16(1),
+                      load16(2), load16(3));
+        __m128i rounded =
+            _mm_srai_epi16(_mm_add_epi16(raw, round), 5);
+        _mm_storel_epi64(reinterpret_cast<__m128i *>(out + i),
+                         _mm_packus_epi16(rounded, rounded));
+    }
+    for (; i < count; ++i) {
+        int raw = src[i - 2] - 5 * src[i - 1] + 20 * src[i] +
+                  20 * src[i + 1] - 5 * src[i + 2] + src[i + 3];
+        raw = (raw + 16) >> 5;
+        out[i] = static_cast<u8>(raw < 0 ? 0 : raw > 255 ? 255 : raw);
+    }
+}
+
+void
+sse2HalfVRowRaw(const u8 *src, int stride, int count, i16 *out)
+{
+    const __m128i zero = _mm_setzero_si128();
+    int i = 0;
+    for (; i + 8 <= count; i += 8) {
+        auto load16 = [&](int row) {
+            return _mm_unpacklo_epi8(
+                _mm_loadl_epi64(reinterpret_cast<const __m128i *>(
+                    src + row * stride + i)),
+                zero);
+        };
+        __m128i raw =
+            sixTapI16(load16(-2), load16(-1), load16(0), load16(1),
+                      load16(2), load16(3));
+        _mm_storeu_si128(reinterpret_cast<__m128i *>(out + i), raw);
+    }
+    for (; i < count; ++i)
+        out[i] = static_cast<i16>(
+            src[i - 2 * stride] - 5 * src[i - stride] + 20 * src[i] +
+            20 * src[i + stride] - 5 * src[i + 2 * stride] +
+            src[i + 3 * stride]);
+}
+
+void
+sse2HalfVRow(const u8 *src, int stride, int count, u8 *out)
+{
+    const __m128i zero = _mm_setzero_si128();
+    const __m128i round = _mm_set1_epi16(16);
+    int i = 0;
+    for (; i + 8 <= count; i += 8) {
+        auto load16 = [&](int row) {
+            return _mm_unpacklo_epi8(
+                _mm_loadl_epi64(reinterpret_cast<const __m128i *>(
+                    src + row * stride + i)),
+                zero);
+        };
+        __m128i raw =
+            sixTapI16(load16(-2), load16(-1), load16(0), load16(1),
+                      load16(2), load16(3));
+        __m128i rounded =
+            _mm_srai_epi16(_mm_add_epi16(raw, round), 5);
+        _mm_storel_epi64(reinterpret_cast<__m128i *>(out + i),
+                         _mm_packus_epi16(rounded, rounded));
+    }
+    for (; i < count; ++i) {
+        int raw = src[i - 2 * stride] - 5 * src[i - stride] +
+                  20 * src[i] + 20 * src[i + stride] -
+                  5 * src[i + 2 * stride] + src[i + 3 * stride];
+        raw = (raw + 16) >> 5;
+        out[i] = static_cast<u8>(raw < 0 ? 0 : raw > 255 ? 255 : raw);
+    }
+}
+
+void
+sse2SixTapHRowI16(const i16 *src, int count, u8 *out)
+{
+    // Inputs are raw vertical half-samples, so the six-tap needs
+    // 32-bit accumulation. madd over interleaved neighbour pairs
+    // computes two taps per i32 lane.
+    const __m128i coeff_ab =
+        _mm_setr_epi16(1, -5, 1, -5, 1, -5, 1, -5);
+    const __m128i coeff_cd =
+        _mm_setr_epi16(20, 20, 20, 20, 20, 20, 20, 20);
+    const __m128i coeff_ef =
+        _mm_setr_epi16(-5, 1, -5, 1, -5, 1, -5, 1);
+    const __m128i round = _mm_set1_epi32(512);
+    int i = 0;
+    for (; i + 8 <= count; i += 8) {
+        __m128i vm2 = _mm_loadu_si128(
+            reinterpret_cast<const __m128i *>(src + i - 2));
+        __m128i vm1 = _mm_loadu_si128(
+            reinterpret_cast<const __m128i *>(src + i - 1));
+        __m128i v0 = _mm_loadu_si128(
+            reinterpret_cast<const __m128i *>(src + i));
+        __m128i v1 = _mm_loadu_si128(
+            reinterpret_cast<const __m128i *>(src + i + 1));
+        __m128i v2 = _mm_loadu_si128(
+            reinterpret_cast<const __m128i *>(src + i + 2));
+        __m128i v3 = _mm_loadu_si128(
+            reinterpret_cast<const __m128i *>(src + i + 3));
+
+        __m128i ab_lo = _mm_unpacklo_epi16(vm2, vm1);
+        __m128i ab_hi = _mm_unpackhi_epi16(vm2, vm1);
+        __m128i cd_lo = _mm_unpacklo_epi16(v0, v1);
+        __m128i cd_hi = _mm_unpackhi_epi16(v0, v1);
+        __m128i ef_lo = _mm_unpacklo_epi16(v2, v3);
+        __m128i ef_hi = _mm_unpackhi_epi16(v2, v3);
+
+        __m128i lo = _mm_add_epi32(
+            _mm_add_epi32(_mm_madd_epi16(ab_lo, coeff_ab),
+                          _mm_madd_epi16(cd_lo, coeff_cd)),
+            _mm_madd_epi16(ef_lo, coeff_ef));
+        __m128i hi = _mm_add_epi32(
+            _mm_add_epi32(_mm_madd_epi16(ab_hi, coeff_ab),
+                          _mm_madd_epi16(cd_hi, coeff_cd)),
+            _mm_madd_epi16(ef_hi, coeff_ef));
+        lo = _mm_srai_epi32(_mm_add_epi32(lo, round), 10);
+        hi = _mm_srai_epi32(_mm_add_epi32(hi, round), 10);
+        __m128i packed16 = _mm_packs_epi32(lo, hi);
+        _mm_storel_epi64(
+            reinterpret_cast<__m128i *>(out + i),
+            _mm_packus_epi16(packed16, packed16));
+    }
+    for (; i < count; ++i) {
+        int raw = src[i - 2] - 5 * src[i - 1] + 20 * src[i] +
+                  20 * src[i + 1] - 5 * src[i + 2] + src[i + 3];
+        raw = (raw + 512) >> 10;
+        out[i] = static_cast<u8>(raw < 0 ? 0 : raw > 255 ? 255 : raw);
+    }
+}
+
+void
+sse2DeblockEdge(u8 *p1, u8 *p0, u8 *q0, u8 *q1, int count, int alpha,
+                int beta, int tc)
+{
+    // Edges are 4 pixels in this codec; stage through 16-byte
+    // buffers so one 8-lane pass covers any count <= 16 without
+    // out-of-bounds loads.
+    if (count > 16) {
+        sse2DeblockEdge(p1, p0, q0, q1, 16, alpha, beta, tc);
+        sse2DeblockEdge(p1 + 16, p0 + 16, q0 + 16, q1 + 16,
+                        count - 16, alpha, beta, tc);
+        return;
+    }
+    alignas(16) u8 buf_p1[16] = {}, buf_p0[16] = {}, buf_q0[16] = {},
+                  buf_q1[16] = {};
+    std::memcpy(buf_p1, p1, static_cast<std::size_t>(count));
+    std::memcpy(buf_p0, p0, static_cast<std::size_t>(count));
+    std::memcpy(buf_q0, q0, static_cast<std::size_t>(count));
+    std::memcpy(buf_q1, q1, static_cast<std::size_t>(count));
+
+    const __m128i zero = _mm_setzero_si128();
+    __m128i vp1 = _mm_load_si128(
+        reinterpret_cast<const __m128i *>(buf_p1));
+    __m128i vp0 = _mm_load_si128(
+        reinterpret_cast<const __m128i *>(buf_p0));
+    __m128i vq0 = _mm_load_si128(
+        reinterpret_cast<const __m128i *>(buf_q0));
+    __m128i vq1 = _mm_load_si128(
+        reinterpret_cast<const __m128i *>(buf_q1));
+
+    // |a - b| for u8 without unsigned compares.
+    auto absdiff = [](__m128i a, __m128i b) {
+        return _mm_or_si128(_mm_subs_epu8(a, b),
+                            _mm_subs_epu8(b, a));
+    };
+    __m128i d_pq = absdiff(vp0, vq0);
+    __m128i d_p = absdiff(vp1, vp0);
+    __m128i d_q = absdiff(vq1, vq0);
+
+    auto below16 = [&](__m128i d, int bound, bool lo_half) {
+        __m128i d16 = lo_half ? _mm_unpacklo_epi8(d, zero)
+                              : _mm_unpackhi_epi8(d, zero);
+        return _mm_cmplt_epi16(d16, _mm_set1_epi16(
+                                        static_cast<i16>(bound)));
+    };
+
+    auto filter_half = [&](bool lo) {
+        __m128i p1w = lo ? _mm_unpacklo_epi8(vp1, zero)
+                         : _mm_unpackhi_epi8(vp1, zero);
+        __m128i p0w = lo ? _mm_unpacklo_epi8(vp0, zero)
+                         : _mm_unpackhi_epi8(vp0, zero);
+        __m128i q0w = lo ? _mm_unpacklo_epi8(vq0, zero)
+                         : _mm_unpackhi_epi8(vq0, zero);
+        __m128i q1w = lo ? _mm_unpacklo_epi8(vq1, zero)
+                         : _mm_unpackhi_epi8(vq1, zero);
+
+        __m128i mask = _mm_and_si128(
+            below16(d_pq, alpha, lo),
+            _mm_and_si128(below16(d_p, beta, lo),
+                          below16(d_q, beta, lo)));
+
+        __m128i diff = _mm_sub_epi16(q0w, p0w);
+        __m128i delta = _mm_add_epi16(
+            _mm_slli_epi16(diff, 2),
+            _mm_add_epi16(_mm_sub_epi16(p1w, q1w),
+                          _mm_set1_epi16(4)));
+        delta = _mm_srai_epi16(delta, 3);
+        __m128i tcv = _mm_set1_epi16(static_cast<i16>(tc));
+        delta = _mm_max_epi16(
+            _mm_min_epi16(delta, tcv),
+            _mm_sub_epi16(_mm_setzero_si128(), tcv));
+
+        __m128i new_p0 = _mm_add_epi16(p0w, delta);
+        __m128i new_q0 = _mm_sub_epi16(q0w, delta);
+        // Select filtered lanes, keep the originals elsewhere.
+        new_p0 = _mm_or_si128(_mm_and_si128(mask, new_p0),
+                              _mm_andnot_si128(mask, p0w));
+        new_q0 = _mm_or_si128(_mm_and_si128(mask, new_q0),
+                              _mm_andnot_si128(mask, q0w));
+        return std::make_pair(new_p0, new_q0);
+    };
+
+    auto [p0_lo, q0_lo] = filter_half(true);
+    auto [p0_hi, q0_hi] = filter_half(false);
+    _mm_store_si128(reinterpret_cast<__m128i *>(buf_p0),
+                    _mm_packus_epi16(p0_lo, p0_hi));
+    _mm_store_si128(reinterpret_cast<__m128i *>(buf_q0),
+                    _mm_packus_epi16(q0_lo, q0_hi));
+
+    std::memcpy(p0, buf_p0, static_cast<std::size_t>(count));
+    std::memcpy(q0, buf_q0, static_cast<std::size_t>(count));
+}
+
+void
+sse2FoldSyndromes(const u8 *codeword, std::size_t nbytes,
+                  const u16 *table, std::size_t row, u16 *synd)
+{
+    for (std::size_t p = 0; p < nbytes; ++p) {
+        u8 v = codeword[p];
+        if (!v)
+            continue;
+        const u16 *entry = &table[(p * 256 + v) * row];
+        std::size_t i = 0;
+        for (; i + 8 <= row; i += 8) {
+            __m128i s = _mm_loadu_si128(
+                reinterpret_cast<const __m128i *>(synd + i));
+            __m128i e = _mm_loadu_si128(
+                reinterpret_cast<const __m128i *>(entry + i));
+            _mm_storeu_si128(
+                reinterpret_cast<__m128i *>(synd + i),
+                _mm_xor_si128(s, e));
+        }
+        for (; i < row; ++i)
+            synd[i] ^= entry[i];
+    }
+}
+
+} // namespace
+
+bool
+fillSse2Kernels(SimdKernels &kernels)
+{
+    kernels.forwardQuant4x4 = sse2ForwardQuant4x4;
+    kernels.inverseQuant4x4 = sse2InverseQuant4x4;
+    kernels.residual4x4 = sse2Residual4x4;
+    kernels.reconstruct4x4 = sse2Reconstruct4x4;
+    kernels.sadRect = sse2SadRect;
+    kernels.sad4x4 = sse2Sad4x4;
+    kernels.averageU8 = sse2AverageU8;
+    kernels.halfHRow = sse2HalfHRow;
+    kernels.halfVRowRaw = sse2HalfVRowRaw;
+    kernels.halfVRow = sse2HalfVRow;
+    kernels.sixTapHRowI16 = sse2SixTapHRowI16;
+    kernels.deblockEdge = sse2DeblockEdge;
+    kernels.foldSyndromes = sse2FoldSyndromes;
+    // chienScan stays scalar at this level: SSE2 has no gather for
+    // the antilog lookups.
+    return true;
+}
+
+} // namespace simd
+} // namespace videoapp
+
+#else // !defined(__SSE2__)
+
+namespace videoapp {
+namespace simd {
+
+bool
+fillSse2Kernels(SimdKernels &)
+{
+    return false;
+}
+
+} // namespace simd
+} // namespace videoapp
+
+#endif

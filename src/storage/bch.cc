@@ -1,7 +1,10 @@
 #include "storage/bch.h"
 
 #include "common/telemetry.h"
+#include "simd/dispatch.h"
 
+#include <array>
+#include <atomic>
 #include <cassert>
 #include <map>
 #include <memory>
@@ -115,6 +118,29 @@ loadWordBe(const u8 *bytes, std::size_t available)
             w |= bytes[j];
     }
     return w;
+}
+
+/** Largest t the Chien term arrays are sized for. */
+constexpr int kMaxT = 58;
+
+/**
+ * The GF(1024) antilog table widened to i32 for the vectorized Chien
+ * scan (the AVX2 gather reads 32-bit elements), with one padding
+ * entry so an 8-lane gather whose tail lanes are masked off still
+ * stays in bounds.
+ */
+const i32 *
+paddedAlogI32()
+{
+    static const std::array<i32, Gf1024::kOrder + 1> table = [] {
+        std::array<i32, Gf1024::kOrder + 1> t{};
+        const Gf1024 &gf = Gf1024::instance();
+        for (int i = 0; i < Gf1024::kOrder; ++i)
+            t[static_cast<std::size_t>(i)] = gf.alphaPow(i);
+        t[Gf1024::kOrder] = 0;
+        return t;
+    }();
+    return table.data();
 }
 
 } // namespace
@@ -289,15 +315,9 @@ BchCode::decodeBytes(u8 *codeword) const
     // bits beyond n are zeroed inside the table).
     const std::size_t row = static_cast<std::size_t>(2 * t_);
     std::vector<u16> synd(row, 0);
-    for (std::size_t p = 0; p < nbytes; ++p) {
-        u8 v = codeword[p];
-        if (!v)
-            continue;
-        const u16 *entry =
-            &syndTable_[(p * 256 + v) * row];
-        for (std::size_t i = 0; i < row; ++i)
-            synd[i] ^= entry[i];
-    }
+    simd::simdKernels().foldSyndromes(codeword, nbytes,
+                                      syndTable_.data(), row,
+                                      synd.data());
 
     VA_TELEM_COUNT("storage.bch.blocks_decoded", 1);
 
@@ -363,8 +383,8 @@ BchCode::decodeBytes(u8 *codeword) const
     // term instead of a field multiply.
     u16 constant = 0;
     int nterms = 0;
-    int term_acc[2 * 58 + 1];
-    int term_step[2 * 58 + 1];
+    i32 term_acc[2 * kMaxT + 1];
+    i32 term_step[2 * kMaxT + 1];
     for (std::size_t i = 0; i < c.size(); ++i) {
         if (!c[i])
             continue;
@@ -378,29 +398,21 @@ BchCode::decodeBytes(u8 *codeword) const
             static_cast<int>(i) % Gf1024::kOrder;
         ++nterms;
     }
-    std::vector<int> error_positions;
-    for (int e = 0; e < n; ++e) {
-        u16 val = constant;
-        for (int i = 0; i < nterms; ++i) {
-            val ^= gf.alphaPow(term_acc[i]);
-            term_acc[i] += term_step[i];
-            if (term_acc[i] >= Gf1024::kOrder)
-                term_acc[i] -= Gf1024::kOrder;
-        }
-        if (val == 0) {
-            error_positions.push_back(n - 1 - e);
-            if (static_cast<int>(error_positions.size()) == l)
-                break;
-        }
-    }
+    i32 roots[kMaxT];
+    int found = simd::simdKernels().chienScan(
+        term_acc, term_step, nterms, constant, paddedAlogI32(), n, l,
+        roots);
 
-    if (static_cast<int>(error_positions.size()) != l) {
+    if (found != l) {
         VA_TELEM_COUNT("storage.bch.blocks_uncorrectable", 1);
         return {false, 0}; // locator has roots outside the block
     }
 
-    for (int pos : error_positions)
+    // Root exponent e locates the error at stored position n-1-e.
+    for (int i = 0; i < found; ++i) {
+        int pos = n - 1 - roots[i];
         codeword[pos / 8] ^= static_cast<u8>(0x80u >> (pos % 8));
+    }
     VA_TELEM_COUNT("storage.bch.bits_corrected",
                    static_cast<u64>(l));
     return {true, l};
@@ -541,6 +553,17 @@ BchCode::decodeReference(BitVec &codeword) const
 const BchCode &
 cachedBchCode(int t, int data_bits)
 {
+    // Lock-free fast path for the archive's standard geometry
+    // (512-bit cells): scrub and store loops hit this per cell, so
+    // repeat lookups must not contend on the cache mutex.
+    static std::atomic<const BchCode *> fast[kMaxT + 1] = {};
+    const bool fast_key = data_bits == 512 && t >= 1 && t <= kMaxT;
+    if (fast_key) {
+        const BchCode *code = fast[t].load(std::memory_order_acquire);
+        if (code)
+            return *code;
+    }
+
     static std::mutex mutex;
     static std::map<std::pair<int, int>, std::unique_ptr<BchCode>>
         cache;
@@ -552,6 +575,8 @@ cachedBchCode(int t, int data_bits)
                  .emplace(key,
                           std::make_unique<BchCode>(t, data_bits))
                  .first;
+    if (fast_key)
+        fast[t].store(it->second.get(), std::memory_order_release);
     return *it->second;
 }
 

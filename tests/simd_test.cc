@@ -1,0 +1,504 @@
+/**
+ * @file
+ * SIMD-vs-scalar equivalence fuzz: every kernel in the dispatch
+ * table must be bit-exact against the scalar oracle at every ISA
+ * level the build machine supports, including edge-size inputs
+ * (non-multiple-of-16 widths, single-pixel counts) and the extremes
+ * of each kernel's documented input domain. Also pins the
+ * thread-safety of first-use dispatch initialization (run under
+ * TSan in CI).
+ */
+
+#include "simd/dispatch.h"
+#include "simd/kernels.h"
+
+#include <algorithm>
+#include <array>
+#include <cstring>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "storage/gf.h"
+
+namespace videoapp {
+namespace {
+
+using simd::SimdKernels;
+using simd::SimdLevel;
+
+/** Every level the build machine can actually run. */
+std::vector<SimdLevel>
+availableLevels()
+{
+    std::vector<SimdLevel> out;
+    for (SimdLevel level : {SimdLevel::Scalar, SimdLevel::Sse2,
+                            SimdLevel::Avx2}) {
+        if (simd::simdKernelsFor(level))
+            out.push_back(level);
+    }
+    return out;
+}
+
+const SimdKernels &
+oracle()
+{
+    return *simd::simdKernelsFor(SimdLevel::Scalar);
+}
+
+/** Run @p check against every non-scalar level (scalar is the oracle
+ * and trivially matches itself). */
+template <typename Check>
+void
+forEachLevel(Check check)
+{
+    for (SimdLevel level : availableLevels()) {
+        const SimdKernels &k = *simd::simdKernelsFor(level);
+        check(k, simd::simdLevelName(level));
+    }
+}
+
+u8
+randomU8(Rng &rng)
+{
+    return static_cast<u8>(rng.nextBelow(256));
+}
+
+std::vector<u8>
+randomBytes(Rng &rng, std::size_t count)
+{
+    std::vector<u8> out(count);
+    for (u8 &b : out)
+        b = randomU8(rng);
+    return out;
+}
+
+TEST(SimdDispatchTest, ActiveLevelIsSupported)
+{
+    EXPECT_LE(simd::simdActiveLevel(), simd::simdMaxSupportedLevel());
+    EXPECT_NE(simd::simdKernels().forwardQuant4x4, nullptr);
+    EXPECT_NE(simd::simdKernels().chienScan, nullptr);
+}
+
+TEST(SimdDispatchTest, ParseLevelNames)
+{
+    SimdLevel level;
+    EXPECT_TRUE(simd::simdParseLevel("scalar", &level));
+    EXPECT_EQ(level, SimdLevel::Scalar);
+    EXPECT_TRUE(simd::simdParseLevel("sse2", &level));
+    EXPECT_EQ(level, SimdLevel::Sse2);
+    EXPECT_TRUE(simd::simdParseLevel("avx2", &level));
+    EXPECT_EQ(level, SimdLevel::Avx2);
+    EXPECT_FALSE(simd::simdParseLevel("auto", &level));
+    EXPECT_FALSE(simd::simdParseLevel("", &level));
+    EXPECT_FALSE(simd::simdParseLevel(nullptr, &level));
+}
+
+TEST(SimdDispatchTest, EveryLevelTableIsComplete)
+{
+    forEachLevel([](const SimdKernels &k, const char *) {
+        EXPECT_NE(k.forwardQuant4x4, nullptr);
+        EXPECT_NE(k.inverseQuant4x4, nullptr);
+        EXPECT_NE(k.residual4x4, nullptr);
+        EXPECT_NE(k.reconstruct4x4, nullptr);
+        EXPECT_NE(k.sadRect, nullptr);
+        EXPECT_NE(k.sad4x4, nullptr);
+        EXPECT_NE(k.averageU8, nullptr);
+        EXPECT_NE(k.halfHRow, nullptr);
+        EXPECT_NE(k.halfVRowRaw, nullptr);
+        EXPECT_NE(k.halfVRow, nullptr);
+        EXPECT_NE(k.sixTapHRowI16, nullptr);
+        EXPECT_NE(k.deblockEdge, nullptr);
+        EXPECT_NE(k.foldSyndromes, nullptr);
+        EXPECT_NE(k.chienScan, nullptr);
+    });
+}
+
+/** First-use init racing from many threads, at every level (the
+ * ctest TSan leg runs this with -R Simd). */
+TEST(SimdDispatchTest, ConcurrentFirstUseIsSafe)
+{
+    constexpr int kThreads = 8;
+    std::vector<std::thread> threads;
+    threads.reserve(kThreads);
+    std::array<long, kThreads> sums{};
+    for (int t = 0; t < kThreads; ++t) {
+        threads.emplace_back([t, &sums] {
+            Rng rng(0x5151u); // same data in every thread
+            (void)t;
+            std::vector<u8> a = randomBytes(rng, 256);
+            std::vector<u8> b = randomBytes(rng, 256);
+            long sum = 0;
+            for (int iter = 0; iter < 50; ++iter) {
+                // Race the active table and the per-level tables.
+                const SimdKernels &active = simd::simdKernels();
+                sum += active.sadRect(a.data(), 16, b.data(), 16, 16,
+                                      16);
+                for (SimdLevel level :
+                     {SimdLevel::Scalar, SimdLevel::Sse2,
+                      SimdLevel::Avx2}) {
+                    const SimdKernels *k =
+                        simd::simdKernelsFor(level);
+                    if (k)
+                        sum += k->sad4x4(a.data(), 16, b.data());
+                }
+                simd::simdNoteStage("test");
+            }
+            sums[static_cast<std::size_t>(t)] = sum;
+        });
+    }
+    for (auto &thread : threads)
+        thread.join();
+    for (int t = 1; t < kThreads; ++t)
+        EXPECT_EQ(sums[0], sums[static_cast<std::size_t>(t)]);
+}
+
+TEST(SimdKernelsTest, ForwardQuant4x4MatchesScalar)
+{
+    Rng rng(1);
+    for (int iter = 0; iter < 2000; ++iter) {
+        std::array<i16, 16> res;
+        for (i16 &v : res) // domain: residuals of u8 pixels
+            v = static_cast<i16>(
+                static_cast<int>(rng.nextBelow(511)) - 255);
+        int qp = static_cast<int>(rng.nextBelow(52));
+        bool intra = rng.nextBelow(2) == 0;
+        std::array<i16, 16> want;
+        oracle().forwardQuant4x4(res.data(), qp, intra, want.data());
+        forEachLevel([&](const SimdKernels &k, const char *name) {
+            std::array<i16, 16> got;
+            k.forwardQuant4x4(res.data(), qp, intra, got.data());
+            ASSERT_EQ(want, got) << name << " qp=" << qp;
+        });
+    }
+}
+
+TEST(SimdKernelsTest, InverseQuant4x4MatchesScalar)
+{
+    Rng rng(2);
+    for (int iter = 0; iter < 2000; ++iter) {
+        std::array<i16, 16> levels;
+        for (i16 &v : levels) // domain: encoder clamps |level|<=2048
+            v = static_cast<i16>(
+                static_cast<int>(rng.nextBelow(4097)) - 2048);
+        int qp = static_cast<int>(rng.nextBelow(52));
+        std::array<i16, 16> want;
+        oracle().inverseQuant4x4(levels.data(), qp, want.data());
+        forEachLevel([&](const SimdKernels &k, const char *name) {
+            std::array<i16, 16> got;
+            k.inverseQuant4x4(levels.data(), qp, got.data());
+            ASSERT_EQ(want, got) << name << " qp=" << qp;
+        });
+    }
+}
+
+TEST(SimdKernelsTest, RoundTripQuantIsLevelIndependent)
+{
+    // forward -> inverse at each level equals the scalar round trip
+    // (the end-to-end property the encoder relies on).
+    Rng rng(3);
+    for (int iter = 0; iter < 500; ++iter) {
+        std::array<i16, 16> res;
+        for (i16 &v : res)
+            v = static_cast<i16>(
+                static_cast<int>(rng.nextBelow(511)) - 255);
+        int qp = static_cast<int>(rng.nextBelow(52));
+        std::array<i16, 16> lv_want, rt_want;
+        oracle().forwardQuant4x4(res.data(), qp, true, lv_want.data());
+        oracle().inverseQuant4x4(lv_want.data(), qp, rt_want.data());
+        forEachLevel([&](const SimdKernels &k, const char *name) {
+            std::array<i16, 16> lv, rt;
+            k.forwardQuant4x4(res.data(), qp, true, lv.data());
+            k.inverseQuant4x4(lv.data(), qp, rt.data());
+            ASSERT_EQ(rt_want, rt) << name;
+        });
+    }
+}
+
+TEST(SimdKernelsTest, Residual4x4MatchesScalar)
+{
+    Rng rng(4);
+    for (int iter = 0; iter < 1000; ++iter) {
+        int src_stride = 4 + static_cast<int>(rng.nextBelow(29));
+        int pred_stride = 4 + static_cast<int>(rng.nextBelow(29));
+        std::vector<u8> src =
+            randomBytes(rng, static_cast<std::size_t>(src_stride) * 4);
+        std::vector<u8> pred = randomBytes(
+            rng, static_cast<std::size_t>(pred_stride) * 4);
+        std::array<i16, 16> want;
+        oracle().residual4x4(src.data(), src_stride, pred.data(),
+                             pred_stride, want.data());
+        forEachLevel([&](const SimdKernels &k, const char *name) {
+            std::array<i16, 16> got;
+            k.residual4x4(src.data(), src_stride, pred.data(),
+                          pred_stride, got.data());
+            ASSERT_EQ(want, got) << name;
+        });
+    }
+}
+
+TEST(SimdKernelsTest, Reconstruct4x4MatchesScalar)
+{
+    Rng rng(5);
+    for (int iter = 0; iter < 1000; ++iter) {
+        int pred_stride = 4 + static_cast<int>(rng.nextBelow(13));
+        int dst_stride = 4 + static_cast<int>(rng.nextBelow(13));
+        std::vector<u8> pred = randomBytes(
+            rng, static_cast<std::size_t>(pred_stride) * 4);
+        std::array<i16, 16> res;
+        for (i16 &v : res) // full i16 range: clamp must hold anywhere
+            v = static_cast<i16>(rng.nextBelow(65536));
+        std::vector<u8> want(static_cast<std::size_t>(dst_stride) * 4,
+                             0);
+        std::vector<u8> got = want;
+        oracle().reconstruct4x4(pred.data(), pred_stride, res.data(),
+                                want.data(), dst_stride);
+        forEachLevel([&](const SimdKernels &k, const char *name) {
+            std::fill(got.begin(), got.end(), 0);
+            k.reconstruct4x4(pred.data(), pred_stride, res.data(),
+                             got.data(), dst_stride);
+            ASSERT_EQ(want, got) << name;
+        });
+    }
+}
+
+TEST(SimdKernelsTest, SadRectMatchesScalarAtEverySize)
+{
+    Rng rng(6);
+    for (int iter = 0; iter < 400; ++iter) {
+        // Odd widths and single-pixel sizes are the edge cases.
+        int w = 1 + static_cast<int>(rng.nextBelow(48));
+        int h = 1 + static_cast<int>(rng.nextBelow(20));
+        int a_stride = w + static_cast<int>(rng.nextBelow(9));
+        int b_stride = w + static_cast<int>(rng.nextBelow(9));
+        std::vector<u8> a = randomBytes(
+            rng, static_cast<std::size_t>(a_stride) * h);
+        std::vector<u8> b = randomBytes(
+            rng, static_cast<std::size_t>(b_stride) * h);
+        long want = oracle().sadRect(a.data(), a_stride, b.data(),
+                                     b_stride, w, h);
+        forEachLevel([&](const SimdKernels &k, const char *name) {
+            ASSERT_EQ(want, k.sadRect(a.data(), a_stride, b.data(),
+                                      b_stride, w, h))
+                << name << " w=" << w << " h=" << h;
+        });
+    }
+}
+
+TEST(SimdKernelsTest, Sad4x4MatchesScalar)
+{
+    Rng rng(7);
+    for (int iter = 0; iter < 1000; ++iter) {
+        int stride = 4 + static_cast<int>(rng.nextBelow(29));
+        std::vector<u8> src =
+            randomBytes(rng, static_cast<std::size_t>(stride) * 4);
+        std::vector<u8> pred = randomBytes(rng, 16);
+        long want = oracle().sad4x4(src.data(), stride, pred.data());
+        forEachLevel([&](const SimdKernels &k, const char *name) {
+            ASSERT_EQ(want, k.sad4x4(src.data(), stride, pred.data()))
+                << name;
+        });
+    }
+}
+
+TEST(SimdKernelsTest, AverageU8MatchesScalarAtEveryCount)
+{
+    Rng rng(8);
+    for (int count = 1; count <= 67; ++count) {
+        std::vector<u8> a =
+            randomBytes(rng, static_cast<std::size_t>(count));
+        std::vector<u8> b =
+            randomBytes(rng, static_cast<std::size_t>(count));
+        std::vector<u8> want(static_cast<std::size_t>(count), 0);
+        oracle().averageU8(a.data(), b.data(), count, want.data());
+        forEachLevel([&](const SimdKernels &k, const char *name) {
+            std::vector<u8> got(static_cast<std::size_t>(count), 0);
+            k.averageU8(a.data(), b.data(), count, got.data());
+            ASSERT_EQ(want, got) << name << " count=" << count;
+        });
+        // In-place form used by bi-prediction averaging.
+        std::vector<u8> in_place = a;
+        oracle().averageU8(in_place.data(), b.data(), count,
+                           in_place.data());
+        ASSERT_EQ(want, in_place);
+    }
+}
+
+TEST(SimdKernelsTest, HalfHRowMatchesScalar)
+{
+    Rng rng(9);
+    for (int count = 1; count <= 33; ++count) {
+        // The kernel reads src[-2 .. count+2].
+        std::vector<u8> buf =
+            randomBytes(rng, static_cast<std::size_t>(count) + 5);
+        const u8 *src = buf.data() + 2;
+        std::vector<u8> want(static_cast<std::size_t>(count), 0);
+        oracle().halfHRow(src, count, want.data());
+        forEachLevel([&](const SimdKernels &k, const char *name) {
+            std::vector<u8> got(static_cast<std::size_t>(count), 0);
+            k.halfHRow(src, count, got.data());
+            ASSERT_EQ(want, got) << name << " count=" << count;
+        });
+    }
+}
+
+TEST(SimdKernelsTest, HalfVRowsMatchScalar)
+{
+    Rng rng(10);
+    for (int count = 1; count <= 33; ++count) {
+        int stride = count + static_cast<int>(rng.nextBelow(5));
+        // Rows -2 .. +3 around the sample row.
+        std::vector<u8> buf = randomBytes(
+            rng, static_cast<std::size_t>(stride) * 6);
+        const u8 *src = buf.data() +
+                        static_cast<std::size_t>(stride) * 2;
+        std::vector<i16> want_raw(static_cast<std::size_t>(count), 0);
+        std::vector<u8> want(static_cast<std::size_t>(count), 0);
+        oracle().halfVRowRaw(src, stride, count, want_raw.data());
+        oracle().halfVRow(src, stride, count, want.data());
+        forEachLevel([&](const SimdKernels &k, const char *name) {
+            std::vector<i16> raw(static_cast<std::size_t>(count), 0);
+            std::vector<u8> got(static_cast<std::size_t>(count), 0);
+            k.halfVRowRaw(src, stride, count, raw.data());
+            k.halfVRow(src, stride, count, got.data());
+            ASSERT_EQ(want_raw, raw) << name << " count=" << count;
+            ASSERT_EQ(want, got) << name << " count=" << count;
+        });
+    }
+}
+
+TEST(SimdKernelsTest, SixTapHRowI16MatchesScalar)
+{
+    Rng rng(11);
+    for (int count = 1; count <= 33; ++count) {
+        // Domain: raw vertical half-samples of u8 input lie in
+        // [-2550, 10710]; include both extremes.
+        std::vector<i16> buf(static_cast<std::size_t>(count) + 5);
+        for (i16 &v : buf)
+            v = static_cast<i16>(
+                static_cast<long>(rng.nextBelow(10710 + 2550 + 1)) -
+                2550);
+        buf[0] = -2550;
+        buf[buf.size() - 1] = 10710;
+        const i16 *src = buf.data() + 2;
+        std::vector<u8> want(static_cast<std::size_t>(count), 0);
+        oracle().sixTapHRowI16(src, count, want.data());
+        forEachLevel([&](const SimdKernels &k, const char *name) {
+            std::vector<u8> got(static_cast<std::size_t>(count), 0);
+            k.sixTapHRowI16(src, count, got.data());
+            ASSERT_EQ(want, got) << name << " count=" << count;
+        });
+    }
+}
+
+TEST(SimdKernelsTest, DeblockEdgeMatchesScalar)
+{
+    Rng rng(12);
+    for (int iter = 0; iter < 1500; ++iter) {
+        int count = 1 + static_cast<int>(rng.nextBelow(20));
+        int alpha = static_cast<int>(rng.nextBelow(40));
+        int beta = static_cast<int>(rng.nextBelow(19));
+        int tc = 1 + static_cast<int>(rng.nextBelow(6));
+        std::size_t n = static_cast<std::size_t>(count);
+        std::vector<u8> p1 = randomBytes(rng, n);
+        std::vector<u8> q1 = randomBytes(rng, n);
+        // Keep many lanes near each other so the filter actually
+        // fires (pure random rarely passes the alpha/beta gates).
+        std::vector<u8> p0(n), q0(n);
+        for (std::size_t i = 0; i < n; ++i) {
+            p0[i] = randomU8(rng);
+            q0[i] = static_cast<u8>(std::clamp(
+                static_cast<int>(p0[i]) +
+                    static_cast<int>(rng.nextBelow(17)) - 8,
+                0, 255));
+        }
+        std::vector<u8> wp0 = p0, wq0 = q0;
+        oracle().deblockEdge(p1.data(), wp0.data(), wq0.data(),
+                             q1.data(), count, alpha, beta, tc);
+        forEachLevel([&](const SimdKernels &k, const char *name) {
+            std::vector<u8> gp0 = p0, gq0 = q0;
+            k.deblockEdge(p1.data(), gp0.data(), gq0.data(),
+                          q1.data(), count, alpha, beta, tc);
+            ASSERT_EQ(wp0, gp0) << name << " count=" << count;
+            ASSERT_EQ(wq0, gq0) << name << " count=" << count;
+        });
+    }
+}
+
+TEST(SimdKernelsTest, FoldSyndromesMatchesScalar)
+{
+    Rng rng(13);
+    for (std::size_t row : {std::size_t{2}, std::size_t{6},
+                            std::size_t{12}, std::size_t{24}}) {
+        for (int iter = 0; iter < 40; ++iter) {
+            std::size_t nbytes = 1 + rng.nextBelow(80);
+            std::vector<u16> table(nbytes * 256 * row);
+            for (u16 &v : table)
+                v = static_cast<u16>(rng.nextBelow(1024));
+            std::vector<u8> codeword = randomBytes(rng, nbytes);
+            if (iter % 4 == 0) // zero bytes take the skip path
+                for (std::size_t i = 0; i < nbytes; i += 2)
+                    codeword[i] = 0;
+            std::vector<u16> want(row, 0);
+            oracle().foldSyndromes(codeword.data(), nbytes,
+                                   table.data(), row, want.data());
+            forEachLevel([&](const SimdKernels &k, const char *name) {
+                std::vector<u16> got(row, 0);
+                k.foldSyndromes(codeword.data(), nbytes, table.data(),
+                                row, got.data());
+                ASSERT_EQ(want, got)
+                    << name << " row=" << row << " nbytes=" << nbytes;
+            });
+        }
+    }
+}
+
+TEST(SimdKernelsTest, ChienScanMatchesScalar)
+{
+    // Real GF(1024) antilog table, widened and padded as the BCH
+    // decoder does.
+    std::vector<i32> alog(Gf1024::kOrder + 1, 0);
+    const Gf1024 &gf = Gf1024::instance();
+    for (int i = 0; i < Gf1024::kOrder; ++i)
+        alog[static_cast<std::size_t>(i)] = gf.alphaPow(i);
+
+    Rng rng(14);
+    for (int iter = 0; iter < 400; ++iter) {
+        int nterms = static_cast<int>(rng.nextBelow(13));
+        std::vector<i32> acc(static_cast<std::size_t>(nterms));
+        std::vector<i32> step(static_cast<std::size_t>(nterms));
+        for (i32 &v : acc)
+            v = static_cast<i32>(rng.nextBelow(1023));
+        for (i32 &v : step)
+            v = 1 + static_cast<i32>(rng.nextBelow(1022));
+        // Constant 0 forces frequent roots (val is a XOR of field
+        // elements); nonzero constants exercise the rare-root path.
+        u16 constant = iter % 2 ? static_cast<u16>(rng.nextBelow(1024))
+                                : 0;
+        int n = 1 + static_cast<int>(rng.nextBelow(600));
+        int max_roots = 1 + static_cast<int>(rng.nextBelow(8));
+
+        std::vector<i32> want_acc = acc, got_acc;
+        std::array<i32, 16> want_roots{}, got_roots{};
+        int want = oracle().chienScan(
+            want_acc.data(), step.data(), nterms, constant,
+            alog.data(), n, max_roots, want_roots.data());
+        forEachLevel([&](const SimdKernels &k, const char *name) {
+            got_acc = acc;
+            got_roots.fill(0);
+            int got = k.chienScan(got_acc.data(), step.data(), nterms,
+                                  constant, alog.data(), n, max_roots,
+                                  got_roots.data());
+            ASSERT_EQ(want, got) << name << " iter=" << iter;
+            for (int i = 0; i < want; ++i)
+                ASSERT_EQ(want_roots[static_cast<std::size_t>(i)],
+                          got_roots[static_cast<std::size_t>(i)])
+                    << name << " root " << i;
+        });
+    }
+}
+
+} // namespace
+} // namespace videoapp

@@ -95,7 +95,8 @@ HARD_COUNTERS = {
 THREAD_ROW_KEYS = {
     "perf_pipeline": (
         ("payload_bits", "parity_bits"),
-        ("prepare_s", "store_retrieve_s"),
+        ("prepare_s", "store_retrieve_s", "prepare_mb_per_s",
+         "prepare_frames_per_s", "store_retrieve_mb_per_s"),
     ),
     "perf_archive": (
         ("payload_bytes", "cell_bytes", "scrub_blocks_rewritten",
@@ -359,6 +360,14 @@ def main():
     check_config(current, baseline)
 
     report = Report()
+    # Timing fields are only comparable within one ISA level; a
+    # VIDEOAPP_SIMD override (or older baseline without the field)
+    # is worth flagging but is not a regression.
+    sc, sb = current.get("simd_level"), baseline.get("simd_level")
+    if sb is not None and sc != sb:
+        report.warn(
+            f"simd_level differs (current {sc}, baseline {sb}); "
+            "timing comparison crosses ISA levels")
     check_correctness(report, kind, current)
     check_thread_rows(report, kind, current, baseline,
                       args.count_tolerance, args.timing_tolerance,
