@@ -9,17 +9,23 @@
  *     connections, each client issuing a deterministic mix of
  *     GET_FRAMES / PUT / SCRUB / missing-name GETs, with wall time,
  *     throughput and client-observed GET latency percentiles.
- *  2. hard output counts per row: ok GETs, ok PUTs, ok SCRUBs,
+ *  2. a skewed hot-key mode at 64 and 256 connections: 90% of GETs
+ *     hammer one (video, GOP) — the workload single-flight
+ *     coalescing and the zero-copy cache hit path exist for — with
+ *     the same throughput/latency metrics.
+ *  3. hard output counts per row: ok GETs, ok PUTs, ok SCRUBs,
  *     not-found responses and lost responses (always 0 — an
  *     admitted request never loses its response), all derived from
  *     the fixed per-client schedule.
- *  3. four correctness flags: every request got a response
+ *  4. five correctness flags: every request got a response
  *     (responses_all_accounted), wire GET frames are byte-identical
  *     to a local ArchiveService::get (wire_matches_local), a warm
  *     GET is served from the decoded-GOP cache without touching the
- *     archive read path (cache_hit_skips_decode), and overflowing a
+ *     archive read path (cache_hit_skips_decode), overflowing a
  *     paused small queue answers Status::Retry for exactly the
- *     overflow (backpressure_returns_retry).
+ *     overflow (backpressure_returns_retry), and N concurrent cold
+ *     GETs of one GOP trigger exactly one archive decode
+ *     (coalescing_single_flight).
  *
  * The JSON carries the bench config and a telemetry snapshot;
  * tools/check_bench_regression.py diffs it against
@@ -196,26 +202,52 @@ clientLoop(u16 port, int client, int ops, int videos, u32 gop_count,
     }
 }
 
+/**
+ * The skewed hot-key schedule: 90% of ops GET (video0, gop0), the
+ * rest cycle deterministically across the other videos and GOPs.
+ * Every op is a GET of a stored video, so gets_ok is a pure function
+ * of (connections, ops) and hard-checkable.
+ */
+void
+skewedClientLoop(u16 port, int client, int ops, int videos,
+                 u32 gop_count, ClientTally &tally)
+{
+    VappClient c;
+    if (!c.connect("127.0.0.1", port)) {
+        tally.lost += static_cast<u64>(ops);
+        return;
+    }
+    for (int j = 0; j < ops; ++j) {
+        GetFramesRequest get;
+        if ((client + j) % 10 < 9) {
+            get.name = benchVideoName(0);
+            get.gop = 0;
+        } else {
+            get.name = benchVideoName(
+                static_cast<std::size_t>(client + j) %
+                static_cast<std::size_t>(videos));
+            get.gop = static_cast<u32>(j) % gop_count;
+        }
+        double t0 = now();
+        auto r = c.getFrames(get);
+        double us = (now() - t0) * 1e6;
+        if (!r)
+            ++tally.lost;
+        else if (r->status == Status::Ok ||
+                 r->status == Status::Partial) {
+            ++tally.getsOk;
+            tally.getLatencyUs.push_back(us);
+        }
+    }
+}
+
 LoadPoint
-benchOneConnectionCount(u16 port, int connections, int ops,
-                        int videos, u32 gop_count,
-                        const std::vector<PutRequest> &put_templates)
+mergeTallies(int connections, int ops, double wall_seconds,
+             std::vector<ClientTally> &tallies)
 {
     LoadPoint p;
     p.connections = connections;
-    std::vector<ClientTally> tallies(connections);
-    std::vector<std::thread> threads;
-    threads.reserve(connections);
-    double t0 = now();
-    for (int i = 0; i < connections; ++i)
-        threads.emplace_back([&, i] {
-            clientLoop(port, i, ops, videos, gop_count,
-                       put_templates, tallies[i]);
-        });
-    for (std::thread &t : threads)
-        t.join();
-    p.wallSeconds = now() - t0;
-
+    p.wallSeconds = wall_seconds;
     std::vector<double> latencies;
     for (const ClientTally &t : tallies) {
         p.getsOk += t.getsOk;
@@ -236,6 +268,43 @@ benchOneConnectionCount(u16 port, int connections, int ops,
                                p.wallSeconds
                          : 0;
     return p;
+}
+
+LoadPoint
+benchOneConnectionCount(u16 port, int connections, int ops,
+                        int videos, u32 gop_count,
+                        const std::vector<PutRequest> &put_templates)
+{
+    std::vector<ClientTally> tallies(connections);
+    std::vector<std::thread> threads;
+    threads.reserve(connections);
+    double t0 = now();
+    for (int i = 0; i < connections; ++i)
+        threads.emplace_back([&, i] {
+            clientLoop(port, i, ops, videos, gop_count,
+                       put_templates, tallies[i]);
+        });
+    for (std::thread &t : threads)
+        t.join();
+    return mergeTallies(connections, ops, now() - t0, tallies);
+}
+
+LoadPoint
+benchSkewedConnectionCount(u16 port, int connections, int ops,
+                           int videos, u32 gop_count)
+{
+    std::vector<ClientTally> tallies(connections);
+    std::vector<std::thread> threads;
+    threads.reserve(connections);
+    double t0 = now();
+    for (int i = 0; i < connections; ++i)
+        threads.emplace_back([&, i] {
+            skewedClientLoop(port, i, ops, videos, gop_count,
+                             tallies[i]);
+        });
+    for (std::thread &t : threads)
+        t.join();
+    return mergeTallies(connections, ops, now() - t0, tallies);
 }
 
 /** Wire GET frames == packFramesI420 over a local service get. */
@@ -322,12 +391,15 @@ checkBackpressureReturnsRetry(ArchiveService &service)
     if (!c.connect("127.0.0.1", server.port()))
         return false;
     const int burst = 8;
-    GetFramesRequest get;
-    get.name = "no-such-video";
-    for (int i = 0; i < burst; ++i)
+    for (int i = 0; i < burst; ++i) {
+        // Distinct (missing) names: identical cold GETs would
+        // coalesce into one queue slot and never overflow.
+        GetFramesRequest get;
+        get.name = "no-such-video-" + std::to_string(i);
         if (!c.send(Opcode::GetFrames,
                     serializeGetFramesRequest(get)))
             return false;
+    }
     // The reader admits sequentially, so the rejects are answered
     // first; wait for the queue to actually fill before resuming.
     double deadline = now() + 10;
@@ -351,6 +423,68 @@ checkBackpressureReturnsRetry(ArchiveService &service)
            retries == burst - static_cast<int>(config.queueCapacity);
 }
 
+/**
+ * N pipelined cold GETs of one GOP must trigger exactly one archive
+ * decode: the first becomes the single-flight leader, the rest are
+ * answered from its result, byte-identically. Deterministic because
+ * admission (and flight registration) is single-threaded on the
+ * event loop and the worker drain is paused until all N landed.
+ */
+bool
+checkSingleFlightCoalesces(VappServer &server, u16 port)
+{
+    server.cache().clear();
+    server.setDrainPaused(true);
+    const u64 coalesced_before = server.coalescedGets();
+    u64 gets_before = 0;
+    if (telemetry::kEnabled)
+        gets_before = telemetry::globalRegistry()
+                          .counter("archive.gets")
+                          .value();
+
+    const std::size_t burst = 6;
+    std::vector<VappClient> clients(burst);
+    GetFramesRequest get;
+    get.name = benchVideoName(0);
+    Bytes payload = serializeGetFramesRequest(get);
+    for (VappClient &c : clients) {
+        if (!c.connect("127.0.0.1", port) ||
+            !c.send(Opcode::GetFrames, payload)) {
+            server.setDrainPaused(false);
+            return false;
+        }
+    }
+    double deadline = now() + 10;
+    while (server.coalescedGets() - coalesced_before < burst - 1 &&
+           now() < deadline)
+        std::this_thread::sleep_for(std::chrono::milliseconds(1));
+    const bool coalesced =
+        server.coalescedGets() - coalesced_before == burst - 1;
+    server.setDrainPaused(false);
+
+    Bytes first;
+    bool all_equal = true;
+    for (std::size_t i = 0; i < clients.size(); ++i) {
+        auto raw = clients[i].receive();
+        if (!raw)
+            return false;
+        GetFramesResponse response;
+        if (!parseGetFramesResponse(raw->payload, response) ||
+            response.status != Status::Ok)
+            return false;
+        if (i == 0)
+            first = response.i420;
+        else if (response.i420 != first)
+            all_equal = false;
+    }
+    bool one_decode = true;
+    if (telemetry::kEnabled)
+        one_decode = telemetry::globalRegistry()
+                             .counter("archive.gets")
+                             .value() == gets_before + 1;
+    return coalesced && all_equal && one_decode;
+}
+
 std::string
 outputPath()
 {
@@ -359,28 +493,9 @@ outputPath()
     return "BENCH_server.json";
 }
 
-bool
-writeJson(const BenchConfig &config,
-          const std::vector<LoadPoint> &points, int ops_per_client,
-          bool all_accounted, bool wire_matches_local,
-          bool cache_hit_skips_decode, bool backpressure_retry)
+void
+writeRows(std::FILE *f, const std::vector<LoadPoint> &points)
 {
-    const std::string path = outputPath();
-    std::FILE *f = std::fopen(path.c_str(), "w");
-    if (!f) {
-        std::fprintf(stderr,
-                     "error: cannot write bench results to '%s': %s\n"
-                     "(set VIDEOAPP_BENCH_OUT to a writable path)\n",
-                     path.c_str(), std::strerror(errno));
-        return false;
-    }
-    std::fprintf(f, "{\n  \"bench\": \"perf_server\",\n");
-    std::fprintf(f,
-                 "  \"config\": {\"scale\": %.3f, \"runs\": %d, "
-                 "\"videos\": %d, \"ops_per_client\": %d},\n",
-                 config.scale, config.runs, config.videos,
-                 ops_per_client);
-    std::fprintf(f, "  \"threads\": [\n");
     for (std::size_t i = 0; i < points.size(); ++i) {
         const LoadPoint &p = points[i];
         std::fprintf(
@@ -398,6 +513,36 @@ writeJson(const BenchConfig &config,
             static_cast<unsigned long long>(p.responsesLost),
             i + 1 < points.size() ? "," : "");
     }
+}
+
+bool
+writeJson(const BenchConfig &config,
+          const std::vector<LoadPoint> &points,
+          const std::vector<LoadPoint> &skewed, int ops_per_client,
+          bool all_accounted, bool wire_matches_local,
+          bool cache_hit_skips_decode, bool backpressure_retry,
+          bool coalescing_single_flight)
+{
+    const std::string path = outputPath();
+    std::FILE *f = std::fopen(path.c_str(), "w");
+    if (!f) {
+        std::fprintf(stderr,
+                     "error: cannot write bench results to '%s': %s\n"
+                     "(set VIDEOAPP_BENCH_OUT to a writable path)\n",
+                     path.c_str(), std::strerror(errno));
+        return false;
+    }
+    std::fprintf(f, "{\n  \"bench\": \"perf_server\",\n");
+    std::fprintf(f,
+                 "  \"config\": {\"scale\": %.3f, \"runs\": %d, "
+                 "\"videos\": %d, \"ops_per_client\": %d},\n",
+                 config.scale, config.runs, config.videos,
+                 ops_per_client);
+    std::fprintf(f, "  \"threads\": [\n");
+    writeRows(f, points);
+    std::fprintf(f, "  ],\n");
+    std::fprintf(f, "  \"skewed\": [\n");
+    writeRows(f, skewed);
     std::fprintf(f, "  ],\n");
     std::fprintf(f, "  \"responses_all_accounted\": %s,\n",
                  all_accounted ? "true" : "false");
@@ -407,6 +552,8 @@ writeJson(const BenchConfig &config,
                  cache_hit_skips_decode ? "true" : "false");
     std::fprintf(f, "  \"backpressure_returns_retry\": %s,\n",
                  backpressure_retry ? "true" : "false");
+    std::fprintf(f, "  \"coalescing_single_flight\": %s,\n",
+                 coalescing_single_flight ? "true" : "false");
     std::string telemetry =
         telemetry::globalRegistry().snapshotJson(2);
     std::fprintf(f, "  \"telemetry\": %s\n}\n", telemetry.c_str());
@@ -482,14 +629,7 @@ run(const BenchConfig &config)
         }
     }
 
-    std::printf("%-8s %9s %11s %11s %11s %7s %7s %7s %9s %6s\n",
-                "conns", "wall (s)", "ops/s", "p50 (us)", "p99 (us)",
-                "gets", "puts", "scrubs", "notfound", "lost");
-    std::vector<LoadPoint> points;
-    for (int n : {16, 64}) {
-        points.push_back(benchOneConnectionCount(
-            port, n, ops, videos, gop_count, put_templates));
-        const LoadPoint &p = points.back();
+    auto printRow = [](const LoadPoint &p) {
         std::printf(
             "%-8d %9.3f %11.1f %11.1f %11.1f %7llu %7llu %7llu "
             "%9llu %6llu\n",
@@ -499,10 +639,30 @@ run(const BenchConfig &config)
             static_cast<unsigned long long>(p.scrubsOk),
             static_cast<unsigned long long>(p.notFound),
             static_cast<unsigned long long>(p.responsesLost));
+    };
+    std::printf("%-8s %9s %11s %11s %11s %7s %7s %7s %9s %6s\n",
+                "conns", "wall (s)", "ops/s", "p50 (us)", "p99 (us)",
+                "gets", "puts", "scrubs", "notfound", "lost");
+    std::vector<LoadPoint> points;
+    for (int n : {16, 64}) {
+        points.push_back(benchOneConnectionCount(
+            port, n, ops, videos, gop_count, put_templates));
+        printRow(points.back());
+    }
+
+    std::printf("\nskewed hot-key load (90%% one GOP):\n");
+    std::vector<LoadPoint> skewed;
+    for (int n : {64, 256}) {
+        skewed.push_back(benchSkewedConnectionCount(
+            port, n, ops, videos, gop_count));
+        printRow(skewed.back());
     }
 
     bool all_accounted = true;
     for (const LoadPoint &p : points)
+        if (p.responsesLost != 0)
+            all_accounted = false;
+    for (const LoadPoint &p : skewed)
         if (p.responsesLost != 0)
             all_accounted = false;
     std::printf("\nevery request answered: %s\n",
@@ -517,6 +677,10 @@ run(const BenchConfig &config)
     std::printf("cache hit skips the read path: %s\n",
                 cache_hit ? "yes" : "NO (BUG)");
 
+    bool coalescing = checkSingleFlightCoalesces(server, port);
+    std::printf("concurrent cold GETs decode once: %s\n",
+                coalescing ? "yes" : "NO (BUG)");
+
     server.stop();
 
     bool backpressure = checkBackpressureReturnsRetry(service);
@@ -524,12 +688,13 @@ run(const BenchConfig &config)
                 backpressure ? "yes" : "NO (BUG)");
 
     std::remove(service.path().c_str());
-    if (!writeJson(config, points, ops, all_accounted,
-                   wire_matches_local, cache_hit, backpressure))
+    if (!writeJson(config, points, skewed, ops, all_accounted,
+                   wire_matches_local, cache_hit, backpressure,
+                   coalescing))
         return false;
     std::printf("wrote %s\n", outputPath().c_str());
     return all_accounted && wire_matches_local && cache_hit &&
-           backpressure;
+           backpressure && coalescing;
 }
 
 } // namespace

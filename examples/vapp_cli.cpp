@@ -19,6 +19,8 @@
  *
  * Serving commands (network store front end, src/server/):
  *   serve <a.vapp>                          run the store server
+ *     (epoll event loop: --workers sizes the decode pool, not the
+ *     connection count)
  *   remote get   <host:port> <name> <gop> <out.yuv>
  *   remote put   <host:port> <name> <in.yuv> <w> <h>
  *   remote stat  <host:port>
@@ -754,6 +756,7 @@ cmdRemoteHealth(const std::string &spec)
     }
     std::printf("queue: %u/%u (high water %u, rejected %llu)\n"
                 "cache: %llu bytes in %llu GOPs\n"
+                "coalesced gets: %llu\n"
                 "archive: %llu video(s)\n",
                 response->queueDepth, response->queueCapacity,
                 response->queueHighWater,
@@ -763,6 +766,8 @@ cmdRemoteHealth(const std::string &spec)
                     response->cacheBytes),
                 static_cast<unsigned long long>(
                     response->cacheEntries),
+                static_cast<unsigned long long>(
+                    response->coalescedGets),
                 static_cast<unsigned long long>(response->videos));
     return 0;
 }

@@ -225,6 +225,27 @@ ArchiveService::get(const std::string &name,
     return result;
 }
 
+void
+ArchiveService::prewarmCodes(const std::string &name) const
+{
+    // Snapshot the scheme list under the locks, build tables after:
+    // cachedBchCode() may take the process-wide code-cache mutex and
+    // must not nest inside the directory lock.
+    std::set<int> scheme_ts;
+    {
+        std::shared_lock dir(dirMutex_);
+        auto it = archive_.videos.find(name);
+        if (it == archive_.videos.end())
+            return;
+        std::lock_guard shard(shardFor(name));
+        for (const StreamRecord &s : it->second.streams)
+            if (s.schemeT > 0)
+                scheme_ts.insert(s.schemeT);
+    }
+    for (int t : scheme_ts)
+        cachedBchCode(t);
+}
+
 ScrubReport
 ArchiveService::scrub(const ScrubOptions &options)
 {

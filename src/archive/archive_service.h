@@ -135,6 +135,16 @@ class ArchiveService
     ArchiveGetResult get(const std::string &name,
                          const ArchiveGetOptions &options = {}) const;
 
+    /**
+     * Build every BCH decode table @p name's streams use, ahead of
+     * a get(). Code construction costs orders of magnitude more
+     * than one block decode, so a single-flight decode leader calls
+     * this once and every coalesced request's block decodes then
+     * hit the shared table cache's lock-free fast path. Unknown
+     * names are a no-op.
+     */
+    void prewarmCodes(const std::string &name) const;
+
     /** Scrub every video (videos run on the pool). */
     ScrubReport scrub(const ScrubOptions &options = {});
 

@@ -2,9 +2,41 @@
 
 #include <functional>
 
+#include "common/crc32.h"
 #include "common/telemetry.h"
+#include "server/wire.h"
 
 namespace videoapp {
+
+CachedGopPtr
+makeCachedGop(const DecodedGop &gop)
+{
+    auto entry = std::make_shared<CachedGop>();
+    entry->width = gop.width;
+    entry->height = gop.height;
+    entry->firstFrame = gop.firstFrame;
+    entry->frameCount = gop.frameCount;
+    entry->gopCount = gop.gopCount;
+    entry->blocksCorrected = gop.blocksCorrected;
+    entry->blocksUncorrectable = gop.blocksUncorrectable;
+    entry->partial = gop.blocksUncorrectable > 0;
+
+    GetFramesResponse response;
+    response.status =
+        entry->partial ? Status::Partial : Status::Ok;
+    response.width = gop.width;
+    response.height = gop.height;
+    response.firstFrame = gop.firstFrame;
+    response.frameCount = gop.frameCount;
+    response.gopCount = gop.gopCount;
+    response.fromCache = true;
+    response.blocksCorrected = gop.blocksCorrected;
+    response.blocksUncorrectable = gop.blocksUncorrectable;
+    response.i420 = gop.i420;
+    entry->payload = serializeGetFramesResponse(response);
+    entry->payloadCrc = crc32(entry->payload);
+    return entry;
+}
 
 std::size_t
 FrameCache::GopKeyHash::operator()(const GopKey &k) const
@@ -27,7 +59,7 @@ FrameCache::shardFor(const GopKey &key)
     return shards_[GopKeyHash{}(key) % kShards];
 }
 
-std::optional<DecodedGop>
+CachedGopPtr
 FrameCache::get(const GopKey &key)
 {
     Shard &shard = shardFor(key);
@@ -36,7 +68,7 @@ FrameCache::get(const GopKey &key)
     if (it == shard.index.end()) {
         misses_.fetch_add(1, std::memory_order_relaxed);
         VA_TELEM_COUNT("server.cache.misses", 1);
-        return std::nullopt;
+        return nullptr;
     }
     // Refresh to MRU.
     shard.lru.splice(shard.lru.begin(), shard.lru, it->second);
@@ -46,9 +78,11 @@ FrameCache::get(const GopKey &key)
 }
 
 void
-FrameCache::put(const GopKey &key, DecodedGop gop)
+FrameCache::put(const GopKey &key, CachedGopPtr gop)
 {
-    const std::size_t charge = gop.chargedBytes();
+    if (!gop)
+        return;
+    const std::size_t charge = gop->chargedBytes();
     if (charge > shardBudget_)
         return; // would evict the whole shard for one entry
     Shard &shard = shardFor(key);
@@ -56,8 +90,9 @@ FrameCache::put(const GopKey &key, DecodedGop gop)
     auto it = shard.index.find(key);
     if (it != shard.index.end()) {
         // Replace in place (e.g. re-decode after an invalidation
-        // race); adjust the byte accounting to the new size.
-        std::size_t old = it->second->gop.chargedBytes();
+        // race); adjust the byte accounting to the new size. The old
+        // entry stays alive for any response still writing it.
+        std::size_t old = it->second->gop->chargedBytes();
         shard.bytes -= old;
         bytes_.fetch_sub(old, std::memory_order_relaxed);
         it->second->gop = std::move(gop);
@@ -69,7 +104,7 @@ FrameCache::put(const GopKey &key, DecodedGop gop)
     while (shard.bytes + charge > shardBudget_ &&
            !shard.lru.empty()) {
         Entry &victim = shard.lru.back();
-        std::size_t victim_bytes = victim.gop.chargedBytes();
+        std::size_t victim_bytes = victim.gop->chargedBytes();
         shard.index.erase(victim.key);
         shard.lru.pop_back();
         shard.bytes -= victim_bytes;
@@ -87,6 +122,12 @@ FrameCache::put(const GopKey &key, DecodedGop gop)
 }
 
 void
+FrameCache::put(const GopKey &key, const DecodedGop &gop)
+{
+    put(key, makeCachedGop(gop));
+}
+
+void
 FrameCache::eraseVideo(const std::string &video)
 {
     for (Shard &shard : shards_) {
@@ -96,7 +137,7 @@ FrameCache::eraseVideo(const std::string &video)
                 ++it;
                 continue;
             }
-            std::size_t freed = it->gop.chargedBytes();
+            std::size_t freed = it->gop->chargedBytes();
             shard.index.erase(it->key);
             it = shard.lru.erase(it);
             shard.bytes -= freed;

@@ -4,9 +4,14 @@
  *
  * A GET_FRAMES miss pays the full read path — cell read, BCH decode,
  * decrypt, entropy decode, reassembly — for the whole video; the hit
- * path returns the packed I420 bytes of the requested GOP straight
- * from memory. Entries are keyed by (video name, GOP index, key id)
- * so different decryption keys never alias, and only *exact* reads
+ * path serves the *pre-serialized* GET_FRAMES response payload of
+ * the requested GOP straight from memory. Entries are refcounted
+ * (`std::shared_ptr<const CachedGop>`): a hit pins the entry so the
+ * event loop can write it to any number of sockets with zero copies
+ * even if the entry is evicted mid-write. The payload CRC is
+ * memoized at insert, so a hit costs neither a serialize nor a CRC
+ * pass. Entries are keyed by (video name, GOP index, key id) so
+ * different decryption keys never alias, and only *exact* reads
  * (no error injection) are cached — an injected read is a stochastic
  * experiment whose result must not be replayed.
  *
@@ -27,8 +32,8 @@
 
 #include <atomic>
 #include <list>
+#include <memory>
 #include <mutex>
-#include <optional>
 #include <string>
 #include <unordered_map>
 #include <vector>
@@ -52,7 +57,7 @@ struct GopKey
     }
 };
 
-/** A decoded GOP ready to serve: packed I420 plus response fields. */
+/** A decoded GOP as the read path produces it (builder input). */
 struct DecodedGop
 {
     u16 width = 0;
@@ -64,14 +69,42 @@ struct DecodedGop
     u64 blocksCorrected = 0;
     u64 blocksUncorrectable = 0;
     Bytes i420;
+};
+
+/**
+ * An immutable cache entry, ready to hit the wire: the serialized
+ * GET_FRAMES response payload (fromCache = true) plus its memoized
+ * CRC. Handed out as shared_ptr<const CachedGop>, so a response in
+ * flight keeps its bytes alive past eviction.
+ */
+struct CachedGop
+{
+    u16 width = 0;
+    u16 height = 0;
+    u32 firstFrame = 0;
+    u32 frameCount = 0;
+    u32 gopCount = 0;
+    u64 blocksCorrected = 0;
+    u64 blocksUncorrectable = 0;
+    /** Some blocks were uncorrectable: serve as Status::Partial. */
+    bool partial = false;
+    /** Serialized GetFramesResponse payload (fromCache = true). */
+    Bytes payload;
+    /** crc32(payload), computed once at build time. */
+    u32 payloadCrc = 0;
 
     /** Budget charge: payload plus a small fixed overhead. */
     std::size_t
     chargedBytes() const
     {
-        return i420.size() + 128;
+        return payload.size() + 160;
     }
 };
+
+using CachedGopPtr = std::shared_ptr<const CachedGop>;
+
+/** Serialize @p gop into an immutable wire-ready cache entry. */
+CachedGopPtr makeCachedGop(const DecodedGop &gop);
 
 class FrameCache
 {
@@ -84,12 +117,16 @@ class FrameCache
     FrameCache(const FrameCache &) = delete;
     FrameCache &operator=(const FrameCache &) = delete;
 
-    /** Hit: a copy of the cached GOP, refreshed to MRU. */
-    std::optional<DecodedGop> get(const GopKey &key);
+    /** Hit: a pin on the cached entry (refreshed to MRU); nullptr on
+     * miss. The entry stays valid after eviction until released. */
+    CachedGopPtr get(const GopKey &key);
 
     /** Insert (or refresh) @p gop, evicting LRU entries as needed.
      * Oversized entries (beyond one shard's budget) are skipped. */
-    void put(const GopKey &key, DecodedGop gop);
+    void put(const GopKey &key, CachedGopPtr gop);
+
+    /** Convenience: serialize and insert a freshly decoded GOP. */
+    void put(const GopKey &key, const DecodedGop &gop);
 
     /** Drop every GOP of @p video (all key ids). */
     void eraseVideo(const std::string &video);
@@ -107,7 +144,7 @@ class FrameCache
     struct Entry
     {
         GopKey key;
-        DecodedGop gop;
+        CachedGopPtr gop;
     };
 
     struct GopKeyHash

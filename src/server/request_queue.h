@@ -30,6 +30,7 @@
 #include <deque>
 #include <mutex>
 #include <optional>
+#include <vector>
 
 #include "common/types.h"
 
@@ -101,6 +102,33 @@ template <typename Job> class RequestQueue
             return job;
         }
         return std::nullopt;
+    }
+
+    /**
+     * Take up to @p max jobs in one lock acquisition, priority
+     * order, blocking like pop() while nothing is poppable. Workers
+     * drain in batches so a burst of coalesced admissions costs one
+     * wakeup instead of one per job. Empty result only when closed
+     * and fully drained.
+     */
+    std::vector<Job>
+    popBatch(std::size_t max)
+    {
+        std::vector<Job> batch;
+        if (max == 0)
+            return batch;
+        std::unique_lock lock(mutex_);
+        ready_.wait(lock, [&] {
+            return (size_ > 0 && !drainPaused_) || closed_;
+        });
+        for (auto &q : classes_) {
+            while (!q.empty() && batch.size() < max) {
+                batch.push_back(std::move(q.front()));
+                q.pop_front();
+                --size_;
+            }
+        }
+        return batch;
     }
 
     /** Non-blocking pop (tests and drain loops). */

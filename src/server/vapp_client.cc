@@ -86,7 +86,12 @@ VappClient::sendAll(const Bytes &data)
         if (n < 0) {
             if (errno == EINTR)
                 continue;
-            lastError_ = WireError::ShortRead;
+            // The peer tearing the connection down (RST / EPIPE) is
+            // a distinct condition from a protocol-level short
+            // write: callers may reconnect-and-retry on the former.
+            lastError_ = (errno == EPIPE || errno == ECONNRESET)
+                             ? WireError::ConnectionClosed
+                             : WireError::ShortRead;
             return false;
         }
         off += static_cast<std::size_t>(n);
@@ -95,19 +100,27 @@ VappClient::sendAll(const Bytes &data)
 }
 
 bool
-VappClient::recvAll(u8 *data, std::size_t size)
+VappClient::recvAll(u8 *data, std::size_t size, bool frame_boundary)
 {
     std::size_t off = 0;
     while (off < size) {
         ssize_t n = ::recv(fd_, data + off, size - off, 0);
         if (n == 0) {
-            lastError_ = WireError::ShortRead;
+            // EOF on the very first byte of a frame is a clean close
+            // between responses (server shutdown, idle teardown) —
+            // typed so pipelined callers can tell "the server went
+            // away" from "the server died mid-frame".
+            lastError_ = (frame_boundary && off == 0)
+                             ? WireError::ConnectionClosed
+                             : WireError::ShortRead;
             return false;
         }
         if (n < 0) {
             if (errno == EINTR)
                 continue;
-            lastError_ = WireError::ShortRead;
+            lastError_ = errno == ECONNRESET
+                             ? WireError::ConnectionClosed
+                             : WireError::ShortRead;
             return false;
         }
         off += static_cast<std::size_t>(n);
@@ -136,7 +149,7 @@ VappClient::receive()
         return std::nullopt;
     }
     u8 header[kWireHeaderBytes];
-    if (!recvAll(header, sizeof header))
+    if (!recvAll(header, sizeof header, /*frame_boundary=*/true))
         return std::nullopt;
     WireFrameHeader fh;
     WireError err = parseFrameHeader(header, sizeof header, fh);

@@ -39,8 +39,13 @@ class VappClient
     void disconnect();
     bool connected() const { return fd_ >= 0; }
 
-    /** Failure detail of the last receive()/call that returned
-     * nullopt (ShortRead also covers a closed connection). */
+    /**
+     * Failure detail of the last receive()/call that returned
+     * nullopt. ConnectionClosed means the server went away cleanly
+     * between frames (or reset the connection) — safe to reconnect
+     * and retry; ShortRead means the stream died mid-frame and the
+     * in-flight response is unrecoverable.
+     */
     WireError lastError() const { return lastError_; }
 
     // --- synchronous calls (send one request, read one response) ---
@@ -75,7 +80,9 @@ class VappClient
 
   private:
     bool sendAll(const Bytes &data);
-    bool recvAll(u8 *data, std::size_t size);
+    /** @p frame_boundary: EOF before any byte is a clean close. */
+    bool recvAll(u8 *data, std::size_t size,
+                 bool frame_boundary = false);
 
     int fd_ = -1;
     u32 nextId_ = 1;

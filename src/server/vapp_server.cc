@@ -1,57 +1,68 @@
 #include "server/vapp_server.h"
 
 #include <arpa/inet.h>
+#include <fcntl.h>
 #include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/epoll.h>
+#include <sys/eventfd.h>
 #include <sys/socket.h>
+#include <sys/uio.h>
 #include <unistd.h>
 
 #include <cerrno>
 #include <cstring>
+#include <deque>
 #include <functional>
+#include <mutex>
 
 #include "common/crc32.h"
 #include "common/telemetry.h"
 
 namespace videoapp {
 
+/**
+ * One response frame queued for a nonblocking write, as up to three
+ * segments so cached payloads are never copied:
+ *
+ *   seg 0: head — frame header (or the whole owned frame)
+ *   seg 1: pin->payload — the shared cache entry's bytes
+ *   seg 2: tail — the 4-byte memoized payload CRC
+ *
+ * (seg, off) is the write cursor; a partial send parks here until
+ * EPOLLOUT says the socket drained.
+ */
+struct VappServer::OutboundFrame
+{
+    Bytes head;
+    CachedGopPtr pin;
+    Bytes tail;
+    unsigned seg = 0;
+    std::size_t off = 0;
+};
+
 struct VappServer::Connection
 {
+    /** Owned (and closed) by the event loop thread exclusively. */
     int fd = -1;
-    /** Serializes response frames from workers + the reader. */
-    std::mutex writeMutex;
-    std::atomic<bool> open{true};
-    /** Reader thread exited; reaping may join and close. */
-    std::atomic<bool> finished{false};
+    /** Loop-thread only: incremental frame reassembly. */
+    FrameDeframer deframer;
+    /** Loop-thread only: EPOLLOUT armed. */
+    bool wantWrite = false;
+    /** Loop-thread only: EOF or fatal framing; reads disarmed. */
+    bool readClosed = false;
+    /** Loop-thread only: close once the outbox drains. */
+    bool closeAfterFlush = false;
+
+    /** Guards outbox / open / queuedForWrite (workers + loop). */
+    std::mutex mutex;
+    std::deque<OutboundFrame> outbox;
+    bool queuedForWrite = false;
+    /** False once the connection is lost: responses are dropped. */
+    bool open = true;
 };
 
 namespace {
-
-/** Read exactly @p size bytes; false on EOF, error or shutdown. */
-bool
-recvFull(int fd, u8 *data, std::size_t size)
-{
-    std::size_t off = 0;
-    while (off < size) {
-        ssize_t n = ::recv(fd, data + off, size - off, 0);
-        if (n == 0)
-            return false;
-        if (n < 0) {
-            if (errno == EINTR)
-                continue;
-            return false;
-        }
-        off += static_cast<std::size_t>(n);
-    }
-    return true;
-}
-
-u32
-be32At(const u8 *p)
-{
-    return static_cast<u32>(p[0]) << 24 |
-           static_cast<u32>(p[1]) << 16 |
-           static_cast<u32>(p[2]) << 8 | static_cast<u32>(p[3]);
-}
 
 u32
 elapsedMs(std::chrono::steady_clock::time_point since)
@@ -61,6 +72,30 @@ elapsedMs(std::chrono::steady_clock::time_point since)
             std::chrono::steady_clock::now() - since)
             .count();
     return ms > 0 ? static_cast<u32>(ms) : 0;
+}
+
+u32
+keyIdOf(const Bytes &key)
+{
+    return key.empty() ? 0 : crc32(key);
+}
+
+/** Flight registry key: one in-flight decode per (video, key id). */
+std::string
+flightKeyOf(const std::string &name, u32 key_id)
+{
+    std::string key = name;
+    key.push_back('\0');
+    key += std::to_string(key_id);
+    return key;
+}
+
+bool
+setNonBlocking(int fd)
+{
+    int flags = ::fcntl(fd, F_GETFL, 0);
+    return flags >= 0 &&
+           ::fcntl(fd, F_SETFL, flags | O_NONBLOCK) == 0;
 }
 
 } // namespace
@@ -91,7 +126,8 @@ VappServer::start()
     addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
     if (::bind(listenFd_, reinterpret_cast<sockaddr *>(&addr),
                sizeof addr) < 0 ||
-        ::listen(listenFd_, 128) < 0) {
+        ::listen(listenFd_, 128) < 0 ||
+        !setNonBlocking(listenFd_)) {
         ::close(listenFd_);
         listenFd_ = -1;
         return false;
@@ -102,51 +138,68 @@ VappServer::start()
                       &len) == 0)
         port_ = ntohs(addr.sin_port);
 
-    running_.store(true);
+    epollFd_ = ::epoll_create1(0);
+    wakeFd_ = ::eventfd(0, EFD_NONBLOCK);
+    auto bail = [this] {
+        if (epollFd_ >= 0)
+            ::close(epollFd_);
+        if (wakeFd_ >= 0)
+            ::close(wakeFd_);
+        ::close(listenFd_);
+        listenFd_ = epollFd_ = wakeFd_ = -1;
+        return false;
+    };
+    if (epollFd_ < 0 || wakeFd_ < 0)
+        return bail();
+    epoll_event ev{};
+    ev.events = EPOLLIN;
+    ev.data.fd = listenFd_;
+    if (::epoll_ctl(epollFd_, EPOLL_CTL_ADD, listenFd_, &ev) < 0)
+        return bail();
+    ev.data.fd = wakeFd_;
+    if (::epoll_ctl(epollFd_, EPOLL_CTL_ADD, wakeFd_, &ev) < 0)
+        return bail();
+
     started_ = true;
     int workers = config_.workers > 0 ? config_.workers : 1;
     workers_.reserve(static_cast<std::size_t>(workers));
     for (int i = 0; i < workers; ++i)
         workers_.emplace_back([this] { workerLoop(); });
-    acceptThread_ = std::thread([this] { acceptLoop(); });
+    loopThread_ = std::thread([this] { eventLoop(); });
     return true;
 }
 
 void
 VappServer::stop()
 {
-    if (!started_)
+    if (!started_ || stopped_)
         return;
-    bool was_running = running_.exchange(false);
-    if (was_running && listenFd_ >= 0)
-        ::shutdown(listenFd_, SHUT_RDWR);
-    if (acceptThread_.joinable())
-        acceptThread_.join();
-    if (listenFd_ >= 0) {
-        ::close(listenFd_);
-        listenFd_ = -1;
-    }
+    stopped_ = true;
 
-    // Close the queue first: admitted jobs drain to their responses
-    // while the client connections are still writable.
+    // 1. Stop accepting (the loop closes the listen socket).
+    stopAccept_.store(true);
+    wakeLoop();
+    // 2. Close the queue: admitted jobs drain to their responses
+    //    while the event loop is still flushing outboxes.
     queue_.close();
     for (std::thread &w : workers_)
         if (w.joinable())
             w.join();
     workers_.clear();
+    // 3. Flush whatever the workers produced, then exit the loop.
+    draining_.store(true);
+    wakeLoop();
+    if (loopThread_.joinable())
+        loopThread_.join();
 
-    std::lock_guard lock(connMutex_);
-    for (auto &conn : connections_) {
-        conn->open.store(false);
-        ::shutdown(conn->fd, SHUT_RDWR);
+    if (epollFd_ >= 0) {
+        ::close(epollFd_);
+        epollFd_ = -1;
     }
-    for (std::thread &t : connThreads_)
-        if (t.joinable())
-            t.join();
-    for (auto &conn : connections_)
-        ::close(conn->fd);
-    connThreads_.clear();
-    connections_.clear();
+    if (wakeFd_ >= 0) {
+        ::close(wakeFd_);
+        wakeFd_ = -1;
+    }
 }
 
 void
@@ -156,158 +209,531 @@ VappServer::setDrainPaused(bool paused)
 }
 
 void
-VappServer::reapFinishedConnections()
+VappServer::wakeLoop()
 {
-    // Called under connMutex_. A finished reader set its flag as its
-    // last action, so joining here cannot block meaningfully.
-    for (std::size_t i = 0; i < connections_.size();) {
-        if (!connections_[i]->finished.load()) {
-            ++i;
-            continue;
-        }
-        if (connThreads_[i].joinable())
-            connThreads_[i].join();
-        ::close(connections_[i]->fd);
-        connections_.erase(connections_.begin() +
-                           static_cast<std::ptrdiff_t>(i));
-        connThreads_.erase(connThreads_.begin() +
-                           static_cast<std::ptrdiff_t>(i));
-    }
+    u64 one = 1;
+    [[maybe_unused]] ssize_t n =
+        ::write(wakeFd_, &one, sizeof one);
 }
+
+// --- event loop --------------------------------------------------------
 
 void
-VappServer::acceptLoop()
+VappServer::eventLoop()
 {
-    while (running_.load()) {
-        int fd = ::accept(listenFd_, nullptr, nullptr);
-        if (fd < 0) {
-            if (errno == EINTR && running_.load())
-                continue;
-            break; // listen socket shut down: stopping
-        }
-        VA_TELEM_COUNT("server.connections", 1);
-        auto conn = std::make_shared<Connection>();
-        conn->fd = fd;
-        std::lock_guard lock(connMutex_);
-        reapFinishedConnections();
-        connections_.push_back(conn);
-        connThreads_.emplace_back(
-            [this, conn] { connectionLoop(conn); });
-    }
-}
-
-/** Write one frame to the connection (best effort once closed). */
-bool
-VappServer::sendFrame(Connection &conn, u8 kind, u32 request_id,
-                      const Bytes &payload)
-{
-    Bytes frame = encodeFrame(kind, request_id, payload);
-    std::lock_guard lock(conn.writeMutex);
-    if (!conn.open.load())
-        return false;
-    std::size_t off = 0;
-    while (off < frame.size()) {
-        ssize_t n = ::send(conn.fd, frame.data() + off,
-                           frame.size() - off, MSG_NOSIGNAL);
+    loopThreadId_.store(std::this_thread::get_id());
+    std::vector<epoll_event> events(64);
+    std::chrono::steady_clock::time_point drain_deadline{};
+    bool drain_started = false;
+    for (;;) {
+        int timeout = draining_.load() ? 5 : -1;
+        int n = ::epoll_wait(epollFd_, events.data(),
+                             static_cast<int>(events.size()),
+                             timeout);
         if (n < 0) {
             if (errno == EINTR)
                 continue;
-            conn.open.store(false);
-            return false;
+            break;
         }
-        off += static_cast<std::size_t>(n);
-    }
-    return true;
-}
+        VA_TELEM_COUNT("server.epoll_wakeups", 1);
+        for (int i = 0; i < n; ++i) {
+            const int fd = events[i].data.fd;
+            const u32 mask = events[i].events;
+            if (fd == wakeFd_) {
+                u64 v = 0;
+                [[maybe_unused]] ssize_t r =
+                    ::read(wakeFd_, &v, sizeof v);
+                continue;
+            }
+            if (fd == listenFd_) {
+                acceptAll();
+                continue;
+            }
+            auto it = conns_.find(fd);
+            if (it == conns_.end())
+                continue; // closed earlier in this batch
+            std::shared_ptr<Connection> conn = it->second;
+            if (mask & (EPOLLHUP | EPOLLERR)) {
+                closeConnection(conn);
+                continue;
+            }
+            if (mask & EPOLLIN)
+                onReadable(conn);
+            if (conn->fd >= 0 && (mask & EPOLLOUT))
+                flushOutbox(conn);
+        }
+        processWriteReady();
 
-bool
-VappServer::sendStatus(Connection &conn, Status status,
-                       u32 request_id)
-{
-    return sendFrame(conn, static_cast<u8>(status), request_id,
-                     serializeStatusOnly(status));
+        if (stopAccept_.load() && listenFd_ >= 0) {
+            ::epoll_ctl(epollFd_, EPOLL_CTL_DEL, listenFd_,
+                        nullptr);
+            ::close(listenFd_);
+            listenFd_ = -1;
+        }
+        if (draining_.load()) {
+            if (!drain_started) {
+                drain_started = true;
+                drain_deadline = std::chrono::steady_clock::now() +
+                                 std::chrono::seconds(3);
+            }
+            if (drainForExit() ||
+                std::chrono::steady_clock::now() > drain_deadline)
+                break;
+        }
+    }
+    // Tear down every connection; queued responses for clients that
+    // never drained past the deadline are abandoned here.
+    std::vector<std::shared_ptr<Connection>> leftover;
+    leftover.reserve(conns_.size());
+    for (auto &[fd, conn] : conns_)
+        leftover.push_back(conn);
+    for (auto &conn : leftover)
+        closeConnection(conn);
+    if (listenFd_ >= 0) {
+        ::close(listenFd_);
+        listenFd_ = -1;
+    }
 }
 
 void
-VappServer::connectionLoop(std::shared_ptr<Connection> conn)
+VappServer::acceptAll()
 {
-    u8 header[kWireHeaderBytes];
-    while (running_.load() && conn->open.load()) {
-        if (!recvFull(conn->fd, header, sizeof header))
-            break;
-        WireFrameHeader fh;
-        WireError err =
-            parseFrameHeader(header, sizeof header, fh);
-        if (err != WireError::None) {
-            // Framing lost (bad magic/version/CRC/length): answer
-            // once if possible, then drop the connection — there is
-            // no way to resynchronize a byte stream.
-            VA_TELEM_COUNT("server.frames.bad", 1);
-            sendStatus(*conn, Status::BadRequest, 0);
-            break;
+    for (;;) {
+        int fd = ::accept(listenFd_, nullptr, nullptr);
+        if (fd < 0) {
+            if (errno == EINTR)
+                continue;
+            break; // EAGAIN: accept queue drained
         }
-        Bytes payload(fh.payloadLength);
-        u8 crc_buf[4];
-        if (!recvFull(conn->fd, payload.data(), payload.size()) ||
-            !recvFull(conn->fd, crc_buf, sizeof crc_buf))
+        if (!setNonBlocking(fd)) {
+            ::close(fd);
+            continue;
+        }
+        int nodelay = 1;
+        ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &nodelay,
+                     sizeof nodelay);
+        if (config_.sndbufBytes > 0)
+            ::setsockopt(fd, SOL_SOCKET, SO_SNDBUF,
+                         &config_.sndbufBytes,
+                         sizeof config_.sndbufBytes);
+        VA_TELEM_COUNT("server.connections", 1);
+        auto conn = std::make_shared<Connection>();
+        conn->fd = fd;
+        conns_[fd] = conn;
+        epoll_event ev{};
+        ev.events = EPOLLIN;
+        ev.data.fd = fd;
+        if (::epoll_ctl(epollFd_, EPOLL_CTL_ADD, fd, &ev) < 0) {
+            conns_.erase(fd);
+            ::close(fd);
+        }
+    }
+}
+
+void
+VappServer::updateEpoll(const std::shared_ptr<Connection> &conn)
+{
+    if (conn->fd < 0)
+        return;
+    epoll_event ev{};
+    ev.events = (conn->readClosed ? 0u : u32{EPOLLIN}) |
+                (conn->wantWrite ? u32{EPOLLOUT} : 0u);
+    ev.data.fd = conn->fd;
+    ::epoll_ctl(epollFd_, EPOLL_CTL_MOD, conn->fd, &ev);
+}
+
+void
+VappServer::closeConnection(const std::shared_ptr<Connection> &conn)
+{
+    if (conn->fd < 0)
+        return;
+    {
+        std::lock_guard lock(conn->mutex);
+        conn->open = false;
+        conn->outbox.clear();
+    }
+    ::epoll_ctl(epollFd_, EPOLL_CTL_DEL, conn->fd, nullptr);
+    conns_.erase(conn->fd);
+    ::close(conn->fd);
+    conn->fd = -1;
+}
+
+void
+VappServer::onReadable(const std::shared_ptr<Connection> &conn)
+{
+    if (conn->fd < 0 || conn->readClosed)
+        return;
+    u8 buf[64 * 1024];
+    // Bounded reads per wakeup keep one firehose connection from
+    // starving the rest; level-triggered epoll re-reports leftovers.
+    for (int round = 0; round < 16; ++round) {
+        ssize_t n = ::recv(conn->fd, buf, sizeof buf, 0);
+        if (n > 0) {
+            conn->deframer.feed(buf,
+                                static_cast<std::size_t>(n));
+            if (!processFrames(conn))
+                return;
+            if (static_cast<std::size_t>(n) < sizeof buf)
+                break;
+            continue;
+        }
+        if (n == 0) {
+            // Peer EOF. Our clients never half-close, so the
+            // connection is done; any response still queued has no
+            // reader (same as the blocking server's shutdown).
+            closeConnection(conn);
+            return;
+        }
+        if (errno == EINTR)
+            continue;
+        if (errno == EAGAIN || errno == EWOULDBLOCK)
             break;
-        if (verifyPayload(payload, be32At(crc_buf)) !=
-            WireError::None) {
+        closeConnection(conn);
+        return;
+    }
+}
+
+bool
+VappServer::processFrames(const std::shared_ptr<Connection> &conn)
+{
+    FrameDeframer::Decoded frame;
+    for (;;) {
+        if (conn->fd < 0)
+            return false;
+        switch (conn->deframer.next(frame)) {
+        case FrameDeframer::Result::NeedMore: return true;
+        case FrameDeframer::Result::Error:
+            VA_TELEM_COUNT("server.frames.bad", 1);
+            if (conn->deframer.fatal()) {
+                // Framing lost (bad magic/version/CRC/length):
+                // answer once, flush, drop — a byte stream cannot
+                // be resynchronized.
+                respondStatus(conn, Status::BadRequest, 0);
+                conn->readClosed = true;
+                conn->closeAfterFlush = true;
+                if (conn->fd >= 0) {
+                    updateEpoll(conn);
+                    flushOutbox(conn);
+                }
+                return false;
+            }
             // Framing held, the body is corrupt: report and keep
             // the connection (the stream is still in sync).
-            VA_TELEM_COUNT("server.frames.bad", 1);
-            sendStatus(*conn, Status::BadRequest, fh.requestId);
+            respondStatus(conn, Status::BadRequest,
+                          frame.header.requestId);
+            continue;
+        case FrameDeframer::Result::Frame:
+            handleFrame(conn, frame.header,
+                        std::move(frame.payload));
             continue;
         }
-        if (fh.kind > static_cast<u8>(Opcode::Scrub)) {
-            VA_TELEM_COUNT("server.frames.bad", 1);
-            sendStatus(*conn, Status::BadRequest, fh.requestId);
-            continue;
-        }
-        Opcode op = static_cast<Opcode>(fh.kind);
-        VA_TELEM_COUNT("server.requests", 1);
-        if (op == Opcode::Health) {
-            // Served off-queue: liveness probes must work while the
-            // queue is saturated.
-            answerHealth(conn, fh.requestId);
-            continue;
-        }
-        QueueClass cls =
-            (op == Opcode::Put || op == Opcode::Scrub)
-                ? QueueClass::Maintain
-                : QueueClass::Serve;
-        ServerJob job;
-        job.conn = conn;
-        job.opcode = op;
-        job.requestId = fh.requestId;
-        job.payload = std::move(payload);
-        job.admitted = std::chrono::steady_clock::now();
-        if (!queue_.tryPush(cls, std::move(job))) {
-            // Explicit backpressure: the client backs off and
-            // retries instead of the server buffering unboundedly.
-            VA_TELEM_COUNT(cls == QueueClass::Serve
-                               ? "server.queue.rejected.serve"
-                               : "server.queue.rejected.maintain",
-                           1);
-            sendStatus(*conn, Status::Retry, fh.requestId);
-            continue;
-        }
-        VA_TELEM_HIST("server.queue.depth",
-                      static_cast<u64>(queue_.size()));
     }
-    conn->open.store(false);
-    // Signal EOF to the peer now; the fd itself is closed when the
-    // connection is reaped (or at stop()), so the descriptor number
-    // cannot be reused while other threads may still reference it.
-    ::shutdown(conn->fd, SHUT_RDWR);
-    conn->finished.store(true);
 }
+
+void
+VappServer::handleFrame(const std::shared_ptr<Connection> &conn,
+                        const WireFrameHeader &header,
+                        Bytes payload)
+{
+    if (header.kind > static_cast<u8>(Opcode::Scrub)) {
+        VA_TELEM_COUNT("server.frames.bad", 1);
+        respondStatus(conn, Status::BadRequest, header.requestId);
+        return;
+    }
+    Opcode op = static_cast<Opcode>(header.kind);
+    VA_TELEM_COUNT("server.requests", 1);
+    if (op == Opcode::Health) {
+        // Served off-queue: liveness probes must work while the
+        // queue is saturated.
+        answerHealth(conn, header.requestId);
+        return;
+    }
+
+    std::string flight_key;
+    if (op == Opcode::GetFrames) {
+        GetFramesRequest request;
+        if (!parseGetFramesRequest(payload, request)) {
+            respondStatus(conn, Status::BadRequest,
+                          header.requestId);
+            return;
+        }
+        const bool exact = request.injectRawBer == 0.0;
+        const u32 key_id = keyIdOf(request.key);
+        if (exact && config_.cacheBytes > 0) {
+            if (CachedGopPtr hit = cache_.get(
+                    GopKey{request.name, request.gop, key_id})) {
+                // Hot path: the pre-serialized entry goes straight
+                // to the socket, no queue slot, no worker, no copy.
+                respondCached(conn, header.requestId,
+                              std::move(hit));
+                return;
+            }
+        }
+        if (exact && request.deadlineMs == 0) {
+            // Single flight: register (or join) the decode for this
+            // (video, key id). Registration happens here, on the
+            // one admission thread, so "N concurrent cold GETs ->
+            // one decode" is deterministic. Deadline-carrying and
+            // injected reads bypass coalescing: the former must be
+            // sheddable while queued, the latter are stochastic
+            // experiments with per-request seeds.
+            flight_key = flightKeyOf(request.name, key_id);
+            std::lock_guard lock(flightsMutex_);
+            auto [it, fresh] = flights_.try_emplace(flight_key);
+            if (!fresh) {
+                it->second.waiters.push_back(
+                    {conn, header.requestId, request.gop});
+                coalescedGets_.fetch_add(
+                    1, std::memory_order_relaxed);
+                VA_TELEM_COUNT("server.coalesced", 1);
+                return;
+            }
+        }
+    }
+
+    QueueClass cls = (op == Opcode::Put || op == Opcode::Scrub)
+                         ? QueueClass::Maintain
+                         : QueueClass::Serve;
+    ServerJob job;
+    job.conn = conn;
+    job.opcode = op;
+    job.requestId = header.requestId;
+    job.payload = std::move(payload);
+    job.admitted = std::chrono::steady_clock::now();
+    job.flightKey = flight_key;
+    if (!queue_.tryPush(cls, std::move(job))) {
+        // Explicit backpressure: the client backs off and retries
+        // instead of the server buffering unboundedly. A leader
+        // that could not be queued has no waiters yet (this thread
+        // is the only one that attaches them), so the flight just
+        // unregisters.
+        if (!flight_key.empty()) {
+            std::lock_guard lock(flightsMutex_);
+            flights_.erase(flight_key);
+        }
+        VA_TELEM_COUNT(cls == QueueClass::Serve
+                           ? "server.queue.rejected.serve"
+                           : "server.queue.rejected.maintain",
+                       1);
+        respondStatus(conn, Status::Retry, header.requestId);
+        return;
+    }
+    VA_TELEM_HIST("server.queue.depth",
+                  static_cast<u64>(queue_.size()));
+}
+
+void
+VappServer::flushOutbox(const std::shared_ptr<Connection> &conn)
+{
+    if (conn->fd < 0)
+        return;
+    std::unique_lock lock(conn->mutex);
+    while (!conn->outbox.empty()) {
+        OutboundFrame &f = conn->outbox.front();
+        auto segSize = [&f](unsigned seg) -> std::size_t {
+            if (seg == 0)
+                return f.head.size();
+            if (seg == 1)
+                return f.pin ? f.pin->payload.size() : 0;
+            return f.tail.size();
+        };
+        while (f.seg <= 2 && f.off >= segSize(f.seg)) {
+            ++f.seg;
+            f.off = 0;
+        }
+        if (f.seg > 2) {
+            conn->outbox.pop_front();
+            continue;
+        }
+        // Gather every unwritten byte of the frame into one
+        // sendmsg: writing header, payload, and CRC tail as three
+        // separate sends would leave the 4-byte tail parked behind
+        // Nagle waiting on a delayed ACK (~40 ms per response).
+        struct iovec iov[3];
+        unsigned iovcnt = 0;
+        for (unsigned seg = f.seg; seg <= 2; ++seg) {
+            std::size_t off = seg == f.seg ? f.off : 0;
+            std::size_t size = segSize(seg);
+            if (off >= size)
+                continue;
+            const u8 *data = seg == 0   ? f.head.data()
+                             : seg == 1 ? f.pin->payload.data()
+                                        : f.tail.data();
+            iov[iovcnt].iov_base =
+                const_cast<u8 *>(data + off);
+            iov[iovcnt].iov_len = size - off;
+            ++iovcnt;
+        }
+        msghdr msg{};
+        msg.msg_iov = iov;
+        msg.msg_iovlen = iovcnt;
+        ssize_t n = ::sendmsg(conn->fd, &msg, MSG_NOSIGNAL);
+        if (n < 0) {
+            if (errno == EINTR)
+                continue;
+            if (errno == EAGAIN || errno == EWOULDBLOCK) {
+                // Socket full: park the cursor and let EPOLLOUT
+                // resume the write. The histogram tracks how
+                // much is parked when stalls happen.
+                std::size_t pending = 0;
+                for (const OutboundFrame &p : conn->outbox)
+                    pending +=
+                        p.head.size() + p.tail.size() +
+                        (p.pin ? p.pin->payload.size() : 0);
+                VA_TELEM_COUNT("server.write_stalls", 1);
+                VA_TELEM_HIST("server.write_stall.bytes",
+                              static_cast<u64>(pending));
+                if (!conn->wantWrite) {
+                    conn->wantWrite = true;
+                    lock.unlock();
+                    updateEpoll(conn);
+                }
+                return;
+            }
+            lock.unlock();
+            closeConnection(conn);
+            return;
+        }
+        std::size_t advance = static_cast<std::size_t>(n);
+        while (f.seg <= 2) {
+            std::size_t left = segSize(f.seg) - f.off;
+            if (advance < left) {
+                f.off += advance;
+                break;
+            }
+            advance -= left;
+            ++f.seg;
+            f.off = 0;
+        }
+    }
+    const bool close_now = conn->closeAfterFlush;
+    const bool disarm = conn->wantWrite;
+    if (disarm)
+        conn->wantWrite = false;
+    lock.unlock();
+    if (disarm)
+        updateEpoll(conn);
+    if (close_now)
+        closeConnection(conn);
+}
+
+void
+VappServer::processWriteReady()
+{
+    std::vector<std::shared_ptr<Connection>> ready;
+    {
+        std::lock_guard lock(writeReadyMutex_);
+        ready.swap(writeReady_);
+    }
+    for (auto &conn : ready) {
+        {
+            std::lock_guard lock(conn->mutex);
+            conn->queuedForWrite = false;
+        }
+        flushOutbox(conn);
+    }
+}
+
+bool
+VappServer::drainForExit()
+{
+    std::vector<std::shared_ptr<Connection>> conns;
+    conns.reserve(conns_.size());
+    for (auto &[fd, conn] : conns_)
+        conns.push_back(conn);
+    bool all_empty = true;
+    for (auto &conn : conns) {
+        flushOutbox(conn);
+        if (conn->fd < 0)
+            continue;
+        std::lock_guard lock(conn->mutex);
+        if (!conn->outbox.empty())
+            all_empty = false;
+    }
+    return all_empty;
+}
+
+void
+VappServer::enqueueResponse(
+    const std::shared_ptr<Connection> &conn, OutboundFrame frame)
+{
+    bool notify = false;
+    {
+        std::lock_guard lock(conn->mutex);
+        if (!conn->open)
+            return; // connection lost: response has no reader
+        conn->outbox.push_back(std::move(frame));
+        if (!conn->queuedForWrite) {
+            conn->queuedForWrite = true;
+            notify = true;
+        }
+    }
+    if (std::this_thread::get_id() == loopThreadId_.load()) {
+        // Inline answers (HEALTH, Retry, BadRequest, cache hits)
+        // flush immediately — no eventfd round trip.
+        {
+            std::lock_guard lock(conn->mutex);
+            conn->queuedForWrite = false;
+        }
+        flushOutbox(conn);
+        return;
+    }
+    if (notify) {
+        {
+            std::lock_guard lock(writeReadyMutex_);
+            writeReady_.push_back(conn);
+        }
+        wakeLoop();
+    }
+}
+
+void
+VappServer::respondPayload(const std::shared_ptr<Connection> &conn,
+                           u8 kind, u32 request_id,
+                           const Bytes &payload)
+{
+    OutboundFrame frame;
+    frame.head = encodeFrame(kind, request_id, payload);
+    enqueueResponse(conn, std::move(frame));
+}
+
+void
+VappServer::respondStatus(const std::shared_ptr<Connection> &conn,
+                          Status status, u32 request_id)
+{
+    respondPayload(conn, static_cast<u8>(status), request_id,
+                   serializeStatusOnly(status));
+}
+
+void
+VappServer::respondCached(const std::shared_ptr<Connection> &conn,
+                          u32 request_id, CachedGopPtr gop)
+{
+    OutboundFrame frame;
+    const u8 kind = static_cast<u8>(
+        gop->partial ? Status::Partial : Status::Ok);
+    frame.head = encodeFrameHeader(
+        kind, request_id, static_cast<u32>(gop->payload.size()));
+    frame.tail = encodeBe32(gop->payloadCrc);
+    frame.pin = std::move(gop);
+    enqueueResponse(conn, std::move(frame));
+}
+
+// --- workers -----------------------------------------------------------
 
 void
 VappServer::workerLoop()
 {
-    while (auto job = queue_.pop())
-        execute(*job);
+    // Batched drain: a coalesced admission burst costs the pool one
+    // wakeup, and one worker amortizes its queue lock across jobs.
+    constexpr std::size_t kBatch = 4;
+    for (;;) {
+        std::vector<ServerJob> batch = queue_.popBatch(kBatch);
+        if (batch.empty())
+            return; // closed and drained
+        for (ServerJob &job : batch)
+            execute(job);
+    }
 }
 
 void
@@ -323,49 +749,108 @@ VappServer::execute(const ServerJob &job)
 }
 
 void
+VappServer::finishFlight(const std::string &key,
+                         const std::vector<CachedGopPtr> &table)
+{
+    std::vector<Waiter> waiters;
+    {
+        std::lock_guard lock(flightsMutex_);
+        auto it = flights_.find(key);
+        if (it == flights_.end())
+            return;
+        waiters = std::move(it->second.waiters);
+        flights_.erase(it);
+    }
+    for (const Waiter &w : waiters) {
+        if (w.gop < table.size() && table[w.gop])
+            respondCached(w.conn, w.requestId, table[w.gop]);
+        else
+            respondStatus(w.conn, Status::NotFound, w.requestId);
+    }
+}
+
+void
+VappServer::failFlight(const std::string &key, Status status)
+{
+    std::vector<Waiter> waiters;
+    {
+        std::lock_guard lock(flightsMutex_);
+        auto it = flights_.find(key);
+        if (it == flights_.end())
+            return;
+        waiters = std::move(it->second.waiters);
+        flights_.erase(it);
+    }
+    for (const Waiter &w : waiters)
+        respondStatus(w.conn, status, w.requestId);
+}
+
+bool
+VappServer::completeFlightFromCache(const ServerJob &job,
+                                    const GetFramesRequest &request,
+                                    CachedGopPtr hit)
+{
+    // The leader's own GOP is cached — assemble the whole video's
+    // table from cache so the waiters (who may want sibling GOPs)
+    // are served too. Any evicted sibling forces a fresh decode.
+    const u32 key_id = keyIdOf(request.key);
+    std::vector<CachedGopPtr> table(hit->gopCount);
+    for (u32 g = 0; g < hit->gopCount; ++g) {
+        table[g] = g == request.gop
+                       ? hit
+                       : cache_.get(GopKey{request.name, g, key_id});
+        if (!table[g])
+            return false;
+    }
+    finishFlight(job.flightKey, table);
+    respondCached(job.conn, job.requestId, std::move(hit));
+    return true;
+}
+
+void
 VappServer::handleGetFrames(const ServerJob &job)
 {
     VA_TELEM_LATENCY("server.op.get_frames");
     GetFramesRequest request;
     if (!parseGetFramesRequest(job.payload, request)) {
-        sendStatus(*job.conn, Status::BadRequest, job.requestId);
+        respondStatus(job.conn, Status::BadRequest, job.requestId);
         return;
     }
+    const bool leader = !job.flightKey.empty();
     if (request.deadlineMs > 0 &&
         elapsedMs(job.admitted) > request.deadlineMs) {
         // Queued past its deadline: shed it now instead of doing
-        // work the client has given up on.
+        // work the client has given up on. (Deadline-carrying
+        // requests never lead flights, so nobody waits on this.)
         VA_TELEM_COUNT("server.deadline_expired", 1);
-        sendStatus(*job.conn, Status::Deadline, job.requestId);
+        respondStatus(job.conn, Status::Deadline, job.requestId);
         return;
     }
 
     const bool cacheable =
         config_.cacheBytes > 0 && request.injectRawBer == 0.0;
-    GopKey cache_key{request.name, request.gop,
-                     request.key.empty() ? 0 : crc32(request.key)};
+    const u32 key_id = keyIdOf(request.key);
+    GopKey cache_key{request.name, request.gop, key_id};
     if (cacheable) {
-        if (auto hit = cache_.get(cache_key)) {
-            GetFramesResponse response;
-            response.status = hit->blocksUncorrectable > 0
-                                  ? Status::Partial
-                                  : Status::Ok;
-            response.width = hit->width;
-            response.height = hit->height;
-            response.firstFrame = hit->firstFrame;
-            response.frameCount = hit->frameCount;
-            response.gopCount = hit->gopCount;
-            response.fromCache = true;
-            response.blocksCorrected = hit->blocksCorrected;
-            response.blocksUncorrectable = hit->blocksUncorrectable;
-            response.i420 = std::move(hit->i420);
-            sendFrame(*job.conn,
-                        static_cast<u8>(response.status),
-                        job.requestId,
-                        serializeGetFramesResponse(response));
-            return;
+        if (CachedGopPtr hit = cache_.get(cache_key)) {
+            // Admission raced a concurrent fill; serve from cache.
+            // A leader still owes its waiters the full table.
+            if (!leader) {
+                respondCached(job.conn, job.requestId,
+                              std::move(hit));
+                return;
+            }
+            if (completeFlightFromCache(job, request,
+                                        std::move(hit)))
+                return;
         }
     }
+
+    // Decode leaders build every BCH table the video needs before
+    // the read fans out: one construction pays for every block
+    // decode of every coalesced request in this flight.
+    if (leader)
+        service_.prewarmCodes(request.name);
 
     ArchiveGetOptions options;
     options.injectRawBer = request.injectRawBer;
@@ -379,16 +864,14 @@ VappServer::handleGetFrames(const ServerJob &job)
             status = Status::NotFound;
         else if (result.error == ArchiveError::KeyRequired)
             status = Status::KeyRequired;
-        sendStatus(*job.conn, status, job.requestId);
+        if (leader)
+            failFlight(job.flightKey, status);
+        respondStatus(job.conn, status, job.requestId);
         return;
     }
 
     std::vector<GopRange> ranges =
         gopRanges(result.frameHeaders, result.decoded.frames.size());
-    if (request.gop >= ranges.size()) {
-        sendStatus(*job.conn, Status::NotFound, job.requestId);
-        return;
-    }
 
     GetFramesResponse response;
     response.status = result.cells.blocksUncorrectable > 0
@@ -396,41 +879,60 @@ VappServer::handleGetFrames(const ServerJob &job)
                           : Status::Ok;
     if (response.status == Status::Partial)
         VA_TELEM_COUNT("server.partial_responses", 1);
-    response.width =
-        static_cast<u16>(result.decoded.width());
-    response.height =
-        static_cast<u16>(result.decoded.height());
+    response.width = static_cast<u16>(result.decoded.width());
+    response.height = static_cast<u16>(result.decoded.height());
     response.gopCount = static_cast<u32>(ranges.size());
     response.blocksCorrected = result.cells.blocksCorrected;
     response.blocksUncorrectable = result.cells.blocksUncorrectable;
 
     // One decode produced every GOP of the video: cache them all so
-    // the next hot read of any GOP skips the whole read path.
+    // the next hot read of any GOP skips the whole read path, and
+    // build the entry table the flight's waiters are served from.
+    std::vector<CachedGopPtr> table;
+    if (leader)
+        table.resize(ranges.size());
     for (std::size_t g = 0; g < ranges.size(); ++g) {
-        DecodedGop gop;
-        gop.width = response.width;
-        gop.height = response.height;
-        gop.firstFrame = ranges[g].firstFrame;
-        gop.frameCount = ranges[g].frameCount;
-        gop.gopCount = response.gopCount;
-        gop.blocksCorrected = response.blocksCorrected;
-        gop.blocksUncorrectable = response.blocksUncorrectable;
-        gop.i420 = packFramesI420(result.decoded,
-                                  ranges[g].firstFrame,
-                                  ranges[g].frameCount);
-        if (g == request.gop) {
-            response.firstFrame = gop.firstFrame;
-            response.frameCount = gop.frameCount;
-            response.i420 = gop.i420;
+        const bool own = g == request.gop;
+        if (own || cacheable || leader) {
+            DecodedGop gop;
+            gop.width = response.width;
+            gop.height = response.height;
+            gop.firstFrame = ranges[g].firstFrame;
+            gop.frameCount = ranges[g].frameCount;
+            gop.gopCount = response.gopCount;
+            gop.blocksCorrected = response.blocksCorrected;
+            gop.blocksUncorrectable = response.blocksUncorrectable;
+            gop.i420 = packFramesI420(result.decoded,
+                                      ranges[g].firstFrame,
+                                      ranges[g].frameCount);
+            if (own) {
+                response.firstFrame = gop.firstFrame;
+                response.frameCount = gop.frameCount;
+                response.i420 = gop.i420;
+            }
+            if (cacheable || leader) {
+                CachedGopPtr entry = makeCachedGop(gop);
+                if (cacheable)
+                    cache_.put(GopKey{request.name,
+                                      static_cast<u32>(g), key_id},
+                               entry);
+                if (leader)
+                    table[g] = std::move(entry);
+            }
         }
-        if (cacheable)
-            cache_.put(GopKey{request.name, static_cast<u32>(g),
-                              cache_key.keyId},
-                       std::move(gop));
     }
-    sendFrame(*job.conn, static_cast<u8>(response.status),
-                job.requestId,
-                serializeGetFramesResponse(response));
+    // Cache inserts happen before the flight retires: a GET arriving
+    // after the flight is gone finds the cache warm, so no request
+    // can fall between the two.
+    if (leader)
+        finishFlight(job.flightKey, table);
+    if (request.gop >= ranges.size()) {
+        respondStatus(job.conn, Status::NotFound, job.requestId);
+        return;
+    }
+    respondPayload(job.conn, static_cast<u8>(response.status),
+                   job.requestId,
+                   serializeGetFramesResponse(response));
 }
 
 void
@@ -440,7 +942,7 @@ VappServer::handlePut(const ServerJob &job)
     PutRequest request;
     if (!parsePutRequest(job.payload, request) ||
         request.cipherMode > static_cast<u8>(CipherMode::CFB)) {
-        sendStatus(*job.conn, Status::BadRequest, job.requestId);
+        respondStatus(job.conn, Status::BadRequest, job.requestId);
         return;
     }
 
@@ -478,7 +980,7 @@ VappServer::handlePut(const ServerJob &job)
     }
     if (service_.put(request.name, prepared, options) !=
         ArchiveError::None) {
-        sendStatus(*job.conn, Status::Error, job.requestId);
+        respondStatus(job.conn, Status::Error, job.requestId);
         return;
     }
     cache_.eraseVideo(request.name);
@@ -489,8 +991,8 @@ VappServer::handlePut(const ServerJob &job)
     for (const ArchiveVideoStat &s : service_.stat())
         if (s.name == request.name)
             response.cellBytes = s.cellBytes;
-    sendFrame(*job.conn, static_cast<u8>(response.status),
-                job.requestId, serializePutResponse(response));
+    respondPayload(job.conn, static_cast<u8>(response.status),
+                   job.requestId, serializePutResponse(response));
 }
 
 void
@@ -500,8 +1002,8 @@ VappServer::handleStat(const ServerJob &job)
     StatResponse response;
     response.status = Status::Ok;
     response.videos = service_.stat();
-    sendFrame(*job.conn, static_cast<u8>(response.status),
-                job.requestId, serializeStatResponse(response));
+    respondPayload(job.conn, static_cast<u8>(response.status),
+                   job.requestId, serializeStatResponse(response));
 }
 
 void
@@ -510,7 +1012,7 @@ VappServer::handleScrub(const ServerJob &job)
     VA_TELEM_LATENCY("server.op.scrub");
     ScrubRequest request;
     if (!parseScrubRequest(job.payload, request)) {
-        sendStatus(*job.conn, Status::BadRequest, job.requestId);
+        respondStatus(job.conn, Status::BadRequest, job.requestId);
         return;
     }
     ScrubOptions options;
@@ -531,8 +1033,8 @@ VappServer::handleScrub(const ServerJob &job)
     response.blocksUncorrectable = report.cells.blocksUncorrectable;
     response.streamsMiscorrected = report.streamsMiscorrected;
     response.streamsDamaged = report.streamsDamaged;
-    sendFrame(*job.conn, static_cast<u8>(response.status),
-                job.requestId, serializeScrubResponse(response));
+    respondPayload(job.conn, static_cast<u8>(response.status),
+                   job.requestId, serializeScrubResponse(response));
 }
 
 void
@@ -549,8 +1051,9 @@ VappServer::answerHealth(const std::shared_ptr<Connection> &conn,
     response.cacheBytes = cache_.bytes();
     response.cacheEntries = cache_.entries();
     response.videos = service_.videoCount();
-    sendFrame(*conn, static_cast<u8>(response.status), request_id,
-                serializeHealthResponse(response));
+    response.coalescedGets = coalescedGets_.load();
+    respondPayload(conn, static_cast<u8>(response.status),
+                   request_id, serializeHealthResponse(response));
 }
 
 } // namespace videoapp

@@ -1,31 +1,41 @@
 /**
  * @file
- * The VAPP store server: a concurrent TCP front end over an
+ * The VAPP store server: an event-driven TCP front end over an
  * ArchiveService, completing the paper's storage model into a
  * serving system that can be load-tested end to end.
  *
  * Architecture (one process, loopback or LAN):
  *
- *   accept thread ─▶ per-connection reader threads
- *        │                 │  parse wire frames (total parser)
- *        │                 │  HEALTH answered inline (liveness must
- *        │                 │  survive queue saturation)
- *        │                 ▼
- *        │          RequestQueue (bounded, Serve ahead of Maintain;
- *        │                 │      full queue -> Status::Retry)
- *        │                 ▼
- *        └── worker pool: deadline check, FrameCache lookup,
- *            ArchiveService get/put/scrub/stat, response write
- *            (per-connection write mutex; responses may interleave
- *            across requests of one pipelined connection)
+ *   epoll event loop (1 thread, nonblocking sockets)
+ *     │  accepts, reads, incremental deframing (FrameDeframer),
+ *     │  HEALTH / BadRequest / Retry / cache hits answered inline,
+ *     │  all socket writes (nonblocking, partial-write continuation
+ *     │  via per-connection outboxes and EPOLLOUT re-arm)
+ *     ▼
+ *   RequestQueue (bounded, Serve ahead of Maintain;
+ *     │           full queue -> Status::Retry)
+ *     ▼
+ *   worker pool: batched pop, deadline check, single-flight decode,
+ *     ArchiveService get/put/scrub/stat; responses are appended to
+ *     the connection outbox and the loop is woken via eventfd —
+ *     workers never touch a socket.
  *
  * Read path: a GET_FRAMES miss decodes the *whole* video through
  * ArchiveService::get (BCH read, decrypt, entropy decode, pivot
  * reassembly), packs every GOP and caches them all, then answers
- * with the requested one; a hit returns packed frames straight from
- * memory, touching none of that. Exact reads (injectRawBer == 0)
- * are the only cacheable ones — injected reads are stochastic
+ * with the requested one; a hit serializes straight from the
+ * refcounted FrameCache entry — the pre-built payload and memoized
+ * CRC hit the wire with zero copies. Exact reads (injectRawBer ==
+ * 0) are the only cacheable ones — injected reads are stochastic
  * experiments and always decode fresh.
+ *
+ * Single flight: concurrent cold GETs for the same (video, key-id)
+ * coalesce. The first becomes the decode leader; later arrivals
+ * (exact, deadline-free) attach as waiters without consuming queue
+ * slots and are all answered from the leader's one decode — which
+ * also pre-warms the video's BCH tables once, so the block decodes
+ * the whole batch shares hit the table cache's lock-free fast path.
+ * Requests carrying deadlines or error injection bypass coalescing.
  *
  * Degradation: requests carrying a deadline that expires while
  * queued get Status::Deadline; reads whose low-importance streams
@@ -33,8 +43,9 @@
  * Status::Partial (approximate storage made visible, not an error).
  *
  * Shutdown (stop()): stop accepting, close the queue (admitted jobs
- * still drain and answer), join workers, then unblock and join the
- * connection readers — an admitted request never loses its response.
+ * still drain and answer), join workers while the loop keeps
+ * flushing their responses, then drain the outboxes (bounded) and
+ * exit — an admitted request never loses its response.
  */
 
 #ifndef VIDEOAPP_SERVER_VAPP_SERVER_H_
@@ -43,7 +54,9 @@
 #include <atomic>
 #include <chrono>
 #include <memory>
+#include <string>
 #include <thread>
+#include <unordered_map>
 #include <vector>
 
 #include "archive/archive_service.h"
@@ -57,12 +70,17 @@ struct VappServerConfig
 {
     /** TCP port to bind on 127.0.0.1 (0 = ephemeral, see port()). */
     u16 port = 0;
-    /** Worker threads draining the request queue. */
+    /** Worker threads draining the request queue (the event loop
+     * handles any number of connections on its own). */
     int workers = 4;
     /** Bounded queue capacity across both priority classes. */
     std::size_t queueCapacity = 256;
     /** Decoded-GOP cache byte budget (0 disables caching). */
     std::size_t cacheBytes = 64u << 20;
+    /** Test hook: SO_SNDBUF for accepted sockets (0 = OS default).
+     * A tiny buffer forces partial writes so the EPOLLOUT
+     * continuation path is exercised deterministically. */
+    int sndbufBytes = 0;
 };
 
 class VappServer
@@ -90,6 +108,9 @@ class VappServer
     std::size_t queueHighWater() const { return queue_.highWater(); }
     u64 queueRejected() const { return queue_.rejectedTotal(); }
 
+    /** GETs answered from another request's in-flight decode. */
+    u64 coalescedGets() const { return coalescedGets_.load(); }
+
     /**
      * Test/bench hook: freeze the worker pool's queue drain so
      * admitted requests pile up to capacity and the overflow is
@@ -100,6 +121,7 @@ class VappServer
 
   private:
     struct Connection;
+    struct OutboundFrame;
 
     struct ServerJob
     {
@@ -108,18 +130,54 @@ class VappServer
         u32 requestId = 0;
         Bytes payload;
         std::chrono::steady_clock::time_point admitted;
+        /** Non-empty: this job leads the single-flight decode
+         * registered under this key at admission. */
+        std::string flightKey;
     };
 
-    void acceptLoop();
-    void connectionLoop(std::shared_ptr<Connection> conn);
+    struct Waiter
+    {
+        std::shared_ptr<Connection> conn;
+        u32 requestId = 0;
+        u32 gop = 0;
+    };
+
+    struct Flight
+    {
+        std::vector<Waiter> waiters;
+    };
+
+    // --- event loop (loop thread only unless noted) ----------------
+    void eventLoop();
+    void acceptAll();
+    void onReadable(const std::shared_ptr<Connection> &conn);
+    /** Parse buffered frames; false when the connection was lost. */
+    bool processFrames(const std::shared_ptr<Connection> &conn);
+    void handleFrame(const std::shared_ptr<Connection> &conn,
+                     const WireFrameHeader &header, Bytes payload);
+    void flushOutbox(const std::shared_ptr<Connection> &conn);
+    void processWriteReady();
+    void updateEpoll(const std::shared_ptr<Connection> &conn);
+    void closeConnection(const std::shared_ptr<Connection> &conn);
+    bool drainForExit();
+
+    /** Any thread: queue a frame on @p conn and make sure the loop
+     * flushes it (inline when called from the loop itself). */
+    void enqueueResponse(const std::shared_ptr<Connection> &conn,
+                         OutboundFrame frame);
+    void wakeLoop();
+
+    void respondPayload(const std::shared_ptr<Connection> &conn,
+                        u8 kind, u32 request_id,
+                        const Bytes &payload);
+    void respondStatus(const std::shared_ptr<Connection> &conn,
+                       Status status, u32 request_id);
+    /** Zero-copy: header + pinned cache payload + CRC trailer. */
+    void respondCached(const std::shared_ptr<Connection> &conn,
+                       u32 request_id, CachedGopPtr gop);
+
+    // --- workers ---------------------------------------------------
     void workerLoop();
-    void reapFinishedConnections();
-
-    static bool sendFrame(Connection &conn, u8 kind, u32 request_id,
-                          const Bytes &payload);
-    static bool sendStatus(Connection &conn, Status status,
-                           u32 request_id);
-
     void execute(const ServerJob &job);
     void handleGetFrames(const ServerJob &job);
     void handlePut(const ServerJob &job);
@@ -128,21 +186,49 @@ class VappServer
     void answerHealth(const std::shared_ptr<Connection> &conn,
                       u32 request_id);
 
+    /** Serve every waiter of @p key from the per-GOP table (out of
+     * range -> NotFound) and retire the flight. */
+    void finishFlight(const std::string &key,
+                      const std::vector<CachedGopPtr> &table);
+    /** Retire the flight answering every waiter @p status. */
+    void failFlight(const std::string &key, Status status);
+    /** Leader raced a cache fill: try to finish the flight (and the
+     * leader's own response) entirely from cache; false when a
+     * sibling GOP was evicted and a fresh decode is needed. */
+    bool completeFlightFromCache(const ServerJob &job,
+                                 const GetFramesRequest &request,
+                                 CachedGopPtr hit);
+
     ArchiveService &service_;
     VappServerConfig config_;
     RequestQueue<ServerJob> queue_;
     FrameCache cache_;
 
     int listenFd_ = -1;
+    int epollFd_ = -1;
+    int wakeFd_ = -1;
     u16 port_ = 0;
-    std::atomic<bool> running_{false};
     bool started_ = false;
-    std::thread acceptThread_;
+    bool stopped_ = false;
+    std::atomic<bool> stopAccept_{false};
+    std::atomic<bool> draining_{false};
+    std::atomic<std::thread::id> loopThreadId_{};
+    std::thread loopThread_;
     std::vector<std::thread> workers_;
 
-    std::mutex connMutex_;
-    std::vector<std::shared_ptr<Connection>> connections_;
-    std::vector<std::thread> connThreads_;
+    /** Loop-thread only: fd -> connection. */
+    std::unordered_map<int, std::shared_ptr<Connection>> conns_;
+
+    /** Connections with responses queued by workers, awaiting a
+     * loop-side flush (drained by processWriteReady). */
+    std::mutex writeReadyMutex_;
+    std::vector<std::shared_ptr<Connection>> writeReady_;
+
+    /** In-flight decode registry, keyed (video name, key id). */
+    std::mutex flightsMutex_;
+    std::unordered_map<std::string, Flight> flights_;
+
+    std::atomic<u64> coalescedGets_{0};
 };
 
 } // namespace videoapp

@@ -49,6 +49,7 @@ wireErrorName(WireError error)
     case WireError::BadCrc: return "CRC mismatch";
     case WireError::BadKind: return "unknown opcode/status";
     case WireError::Malformed: return "malformed payload";
+    case WireError::ConnectionClosed: return "connection closed";
     }
     return "unknown wire error";
 }
@@ -88,17 +89,34 @@ getBe32(const u8 *p)
 } // namespace
 
 Bytes
-encodeFrame(u8 kind, u32 requestId, const Bytes &payload)
+encodeFrameHeader(u8 kind, u32 requestId, u32 payloadLength)
 {
     Bytes out;
-    out.reserve(kWireHeaderBytes + payload.size() + 4);
+    out.reserve(kWireHeaderBytes);
     putBe32(out, kWireMagic);
     putBe16(out, kWireVersion);
     out.push_back(kind);
     out.push_back(0); // flags
     putBe32(out, requestId);
-    putBe32(out, static_cast<u32>(payload.size()));
+    putBe32(out, payloadLength);
     putBe32(out, crc32(out.data(), 16));
+    return out;
+}
+
+Bytes
+encodeBe32(u32 v)
+{
+    Bytes out;
+    putBe32(out, v);
+    return out;
+}
+
+Bytes
+encodeFrame(u8 kind, u32 requestId, const Bytes &payload)
+{
+    Bytes out = encodeFrameHeader(
+        kind, requestId, static_cast<u32>(payload.size()));
+    out.reserve(kWireHeaderBytes + payload.size() + 4);
     out.insert(out.end(), payload.begin(), payload.end());
     putBe32(out, crc32(payload));
     return out;
@@ -130,6 +148,54 @@ verifyPayload(const Bytes &payload, u32 payload_crc)
 {
     return crc32(payload) == payload_crc ? WireError::None
                                          : WireError::BadCrc;
+}
+
+void
+FrameDeframer::feed(const u8 *data, std::size_t size)
+{
+    // Compact consumed bytes before growing: a long-lived pipelined
+    // connection must not accumulate its whole history.
+    if (pos_ > 0) {
+        buffer_.erase(buffer_.begin(),
+                      buffer_.begin() +
+                          static_cast<std::ptrdiff_t>(pos_));
+        pos_ = 0;
+    }
+    buffer_.insert(buffer_.end(), data, data + size);
+}
+
+FrameDeframer::Result
+FrameDeframer::next(Decoded &out)
+{
+    if (fatal_)
+        return Result::Error;
+    const std::size_t avail = buffer_.size() - pos_;
+    if (avail < kWireHeaderBytes)
+        return Result::NeedMore;
+    WireError err = parseFrameHeader(buffer_.data() + pos_,
+                                     kWireHeaderBytes, out.header);
+    if (err != WireError::None) {
+        // Header damage: the stream cannot be resynchronized.
+        error_ = err;
+        fatal_ = true;
+        return Result::Error;
+    }
+    const std::size_t total =
+        kWireHeaderBytes + out.header.payloadLength + 4;
+    if (avail < total)
+        return Result::NeedMore;
+    const u8 *body = buffer_.data() + pos_ + kWireHeaderBytes;
+    out.payload.assign(body, body + out.header.payloadLength);
+    u32 crc = getBe32(body + out.header.payloadLength);
+    pos_ += total; // consumed either way: framing held
+    if (verifyPayload(out.payload, crc) != WireError::None) {
+        // Recoverable: out.header.requestId is valid for the
+        // BadRequest echo and the next frame starts cleanly.
+        error_ = WireError::BadCrc;
+        return Result::Error;
+    }
+    error_ = WireError::None;
+    return Result::Frame;
 }
 
 // --- payload primitives ------------------------------------------------
@@ -498,6 +564,7 @@ serializeHealthResponse(const HealthResponse &response)
     w.putU64(response.cacheBytes);
     w.putU64(response.cacheEntries);
     w.putU64(response.videos);
+    w.putU64(response.coalescedGets);
     return w.take();
 }
 
@@ -515,7 +582,7 @@ parseHealthResponse(const Bytes &payload, HealthResponse &out)
            r.getU32(out.queueHighWater) &&
            r.getU64(out.queueRejected) && r.getU64(out.cacheBytes) &&
            r.getU64(out.cacheEntries) && r.getU64(out.videos) &&
-           r.exhausted();
+           r.getU64(out.coalescedGets) && r.exhausted();
 }
 
 Bytes

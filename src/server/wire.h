@@ -78,13 +78,17 @@ enum class Status : u8
 enum class WireError
 {
     None,
-    ShortRead,  // connection closed / buffer truncated mid-frame
+    ShortRead,  // buffer truncated mid-frame (peer died mid-send)
     BadMagic,   // not a VSRV frame
     BadVersion, // peer speaks a newer protocol revision
     Oversized,  // payload length beyond kWireMaxPayload
     BadCrc,     // header or payload failed its integrity check
     BadKind,    // opcode/status byte outside the known range
     Malformed,  // payload fields inconsistent with the opcode
+    /** Peer closed cleanly between frames (orderly EOF / reset):
+     * distinct from ShortRead so pipelined clients can tell "the
+     * server went away" from "the stream is corrupt". */
+    ConnectionClosed,
 };
 
 const char *opcodeName(Opcode op);
@@ -106,6 +110,17 @@ struct WireFrameHeader
 Bytes encodeFrame(u8 kind, u32 requestId, const Bytes &payload);
 
 /**
+ * Encode only the 20-byte frame header for a payload of
+ * @p payloadLength bytes. The zero-copy response path sends
+ * [header][shared payload][crc trailer] as separate segments, so
+ * the payload bytes are never copied into the frame.
+ */
+Bytes encodeFrameHeader(u8 kind, u32 requestId, u32 payloadLength);
+
+/** A u32 as 4 big-endian bytes (the payload CRC trailer). */
+Bytes encodeBe32(u32 v);
+
+/**
  * Parse and validate a 20-byte frame header. @p data must hold at
  * least kWireHeaderBytes; @p out is valid only on None.
  */
@@ -114,6 +129,60 @@ WireError parseFrameHeader(const u8 *data, std::size_t size,
 
 /** Check a received payload against its trailing CRC field. */
 WireError verifyPayload(const Bytes &payload, u32 payload_crc);
+
+/**
+ * Incremental frame deframer for nonblocking sockets: feed() raw
+ * bytes as they arrive in arbitrary-sized chunks, then pull
+ * complete frames out with next(). The event loop owns one per
+ * connection; blocking recvFull loops are gone.
+ *
+ * Error discipline mirrors the blocking reader it replaces:
+ *
+ *  - Header damage (bad magic/version/CRC, oversized length) is
+ *    *fatal*: a byte stream cannot be resynchronized, so fatal()
+ *    latches and next() keeps returning Error. The caller answers
+ *    BadRequest once and drops the connection.
+ *  - Payload CRC damage is *recoverable*: framing held, so the
+ *    frame is consumed, out.header carries the request id to echo,
+ *    and the stream stays in sync for the next frame.
+ */
+class FrameDeframer
+{
+  public:
+    enum class Result
+    {
+        Frame,    // out holds a verified frame
+        NeedMore, // feed() more bytes
+        Error,    // see error(); fatal() tells if the stream is lost
+    };
+
+    struct Decoded
+    {
+        WireFrameHeader header;
+        Bytes payload;
+    };
+
+    /** Append @p size raw bytes from the socket. */
+    void feed(const u8 *data, std::size_t size);
+
+    /** Extract the next complete frame, if buffered. */
+    Result next(Decoded &out);
+
+    /** Last error returned by next() (valid after Error). */
+    WireError error() const { return error_; }
+
+    /** Stream unrecoverable: stop reading, drop the connection. */
+    bool fatal() const { return fatal_; }
+
+    /** Bytes buffered but not yet consumed (tests/introspection). */
+    std::size_t buffered() const { return buffer_.size() - pos_; }
+
+  private:
+    Bytes buffer_;
+    std::size_t pos_ = 0;
+    WireError error_ = WireError::None;
+    bool fatal_ = false;
+};
 
 // --- payload primitives ------------------------------------------------
 
@@ -264,6 +333,8 @@ struct HealthResponse
     u64 cacheBytes = 0;
     u64 cacheEntries = 0;
     u64 videos = 0;
+    /** GETs answered from another request's in-flight decode. */
+    u64 coalescedGets = 0;
 };
 
 Bytes serializeGetFramesResponse(const GetFramesResponse &response);

@@ -16,10 +16,23 @@
 
 #include <immintrin.h>
 
+#include <cstring>
+
 namespace videoapp {
 namespace simd {
 
 namespace {
+
+/** Unaligned 4-byte load: u8 rows carry no int alignment, so a
+ * direct int* dereference is UB (and trips UBSan). memcpy compiles
+ * to the same single mov. */
+inline int
+loadI32(const u8 *p)
+{
+    int v;
+    std::memcpy(&v, p, sizeof v);
+    return v;
+}
 
 inline long
 hsum64(__m256i v)
@@ -88,10 +101,8 @@ avx2SadRect(const u8 *a, int a_stride, const u8 *b, int b_stride,
             x += 8;
         }
         if (x + 4 <= w) {
-            __m128i va = _mm_cvtsi32_si128(
-                *reinterpret_cast<const int *>(pa + x));
-            __m128i vb = _mm_cvtsi32_si128(
-                *reinterpret_cast<const int *>(pb + x));
+            __m128i va = _mm_cvtsi32_si128(loadI32(pa + x));
+            __m128i vb = _mm_cvtsi32_si128(loadI32(pb + x));
             acc128 = _mm_add_epi64(acc128, _mm_sad_epu8(va, vb));
             x += 4;
         }

@@ -25,6 +25,23 @@ namespace simd {
 
 namespace {
 
+/** Unaligned 4-byte load/store: u8 rows carry no int alignment, so
+ * a direct int* dereference is UB (and trips UBSan). memcpy compiles
+ * to the same single mov. */
+inline int
+loadI32(const u8 *p)
+{
+    int v;
+    std::memcpy(&v, p, sizeof v);
+    return v;
+}
+
+inline void
+storeI32(u8 *p, int v)
+{
+    std::memcpy(p, &v, sizeof v);
+}
+
 /** 4x4 i16 transpose of the low 64 bits of r0..r3. */
 inline void
 transpose4x4LowI16(__m128i &r0, __m128i &r1, __m128i &r2, __m128i &r3)
@@ -228,15 +245,12 @@ sse2Residual4x4(const u8 *src, int src_stride, const u8 *pred,
     const __m128i zero = _mm_setzero_si128();
     for (int y = 0; y < 4; y += 2) {
         __m128i s = _mm_unpacklo_epi32(
-            _mm_cvtsi32_si128(*reinterpret_cast<const int *>(
-                src + y * src_stride)),
-            _mm_cvtsi32_si128(*reinterpret_cast<const int *>(
-                src + (y + 1) * src_stride)));
+            _mm_cvtsi32_si128(loadI32(src + y * src_stride)),
+            _mm_cvtsi32_si128(loadI32(src + (y + 1) * src_stride)));
         __m128i p = _mm_unpacklo_epi32(
-            _mm_cvtsi32_si128(*reinterpret_cast<const int *>(
-                pred + y * pred_stride)),
-            _mm_cvtsi32_si128(*reinterpret_cast<const int *>(
-                pred + (y + 1) * pred_stride)));
+            _mm_cvtsi32_si128(loadI32(pred + y * pred_stride)),
+            _mm_cvtsi32_si128(
+                loadI32(pred + (y + 1) * pred_stride)));
         __m128i s16 = _mm_unpacklo_epi8(s, zero);
         __m128i p16 = _mm_unpacklo_epi8(p, zero);
         _mm_storeu_si128(reinterpret_cast<__m128i *>(res + 4 * y),
@@ -251,10 +265,9 @@ sse2Reconstruct4x4(const u8 *pred, int pred_stride, const i16 res[16],
     const __m128i zero = _mm_setzero_si128();
     for (int y = 0; y < 4; y += 2) {
         __m128i p = _mm_unpacklo_epi32(
-            _mm_cvtsi32_si128(*reinterpret_cast<const int *>(
-                pred + y * pred_stride)),
-            _mm_cvtsi32_si128(*reinterpret_cast<const int *>(
-                pred + (y + 1) * pred_stride)));
+            _mm_cvtsi32_si128(loadI32(pred + y * pred_stride)),
+            _mm_cvtsi32_si128(
+                loadI32(pred + (y + 1) * pred_stride)));
         __m128i p16 = _mm_unpacklo_epi8(p, zero);
         __m128i r16 = _mm_loadu_si128(
             reinterpret_cast<const __m128i *>(res + 4 * y));
@@ -262,10 +275,9 @@ sse2Reconstruct4x4(const u8 *pred, int pred_stride, const i16 res[16],
         // 255) for every i16 residual.
         __m128i sum = _mm_adds_epi16(p16, r16);
         __m128i packed = _mm_packus_epi16(sum, sum);
-        *reinterpret_cast<int *>(dst + y * dst_stride) =
-            _mm_cvtsi128_si32(packed);
-        *reinterpret_cast<int *>(dst + (y + 1) * dst_stride) =
-            _mm_cvtsi128_si32(_mm_srli_si128(packed, 4));
+        storeI32(dst + y * dst_stride, _mm_cvtsi128_si32(packed));
+        storeI32(dst + (y + 1) * dst_stride,
+                 _mm_cvtsi128_si32(_mm_srli_si128(packed, 4)));
     }
 }
 
@@ -297,10 +309,8 @@ sse2SadRect(const u8 *a, int a_stride, const u8 *b, int b_stride,
         if (x + 4 <= w) {
             // Both tails are zero-padded, so the extra lanes
             // contribute |0 - 0| = 0.
-            __m128i va = _mm_cvtsi32_si128(
-                *reinterpret_cast<const int *>(pa + x));
-            __m128i vb = _mm_cvtsi32_si128(
-                *reinterpret_cast<const int *>(pb + x));
+            __m128i va = _mm_cvtsi32_si128(loadI32(pa + x));
+            __m128i vb = _mm_cvtsi32_si128(loadI32(pb + x));
             acc = _mm_add_epi64(acc, _mm_sad_epu8(va, vb));
             x += 4;
         }
@@ -314,11 +324,10 @@ sse2SadRect(const u8 *a, int a_stride, const u8 *b, int b_stride,
 long
 sse2Sad4x4(const u8 *src, int src_stride, const u8 *pred16)
 {
-    __m128i s = _mm_setr_epi32(
-        *reinterpret_cast<const int *>(src),
-        *reinterpret_cast<const int *>(src + src_stride),
-        *reinterpret_cast<const int *>(src + 2 * src_stride),
-        *reinterpret_cast<const int *>(src + 3 * src_stride));
+    __m128i s = _mm_setr_epi32(loadI32(src),
+                               loadI32(src + src_stride),
+                               loadI32(src + 2 * src_stride),
+                               loadI32(src + 3 * src_stride));
     __m128i p = _mm_loadu_si128(
         reinterpret_cast<const __m128i *>(pred16));
     __m128i sad = _mm_sad_epu8(s, p);

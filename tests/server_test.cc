@@ -144,6 +144,27 @@ TEST(ServerQueue, CloseOverridesPause)
     EXPECT_EQ(queue.pop(), std::nullopt);
 }
 
+TEST(ServerQueue, PopBatchDrainsInPriorityOrderUpToMax)
+{
+    RequestQueue<int> queue(8);
+    ASSERT_TRUE(queue.tryPush(QueueClass::Maintain, 100));
+    ASSERT_TRUE(queue.tryPush(QueueClass::Serve, 1));
+    ASSERT_TRUE(queue.tryPush(QueueClass::Serve, 2));
+    ASSERT_TRUE(queue.tryPush(QueueClass::Maintain, 101));
+
+    // One lock acquisition takes Serve first, then Maintain, capped
+    // at max.
+    std::vector<int> batch = queue.popBatch(3);
+    EXPECT_EQ(batch, (std::vector<int>{1, 2, 100}));
+    EXPECT_EQ(queue.size(), 1u);
+    batch = queue.popBatch(3);
+    EXPECT_EQ(batch, (std::vector<int>{101}));
+
+    // After close() an empty batch signals the end of the stream.
+    queue.close();
+    EXPECT_TRUE(queue.popBatch(4).empty());
+}
+
 // --- frame cache ------------------------------------------------------
 
 DecodedGop
@@ -158,18 +179,34 @@ gopOfSize(std::size_t bytes, u8 fill = 0xAB)
     return gop;
 }
 
+/** A cached entry's payload is a serialized wire response. */
+GetFramesResponse
+parseCached(const CachedGopPtr &gop)
+{
+    GetFramesResponse response;
+    EXPECT_TRUE(gop);
+    if (gop)
+        EXPECT_TRUE(parseGetFramesResponse(gop->payload, response));
+    return response;
+}
+
 TEST(ServerCache, HitReturnsWhatWasPut)
 {
     FrameCache cache(1u << 20);
     GopKey key{"v", 2, 0};
     cache.put(key, gopOfSize(1000, 0x11));
 
-    auto hit = cache.get(key);
-    ASSERT_TRUE(hit.has_value());
-    EXPECT_EQ(hit->i420, Bytes(1000, 0x11));
+    CachedGopPtr hit = cache.get(key);
+    ASSERT_TRUE(hit);
+    GetFramesResponse response = parseCached(hit);
+    EXPECT_EQ(response.i420, Bytes(1000, 0x11));
+    // The entry is wire-ready: marked as a cache hit, CRC memoized.
+    EXPECT_TRUE(response.fromCache);
+    EXPECT_EQ(verifyPayload(hit->payload, hit->payloadCrc),
+              WireError::None);
     EXPECT_EQ(cache.hits(), 1u);
 
-    EXPECT_FALSE(cache.get(GopKey{"v", 3, 0}).has_value());
+    EXPECT_FALSE(cache.get(GopKey{"v", 3, 0}));
     EXPECT_EQ(cache.misses(), 1u);
 }
 
@@ -178,14 +215,15 @@ TEST(ServerCache, BudgetBoundsBytesAndEvictsLru)
     // Budget for ~2 entries per shard; inserting far more must keep
     // the cache within budget by evicting, never by refusing.
     const std::size_t entry = 4096;
-    FrameCache cache(FrameCache::kShards * 2 * (entry + 128));
+    const std::size_t charged =
+        makeCachedGop(gopOfSize(entry))->chargedBytes();
+    FrameCache cache(FrameCache::kShards * 2 * charged);
     for (u32 g = 0; g < 64; ++g)
         cache.put(GopKey{"v", g, 0}, gopOfSize(entry));
 
     EXPECT_GT(cache.evictions(), 0u);
     EXPECT_LE(cache.entries(), 2u * FrameCache::kShards);
-    EXPECT_LE(cache.bytes(),
-              FrameCache::kShards * 2 * (entry + 128));
+    EXPECT_LE(cache.bytes(), FrameCache::kShards * 2 * charged);
     // Something must have survived, too.
     EXPECT_GT(cache.entries(), 0u);
 }
@@ -197,10 +235,29 @@ TEST(ServerCache, ReplacingAKeyKeepsAccountsExact)
     cache.put(key, gopOfSize(1000));
     cache.put(key, gopOfSize(3000, 0x22));
     EXPECT_EQ(cache.entries(), 1u);
-    EXPECT_EQ(cache.bytes(), 3000u + 128u);
-    auto hit = cache.get(key);
-    ASSERT_TRUE(hit.has_value());
-    EXPECT_EQ(hit->i420, Bytes(3000, 0x22));
+    EXPECT_EQ(cache.bytes(),
+              makeCachedGop(gopOfSize(3000, 0x22))->chargedBytes());
+    CachedGopPtr hit = cache.get(key);
+    ASSERT_TRUE(hit);
+    EXPECT_EQ(parseCached(hit).i420, Bytes(3000, 0x22));
+}
+
+TEST(ServerCache, PinnedEntrySurvivesEviction)
+{
+    FrameCache cache(1u << 20);
+    GopKey key{"v", 0, 0};
+    cache.put(key, gopOfSize(500, 0x33));
+    CachedGopPtr pin = cache.get(key);
+    ASSERT_TRUE(pin);
+
+    cache.clear();
+    EXPECT_EQ(cache.entries(), 0u);
+    // A response in flight keeps its bytes alive past eviction —
+    // this is what lets the event loop write entries with zero
+    // copies and no cache-wide lock.
+    EXPECT_EQ(parseCached(pin).i420, Bytes(500, 0x33));
+    EXPECT_EQ(verifyPayload(pin->payload, pin->payloadCrc),
+              WireError::None);
 }
 
 TEST(ServerCache, OversizedEntriesAreSkipped)
@@ -219,12 +276,12 @@ TEST(ServerCache, KeyIdSeparatesReads)
     cache.put(GopKey{"v", 0, 1}, gopOfSize(100, 0x01));
     cache.put(GopKey{"v", 0, 2}, gopOfSize(100, 0x02));
 
-    auto k1 = cache.get(GopKey{"v", 0, 1});
-    auto k2 = cache.get(GopKey{"v", 0, 2});
+    CachedGopPtr k1 = cache.get(GopKey{"v", 0, 1});
+    CachedGopPtr k2 = cache.get(GopKey{"v", 0, 2});
     ASSERT_TRUE(k1 && k2);
-    EXPECT_EQ(k1->i420[0], 0x01);
-    EXPECT_EQ(k2->i420[0], 0x02);
-    EXPECT_FALSE(cache.get(GopKey{"v", 0, 0}).has_value());
+    EXPECT_EQ(parseCached(k1).i420[0], 0x01);
+    EXPECT_EQ(parseCached(k2).i420[0], 0x02);
+    EXPECT_FALSE(cache.get(GopKey{"v", 0, 0}));
 }
 
 TEST(ServerCache, EraseVideoAndClear)
@@ -238,8 +295,8 @@ TEST(ServerCache, EraseVideoAndClear)
 
     cache.eraseVideo("a"); // all GOPs, all key ids
     EXPECT_EQ(cache.entries(), 4u);
-    EXPECT_FALSE(cache.get(GopKey{"a", 0, 0}).has_value());
-    EXPECT_TRUE(cache.get(GopKey{"b", 0, 7}).has_value());
+    EXPECT_FALSE(cache.get(GopKey{"a", 0, 0}));
+    EXPECT_TRUE(cache.get(GopKey{"b", 0, 7}));
 
     cache.clear();
     EXPECT_EQ(cache.entries(), 0u);
@@ -612,6 +669,105 @@ TEST(ServerWireFuzz, RandomBytesNeverCrashThePayloadParsers)
     SUCCEED();
 }
 
+// --- incremental deframing --------------------------------------------
+
+TEST(ServerDeframer, ByteAtATimeDeliveryReassembles)
+{
+    Bytes f1 = encodeFrame(static_cast<u8>(Opcode::Stat), 11,
+                           Bytes{1, 2, 3});
+    Bytes f2 = encodeFrame(static_cast<u8>(Opcode::Health), 12,
+                           Bytes{});
+    Bytes stream = f1;
+    stream.insert(stream.end(), f2.begin(), f2.end());
+
+    // The cruellest TCP segmentation: one byte per readiness event.
+    FrameDeframer deframer;
+    std::vector<FrameDeframer::Decoded> frames;
+    for (u8 byte : stream) {
+        deframer.feed(&byte, 1);
+        FrameDeframer::Decoded out;
+        while (deframer.next(out) == FrameDeframer::Result::Frame)
+            frames.push_back(out);
+        EXPECT_FALSE(deframer.fatal());
+    }
+    ASSERT_EQ(frames.size(), 2u);
+    EXPECT_EQ(frames[0].header.requestId, 11u);
+    EXPECT_EQ(frames[0].payload, (Bytes{1, 2, 3}));
+    EXPECT_EQ(frames[1].header.requestId, 12u);
+    EXPECT_TRUE(frames[1].payload.empty());
+    EXPECT_EQ(deframer.buffered(), 0u);
+}
+
+TEST(ServerDeframer, MultipleFramesInOneFeed)
+{
+    Bytes f1 = encodeFrame(static_cast<u8>(Opcode::Stat), 1,
+                           Bytes(200, 0x5A));
+    Bytes f2 = encodeFrame(static_cast<u8>(Opcode::Stat), 2,
+                           Bytes{7});
+    Bytes stream = f1;
+    stream.insert(stream.end(), f2.begin(), f2.end());
+    // ... plus a torn prefix of a third frame.
+    Bytes f3 = encodeFrame(static_cast<u8>(Opcode::Stat), 3,
+                           Bytes{8, 9});
+    stream.insert(stream.end(), f3.begin(), f3.begin() + 10);
+
+    FrameDeframer deframer;
+    deframer.feed(stream.data(), stream.size());
+    FrameDeframer::Decoded out;
+    ASSERT_EQ(deframer.next(out), FrameDeframer::Result::Frame);
+    EXPECT_EQ(out.header.requestId, 1u);
+    ASSERT_EQ(deframer.next(out), FrameDeframer::Result::Frame);
+    EXPECT_EQ(out.header.requestId, 2u);
+    EXPECT_EQ(deframer.next(out), FrameDeframer::Result::NeedMore);
+    // Completing the torn frame releases it.
+    deframer.feed(f3.data() + 10, f3.size() - 10);
+    ASSERT_EQ(deframer.next(out), FrameDeframer::Result::Frame);
+    EXPECT_EQ(out.header.requestId, 3u);
+    EXPECT_EQ(out.payload, (Bytes{8, 9}));
+}
+
+TEST(ServerDeframer, PayloadCrcErrorIsRecoverable)
+{
+    Bytes bad = encodeFrame(static_cast<u8>(Opcode::Stat), 21,
+                            Bytes{1, 2, 3});
+    bad[bad.size() - 1] ^= 0xFF; // corrupt the payload CRC
+    Bytes good = encodeFrame(static_cast<u8>(Opcode::Stat), 22,
+                             Bytes{4});
+    Bytes stream = bad;
+    stream.insert(stream.end(), good.begin(), good.end());
+
+    FrameDeframer deframer;
+    deframer.feed(stream.data(), stream.size());
+    FrameDeframer::Decoded out;
+    // The corrupt frame reports an error but keeps the request id
+    // (for the BadRequest echo) and consumes cleanly...
+    ASSERT_EQ(deframer.next(out), FrameDeframer::Result::Error);
+    EXPECT_FALSE(deframer.fatal());
+    EXPECT_EQ(deframer.error(), WireError::BadCrc);
+    EXPECT_EQ(out.header.requestId, 21u);
+    // ... so the next frame on the stream still parses.
+    ASSERT_EQ(deframer.next(out), FrameDeframer::Result::Frame);
+    EXPECT_EQ(out.header.requestId, 22u);
+}
+
+TEST(ServerDeframer, HeaderDamageIsFatalAndLatches)
+{
+    FrameDeframer deframer;
+    Bytes junk(40, 0xFF);
+    deframer.feed(junk.data(), junk.size());
+    FrameDeframer::Decoded out;
+    ASSERT_EQ(deframer.next(out), FrameDeframer::Result::Error);
+    EXPECT_TRUE(deframer.fatal());
+
+    // Once framing is lost it stays lost: even valid bytes appended
+    // later must never be interpreted as frames.
+    Bytes good = encodeFrame(static_cast<u8>(Opcode::Health), 1,
+                             Bytes{});
+    deframer.feed(good.data(), good.size());
+    EXPECT_EQ(deframer.next(out), FrameDeframer::Result::Error);
+    EXPECT_TRUE(deframer.fatal());
+}
+
 // --- loopback server --------------------------------------------------
 
 /** Archive + server + helpers shared by the loopback tests. */
@@ -946,12 +1102,16 @@ TEST_F(ServerLoopback, FullQueueAnswersRetry)
               ArchiveError::None);
 
     // Freeze the workers so admissions pile up deterministically:
-    // capacity jobs queue, the overflow must bounce with Retry.
+    // capacity jobs queue, the overflow must bounce with Retry. A
+    // far-off deadline keeps these requests out of single-flight
+    // coalescing (which would fold them into one queue slot) without
+    // ever expiring.
     server_->setDrainPaused(true);
     const std::size_t total = 9; // capacity 4 + 5 overflow
     std::vector<std::unique_ptr<VappClient>> clients;
     GetFramesRequest request;
     request.name = "clip";
+    request.deadlineMs = 60000;
     Bytes payload = serializeGetFramesRequest(request);
     for (std::size_t i = 0; i < total; ++i) {
         clients.push_back(std::make_unique<VappClient>());
@@ -1029,6 +1189,8 @@ TEST_F(ServerLoopback, HealthAnswersWhileSaturated)
     server_->setDrainPaused(true);
     GetFramesRequest request;
     request.name = "clip";
+    // Bypass coalescing (see FullQueueAnswersRetry).
+    request.deadlineMs = 60000;
     Bytes payload = serializeGetFramesRequest(request);
     VappClient pipelined = client();
     for (int i = 0; i < 4; ++i)
@@ -1078,6 +1240,178 @@ TEST_F(ServerLoopback, ScrubInvalidatesTheCache)
     auto fresh = c.getFrames(request);
     ASSERT_TRUE(fresh.has_value());
     EXPECT_FALSE(fresh->fromCache);
+}
+
+TEST_F(ServerLoopback, SingleFlightColdGetsCoalesce)
+{
+    VappServerConfig config;
+    config.workers = 2;
+    startServer(config);
+    PreparedVideo prepared = makePrepared(80);
+    ASSERT_EQ(service_->put("clip", prepared, {}),
+              ArchiveError::None);
+
+    // Freeze the workers, then land N identical cold GETs: the
+    // first becomes the decode leader (one queue slot), the rest
+    // attach as waiters — deterministically, because flight
+    // registration happens at admission on the one event-loop
+    // thread, not in the worker race.
+    server_->setDrainPaused(true);
+    const std::size_t total = 5;
+    std::vector<std::unique_ptr<VappClient>> clients;
+    GetFramesRequest request;
+    request.name = "clip";
+    Bytes payload = serializeGetFramesRequest(request);
+    for (std::size_t i = 0; i < total; ++i) {
+        clients.push_back(std::make_unique<VappClient>());
+        ASSERT_TRUE(
+            clients.back()->connect("127.0.0.1", server_->port()));
+        ASSERT_TRUE(
+            clients.back()->send(Opcode::GetFrames, payload));
+    }
+    auto deadline = std::chrono::steady_clock::now() +
+                    std::chrono::seconds(10);
+    while (server_->coalescedGets() < total - 1 &&
+           std::chrono::steady_clock::now() < deadline)
+        std::this_thread::sleep_for(std::chrono::milliseconds(1));
+    EXPECT_EQ(server_->coalescedGets(), total - 1);
+    EXPECT_EQ(server_->queueDepth(), 1u);
+
+    u64 gets_before = counterValue("archive.gets");
+    server_->setDrainPaused(false);
+
+    std::vector<GetFramesResponse> responses;
+    std::size_t fresh = 0;
+    for (auto &c : clients) {
+        auto raw = c->receive();
+        ASSERT_TRUE(raw.has_value());
+        GetFramesResponse response;
+        ASSERT_TRUE(
+            parseGetFramesResponse(raw->payload, response));
+        ASSERT_EQ(response.status, Status::Ok);
+        if (!response.fromCache)
+            ++fresh;
+        responses.push_back(std::move(response));
+    }
+    // One decode served all five: the leader's fresh response plus
+    // four byte-identical responses off the shared cache entry.
+    EXPECT_EQ(fresh, 1u);
+    for (std::size_t i = 1; i < responses.size(); ++i) {
+        EXPECT_EQ(responses[i].i420, responses[0].i420);
+        EXPECT_EQ(responses[i].firstFrame, responses[0].firstFrame);
+        EXPECT_EQ(responses[i].frameCount,
+                  responses[0].frameCount);
+    }
+    if (telemetry::kEnabled) {
+        EXPECT_EQ(counterValue("archive.gets"), gets_before + 1);
+        EXPECT_GE(counterValue("server.coalesced"), total - 1);
+    }
+}
+
+TEST_F(ServerLoopback, PartialWritesResumeViaEpollout)
+{
+    VappServerConfig config;
+    config.sndbufBytes = 4096; // tiny: force EAGAIN mid-response
+    startServer(config);
+    PreparedVideo prepared = makePrepared(81);
+    ASSERT_EQ(service_->put("clip", prepared, {}),
+              ArchiveError::None);
+
+    ArchiveGetResult local = service_->get("clip");
+    ASSERT_EQ(local.error, ArchiveError::None);
+    auto ranges = gopRanges(local.frameHeaders,
+                            local.decoded.frames.size());
+    ASSERT_FALSE(ranges.empty());
+
+    // A client that reads nothing for a while: with tiny socket
+    // buffers on both ends the ~48 KiB response cannot fit in
+    // flight, so the server must park the write mid-frame and
+    // continue it when EPOLLOUT reports the socket drained.
+    u64 stalls_before = counterValue("server.write_stalls");
+    int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+    ASSERT_GE(fd, 0);
+    int rcvbuf = 4096;
+    ::setsockopt(fd, SOL_SOCKET, SO_RCVBUF, &rcvbuf,
+                 sizeof rcvbuf);
+    sockaddr_in addr{};
+    addr.sin_family = AF_INET;
+    addr.sin_port = htons(server_->port());
+    addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+    ASSERT_EQ(::connect(fd, reinterpret_cast<sockaddr *>(&addr),
+                        sizeof addr),
+              0);
+
+    GetFramesRequest request;
+    request.name = "clip";
+    Bytes frame =
+        encodeFrame(static_cast<u8>(Opcode::GetFrames), 77,
+                    serializeGetFramesRequest(request));
+    ASSERT_EQ(::send(fd, frame.data(), frame.size(), MSG_NOSIGNAL),
+              static_cast<ssize_t>(frame.size()));
+    // Give the server time to decode and slam into the full socket.
+    std::this_thread::sleep_for(std::chrono::milliseconds(200));
+
+    auto read_all = [fd](u8 *data, std::size_t size) {
+        std::size_t off = 0;
+        while (off < size) {
+            ssize_t n = ::recv(fd, data + off, size - off, 0);
+            if (n <= 0)
+                return false;
+            off += static_cast<std::size_t>(n);
+        }
+        return true;
+    };
+    u8 header[kWireHeaderBytes];
+    ASSERT_TRUE(read_all(header, sizeof header));
+    WireFrameHeader parsed;
+    ASSERT_EQ(parseFrameHeader(header, sizeof header, parsed),
+              WireError::None);
+    EXPECT_EQ(parsed.kind, static_cast<u8>(Status::Ok));
+    EXPECT_EQ(parsed.requestId, 77u);
+    Bytes body(parsed.payloadLength);
+    u8 crc_buf[4];
+    ASSERT_TRUE(read_all(body.data(), body.size()));
+    ASSERT_TRUE(read_all(crc_buf, sizeof crc_buf));
+    ::close(fd);
+
+    // The reassembled response survived the stall byte for byte.
+    u32 crc = static_cast<u32>(crc_buf[0]) << 24 |
+              static_cast<u32>(crc_buf[1]) << 16 |
+              static_cast<u32>(crc_buf[2]) << 8 |
+              static_cast<u32>(crc_buf[3]);
+    EXPECT_EQ(verifyPayload(body, crc), WireError::None);
+    GetFramesResponse response;
+    ASSERT_TRUE(parseGetFramesResponse(body, response));
+    EXPECT_EQ(response.status, Status::Ok);
+    EXPECT_EQ(response.i420,
+              packFramesI420(local.decoded, ranges[0].firstFrame,
+                             ranges[0].frameCount));
+    if (telemetry::kEnabled)
+        EXPECT_GT(counterValue("server.write_stalls"),
+                  stalls_before);
+}
+
+TEST_F(ServerLoopback, ServerShutdownYieldsTypedConnectionClosed)
+{
+    startServer();
+    PreparedVideo prepared = makePrepared(82);
+    ASSERT_EQ(service_->put("clip", prepared, {}),
+              ArchiveError::None);
+
+    VappClient c = client();
+    GetFramesRequest request;
+    request.name = "clip";
+    auto first = c.getFrames(request);
+    ASSERT_TRUE(first.has_value());
+
+    // Kill the server between frames: the next call must surface a
+    // typed ConnectionClosed — never a silent short read — so a
+    // pipelined caller can tell "the server went away, reconnect
+    // and retry" from "a response was torn mid-frame".
+    server_->stop();
+    auto second = c.getFrames(request);
+    EXPECT_FALSE(second.has_value());
+    EXPECT_EQ(c.lastError(), WireError::ConnectionClosed);
 }
 
 // --- concurrency ------------------------------------------------------

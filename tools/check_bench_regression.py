@@ -110,6 +110,20 @@ THREAD_ROW_KEYS = {
     ),
 }
 
+# Additional per-kind row arrays beyond "threads", with their own
+# (hard, soft) key schemas. perf_server's "skewed" section is the
+# hot-key load (90% of GETs on one GOP): every op is a GET of a
+# stored video, so gets_ok/responses_lost are schedule-determined
+# and hard; throughput and latency drift with the runner.
+EXTRA_ROW_SECTIONS = {
+    "perf_server": {
+        "skewed": (
+            ("gets_ok", "responses_lost"),
+            ("wall_s", "ops_per_s", "get_p50_us", "get_p99_us"),
+        ),
+    },
+}
+
 # Per-kind correctness flags that must be true in the current run.
 CORRECTNESS_FLAGS = {
     "perf_pipeline": ("parallel_equals_sequential",),
@@ -117,7 +131,8 @@ CORRECTNESS_FLAGS = {
                      "round_trip_exact"),
     "perf_server": ("responses_all_accounted", "wire_matches_local",
                     "cache_hit_skips_decode",
-                    "backpressure_returns_retry"),
+                    "backpressure_returns_retry",
+                    "coalescing_single_flight"),
 }
 
 
@@ -232,21 +247,25 @@ def check_correctness(report, kind, current):
                 "correctness violation")
 
 
-def thread_rows(report, data, which):
-    """The "threads" array as {thread_count: row}, [] on damage."""
-    rows = data.get("threads")
+def thread_rows(report, data, which, section="threads",
+                required=True):
+    """A row array as {thread_count: row}, {} on damage. Each row is
+    keyed by its "threads" field (the thread or connection count)."""
+    rows = data.get(section)
     if rows is None:
-        report.fail(f"threads section missing from {which} results")
+        if required:
+            report.fail(
+                f"{section} section missing from {which} results")
         return {}
     if not isinstance(rows, list):
-        report.fail(f"threads section of {which} results is not a "
+        report.fail(f"{section} section of {which} results is not a "
                     "list")
         return {}
     by_count = {}
     for i, row in enumerate(rows):
         if not isinstance(row, dict) or "threads" not in row:
             report.fail(
-                f"threads[{i}] of {which} results has no "
+                f"{section}[{i}] of {which} results has no "
                 "\"threads\" key; regenerate with the current "
                 "bench binary")
             continue
@@ -254,25 +273,41 @@ def thread_rows(report, data, which):
     return by_count
 
 
-def check_thread_rows(report, kind, current, baseline, count_tol,
-                      timing_tol, strict_timing):
-    hard_keys, timing_keys = THREAD_ROW_KEYS[kind]
-    rows_c = thread_rows(report, current, "current")
-    rows_b = thread_rows(report, baseline, "baseline")
+def check_row_section(report, section, keys, current, baseline,
+                      count_tol, timing_tol, strict_timing):
+    hard_keys, timing_keys = keys
+    rows_c = thread_rows(report, current, "current", section)
+    # A baseline predating the section altogether: note and move on
+    # (the section becomes load-bearing once the baseline is
+    # regenerated); a missing *current* section is always a failure.
+    rows_b = thread_rows(report, baseline, "baseline", section,
+                         required=False)
     if not rows_b:
-        report.warn("baseline has no usable thread rows")
+        report.warn(f"baseline has no usable {section} rows")
     for n in sorted(rows_b):
         if n not in rows_c:
-            report.fail(f"threads[{n}]: row missing from current run")
+            report.fail(
+                f"{section}[{n}]: row missing from current run")
             continue
         rc, rb = rows_c[n], rows_b[n]
         for key in hard_keys:
-            check_scalar(report, f"threads[{n}].{key}", rc.get(key),
-                         rb.get(key), count_tol, hard=True)
+            check_scalar(report, f"{section}[{n}].{key}",
+                         rc.get(key), rb.get(key), count_tol,
+                         hard=True)
         for key in timing_keys:
-            check_scalar(report, f"threads[{n}].{key}", rc.get(key),
-                         rb.get(key), timing_tol,
+            check_scalar(report, f"{section}[{n}].{key}",
+                         rc.get(key), rb.get(key), timing_tol,
                          hard=strict_timing)
+
+
+def check_thread_rows(report, kind, current, baseline, count_tol,
+                      timing_tol, strict_timing):
+    check_row_section(report, "threads", THREAD_ROW_KEYS[kind],
+                      current, baseline, count_tol, timing_tol,
+                      strict_timing)
+    for section, keys in EXTRA_ROW_SECTIONS.get(kind, {}).items():
+        check_row_section(report, section, keys, current, baseline,
+                          count_tol, timing_tol, strict_timing)
 
 
 def check_bch(report, current, baseline, timing_tol, strict_timing):
