@@ -40,11 +40,16 @@
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <memory>
 #include <string>
 #include <thread>
+#include <utility>
 #include <vector>
 
 #include "archive/archive_service.h"
+#include "cluster/cluster_node.h"
+#include "cluster/cluster_router.h"
+#include "cluster/scrub_scheduler.h"
 #include "common/telemetry.h"
 #include "server/vapp_client.h"
 #include "server/vapp_server.h"
@@ -485,6 +490,327 @@ checkSingleFlightCoalesces(VappServer &server, u16 port)
     return coalesced && all_equal && one_decode;
 }
 
+// --- cluster mode (--shards N) -----------------------------------------
+
+/** An in-process cluster: one archive + node + server per shard. */
+struct ShardSet
+{
+    std::vector<std::unique_ptr<ArchiveService>> services;
+    std::vector<std::unique_ptr<ClusterNode>> nodes;
+    std::vector<std::unique_ptr<VappServer>> servers;
+    std::vector<ClusterShard> shards;
+
+    bool
+    start(int count)
+    {
+        const u32 replicas =
+            static_cast<u32>(std::min(2, count - 1));
+        for (int i = 0; i < count; ++i) {
+            std::string path = scratchPath() + ".shard" +
+                               std::to_string(count) + "_" +
+                               std::to_string(i);
+            std::remove(path.c_str());
+            services.push_back(
+                std::make_unique<ArchiveService>(path));
+            if (services.back()->open() != ArchiveError::None)
+                return false;
+            ClusterNodeConfig node;
+            node.selfId = static_cast<u32>(i);
+            node.replicas = replicas;
+            nodes.push_back(std::make_unique<ClusterNode>(
+                *services.back(), node));
+            VappServerConfig config;
+            config.cluster = nodes.back().get();
+            servers.push_back(std::make_unique<VappServer>(
+                *services.back(), config));
+            if (!servers.back()->start())
+                return false;
+        }
+        for (int i = 0; i < count; ++i)
+            shards.push_back({static_cast<u32>(i), "127.0.0.1",
+                              servers[static_cast<std::size_t>(i)]
+                                  ->port()});
+        for (auto &node : nodes)
+            node->setTopology(shards, 1);
+        return true;
+    }
+
+    void
+    stop()
+    {
+        for (auto &server : servers)
+            server->stop();
+        for (auto &service : services)
+            std::remove(service->path().c_str());
+    }
+};
+
+/** Mixed routed load: mostly GETs of stored videos cycling GOPs,
+ * 1-in-8 a GET of a missing name — counts are schedule-fixed. */
+void
+clusterClientLoop(const std::vector<ClusterShard> &seeds, int client,
+                  int ops, int videos, u32 gop_count,
+                  ClientTally &tally)
+{
+    ClusterRouterConfig config;
+    config.seeds = seeds;
+    ClusterRouter router(config);
+    for (int j = 0; j < ops; ++j) {
+        GetFramesRequest get;
+        if (j % 8 == 6) {
+            get.name = "no-such-video";
+            auto r = router.getFrames(get);
+            if (!r)
+                ++tally.lost;
+            else if (r->status == Status::NotFound)
+                ++tally.notFound;
+            continue;
+        }
+        get.name = benchVideoName(
+            static_cast<std::size_t>(client + j) %
+            static_cast<std::size_t>(videos));
+        get.gop = static_cast<u32>(j) % gop_count;
+        double t0 = now();
+        auto r = router.getFrames(get);
+        double us = (now() - t0) * 1e6;
+        if (!r)
+            ++tally.lost;
+        else if (r->status == Status::Ok ||
+                 r->status == Status::Partial) {
+            ++tally.getsOk;
+            tally.getLatencyUs.push_back(us);
+        }
+    }
+}
+
+LoadPoint
+benchClusterShardCount(const std::vector<ClusterShard> &seeds,
+                       int connections, int ops, int videos,
+                       u32 gop_count)
+{
+    std::vector<ClientTally> tallies(connections);
+    std::vector<std::thread> threads;
+    threads.reserve(connections);
+    double t0 = now();
+    for (int i = 0; i < connections; ++i)
+        threads.emplace_back([&, i] {
+            clusterClientLoop(seeds, i, ops, videos, gop_count,
+                              tallies[i]);
+        });
+    for (std::thread &t : threads)
+        t.join();
+    return mergeTallies(connections, ops, now() - t0, tallies);
+}
+
+/** Routed GETs are byte-identical to a local read of the owner
+ * shard's archive (the single-node contract, through the ring). */
+bool
+checkRoutedMatchesSingle(ShardSet &set, int videos)
+{
+    ClusterRouterConfig config;
+    config.seeds = set.shards;
+    ClusterRouter router(config);
+    for (int i = 0; i < videos; ++i) {
+        const std::string name = benchVideoName(i);
+        const u32 owner = set.nodes[0]->ownerOf(name);
+        ArchiveGetResult local = set.services[owner]->get(name);
+        if (local.error != ArchiveError::None)
+            return false;
+        auto ranges = gopRanges(local.frameHeaders,
+                                local.decoded.frames.size());
+        for (std::size_t g = 0; g < ranges.size(); ++g) {
+            GetFramesRequest get;
+            get.name = name;
+            get.gop = static_cast<u32>(g);
+            auto r = router.getFrames(get);
+            if (!r || r->status != Status::Ok)
+                return false;
+            Bytes expected = packFramesI420(
+                local.decoded, ranges[g].firstFrame,
+                ranges[g].frameCount);
+            if (r->i420 != expected)
+                return false;
+        }
+    }
+    return true;
+}
+
+/** With the owner's precise record damaged, a routed GET must still
+ * succeed by pulling the metadata replica back from a successor. */
+bool
+checkClusterMetaRepair(ShardSet &set)
+{
+    const std::string name = benchVideoName(0);
+    const u32 owner = set.nodes[0]->ownerOf(name);
+    if (!set.services[owner]->damageMetaForTest(name))
+        return false;
+    // A warm cache would mask the damaged record: force the read.
+    set.servers[owner]->cache().clear();
+    ClusterRouterConfig config;
+    config.seeds = set.shards;
+    ClusterRouter router(config);
+    GetFramesRequest get;
+    get.name = name;
+    auto r = router.getFrames(get);
+    if (!r || r->status != Status::Ok)
+        return false;
+    // The repair is durable: the owner reads clean again locally.
+    return set.services[owner]->get(name).error ==
+           ArchiveError::None;
+}
+
+/**
+ * The budgeted scrub scheduler: after its learning sweep (per-video
+ * costs unknown, may overshoot), every interval's corrected bits
+ * must stay within the configured budget. Costs are measured first
+ * with the same (BER, seed) the scheduler uses — the fixed seed
+ * makes drift stationary, so predictions are exact.
+ */
+bool
+checkScrubBudgetRespected(ShardSet &set)
+{
+    // Scrub the shard holding the most videos (ring placement may
+    // leave small shards empty at bench scale).
+    std::size_t shard = 0;
+    for (std::size_t i = 1; i < set.services.size(); ++i)
+        if (set.services[i]->videoCount() >
+            set.services[shard]->videoCount())
+            shard = i;
+    ArchiveService &service = *set.services[shard];
+    std::vector<std::string> names = service.videoNames();
+    if (names.empty())
+        return true;
+
+    ScrubOptions options;
+    options.ageRawBer = 1e-4;
+    options.seed = 99;
+    u64 total = 0, per_video_max = 0;
+    for (const std::string &name : names) {
+        ScrubReport report = service.scrubVideo(name, options);
+        total += report.cells.bitsCorrected;
+        per_video_max = std::max(per_video_max,
+                                 report.cells.bitsCorrected);
+    }
+
+    ScrubSchedulerConfig config;
+    config.ageRawBer = options.ageRawBer;
+    config.seed = options.seed;
+    config.correctionBudget =
+        std::max<u64>(std::max<u64>(1, total / 2), per_video_max);
+    ScrubScheduler scheduler(service, config);
+    std::size_t guard = names.size() * 4 + 4;
+    while (scheduler.videosScrubbed() < names.size() && guard-- > 0)
+        scheduler.runInterval();
+    for (int i = 0; i < 8; ++i) {
+        const u64 before = scheduler.bitsCorrected();
+        scheduler.runInterval();
+        if (scheduler.bitsCorrected() - before >
+            config.correctionBudget)
+            return false;
+    }
+    return true;
+}
+
+struct ClusterResults
+{
+    /** One row per shard count (1 and N). */
+    std::vector<std::pair<int, LoadPoint>> points;
+    double speedup = 0;
+    bool routedMatchesSingle = false;
+    bool metaRepairOk = false;
+    bool scrubBudgetRespected = false;
+};
+
+bool
+runClusterSection(int shards, int ops, int videos,
+                  const std::vector<PreparedVideo> &prepared,
+                  ClusterResults &results)
+{
+    const int connections = 32;
+    std::printf("\ncluster mode (%d shards, %d routed conns):\n",
+                shards, connections);
+    std::printf("%-8s %9s %11s %11s %11s %7s %9s %6s\n", "shards",
+                "wall (s)", "ops/s", "p50 (us)", "p99 (us)", "gets",
+                "notfound", "lost");
+    for (int shard_count : {1, shards}) {
+        ShardSet set;
+        if (!set.start(shard_count)) {
+            std::fprintf(stderr,
+                         "error: cannot start %d-shard cluster\n",
+                         shard_count);
+            set.stop();
+            return false;
+        }
+        // Placement-aware local puts (the wire PUT path is already
+        // measured in the standard rows), then replicate metadata
+        // exactly as a routed PUT would.
+        for (int i = 0; i < videos; ++i) {
+            const std::string name = benchVideoName(i);
+            const u32 owner = set.nodes[0]->ownerOf(name);
+            set.services[owner]->put(
+                name, prepared[static_cast<std::size_t>(i)], {});
+            set.nodes[owner]->replicateMeta(name);
+        }
+        // Warm every (video, GOP) so the load rows measure the
+        // steady cache-hit serving state on every shard.
+        u32 gop_count = 1;
+        {
+            ClusterRouterConfig config;
+            config.seeds = set.shards;
+            ClusterRouter router(config);
+            for (int i = 0; i < videos; ++i) {
+                GetFramesRequest get;
+                get.name = benchVideoName(i);
+                auto r = router.getFrames(get);
+                if (!r || r->status != Status::Ok) {
+                    set.stop();
+                    return false;
+                }
+                gop_count = std::max<u32>(1, r->gopCount);
+                for (u32 g = 1; g < r->gopCount; ++g) {
+                    get.gop = g;
+                    if (!router.getFrames(get)) {
+                        set.stop();
+                        return false;
+                    }
+                }
+            }
+        }
+        LoadPoint point = benchClusterShardCount(
+            set.shards, connections, ops, videos, gop_count);
+        std::printf(
+            "%-8d %9.3f %11.1f %11.1f %11.1f %7llu %9llu %6llu\n",
+            shard_count, point.wallSeconds, point.opsPerSecond,
+            point.getP50Us, point.getP99Us,
+            static_cast<unsigned long long>(point.getsOk),
+            static_cast<unsigned long long>(point.notFound),
+            static_cast<unsigned long long>(point.responsesLost));
+        results.points.emplace_back(shard_count, point);
+
+        if (shard_count == shards) {
+            results.routedMatchesSingle =
+                checkRoutedMatchesSingle(set, videos);
+            results.metaRepairOk = checkClusterMetaRepair(set);
+            results.scrubBudgetRespected =
+                checkScrubBudgetRespected(set);
+        }
+        set.stop();
+    }
+    const double single = results.points.front().second.opsPerSecond;
+    const double multi = results.points.back().second.opsPerSecond;
+    results.speedup = single > 0 ? multi / single : 0;
+    std::printf("aggregate speedup vs single shard: %.2fx "
+                "(soft, load-dependent)\n",
+                results.speedup);
+    std::printf("routed GET == owner-local read: %s\n",
+                results.routedMatchesSingle ? "yes" : "NO (BUG)");
+    std::printf("GET repairs damaged owner metadata: %s\n",
+                results.metaRepairOk ? "yes" : "NO (BUG)");
+    std::printf("scrub intervals stay under budget: %s\n",
+                results.scrubBudgetRespected ? "yes" : "NO (BUG)");
+    return true;
+}
+
 std::string
 outputPath()
 {
@@ -521,7 +847,8 @@ writeJson(const BenchConfig &config,
           const std::vector<LoadPoint> &skewed, int ops_per_client,
           bool all_accounted, bool wire_matches_local,
           bool cache_hit_skips_decode, bool backpressure_retry,
-          bool coalescing_single_flight)
+          bool coalescing_single_flight,
+          const ClusterResults *cluster)
 {
     const std::string path = outputPath();
     std::FILE *f = std::fopen(path.c_str(), "w");
@@ -544,6 +871,43 @@ writeJson(const BenchConfig &config,
     std::fprintf(f, "  \"skewed\": [\n");
     writeRows(f, skewed);
     std::fprintf(f, "  ],\n");
+    if (cluster != nullptr) {
+        // Cluster rows are keyed by shard count in their "threads"
+        // field (the row key the regression checker indexes by);
+        // "conns" records the constant routed-client count.
+        std::fprintf(f, "  \"cluster\": [\n");
+        for (std::size_t i = 0; i < cluster->points.size(); ++i) {
+            const auto &[shard_count, p] = cluster->points[i];
+            std::fprintf(
+                f,
+                "    {\"threads\": %d, \"conns\": %d, "
+                "\"wall_s\": %.6f, \"ops_per_s\": %.3f, "
+                "\"get_p50_us\": %.1f, \"get_p99_us\": %.1f, "
+                "\"gets_ok\": %llu, \"not_found\": %llu, "
+                "\"responses_lost\": %llu}%s\n",
+                shard_count, p.connections, p.wallSeconds,
+                p.opsPerSecond, p.getP50Us, p.getP99Us,
+                static_cast<unsigned long long>(p.getsOk),
+                static_cast<unsigned long long>(p.notFound),
+                static_cast<unsigned long long>(p.responsesLost),
+                i + 1 < cluster->points.size() ? "," : "");
+        }
+        std::fprintf(f, "  ],\n");
+        std::fprintf(f,
+                     "  \"cluster_speedup_vs_single\": %.3f,\n",
+                     cluster->speedup);
+        std::fprintf(f,
+                     "  \"cluster_routed_get_matches_single\": "
+                     "%s,\n",
+                     cluster->routedMatchesSingle ? "true"
+                                                  : "false");
+        std::fprintf(f, "  \"cluster_meta_repair_get_ok\": %s,\n",
+                     cluster->metaRepairOk ? "true" : "false");
+        std::fprintf(f,
+                     "  \"cluster_scrub_budget_respected\": %s,\n",
+                     cluster->scrubBudgetRespected ? "true"
+                                                   : "false");
+    }
     std::fprintf(f, "  \"responses_all_accounted\": %s,\n",
                  all_accounted ? "true" : "false");
     std::fprintf(f, "  \"wire_matches_local\": %s,\n",
@@ -566,7 +930,7 @@ writeJson(const BenchConfig &config,
 }
 
 bool
-run(const BenchConfig &config)
+run(const BenchConfig &config, int shards)
 {
     telemetry::globalRegistry().resetAll();
 
@@ -688,24 +1052,53 @@ run(const BenchConfig &config)
                 backpressure ? "yes" : "NO (BUG)");
 
     std::remove(service.path().c_str());
+
+    ClusterResults cluster;
+    bool cluster_ok = true;
+    if (shards > 1) {
+        const int cluster_ops = std::max(64, ops * 8);
+        cluster_ok = runClusterSection(shards, cluster_ops, videos,
+                                       prepared, cluster);
+        if (cluster_ok)
+            cluster_ok = cluster.routedMatchesSingle &&
+                         cluster.metaRepairOk &&
+                         cluster.scrubBudgetRespected;
+    }
+
     if (!writeJson(config, points, skewed, ops, all_accounted,
                    wire_matches_local, cache_hit, backpressure,
-                   coalescing))
+                   coalescing,
+                   shards > 1 && !cluster.points.empty() ? &cluster
+                                                         : nullptr))
         return false;
     std::printf("wrote %s\n", outputPath().c_str());
     return all_accounted && wire_matches_local && cache_hit &&
-           backpressure && coalescing;
+           backpressure && coalescing && cluster_ok;
 }
 
 } // namespace
 } // namespace videoapp
 
 int
-main()
+main(int argc, char **argv)
 {
     using namespace videoapp;
+    int shards = 1;
+    for (int i = 1; i < argc; ++i) {
+        if (std::strcmp(argv[i], "--shards") == 0 && i + 1 < argc) {
+            shards = std::atoi(argv[++i]);
+        } else {
+            std::fprintf(stderr,
+                         "usage: perf_server [--shards N]\n");
+            return 2;
+        }
+    }
+    if (shards < 1) {
+        std::fprintf(stderr, "error: --shards wants N >= 1\n");
+        return 2;
+    }
     BenchConfig config = BenchConfig::fromEnv();
     printBenchBanner(
         "perf: VAPP store server (loopback load)", config);
-    return run(config) ? 0 : 1;
+    return run(config, shards) ? 0 : 1;
 }

@@ -27,6 +27,18 @@
  *   remote scrub <host:port>
  *   remote health <host:port>
  *
+ * Cluster commands (sharded archive tier, src/cluster/):
+ *   cluster serve <a1.vapp> [a2.vapp ...]   run one shard per
+ *     archive in this process, shard i on port --port + i; PUTs
+ *     replicate precise metadata to --replicas ring successors,
+ *     and --scrub-interval starts a budgeted background scrub on
+ *     every shard (--scrub-budget bits/interval, aged at --raw-ber)
+ *   cluster get  <seeds> <name> <gop> <out.yuv>   shard-aware GET
+ *   cluster put  <seeds> <name> <in.yuv> <w> <h>  shard-aware PUT
+ *   cluster stat <seeds>                     merged directory
+ *     (<seeds> is host:port[,host:port...] of any live shards; the
+ *     router learns the full ring via CLUSTER_INFO)
+ *
  * Common options: --crf N, --gop N, --bframes N, --slices N,
  * --cavlc, --no-deblock, --raw-ber X, --seed N, --conceal.
  * Archive options: --key HEX (AES key: encrypts on put, decrypts on
@@ -48,6 +60,9 @@
 #include <unistd.h>
 
 #include "archive/archive_service.h"
+#include "cluster/cluster_node.h"
+#include "cluster/cluster_router.h"
+#include "cluster/scrub_scheduler.h"
 #include "core/pipeline.h"
 #include "quality/metrics.h"
 #include "server/vapp_client.h"
@@ -74,6 +89,11 @@ struct CliOptions
     std::size_t queueCapacity = 256;
     std::size_t cacheMb = 64;
     u32 deadlineMs = 0;
+    u32 replicas = 2;
+    u32 vnodes = 64;
+    u32 scrubIntervalMs = 0;
+    u64 scrubBudget = 0;
+    int clientRetries = 3;
 };
 
 void
@@ -96,11 +116,18 @@ usage()
         "  remote stat   <host:port>\n"
         "  remote scrub  <host:port>\n"
         "  remote health <host:port>\n"
+        "  cluster serve <a1.vapp> [a2.vapp ...]\n"
+        "  cluster get   <seeds> <name> <gop> <out.yuv>\n"
+        "  cluster put   <seeds> <name> <in.yuv> <w> <h>\n"
+        "  cluster stat  <seeds>\n"
+        "    (<seeds> = host:port[,host:port...])\n"
         "options: --crf N --gop N --bframes N --slices N --cavlc\n"
         "         --no-deblock --raw-ber X --seed N --conceal\n"
         "         --key HEX --mode ecb|cbc|ctr|ofb|cfb --key-id N\n"
         "         --port N --workers N --queue N --cache-mb N\n"
-        "         --deadline MS\n");
+        "         --deadline MS --replicas N --vnodes N\n"
+        "         --scrub-interval MS --scrub-budget BITS\n"
+        "         --retries N\n");
 }
 
 /** Parse "deadbeef.." into bytes; false on odd length/bad digit. */
@@ -204,6 +231,16 @@ parseOptions(int argc, char **argv, int first, CliOptions &opts)
             opts.cacheMb = static_cast<std::size_t>(next(64));
         else if (a == "--deadline")
             opts.deadlineMs = static_cast<u32>(next(0));
+        else if (a == "--replicas")
+            opts.replicas = static_cast<u32>(next(2));
+        else if (a == "--vnodes")
+            opts.vnodes = static_cast<u32>(next(64));
+        else if (a == "--scrub-interval")
+            opts.scrubIntervalMs = static_cast<u32>(next(0));
+        else if (a == "--scrub-budget")
+            opts.scrubBudget = static_cast<u64>(next(0));
+        else if (a == "--retries")
+            opts.clientRetries = static_cast<int>(next(3));
         else {
             std::fprintf(stderr, "unknown option: %s\n", a.c_str());
             return false;
@@ -772,6 +809,301 @@ cmdRemoteHealth(const std::string &spec)
     return 0;
 }
 
+/** Parse "host:port[,host:port...]" into seed shards (ids are
+ * placeholders — the router learns real ids via CLUSTER_INFO). */
+bool
+parseSeeds(const std::string &spec,
+           std::vector<ClusterShard> &seeds)
+{
+    std::size_t start = 0;
+    while (start <= spec.size()) {
+        std::size_t comma = spec.find(',', start);
+        std::string one = spec.substr(
+            start, comma == std::string::npos ? std::string::npos
+                                              : comma - start);
+        ClusterShard shard;
+        shard.id = static_cast<u32>(seeds.size());
+        if (!parseHostPort(one, shard.host, shard.port))
+            return false;
+        seeds.push_back(std::move(shard));
+        if (comma == std::string::npos)
+            break;
+        start = comma + 1;
+    }
+    return !seeds.empty();
+}
+
+/** Build a router over @p spec's seeds; nullopt after complaining. */
+std::optional<ClusterRouter>
+routerOrComplain(const std::string &spec, const CliOptions &opts)
+{
+    ClusterRouterConfig config;
+    if (!parseSeeds(spec, config.seeds)) {
+        std::fprintf(stderr,
+                     "error: bad seed list '%s' "
+                     "(want host:port[,host:port...])\n",
+                     spec.c_str());
+        return std::nullopt;
+    }
+    config.retry.maxRetries = opts.clientRetries;
+    ClusterRouter router(std::move(config));
+    if (!router.refresh()) {
+        std::fprintf(stderr,
+                     "error: no seed shard answered CLUSTER_INFO\n");
+        return std::nullopt;
+    }
+    return router;
+}
+
+int
+cmdClusterServe(const std::vector<std::string> &archives,
+                const CliOptions &opts)
+{
+    const std::size_t count = archives.size();
+    std::vector<std::unique_ptr<ArchiveService>> services;
+    std::vector<std::unique_ptr<ClusterNode>> nodes;
+    std::vector<std::unique_ptr<VappServer>> servers;
+    std::vector<std::unique_ptr<ScrubScheduler>> scrubbers;
+    for (std::size_t i = 0; i < count; ++i) {
+        services.push_back(
+            std::make_unique<ArchiveService>(archives[i]));
+        if (!openOrComplain(*services.back(), true))
+            return 1;
+        ClusterNodeConfig node;
+        node.selfId = static_cast<u32>(i);
+        node.replicas = opts.replicas;
+        node.vnodes = opts.vnodes;
+        nodes.push_back(std::make_unique<ClusterNode>(
+            *services.back(), node));
+        VappServerConfig config;
+        config.port = static_cast<u16>(opts.port + i);
+        config.workers = opts.workers;
+        config.queueCapacity = opts.queueCapacity;
+        config.cacheBytes = opts.cacheMb << 20;
+        config.cluster = nodes.back().get();
+        servers.push_back(std::make_unique<VappServer>(
+            *services.back(), config));
+        if (!servers.back()->start()) {
+            std::fprintf(stderr,
+                         "error: cannot listen on port %u: %s\n",
+                         config.port, std::strerror(errno));
+            return 1;
+        }
+    }
+    std::vector<ClusterShard> shards;
+    for (std::size_t i = 0; i < count; ++i)
+        shards.push_back({static_cast<u32>(i), "127.0.0.1",
+                          servers[i]->port()});
+    for (auto &node : nodes)
+        node->setTopology(shards, 1);
+    for (std::size_t i = 0; i < count; ++i) {
+        std::printf("shard %zu: '%s' on 127.0.0.1:%u\n", i,
+                    archives[i].c_str(), servers[i]->port());
+        if (opts.scrubIntervalMs > 0) {
+            ScrubSchedulerConfig scrub;
+            scrub.intervalMs = opts.scrubIntervalMs;
+            scrub.correctionBudget = opts.scrubBudget;
+            scrub.ageRawBer = opts.rawBerGiven ? opts.rawBer : 0.0;
+            scrub.seed = opts.seed;
+            scrubbers.push_back(std::make_unique<ScrubScheduler>(
+                *services[i], scrub));
+            // Scrubbing rewrites cells: drop stale cached decodes.
+            VappServer *server = servers[i].get();
+            scrubbers.back()->onScrubbed =
+                [server](const std::string &name) {
+                    server->cache().eraseVideo(name);
+                };
+            scrubbers.back()->start();
+        }
+    }
+    std::printf("%zu-shard cluster up (replicas %u, vnodes %u%s)\n",
+                count, opts.replicas, opts.vnodes,
+                opts.scrubIntervalMs > 0 ? ", scrubbing" : "");
+    std::fflush(stdout);
+
+    std::signal(SIGINT, onServeSignal);
+    std::signal(SIGTERM, onServeSignal);
+    while (!g_serve_stop)
+        ::pause();
+
+    std::printf("\nshutting down...\n");
+    for (auto &scrubber : scrubbers)
+        scrubber->stop();
+    for (auto &server : servers)
+        server->stop();
+    int status = 0;
+    for (std::size_t i = 0; i < count; ++i) {
+        ArchiveError err = services[i]->flush();
+        if (err != ArchiveError::None) {
+            std::fprintf(stderr, "error: cannot write '%s': %s\n",
+                         archives[i].c_str(),
+                         archiveErrorName(err));
+            status = 1;
+        }
+    }
+    return status;
+}
+
+int
+cmdClusterGet(const std::string &seeds, const std::string &name,
+              u32 gop, const std::string &out,
+              const CliOptions &opts)
+{
+    auto router = routerOrComplain(seeds, opts);
+    if (!router)
+        return 1;
+    GetFramesRequest request;
+    request.name = name;
+    request.gop = gop;
+    request.injectRawBer = opts.rawBerGiven ? opts.rawBer : 0.0;
+    request.seed = opts.seed;
+    request.conceal = opts.conceal;
+    request.key = opts.key;
+    request.deadlineMs = opts.deadlineMs;
+    auto response = router->getFrames(request);
+    if (!response) {
+        std::fprintf(stderr, "error: no shard could serve '%s'\n",
+                     name.c_str());
+        return 1;
+    }
+    if (response->status != Status::Ok &&
+        response->status != Status::Partial) {
+        std::fprintf(stderr, "error: cluster answered %s\n",
+                     statusName(response->status));
+        return 1;
+    }
+    std::ofstream f(out, std::ios::binary);
+    f.write(reinterpret_cast<const char *>(response->i420.data()),
+            static_cast<std::streamsize>(response->i420.size()));
+    if (!f) {
+        std::fprintf(stderr, "error: cannot write '%s'\n",
+                     out.c_str());
+        return 1;
+    }
+    std::printf("GOP %u/%u of '%s' via shard %u: frames %u..%u "
+                "(%ux%u) -> %s%s\n",
+                gop, response->gopCount, name.c_str(),
+                router->ownerOf(name), response->firstFrame,
+                response->firstFrame + response->frameCount - 1,
+                response->width, response->height, out.c_str(),
+                response->status == Status::Partial ? " [partial]"
+                                                    : "");
+    return 0;
+}
+
+int
+cmdClusterPut(const std::string &seeds, const std::string &name,
+              const std::string &in, int w, int h,
+              const CliOptions &opts)
+{
+    Video source = loadOrDie(in, w, h);
+    auto router = routerOrComplain(seeds, opts);
+    if (!router)
+        return 1;
+    PutRequest request;
+    request.name = name;
+    request.width = static_cast<u16>(w);
+    request.height = static_cast<u16>(h);
+    request.frameCount = static_cast<u32>(source.frames.size());
+    request.i420 = packFramesI420(source, 0, source.frames.size());
+    request.key = opts.key;
+    request.cipherMode = static_cast<u8>(opts.mode);
+    request.keyId = opts.keyId;
+    request.ivSeed = opts.seed;
+    auto response = router->put(request);
+    if (!response) {
+        std::fprintf(stderr, "error: no shard accepted '%s'\n",
+                     name.c_str());
+        return 1;
+    }
+    if (response->status != Status::Ok) {
+        std::fprintf(stderr, "error: cluster answered %s\n",
+                     statusName(response->status));
+        return 1;
+    }
+    std::printf("stored '%s' on shard %u: %zu frames, %llu payload "
+                "bytes in %llu cell bytes%s\n",
+                name.c_str(), router->ownerOf(name),
+                source.frames.size(),
+                static_cast<unsigned long long>(
+                    response->payloadBytes),
+                static_cast<unsigned long long>(response->cellBytes),
+                opts.key.empty() ? "" : " (encrypted)");
+    return 0;
+}
+
+int
+cmdClusterStat(const std::string &seeds, const CliOptions &opts)
+{
+    auto router = routerOrComplain(seeds, opts);
+    if (!router)
+        return 1;
+    auto response = router->stat();
+    if (!response || response->status != Status::Ok) {
+        std::fprintf(stderr, "error: cluster stat failed\n");
+        return 1;
+    }
+    std::printf("%zu shard(s), ring epoch %llu\n",
+                router->shardCount(),
+                static_cast<unsigned long long>(router->epoch()));
+    std::printf("%-20s %5s %9s %7s %8s %14s %14s %5s\n", "name",
+                "shard", "dims", "frames", "streams", "payload B",
+                "cell B", "enc");
+    for (const auto &s : response->videos) {
+        char dims[16];
+        std::snprintf(dims, sizeof dims, "%dx%d", s.width,
+                      s.height);
+        std::printf("%-20s %5u %9s %7zu %8zu %14llu %14llu %5s\n",
+                    s.name.c_str(), router->ownerOf(s.name), dims,
+                    s.frames, s.streamCount,
+                    static_cast<unsigned long long>(s.payloadBytes),
+                    static_cast<unsigned long long>(s.cellBytes),
+                    s.encrypted ? "yes" : "no");
+    }
+    std::printf("%zu video(s)\n", response->videos.size());
+    return 0;
+}
+
+int
+cmdCluster(int argc, char **argv, CliOptions &opts)
+{
+    std::string sub = argc >= 3 ? argv[2] : "";
+    if (sub == "serve" && argc >= 4) {
+        // Archives are the args up to the first --option.
+        std::vector<std::string> archives;
+        int i = 3;
+        for (; i < argc && std::strncmp(argv[i], "--", 2) != 0; ++i)
+            archives.push_back(argv[i]);
+        if (!archives.empty() &&
+            parseOptions(argc, argv, i, opts))
+            return cmdClusterServe(archives, opts);
+        if (archives.empty())
+            usage();
+        return 1;
+    }
+    if (sub == "get" && argc >= 7) {
+        if (!parseOptions(argc, argv, 7, opts))
+            return 1;
+        return cmdClusterGet(argv[3], argv[4],
+                             static_cast<u32>(std::atoi(argv[5])),
+                             argv[6], opts);
+    }
+    if (sub == "put" && argc >= 8) {
+        if (!parseOptions(argc, argv, 8, opts))
+            return 1;
+        return cmdClusterPut(argv[3], argv[4], argv[5],
+                             std::atoi(argv[6]),
+                             std::atoi(argv[7]), opts);
+    }
+    if (sub == "stat" && argc >= 4) {
+        if (!parseOptions(argc, argv, 4, opts))
+            return 1;
+        return cmdClusterStat(argv[3], opts);
+    }
+    usage();
+    return 1;
+}
+
 int
 cmdRemote(int argc, char **argv, CliOptions &opts)
 {
@@ -857,6 +1189,8 @@ main(int argc, char **argv)
         return cmdArchive(argc, argv, opts);
     if (cmd == "remote")
         return cmdRemote(argc, argv, opts);
+    if (cmd == "cluster")
+        return cmdCluster(argc, argv, opts);
     if (cmd == "serve" && argc >= 3) {
         if (!parseOptions(argc, argv, 3, opts))
             return 1;

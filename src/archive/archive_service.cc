@@ -110,6 +110,9 @@ ArchiveService::open(bool create_if_missing)
     if (err != ArchiveError::None)
         return err;
     archive_ = std::move(loaded);
+    metaCrc_.clear();
+    for (const auto &[name, record] : archive_.videos)
+        metaCrc_[name] = crc32(serializeRecordMeta(record));
     VA_TELEM_COUNT("archive.opens", 1);
     return ArchiveError::None;
 }
@@ -137,9 +140,11 @@ ArchiveService::put(const std::string &name,
     // Heavy work (encrypt + BCH encode) happens outside any lock;
     // only the map insert needs the directory writer lock.
     VideoRecord record = recordFromPrepared(prepared, options.encryption);
+    u32 meta_crc = crc32(serializeRecordMeta(record));
 
     std::unique_lock dir(dirMutex_);
     archive_.videos[name] = std::move(record);
+    metaCrc_[name] = meta_crc;
     VA_TELEM_COUNT("archive.puts", 1);
     return ArchiveError::None;
 }
@@ -164,6 +169,19 @@ ArchiveService::get(const std::string &name,
             return result;
         }
         std::lock_guard shard(shardFor(name));
+        // Precise-metadata integrity gate: the small precise part is
+        // the one piece of the record that must never be served
+        // wrong (the paper's CRC-protected metadata). A mismatch
+        // aborts before any decode; in a cluster the caller repairs
+        // from a replica blob and retries.
+        auto crc_it = metaCrc_.find(name);
+        if (crc_it != metaCrc_.end() &&
+            crc32(serializeRecordMeta(it->second)) !=
+                crc_it->second) {
+            VA_TELEM_COUNT("archive.meta_crc_mismatches", 1);
+            result.error = ArchiveError::CrcMismatch;
+            return result;
+        }
         layout = it->second.layout;
         crypto = it->second.crypto;
         streams = it->second.streams;
@@ -290,30 +308,9 @@ ArchiveService::scrub(const ScrubOptions &options)
         if (it == archive_.videos.end())
             return; // removed after the snapshot: nothing to repair
         std::lock_guard shard(shardFor(names[v]));
-        VideoRecord &record = it->second;
-        ScrubReport &local = locals[v];
-        u64 video_seed = Rng::deriveSeed(options.seed, v);
-        for (std::size_t i = 0; i < record.streams.size(); ++i) {
-            StreamRecord &s = record.streams[i];
-            if (options.ageRawBer > 0.0) {
-                Rng rng(Rng::deriveSeed(video_seed, i));
-                degradeCellImage(s.image, options.ageRawBer, rng);
-            }
-            CellReadStats st;
-            scrubCellImage(s.image, &st);
-            local.cells.merge(st);
-            local.blocksRewritten += st.blocksCorrected;
-            if (st.blocksUncorrectable > 0) {
-                ++local.streamsDamaged;
-            } else if (s.schemeT > 0 &&
-                       crc32(s.image.cells) != s.cellsCrc) {
-                // Every block decoded "successfully" yet the repaired
-                // image deviates from the pristine one: the decoder
-                // silently landed on a wrong codeword.
-                ++local.streamsMiscorrected;
-            }
-            ++local.streams;
-        }
+        scrubRecordStreams(it->second, options,
+                           Rng::deriveSeed(options.seed, v),
+                           locals[v]);
         scrubbed[v] = 1;
     });
 
@@ -340,14 +337,199 @@ ArchiveService::scrub(const ScrubOptions &options)
     return report;
 }
 
+void
+ArchiveService::scrubRecordStreams(VideoRecord &record,
+                                   const ScrubOptions &options,
+                                   u64 video_seed,
+                                   ScrubReport &local)
+{
+    for (std::size_t i = 0; i < record.streams.size(); ++i) {
+        StreamRecord &s = record.streams[i];
+        if (options.ageRawBer > 0.0) {
+            Rng rng(Rng::deriveSeed(video_seed, i));
+            degradeCellImage(s.image, options.ageRawBer, rng);
+        }
+        CellReadStats st;
+        scrubCellImage(s.image, &st);
+        local.cells.merge(st);
+        local.blocksRewritten += st.blocksCorrected;
+        if (st.blocksUncorrectable > 0) {
+            ++local.streamsDamaged;
+        } else if (s.schemeT > 0 &&
+                   crc32(s.image.cells) != s.cellsCrc) {
+            // Every block decoded "successfully" yet the repaired
+            // image deviates from the pristine one: the decoder
+            // silently landed on a wrong codeword.
+            ++local.streamsMiscorrected;
+        }
+        ++local.streams;
+    }
+}
+
+ScrubReport
+ArchiveService::scrubVideo(const std::string &name,
+                           const ScrubOptions &options)
+{
+    VA_TELEM_LATENCY("archive.scrub_video");
+    ScrubReport report;
+    // Build the needed BCH tables before taking the record locks
+    // (same lock-ordering rule as scrub()).
+    prewarmCodes(name);
+    // Seeds derive from the name hash, not a visit index, so a
+    // budgeted sweep ages each video identically no matter how the
+    // scheduler ordered or split the round.
+    const u64 video_seed = Rng::deriveSeed(
+        options.seed, std::hash<std::string>{}(name));
+    {
+        std::shared_lock dir(dirMutex_);
+        auto it = archive_.videos.find(name);
+        if (it == archive_.videos.end())
+            return report;
+        std::lock_guard shard(shardFor(name));
+        scrubRecordStreams(it->second, options, video_seed, report);
+    }
+    report.videos = 1;
+    VA_TELEM_COUNT("archive.scrub.blocks_read",
+                   report.cells.blocksRead);
+    VA_TELEM_COUNT("archive.scrub.blocks_rewritten",
+                   report.blocksRewritten);
+    VA_TELEM_COUNT("archive.scrub.bits_corrected",
+                   report.cells.bitsCorrected);
+    VA_TELEM_COUNT("archive.scrub.blocks_uncorrectable",
+                   report.cells.blocksUncorrectable);
+    VA_TELEM_COUNT("archive.scrub.streams_miscorrected",
+                   report.streamsMiscorrected);
+    return report;
+}
+
 ArchiveError
 ArchiveService::remove(const std::string &name)
 {
     std::unique_lock dir(dirMutex_);
     if (archive_.videos.erase(name) == 0)
         return ArchiveError::NotFound;
+    metaCrc_.erase(name);
+    {
+        std::lock_guard replicas(replicaMutex_);
+        replicaMeta_.erase(name);
+    }
     VA_TELEM_COUNT("archive.removes", 1);
     return ArchiveError::None;
+}
+
+// --- precise-metadata replication --------------------------------------
+
+namespace {
+
+/** Allocation cap for payload placeholders parsed from replica
+ * blobs arriving over the network (they never carry real content,
+ * only sizes; a video beyond this is rejected as hostile). */
+constexpr u64 kReplicaPayloadBound = u64{1} << 31;
+
+} // namespace
+
+Bytes
+ArchiveService::exportMeta(const std::string &name) const
+{
+    std::shared_lock dir(dirMutex_);
+    auto it = archive_.videos.find(name);
+    if (it == archive_.videos.end())
+        return {};
+    std::lock_guard shard(shardFor(name));
+    return serializeRecordMeta(it->second);
+}
+
+ArchiveError
+ArchiveService::putReplicaMeta(const std::string &name, Bytes meta)
+{
+    RecordMeta parsed;
+    if (name.empty() ||
+        parseRecordMeta(meta, parsed, kReplicaPayloadBound) !=
+            ArchiveError::None)
+        return ArchiveError::Malformed;
+    std::lock_guard replicas(replicaMutex_);
+    replicaMeta_[name] = std::move(meta);
+    VA_TELEM_COUNT("archive.replica_meta.held", 1);
+    return ArchiveError::None;
+}
+
+Bytes
+ArchiveService::replicaMeta(const std::string &name) const
+{
+    std::lock_guard replicas(replicaMutex_);
+    auto it = replicaMeta_.find(name);
+    return it == replicaMeta_.end() ? Bytes{} : it->second;
+}
+
+ArchiveError
+ArchiveService::repairMeta(const std::string &name,
+                           const Bytes &meta)
+{
+    RecordMeta parsed;
+    if (parseRecordMeta(meta, parsed, kReplicaPayloadBound) !=
+        ArchiveError::None)
+        return ArchiveError::Malformed;
+
+    std::unique_lock dir(dirMutex_);
+    auto it = archive_.videos.find(name);
+    if (it == archive_.videos.end())
+        return ArchiveError::NotFound;
+    std::lock_guard shard(shardFor(name));
+    VideoRecord &record = it->second;
+    // The cells stay: the blob must describe exactly the images this
+    // record holds, or it belongs to some other incarnation of the
+    // name and repairing from it would corrupt, not heal.
+    if (parsed.streams.size() != record.streams.size())
+        return ArchiveError::Malformed;
+    for (std::size_t i = 0; i < parsed.streams.size(); ++i) {
+        const StreamMeta &m = parsed.streams[i];
+        const StreamRecord &s = record.streams[i];
+        if (m.schemeT != s.schemeT ||
+            m.payloadBytes != s.image.payloadBytes ||
+            m.cellLength != s.image.cells.size())
+            return ArchiveError::Malformed;
+    }
+    record.layout = std::move(parsed.layout);
+    record.crypto = parsed.crypto;
+    for (std::size_t i = 0; i < parsed.streams.size(); ++i) {
+        const StreamMeta &m = parsed.streams[i];
+        StreamRecord &s = record.streams[i];
+        s.bitLength = m.bitLength;
+        s.trueBytes = m.trueBytes;
+        s.cellsCrc = m.cellsCrc;
+    }
+    // Re-serializing the repaired record reproduces the blob byte
+    // for byte (shape-checked above), so the blob's CRC re-anchors
+    // the integrity gate directly.
+    metaCrc_[name] = crc32(meta);
+    VA_TELEM_COUNT("archive.meta_repairs", 1);
+    return ArchiveError::None;
+}
+
+bool
+ArchiveService::damageMetaForTest(const std::string &name)
+{
+    std::unique_lock dir(dirMutex_);
+    auto it = archive_.videos.find(name);
+    if (it == archive_.videos.end())
+        return false;
+    std::lock_guard shard(shardFor(name));
+    // Any mutation the meta serialization covers works; stream
+    // bit lengths are precise data every decode depends on.
+    for (StreamRecord &s : it->second.streams)
+        s.bitLength ^= 1;
+    return true;
+}
+
+std::vector<std::string>
+ArchiveService::videoNames() const
+{
+    std::shared_lock dir(dirMutex_);
+    std::vector<std::string> names;
+    names.reserve(archive_.videos.size());
+    for (const auto &[name, record] : archive_.videos)
+        names.push_back(name);
+    return names;
 }
 
 std::vector<ArchiveVideoStat>

@@ -148,8 +148,60 @@ class ArchiveService
     /** Scrub every video (videos run on the pool). */
     ScrubReport scrub(const ScrubOptions &options = {});
 
+    /**
+     * Scrub a single video (the budgeted background scheduler's
+     * unit of work). Per-stream aging seeds derive from
+     * (options.seed, name hash), so a sweep is reproducible
+     * regardless of visit order. Unknown names return a zero report.
+     */
+    ScrubReport scrubVideo(const std::string &name,
+                           const ScrubOptions &options = {});
+
     /** Drop @p name from the archive. */
     ArchiveError remove(const std::string &name);
+
+    // --- precise-metadata replication (cluster tier) ---------------
+
+    /**
+     * @p name's precise metadata serialized as a standalone blob
+     * (layout, crypto, per-stream shape — no cells). Empty when the
+     * video is unknown. This is what a shard replicates to its ring
+     * successors after a PUT.
+     */
+    Bytes exportMeta(const std::string &name) const;
+
+    /**
+     * Hold a replica precise-meta blob for @p name on behalf of a
+     * peer shard. The blob is validated (total parse) before it is
+     * kept; Malformed rejects it. Replicas live beside the archive
+     * in memory — they protect against *metadata* damage on the
+     * owner, not node loss, and are re-shipped on every PUT.
+     */
+    ArchiveError putReplicaMeta(const std::string &name, Bytes meta);
+
+    /** The replica blob held for @p name (empty when none). */
+    Bytes replicaMeta(const std::string &name) const;
+
+    /**
+     * Repair @p name's precise metadata from @p meta (a replica
+     * blob). The blob must match the existing record's cell-image
+     * shapes (stream count, schemeT, payload/cell sizes) — the
+     * cells themselves are kept, only the precise parts are
+     * replaced and the integrity CRC re-anchored.
+     */
+    ArchiveError repairMeta(const std::string &name,
+                            const Bytes &meta);
+
+    /**
+     * Test hook: corrupt @p name's precise metadata in memory
+     * without touching its integrity CRC, so the next get() fails
+     * CrcMismatch — the cluster repair path's trigger. False when
+     * the video is unknown.
+     */
+    bool damageMetaForTest(const std::string &name);
+
+    /** Sorted names snapshot (scrub-scheduler round robin). */
+    std::vector<std::string> videoNames() const;
 
     /** Directory listing, sorted by name. */
     std::vector<ArchiveVideoStat> stat() const;
@@ -163,11 +215,25 @@ class ArchiveService
 
     std::mutex &shardFor(const std::string &name) const;
 
+    /** The per-stream scrub body shared by scrub()/scrubVideo();
+     * caller holds the directory and shard locks. */
+    static void scrubRecordStreams(VideoRecord &record,
+                                   const ScrubOptions &options,
+                                   u64 video_seed,
+                                   ScrubReport &local);
+
     std::string path_;
     /** Guards the videos map structure; shards guard record cells. */
     mutable std::shared_mutex dirMutex_;
     mutable std::array<std::mutex, kLockShards> shards_;
     Archive archive_;
+    /** Expected crc32 of each record's serialized precise meta,
+     * anchored at put/open/repair; get() verifies against it
+     * (guarded by dirMutex_ like the videos map). */
+    std::map<std::string, u32> metaCrc_;
+    /** Replica precise-meta blobs held for peer shards. */
+    mutable std::mutex replicaMutex_;
+    std::map<std::string, Bytes> replicaMeta_;
 };
 
 /**

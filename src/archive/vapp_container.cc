@@ -114,8 +114,6 @@ VideoRecord::cellBytes() const
     return total;
 }
 
-namespace {
-
 Bytes
 serializeRecordMeta(const VideoRecord &record)
 {
@@ -152,14 +150,11 @@ serializeRecordMeta(const VideoRecord &record)
     return meta;
 }
 
-/**
- * Parse a record's meta + cells range. @p meta_len bytes of metadata
- * at @p bytes, cells following up to @p record_len.
- */
 ArchiveError
-parseRecord(const u8 *bytes, std::size_t meta_len,
-            std::size_t record_len, VideoRecord &record)
+parseRecordMeta(const Bytes &meta, RecordMeta &out, u64 payload_bound)
 {
+    const u8 *bytes = meta.data();
+    const std::size_t meta_len = meta.size();
     ByteCursor in{bytes, meta_len};
     if (in.u32v() != kRecordMagic)
         return in.ok ? ArchiveError::Malformed
@@ -173,14 +168,14 @@ parseRecord(const u8 *bytes, std::size_t meta_len,
     auto layout = deserializeHeaders(header_blob);
     if (!layout)
         return ArchiveError::Malformed;
-    record.layout = std::move(*layout);
+    out.layout = std::move(*layout);
 
     u32 frames = in.u32v();
     if (!in.ok || frames > in.remaining() / 8)
         return ArchiveError::ShortRead;
-    if (frames != record.layout.frameHeaders.size())
+    if (frames != out.layout.frameHeaders.size())
         return ArchiveError::Malformed;
-    record.layout.payloads.clear();
+    out.layout.payloads.clear();
     u64 payload_total = 0;
     for (u32 f = 0; f < frames; ++f) {
         u64 size = in.u64v();
@@ -189,12 +184,13 @@ parseRecord(const u8 *bytes, std::size_t meta_len,
         // the (larger) cell section holds; anything bigger is bogus
         // and must not drive allocation.
         if (!in.ok ||
-            payload_total > record_len + 16 * u64{frames} + 1024)
+            payload_total > payload_bound + 16 * u64{frames} + 1024)
             return ArchiveError::Malformed;
-        record.layout.payloads.emplace_back(
+        out.layout.payloads.emplace_back(
             static_cast<std::size_t>(size), 0);
     }
 
+    out.crypto.reset();
     u8 has_crypto = in.u8v();
     if (has_crypto > 1)
         return ArchiveError::Malformed;
@@ -209,35 +205,68 @@ parseRecord(const u8 *bytes, std::size_t meta_len,
             b = in.u8v();
         if (!in.ok)
             return ArchiveError::ShortRead;
-        record.crypto = crypto;
+        out.crypto = crypto;
     }
 
     u16 stream_count = in.u16v();
-    record.streams.resize(stream_count);
-    std::size_t cell_pos = meta_len;
+    out.streams.assign(stream_count, StreamMeta{});
     int prev_t = -1;
-    for (StreamRecord &s : record.streams) {
+    for (StreamMeta &s : out.streams) {
         s.schemeT = in.u8v();
         s.bitLength = in.u64v();
         s.trueBytes = in.u64v();
-        s.image.payloadBytes = in.u64v();
-        u64 cell_len = in.u64v();
+        s.payloadBytes = in.u64v();
+        s.cellLength = in.u64v();
         s.cellsCrc = in.u32v();
         if (!in.ok)
             return ArchiveError::ShortRead;
         if (s.schemeT <= prev_t || s.schemeT > 58 ||
-            s.trueBytes > s.image.payloadBytes ||
-            s.image.payloadBytes > cell_len ||
-            cell_len > record_len - cell_pos)
+            s.trueBytes > s.payloadBytes ||
+            s.payloadBytes > s.cellLength)
             return ArchiveError::Malformed;
         prev_t = s.schemeT;
-        s.image.schemeT = s.schemeT;
+    }
+    if (in.pos != meta_len)
+        return ArchiveError::Malformed;
+    return ArchiveError::None;
+}
+
+namespace {
+
+/**
+ * Parse a record's meta + cells range. @p meta_len bytes of metadata
+ * at @p bytes, cells following up to @p record_len.
+ */
+ArchiveError
+parseRecord(const u8 *bytes, std::size_t meta_len,
+            std::size_t record_len, VideoRecord &record)
+{
+    RecordMeta meta;
+    ArchiveError err = parseRecordMeta(
+        Bytes(bytes, bytes + meta_len), meta, record_len);
+    if (err != ArchiveError::None)
+        return err;
+    record.layout = std::move(meta.layout);
+    record.crypto = meta.crypto;
+    record.streams.assign(meta.streams.size(), StreamRecord{});
+    std::size_t cell_pos = meta_len;
+    for (std::size_t i = 0; i < meta.streams.size(); ++i) {
+        const StreamMeta &m = meta.streams[i];
+        StreamRecord &s = record.streams[i];
+        if (m.cellLength > record_len - cell_pos)
+            return ArchiveError::Malformed;
+        s.schemeT = m.schemeT;
+        s.bitLength = m.bitLength;
+        s.trueBytes = m.trueBytes;
+        s.cellsCrc = m.cellsCrc;
+        s.image.schemeT = m.schemeT;
+        s.image.payloadBytes = m.payloadBytes;
         s.image.cells.assign(
             bytes + cell_pos,
-            bytes + cell_pos + static_cast<std::size_t>(cell_len));
-        cell_pos += static_cast<std::size_t>(cell_len);
+            bytes + cell_pos + static_cast<std::size_t>(m.cellLength));
+        cell_pos += static_cast<std::size_t>(m.cellLength);
     }
-    if (in.pos != meta_len || cell_pos != record_len)
+    if (cell_pos != record_len)
         return ArchiveError::Malformed;
     return ArchiveError::None;
 }

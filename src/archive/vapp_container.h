@@ -110,6 +110,50 @@ struct Archive
     std::map<std::string, VideoRecord> videos;
 };
 
+// --- precise-metadata blobs (replication) ------------------------------
+
+/** One stream's precise metadata (everything but the cells). */
+struct StreamMeta
+{
+    int schemeT = 0;
+    u64 bitLength = 0;
+    u64 trueBytes = 0;
+    /** Payload bytes held by the stream's cell image. */
+    u64 payloadBytes = 0;
+    /** Byte length of the cell image (shape, not content). */
+    u64 cellLength = 0;
+    u32 cellsCrc = 0;
+};
+
+/**
+ * A record's precise metadata as a standalone value: the CRC-checked
+ * small part of a video record (layout, crypto, per-stream shape),
+ * with the approximate cell images deliberately absent. This is the
+ * unit of cluster replication — the blob a shard ships to its ring
+ * successors so a damaged owner record can be repaired without ever
+ * copying the (large, single-copy, ECC-protected) cells.
+ */
+struct RecordMeta
+{
+    EncodedVideo layout;
+    std::optional<StreamCryptoMeta> crypto;
+    std::vector<StreamMeta> streams;
+};
+
+/** Serialize @p record's precise metadata (the container's on-disk
+ * record-meta encoding, reused verbatim as the replication blob). */
+Bytes serializeRecordMeta(const VideoRecord &record);
+
+/**
+ * Parse a precise-meta blob. Total like every container reader.
+ * @p payload_bound caps the claimed per-frame payload total so a
+ * hostile blob cannot drive allocation (pass the enclosing record
+ * length when parsing from a container, or a transport cap when
+ * parsing a replication blob).
+ */
+ArchiveError parseRecordMeta(const Bytes &meta, RecordMeta &out,
+                             u64 payload_bound);
+
 /** Serialize to the container byte layout documented above. */
 Bytes serializeArchive(const Archive &archive);
 

@@ -1,0 +1,186 @@
+#include "cluster/cluster_node.h"
+
+#include "common/telemetry.h"
+
+namespace videoapp {
+
+ClusterNode::ClusterNode(ArchiveService &service,
+                         ClusterNodeConfig config)
+    : service_(service), config_(std::move(config))
+{
+    setTopology(config_.shards, config_.epoch);
+}
+
+void
+ClusterNode::setTopology(std::vector<ClusterShard> shards,
+                         u64 epoch)
+{
+    std::vector<u32> ids;
+    ids.reserve(shards.size());
+    std::map<u32, ClusterShard> addresses;
+    for (const ClusterShard &s : shards) {
+        ids.push_back(s.id);
+        addresses[s.id] = s;
+    }
+    HashRing ring(ids, config_.vnodes);
+    std::unique_lock lock(ringMutex_);
+    ring_ = std::move(ring);
+    addresses_ = std::move(addresses);
+    shards_ = std::move(shards);
+    epoch_ = epoch;
+}
+
+u64
+ClusterNode::epoch() const
+{
+    std::shared_lock lock(ringMutex_);
+    return epoch_;
+}
+
+u32
+ClusterNode::ownerOf(const std::string &name) const
+{
+    std::shared_lock lock(ringMutex_);
+    return ring_.ownerOf(name);
+}
+
+std::vector<u32>
+ClusterNode::successorsOf(const std::string &name) const
+{
+    std::shared_lock lock(ringMutex_);
+    return ring_.successors(name, config_.replicas);
+}
+
+Bytes
+ClusterNode::infoPayload() const
+{
+    ClusterInfoResponse info;
+    info.status = Status::Ok;
+    info.vnodes = config_.vnodes;
+    info.replicas = config_.replicas;
+    info.selfId = config_.selfId;
+    {
+        std::shared_lock lock(ringMutex_);
+        info.epoch = epoch_;
+        info.shards = shards_;
+    }
+    return serializeClusterInfoResponse(info);
+}
+
+ClusterNode::Peer *
+ClusterNode::peerFor(u32 shard)
+{
+    std::lock_guard lock(peersMutex_);
+    auto it = peers_.find(shard);
+    if (it == peers_.end())
+        it = peers_.emplace(shard, std::make_unique<Peer>()).first;
+    return it->second.get();
+}
+
+bool
+ClusterNode::rpc(u32 shard, Opcode op, const Bytes &payload,
+                 u8 flags, u8 &kind, Bytes &response)
+{
+    ClusterShard addr;
+    {
+        std::shared_lock lock(ringMutex_);
+        auto it = addresses_.find(shard);
+        if (it == addresses_.end())
+            return false;
+        addr = it->second;
+    }
+    Peer *peer = peerFor(shard);
+    std::lock_guard lock(peer->mutex);
+    // Two attempts: a cached connection may have rotted since the
+    // last RPC (peer restart); the second runs on a fresh one.
+    for (int attempt = 0; attempt < 2; ++attempt) {
+        if (!peer->client.connected() &&
+            !peer->client.connect(addr.host, addr.port))
+            continue;
+        std::optional<VappClient::RawResponse> raw;
+        if (peer->client.send(op, payload, nullptr, flags))
+            raw = peer->client.receive();
+        if (raw) {
+            kind = raw->kind;
+            response = std::move(raw->payload);
+            return true;
+        }
+        peer->client.disconnect();
+    }
+    return false;
+}
+
+bool
+ClusterNode::forward(u32 shard, Opcode op, const Bytes &payload,
+                     u8 &kind, Bytes &response)
+{
+    return rpc(shard, op, payload, kWireFlagForwarded, kind,
+               response);
+}
+
+void
+ClusterNode::replicateMeta(const std::string &name)
+{
+    Bytes meta = service_.exportMeta(name);
+    if (meta.empty())
+        return;
+    MetaPutRequest request;
+    request.name = name;
+    request.meta = std::move(meta);
+    const Bytes payload = serializeMetaPutRequest(request);
+    for (u32 shard : successorsOf(name)) {
+        if (shard == config_.selfId) {
+            // This node double-books as a successor (a forwarded
+            // PUT served off-owner): hold the replica locally.
+            service_.putReplicaMeta(request.name, request.meta);
+            continue;
+        }
+        u8 kind = 0;
+        Bytes response;
+        if (rpc(shard, Opcode::MetaPut, payload, 0, kind,
+                response) &&
+            kind == static_cast<u8>(Status::Ok)) {
+            VA_TELEM_COUNT("cluster.replications", 1);
+        } else {
+            // Best effort: the record still has its local CRC and
+            // any other successor's copy; re-shipped on next PUT.
+            VA_TELEM_COUNT("cluster.replication_failures", 1);
+        }
+    }
+}
+
+bool
+ClusterNode::fetchReplicaMeta(const std::string &name, Bytes &meta)
+{
+    MetaGetRequest request;
+    request.name = name;
+    const Bytes payload = serializeMetaGetRequest(request);
+    for (u32 shard : successorsOf(name)) {
+        if (shard == config_.selfId) {
+            Bytes blob = service_.replicaMeta(name);
+            if (!blob.empty()) {
+                meta = std::move(blob);
+                VA_TELEM_COUNT("cluster.meta_fetches", 1);
+                return true;
+            }
+            continue;
+        }
+        u8 kind = 0;
+        Bytes response;
+        if (!rpc(shard, Opcode::MetaGet, payload, 0, kind,
+                 response) ||
+            kind != static_cast<u8>(Status::Ok))
+            continue;
+        MetaGetResponse parsed;
+        if (!parseMetaGetResponse(response, parsed) ||
+            parsed.meta.empty())
+            continue;
+        meta = std::move(parsed.meta);
+        VA_TELEM_COUNT("cluster.meta_fetches", 1);
+        return true;
+    }
+    VA_TELEM_COUNT("cluster.meta_fetch_failures", 1);
+    return false;
+}
+
+} // namespace videoapp

@@ -1,0 +1,118 @@
+/**
+ * @file
+ * ClusterNode: the VappServer-side half of the cluster tier. One
+ * instance per shard implements the server's ClusterPeer interface
+ * over a HashRing and a set of lazily-connected peer clients:
+ *
+ *  - placement:   ownerOf() consults the shared ring, so every node
+ *                 (and every router) maps a name to the same shard;
+ *  - forwarding:  a mis-targeted GET/PUT is relayed to its owner
+ *                 with kWireFlagForwarded set (one hop, no loops)
+ *                 and the owner's response is echoed verbatim;
+ *  - replication: after a PUT, the owner ships the record's precise
+ *                 metadata blob (serializeRecordMeta — layout,
+ *                 crypto, per-stream shape, *no cells*) to its R
+ *                 distinct ring successors via META_PUT;
+ *  - repair:      when the owner's precise metadata fails its CRC
+ *                 on a GET, fetchReplicaMeta() pulls the blob back
+ *                 from whichever successor still holds it.
+ *
+ * Peer connections are created on first use and cached; a transport
+ * failure drops the cached connection and retries once on a fresh
+ * one (peers restart, TCP connections rot). All peer I/O is blocking
+ * and runs on server worker threads — never the event loop.
+ */
+
+#ifndef VIDEOAPP_CLUSTER_CLUSTER_NODE_H_
+#define VIDEOAPP_CLUSTER_CLUSTER_NODE_H_
+
+#include <map>
+#include <memory>
+#include <mutex>
+#include <shared_mutex>
+#include <string>
+#include <vector>
+
+#include "cluster/hash_ring.h"
+#include "server/vapp_client.h"
+#include "server/vapp_server.h"
+
+namespace videoapp {
+
+struct ClusterNodeConfig
+{
+    /** This node's shard id (must appear in shards). */
+    u32 selfId = 0;
+    /** Every shard of the ring, including this one. May start
+     * empty and be installed later via setTopology() — in-process
+     * clusters only learn their ephemeral ports after start(). */
+    std::vector<ClusterShard> shards;
+    /** Precise-metadata replicas per name (distinct successors). */
+    u32 replicas = 1;
+    /** Virtual nodes per shard on the ring. */
+    u32 vnodes = 64;
+    /** Ring epoch, bumped on membership change. */
+    u64 epoch = 1;
+};
+
+class ClusterNode : public ClusterPeer
+{
+  public:
+    /** @p service is this shard's archive (outlives the node). */
+    ClusterNode(ArchiveService &service, ClusterNodeConfig config);
+
+    /**
+     * (Re)install the membership list and epoch and rebuild the
+     * ring. Thread-safe; in-process clusters call this once every
+     * shard's ephemeral port is known, and a membership change
+     * calls it with a bumped epoch.
+     */
+    void setTopology(std::vector<ClusterShard> shards, u64 epoch);
+
+    u32 selfShard() const override { return config_.selfId; }
+    u32 ownerOf(const std::string &name) const override;
+    bool forward(u32 shard, Opcode op, const Bytes &payload,
+                 u8 &kind, Bytes &response) override;
+    Bytes infoPayload() const override;
+    void replicateMeta(const std::string &name) override;
+    bool fetchReplicaMeta(const std::string &name,
+                          Bytes &meta) override;
+
+    u64 epoch() const;
+
+    /** The metadata replica set the ring assigns @p name. */
+    std::vector<u32> successorsOf(const std::string &name) const;
+
+  private:
+    /** One cached peer connection; its mutex serializes the
+     * request/response exchange (one RPC at a time per peer). */
+    struct Peer
+    {
+        std::mutex mutex;
+        VappClient client;
+    };
+
+    /** Send (op, payload, flags) to @p shard and read the response;
+     * reconnects and retries once on transport failure. */
+    bool rpc(u32 shard, Opcode op, const Bytes &payload, u8 flags,
+             u8 &kind, Bytes &response);
+    Peer *peerFor(u32 shard);
+
+    ArchiveService &service_;
+    const ClusterNodeConfig config_;
+
+    /** Guards ring_, addresses_, shards_, epoch_ (setTopology vs
+     * per-request placement reads). */
+    mutable std::shared_mutex ringMutex_;
+    HashRing ring_;
+    std::map<u32, ClusterShard> addresses_;
+    std::vector<ClusterShard> shards_;
+    u64 epoch_ = 0;
+
+    std::mutex peersMutex_;
+    std::map<u32, std::unique_ptr<Peer>> peers_;
+};
+
+} // namespace videoapp
+
+#endif // VIDEOAPP_CLUSTER_CLUSTER_NODE_H_

@@ -1,0 +1,213 @@
+#include "cluster/cluster_router.h"
+
+#include <algorithm>
+
+#include "common/telemetry.h"
+
+namespace videoapp {
+
+ClusterRouter::ClusterRouter(ClusterRouterConfig config)
+    : config_(std::move(config))
+{}
+
+bool
+ClusterRouter::refresh()
+{
+    // Known topology first (it usually still has live members),
+    // then the bootstrap seeds.
+    std::vector<ClusterShard> candidates;
+    for (const auto &[id, shard] : shards_)
+        candidates.push_back(shard);
+    for (const ClusterShard &seed : config_.seeds)
+        candidates.push_back(seed);
+    for (const ClusterShard &addr : candidates) {
+        VappClient client;
+        if (!client.connect(addr.host, addr.port))
+            continue;
+        if (!client.send(Opcode::ClusterInfo, Bytes{}))
+            continue;
+        auto raw = client.receive();
+        if (!raw || raw->kind != static_cast<u8>(Status::Ok))
+            continue;
+        ClusterInfoResponse info;
+        if (!parseClusterInfoResponse(raw->payload, info) ||
+            info.status != Status::Ok)
+            continue;
+        shards_.clear();
+        std::vector<u32> ids;
+        ids.reserve(info.shards.size());
+        for (const ClusterShard &shard : info.shards) {
+            shards_[shard.id] = shard;
+            ids.push_back(shard.id);
+        }
+        ring_ = HashRing(ids, info.vnodes);
+        epoch_ = info.epoch;
+        // Keep warm connections to surviving shards only.
+        for (auto it = clients_.begin(); it != clients_.end();)
+            it = shards_.count(it->first) ? std::next(it)
+                                          : clients_.erase(it);
+        VA_TELEM_COUNT("router.refreshes", 1);
+        return true;
+    }
+    return false;
+}
+
+u32
+ClusterRouter::ownerOf(const std::string &name) const
+{
+    return ring_.ownerOf(name);
+}
+
+VappClient *
+ClusterRouter::clientFor(u32 shard)
+{
+    auto addr = shards_.find(shard);
+    if (addr == shards_.end())
+        return nullptr;
+    VappClient &client = clients_[shard];
+    if (!client.connected()) {
+        client.setRetryPolicy(config_.retry);
+        if (!client.connect(addr->second.host, addr->second.port))
+            return nullptr;
+    }
+    return &client;
+}
+
+std::vector<u32>
+ClusterRouter::routeOrder(const std::string &name)
+{
+    // Owner first; every other shard is a correct fallback entry
+    // point because nodes forward mis-targeted requests themselves.
+    std::vector<u32> order;
+    order.reserve(shards_.size());
+    const u32 owner = ring_.ownerOf(name);
+    order.push_back(owner);
+    for (const auto &[id, shard] : shards_)
+        if (id != owner)
+            order.push_back(id);
+    return order;
+}
+
+std::optional<GetFramesResponse>
+ClusterRouter::getFrames(const GetFramesRequest &request)
+{
+    if (!ready() && !refresh())
+        return std::nullopt;
+    std::vector<u32> tried;
+    for (std::size_t attempt = 0; attempt <= shards_.size();
+         ++attempt) {
+        u32 shard = 0;
+        bool found = false;
+        for (u32 candidate : routeOrder(request.name)) {
+            if (std::find(tried.begin(), tried.end(), candidate) ==
+                tried.end()) {
+                shard = candidate;
+                found = true;
+                break;
+            }
+        }
+        if (!found)
+            break;
+        if (VappClient *client = clientFor(shard)) {
+            if (auto response = client->getFrames(request))
+                return response;
+        }
+        tried.push_back(shard);
+        VA_TELEM_COUNT("router.failovers", 1);
+        refresh();
+    }
+    return std::nullopt;
+}
+
+std::optional<PutResponse>
+ClusterRouter::put(const PutRequest &request)
+{
+    if (!ready() && !refresh())
+        return std::nullopt;
+    std::vector<u32> tried;
+    for (std::size_t attempt = 0; attempt <= shards_.size();
+         ++attempt) {
+        u32 shard = 0;
+        bool found = false;
+        for (u32 candidate : routeOrder(request.name)) {
+            if (std::find(tried.begin(), tried.end(), candidate) ==
+                tried.end()) {
+                shard = candidate;
+                found = true;
+                break;
+            }
+        }
+        if (!found)
+            break;
+        if (VappClient *client = clientFor(shard)) {
+            if (auto response = client->put(request))
+                return response;
+        }
+        tried.push_back(shard);
+        VA_TELEM_COUNT("router.failovers", 1);
+        refresh();
+    }
+    return std::nullopt;
+}
+
+std::optional<StatResponse>
+ClusterRouter::stat()
+{
+    if (!ready() && !refresh())
+        return std::nullopt;
+    StatResponse merged;
+    merged.status = Status::Ok;
+    bool any = false;
+    for (const auto &[id, shard] : shards_) {
+        VappClient *client = clientFor(id);
+        if (client == nullptr)
+            continue;
+        if (auto response = client->stat()) {
+            any = true;
+            merged.videos.insert(merged.videos.end(),
+                                 response->videos.begin(),
+                                 response->videos.end());
+        }
+    }
+    if (!any)
+        return std::nullopt;
+    std::sort(merged.videos.begin(), merged.videos.end(),
+              [](const ArchiveVideoStat &a,
+                 const ArchiveVideoStat &b) {
+                  return a.name < b.name;
+              });
+    return merged;
+}
+
+std::optional<ScrubResponse>
+ClusterRouter::scrub(const ScrubRequest &request)
+{
+    if (!ready() && !refresh())
+        return std::nullopt;
+    ScrubResponse total;
+    total.status = Status::Ok;
+    bool any = false;
+    for (const auto &[id, shard] : shards_) {
+        VappClient *client = clientFor(id);
+        if (client == nullptr)
+            continue;
+        if (auto response = client->scrub(request)) {
+            any = true;
+            total.videos += response->videos;
+            total.streams += response->streams;
+            total.blocksRead += response->blocksRead;
+            total.blocksRewritten += response->blocksRewritten;
+            total.bitsCorrected += response->bitsCorrected;
+            total.blocksUncorrectable +=
+                response->blocksUncorrectable;
+            total.streamsMiscorrected +=
+                response->streamsMiscorrected;
+            total.streamsDamaged += response->streamsDamaged;
+        }
+    }
+    if (!any)
+        return std::nullopt;
+    return total;
+}
+
+} // namespace videoapp

@@ -1,0 +1,88 @@
+/**
+ * @file
+ * ClusterRouter: the shard-aware client. It bootstraps from one or
+ * more seed addresses, fetches CLUSTER_INFO to learn the ring
+ * (topology + epoch), and then routes every request to the shard
+ * that owns its name — the common case is a single hop straight to
+ * the owner. The placement function is the same HashRing the nodes
+ * use, so router and cluster agree by construction.
+ *
+ * Failure handling: when the owner cannot be reached the router
+ * refreshes its topology and falls back to the next live shard —
+ * server-side forwarding makes any node a correct (one extra hop)
+ * entry point, so availability degrades before correctness does.
+ * Per-shard connections use the client retry policy, so transient
+ * backpressure (Status::Retry) is absorbed below the router.
+ *
+ * stat() aggregates every shard's directory; scrub() broadcasts and
+ * sums the reports. Like VappClient, a router instance is
+ * single-threaded; concurrency is one router per thread.
+ */
+
+#ifndef VIDEOAPP_CLUSTER_CLUSTER_ROUTER_H_
+#define VIDEOAPP_CLUSTER_CLUSTER_ROUTER_H_
+
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "cluster/hash_ring.h"
+#include "server/vapp_client.h"
+
+namespace videoapp {
+
+struct ClusterRouterConfig
+{
+    /** Bootstrap addresses (any live shard; usually all of them). */
+    std::vector<ClusterShard> seeds;
+    /** Retry policy applied to every per-shard connection. */
+    RetryPolicy retry;
+};
+
+class ClusterRouter
+{
+  public:
+    explicit ClusterRouter(ClusterRouterConfig config);
+
+    /**
+     * Fetch CLUSTER_INFO from the first reachable shard (known
+     * topology first, then seeds) and rebuild the ring. False when
+     * no shard answered. Called automatically by the first routed
+     * request and on failover.
+     */
+    bool refresh();
+
+    bool ready() const { return !ring_.empty(); }
+    u64 epoch() const { return epoch_; }
+    std::size_t shardCount() const { return shards_.size(); }
+
+    /** The shard the current ring places @p name on (ready()). */
+    u32 ownerOf(const std::string &name) const;
+
+    // --- routed calls ---------------------------------------------
+    std::optional<GetFramesResponse>
+    getFrames(const GetFramesRequest &request);
+    std::optional<PutResponse> put(const PutRequest &request);
+
+    // --- cluster-wide calls ---------------------------------------
+    /** Directory merged across every shard, sorted by name. */
+    std::optional<StatResponse> stat();
+    /** Broadcast a scrub pass; reports are summed. */
+    std::optional<ScrubResponse> scrub(const ScrubRequest &request);
+
+  private:
+    VappClient *clientFor(u32 shard);
+    /** Owner first, then every other shard in id order. */
+    std::vector<u32> routeOrder(const std::string &name);
+
+    ClusterRouterConfig config_;
+    HashRing ring_;
+    u64 epoch_ = 0;
+    std::map<u32, ClusterShard> shards_;
+    std::map<u32, VappClient> clients_;
+};
+
+} // namespace videoapp
+
+#endif // VIDEOAPP_CLUSTER_CLUSTER_ROUTER_H_

@@ -1,0 +1,88 @@
+#include "cluster/hash_ring.h"
+
+#include <algorithm>
+
+namespace videoapp {
+
+u64
+fnv1a64(const void *data, std::size_t size)
+{
+    const u8 *p = static_cast<const u8 *>(data);
+    u64 h = 14695981039346656037ULL;
+    for (std::size_t i = 0; i < size; ++i) {
+        h ^= p[i];
+        h *= 1099511628211ULL;
+    }
+    return h;
+}
+
+namespace {
+
+u64
+vnodePoint(u32 shard_id, u32 vnode)
+{
+    // Stable textual key: the point layout is part of the placement
+    // contract (clients and nodes must agree across builds).
+    std::string key = "shard/";
+    key += std::to_string(shard_id);
+    key += '/';
+    key += std::to_string(vnode);
+    return fnv1a64(key.data(), key.size());
+}
+
+} // namespace
+
+HashRing::HashRing(const std::vector<u32> &shard_ids, u32 vnodes)
+    : vnodes_(vnodes)
+{
+    std::vector<u32> ids = shard_ids;
+    std::sort(ids.begin(), ids.end());
+    ids.erase(std::unique(ids.begin(), ids.end()), ids.end());
+    shardCount_ = ids.size();
+    ring_.reserve(ids.size() * vnodes);
+    for (u32 id : ids)
+        for (u32 v = 0; v < vnodes; ++v)
+            ring_.emplace_back(vnodePoint(id, v), id);
+    std::sort(ring_.begin(), ring_.end());
+}
+
+std::size_t
+HashRing::ownerIndex(const std::string &name) const
+{
+    const u64 point = fnv1a64(name.data(), name.size());
+    auto it = std::lower_bound(
+        ring_.begin(), ring_.end(), point,
+        [](const std::pair<u64, u32> &entry, u64 p) {
+            return entry.first < p;
+        });
+    if (it == ring_.end())
+        it = ring_.begin(); // wrap past the last point
+    return static_cast<std::size_t>(it - ring_.begin());
+}
+
+u32
+HashRing::ownerOf(const std::string &name) const
+{
+    return ring_[ownerIndex(name)].second;
+}
+
+std::vector<u32>
+HashRing::successors(const std::string &name, u32 count) const
+{
+    std::vector<u32> out;
+    if (ring_.empty() || count == 0)
+        return out;
+    const std::size_t start = ownerIndex(name);
+    const u32 owner = ring_[start].second;
+    for (std::size_t step = 1;
+         step < ring_.size() && out.size() < count; ++step) {
+        const u32 id = ring_[(start + step) % ring_.size()].second;
+        if (id == owner ||
+            std::find(out.begin(), out.end(), id) != out.end())
+            continue;
+        out.push_back(id);
+    }
+    return out;
+}
+
+} // namespace videoapp

@@ -1,0 +1,68 @@
+/**
+ * @file
+ * Consistent-hash ring with virtual nodes: the cluster tier's
+ * placement function. Every shard id contributes `vnodes` points on
+ * a 64-bit ring (FNV-1a of "shard/<id>/<v>"); a video name hashes to
+ * a point and is owned by the first shard point at or after it
+ * (wrapping). Placement is a pure function of (shard ids, vnodes) —
+ * every node and every client computes the same owner with no
+ * coordination, and adding or removing one shard moves only ~1/N of
+ * the names.
+ *
+ * successors() walks the ring past the owner and returns the next
+ * *distinct* shards — the replica set for a name's precise metadata.
+ * The approximate cell images are deliberately single-copy (ECC and
+ * scrubbing absorb their drift, Section 4); only the small precise
+ * records are replicated.
+ */
+
+#ifndef VIDEOAPP_CLUSTER_HASH_RING_H_
+#define VIDEOAPP_CLUSTER_HASH_RING_H_
+
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "common/types.h"
+
+namespace videoapp {
+
+/** FNV-1a 64-bit over @p size bytes (placement hashing). */
+u64 fnv1a64(const void *data, std::size_t size);
+
+class HashRing
+{
+  public:
+    HashRing() = default;
+
+    /** Build a ring of @p vnodes points per shard in @p shard_ids
+     * (duplicates ignored). An empty id list is an empty ring. */
+    HashRing(const std::vector<u32> &shard_ids, u32 vnodes);
+
+    bool empty() const { return ring_.empty(); }
+    std::size_t shardCount() const { return shardCount_; }
+    u32 vnodes() const { return vnodes_; }
+
+    /** The shard owning @p name. Ring must be non-empty. */
+    u32 ownerOf(const std::string &name) const;
+
+    /**
+     * Up to @p count distinct shards after @p name's owner in ring
+     * order, excluding the owner itself — the metadata replica set.
+     * Fewer when the ring has too few shards.
+     */
+    std::vector<u32> successors(const std::string &name,
+                                u32 count) const;
+
+  private:
+    std::size_t ownerIndex(const std::string &name) const;
+
+    /** Sorted (ring point, shard id); ties broken by shard id. */
+    std::vector<std::pair<u64, u32>> ring_;
+    std::size_t shardCount_ = 0;
+    u32 vnodes_ = 0;
+};
+
+} // namespace videoapp
+
+#endif // VIDEOAPP_CLUSTER_HASH_RING_H_

@@ -1,0 +1,145 @@
+#include "cluster/scrub_scheduler.h"
+
+#include <algorithm>
+#include <chrono>
+#include <vector>
+
+#include "common/telemetry.h"
+
+namespace videoapp {
+
+ScrubScheduler::ScrubScheduler(ArchiveService &service,
+                               ScrubSchedulerConfig config)
+    : service_(service), config_(config)
+{}
+
+ScrubScheduler::~ScrubScheduler()
+{
+    stop();
+}
+
+void
+ScrubScheduler::start()
+{
+    {
+        std::lock_guard lock(mutex_);
+        if (started_)
+            return;
+        started_ = true;
+        stopping_ = false;
+    }
+    thread_ = std::thread([this] { run(); });
+}
+
+void
+ScrubScheduler::stop()
+{
+    {
+        std::lock_guard lock(mutex_);
+        if (!started_)
+            return;
+        stopping_ = true;
+    }
+    cv_.notify_all();
+    if (thread_.joinable())
+        thread_.join();
+    std::lock_guard lock(mutex_);
+    started_ = false;
+}
+
+void
+ScrubScheduler::run()
+{
+    for (;;) {
+        {
+            std::unique_lock lock(mutex_);
+            if (cv_.wait_for(
+                    lock,
+                    std::chrono::milliseconds(config_.intervalMs),
+                    [this] { return stopping_; }))
+                return;
+        }
+        runInterval();
+    }
+}
+
+void
+ScrubScheduler::runInterval()
+{
+    const std::vector<std::string> names = service_.videoNames();
+    u64 interval_bits = 0;
+    std::size_t visited = 0;
+    bool budget_hit = false;
+    if (!names.empty()) {
+        // Resume the sweep just past the last visited name (names
+        // are sorted; puts and removes between intervals are fine).
+        std::size_t start = 0;
+        if (!cursor_.empty()) {
+            auto it = std::upper_bound(names.begin(), names.end(),
+                                       cursor_);
+            start = it == names.end()
+                        ? 0
+                        : static_cast<std::size_t>(
+                              it - names.begin());
+        }
+        for (; visited < names.size(); ++visited) {
+            const std::string &name =
+                names[(start + visited) % names.size()];
+            if (config_.correctionBudget > 0) {
+                if (interval_bits >= config_.correctionBudget) {
+                    budget_hit = true;
+                    break;
+                }
+                auto cost = costs_.find(name);
+                const u64 predicted =
+                    cost != costs_.end() ? cost->second : 0;
+                // Predictive gate — but the interval's first video
+                // always runs, so a single oversized video cannot
+                // starve the sweep.
+                if (interval_bits > 0 &&
+                    interval_bits + predicted >
+                        config_.correctionBudget) {
+                    budget_hit = true;
+                    break;
+                }
+            }
+            ScrubOptions options;
+            options.ageRawBer = config_.ageRawBer;
+            options.seed = config_.seed;
+            ScrubReport report =
+                service_.scrubVideo(name, options);
+            cursor_ = name;
+            const u64 corrected = report.cells.bitsCorrected;
+            interval_bits += corrected;
+            u64 &cost = costs_[name];
+            cost = std::max(cost, corrected);
+            videos_.fetch_add(1);
+            bits_.fetch_add(corrected);
+            VA_TELEM_COUNT("cluster.scrub.videos", 1);
+            VA_TELEM_COUNT("cluster.scrub.bits_corrected",
+                           corrected);
+            if (onScrubbed)
+                onScrubbed(name);
+        }
+    }
+    if (budget_hit) {
+        const u64 deferred =
+            static_cast<u64>(names.size() - visited);
+        deferrals_.fetch_add(deferred);
+        VA_TELEM_COUNT("cluster.scrub.deferrals", deferred);
+    }
+    if (config_.correctionBudget > 0 &&
+        interval_bits > config_.correctionBudget) {
+        overruns_.fetch_add(1);
+        VA_TELEM_COUNT("cluster.scrub.overruns", 1);
+    }
+    u64 seen = maxInterval_.load();
+    while (interval_bits > seen &&
+           !maxInterval_.compare_exchange_weak(seen, interval_bits))
+        ;
+    intervals_.fetch_add(1);
+    VA_TELEM_HIST("cluster.scrub.interval_corrections",
+                  interval_bits);
+}
+
+} // namespace videoapp

@@ -1,0 +1,123 @@
+/**
+ * @file
+ * ScrubScheduler: continuous background scrubbing under a drift /
+ * correction budget. The paper turns the 3-month scrub pass into an
+ * operation; at cluster scale that pass must be *paced* so repair
+ * work never crowds out serving. The scheduler sweeps a shard's
+ * videos round-robin, one scrubVideo() per step, and bounds how much
+ * correction work any one interval performs:
+ *
+ *  - each interval starts the next videos in round-robin order;
+ *  - a video is started only while the interval's corrected-bit
+ *    total is below `correctionBudget`, and only when its
+ *    *predicted* cost (the running max of its past corrections)
+ *    still fits; videos that do not fit are deferred to the next
+ *    interval (counted, never skipped forever);
+ *  - a video with no history yet predicts zero (the learning sweep
+ *    may overshoot once; after it, predictions are exact under a
+ *    stationary drift process, which the fixed aging seed models).
+ *
+ * Between intervals the thread sleeps `intervalMs` (condition
+ * variable, so stop() is prompt). After scrubbing a video the
+ * optional invalidate hook runs — the serving layer uses it to drop
+ * that video's cached decodes, since scrubbing rewrites cells.
+ *
+ * Telemetry: cluster.scrub.videos / .bits_corrected / .deferrals /
+ * .overruns counters and a cluster.scrub.interval_corrections
+ * histogram (one sample per completed interval).
+ */
+
+#ifndef VIDEOAPP_CLUSTER_SCRUB_SCHEDULER_H_
+#define VIDEOAPP_CLUSTER_SCRUB_SCHEDULER_H_
+
+#include <atomic>
+#include <condition_variable>
+#include <functional>
+#include <map>
+#include <mutex>
+#include <string>
+#include <thread>
+
+#include "archive/archive_service.h"
+
+namespace videoapp {
+
+struct ScrubSchedulerConfig
+{
+    /** Sleep between intervals, ms. */
+    u32 intervalMs = 100;
+    /** Max corrected bits per interval (0 = unbudgeted). */
+    u64 correctionBudget = 0;
+    /** Raw BER each video is aged at before its scrub — models the
+     * drift accumulated since the last visit. */
+    double ageRawBer = 0.0;
+    /** Aging seed. Fixed across sweeps: repeated scrubs then model
+     * a stationary drift process, making per-video cost predictions
+     * exact after the learning sweep. */
+    u64 seed = 1;
+};
+
+class ScrubScheduler
+{
+  public:
+    /** @p service outlives the scheduler. */
+    ScrubScheduler(ArchiveService &service,
+                   ScrubSchedulerConfig config);
+    ~ScrubScheduler();
+
+    ScrubScheduler(const ScrubScheduler &) = delete;
+    ScrubScheduler &operator=(const ScrubScheduler &) = delete;
+
+    /** Launch the background thread (at most once). */
+    void start();
+    /** Stop and join; idempotent, also run by the destructor. */
+    void stop();
+
+    /** Run one budgeted interval inline (tests; also the unit the
+     * background thread repeats). */
+    void runInterval();
+
+    u64 intervalsCompleted() const { return intervals_.load(); }
+    u64 videosScrubbed() const { return videos_.load(); }
+    u64 bitsCorrected() const { return bits_.load(); }
+    /** Videos pushed to a later interval by the budget. */
+    u64 deferrals() const { return deferrals_.load(); }
+    /** Intervals whose corrections exceeded the budget (at most
+     * the learning sweep, under stationary drift). */
+    u64 overruns() const { return overruns_.load(); }
+    u64 maxIntervalCorrections() const { return maxInterval_.load(); }
+
+  private:
+    void run();
+
+    ArchiveService &service_;
+    ScrubSchedulerConfig config_;
+
+    std::thread thread_;
+    std::mutex mutex_;
+    std::condition_variable cv_;
+    bool stopping_ = false;
+    bool started_ = false;
+
+    /** Round-robin cursor: the next name to visit (names snapshot
+     * is re-read each interval, so puts/removes are picked up). */
+    std::string cursor_;
+    /** Running max of each video's corrected bits (cost model). */
+    std::map<std::string, u64> costs_;
+
+    std::atomic<u64> intervals_{0};
+    std::atomic<u64> videos_{0};
+    std::atomic<u64> bits_{0};
+    std::atomic<u64> deferrals_{0};
+    std::atomic<u64> overruns_{0};
+    std::atomic<u64> maxInterval_{0};
+
+  public:
+    /** Called after each video's scrub (serving-layer cache drop).
+     * Set before start(). */
+    std::function<void(const std::string &)> onScrubbed;
+};
+
+} // namespace videoapp
+
+#endif // VIDEOAPP_CLUSTER_SCRUB_SCHEDULER_H_

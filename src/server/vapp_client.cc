@@ -2,10 +2,16 @@
 
 #include <arpa/inet.h>
 #include <netinet/in.h>
+#include <netinet/tcp.h>
 #include <sys/socket.h>
 #include <unistd.h>
 
 #include <cerrno>
+#include <chrono>
+#include <thread>
+
+#include "common/rng.h"
+#include "common/telemetry.h"
 
 namespace videoapp {
 
@@ -28,7 +34,9 @@ VappClient::~VappClient()
 
 VappClient::VappClient(VappClient &&other) noexcept
     : fd_(other.fd_), nextId_(other.nextId_),
-      lastError_(other.lastError_)
+      lastError_(other.lastError_), retry_(other.retry_),
+      host_(std::move(other.host_)), port_(other.port_),
+      jitterDraws_(other.jitterDraws_)
 {
     other.fd_ = -1;
 }
@@ -41,6 +49,10 @@ VappClient::operator=(VappClient &&other) noexcept
         fd_ = other.fd_;
         nextId_ = other.nextId_;
         lastError_ = other.lastError_;
+        retry_ = other.retry_;
+        host_ = std::move(other.host_);
+        port_ = other.port_;
+        jitterDraws_ = other.jitterDraws_;
         other.fd_ = -1;
     }
     return *this;
@@ -63,7 +75,12 @@ VappClient::connect(const std::string &host, u16 port)
         fd_ = -1;
         return false;
     }
+    int nodelay = 1;
+    ::setsockopt(fd_, IPPROTO_TCP, TCP_NODELAY, &nodelay,
+                 sizeof nodelay);
     lastError_ = WireError::None;
+    host_ = host;
+    port_ = port;
     return true;
 }
 
@@ -129,7 +146,8 @@ VappClient::recvAll(u8 *data, std::size_t size, bool frame_boundary)
 }
 
 bool
-VappClient::send(Opcode op, const Bytes &payload, u32 *request_id)
+VappClient::send(Opcode op, const Bytes &payload, u32 *request_id,
+                 u8 flags)
 {
     if (fd_ < 0) {
         lastError_ = WireError::ShortRead;
@@ -138,7 +156,8 @@ VappClient::send(Opcode op, const Bytes &payload, u32 *request_id)
     u32 id = nextId_++;
     if (request_id)
         *request_id = id;
-    return sendAll(encodeFrame(static_cast<u8>(op), id, payload));
+    return sendAll(
+        encodeFrame(static_cast<u8>(op), id, payload, flags));
 }
 
 std::optional<VappClient::RawResponse>
@@ -175,13 +194,67 @@ VappClient::receive()
     return response;
 }
 
+void
+VappClient::backoffSleep(int attempt)
+{
+    u32 backoff = retry_.initialBackoffMs;
+    for (int i = 0; i < attempt && backoff < retry_.maxBackoffMs;
+         ++i)
+        backoff *= 2;
+    if (backoff > retry_.maxBackoffMs)
+        backoff = retry_.maxBackoffMs;
+    if (backoff == 0)
+        return;
+    // Jitter stream: one fresh deterministic draw per sleep, so
+    // repeated retries (and moved-from clients) never reuse a value.
+    Rng rng(Rng::deriveSeed(retry_.jitterSeed, jitterDraws_++));
+    u32 half = backoff / 2;
+    u32 delay =
+        half + static_cast<u32>(rng.nextBelow(half > 0 ? half : 1));
+    std::this_thread::sleep_for(std::chrono::milliseconds(delay));
+}
+
+std::optional<VappClient::RawResponse>
+VappClient::call(Opcode op, const Bytes &payload)
+{
+    for (int attempt = 0;; ++attempt) {
+        const bool last = attempt >= retry_.maxRetries;
+        if (fd_ < 0 && !host_.empty() && !connect(host_, port_)) {
+            // Reconnect refused (server restarting?): retryable.
+            lastError_ = WireError::ConnectionClosed;
+            if (last)
+                return std::nullopt;
+            VA_TELEM_COUNT("client.retries", 1);
+            backoffSleep(attempt);
+            continue;
+        }
+        std::optional<RawResponse> raw;
+        if (send(op, payload))
+            raw = receive();
+        if (!raw) {
+            if (last || lastError_ != WireError::ConnectionClosed)
+                return std::nullopt;
+            // Clean close between frames: reconnect and resend.
+            disconnect();
+            VA_TELEM_COUNT("client.retries", 1);
+            backoffSleep(attempt);
+            continue;
+        }
+        if (raw->kind == static_cast<u8>(Status::Retry) && !last) {
+            // Explicit backpressure: back off and resend.
+            VA_TELEM_COUNT("client.retries", 1);
+            backoffSleep(attempt);
+            continue;
+        }
+        return raw;
+    }
+}
+
 std::optional<GetFramesResponse>
 VappClient::getFrames(const GetFramesRequest &request)
 {
-    if (!send(Opcode::GetFrames,
-              serializeGetFramesRequest(request)))
-        return std::nullopt;
-    auto raw = receive();
+    auto raw = call(Opcode::GetFrames,
+                    serializeGetFramesRequest(request));
     if (!raw)
         return std::nullopt;
     GetFramesResponse response;
@@ -195,9 +268,7 @@ VappClient::getFrames(const GetFramesRequest &request)
 std::optional<PutResponse>
 VappClient::put(const PutRequest &request)
 {
-    if (!send(Opcode::Put, serializePutRequest(request)))
-        return std::nullopt;
-    auto raw = receive();
+    auto raw = call(Opcode::Put, serializePutRequest(request));
     if (!raw)
         return std::nullopt;
     PutResponse response;
@@ -211,9 +282,7 @@ VappClient::put(const PutRequest &request)
 std::optional<StatResponse>
 VappClient::stat()
 {
-    if (!send(Opcode::Stat, Bytes{}))
-        return std::nullopt;
-    auto raw = receive();
+    auto raw = call(Opcode::Stat, Bytes{});
     if (!raw)
         return std::nullopt;
     StatResponse response;
@@ -227,9 +296,7 @@ VappClient::stat()
 std::optional<ScrubResponse>
 VappClient::scrub(const ScrubRequest &request)
 {
-    if (!send(Opcode::Scrub, serializeScrubRequest(request)))
-        return std::nullopt;
-    auto raw = receive();
+    auto raw = call(Opcode::Scrub, serializeScrubRequest(request));
     if (!raw)
         return std::nullopt;
     ScrubResponse response;
@@ -243,9 +310,7 @@ VappClient::scrub(const ScrubRequest &request)
 std::optional<HealthResponse>
 VappClient::health()
 {
-    if (!send(Opcode::Health, Bytes{}))
-        return std::nullopt;
-    auto raw = receive();
+    auto raw = call(Opcode::Health, Bytes{});
     if (!raw)
         return std::nullopt;
     HealthResponse response;

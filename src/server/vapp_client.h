@@ -22,6 +22,34 @@
 
 namespace videoapp {
 
+/**
+ * Bounded retry for the synchronous calls. Disabled by default
+ * (maxRetries = 0): every existing caller keeps exactly one
+ * request/response round trip. When enabled, a call retries on the
+ * two *retryable* failures only —
+ *
+ *  - Status::Retry responses (explicit server backpressure), and
+ *  - WireError::ConnectionClosed (the server went away cleanly
+ *    between frames; the client reconnects first),
+ *
+ * with capped exponential backoff between attempts. The delay for
+ * attempt k is backoff/2 + jitter in [0, backoff/2), backoff
+ * doubling from initialBackoffMs up to maxBackoffMs; jitter draws
+ * from a deterministic per-client Rng stream (jitterSeed), so tests
+ * and the bench stay reproducible while concurrent clients still
+ * decorrelate. Mid-frame stream loss (ShortRead) and malformed
+ * payloads are never retried — the response is unrecoverable.
+ */
+struct RetryPolicy
+{
+    /** Extra attempts after the first (0 = retry disabled). */
+    int maxRetries = 0;
+    u32 initialBackoffMs = 2;
+    u32 maxBackoffMs = 128;
+    /** Seed of the jitter stream (decorrelate clients by seed). */
+    u64 jitterSeed = 1;
+};
+
 class VappClient
 {
   public:
@@ -38,6 +66,15 @@ class VappClient
     bool connect(const std::string &host, u16 port);
     void disconnect();
     bool connected() const { return fd_ >= 0; }
+
+    /** Enable (or reconfigure) bounded retry for the synchronous
+     * calls; the pipelined send()/receive() pair is never retried.
+     * Counted in telemetry as "client.retries". */
+    void setRetryPolicy(const RetryPolicy &policy)
+    {
+        retry_ = policy;
+    }
+    const RetryPolicy &retryPolicy() const { return retry_; }
 
     /**
      * Failure detail of the last receive()/call that returned
@@ -70,10 +107,12 @@ class VappClient
     /**
      * Fire one request without waiting. The assigned request id is
      * stored in @p request_id when non-null; responses may come back
-     * in any order relative to other in-flight requests.
+     * in any order relative to other in-flight requests. @p flags
+     * rides the frame header (cluster nodes set kWireFlagForwarded
+     * when relaying on a client's behalf).
      */
     bool send(Opcode op, const Bytes &payload,
-              u32 *request_id = nullptr);
+              u32 *request_id = nullptr, u8 flags = 0);
 
     /** Block for the next response frame on the connection. */
     std::optional<RawResponse> receive();
@@ -83,10 +122,18 @@ class VappClient
     /** @p frame_boundary: EOF before any byte is a clean close. */
     bool recvAll(u8 *data, std::size_t size,
                  bool frame_boundary = false);
+    /** One sync round trip with the retry policy applied. */
+    std::optional<RawResponse> call(Opcode op, const Bytes &payload);
+    void backoffSleep(int attempt);
 
     int fd_ = -1;
     u32 nextId_ = 1;
     WireError lastError_ = WireError::None;
+    RetryPolicy retry_;
+    /** Last connect() target, for reconnect-and-retry. */
+    std::string host_;
+    u16 port_ = 0;
+    u64 jitterDraws_ = 0;
 };
 
 } // namespace videoapp

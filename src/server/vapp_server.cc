@@ -435,7 +435,7 @@ VappServer::handleFrame(const std::shared_ptr<Connection> &conn,
                         const WireFrameHeader &header,
                         Bytes payload)
 {
-    if (header.kind > static_cast<u8>(Opcode::Scrub)) {
+    if (header.kind > static_cast<u8>(Opcode::MetaGet)) {
         VA_TELEM_COUNT("server.frames.bad", 1);
         respondStatus(conn, Status::BadRequest, header.requestId);
         return;
@@ -448,9 +448,41 @@ VappServer::handleFrame(const std::shared_ptr<Connection> &conn,
         answerHealth(conn, header.requestId);
         return;
     }
+    if (op == Opcode::ClusterInfo) {
+        // Topology is a cheap in-memory snapshot: served inline
+        // like HEALTH so clients can refresh placement even while
+        // the queue is saturated. Standalone servers answer Error.
+        if (config_.cluster == nullptr) {
+            respondStatus(conn, Status::Error, header.requestId);
+            return;
+        }
+        respondPayload(conn, static_cast<u8>(Status::Ok),
+                       header.requestId,
+                       config_.cluster->infoPayload());
+        return;
+    }
+
+    // Cluster routing: a name-carrying request for a video another
+    // shard owns is relayed there on the client's behalf — one hop,
+    // never a loop (the forwarded flag makes the peer serve it
+    // locally no matter what its ring says).
+    bool forward = false;
+    u32 forward_shard = 0;
+    if (config_.cluster != nullptr &&
+        (op == Opcode::GetFrames || op == Opcode::Put) &&
+        (header.flags & kWireFlagForwarded) == 0) {
+        if (std::optional<std::string> name =
+                peekRequestName(payload)) {
+            const u32 owner = config_.cluster->ownerOf(*name);
+            if (owner != config_.cluster->selfShard()) {
+                forward = true;
+                forward_shard = owner;
+            }
+        }
+    }
 
     std::string flight_key;
-    if (op == Opcode::GetFrames) {
+    if (!forward && op == Opcode::GetFrames) {
         GetFramesRequest request;
         if (!parseGetFramesRequest(payload, request)) {
             respondStatus(conn, Status::BadRequest,
@@ -491,7 +523,10 @@ VappServer::handleFrame(const std::shared_ptr<Connection> &conn,
         }
     }
 
-    QueueClass cls = (op == Opcode::Put || op == Opcode::Scrub)
+    // Node-to-node replication traffic rides the maintenance class
+    // with puts and scrubs so it never crowds out serving.
+    QueueClass cls = (op == Opcode::Put || op == Opcode::Scrub ||
+                      op == Opcode::MetaPut || op == Opcode::MetaGet)
                          ? QueueClass::Maintain
                          : QueueClass::Serve;
     ServerJob job;
@@ -501,6 +536,8 @@ VappServer::handleFrame(const std::shared_ptr<Connection> &conn,
     job.payload = std::move(payload);
     job.admitted = std::chrono::steady_clock::now();
     job.flightKey = flight_key;
+    job.forward = forward;
+    job.forwardShard = forward_shard;
     if (!queue_.tryPush(cls, std::move(job))) {
         // Explicit backpressure: the client backs off and retries
         // instead of the server buffering unboundedly. A leader
@@ -739,13 +776,77 @@ VappServer::workerLoop()
 void
 VappServer::execute(const ServerJob &job)
 {
+    if (job.forward) {
+        handleForward(job);
+        return;
+    }
     switch (job.opcode) {
     case Opcode::GetFrames: handleGetFrames(job); break;
     case Opcode::Put: handlePut(job); break;
     case Opcode::Stat: handleStat(job); break;
     case Opcode::Scrub: handleScrub(job); break;
+    case Opcode::MetaPut: handleMetaPut(job); break;
+    case Opcode::MetaGet: handleMetaGet(job); break;
     case Opcode::Health: answerHealth(job.conn, job.requestId); break;
+    case Opcode::ClusterInfo: break; // answered inline at admission
     }
+}
+
+void
+VappServer::handleForward(const ServerJob &job)
+{
+    VA_TELEM_LATENCY("server.op.forward");
+    u8 kind = 0;
+    Bytes response;
+    if (!config_.cluster->forward(job.forwardShard, job.opcode,
+                                  job.payload, kind, response)) {
+        // The owner is unreachable: tell the client to back off and
+        // retry (its retry policy may pick a healthier entry point).
+        VA_TELEM_COUNT("server.forward_failures", 1);
+        respondStatus(job.conn, Status::Retry, job.requestId);
+        return;
+    }
+    VA_TELEM_COUNT("server.forwards", 1);
+    respondPayload(job.conn, kind, job.requestId, response);
+}
+
+void
+VappServer::handleMetaPut(const ServerJob &job)
+{
+    VA_TELEM_LATENCY("server.op.meta_put");
+    MetaPutRequest request;
+    if (!parseMetaPutRequest(job.payload, request)) {
+        respondStatus(job.conn, Status::BadRequest, job.requestId);
+        return;
+    }
+    if (service_.putReplicaMeta(request.name,
+                                std::move(request.meta)) !=
+        ArchiveError::None) {
+        respondStatus(job.conn, Status::BadRequest, job.requestId);
+        return;
+    }
+    respondStatus(job.conn, Status::Ok, job.requestId);
+}
+
+void
+VappServer::handleMetaGet(const ServerJob &job)
+{
+    VA_TELEM_LATENCY("server.op.meta_get");
+    MetaGetRequest request;
+    if (!parseMetaGetRequest(job.payload, request)) {
+        respondStatus(job.conn, Status::BadRequest, job.requestId);
+        return;
+    }
+    MetaGetResponse response;
+    response.meta = service_.replicaMeta(request.name);
+    if (response.meta.empty()) {
+        respondStatus(job.conn, Status::NotFound, job.requestId);
+        return;
+    }
+    response.status = Status::Ok;
+    respondPayload(job.conn, static_cast<u8>(response.status),
+                   job.requestId,
+                   serializeMetaGetResponse(response));
 }
 
 void
@@ -858,6 +959,20 @@ VappServer::handleGetFrames(const ServerJob &job)
     options.conceal = request.conceal;
     options.key = request.key;
     ArchiveGetResult result = service_.get(request.name, options);
+    if (result.error == ArchiveError::CrcMismatch &&
+        config_.cluster != nullptr) {
+        // The precise metadata failed its integrity check but the
+        // (ECC-protected, single-copy) cells may be fine: pull the
+        // replicated meta blob from a ring successor, re-anchor the
+        // record, and retry the read once.
+        Bytes meta;
+        if (config_.cluster->fetchReplicaMeta(request.name, meta) &&
+            service_.repairMeta(request.name, meta) ==
+                ArchiveError::None) {
+            VA_TELEM_COUNT("server.get.meta_repaired", 1);
+            result = service_.get(request.name, options);
+        }
+    }
     if (result.error != ArchiveError::None) {
         Status status = Status::Error;
         if (result.error == ArchiveError::NotFound)
@@ -984,6 +1099,8 @@ VappServer::handlePut(const ServerJob &job)
         return;
     }
     cache_.eraseVideo(request.name);
+    if (config_.cluster != nullptr)
+        config_.cluster->replicateMeta(request.name);
 
     PutResponse response;
     response.status = Status::Ok;

@@ -66,6 +66,49 @@
 
 namespace videoapp {
 
+/**
+ * What a VappServer needs from the cluster tier, when it runs as one
+ * shard of a ring (src/cluster/ClusterNode implements this; a null
+ * pointer in the config means standalone, zero cluster overhead).
+ *
+ * Placement methods are pure functions of the ring and safe from any
+ * thread. forward()/replicateMeta()/fetchReplicaMeta() do blocking
+ * peer I/O and must only run on worker threads, never the event
+ * loop.
+ */
+class ClusterPeer
+{
+  public:
+    virtual ~ClusterPeer() = default;
+
+    /** This node's shard id. */
+    virtual u32 selfShard() const = 0;
+
+    /** The shard the ring places @p name on. */
+    virtual u32 ownerOf(const std::string &name) const = 0;
+
+    /**
+     * Relay (op, payload) to @p shard with kWireFlagForwarded set
+     * and return the peer's response verbatim (@p kind is the
+     * response frame kind, @p response its payload). False on
+     * transport failure.
+     */
+    virtual bool forward(u32 shard, Opcode op, const Bytes &payload,
+                        u8 &kind, Bytes &response) = 0;
+
+    /** Serialized ClusterInfoResponse describing the ring. */
+    virtual Bytes infoPayload() const = 0;
+
+    /** Ship @p name's precise-meta blob to its ring successors
+     * (best effort; failures are counted, not fatal). */
+    virtual void replicateMeta(const std::string &name) = 0;
+
+    /** Fetch a replica blob for @p name from a successor holding
+     * one. False when no replica could be retrieved. */
+    virtual bool fetchReplicaMeta(const std::string &name,
+                                  Bytes &meta) = 0;
+};
+
 struct VappServerConfig
 {
     /** TCP port to bind on 127.0.0.1 (0 = ephemeral, see port()). */
@@ -81,6 +124,12 @@ struct VappServerConfig
      * A tiny buffer forces partial writes so the EPOLLOUT
      * continuation path is exercised deterministically. */
     int sndbufBytes = 0;
+    /** Non-null: run as one shard of a cluster. Mis-targeted
+     * GET_FRAMES/PUT requests are forwarded to their owner, PUTs
+     * replicate precise metadata to ring successors, and GETs whose
+     * precise metadata fails its CRC repair from a replica. The
+     * peer must outlive the server. */
+    ClusterPeer *cluster = nullptr;
 };
 
 class VappServer
@@ -133,6 +182,10 @@ class VappServer
         /** Non-empty: this job leads the single-flight decode
          * registered under this key at admission. */
         std::string flightKey;
+        /** True: relay the request to @p forwardShard and echo the
+         * peer's response instead of serving locally. */
+        bool forward = false;
+        u32 forwardShard = 0;
     };
 
     struct Waiter
@@ -183,6 +236,11 @@ class VappServer
     void handlePut(const ServerJob &job);
     void handleStat(const ServerJob &job);
     void handleScrub(const ServerJob &job);
+    void handleMetaPut(const ServerJob &job);
+    void handleMetaGet(const ServerJob &job);
+    /** Relay a mis-targeted request to its owner shard and echo the
+     * response verbatim (workers only: blocking peer I/O). */
+    void handleForward(const ServerJob &job);
     void answerHealth(const std::shared_ptr<Connection> &conn,
                       u32 request_id);
 

@@ -17,6 +17,9 @@ opcodeName(Opcode op)
     case Opcode::Put: return "PUT";
     case Opcode::Stat: return "STAT";
     case Opcode::Scrub: return "SCRUB";
+    case Opcode::ClusterInfo: return "CLUSTER_INFO";
+    case Opcode::MetaPut: return "META_PUT";
+    case Opcode::MetaGet: return "META_GET";
     }
     return "unknown opcode";
 }
@@ -89,14 +92,15 @@ getBe32(const u8 *p)
 } // namespace
 
 Bytes
-encodeFrameHeader(u8 kind, u32 requestId, u32 payloadLength)
+encodeFrameHeader(u8 kind, u32 requestId, u32 payloadLength,
+                  u8 flags)
 {
     Bytes out;
     out.reserve(kWireHeaderBytes);
     putBe32(out, kWireMagic);
     putBe16(out, kWireVersion);
     out.push_back(kind);
-    out.push_back(0); // flags
+    out.push_back(flags);
     putBe32(out, requestId);
     putBe32(out, payloadLength);
     putBe32(out, crc32(out.data(), 16));
@@ -112,10 +116,10 @@ encodeBe32(u32 v)
 }
 
 Bytes
-encodeFrame(u8 kind, u32 requestId, const Bytes &payload)
+encodeFrame(u8 kind, u32 requestId, const Bytes &payload, u8 flags)
 {
     Bytes out = encodeFrameHeader(
-        kind, requestId, static_cast<u32>(payload.size()));
+        kind, requestId, static_cast<u32>(payload.size()), flags);
     out.reserve(kWireHeaderBytes + payload.size() + 4);
     out.insert(out.end(), payload.begin(), payload.end());
     putBe32(out, crc32(payload));
@@ -600,6 +604,121 @@ peekStatus(const Bytes &payload)
         payload[0] > static_cast<u8>(Status::Error))
         return std::nullopt;
     return static_cast<Status>(payload[0]);
+}
+
+// --- cluster messages --------------------------------------------------
+
+Bytes
+serializeClusterInfoResponse(const ClusterInfoResponse &r)
+{
+    WireWriter w;
+    w.putU8(static_cast<u8>(r.status));
+    w.putU64(r.epoch);
+    w.putU32(r.vnodes);
+    w.putU32(r.replicas);
+    w.putU32(r.selfId);
+    w.putU32(static_cast<u32>(r.shards.size()));
+    for (const ClusterShard &s : r.shards) {
+        w.putU32(s.id);
+        w.putString(s.host);
+        w.putU16(s.port);
+    }
+    return w.take();
+}
+
+bool
+parseClusterInfoResponse(const Bytes &payload,
+                         ClusterInfoResponse &out)
+{
+    WireReader r(payload);
+    u8 status = 0;
+    if (!r.getU8(status) || status > static_cast<u8>(Status::Error))
+        return false;
+    out.status = static_cast<Status>(status);
+    if (out.status != Status::Ok)
+        return true; // bare-status error response
+    u32 count = 0;
+    if (!r.getU64(out.epoch) || !r.getU32(out.vnodes) ||
+        !r.getU32(out.replicas) || !r.getU32(out.selfId) ||
+        !r.getU32(count))
+        return false;
+    out.shards.clear();
+    for (u32 i = 0; i < count; ++i) {
+        ClusterShard s;
+        if (!r.getU32(s.id) || !r.getString(s.host) ||
+            !r.getU16(s.port))
+            return false;
+        out.shards.push_back(std::move(s));
+    }
+    return r.exhausted() && out.vnodes > 0 && !out.shards.empty();
+}
+
+Bytes
+serializeMetaPutRequest(const MetaPutRequest &request)
+{
+    WireWriter w;
+    w.putString(request.name);
+    w.putBytes(request.meta);
+    return w.take();
+}
+
+bool
+parseMetaPutRequest(const Bytes &payload, MetaPutRequest &out)
+{
+    WireReader r(payload);
+    if (!r.getString(out.name) || !r.getBytes(out.meta) ||
+        !r.exhausted())
+        return false;
+    return !out.name.empty() && !out.meta.empty();
+}
+
+Bytes
+serializeMetaGetRequest(const MetaGetRequest &request)
+{
+    WireWriter w;
+    w.putString(request.name);
+    return w.take();
+}
+
+bool
+parseMetaGetRequest(const Bytes &payload, MetaGetRequest &out)
+{
+    WireReader r(payload);
+    return r.getString(out.name) && r.exhausted() &&
+           !out.name.empty();
+}
+
+Bytes
+serializeMetaGetResponse(const MetaGetResponse &response)
+{
+    WireWriter w;
+    w.putU8(static_cast<u8>(response.status));
+    if (response.status == Status::Ok)
+        w.putBytes(response.meta);
+    return w.take();
+}
+
+bool
+parseMetaGetResponse(const Bytes &payload, MetaGetResponse &out)
+{
+    WireReader r(payload);
+    u8 status = 0;
+    if (!r.getU8(status) || status > static_cast<u8>(Status::Error))
+        return false;
+    out.status = static_cast<Status>(status);
+    if (out.status != Status::Ok)
+        return true;
+    return r.getBytes(out.meta) && r.exhausted();
+}
+
+std::optional<std::string>
+peekRequestName(const Bytes &payload)
+{
+    WireReader r(payload);
+    std::string name;
+    if (!r.getString(name) || name.empty())
+        return std::nullopt;
+    return name;
 }
 
 // --- frame packing & GOP ranges ----------------------------------------

@@ -54,12 +54,23 @@ inline constexpr u32 kWireMaxPayload = 256u << 20;
 /** Request opcodes (frame `kind`, client -> server). */
 enum class Opcode : u8
 {
-    Health = 0,    // liveness + load probe, served off-queue
-    GetFrames = 1, // decode one GOP of a stored video
-    Put = 2,       // store a raw I420 video under a name
-    Stat = 3,      // directory listing
-    Scrub = 4,     // archive-wide repair pass
+    Health = 0,      // liveness + load probe, served off-queue
+    GetFrames = 1,   // decode one GOP of a stored video
+    Put = 2,         // store a raw I420 video under a name
+    Stat = 3,        // directory listing
+    Scrub = 4,       // archive-wide repair pass
+    ClusterInfo = 5, // ring topology + epoch (cluster nodes only)
+    MetaPut = 6,     // node-to-node: replicate a precise-meta blob
+    MetaGet = 7,     // node-to-node: fetch a held replica blob
 };
+
+/**
+ * Frame header flag: this request was forwarded by a peer shard on
+ * the client's behalf. A receiving node serves it locally even when
+ * the ring says another shard owns the name — one hop, never a loop
+ * (set exactly once, by the first mis-targeted node).
+ */
+inline constexpr u8 kWireFlagForwarded = 0x01;
 
 /** Response status (frame `kind`, server -> client). */
 enum class Status : u8
@@ -107,7 +118,8 @@ struct WireFrameHeader
 };
 
 /** Encode a complete frame (header + payload + payload CRC). */
-Bytes encodeFrame(u8 kind, u32 requestId, const Bytes &payload);
+Bytes encodeFrame(u8 kind, u32 requestId, const Bytes &payload,
+                  u8 flags = 0);
 
 /**
  * Encode only the 20-byte frame header for a payload of
@@ -115,7 +127,8 @@ Bytes encodeFrame(u8 kind, u32 requestId, const Bytes &payload);
  * [header][shared payload][crc trailer] as separate segments, so
  * the payload bytes are never copied into the frame.
  */
-Bytes encodeFrameHeader(u8 kind, u32 requestId, u32 payloadLength);
+Bytes encodeFrameHeader(u8 kind, u32 requestId, u32 payloadLength,
+                        u8 flags = 0);
 
 /** A u32 as 4 big-endian bytes (the payload CRC trailer). */
 Bytes encodeBe32(u32 v);
@@ -354,6 +367,71 @@ Bytes serializeStatusOnly(Status status);
 
 /** First payload byte as a Status; nullopt on empty/bad values. */
 std::optional<Status> peekStatus(const Bytes &payload);
+
+// --- cluster messages --------------------------------------------------
+
+/** One shard of the ring as clients need to reach it. */
+struct ClusterShard
+{
+    u32 id = 0;
+    std::string host;
+    u16 port = 0;
+};
+
+/**
+ * Ring topology answer (CLUSTER_INFO, served inline like HEALTH).
+ * Placement is a pure function of (shard ids, vnodes), so a client
+ * holding this response routes exactly like the nodes themselves;
+ * `epoch` bumps on any membership change so stale clients can tell
+ * their map is outdated and refresh.
+ */
+struct ClusterInfoResponse
+{
+    Status status = Status::Error;
+    u64 epoch = 0;
+    u32 vnodes = 0;
+    u32 replicas = 0;
+    u32 selfId = 0;
+    std::vector<ClusterShard> shards;
+};
+
+/** Node-to-node: replicate @p name's precise-meta blob (META_PUT). */
+struct MetaPutRequest
+{
+    std::string name;
+    Bytes meta;
+};
+
+/** Node-to-node: fetch the replica blob held for @p name. */
+struct MetaGetRequest
+{
+    std::string name;
+};
+
+struct MetaGetResponse
+{
+    Status status = Status::Error;
+    Bytes meta;
+};
+
+Bytes serializeClusterInfoResponse(const ClusterInfoResponse &r);
+bool parseClusterInfoResponse(const Bytes &payload,
+                              ClusterInfoResponse &out);
+Bytes serializeMetaPutRequest(const MetaPutRequest &request);
+bool parseMetaPutRequest(const Bytes &payload, MetaPutRequest &out);
+Bytes serializeMetaGetRequest(const MetaGetRequest &request);
+bool parseMetaGetRequest(const Bytes &payload, MetaGetRequest &out);
+Bytes serializeMetaGetResponse(const MetaGetResponse &response);
+bool parseMetaGetResponse(const Bytes &payload, MetaGetResponse &out);
+
+/**
+ * The leading length-prefixed name string shared by every
+ * name-routed request payload (GET_FRAMES, PUT, META_PUT, META_GET
+ * all serialize the name first). The routing decision needs only
+ * this field, so a node peeks it without a full parse; nullopt when
+ * the payload is too short to carry one.
+ */
+std::optional<std::string> peekRequestName(const Bytes &payload);
 
 // --- frame packing & GOP ranges ----------------------------------------
 

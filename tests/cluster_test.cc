@@ -1,0 +1,689 @@
+/**
+ * @file
+ * Cluster tier tests: consistent-hash ring determinism, balance and
+ * successor sets; a 3-shard loopback cluster whose routed reads are
+ * byte-identical to a single-node server; one-hop forwarding of
+ * mis-targeted requests; precise-metadata replication on PUT and
+ * metadata-only repair on GET when the owner's precise record is
+ * damaged (including with one successor shard killed); PUT
+ * invalidating cached GOPs on both single-node and routed paths;
+ * bounded client retry under backpressure; and the budgeted scrub
+ * scheduler's deferral/overrun behavior. (Suite names contain
+ * "Cluster" so the TSan CI job picks them up.)
+ */
+
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <cstdio>
+#include <memory>
+#include <set>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "archive/archive_service.h"
+#include "cluster/cluster_node.h"
+#include "cluster/cluster_router.h"
+#include "cluster/hash_ring.h"
+#include "cluster/scrub_scheduler.h"
+#include "common/telemetry.h"
+#include "server/vapp_client.h"
+#include "server/vapp_server.h"
+#include "video/synthetic.h"
+
+namespace videoapp {
+namespace {
+
+std::string
+tempPath(const std::string &name)
+{
+    return ::testing::TempDir() + "cluster_test_" + name + ".vapp";
+}
+
+PreparedVideo
+makePrepared(u64 seed)
+{
+    Video source = generateSynthetic(tinySpec(seed));
+    EncoderConfig config;
+    config.gop.gopSize = 8;
+    config.gop.bFrames = 2;
+    return prepareVideo(source, config,
+                        EccAssignment::paperTable1());
+}
+
+PutRequest
+makePutRequest(const std::string &name, u64 seed)
+{
+    Video source = generateSynthetic(tinySpec(seed));
+    PutRequest put;
+    put.name = name;
+    put.width = static_cast<u16>(source.width());
+    put.height = static_cast<u16>(source.height());
+    put.frameCount = static_cast<u32>(source.frames.size());
+    put.i420 = packFramesI420(source, 0, source.frames.size());
+    return put;
+}
+
+u64
+counterValue(const char *name)
+{
+    return telemetry::globalRegistry().counter(name).value();
+}
+
+// --- hash ring --------------------------------------------------------
+
+TEST(ClusterRing, PlacementIsDeterministicAcrossInstances)
+{
+    HashRing a({0, 1, 2}, 64);
+    HashRing b({2, 0, 1, 1}, 64); // order and duplicates irrelevant
+    ASSERT_EQ(a.shardCount(), 3u);
+    ASSERT_EQ(b.shardCount(), 3u);
+    for (int i = 0; i < 500; ++i) {
+        const std::string name = "video-" + std::to_string(i);
+        EXPECT_EQ(a.ownerOf(name), b.ownerOf(name));
+        EXPECT_EQ(a.successors(name, 2), b.successors(name, 2));
+    }
+}
+
+TEST(ClusterRing, PlacementIsRoughlyBalanced)
+{
+    HashRing ring({0, 1, 2}, 64);
+    std::vector<int> hits(3, 0);
+    const int names = 3000;
+    for (int i = 0; i < names; ++i)
+        ++hits[ring.ownerOf("clip/" + std::to_string(i))];
+    // Virtual nodes keep the split within a loose band of fair
+    // share (1000 each); a broken ring sends everything to one.
+    for (int shard = 0; shard < 3; ++shard) {
+        EXPECT_GT(hits[shard], names / 6);
+        EXPECT_LT(hits[shard], names * 3 / 5);
+    }
+}
+
+TEST(ClusterRing, SuccessorsAreDistinctAndExcludeTheOwner)
+{
+    HashRing ring({0, 1, 2, 3}, 32);
+    for (int i = 0; i < 200; ++i) {
+        const std::string name = "v" + std::to_string(i);
+        const u32 owner = ring.ownerOf(name);
+        std::vector<u32> successors = ring.successors(name, 2);
+        ASSERT_EQ(successors.size(), 2u);
+        std::set<u32> seen(successors.begin(), successors.end());
+        EXPECT_EQ(seen.size(), 2u);
+        EXPECT_EQ(seen.count(owner), 0u);
+    }
+    // More replicas than peers exist: every other shard, no more.
+    EXPECT_EQ(ring.successors("v0", 99).size(), 3u);
+}
+
+TEST(ClusterRing, RemovingAShardOnlyMovesItsNames)
+{
+    HashRing full({0, 1, 2}, 64);
+    HashRing reduced({0, 1}, 64);
+    int moved = 0;
+    const int names = 2000;
+    for (int i = 0; i < names; ++i) {
+        const std::string name = "n" + std::to_string(i);
+        const u32 before = full.ownerOf(name);
+        const u32 after = reduced.ownerOf(name);
+        if (before != 2)
+            // Names not owned by the removed shard must not move —
+            // the consistent-hashing property.
+            EXPECT_EQ(after, before);
+        else
+            ++moved;
+    }
+    EXPECT_GT(moved, 0);
+}
+
+// --- loopback cluster -------------------------------------------------
+
+constexpr u32 kShards = 3;
+
+/** Three archive shards, each a VappServer + ClusterNode. */
+class ClusterLoopback : public ::testing::Test
+{
+  protected:
+    void
+    startCluster(u32 replicas = 2, VappServerConfig base = {})
+    {
+        const std::string test = ::testing::UnitTest::GetInstance()
+                                     ->current_test_info()
+                                     ->name();
+        for (u32 i = 0; i < kShards; ++i) {
+            paths_[i] = tempPath(test + "_s" + std::to_string(i));
+            std::remove(paths_[i].c_str());
+            services_[i] =
+                std::make_unique<ArchiveService>(paths_[i]);
+            ASSERT_EQ(services_[i]->open(true),
+                      ArchiveError::None);
+            ClusterNodeConfig node;
+            node.selfId = i;
+            node.replicas = replicas;
+            node.vnodes = 64;
+            node.epoch = 1;
+            nodes_[i] = std::make_unique<ClusterNode>(
+                *services_[i], node);
+            VappServerConfig config = base;
+            config.port = 0;
+            config.cluster = nodes_[i].get();
+            servers_[i] = std::make_unique<VappServer>(
+                *services_[i], config);
+            ASSERT_TRUE(servers_[i]->start());
+        }
+        shards_.clear();
+        for (u32 i = 0; i < kShards; ++i)
+            shards_.push_back(
+                {i, "127.0.0.1", servers_[i]->port()});
+        for (u32 i = 0; i < kShards; ++i)
+            nodes_[i]->setTopology(shards_, 1);
+    }
+
+    void
+    TearDown() override
+    {
+        for (u32 i = 0; i < kShards; ++i) {
+            if (servers_[i])
+                servers_[i]->stop();
+            if (!paths_[i].empty())
+                std::remove(paths_[i].c_str());
+        }
+    }
+
+    ClusterRouter
+    router()
+    {
+        ClusterRouterConfig config;
+        config.seeds = shards_;
+        return ClusterRouter(config);
+    }
+
+    VappClient
+    clientTo(u32 shard)
+    {
+        VappClient c;
+        EXPECT_TRUE(
+            c.connect("127.0.0.1", servers_[shard]->port()));
+        return c;
+    }
+
+    std::string paths_[kShards];
+    std::unique_ptr<ArchiveService> services_[kShards];
+    std::unique_ptr<ClusterNode> nodes_[kShards];
+    std::unique_ptr<VappServer> servers_[kShards];
+    std::vector<ClusterShard> shards_;
+};
+
+TEST_F(ClusterLoopback, RouterLearnsTopologyFromOneSeed)
+{
+    startCluster();
+    ClusterRouterConfig config;
+    config.seeds = {shards_[0]}; // one live entry point suffices
+    ClusterRouter r(config);
+    ASSERT_TRUE(r.refresh());
+    EXPECT_TRUE(r.ready());
+    EXPECT_EQ(r.shardCount(), kShards);
+    EXPECT_EQ(r.epoch(), 1u);
+    // The router and every node agree on placement byte for byte.
+    for (int i = 0; i < 100; ++i) {
+        const std::string name = "clip" + std::to_string(i);
+        EXPECT_EQ(r.ownerOf(name), nodes_[0]->ownerOf(name));
+    }
+}
+
+TEST_F(ClusterLoopback, ClusterInfoOnStandaloneServerIsAnError)
+{
+    // A server without a cluster peer must refuse CLUSTER_INFO.
+    std::string path = tempPath("standalone");
+    std::remove(path.c_str());
+    ArchiveService service(path);
+    ASSERT_EQ(service.open(true), ArchiveError::None);
+    VappServer server(service, {});
+    ASSERT_TRUE(server.start());
+    VappClient c;
+    ASSERT_TRUE(c.connect("127.0.0.1", server.port()));
+    ASSERT_TRUE(c.send(Opcode::ClusterInfo, Bytes{}));
+    auto raw = c.receive();
+    ASSERT_TRUE(raw.has_value());
+    EXPECT_EQ(raw->kind, static_cast<u8>(Status::Error));
+    server.stop();
+    std::remove(path.c_str());
+}
+
+TEST_F(ClusterLoopback, RoutedGetMatchesSingleNodeByteForByte)
+{
+    startCluster();
+    // Reference: the same video stored in a standalone server.
+    std::string ref_path = tempPath("reference");
+    std::remove(ref_path.c_str());
+    ArchiveService reference(ref_path);
+    ASSERT_EQ(reference.open(true), ArchiveError::None);
+    VappServer ref_server(reference, {});
+    ASSERT_TRUE(ref_server.start());
+    VappClient ref_client;
+    ASSERT_TRUE(
+        ref_client.connect("127.0.0.1", ref_server.port()));
+
+    ClusterRouter r = router();
+    for (u64 seed : {201, 202, 203}) {
+        const std::string name = "clip" + std::to_string(seed);
+        PutRequest put = makePutRequest(name, seed);
+        auto routed_put = r.put(put);
+        ASSERT_TRUE(routed_put.has_value());
+        ASSERT_EQ(routed_put->status, Status::Ok);
+        auto ref_put = ref_client.put(put);
+        ASSERT_TRUE(ref_put.has_value());
+        ASSERT_EQ(ref_put->status, Status::Ok);
+        // Identical bytes in -> identical archive accounting.
+        EXPECT_EQ(routed_put->payloadBytes, ref_put->payloadBytes);
+        EXPECT_EQ(routed_put->cellBytes, ref_put->cellBytes);
+
+        GetFramesRequest request;
+        request.name = name;
+        request.gop = 0;
+        auto first = r.getFrames(request);
+        ASSERT_TRUE(first.has_value());
+        ASSERT_EQ(first->status, Status::Ok);
+        for (u32 g = 0; g < first->gopCount; ++g) {
+            request.gop = g;
+            auto routed = r.getFrames(request);
+            auto ref = ref_client.getFrames(request);
+            ASSERT_TRUE(routed.has_value());
+            ASSERT_TRUE(ref.has_value());
+            ASSERT_EQ(routed->status, Status::Ok);
+            ASSERT_EQ(ref->status, Status::Ok);
+            // The acceptance bar: a routed GET against the 3-shard
+            // cluster is byte-identical to the single-node read.
+            EXPECT_EQ(routed->i420, ref->i420);
+            EXPECT_EQ(routed->firstFrame, ref->firstFrame);
+            EXPECT_EQ(routed->frameCount, ref->frameCount);
+        }
+    }
+    // The directory merge sees every clip exactly once.
+    auto listing = r.stat();
+    ASSERT_TRUE(listing.has_value());
+    EXPECT_EQ(listing->videos.size(), 3u);
+    ref_server.stop();
+    std::remove(ref_path.c_str());
+}
+
+TEST_F(ClusterLoopback, MisdirectedRequestIsForwardedOneHop)
+{
+    startCluster();
+    ClusterRouter r = router();
+    const std::string name = "forwarded-clip";
+    auto stored = r.put(makePutRequest(name, 303));
+    ASSERT_TRUE(stored.has_value());
+    ASSERT_EQ(stored->status, Status::Ok);
+
+    const u32 owner = nodes_[0]->ownerOf(name);
+    const u32 wrong = (owner + 1) % kShards;
+    const u64 forwards_before = counterValue("server.forwards");
+
+    // A client that ignores placement and asks the wrong shard
+    // still gets the right answer, one hop later.
+    VappClient naive = clientTo(wrong);
+    GetFramesRequest request;
+    request.name = name;
+    auto via_wrong = naive.getFrames(request);
+    ASSERT_TRUE(via_wrong.has_value());
+    ASSERT_EQ(via_wrong->status, Status::Ok);
+
+    VappClient direct = clientTo(owner);
+    auto via_owner = direct.getFrames(request);
+    ASSERT_TRUE(via_owner.has_value());
+    ASSERT_EQ(via_owner->status, Status::Ok);
+    EXPECT_EQ(via_wrong->i420, via_owner->i420);
+    if (telemetry::kEnabled)
+        EXPECT_GT(counterValue("server.forwards"),
+                  forwards_before);
+    // Only the owner holds the record; the wrong shard never did.
+    EXPECT_EQ(services_[wrong]->videoCount(), 0u);
+}
+
+TEST_F(ClusterLoopback, PutReplicatesPreciseMetaToSuccessors)
+{
+    startCluster(/*replicas=*/2);
+    ClusterRouter r = router();
+    const std::string name = "replicated-clip";
+    auto stored = r.put(makePutRequest(name, 304));
+    ASSERT_TRUE(stored.has_value());
+    ASSERT_EQ(stored->status, Status::Ok);
+
+    const u32 owner = nodes_[0]->ownerOf(name);
+    std::vector<u32> successors = nodes_[owner]->successorsOf(name);
+    ASSERT_EQ(successors.size(), 2u);
+    // Replication is synchronous within the PUT: by response time
+    // every successor holds the validated precise-meta blob, and
+    // it matches the owner's export byte for byte.
+    const Bytes exported = services_[owner]->exportMeta(name);
+    ASSERT_FALSE(exported.empty());
+    for (u32 s : successors) {
+        EXPECT_NE(s, owner);
+        EXPECT_EQ(services_[s]->replicaMeta(name), exported);
+    }
+    // The cells live on the owner alone (single-copy approximate
+    // data): successors hold metadata only.
+    for (u32 i = 0; i < kShards; ++i)
+        EXPECT_EQ(services_[i]->videoCount(),
+                  i == owner ? 1u : 0u);
+}
+
+TEST_F(ClusterLoopback, DamagedOwnerMetaRepairsFromReplicaOnGet)
+{
+    // No GOP cache: every GET must read the precise record, so the
+    // damaged-metadata path actually executes.
+    VappServerConfig base;
+    base.cacheBytes = 0;
+    startCluster(/*replicas=*/2, base);
+    ClusterRouter r = router();
+    const std::string name = "repairable-clip";
+    auto stored = r.put(makePutRequest(name, 305));
+    ASSERT_TRUE(stored.has_value());
+    ASSERT_EQ(stored->status, Status::Ok);
+
+    GetFramesRequest request;
+    request.name = name;
+    auto before = r.getFrames(request);
+    ASSERT_TRUE(before.has_value());
+    ASSERT_EQ(before->status, Status::Ok);
+
+    const u32 owner = nodes_[0]->ownerOf(name);
+    const u64 repairs_before =
+        counterValue("archive.meta_repairs");
+    ASSERT_TRUE(services_[owner]->damageMetaForTest(name));
+    // The damaged precise record would fail every read; the owner
+    // pulls the replica blob back, re-anchors, and serves — bytes
+    // identical to the pre-damage read.
+    auto after = r.getFrames(request);
+    ASSERT_TRUE(after.has_value());
+    ASSERT_EQ(after->status, Status::Ok);
+    EXPECT_EQ(after->i420, before->i420);
+    if (telemetry::kEnabled) {
+        EXPECT_GT(counterValue("archive.meta_repairs"),
+                  repairs_before);
+        EXPECT_GT(counterValue("server.get.meta_repaired"), 0u);
+    }
+    // The repair is durable: a direct local read is clean again.
+    EXPECT_EQ(services_[owner]->get(name).error,
+              ArchiveError::None);
+}
+
+TEST_F(ClusterLoopback, MetaRepairSurvivesAKilledSuccessor)
+{
+    VappServerConfig base;
+    base.cacheBytes = 0; // force the GET through the precise record
+    startCluster(/*replicas=*/2, base);
+    ClusterRouter r = router();
+    const std::string name = "resilient-clip";
+    auto stored = r.put(makePutRequest(name, 306));
+    ASSERT_TRUE(stored.has_value());
+    ASSERT_EQ(stored->status, Status::Ok);
+
+    GetFramesRequest request;
+    request.name = name;
+    auto before = r.getFrames(request);
+    ASSERT_TRUE(before.has_value());
+    ASSERT_EQ(before->status, Status::Ok);
+
+    const u32 owner = nodes_[0]->ownerOf(name);
+    std::vector<u32> successors = nodes_[owner]->successorsOf(name);
+    ASSERT_EQ(successors.size(), 2u);
+    // Kill the first successor; the replica on the second still
+    // repairs the owner's damaged record.
+    servers_[successors[0]]->stop();
+    ASSERT_TRUE(services_[owner]->damageMetaForTest(name));
+    auto after = r.getFrames(request);
+    ASSERT_TRUE(after.has_value());
+    ASSERT_EQ(after->status, Status::Ok);
+    EXPECT_EQ(after->i420, before->i420);
+    // The surviving replica really did the repair.
+    EXPECT_EQ(services_[owner]->get(name).error,
+              ArchiveError::None);
+
+    // The merged directory still answers from the live shards.
+    auto listing = r.stat();
+    ASSERT_TRUE(listing.has_value());
+    EXPECT_EQ(listing->videos.size(), 1u);
+}
+
+TEST_F(ClusterLoopback, RePutInvalidatesCachedGopsWhenRouted)
+{
+    startCluster();
+    ClusterRouter r = router();
+    const std::string name = "mutable-clip";
+    ASSERT_TRUE(r.put(makePutRequest(name, 401)).has_value());
+
+    GetFramesRequest request;
+    request.name = name;
+    auto first = r.getFrames(request);
+    ASSERT_TRUE(first.has_value());
+    ASSERT_EQ(first->status, Status::Ok);
+    // Warm the cache, then replace the video under the same name.
+    auto warm = r.getFrames(request);
+    ASSERT_TRUE(warm.has_value());
+    EXPECT_TRUE(warm->fromCache);
+
+    ASSERT_TRUE(r.put(makePutRequest(name, 402)).has_value());
+    auto replaced = r.getFrames(request);
+    ASSERT_TRUE(replaced.has_value());
+    ASSERT_EQ(replaced->status, Status::Ok);
+    // Stale cached GOPs of the old content must not be served.
+    EXPECT_FALSE(replaced->fromCache);
+    EXPECT_NE(replaced->i420, first->i420);
+
+    const u32 owner = nodes_[0]->ownerOf(name);
+    ArchiveGetResult local = services_[owner]->get(name);
+    ASSERT_EQ(local.error, ArchiveError::None);
+    auto ranges = gopRanges(local.frameHeaders,
+                            local.decoded.frames.size());
+    EXPECT_EQ(replaced->i420,
+              packFramesI420(local.decoded, ranges[0].firstFrame,
+                             ranges[0].frameCount));
+}
+
+// --- single-node cache invalidation (same bar, no cluster) ------------
+
+TEST(ClusterSingleNode, RePutInvalidatesCachedGops)
+{
+    std::string path = tempPath("single_reput");
+    std::remove(path.c_str());
+    ArchiveService service(path);
+    ASSERT_EQ(service.open(true), ArchiveError::None);
+    VappServer server(service, {});
+    ASSERT_TRUE(server.start());
+    VappClient c;
+    ASSERT_TRUE(c.connect("127.0.0.1", server.port()));
+
+    ASSERT_TRUE(c.put(makePutRequest("clip", 411)).has_value());
+    GetFramesRequest request;
+    request.name = "clip";
+    auto first = c.getFrames(request);
+    ASSERT_TRUE(first.has_value());
+    ASSERT_EQ(first->status, Status::Ok);
+    auto warm = c.getFrames(request);
+    ASSERT_TRUE(warm.has_value());
+    EXPECT_TRUE(warm->fromCache);
+
+    ASSERT_TRUE(c.put(makePutRequest("clip", 412)).has_value());
+    auto replaced = c.getFrames(request);
+    ASSERT_TRUE(replaced.has_value());
+    ASSERT_EQ(replaced->status, Status::Ok);
+    EXPECT_FALSE(replaced->fromCache);
+    EXPECT_NE(replaced->i420, first->i420);
+
+    ArchiveGetResult local = service.get("clip");
+    ASSERT_EQ(local.error, ArchiveError::None);
+    auto ranges = gopRanges(local.frameHeaders,
+                            local.decoded.frames.size());
+    EXPECT_EQ(replaced->i420,
+              packFramesI420(local.decoded, ranges[0].firstFrame,
+                             ranges[0].frameCount));
+    server.stop();
+    std::remove(path.c_str());
+}
+
+// --- client retry -----------------------------------------------------
+
+TEST(ClusterClientRetry, BoundedRetryAbsorbsBackpressure)
+{
+    std::string path = tempPath("retry");
+    std::remove(path.c_str());
+    ArchiveService service(path);
+    ASSERT_EQ(service.open(true), ArchiveError::None);
+    VappServerConfig config;
+    config.queueCapacity = 1;
+    config.workers = 1;
+    VappServer server(service, config);
+    ASSERT_TRUE(server.start());
+
+    // Freeze the drain and fill the one queue slot, so the next
+    // request is answered Status::Retry deterministically.
+    server.setDrainPaused(true);
+    VappClient filler;
+    ASSERT_TRUE(filler.connect("127.0.0.1", server.port()));
+    ASSERT_TRUE(filler.send(Opcode::Stat, Bytes{}));
+
+    // Give the event loop a moment to admit the filler's request.
+    for (int i = 0; i < 100 && server.queueDepth() == 0; ++i)
+        std::this_thread::sleep_for(
+            std::chrono::milliseconds(1));
+    ASSERT_EQ(server.queueDepth(), 1u);
+
+    const u64 retries_before = counterValue("client.retries");
+
+    VappClient c;
+    ASSERT_TRUE(c.connect("127.0.0.1", server.port()));
+    // No retry policy: the backpressure answer surfaces as-is.
+    auto rejected = c.stat();
+    ASSERT_TRUE(rejected.has_value());
+    EXPECT_EQ(rejected->status, Status::Retry);
+
+    RetryPolicy policy;
+    policy.maxRetries = 10;
+    policy.initialBackoffMs = 2;
+    policy.maxBackoffMs = 64;
+    policy.jitterSeed = 7;
+    c.setRetryPolicy(policy);
+    // Unfreeze the drain while the retrying call is backing off.
+    std::thread unpauser([&server] {
+        std::this_thread::sleep_for(
+            std::chrono::milliseconds(30));
+        server.setDrainPaused(false);
+    });
+    auto eventually = c.stat();
+    unpauser.join();
+    ASSERT_TRUE(eventually.has_value());
+    EXPECT_EQ(eventually->status, Status::Ok);
+    if (telemetry::kEnabled)
+        EXPECT_GT(counterValue("client.retries"), retries_before);
+    // The filler's parked response still arrives (nothing lost).
+    auto parked = filler.receive();
+    ASSERT_TRUE(parked.has_value());
+    EXPECT_EQ(parked->kind, static_cast<u8>(Status::Ok));
+    server.stop();
+    std::remove(path.c_str());
+}
+
+// --- scrub scheduler --------------------------------------------------
+
+TEST(ClusterScrub, BudgetedSchedulerDefersAndStaysUnderBudget)
+{
+    std::string path = tempPath("scrub_budget");
+    std::remove(path.c_str());
+    ArchiveService service(path);
+    ASSERT_EQ(service.open(true), ArchiveError::None);
+    const std::vector<std::string> names = {"a", "b", "c", "d"};
+    for (std::size_t i = 0; i < names.size(); ++i)
+        ASSERT_EQ(service.put(names[i],
+                              makePrepared(500 + i), {}),
+                  ArchiveError::None);
+
+    // Measure each video's correction cost once (and leave every
+    // image clean). The fixed seed makes the drift process
+    // stationary: each later sweep re-ages identically, so these
+    // costs are exactly what the scheduler will see.
+    ScrubOptions options;
+    options.ageRawBer = 1e-4;
+    options.seed = 99;
+    u64 total = 0, per_video_max = 0;
+    for (const std::string &name : names) {
+        ScrubReport report = service.scrubVideo(name, options);
+        ASSERT_EQ(report.cells.blocksUncorrectable, 0u);
+        ASSERT_EQ(report.streamsMiscorrected, 0u);
+        total += report.cells.bitsCorrected;
+        per_video_max = std::max(per_video_max,
+                                 report.cells.bitsCorrected);
+    }
+    ASSERT_GT(total, 0u);
+
+    ScrubSchedulerConfig config;
+    config.ageRawBer = options.ageRawBer;
+    config.seed = options.seed;
+    // One video fits, the whole sweep does not: every interval
+    // must defer work.
+    config.correctionBudget = per_video_max + 1;
+    ASSERT_LT(config.correctionBudget, total);
+    ScrubScheduler scheduler(service, config);
+
+    // Learning phase: run intervals until every video's cost is
+    // known. Unlearned videos predict zero, so these intervals may
+    // overshoot — that is the documented learning overrun.
+    while (scheduler.videosScrubbed() < names.size())
+        scheduler.runInterval();
+    const u64 learning_overruns = scheduler.overruns();
+
+    // Steady state: with exact cost predictions, every interval's
+    // corrections stay within the budget — the acceptance bar.
+    for (int i = 0; i < 12; ++i) {
+        const u64 bits_before = scheduler.bitsCorrected();
+        scheduler.runInterval();
+        EXPECT_LE(scheduler.bitsCorrected() - bits_before,
+                  config.correctionBudget);
+    }
+    EXPECT_EQ(scheduler.overruns(), learning_overruns);
+    EXPECT_GT(scheduler.deferrals(), 0u);
+    // Round-robin: the sweep keeps visiting every video.
+    EXPECT_GE(scheduler.videosScrubbed(), names.size() * 2);
+    std::remove(path.c_str());
+}
+
+TEST(ClusterScrub, BackgroundThreadSweepsAndStopsCleanly)
+{
+    std::string path = tempPath("scrub_thread");
+    std::remove(path.c_str());
+    ArchiveService service(path);
+    ASSERT_EQ(service.open(true), ArchiveError::None);
+    ASSERT_EQ(service.put("clip", makePrepared(510), {}),
+              ArchiveError::None);
+
+    ScrubSchedulerConfig config;
+    config.intervalMs = 5;
+    config.ageRawBer = 1e-4;
+    config.seed = 3;
+    ScrubScheduler scheduler(service, config);
+    std::atomic<u64> invalidations{0};
+    scheduler.onScrubbed = [&](const std::string &name) {
+        EXPECT_EQ(name, "clip");
+        invalidations.fetch_add(1);
+    };
+    scheduler.start();
+    for (int i = 0;
+         i < 400 && scheduler.intervalsCompleted() < 3; ++i)
+        std::this_thread::sleep_for(
+            std::chrono::milliseconds(5));
+    scheduler.stop();
+    EXPECT_GE(scheduler.intervalsCompleted(), 3u);
+    EXPECT_GE(scheduler.videosScrubbed(), 3u);
+    EXPECT_EQ(invalidations.load(), scheduler.videosScrubbed());
+    // Unbudgeted: nothing deferred, nothing overrun.
+    EXPECT_EQ(scheduler.deferrals(), 0u);
+    EXPECT_EQ(scheduler.overruns(), 0u);
+    // The archive still reads clean after repeated scrubbing.
+    EXPECT_EQ(service.get("clip").error, ArchiveError::None);
+    std::remove(path.c_str());
+}
+
+} // namespace
+} // namespace videoapp

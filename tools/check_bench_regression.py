@@ -114,11 +114,19 @@ THREAD_ROW_KEYS = {
 # (hard, soft) key schemas. perf_server's "skewed" section is the
 # hot-key load (90% of GETs on one GOP): every op is a GET of a
 # stored video, so gets_ok/responses_lost are schedule-determined
-# and hard; throughput and latency drift with the runner.
+# and hard; throughput and latency drift with the runner. The
+# "cluster" section only exists for `perf_server --shards N` runs
+# (rows are keyed by shard count in their "threads" field); a run
+# without the flag simply omits it, so the section is checked only
+# when one of the two files carries it.
 EXTRA_ROW_SECTIONS = {
     "perf_server": {
         "skewed": (
             ("gets_ok", "responses_lost"),
+            ("wall_s", "ops_per_s", "get_p50_us", "get_p99_us"),
+        ),
+        "cluster": (
+            ("gets_ok", "not_found", "responses_lost"),
             ("wall_s", "ops_per_s", "get_p50_us", "get_p99_us"),
         ),
     },
@@ -133,6 +141,14 @@ CORRECTNESS_FLAGS = {
                     "cache_hit_skips_decode",
                     "backpressure_returns_retry",
                     "coalescing_single_flight"),
+}
+
+# Flags a bench only emits in some modes (perf_server --shards N):
+# absent is fine, present-but-false is a failure.
+OPTIONAL_FLAGS = {
+    "perf_server": ("cluster_routed_get_matches_single",
+                    "cluster_meta_repair_get_ok",
+                    "cluster_scrub_budget_respected"),
 }
 
 
@@ -153,12 +169,22 @@ def usage_error(message):
     sys.exit(2)
 
 
-def load(path):
+def load(path, role):
     try:
         with open(path, "r", encoding="utf-8") as f:
             data = json.load(f)
+    except FileNotFoundError:
+        hint = ""
+        if role == "baseline":
+            hint = (
+                "; no committed baseline exists for this bench yet "
+                "— generate one with VIDEOAPP_BENCH_OUT="
+                f"{path} and the bench binary (see the header of "
+                "this script and EXPERIMENTS.md), then commit it"
+            )
+        usage_error(f"{role} file {path} does not exist{hint}")
     except (OSError, json.JSONDecodeError) as e:
-        usage_error(f"cannot read {path}: {e}")
+        usage_error(f"cannot read {role} file {path}: {e}")
     if not isinstance(data, dict):
         usage_error(f"{path}: top level is not a JSON object")
     return data
@@ -245,6 +271,12 @@ def check_correctness(report, kind, current):
             report.fail(
                 f"{flag} is not true: the bench detected a "
                 "correctness violation")
+    for flag in OPTIONAL_FLAGS.get(kind, ()):
+        value = current.get(flag)
+        if value is not None and value is not True:
+            report.fail(
+                f"{flag} is not true: the bench detected a "
+                "correctness violation")
 
 
 def thread_rows(report, data, which, section="threads",
@@ -276,12 +308,21 @@ def thread_rows(report, data, which, section="threads",
 def check_row_section(report, section, keys, current, baseline,
                       count_tol, timing_tol, strict_timing):
     hard_keys, timing_keys = keys
-    rows_c = thread_rows(report, current, "current", section)
     # A baseline predating the section altogether: note and move on
     # (the section becomes load-bearing once the baseline is
-    # regenerated); a missing *current* section is always a failure.
+    # regenerated). A *current* run missing a section the baseline
+    # has is a failure; a mode-dependent section (perf_server's
+    # "cluster", only emitted under --shards) absent from both files
+    # is simply not checked.
     rows_b = thread_rows(report, baseline, "baseline", section,
                          required=False)
+    required = section == "threads" or bool(rows_b) or \
+        section in current
+    if not required:
+        return
+    rows_c = thread_rows(report, current, "current", section,
+                         required=section == "threads" or
+                         bool(rows_b))
     if not rows_b:
         report.warn(f"baseline has no usable {section} rows")
     for n in sorted(rows_b):
@@ -389,8 +430,8 @@ def main():
              "instead of a warning")
     args = parser.parse_args()
 
-    current = load(args.current)
-    baseline = load(args.baseline)
+    current = load(args.current, "current")
+    baseline = load(args.baseline, "baseline")
     kind = check_kind(current, baseline, args.current, args.baseline)
     check_config(current, baseline)
 
