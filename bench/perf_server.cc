@@ -13,11 +13,18 @@
  *     hammer one (video, GOP) — the workload single-flight
  *     coalescing and the zero-copy cache hit path exist for — with
  *     the same throughput/latency metrics.
- *  3. hard output counts per row: ok GETs, ok PUTs, ok SCRUBs,
+ *  3. a shed-mode section: the same overloaded GET load (cache off,
+ *     8-deep queue, 32 connections) with the importance-aware
+ *     shed threshold off and on, reporting the fidelity split
+ *     (full vs degraded, streams shed) and GET p50/p99 per row plus
+ *     the p99 speedup shedding buys — and two hard flags: with the
+ *     threshold off nothing ever degrades, and a deterministically
+ *     saturated 4-deep queue sheds exactly the tail request.
+ *  4. hard output counts per row: ok GETs, ok PUTs, ok SCRUBs,
  *     not-found responses and lost responses (always 0 — an
  *     admitted request never loses its response), all derived from
  *     the fixed per-client schedule.
- *  4. five correctness flags: every request got a response
+ *  5. five correctness flags: every request got a response
  *     (responses_all_accounted), wire GET frames are byte-identical
  *     to a local ArchiveService::get (wire_matches_local), a warm
  *     GET is served from the decoded-GOP cache without touching the
@@ -490,6 +497,241 @@ checkSingleFlightCoalesces(VappServer &server, u16 port)
     return coalesced && all_equal && one_decode;
 }
 
+// --- importance-aware shedding ------------------------------------------
+
+/** One shed-mode row: the same overloaded GET load at one
+ * shed-threshold setting. */
+struct ShedPoint
+{
+    int threshold = 0;
+    double wallSeconds = 0;
+    double opsPerSecond = 0;
+    double p50Us = 0;
+    /** p99 over every answered GET (degraded included): the latency
+     * the load-shedding exists to protect. */
+    double p99Us = 0;
+    /** p99 over full-fidelity answers only. */
+    double fullP99Us = 0;
+    u64 answered = 0;
+    u64 fullFidelity = 0;
+    u64 degraded = 0;
+    u64 streamsShed = 0;
+    u64 lost = 0;
+    u64 shedResponses = 0;
+};
+
+struct ShedTally
+{
+    u64 fullFidelity = 0;
+    u64 degraded = 0;
+    u64 streamsShed = 0;
+    u64 lost = 0;
+    std::vector<double> allLatencyUs;
+    std::vector<double> fullLatencyUs;
+};
+
+void
+shedClientLoop(u16 port, int client, int ops, u32 gop_count,
+               ShedTally &tally)
+{
+    VappClient c;
+    if (!c.connect("127.0.0.1", port)) {
+        tally.lost += static_cast<u64>(ops);
+        return;
+    }
+    // Backpressure overflow answers Retry; the client-side retry
+    // policy absorbs it so every op resolves to a fidelity outcome.
+    // Generous budget: the queue stays saturated for the whole run,
+    // and a client that gives up would turn the schedule-fixed
+    // responses_lost=0 contract into a timing accident.
+    RetryPolicy policy;
+    policy.maxRetries = 64;
+    policy.initialBackoffMs = 1;
+    policy.maxBackoffMs = 64;
+    policy.jitterSeed = static_cast<u64>(client) + 1;
+    c.setRetryPolicy(policy);
+    for (int j = 0; j < ops; ++j) {
+        // Per-client clips: distinct cold keys cannot coalesce in
+        // the single-flight table, so every GET is real decode work
+        // and the queue pressure the shed path exists for builds.
+        GetFramesRequest get;
+        get.name = "shedload-" + std::to_string(client);
+        get.gop = static_cast<u32>(j) % gop_count;
+        get.conceal = true;
+        double t0 = now();
+        auto r = c.getFrames(get);
+        double us = (now() - t0) * 1e6;
+        if (!r) {
+            ++tally.lost;
+            continue;
+        }
+        if (r->status == Status::Degraded) {
+            ++tally.degraded;
+            tally.streamsShed += r->streamsShed;
+            tally.allLatencyUs.push_back(us);
+        } else if (r->status == Status::Ok ||
+                   r->status == Status::Partial) {
+            ++tally.fullFidelity;
+            tally.allLatencyUs.push_back(us);
+            tally.fullLatencyUs.push_back(us);
+        } else {
+            ++tally.lost;
+        }
+    }
+}
+
+/**
+ * The overloaded mixed-importance GET load at one threshold: its own
+ * server with the cache off (every GET pays the decode) and a small
+ * queue, so admission pressure is real. Per-response fidelity is
+ * load-dependent (soft); answered/lost are schedule-fixed (hard).
+ */
+ShedPoint
+benchShedMode(ArchiveService &service, int threshold,
+              int connections, int ops,
+              const PreparedVideo &scratch, u32 gop_count)
+{
+    VappServerConfig config;
+    config.workers = 2;
+    config.queueCapacity = 8;
+    config.cacheBytes = 0;
+    config.shedThreshold = threshold;
+    VappServer server(service, config);
+    ShedPoint point;
+    point.threshold = threshold;
+    if (!server.start()) {
+        point.lost =
+            static_cast<u64>(connections) * static_cast<u64>(ops);
+        return point;
+    }
+    for (int i = 0; i < connections; ++i)
+        if (service.put("shedload-" + std::to_string(i), scratch,
+                        {}) != ArchiveError::None) {
+            server.stop();
+            point.lost = static_cast<u64>(connections) *
+                         static_cast<u64>(ops);
+            return point;
+        }
+    const u16 port = server.port();
+    std::vector<ShedTally> tallies(connections);
+    std::vector<std::thread> threads;
+    threads.reserve(connections);
+    double t0 = now();
+    for (int i = 0; i < connections; ++i)
+        threads.emplace_back([&, i] {
+            shedClientLoop(port, i, ops, gop_count, tallies[i]);
+        });
+    for (std::thread &t : threads)
+        t.join();
+    point.wallSeconds = now() - t0;
+    std::vector<double> all, full;
+    for (const ShedTally &t : tallies) {
+        point.fullFidelity += t.fullFidelity;
+        point.degraded += t.degraded;
+        point.streamsShed += t.streamsShed;
+        point.lost += t.lost;
+        all.insert(all.end(), t.allLatencyUs.begin(),
+                   t.allLatencyUs.end());
+        full.insert(full.end(), t.fullLatencyUs.begin(),
+                    t.fullLatencyUs.end());
+    }
+    point.answered = point.fullFidelity + point.degraded;
+    std::sort(all.begin(), all.end());
+    std::sort(full.begin(), full.end());
+    point.p50Us = percentile(all, 0.50);
+    point.p99Us = percentile(all, 0.99);
+    point.fullP99Us = percentile(full, 0.99);
+    u64 total_ops = static_cast<u64>(connections) *
+                    static_cast<u64>(ops);
+    point.opsPerSecond =
+        point.wallSeconds > 0
+            ? static_cast<double>(total_ops) / point.wallSeconds
+            : 0;
+    point.shedResponses = server.shedResponses();
+    server.stop();
+    return point;
+}
+
+/**
+ * Deterministic shed check, mirroring the backpressure one: with the
+ * drain paused, fill a 4-deep queue with pipelined cold GETs — the
+ * admission-pressure rule (queue 3/4 full) sheds exactly the last
+ * one, which must answer Degraded with a nonzero shed count while
+ * the other three stay full fidelity.
+ */
+bool
+checkShedUnderPressure(ArchiveService &service,
+                       const PreparedVideo &scratch)
+{
+    VappServerConfig config;
+    config.workers = 2;
+    config.queueCapacity = 4;
+    config.cacheBytes = 0;
+    config.shedThreshold = 1;
+    VappServer server(service, config);
+    if (!server.start())
+        return false;
+    server.setDrainPaused(true);
+
+    // Four distinct cold keys (the bench may hold a single video, so
+    // GOP numbers cannot be trusted to exist): identical cold GETs
+    // would coalesce into one queue slot and never build pressure.
+    const int burst = 4;
+    for (int i = 0; i < burst; ++i)
+        if (service.put("shed-probe-" + std::to_string(i), scratch,
+                        {}) != ArchiveError::None) {
+            server.stop();
+            return false;
+        }
+    std::vector<VappClient> clients(burst);
+    for (int i = 0; i < burst; ++i) {
+        GetFramesRequest get;
+        get.name = "shed-probe-" + std::to_string(i);
+        get.conceal = true;
+        if (!clients[i].connect("127.0.0.1", server.port()) ||
+            !clients[i].send(Opcode::GetFrames,
+                             serializeGetFramesRequest(get))) {
+            server.stop();
+            return false;
+        }
+    }
+    double deadline = now() + 10;
+    while (server.queueDepth() < static_cast<u64>(burst) &&
+           now() < deadline)
+        std::this_thread::sleep_for(std::chrono::milliseconds(1));
+    if (server.queueDepth() < static_cast<u64>(burst)) {
+        server.stop();
+        return false;
+    }
+    server.setDrainPaused(false);
+
+    int ok = 0, degraded = 0;
+    bool degraded_has_sheds = false;
+    for (int i = 0; i < burst; ++i) {
+        auto raw = clients[i].receive();
+        if (!raw) {
+            server.stop();
+            return false;
+        }
+        GetFramesResponse response;
+        if (!parseGetFramesResponse(raw->payload, response)) {
+            server.stop();
+            return false;
+        }
+        if (response.status == Status::Degraded) {
+            ++degraded;
+            degraded_has_sheds = response.streamsShed > 0 &&
+                                 response.bytesShed > 0;
+        } else if (response.status == Status::Ok) {
+            ++ok;
+        }
+    }
+    const u64 sheds = server.shedResponses();
+    server.stop();
+    return ok == burst - 1 && degraded == 1 &&
+           degraded_has_sheds && sheds == 1;
+}
+
 // --- cluster mode (--shards N) -----------------------------------------
 
 /** An in-process cluster: one archive + node + server per shard. */
@@ -844,11 +1086,13 @@ writeRows(std::FILE *f, const std::vector<LoadPoint> &points)
 bool
 writeJson(const BenchConfig &config,
           const std::vector<LoadPoint> &points,
-          const std::vector<LoadPoint> &skewed, int ops_per_client,
+          const std::vector<LoadPoint> &skewed,
+          const std::vector<ShedPoint> &shed,
+          double shed_p99_speedup, int ops_per_client,
           bool all_accounted, bool wire_matches_local,
           bool cache_hit_skips_decode, bool backpressure_retry,
-          bool coalescing_single_flight,
-          const ClusterResults *cluster)
+          bool coalescing_single_flight, bool shed_disabled_clean,
+          bool shed_pressure_ok, const ClusterResults *cluster)
 {
     const std::string path = outputPath();
     std::FILE *f = std::fopen(path.c_str(), "w");
@@ -871,6 +1115,36 @@ writeJson(const BenchConfig &config,
     std::fprintf(f, "  \"skewed\": [\n");
     writeRows(f, skewed);
     std::fprintf(f, "  ],\n");
+    // Shed rows are keyed by shed threshold in their "threads"
+    // field (the row key the regression checker indexes by);
+    // fidelity splits and latency are load-dependent and soft.
+    std::fprintf(f, "  \"shed\": [\n");
+    for (std::size_t i = 0; i < shed.size(); ++i) {
+        const ShedPoint &p = shed[i];
+        std::fprintf(
+            f,
+            "    {\"threads\": %d, \"conns\": 32, "
+            "\"wall_s\": %.6f, \"ops_per_s\": %.3f, "
+            "\"get_p50_us\": %.1f, \"get_p99_us\": %.1f, "
+            "\"full_p99_us\": %.1f, \"answered\": %llu, "
+            "\"full_fidelity\": %llu, \"degraded\": %llu, "
+            "\"streams_shed\": %llu, \"responses_lost\": %llu}%s\n",
+            p.threshold, p.wallSeconds, p.opsPerSecond, p.p50Us,
+            p.p99Us, p.fullP99Us,
+            static_cast<unsigned long long>(p.answered),
+            static_cast<unsigned long long>(p.fullFidelity),
+            static_cast<unsigned long long>(p.degraded),
+            static_cast<unsigned long long>(p.streamsShed),
+            static_cast<unsigned long long>(p.lost),
+            i + 1 < shed.size() ? "," : "");
+    }
+    std::fprintf(f, "  ],\n");
+    std::fprintf(f, "  \"shed_p99_speedup_vs_noshed\": %.3f,\n",
+                 shed_p99_speedup);
+    std::fprintf(f, "  \"shed_disabled_never_degrades\": %s,\n",
+                 shed_disabled_clean ? "true" : "false");
+    std::fprintf(f, "  \"shed_under_pressure_degrades_tail\": %s,\n",
+                 shed_pressure_ok ? "true" : "false");
     if (cluster != nullptr) {
         // Cluster rows are keyed by shard count in their "threads"
         // field (the row key the regression checker indexes by);
@@ -1051,6 +1325,53 @@ run(const BenchConfig &config, int shards)
     std::printf("full queue answers Retry: %s\n",
                 backpressure ? "yes" : "NO (BUG)");
 
+    // Importance-aware shedding: the same overloaded GET load with
+    // shedding off and on. Cache off + tiny queue = real admission
+    // pressure; fidelity splits are load-dependent (soft in the
+    // baseline), answered/lost are schedule-fixed (hard).
+    std::printf("\nshed mode (cache off, 8-deep queue, 32 conns):\n");
+    std::printf("%-10s %9s %11s %11s %11s %11s %9s %9s %7s %6s\n",
+                "threshold", "wall (s)", "ops/s", "p50 (us)",
+                "p99 (us)", "full p99", "full", "degraded", "shed",
+                "lost");
+    std::vector<ShedPoint> shed_points;
+    // Longer than the standard rows: the fidelity split and the tail
+    // percentiles need enough samples to mean anything.
+    const int shed_ops = ops * 4;
+    for (int threshold : {0, 1}) {
+        shed_points.push_back(benchShedMode(
+            service, threshold, 32, shed_ops, prepared[0],
+            gop_count));
+        const ShedPoint &p = shed_points.back();
+        std::printf(
+            "%-10d %9.3f %11.1f %11.1f %11.1f %11.1f %9llu %9llu "
+            "%7llu %6llu\n",
+            p.threshold, p.wallSeconds, p.opsPerSecond, p.p50Us,
+            p.p99Us, p.fullP99Us,
+            static_cast<unsigned long long>(p.fullFidelity),
+            static_cast<unsigned long long>(p.degraded),
+            static_cast<unsigned long long>(p.streamsShed),
+            static_cast<unsigned long long>(p.lost));
+    }
+    // The shed trade: requests that keep full fidelity (all of the
+    // high-importance content) should see a better tail than the
+    // same load with shedding off.
+    const double shed_p99_speedup =
+        shed_points[1].fullP99Us > 0
+            ? shed_points[0].p99Us / shed_points[1].fullP99Us
+            : 0;
+    std::printf("full-fidelity p99 speedup with shedding on: %.2fx "
+                "(soft, load-dependent)\n",
+                shed_p99_speedup);
+    bool shed_disabled_clean = shed_points[0].degraded == 0 &&
+                               shed_points[0].shedResponses == 0;
+    std::printf("threshold 0 never degrades: %s\n",
+                shed_disabled_clean ? "yes" : "NO (BUG)");
+    bool shed_pressure_ok =
+        checkShedUnderPressure(service, prepared[0]);
+    std::printf("saturated queue sheds exactly the tail: %s\n",
+                shed_pressure_ok ? "yes" : "NO (BUG)");
+
     std::remove(service.path().c_str());
 
     ClusterResults cluster;
@@ -1065,15 +1386,17 @@ run(const BenchConfig &config, int shards)
                          cluster.scrubBudgetRespected;
     }
 
-    if (!writeJson(config, points, skewed, ops, all_accounted,
+    if (!writeJson(config, points, skewed, shed_points,
+                   shed_p99_speedup, ops, all_accounted,
                    wire_matches_local, cache_hit, backpressure,
-                   coalescing,
+                   coalescing, shed_disabled_clean, shed_pressure_ok,
                    shards > 1 && !cluster.points.empty() ? &cluster
                                                          : nullptr))
         return false;
     std::printf("wrote %s\n", outputPath().c_str());
     return all_accounted && wire_matches_local && cache_hit &&
-           backpressure && coalescing && cluster_ok;
+           backpressure && coalescing && shed_disabled_clean &&
+           shed_pressure_ok && cluster_ok;
 }
 
 } // namespace

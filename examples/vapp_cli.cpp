@@ -16,6 +16,9 @@
  *   archive get   <a.vapp> <name> <out.yuv>          retrieve+decode
  *   archive scrub <a.vapp>                           repair pass
  *   archive stat  <a.vapp>                           list contents
+ *   archive rekey <a.vapp>                           rotate keys:
+ *     decrypt every record with --key, re-encrypt under --new-key
+ *     (--mode/--key-id/--encrypt-min-t describe the new policy)
  *
  * Serving commands (network store front end, src/server/):
  *   serve <a.vapp>                          run the store server
@@ -42,11 +45,16 @@
  * Common options: --crf N, --gop N, --bframes N, --slices N,
  * --cavlc, --no-deblock, --raw-ber X, --seed N, --conceal.
  * Archive options: --key HEX (AES key: encrypts on put, decrypts on
- * get), --mode ecb|cbc|ctr|ofb|cfb, --key-id N. `get`/`scrub` age
- * the device at --raw-ber first when the flag is given (default:
- * read the cells exactly as stored).
- * Serving options: --port N, --workers N, --queue N, --cache-mb N
- * (serve); --deadline MS (remote get).
+ * get), --mode ecb|cbc|ctr|ofb|cfb, --key-id N, --encrypt-min-t N
+ * (selective encryption: only streams with BCH strength t >= N are
+ * encrypted; 0 = encrypt everything), --new-key HEX (rekey only).
+ * `get`/`scrub` age the device at --raw-ber first when the flag is
+ * given (default: read the cells exactly as stored).
+ * Serving options: --port N, --workers N, --queue N, --cache-mb N,
+ * --shed-threshold K (serve/cluster serve: under queue pressure or
+ * deadline risk, skip streams whose degradation class is >= K and
+ * answer Status::Degraded; 0 = never shed); --deadline MS
+ * (remote get).
  */
 
 #include <csignal>
@@ -82,8 +90,12 @@ struct CliOptions
     u64 seed = 1;
     bool conceal = false;
     Bytes key;
+    /** Replacement key for `archive rekey` (--new-key). */
+    Bytes newKey;
     CipherMode mode = CipherMode::CTR;
     u32 keyId = 0;
+    int encryptMinT = 0;
+    int shedThreshold = 0;
     u16 port = 7411;
     int workers = 4;
     std::size_t queueCapacity = 256;
@@ -110,6 +122,7 @@ usage()
         "  archive get   <a.vapp> <name> <out.yuv>\n"
         "  archive scrub <a.vapp>\n"
         "  archive stat  <a.vapp>\n"
+        "  archive rekey <a.vapp>\n"
         "  serve <a.vapp>\n"
         "  remote get    <host:port> <name> <gop> <out.yuv>\n"
         "  remote put    <host:port> <name> <in.yuv> <w> <h>\n"
@@ -124,7 +137,9 @@ usage()
         "options: --crf N --gop N --bframes N --slices N --cavlc\n"
         "         --no-deblock --raw-ber X --seed N --conceal\n"
         "         --key HEX --mode ecb|cbc|ctr|ofb|cfb --key-id N\n"
+        "         --encrypt-min-t N --new-key HEX\n"
         "         --port N --workers N --queue N --cache-mb N\n"
+        "         --shed-threshold K\n"
         "         --deadline MS --replicas N --vnodes N\n"
         "         --scrub-interval MS --scrub-budget BITS\n"
         "         --retries N\n");
@@ -199,8 +214,17 @@ parseOptions(int argc, char **argv, int first, CliOptions &opts)
                     "--mode wants ecb|cbc|ctr|ofb|cfb\n");
                 return false;
             }
+        } else if (a == "--new-key") {
+            if (!parseHex(nextStr(), opts.newKey)) {
+                std::fprintf(stderr, "--new-key wants hex bytes\n");
+                return false;
+            }
         } else if (a == "--key-id") {
             opts.keyId = static_cast<u32>(next(0));
+        } else if (a == "--encrypt-min-t") {
+            opts.encryptMinT = static_cast<int>(next(0));
+        } else if (a == "--shed-threshold") {
+            opts.shedThreshold = static_cast<int>(next(0));
         } else if (a == "--crf")
             opts.encoder.crf = static_cast<int>(next(24));
         else if (a == "--gop")
@@ -415,6 +439,7 @@ cmdArchivePut(const std::string &archive, const std::string &name,
         enc.mode = opts.mode;
         enc.key = opts.key;
         enc.keyId = opts.keyId;
+        enc.encryptMinT = static_cast<u8>(opts.encryptMinT);
         // The master IV is a nonce, derived deterministically from
         // the seed and name so puts are reproducible; vary --seed
         // (or name) across puts under one key.
@@ -517,6 +542,51 @@ cmdArchiveScrub(const std::string &archive, const CliOptions &opts)
 }
 
 int
+cmdArchiveRekey(const std::string &archive, const CliOptions &opts)
+{
+    if (opts.newKey.empty()) {
+        std::fprintf(stderr,
+                     "error: rekey wants --new-key HEX (and --key "
+                     "HEX for currently-encrypted records)\n");
+        return 1;
+    }
+    ArchiveService service(archive);
+    if (!openOrComplain(service, false))
+        return 1;
+
+    EncryptionConfig enc;
+    enc.mode = opts.mode;
+    enc.key = opts.newKey;
+    enc.keyId = opts.keyId;
+    enc.encryptMinT = static_cast<u8>(opts.encryptMinT);
+    // Fresh master IV for the new epoch: rotating the key without
+    // rotating the nonce would reuse keystreams across epochs.
+    Rng iv_rng(Rng::deriveSeed(
+        opts.seed, std::hash<std::string>{}(archive)));
+    for (auto &b : enc.masterIv)
+        b = static_cast<u8>(iv_rng.next());
+
+    RekeyReport report = service.rekey(opts.key, enc);
+    ArchiveError err = service.flush();
+    if (err != ArchiveError::None) {
+        std::fprintf(stderr, "error: cannot write '%s': %s\n",
+                     archive.c_str(), archiveErrorName(err));
+        return 1;
+    }
+    std::printf("re-keyed %llu video(s) to key-id %u "
+                "(%llu streams re-encrypted, %llu key mismatches, "
+                "%llu skipped)\n",
+                static_cast<unsigned long long>(report.videos),
+                opts.keyId,
+                static_cast<unsigned long long>(
+                    report.streamsRecrypted),
+                static_cast<unsigned long long>(
+                    report.keyMismatches),
+                static_cast<unsigned long long>(report.skipped));
+    return report.keyMismatches == 0 && report.skipped == 0 ? 0 : 1;
+}
+
+int
 cmdArchiveStat(const std::string &archive)
 {
     ArchiveService service(archive);
@@ -559,6 +629,7 @@ cmdServe(const std::string &archive, const CliOptions &opts)
     config.workers = opts.workers;
     config.queueCapacity = opts.queueCapacity;
     config.cacheBytes = opts.cacheMb << 20;
+    config.shedThreshold = opts.shedThreshold;
     VappServer server(service, config);
     if (!server.start()) {
         std::fprintf(stderr, "error: cannot listen on port %u: %s\n",
@@ -646,7 +717,8 @@ cmdRemoteGet(const std::string &spec, const std::string &name,
         return 1;
     }
     if (response->status != Status::Ok &&
-        response->status != Status::Partial) {
+        response->status != Status::Partial &&
+        response->status != Status::Degraded) {
         std::fprintf(stderr, "error: server answered %s\n",
                      statusName(response->status));
         return 1;
@@ -668,6 +740,13 @@ cmdRemoteGet(const std::string &spec, const std::string &name,
                 response->status == Status::Partial
                     ? " [partial]"
                     : "");
+    if (response->status == Status::Degraded)
+        std::printf("  [degraded: %u stream(s) shed, %llu bytes, "
+                    "est -%.2f dB]\n",
+                    response->streamsShed,
+                    static_cast<unsigned long long>(
+                        response->bytesShed),
+                    response->shedDbEst);
     return 0;
 }
 
@@ -690,6 +769,7 @@ cmdRemotePut(const std::string &spec, const std::string &name,
     request.key = opts.key;
     request.cipherMode = static_cast<u8>(opts.mode);
     request.keyId = opts.keyId;
+    request.encryptMinT = static_cast<u8>(opts.encryptMinT);
     request.ivSeed = opts.seed;
     auto response = client.put(request);
     if (!response) {
@@ -794,6 +874,7 @@ cmdRemoteHealth(const std::string &spec)
     std::printf("queue: %u/%u (high water %u, rejected %llu)\n"
                 "cache: %llu bytes in %llu GOPs\n"
                 "coalesced gets: %llu\n"
+                "shedding: %s, %llu degraded response(s)\n"
                 "archive: %llu video(s)\n",
                 response->queueDepth, response->queueCapacity,
                 response->queueHighWater,
@@ -805,6 +886,9 @@ cmdRemoteHealth(const std::string &spec)
                     response->cacheEntries),
                 static_cast<unsigned long long>(
                     response->coalescedGets),
+                response->shedThreshold > 0 ? "on" : "off",
+                static_cast<unsigned long long>(
+                    response->shedResponses),
                 static_cast<unsigned long long>(response->videos));
     return 0;
 }
@@ -880,6 +964,7 @@ cmdClusterServe(const std::vector<std::string> &archives,
         config.workers = opts.workers;
         config.queueCapacity = opts.queueCapacity;
         config.cacheBytes = opts.cacheMb << 20;
+        config.shedThreshold = opts.shedThreshold;
         config.cluster = nodes.back().get();
         servers.push_back(std::make_unique<VappServer>(
             *services.back(), config));
@@ -967,7 +1052,8 @@ cmdClusterGet(const std::string &seeds, const std::string &name,
         return 1;
     }
     if (response->status != Status::Ok &&
-        response->status != Status::Partial) {
+        response->status != Status::Partial &&
+        response->status != Status::Degraded) {
         std::fprintf(stderr, "error: cluster answered %s\n",
                      statusName(response->status));
         return 1;
@@ -981,13 +1067,16 @@ cmdClusterGet(const std::string &seeds, const std::string &name,
         return 1;
     }
     std::printf("GOP %u/%u of '%s' via shard %u: frames %u..%u "
-                "(%ux%u) -> %s%s\n",
+                "(%ux%u) -> %s%s%s\n",
                 gop, response->gopCount, name.c_str(),
                 router->ownerOf(name), response->firstFrame,
                 response->firstFrame + response->frameCount - 1,
                 response->width, response->height, out.c_str(),
                 response->status == Status::Partial ? " [partial]"
-                                                    : "");
+                                                    : "",
+                response->status == Status::Degraded
+                    ? " [degraded]"
+                    : "");
     return 0;
 }
 
@@ -1009,6 +1098,7 @@ cmdClusterPut(const std::string &seeds, const std::string &name,
     request.key = opts.key;
     request.cipherMode = static_cast<u8>(opts.mode);
     request.keyId = opts.keyId;
+    request.encryptMinT = static_cast<u8>(opts.encryptMinT);
     request.ivSeed = opts.seed;
     auto response = router->put(request);
     if (!response) {
@@ -1166,6 +1256,11 @@ cmdArchive(int argc, char **argv, CliOptions &opts)
         if (!parseOptions(argc, argv, 4, opts))
             return 1;
         return cmdArchiveStat(argv[3]);
+    }
+    if (sub == "rekey" && argc >= 4) {
+        if (!parseOptions(argc, argv, 4, opts))
+            return 1;
+        return cmdArchiveRekey(argv[3], opts);
     }
     usage();
     return 1;

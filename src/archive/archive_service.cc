@@ -40,9 +40,14 @@ recordFromPrepared(const PreparedVideo &prepared,
     VA_TELEM_LATENCY("archive.record_build");
     VideoRecord record;
     record.layout = layoutOf(prepared.enc.video);
+    // The policy is computed once here and persisted with the
+    // record; every later consumer (get-time decryption, the serving
+    // layer's shedding, re-key passes) reads it back instead of
+    // re-deriving treatment from a config.
+    record.policy = policyFor(prepared.streams, encryption);
 
     std::unique_ptr<StreamCryptor> cryptor;
-    if (encryption) {
+    if (encryption && record.policy->anyEncrypted()) {
         cryptor = std::make_unique<StreamCryptor>(
             encryption->mode, encryption->key, encryption->masterIv);
         record.crypto = cryptor->meta(encryption->keyId);
@@ -71,9 +76,19 @@ recordFromPrepared(const PreparedVideo &prepared,
         s.bitLength = w.bitLength;
         s.trueBytes = w.data->size();
         Bytes to_store = *w.data;
-        if (cryptor)
+        const bool encrypted =
+            cryptor != nullptr && record.policy->encrypts(w.t);
+        if (encrypted)
             to_store = cryptor->encryptStream(
                 static_cast<u32>(w.t), to_store);
+        // Two call sites, not a ternary name: VA_TELEM_COUNT caches
+        // the counter in a per-callsite static.
+        if (cryptor != nullptr && encrypted)
+            VA_TELEM_COUNT("archive.bytes_encrypted",
+                           w.data->size());
+        else if (cryptor != nullptr)
+            VA_TELEM_COUNT("archive.bytes_plaintext",
+                           w.data->size());
         s.image = exportCellImage(to_store, EccScheme{w.t});
         s.cellsCrc = crc32(s.image.cells);
     });
@@ -160,6 +175,7 @@ ArchiveService::get(const std::string &name,
     // degrade/decode/decrypt/merge runs on private copies.
     EncodedVideo layout;
     std::optional<StreamCryptoMeta> crypto;
+    std::optional<StreamPolicy> policy;
     std::vector<StreamRecord> streams;
     {
         std::shared_lock dir(dirMutex_);
@@ -184,6 +200,7 @@ ArchiveService::get(const std::string &name,
         }
         layout = it->second.layout;
         crypto = it->second.crypto;
+        policy = it->second.policy;
         streams = it->second.streams;
     }
 
@@ -193,9 +210,35 @@ ArchiveService::get(const std::string &name,
             result.error = ArchiveError::KeyRequired;
             return result;
         }
+        // Key-check gate: a stale or rotated key is a typed error,
+        // not a garbage decode. keyCheck == 0 marks a legacy record
+        // written before the check existed; those stay unchecked.
+        if (crypto->keyCheck != 0 &&
+            keyCheckValue(options.key, crypto->masterIv) !=
+                crypto->keyCheck) {
+            VA_TELEM_COUNT("archive.key_mismatches", 1);
+            result.error = ArchiveError::KeyMismatch;
+            return result;
+        }
         cryptor = std::make_unique<StreamCryptor>(
             crypto->mode, options.key, crypto->masterIv);
     }
+
+    // A stream is shed when its degradation class reaches the
+    // threshold; records without a stored policy rank streams by
+    // position (ascending t is ascending importance), so shedding
+    // works on version-1 records too. Class 0 is never shed.
+    const auto shedStream = [&](std::size_t i) {
+        if (options.shedDegradeClass <= 0)
+            return false;
+        const int cls =
+            policy ? policy->degradeClassOf(streams[i].schemeT)
+                   : static_cast<int>(streams.size() - 1 - i);
+        return cls >= options.shedDegradeClass;
+    };
+    const auto streamEncrypted = [&](int t) {
+        return policy ? policy->encrypts(t) : crypto.has_value();
+    };
 
     // Mirror storeAndRetrieve exactly: one child seed per stream,
     // drawn in ascending-t order before the parallel region. With
@@ -208,17 +251,31 @@ ArchiveService::get(const std::string &name,
 
     std::vector<Bytes> read(streams.size());
     std::vector<CellReadStats> stats(streams.size());
+    std::vector<u8> shed(streams.size(), 0);
     parallelFor(streams.size(), [&](std::size_t i) {
         StreamRecord &s = streams[i];
+        if (shedStream(i)) {
+            // Shed: serve the stream zero-filled at its true length
+            // — no cell read, no BCH decode, no decryption. Merge
+            // only needs the length for placement; the decoder (with
+            // concealment) degrades those macroblocks gracefully.
+            shed[i] = 1;
+            read[i] = Bytes(
+                static_cast<std::size_t>(s.trueBytes), 0);
+            return;
+        }
         if (options.injectRawBer > 0.0) {
             Rng stream_rng(seeds[i]);
             degradeCellImage(s.image, options.injectRawBer,
                              stream_rng);
         }
         Bytes payload = readCellImage(s.image, &stats[i]);
-        if (cryptor)
+        if (cryptor && streamEncrypted(s.schemeT))
             payload = cryptor->decryptStream(
                 static_cast<u32>(s.schemeT), payload,
+                static_cast<std::size_t>(s.trueBytes));
+        else
+            payload.resize(
                 static_cast<std::size_t>(s.trueBytes));
         read[i] = std::move(payload);
     });
@@ -228,6 +285,10 @@ ArchiveService::get(const std::string &name,
         result.streams.bitLength[streams[i].schemeT] =
             streams[i].bitLength;
         result.cells.merge(stats[i]);
+        if (shed[i]) {
+            ++result.streamsShed;
+            result.bytesShed += streams[i].image.payloadBytes;
+        }
     }
 
     DecodeOptions decode;
@@ -240,6 +301,11 @@ ArchiveService::get(const std::string &name,
                    result.cells.blocksCorrected);
     VA_TELEM_COUNT("archive.read.blocks_uncorrectable",
                    result.cells.blocksUncorrectable);
+    if (result.streamsShed > 0) {
+        VA_TELEM_COUNT("archive.read.streams_shed",
+                       result.streamsShed);
+        VA_TELEM_COUNT("archive.read.bytes_shed", result.bytesShed);
+    }
     return result;
 }
 
@@ -417,6 +483,120 @@ ArchiveService::remove(const std::string &name)
     return ArchiveError::None;
 }
 
+ArchiveError
+ArchiveService::rekeyVideo(const std::string &name,
+                           const Bytes &old_key,
+                           const EncryptionConfig &new_config,
+                           u64 *streams_recrypted)
+{
+    VA_TELEM_LATENCY("archive.rekey_video");
+    // BCH tables before the locks (the scrub lock-ordering rule).
+    prewarmCodes(name);
+
+    // Exclusive directory lock for the whole pass: the record's
+    // cells, crypto metadata, policy and integrity CRC all change
+    // together, and a concurrent get() must see either the old or
+    // the new record — never a mix.
+    std::unique_lock dir(dirMutex_);
+    auto it = archive_.videos.find(name);
+    if (it == archive_.videos.end())
+        return ArchiveError::NotFound;
+    std::lock_guard shard(shardFor(name));
+    VideoRecord &record = it->second;
+
+    if (record.crypto) {
+        if (old_key.empty())
+            return ArchiveError::KeyRequired;
+        if (record.crypto->keyCheck != 0 &&
+            keyCheckValue(old_key, record.crypto->masterIv) !=
+                record.crypto->keyCheck) {
+            VA_TELEM_COUNT("archive.key_mismatches", 1);
+            return ArchiveError::KeyMismatch;
+        }
+    }
+
+    std::vector<int> scheme_ts;
+    scheme_ts.reserve(record.streams.size());
+    for (const StreamRecord &s : record.streams)
+        scheme_ts.push_back(s.schemeT);
+    StreamPolicy next = buildStreamPolicy(
+        scheme_ts, streamCipherOf(new_config.mode),
+        new_config.keyId, new_config.encryptMinT);
+
+    std::unique_ptr<StreamCryptor> old_cryptor;
+    if (record.crypto)
+        old_cryptor = std::make_unique<StreamCryptor>(
+            record.crypto->mode, old_key, record.crypto->masterIv);
+    StreamCryptor new_cryptor(new_config.mode, new_config.key,
+                              new_config.masterIv);
+
+    const auto wasEncrypted = [&](int t) {
+        return record.policy ? record.policy->encrypts(t)
+                             : record.crypto.has_value();
+    };
+
+    u64 recrypted = 0;
+    for (StreamRecord &s : record.streams) {
+        const bool from = old_cryptor != nullptr &&
+                          wasEncrypted(s.schemeT);
+        const bool to = next.encrypts(s.schemeT);
+        if (!from && !to)
+            continue; // plaintext stays plaintext: cells untouched
+        // Read back through BCH correction (the scrub read), so the
+        // re-encrypted image starts from a repaired payload.
+        Bytes payload = readCellImage(s.image);
+        if (from)
+            payload = old_cryptor->decryptStream(
+                static_cast<u32>(s.schemeT), payload,
+                static_cast<std::size_t>(s.trueBytes));
+        else
+            payload.resize(static_cast<std::size_t>(s.trueBytes));
+        if (to)
+            payload = new_cryptor.encryptStream(
+                static_cast<u32>(s.schemeT), payload);
+        s.image = exportCellImage(payload, EccScheme{s.schemeT});
+        s.cellsCrc = crc32(s.image.cells);
+        ++recrypted;
+    }
+
+    if (next.anyEncrypted())
+        record.crypto = new_cryptor.meta(new_config.keyId);
+    else
+        record.crypto.reset();
+    record.policy = std::move(next);
+    metaCrc_[name] = crc32(serializeRecordMeta(record));
+
+    VA_TELEM_COUNT("archive.rekeys", 1);
+    VA_TELEM_COUNT("archive.rekey.streams_recrypted", recrypted);
+    if (streams_recrypted != nullptr)
+        *streams_recrypted += recrypted;
+    return ArchiveError::None;
+}
+
+RekeyReport
+ArchiveService::rekey(const Bytes &old_key,
+                      const EncryptionConfig &new_config)
+{
+    VA_TELEM_LATENCY("archive.rekey");
+    RekeyReport report;
+    for (const std::string &name : videoNames()) {
+        switch (rekeyVideo(name, old_key, new_config,
+                           &report.streamsRecrypted)) {
+        case ArchiveError::None:
+            ++report.videos;
+            break;
+        case ArchiveError::KeyMismatch:
+        case ArchiveError::KeyRequired:
+            ++report.keyMismatches;
+            break;
+        default:
+            ++report.skipped;
+            break;
+        }
+    }
+    return report;
+}
+
 // --- precise-metadata replication --------------------------------------
 
 namespace {
@@ -491,6 +671,7 @@ ArchiveService::repairMeta(const std::string &name,
     }
     record.layout = std::move(parsed.layout);
     record.crypto = parsed.crypto;
+    record.policy = parsed.policy;
     for (std::size_t i = 0; i < parsed.streams.size(); ++i) {
         const StreamMeta &m = parsed.streams[i];
         StreamRecord &s = record.streams[i];

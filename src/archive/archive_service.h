@@ -59,6 +59,15 @@ struct ArchiveGetOptions
     bool conceal = false;
     /** Decryption key; required when the record is encrypted. */
     Bytes key;
+    /**
+     * Load shedding: when > 0, streams whose policy degradation
+     * class is >= this are not read at all — they are served
+     * zero-filled at their true length, skipping cell reads, BCH
+     * decode and decryption entirely. Class 0 (the most important
+     * stream) is never shed. Records without a stored policy fall
+     * back to rank-by-position (streams are ascending-importance).
+     */
+    int shedDegradeClass = 0;
 };
 
 struct ArchiveGetResult
@@ -72,6 +81,10 @@ struct ArchiveGetResult
      * serving layer derives GOP boundaries from the I-frame display
      * indices without re-reading the archive. */
     std::vector<FrameHeader> frameHeaders;
+    /** Streams skipped by load shedding (served zero-filled). */
+    u64 streamsShed = 0;
+    /** Stored payload bytes those shed streams did not read. */
+    u64 bytesShed = 0;
 };
 
 struct ScrubOptions
@@ -94,6 +107,21 @@ struct ScrubReport
     u64 streamsMiscorrected = 0;
     /** Streams left with uncorrectable blocks. */
     u64 streamsDamaged = 0;
+};
+
+/** Tally of one re-key pass over the archive. */
+struct RekeyReport
+{
+    /** Records re-encrypted under the new config. */
+    u64 videos = 0;
+    /** Streams whose cells were rewritten (decrypted and/or
+     * re-encrypted; plaintext-to-plaintext streams are untouched). */
+    u64 streamsRecrypted = 0;
+    /** Records left alone because the supplied old key failed their
+     * key check (counted, never silently corrupted). */
+    u64 keyMismatches = 0;
+    /** Records removed between the snapshot and the visit. */
+    u64 skipped = 0;
 };
 
 /** Directory listing entry (archive stat). */
@@ -159,6 +187,28 @@ class ArchiveService
 
     /** Drop @p name from the archive. */
     ArchiveError remove(const std::string &name);
+
+    /**
+     * Re-key scrub for one video: read every stream back through BCH
+     * correction, decrypt streams the stored policy marks encrypted
+     * with @p old_key, re-encrypt under @p new_config (mode, key,
+     * IV, key-id and selective threshold may all change), and
+     * re-anchor the precise metadata — all in place, with zero
+     * precise-data loss. An unencrypted record is simply encrypted
+     * under the new config. Guards: an encrypted record whose
+     * key-check value rejects @p old_key returns KeyMismatch and is
+     * left untouched (legacy keyCheck==0 records cannot be checked
+     * and are trusted). Runs under the exclusive directory lock, so
+     * readers never observe a half-rekeyed record.
+     */
+    ArchiveError rekeyVideo(const std::string &name,
+                            const Bytes &old_key,
+                            const EncryptionConfig &new_config,
+                            u64 *streams_recrypted = nullptr);
+
+    /** Re-key every video (the background key-rotation pass). */
+    RekeyReport rekey(const Bytes &old_key,
+                      const EncryptionConfig &new_config);
 
     // --- precise-metadata replication (cluster tier) ---------------
 

@@ -92,6 +92,7 @@ archiveErrorName(ArchiveError error)
       case ArchiveError::Malformed: return "malformed";
       case ArchiveError::NotFound: return "not-found";
       case ArchiveError::KeyRequired: return "key-required";
+      case ArchiveError::KeyMismatch: return "key-mismatch";
     }
     return "unknown";
 }
@@ -130,12 +131,20 @@ serializeRecordMeta(const VideoRecord &record)
     for (const Bytes &p : record.layout.payloads)
         putU64(meta, p.size());
 
-    meta.push_back(record.crypto ? 1 : 0);
+    // Crypto section tag: 0 = none, 1 = the version-1 layout,
+    // 2 = version-1 fields plus the key-check value. Records whose
+    // keyCheck is 0 (legacy, unchecked) keep the version-1 layout so
+    // parse -> serialize stays byte-canonical for old blobs.
+    const u8 crypto_tag =
+        record.crypto ? (record.crypto->keyCheck != 0 ? 2 : 1) : 0;
+    meta.push_back(crypto_tag);
     if (record.crypto) {
         meta.push_back(static_cast<u8>(record.crypto->mode));
         putU32(meta, record.crypto->keyId);
         meta.insert(meta.end(), record.crypto->masterIv.begin(),
                     record.crypto->masterIv.end());
+        if (crypto_tag == 2)
+            putU32(meta, record.crypto->keyCheck);
     }
 
     putU16(meta, static_cast<u16>(record.streams.size()));
@@ -147,6 +156,11 @@ serializeRecordMeta(const VideoRecord &record)
         putU64(meta, s.image.cells.size());
         putU32(meta, s.cellsCrc);
     }
+    // Version 2: the policy record rides after the stream table.
+    // Absent on version-1 records, and presence is unambiguous —
+    // a version-1 record ends exactly at the stream table.
+    if (record.policy)
+        appendStreamPolicy(meta, *record.policy);
     return meta;
 }
 
@@ -191,10 +205,10 @@ parseRecordMeta(const Bytes &meta, RecordMeta &out, u64 payload_bound)
     }
 
     out.crypto.reset();
-    u8 has_crypto = in.u8v();
-    if (has_crypto > 1)
+    u8 crypto_tag = in.u8v();
+    if (crypto_tag > 2)
         return ArchiveError::Malformed;
-    if (has_crypto) {
+    if (crypto_tag != 0) {
         StreamCryptoMeta crypto;
         u8 mode = in.u8v();
         if (mode > static_cast<u8>(CipherMode::CFB))
@@ -203,6 +217,13 @@ parseRecordMeta(const Bytes &meta, RecordMeta &out, u64 payload_bound)
         crypto.keyId = in.u32v();
         for (u8 &b : crypto.masterIv)
             b = in.u8v();
+        if (crypto_tag == 2) {
+            crypto.keyCheck = in.u32v();
+            // Tag 2 exists only to carry a non-zero check; a zero
+            // one re-serializes as tag 1 and breaks canonicality.
+            if (in.ok && crypto.keyCheck == 0)
+                return ArchiveError::Malformed;
+        }
         if (!in.ok)
             return ArchiveError::ShortRead;
         out.crypto = crypto;
@@ -226,6 +247,21 @@ parseRecordMeta(const Bytes &meta, RecordMeta &out, u64 payload_bound)
             return ArchiveError::Malformed;
         prev_t = s.schemeT;
     }
+    // Version 2: a trailing policy record. It must cover exactly the
+    // streams of the table above (one entry per stream, same scheme
+    // t values) so no layer can ever see two answers.
+    out.policy.reset();
+    if (in.ok && in.pos < meta_len) {
+        StreamPolicy policy;
+        if (!parseStreamPolicy(bytes, meta_len, in.pos, policy))
+            return ArchiveError::Malformed;
+        if (policy.entries.size() != out.streams.size())
+            return ArchiveError::Malformed;
+        for (std::size_t i = 0; i < policy.entries.size(); ++i)
+            if (policy.entries[i].schemeT != out.streams[i].schemeT)
+                return ArchiveError::Malformed;
+        out.policy = std::move(policy);
+    }
     if (in.pos != meta_len)
         return ArchiveError::Malformed;
     return ArchiveError::None;
@@ -248,6 +284,7 @@ parseRecord(const u8 *bytes, std::size_t meta_len,
         return err;
     record.layout = std::move(meta.layout);
     record.crypto = meta.crypto;
+    record.policy = meta.policy;
     record.streams.assign(meta.streams.size(), StreamRecord{});
     std::size_t cell_pos = meta_len;
     for (std::size_t i = 0; i < meta.streams.size(); ++i) {
@@ -337,7 +374,8 @@ parseArchive(const Bytes &blob, Archive &out)
     if (in.u32v() != kVappMagic)
         return ArchiveError::BadMagic;
     u32 version = in.u32v();
-    if (version == 0 || version > kVappFormatVersion)
+    if (version < kVappMinFormatVersion ||
+        version > kVappFormatVersion)
         return ArchiveError::BadVersion;
     u64 dir_offset = in.u64v();
     u64 dir_length = in.u64v();

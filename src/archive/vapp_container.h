@@ -16,7 +16,9 @@
  *     u64 directoryOffset     u64 directoryLength
  *     u32 directoryCrc        u32 superblockCrc (bytes 0..27)
  *   records (one per video, back to back)
- *     meta  — CRC-protected precise metadata (see .cc)
+ *     meta  — CRC-protected precise metadata (see .cc): headers,
+ *             crypto (with a key-check value since version 2),
+ *             per-stream shape, and (version 2) the StreamPolicy
  *     cells — per-stream cell images, NOT checksummed: these are the
  *             approximate bits, and degrading them is the point
  *   directory (at directoryOffset)
@@ -43,6 +45,7 @@
 
 #include "codec/container.h"
 #include "crypto/stream_crypto.h"
+#include "policy/stream_policy.h"
 #include "storage/approx_store.h"
 
 namespace videoapp {
@@ -50,8 +53,13 @@ namespace videoapp {
 /** "VAPA" — distinct from the codec blob's "VAP1". */
 inline constexpr u32 kVappMagic = 0x56415041;
 
-/** Current (and oldest supported) container format version. */
-inline constexpr u32 kVappFormatVersion = 1;
+/** Current container format version. Version 2 added the optional
+ * key-check value in the crypto section and the per-stream policy
+ * record; version-1 files (no policy, unchecked keys) still parse. */
+inline constexpr u32 kVappFormatVersion = 2;
+
+/** Oldest format version readers still accept. */
+inline constexpr u32 kVappMinFormatVersion = 1;
 
 /** Why an archive operation failed. */
 enum class ArchiveError
@@ -65,6 +73,7 @@ enum class ArchiveError
     Malformed,    // counts/offsets inconsistent with the file
     NotFound,     // no such video in the archive
     KeyRequired,  // record is encrypted and no key was supplied
+    KeyMismatch,  // supplied key fails the record's key check
 };
 
 /** Stable name for logs and CLI messages. */
@@ -95,6 +104,8 @@ struct VideoRecord
     EncodedVideo layout;
     /** Set when the streams were encrypted before storage. */
     std::optional<StreamCryptoMeta> crypto;
+    /** Per-stream treatment record (absent on version-1 records). */
+    std::optional<StreamPolicy> policy;
     /** Streams in ascending schemeT order. */
     std::vector<StreamRecord> streams;
 
@@ -137,6 +148,7 @@ struct RecordMeta
 {
     EncodedVideo layout;
     std::optional<StreamCryptoMeta> crypto;
+    std::optional<StreamPolicy> policy;
     std::vector<StreamMeta> streams;
 };
 

@@ -69,10 +69,23 @@ ScrubScheduler::runInterval()
     const std::vector<std::string> names = service_.videoNames();
     u64 interval_bits = 0;
     std::size_t visited = 0;
+    std::size_t carried_count = 0;
     bool budget_hit = false;
+    std::vector<std::string> order;
     if (!names.empty()) {
-        // Resume the sweep just past the last visited name (names
-        // are sorted; puts and removes between intervals are fine).
+        // Visit order: videos the budget pushed out of earlier
+        // intervals run first — their cost is charged (and the
+        // interval histogram attributes it) to the interval the work
+        // actually runs in, never retro-charged to the interval that
+        // deferred them — then the round-robin sweep resumes just
+        // past the last visited name (names are sorted; puts and
+        // removes between intervals are fine).
+        order.reserve(names.size());
+        for (const std::string &name : deferred_)
+            if (std::binary_search(names.begin(), names.end(),
+                                   name))
+                order.push_back(name);
+        carried_count = order.size();
         std::size_t start = 0;
         if (!cursor_.empty()) {
             auto it = std::upper_bound(names.begin(), names.end(),
@@ -82,9 +95,21 @@ ScrubScheduler::runInterval()
                         : static_cast<std::size_t>(
                               it - names.begin());
         }
-        for (; visited < names.size(); ++visited) {
+        for (std::size_t i = 0; i < names.size(); ++i) {
             const std::string &name =
-                names[(start + visited) % names.size()];
+                names[(start + i) % names.size()];
+            if (std::find(order.begin(),
+                          order.begin() +
+                              static_cast<std::ptrdiff_t>(
+                                  carried_count),
+                          name) !=
+                order.begin() +
+                    static_cast<std::ptrdiff_t>(carried_count))
+                continue; // already queued as carried work
+            order.push_back(name);
+        }
+        for (; visited < order.size(); ++visited) {
+            const std::string &name = order[visited];
             if (config_.correctionBudget > 0) {
                 if (interval_bits >= config_.correctionBudget) {
                     budget_hit = true;
@@ -108,7 +133,6 @@ ScrubScheduler::runInterval()
             options.seed = config_.seed;
             ScrubReport report =
                 service_.scrubVideo(name, options);
-            cursor_ = name;
             const u64 corrected = report.cells.bitsCorrected;
             interval_bits += corrected;
             u64 &cost = costs_[name];
@@ -118,13 +142,41 @@ ScrubScheduler::runInterval()
             VA_TELEM_COUNT("cluster.scrub.videos", 1);
             VA_TELEM_COUNT("cluster.scrub.bits_corrected",
                            corrected);
+            if (visited < carried_count) {
+                // Deferred-then-run: the debt is paid now, in this
+                // interval's budget, and accounted as carried work.
+                carriedBits_.fetch_add(corrected);
+                VA_TELEM_COUNT("cluster.scrub.carried_bits",
+                               corrected);
+            } else {
+                // Only the sweep advances the cursor; carried
+                // revisits are out-of-order and must not warp it.
+                cursor_ = name;
+            }
             if (onScrubbed)
                 onScrubbed(name);
         }
     }
+    // Rebuild the carry list: the unreached carried prefix keeps its
+    // priority, and the video the budget stopped at joins it — so a
+    // deferred video is guaranteed to be the next interval's first
+    // candidate instead of waiting on cursor arithmetic.
+    std::vector<std::string> next_deferred;
+    for (std::size_t i = visited; i < carried_count; ++i)
+        next_deferred.push_back(order[i]);
+    if (budget_hit && visited >= carried_count) {
+        next_deferred.push_back(order[visited]);
+        // Deferring consumes the sweep position: the video runs
+        // first next interval as carried work, so the sweep must
+        // resume past it. Leaving the cursor behind would re-offer
+        // the same expensive video every interval and starve the
+        // ring behind it.
+        cursor_ = order[visited];
+    }
+    deferred_ = std::move(next_deferred);
     if (budget_hit) {
         const u64 deferred =
-            static_cast<u64>(names.size() - visited);
+            static_cast<u64>(order.size() - visited);
         deferrals_.fetch_add(deferred);
         VA_TELEM_COUNT("cluster.scrub.deferrals", deferred);
     }

@@ -11,8 +11,10 @@
  *  - a video is started only while the interval's corrected-bit
  *    total is below `correctionBudget`, and only when its
  *    *predicted* cost (the running max of its past corrections)
- *    still fits; videos that do not fit are deferred to the next
- *    interval (counted, never skipped forever);
+ *    still fits; videos that do not fit are carried on an explicit
+ *    deferred list and run *first* in the next interval, their
+ *    correction cost charged to the interval the work actually runs
+ *    in (carriedCorrections() tracks that paid-back debt);
  *  - a video with no history yet predicts zero (the learning sweep
  *    may overshoot once; after it, predictions are exact under a
  *    stationary drift process, which the fixed aging seed models).
@@ -82,6 +84,9 @@ class ScrubScheduler
     u64 bitsCorrected() const { return bits_.load(); }
     /** Videos pushed to a later interval by the budget. */
     u64 deferrals() const { return deferrals_.load(); }
+    /** Corrected bits from deferred-then-run videos — work deferred
+     * by one interval and charged to the interval that ran it. */
+    u64 carriedCorrections() const { return carriedBits_.load(); }
     /** Intervals whose corrections exceeded the budget (at most
      * the learning sweep, under stationary drift). */
     u64 overruns() const { return overruns_.load(); }
@@ -104,11 +109,16 @@ class ScrubScheduler
     std::string cursor_;
     /** Running max of each video's corrected bits (cost model). */
     std::map<std::string, u64> costs_;
+    /** Videos the budget pushed out of the last interval; they head
+     * the next interval's visit order (scheduler thread only, like
+     * cursor_ and costs_). */
+    std::vector<std::string> deferred_;
 
     std::atomic<u64> intervals_{0};
     std::atomic<u64> videos_{0};
     std::atomic<u64> bits_{0};
     std::atomic<u64> deferrals_{0};
+    std::atomic<u64> carriedBits_{0};
     std::atomic<u64> overruns_{0};
     std::atomic<u64> maxInterval_{0};
 

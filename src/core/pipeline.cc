@@ -66,6 +66,25 @@ repartition(PreparedVideo &prepared, const EccAssignment &assignment)
     }
 }
 
+StreamPolicy
+policyFor(const StreamSet &streams,
+          const std::optional<EncryptionConfig> &encryption)
+{
+    std::vector<int> scheme_ts;
+    scheme_ts.reserve(streams.data.size());
+    for (const auto &[t, data] : streams.data)
+        scheme_ts.push_back(t);
+    StreamCipher cipher = StreamCipher::Plaintext;
+    u32 key_id = 0;
+    u8 min_t = 0;
+    if (encryption) {
+        cipher = streamCipherOf(encryption->mode);
+        key_id = encryption->keyId;
+        min_t = encryption->encryptMinT;
+    }
+    return buildStreamPolicy(scheme_ts, cipher, key_id, min_t);
+}
+
 StorageOutcome
 storeAndRetrieve(const PreparedVideo &prepared,
                  const StorageChannel &channel, Rng &rng,
@@ -74,6 +93,8 @@ storeAndRetrieve(const PreparedVideo &prepared,
     StorageOutcome outcome;
     simd::simdNoteStage("store_retrieve");
 
+    const StreamPolicy policy =
+        policyFor(prepared.streams, encryption);
     std::unique_ptr<StreamCryptor> cryptor;
     if (encryption) {
         cryptor = std::make_unique<StreamCryptor>(
@@ -109,17 +130,30 @@ storeAndRetrieve(const PreparedVideo &prepared,
             StreamWork &w = work[i];
             EccScheme scheme{w.t};
             Rng stream_rng(w.seed);
+            const bool encrypted =
+                cryptor != nullptr && policy.encrypts(w.t);
             Bytes to_store = *w.data;
-            if (cryptor)
+            if (encrypted)
                 to_store = cryptor->encryptStream(
                     static_cast<u32>(w.t), to_store);
 
             Bytes read =
                 channel.roundTrip(to_store, scheme, stream_rng);
 
-            if (cryptor)
+            if (encrypted)
                 read = cryptor->decryptStream(static_cast<u32>(w.t),
                                               read, w.data->size());
+            // The selective-encryption saving is the plaintext
+            // counter's share of the two (only meaningful when an
+            // encryption config is present at all). Two call sites,
+            // not a ternary name: VA_TELEM_COUNT caches the counter
+            // in a per-callsite static.
+            if (cryptor != nullptr && encrypted)
+                VA_TELEM_COUNT("crypto.bytes_encrypted",
+                               w.data->size());
+            else if (cryptor != nullptr)
+                VA_TELEM_COUNT("crypto.bytes_plaintext",
+                               w.data->size());
             w.read = std::move(read);
             w.storedBits =
                 to_store.size() * 8; // stored (padded) size

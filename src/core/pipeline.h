@@ -23,6 +23,7 @@
 #include "core/partition.h"
 #include "crypto/stream_crypto.h"
 #include "graph/importance.h"
+#include "policy/stream_policy.h"
 #include "storage/approx_store.h"
 
 namespace videoapp {
@@ -79,7 +80,22 @@ struct EncryptionConfig
     AesBlock masterIv{};
     /** Key-management handle persisted by archives (not the key). */
     u32 keyId = 0;
+    /** Selective encryption: only streams with scheme t >= this are
+     * encrypted (ascending t is ascending importance). 0 encrypts
+     * every stream — the byte-compatible default. */
+    u8 encryptMinT = 0;
 };
+
+/**
+ * The per-stream policy @p encryption implies for @p streams: the
+ * single place the importance partition is turned into cipher and
+ * shedding treatment. Every consumer (pipeline round trips, archive
+ * put, the serving layer) derives its per-stream decisions from this
+ * record rather than re-deriving them from the config.
+ */
+StreamPolicy policyFor(
+    const StreamSet &streams,
+    const std::optional<EncryptionConfig> &encryption);
 
 /**
  * Store all streams through @p channel (each under its assigned

@@ -1,6 +1,15 @@
 #include "crypto/stream_crypto.h"
 
+#include "common/crc32.h"
+
 namespace videoapp {
+
+u32
+keyCheckValue(const Bytes &key, const AesBlock &master_iv)
+{
+    AesBlock check = Aes(key).encryptBlock(master_iv);
+    return crc32(check.data(), check.size());
+}
 
 StreamCryptor::StreamCryptor(CipherMode mode, const Bytes &key,
                              const AesBlock &master_iv)
@@ -41,6 +50,15 @@ StreamCryptor::decryptStream(u32 stream_id, const Bytes &ciphertext,
     if (plain.size() > true_size)
         plain.resize(true_size);
     return plain;
+}
+
+StreamCryptoMeta
+StreamCryptor::meta(u32 key_id) const
+{
+    StreamCryptoMeta meta{mode_, key_id, masterIv_, 0};
+    AesBlock check = aes_.encryptBlock(masterIv_);
+    meta.keyCheck = crc32(check.data(), check.size());
+    return meta;
 }
 
 bool

@@ -32,7 +32,15 @@ struct StreamCryptoMeta
     /** Application key-management handle (not the key). */
     u32 keyId = 0;
     AesBlock masterIv{};
+    /** Key-check value: crc32 of the master IV encrypted under the
+     * record's key. Lets a reader detect a stale or rotated key
+     * *before* decoding garbage (a wrong stream key under CTR/OFB
+     * yields valid-looking noise). 0 = legacy record, unchecked. */
+    u32 keyCheck = 0;
 };
+
+/** The key-check value @p key would store for @p master_iv. */
+u32 keyCheckValue(const Bytes &key, const AesBlock &master_iv);
 
 /**
  * Encrypts/decrypts a set of independently stored streams under one
@@ -64,12 +72,9 @@ class StreamCryptor
     /** The master IV the per-stream IVs derive from. */
     const AesBlock &masterIv() const { return masterIv_; }
 
-    /** Serializable metadata for @p key_id (see StreamCryptoMeta). */
-    StreamCryptoMeta
-    meta(u32 key_id) const
-    {
-        return StreamCryptoMeta{mode_, key_id, masterIv_};
-    }
+    /** Serializable metadata for @p key_id, key-check included
+     * (see StreamCryptoMeta). */
+    StreamCryptoMeta meta(u32 key_id) const;
 
     /** True for modes satisfying all three §5.1 requirements. */
     static bool approximationCompatible(CipherMode mode);

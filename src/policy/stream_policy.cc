@@ -1,0 +1,197 @@
+#include "policy/stream_policy.h"
+
+namespace videoapp {
+
+namespace {
+
+/** Mirrors the container's per-stream bound (BCH over 512-bit
+ * blocks supports t <= 58). */
+constexpr int kMaxSchemeT = 58;
+
+void
+appendBe16(Bytes &out, u16 v)
+{
+    out.push_back(static_cast<u8>(v >> 8));
+    out.push_back(static_cast<u8>(v));
+}
+
+void
+appendBe32(Bytes &out, u32 v)
+{
+    out.push_back(static_cast<u8>(v >> 24));
+    out.push_back(static_cast<u8>(v >> 16));
+    out.push_back(static_cast<u8>(v >> 8));
+    out.push_back(static_cast<u8>(v));
+}
+
+bool
+readU8(const u8 *data, std::size_t size, std::size_t &pos, u8 &v)
+{
+    if (size - pos < 1)
+        return false;
+    v = data[pos++];
+    return true;
+}
+
+bool
+readBe16(const u8 *data, std::size_t size, std::size_t &pos, u16 &v)
+{
+    if (size - pos < 2)
+        return false;
+    v = static_cast<u16>(static_cast<u16>(data[pos]) << 8 |
+                         data[pos + 1]);
+    pos += 2;
+    return true;
+}
+
+bool
+readBe32(const u8 *data, std::size_t size, std::size_t &pos, u32 &v)
+{
+    if (size - pos < 4)
+        return false;
+    v = static_cast<u32>(data[pos]) << 24 |
+        static_cast<u32>(data[pos + 1]) << 16 |
+        static_cast<u32>(data[pos + 2]) << 8 | data[pos + 3];
+    pos += 4;
+    return true;
+}
+
+} // namespace
+
+const char *
+streamCipherName(StreamCipher cipher)
+{
+    switch (cipher) {
+    case StreamCipher::Plaintext: return "plaintext";
+    case StreamCipher::AesCtr: return "aes-ctr";
+    case StreamCipher::AesOfb: return "aes-ofb";
+    case StreamCipher::AesLegacy: return "aes-legacy";
+    }
+    return "unknown";
+}
+
+StreamCipher
+streamCipherOf(CipherMode mode)
+{
+    switch (mode) {
+    case CipherMode::CTR: return StreamCipher::AesCtr;
+    case CipherMode::OFB: return StreamCipher::AesOfb;
+    case CipherMode::ECB:
+    case CipherMode::CBC:
+    case CipherMode::CFB: return StreamCipher::AesLegacy;
+    }
+    return StreamCipher::AesLegacy;
+}
+
+const StreamPolicyEntry *
+StreamPolicy::entryFor(int scheme_t) const
+{
+    for (const StreamPolicyEntry &e : entries)
+        if (e.schemeT == scheme_t)
+            return &e;
+    return nullptr;
+}
+
+bool
+StreamPolicy::encrypts(int scheme_t) const
+{
+    const StreamPolicyEntry *e = entryFor(scheme_t);
+    return e != nullptr && e->cipher != StreamCipher::Plaintext;
+}
+
+bool
+StreamPolicy::anyEncrypted() const
+{
+    for (const StreamPolicyEntry &e : entries)
+        if (e.cipher != StreamCipher::Plaintext)
+            return true;
+    return false;
+}
+
+u8
+StreamPolicy::degradeClassOf(int scheme_t) const
+{
+    const StreamPolicyEntry *e = entryFor(scheme_t);
+    return e != nullptr ? e->degradeClass : 0;
+}
+
+StreamPolicy
+buildStreamPolicy(const std::vector<int> &scheme_ts,
+                  StreamCipher cipher, u32 key_id, u8 encrypt_min_t)
+{
+    StreamPolicy policy;
+    policy.encryptMinT = encrypt_min_t;
+    const std::size_t n = scheme_ts.size();
+    policy.entries.reserve(n);
+    for (std::size_t i = 0; i < n; ++i) {
+        StreamPolicyEntry entry;
+        entry.schemeT = scheme_ts[i];
+        // Ascending t is ascending importance, so the last stream
+        // is shed last: rank it class 0, the first stream n-1.
+        entry.degradeClass = static_cast<u8>(n - 1 - i);
+        entry.cipher = (cipher != StreamCipher::Plaintext &&
+                        entry.schemeT >= encrypt_min_t)
+                           ? cipher
+                           : StreamCipher::Plaintext;
+        policy.entries.push_back(entry);
+    }
+    if (policy.anyEncrypted())
+        policy.keyId = key_id;
+    return policy;
+}
+
+void
+appendStreamPolicy(Bytes &out, const StreamPolicy &policy)
+{
+    appendBe16(out, policy.version);
+    appendBe32(out, policy.keyId);
+    out.push_back(policy.encryptMinT);
+    appendBe16(out, static_cast<u16>(policy.entries.size()));
+    for (const StreamPolicyEntry &e : policy.entries) {
+        out.push_back(static_cast<u8>(e.schemeT));
+        out.push_back(static_cast<u8>(e.cipher));
+        out.push_back(e.degradeClass);
+    }
+}
+
+bool
+parseStreamPolicy(const u8 *data, std::size_t size, std::size_t &pos,
+                  StreamPolicy &out)
+{
+    std::size_t p = pos;
+    StreamPolicy policy;
+    u8 min_t = 0;
+    u16 count = 0;
+    if (!readBe16(data, size, p, policy.version) ||
+        !readBe32(data, size, p, policy.keyId) ||
+        !readU8(data, size, p, min_t) ||
+        !readBe16(data, size, p, count))
+        return false;
+    if (policy.version == 0 ||
+        policy.version > kStreamPolicyVersion)
+        return false;
+    policy.encryptMinT = min_t;
+    policy.entries.reserve(count);
+    int prev_t = -1;
+    for (u16 i = 0; i < count; ++i) {
+        u8 scheme_t = 0, cipher = 0, degrade = 0;
+        if (!readU8(data, size, p, scheme_t) ||
+            !readU8(data, size, p, cipher) ||
+            !readU8(data, size, p, degrade))
+            return false;
+        if (scheme_t <= prev_t || scheme_t > kMaxSchemeT ||
+            cipher > static_cast<u8>(StreamCipher::AesLegacy))
+            return false;
+        prev_t = scheme_t;
+        StreamPolicyEntry entry;
+        entry.schemeT = scheme_t;
+        entry.cipher = static_cast<StreamCipher>(cipher);
+        entry.degradeClass = degrade;
+        policy.entries.push_back(entry);
+    }
+    pos = p;
+    out = std::move(policy);
+    return true;
+}
+
+} // namespace videoapp

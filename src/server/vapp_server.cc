@@ -11,6 +11,7 @@
 #include <unistd.h>
 
 #include <cerrno>
+#include <cmath>
 #include <cstring>
 #include <deque>
 #include <functional>
@@ -482,6 +483,7 @@ VappServer::handleFrame(const std::shared_ptr<Connection> &conn,
     }
 
     std::string flight_key;
+    bool shed = false;
     if (!forward && op == Opcode::GetFrames) {
         GetFramesRequest request;
         if (!parseGetFramesRequest(payload, request)) {
@@ -496,12 +498,23 @@ VappServer::handleFrame(const std::shared_ptr<Connection> &conn,
                     GopKey{request.name, request.gop, key_id})) {
                 // Hot path: the pre-serialized entry goes straight
                 // to the socket, no queue slot, no worker, no copy.
+                // Cache hits are free, so they stay full-fidelity
+                // even when admission is shedding.
                 respondCached(conn, header.requestId,
                               std::move(hit));
                 return;
             }
         }
-        if (exact && request.deadlineMs == 0) {
+        // Queue pressure at admission: with shedding enabled, a GET
+        // admitted while the queue sits at 3/4 capacity or more is
+        // marked for reduced-fidelity service. Shed jobs never lead
+        // or join flights (their decode is not the full-fidelity one
+        // the waiters expect) and are never cached.
+        shed = config_.shedThreshold > 0 &&
+               queue_.size() * 4 >= config_.queueCapacity * 3;
+        if (shed)
+            VA_TELEM_COUNT("server.shed.admissions", 1);
+        if (!shed && exact && request.deadlineMs == 0) {
             // Single flight: register (or join) the decode for this
             // (video, key id). Registration happens here, on the
             // one admission thread, so "N concurrent cold GETs ->
@@ -538,6 +551,7 @@ VappServer::handleFrame(const std::shared_ptr<Connection> &conn,
     job.flightKey = flight_key;
     job.forward = forward;
     job.forwardShard = forward_shard;
+    job.shed = shed;
     if (!queue_.tryPush(cls, std::move(job))) {
         // Explicit backpressure: the client backs off and retries
         // instead of the server buffering unboundedly. A leader
@@ -548,10 +562,12 @@ VappServer::handleFrame(const std::shared_ptr<Connection> &conn,
             std::lock_guard lock(flightsMutex_);
             flights_.erase(flight_key);
         }
-        VA_TELEM_COUNT(cls == QueueClass::Serve
-                           ? "server.queue.rejected.serve"
-                           : "server.queue.rejected.maintain",
-                       1);
+        // Two call sites, not a ternary name: VA_TELEM_COUNT caches
+        // the counter in a per-callsite static.
+        if (cls == QueueClass::Serve)
+            VA_TELEM_COUNT("server.queue.rejected.serve", 1);
+        else
+            VA_TELEM_COUNT("server.queue.rejected.maintain", 1);
         respondStatus(conn, Status::Retry, header.requestId);
         return;
     }
@@ -927,9 +943,22 @@ VappServer::handleGetFrames(const ServerJob &job)
         respondStatus(job.conn, Status::Deadline, job.requestId);
         return;
     }
+    bool shed = job.shed;
+    if (!shed && config_.shedThreshold > 0 &&
+        request.deadlineMs > 0 &&
+        elapsedMs(job.admitted) * 2 > request.deadlineMs) {
+        // Deadline risk: more than half the budget burned in the
+        // queue. A reduced read is the difference between Degraded
+        // and a Deadline miss. (Deadline-carrying requests never
+        // lead flights, so shedding here strands no waiters.)
+        shed = true;
+        VA_TELEM_COUNT("server.shed.deadline_risk", 1);
+    }
 
-    const bool cacheable =
-        config_.cacheBytes > 0 && request.injectRawBer == 0.0;
+    // Shed decodes are reduced-fidelity: they must never seed the
+    // full-fidelity GOP cache.
+    const bool cacheable = config_.cacheBytes > 0 &&
+                           request.injectRawBer == 0.0 && !shed;
     const u32 key_id = keyIdOf(request.key);
     GopKey cache_key{request.name, request.gop, key_id};
     if (cacheable) {
@@ -956,8 +985,11 @@ VappServer::handleGetFrames(const ServerJob &job)
     ArchiveGetOptions options;
     options.injectRawBer = request.injectRawBer;
     options.seed = request.seed;
-    options.conceal = request.conceal;
+    // Shed streams come back zero-filled; concealment keeps their
+    // macroblocks watchable instead of garbage.
+    options.conceal = request.conceal || shed;
     options.key = request.key;
+    options.shedDegradeClass = shed ? config_.shedThreshold : 0;
     ArchiveGetResult result = service_.get(request.name, options);
     if (result.error == ArchiveError::CrcMismatch &&
         config_.cluster != nullptr) {
@@ -977,7 +1009,8 @@ VappServer::handleGetFrames(const ServerJob &job)
         Status status = Status::Error;
         if (result.error == ArchiveError::NotFound)
             status = Status::NotFound;
-        else if (result.error == ArchiveError::KeyRequired)
+        else if (result.error == ArchiveError::KeyRequired ||
+                 result.error == ArchiveError::KeyMismatch)
             status = Status::KeyRequired;
         if (leader)
             failFlight(job.flightKey, status);
@@ -994,6 +1027,32 @@ VappServer::handleGetFrames(const ServerJob &job)
                           : Status::Ok;
     if (response.status == Status::Partial)
         VA_TELEM_COUNT("server.partial_responses", 1);
+    if (result.streamsShed > 0) {
+        // Chosen loss outranks suffered loss in the status byte; the
+        // block counters still carry any storage damage alongside.
+        response.status = Status::Degraded;
+        response.streamsShed =
+            static_cast<u32>(result.streamsShed);
+        response.bytesShed = result.bytesShed;
+        u64 total_bytes = 0;
+        for (const auto &[t, data] : result.streams.data)
+            total_bytes += data.size();
+        double fraction =
+            total_bytes > 0 ? static_cast<double>(result.bytesShed) /
+                                  static_cast<double>(total_bytes)
+                            : 0.0;
+        if (fraction > 0.999)
+            fraction = 0.999;
+        // Modeled dB cost: reconstruction error energy taken
+        // proportional to the shed payload fraction.
+        response.shedDbEst = -10.0 * std::log10(1.0 - fraction);
+        shedResponses_.fetch_add(1, std::memory_order_relaxed);
+        VA_TELEM_COUNT("server.shed.responses", 1);
+        VA_TELEM_COUNT("server.shed.streams", result.streamsShed);
+        VA_TELEM_COUNT("server.shed.bytes", result.bytesShed);
+        VA_TELEM_HIST("server.shed.est_db_x100",
+                      static_cast<u64>(response.shedDbEst * 100.0));
+    }
     response.width = static_cast<u16>(result.decoded.width());
     response.height = static_cast<u16>(result.decoded.height());
     response.gopCount = static_cast<u32>(ranges.size());
@@ -1045,6 +1104,16 @@ VappServer::handleGetFrames(const ServerJob &job)
         respondStatus(job.conn, Status::NotFound, job.requestId);
         return;
     }
+    // The dB-vs-latency trade, split by fidelity: degraded reads
+    // finish in less wall time at a modeled quality cost. Two call
+    // sites, not a ternary name: VA_TELEM_HIST caches the histogram
+    // in a per-callsite static.
+    if (result.streamsShed > 0)
+        VA_TELEM_HIST("server.shed.latency_degraded_ms",
+                      elapsedMs(job.admitted));
+    else
+        VA_TELEM_HIST("server.shed.latency_full_ms",
+                      elapsedMs(job.admitted));
     respondPayload(job.conn, static_cast<u8>(response.status),
                    job.requestId,
                    serializeGetFramesResponse(response));
@@ -1084,6 +1153,7 @@ VappServer::handlePut(const ServerJob &job)
         enc.mode = static_cast<CipherMode>(request.cipherMode);
         enc.key = request.key;
         enc.keyId = request.keyId;
+        enc.encryptMinT = request.encryptMinT;
         // Same nonce derivation as the CLI: reproducible per
         // (seed, name), distinct across names under one key.
         Rng iv_rng(Rng::deriveSeed(
@@ -1169,6 +1239,11 @@ VappServer::answerHealth(const std::shared_ptr<Connection> &conn,
     response.cacheEntries = cache_.entries();
     response.videos = service_.videoCount();
     response.coalescedGets = coalescedGets_.load();
+    response.shedThreshold = config_.shedThreshold > 0
+                                 ? static_cast<u32>(
+                                       config_.shedThreshold)
+                                 : 0;
+    response.shedResponses = shedResponses_.load();
     respondPayload(conn, static_cast<u8>(response.status),
                    request_id, serializeHealthResponse(response));
 }

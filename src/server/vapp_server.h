@@ -124,6 +124,18 @@ struct VappServerConfig
      * A tiny buffer forces partial writes so the EPOLLOUT
      * continuation path is exercised deterministically. */
     int sndbufBytes = 0;
+    /**
+     * Importance-aware load shedding (0 = disabled). When > 0, a
+     * GET_FRAMES admitted while the queue is under pressure (depth
+     * at 3/4 capacity or more), or whose deadline is already half
+     * spent by the time a worker picks it up, skips reading streams
+     * whose policy degradation class is >= this value and answers
+     * Status::Degraded — trading low-importance fidelity for
+     * latency. Class 0 (the most important stream) is never shed,
+     * and shed responses bypass both single-flight coalescing and
+     * the GOP cache.
+     */
+    int shedThreshold = 0;
     /** Non-null: run as one shard of a cluster. Mis-targeted
      * GET_FRAMES/PUT requests are forwarded to their owner, PUTs
      * replicate precise metadata to ring successors, and GETs whose
@@ -160,6 +172,9 @@ class VappServer
     /** GETs answered from another request's in-flight decode. */
     u64 coalescedGets() const { return coalescedGets_.load(); }
 
+    /** GETs served reduced-fidelity (Status::Degraded). */
+    u64 shedResponses() const { return shedResponses_.load(); }
+
     /**
      * Test/bench hook: freeze the worker pool's queue drain so
      * admitted requests pile up to capacity and the overflow is
@@ -186,6 +201,9 @@ class VappServer
          * peer's response instead of serving locally. */
         bool forward = false;
         u32 forwardShard = 0;
+        /** True: admission saw queue pressure — serve this GET at
+         * reduced fidelity (shed low-importance streams). */
+        bool shed = false;
     };
 
     struct Waiter
@@ -287,6 +305,7 @@ class VappServer
     std::unordered_map<std::string, Flight> flights_;
 
     std::atomic<u64> coalescedGets_{0};
+    std::atomic<u64> shedResponses_{0};
 };
 
 } // namespace videoapp

@@ -36,6 +36,7 @@ statusName(Status status)
     case Status::Deadline: return "DEADLINE";
     case Status::BadRequest: return "BAD_REQUEST";
     case Status::Error: return "ERROR";
+    case Status::Degraded: return "DEGRADED";
     }
     return "unknown status";
 }
@@ -361,6 +362,7 @@ serializePutRequest(const PutRequest &request)
     w.putU8(request.cipherMode);
     w.putU32(request.keyId);
     w.putU64(request.ivSeed);
+    w.putU8(request.encryptMinT);
     return w.take();
 }
 
@@ -372,7 +374,8 @@ parsePutRequest(const Bytes &payload, PutRequest &out)
         !r.getU16(out.height) || !r.getU32(out.frameCount) ||
         !r.getBytes(out.i420) || !r.getBytes(out.key) ||
         !r.getU8(out.cipherMode) || !r.getU32(out.keyId) ||
-        !r.getU64(out.ivSeed) || !r.exhausted())
+        !r.getU64(out.ivSeed) || !r.getU8(out.encryptMinT) ||
+        !r.exhausted())
         return false;
     if (out.name.empty() || out.width == 0 || out.height == 0 ||
         out.width % 16 != 0 || out.height % 16 != 0 ||
@@ -416,6 +419,9 @@ serializeGetFramesResponse(const GetFramesResponse &response)
     w.putU8(response.fromCache ? 1 : 0);
     w.putU64(response.blocksCorrected);
     w.putU64(response.blocksUncorrectable);
+    w.putU32(response.streamsShed);
+    w.putU64(response.bytesShed);
+    w.putDouble(response.shedDbEst);
     w.putBytes(response.i420);
     return w.take();
 }
@@ -425,10 +431,11 @@ parseGetFramesResponse(const Bytes &payload, GetFramesResponse &out)
 {
     WireReader r(payload);
     u8 status = 0;
-    if (!r.getU8(status) || status > static_cast<u8>(Status::Error))
+    if (!r.getU8(status) || status > static_cast<u8>(Status::Degraded))
         return false;
     out.status = static_cast<Status>(status);
-    if (out.status != Status::Ok && out.status != Status::Partial)
+    if (out.status != Status::Ok && out.status != Status::Partial &&
+        out.status != Status::Degraded)
         return true; // bare-status error response
     u8 from_cache = 0;
     if (!r.getU16(out.width) || !r.getU16(out.height) ||
@@ -436,7 +443,9 @@ parseGetFramesResponse(const Bytes &payload, GetFramesResponse &out)
         !r.getU32(out.gopCount) || !r.getU8(from_cache) ||
         !r.getU64(out.blocksCorrected) ||
         !r.getU64(out.blocksUncorrectable) ||
-        !r.getBytes(out.i420) || !r.exhausted())
+        !r.getU32(out.streamsShed) || !r.getU64(out.bytesShed) ||
+        !r.getDouble(out.shedDbEst) || !r.getBytes(out.i420) ||
+        !r.exhausted())
         return false;
     out.fromCache = from_cache != 0;
     return true;
@@ -457,7 +466,7 @@ parsePutResponse(const Bytes &payload, PutResponse &out)
 {
     WireReader r(payload);
     u8 status = 0;
-    if (!r.getU8(status) || status > static_cast<u8>(Status::Error))
+    if (!r.getU8(status) || status > static_cast<u8>(Status::Degraded))
         return false;
     out.status = static_cast<Status>(status);
     if (out.status != Status::Ok)
@@ -490,7 +499,7 @@ parseStatResponse(const Bytes &payload, StatResponse &out)
 {
     WireReader r(payload);
     u8 status = 0;
-    if (!r.getU8(status) || status > static_cast<u8>(Status::Error))
+    if (!r.getU8(status) || status > static_cast<u8>(Status::Degraded))
         return false;
     out.status = static_cast<Status>(status);
     if (out.status != Status::Ok)
@@ -542,7 +551,7 @@ parseScrubResponse(const Bytes &payload, ScrubResponse &out)
 {
     WireReader r(payload);
     u8 status = 0;
-    if (!r.getU8(status) || status > static_cast<u8>(Status::Error))
+    if (!r.getU8(status) || status > static_cast<u8>(Status::Degraded))
         return false;
     out.status = static_cast<Status>(status);
     if (out.status != Status::Ok)
@@ -569,6 +578,8 @@ serializeHealthResponse(const HealthResponse &response)
     w.putU64(response.cacheEntries);
     w.putU64(response.videos);
     w.putU64(response.coalescedGets);
+    w.putU32(response.shedThreshold);
+    w.putU64(response.shedResponses);
     return w.take();
 }
 
@@ -577,7 +588,7 @@ parseHealthResponse(const Bytes &payload, HealthResponse &out)
 {
     WireReader r(payload);
     u8 status = 0;
-    if (!r.getU8(status) || status > static_cast<u8>(Status::Error))
+    if (!r.getU8(status) || status > static_cast<u8>(Status::Degraded))
         return false;
     out.status = static_cast<Status>(status);
     if (out.status != Status::Ok)
@@ -586,7 +597,9 @@ parseHealthResponse(const Bytes &payload, HealthResponse &out)
            r.getU32(out.queueHighWater) &&
            r.getU64(out.queueRejected) && r.getU64(out.cacheBytes) &&
            r.getU64(out.cacheEntries) && r.getU64(out.videos) &&
-           r.getU64(out.coalescedGets) && r.exhausted();
+           r.getU64(out.coalescedGets) &&
+           r.getU32(out.shedThreshold) &&
+           r.getU64(out.shedResponses) && r.exhausted();
 }
 
 Bytes
@@ -601,7 +614,7 @@ std::optional<Status>
 peekStatus(const Bytes &payload)
 {
     if (payload.empty() ||
-        payload[0] > static_cast<u8>(Status::Error))
+        payload[0] > static_cast<u8>(Status::Degraded))
         return std::nullopt;
     return static_cast<Status>(payload[0]);
 }
@@ -632,7 +645,7 @@ parseClusterInfoResponse(const Bytes &payload,
 {
     WireReader r(payload);
     u8 status = 0;
-    if (!r.getU8(status) || status > static_cast<u8>(Status::Error))
+    if (!r.getU8(status) || status > static_cast<u8>(Status::Degraded))
         return false;
     out.status = static_cast<Status>(status);
     if (out.status != Status::Ok)
@@ -703,7 +716,7 @@ parseMetaGetResponse(const Bytes &payload, MetaGetResponse &out)
 {
     WireReader r(payload);
     u8 status = 0;
-    if (!r.getU8(status) || status > static_cast<u8>(Status::Error))
+    if (!r.getU8(status) || status > static_cast<u8>(Status::Degraded))
         return false;
     out.status = static_cast<Status>(status);
     if (out.status != Status::Ok)

@@ -83,6 +83,10 @@ enum class Status : u8
     Deadline = 5,    // deadline expired before a worker got to it
     BadRequest = 6,  // malformed frame or payload
     Error = 7,       // any other server-side failure
+    /** Served at reduced fidelity: the server shed low-importance
+     * streams under load to protect latency. Distinct from Partial
+     * (storage damage) — the loss here was chosen, not suffered. */
+    Degraded = 8,
 };
 
 /** Why a frame could not be decoded. */
@@ -273,6 +277,9 @@ struct PutRequest
     u32 keyId = 0;
     /** Master-IV derivation seed (mixed with the name hash). */
     u64 ivSeed = 1;
+    /** Selective encryption: encrypt only streams with scheme
+     * t >= this (0 = encrypt every stream). */
+    u8 encryptMinT = 0;
 };
 
 struct ScrubRequest
@@ -306,6 +313,14 @@ struct GetFramesResponse
     bool fromCache = false;
     u64 blocksCorrected = 0;
     u64 blocksUncorrectable = 0;
+    /** Streams the server shed under load (Degraded responses). */
+    u32 streamsShed = 0;
+    /** Stored payload bytes the shed streams did not read. */
+    u64 bytesShed = 0;
+    /** Modeled quality cost of shedding in dB: reconstruction error
+     * energy taken proportional to the shed payload fraction f, so
+     * est = -10*log10(1-f). 0 for full-fidelity responses. */
+    double shedDbEst = 0.0;
     /** Raw planar I420 frames, display order. */
     Bytes i420;
 };
@@ -348,6 +363,10 @@ struct HealthResponse
     u64 videos = 0;
     /** GETs answered from another request's in-flight decode. */
     u64 coalescedGets = 0;
+    /** Load-shedding degradation-class threshold (0 = disabled). */
+    u32 shedThreshold = 0;
+    /** GETs served reduced-fidelity (Status::Degraded) so far. */
+    u64 shedResponses = 0;
 };
 
 Bytes serializeGetFramesResponse(const GetFramesResponse &response);

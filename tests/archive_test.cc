@@ -18,11 +18,18 @@
 #include "archive/vapp_container.h"
 #include "common/crc32.h"
 #include "common/parallel.h"
+#include "common/telemetry.h"
 #include "quality/psnr.h"
 #include "video/synthetic.h"
 
 namespace videoapp {
 namespace {
+
+u64
+counterValue(const char *name)
+{
+    return telemetry::globalRegistry().counter(name).value();
+}
 
 Bytes
 randomBytes(std::size_t n, u64 seed)
@@ -634,6 +641,375 @@ TEST(ArchiveFuzz, RandomVideoRoundTrips)
                   prepared[i].enc.video.frameHeaders.size());
     }
     std::remove(path.c_str());
+}
+
+// --- stream policy in the container -----------------------------------
+
+TEST(ArchivePolicy, PutRecordsPolicyAndContainerRoundTripsIt)
+{
+    PreparedVideo prepared = makePrepared(63);
+    EncryptionConfig enc = testEncryption();
+    enc.encryptMinT = 6; // leave the weakest streams plaintext
+
+    Archive archive;
+    archive.videos["v"] = recordFromPrepared(prepared, enc);
+    const VideoRecord &record = archive.videos.at("v");
+    ASSERT_TRUE(record.policy.has_value());
+    ASSERT_EQ(record.policy->entries.size(),
+              prepared.streams.data.size());
+    EXPECT_EQ(record.policy->keyId, enc.keyId);
+    EXPECT_EQ(record.policy->encryptMinT, enc.encryptMinT);
+    for (const auto &[t, bytes] : prepared.streams.data)
+        EXPECT_EQ(record.policy->encrypts(t), t >= 6) << "t=" << t;
+    EXPECT_TRUE(record.crypto.has_value());
+
+    Bytes blob = serializeArchive(archive);
+    Archive parsed;
+    ASSERT_EQ(parseArchive(blob, parsed), ArchiveError::None);
+    ASSERT_TRUE(parsed.videos.at("v").policy.has_value());
+    EXPECT_EQ(*parsed.videos.at("v").policy, *record.policy);
+    EXPECT_EQ(serializeArchive(parsed), blob);
+
+    // Unencrypted records carry an all-plaintext policy.
+    Archive plain;
+    plain.videos["p"] = recordFromPrepared(prepared, std::nullopt);
+    ASSERT_TRUE(plain.videos.at("p").policy.has_value());
+    EXPECT_FALSE(plain.videos.at("p").policy->anyEncrypted());
+}
+
+TEST(ArchivePolicy, PolicyMismatchingStreamTableRejected)
+{
+    PreparedVideo prepared = makePrepared(64);
+    Archive archive;
+    archive.videos["v"] =
+        recordFromPrepared(prepared, testEncryption());
+
+    // A policy that does not cover the stream table one-to-one must
+    // be refused at parse time: every consumer trusts the mapping.
+    archive.videos.at("v").policy->entries.pop_back();
+    Bytes blob = serializeArchive(archive);
+    Archive parsed;
+    EXPECT_EQ(parseArchive(blob, parsed), ArchiveError::Malformed);
+}
+
+TEST(ArchivePolicy, SelectiveEncryptionReducesAesBytes)
+{
+    PreparedVideo prepared = makePrepared(65);
+    ArchiveService service(tempPath("selective"));
+    ASSERT_EQ(service.open(), ArchiveError::None);
+
+    EncryptionConfig full = testEncryption();
+    ArchivePutOptions put_full;
+    put_full.encryption = full;
+    u64 enc_before = counterValue("archive.bytes_encrypted");
+    ASSERT_EQ(service.put("full", prepared, put_full),
+              ArchiveError::None);
+    u64 full_bytes =
+        counterValue("archive.bytes_encrypted") - enc_before;
+
+    EncryptionConfig selective = testEncryption();
+    selective.encryptMinT = 6;
+    ArchivePutOptions put_sel;
+    put_sel.encryption = selective;
+    enc_before = counterValue("archive.bytes_encrypted");
+    u64 plain_before = counterValue("archive.bytes_plaintext");
+    ASSERT_EQ(service.put("sel", prepared, put_sel),
+              ArchiveError::None);
+    u64 sel_bytes =
+        counterValue("archive.bytes_encrypted") - enc_before;
+    u64 sel_plain =
+        counterValue("archive.bytes_plaintext") - plain_before;
+
+    if (telemetry::kEnabled) {
+        // The telemetry-reported AES reduction: the low-importance
+        // streams moved from the encrypted to the plaintext column.
+        EXPECT_LT(sel_bytes, full_bytes);
+        EXPECT_GT(sel_plain, 0u);
+        EXPECT_EQ(sel_bytes + sel_plain, full_bytes);
+    }
+
+    // Selective records still gate on the key and read back exactly.
+    EXPECT_EQ(service.get("sel").error, ArchiveError::KeyRequired);
+    ArchiveGetOptions with_key;
+    with_key.key = selective.key;
+    ArchiveGetResult got = service.get("sel", with_key);
+    ASSERT_EQ(got.error, ArchiveError::None);
+    EXPECT_EQ(got.streams.data, prepared.streams.data);
+}
+
+TEST(ArchiveService_, StaleKeyIsTypedKeyMismatch)
+{
+    PreparedVideo prepared = makePrepared(66);
+    ArchiveService service(tempPath("stale_key"));
+    ASSERT_EQ(service.open(), ArchiveError::None);
+    EncryptionConfig enc = testEncryption();
+    ArchivePutOptions put;
+    put.encryption = enc;
+    ASSERT_EQ(service.put("v", prepared, put), ArchiveError::None);
+
+    // A rotated/stale key is a typed error (and a counted one), not
+    // a garbage decode surfacing as some downstream failure.
+    u64 mismatches = counterValue("archive.key_mismatches");
+    ArchiveGetOptions wrong;
+    wrong.key = Bytes(32, 0x11);
+    EXPECT_EQ(service.get("v", wrong).error,
+              ArchiveError::KeyMismatch);
+    if (telemetry::kEnabled)
+        EXPECT_EQ(counterValue("archive.key_mismatches"),
+                  mismatches + 1);
+
+    ArchiveGetOptions right;
+    right.key = enc.key;
+    EXPECT_EQ(service.get("v", right).error, ArchiveError::None);
+}
+
+// --- re-key scrub -----------------------------------------------------
+
+/** The rotation target used by the rekey tests. */
+EncryptionConfig
+rotatedEncryption()
+{
+    EncryptionConfig enc;
+    enc.mode = CipherMode::CTR;
+    enc.key = Bytes(32, 0xA3);
+    enc.masterIv[2] = 0x19;
+    enc.keyId = 43;
+    return enc;
+}
+
+TEST(ArchiveRekey, RotateKeyMatchesFreshPutBitExactly)
+{
+    PreparedVideo prepared = makePrepared(67);
+    EncryptionConfig old_enc = testEncryption();
+    EncryptionConfig new_enc = rotatedEncryption();
+
+    // Rotated archive: put under the old key, re-key in place.
+    std::string rotated_path = tempPath("rekey_rotated");
+    ArchiveService rotated(rotated_path);
+    ASSERT_EQ(rotated.open(), ArchiveError::None);
+    ArchivePutOptions put_old;
+    put_old.encryption = old_enc;
+    ASSERT_EQ(rotated.put("v", prepared, put_old),
+              ArchiveError::None);
+    RekeyReport report = rotated.rekey(old_enc.key, new_enc);
+    EXPECT_EQ(report.videos, 1u);
+    EXPECT_EQ(report.streamsRecrypted,
+              prepared.streams.data.size());
+    EXPECT_EQ(report.keyMismatches, 0u);
+    EXPECT_EQ(report.skipped, 0u);
+
+    // Reference archive: a fresh put under the new config. The
+    // re-key pass reconstructs exact payloads through BCH, so the
+    // two files must be byte-identical — zero precise-data loss.
+    std::string fresh_path = tempPath("rekey_fresh");
+    ArchiveService fresh(fresh_path);
+    ASSERT_EQ(fresh.open(), ArchiveError::None);
+    ArchivePutOptions put_new;
+    put_new.encryption = new_enc;
+    ASSERT_EQ(fresh.put("v", prepared, put_new),
+              ArchiveError::None);
+
+    ASSERT_EQ(rotated.flush(), ArchiveError::None);
+    ASSERT_EQ(fresh.flush(), ArchiveError::None);
+    Archive a, b;
+    ASSERT_EQ(readArchive(rotated_path, a), ArchiveError::None);
+    ASSERT_EQ(readArchive(fresh_path, b), ArchiveError::None);
+    EXPECT_EQ(serializeArchive(a), serializeArchive(b));
+
+    // Reopen after flush ("restart"): byte-exact under the new key,
+    // typed mismatch under the old.
+    ArchiveService reopened(rotated_path);
+    ASSERT_EQ(reopened.open(false), ArchiveError::None);
+    ArchiveGetOptions new_key;
+    new_key.key = new_enc.key;
+    ArchiveGetResult got = reopened.get("v", new_key);
+    ASSERT_EQ(got.error, ArchiveError::None);
+    EXPECT_EQ(got.streams.data, prepared.streams.data);
+    ArchiveGetOptions old_key;
+    old_key.key = old_enc.key;
+    EXPECT_EQ(reopened.get("v", old_key).error,
+              ArchiveError::KeyMismatch);
+
+    // With injection on, the rotated and fresh archives read bit-
+    // identically at equal seeds — comfortably inside the 0.1 dB
+    // acceptance bar.
+    ArchiveGetOptions inject;
+    inject.key = new_enc.key;
+    inject.injectRawBer = 1e-3;
+    inject.seed = 29;
+    ArchiveGetResult noisy_rotated = reopened.get("v", inject);
+    ArchiveGetResult noisy_fresh = fresh.get("v", inject);
+    ASSERT_EQ(noisy_rotated.error, ArchiveError::None);
+    ASSERT_EQ(noisy_fresh.error, ArchiveError::None);
+    EXPECT_TRUE(videosEqual(noisy_rotated.decoded,
+                            noisy_fresh.decoded));
+    Video reference;
+    reference.frames = prepared.enc.reconFrames;
+    EXPECT_NEAR(psnrVideo(reference, noisy_rotated.decoded),
+                psnrVideo(reference, noisy_fresh.decoded), 0.1);
+
+    std::remove(rotated_path.c_str());
+    std::remove(fresh_path.c_str());
+}
+
+TEST(ArchiveRekey, EncryptsPlaintextRecordsInPlace)
+{
+    PreparedVideo prepared = makePrepared(68);
+    ArchiveService service(tempPath("rekey_plain"));
+    ASSERT_EQ(service.open(), ArchiveError::None);
+    ASSERT_EQ(service.put("v", prepared, {}), ArchiveError::None);
+
+    // Re-keying an unencrypted archive is "apply the new config in
+    // place": plaintext records come out encrypted.
+    EncryptionConfig new_enc = rotatedEncryption();
+    RekeyReport report = service.rekey(Bytes{}, new_enc);
+    EXPECT_EQ(report.videos, 1u);
+    EXPECT_EQ(report.keyMismatches, 0u);
+
+    EXPECT_EQ(service.get("v").error, ArchiveError::KeyRequired);
+    ArchiveGetOptions with_key;
+    with_key.key = new_enc.key;
+    ArchiveGetResult got = service.get("v", with_key);
+    ASSERT_EQ(got.error, ArchiveError::None);
+    EXPECT_EQ(got.streams.data, prepared.streams.data);
+}
+
+TEST(ArchiveRekey, WrongOldKeyIsCountedNotApplied)
+{
+    PreparedVideo prepared = makePrepared(69);
+    EncryptionConfig old_enc = testEncryption();
+    ArchiveService service(tempPath("rekey_wrong"));
+    ASSERT_EQ(service.open(), ArchiveError::None);
+    ArchivePutOptions put;
+    put.encryption = old_enc;
+    ASSERT_EQ(service.put("v", prepared, put), ArchiveError::None);
+
+    RekeyReport report =
+        service.rekey(Bytes(32, 0x77), rotatedEncryption());
+    EXPECT_EQ(report.videos, 0u);
+    EXPECT_EQ(report.keyMismatches, 1u);
+
+    // The record was left untouched: still readable under the old
+    // key.
+    ArchiveGetOptions with_key;
+    with_key.key = old_enc.key;
+    ArchiveGetResult got = service.get("v", with_key);
+    ASSERT_EQ(got.error, ArchiveError::None);
+    EXPECT_EQ(got.streams.data, prepared.streams.data);
+}
+
+TEST(ArchiveRekey, SelectiveTargetNarrowsEncryption)
+{
+    PreparedVideo prepared = makePrepared(70);
+    EncryptionConfig old_enc = testEncryption();
+    ArchiveService service(tempPath("rekey_selective"));
+    ASSERT_EQ(service.open(), ArchiveError::None);
+    ArchivePutOptions put;
+    put.encryption = old_enc;
+    ASSERT_EQ(service.put("v", prepared, put), ArchiveError::None);
+
+    EncryptionConfig new_enc = rotatedEncryption();
+    new_enc.encryptMinT = 6;
+    RekeyReport report = service.rekey(old_enc.key, new_enc);
+    EXPECT_EQ(report.videos, 1u);
+
+    ArchiveGetOptions with_key;
+    with_key.key = new_enc.key;
+    ArchiveGetResult got = service.get("v", with_key);
+    ASSERT_EQ(got.error, ArchiveError::None);
+    EXPECT_EQ(got.streams.data, prepared.streams.data);
+
+    // The stored policy reflects the narrowed treatment.
+    ASSERT_EQ(service.flush(), ArchiveError::None);
+    Archive on_disk;
+    ASSERT_EQ(readArchive(service.path(), on_disk),
+              ArchiveError::None);
+    const VideoRecord &record = on_disk.videos.at("v");
+    ASSERT_TRUE(record.policy.has_value());
+    EXPECT_EQ(record.policy->encryptMinT, 6u);
+    EXPECT_EQ(record.policy->keyId, new_enc.keyId);
+    for (const auto &[t, bytes] : prepared.streams.data)
+        EXPECT_EQ(record.policy->encrypts(t), t >= 6) << "t=" << t;
+    std::remove(service.path().c_str());
+}
+
+// --- importance-aware shedding ----------------------------------------
+
+TEST(ArchiveShed, ThresholdSkipsLowImportanceStreams)
+{
+    PreparedVideo prepared = makePrepared(85);
+    ArchiveService service(tempPath("shed"));
+    ASSERT_EQ(service.open(), ArchiveError::None);
+    ASSERT_EQ(service.put("v", prepared, {}), ArchiveError::None);
+    const std::size_t n = prepared.streams.data.size();
+    ASSERT_GT(n, 1u);
+    const int top_t = prepared.streams.data.rbegin()->first;
+
+    // Shed everything but class 0: only the most important stream
+    // is read; the rest are zero-filled placeholders.
+    ArchiveGetOptions aggressive;
+    aggressive.shedDegradeClass = 1;
+    aggressive.conceal = true;
+    ArchiveGetResult shed = service.get("v", aggressive);
+    ASSERT_EQ(shed.error, ArchiveError::None);
+    EXPECT_EQ(shed.streamsShed, n - 1);
+    EXPECT_GT(shed.bytesShed, 0u);
+    // Class 0 is never shed: the top stream is byte-exact.
+    EXPECT_EQ(shed.streams.data.at(top_t),
+              prepared.streams.data.at(top_t));
+    // Frame structure comes from precise metadata and survives.
+    EXPECT_EQ(shed.decoded.frames.size(),
+              prepared.enc.video.frameHeaders.size());
+
+    // A threshold past every class sheds nothing and stays exact.
+    ArchiveGetOptions lenient;
+    lenient.shedDegradeClass = static_cast<int>(n);
+    ArchiveGetResult full = service.get("v", lenient);
+    ASSERT_EQ(full.error, ArchiveError::None);
+    EXPECT_EQ(full.streamsShed, 0u);
+    EXPECT_EQ(full.streams.data, prepared.streams.data);
+
+    // Threshold 0 = shedding off.
+    ArchiveGetResult off = service.get("v");
+    ASSERT_EQ(off.error, ArchiveError::None);
+    EXPECT_EQ(off.streamsShed, 0u);
+    EXPECT_EQ(off.streams.data, prepared.streams.data);
+}
+
+TEST(ArchiveShed, MidThresholdKeepsImportantPrefix)
+{
+    // The tiny clip only populates two reliability streams; a mid
+    // threshold needs at least three, so render a busier sequence
+    // (more pixels, sensor noise) that spreads the importance
+    // histogram across a third ECC class.
+    SyntheticSpec spec = tinySpec(86);
+    spec.width = 96;
+    spec.height = 96;
+    spec.frames = 24;
+    spec.noiseSigma = 2.0;
+    Video source = generateSynthetic(spec);
+    EncoderConfig config;
+    config.gop.gopSize = 8;
+    config.gop.bFrames = 2;
+    PreparedVideo prepared = prepareVideo(
+        source, config, EccAssignment::paperTable1());
+    ArchiveService service(tempPath("shed_mid"));
+    ASSERT_EQ(service.open(), ArchiveError::None);
+    ASSERT_EQ(service.put("v", prepared, {}), ArchiveError::None);
+    const std::size_t n = prepared.streams.data.size();
+    ASSERT_GT(n, 2u);
+
+    ArchiveGetOptions mid;
+    mid.shedDegradeClass = 2;
+    mid.conceal = true;
+    ArchiveGetResult got = service.get("v", mid);
+    ASSERT_EQ(got.error, ArchiveError::None);
+    EXPECT_EQ(got.streamsShed, n - 2);
+    // The two most important (highest t) streams are intact.
+    auto it = prepared.streams.data.rbegin();
+    for (int kept = 0; kept < 2; ++kept, ++it)
+        EXPECT_EQ(got.streams.data.at(it->first), it->second)
+            << "t=" << it->first;
 }
 
 // --- concurrency ------------------------------------------------------

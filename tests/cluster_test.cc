@@ -16,6 +16,7 @@
 
 #include <chrono>
 #include <cstdio>
+#include <map>
 #include <memory>
 #include <set>
 #include <string>
@@ -586,6 +587,108 @@ TEST(ClusterClientRetry, BoundedRetryAbsorbsBackpressure)
     std::remove(path.c_str());
 }
 
+// --- re-key across the cluster ----------------------------------------
+
+TEST_F(ClusterLoopback, RekeyedRecordsReadBackThroughTheRouter)
+{
+    // Cache off: every routed read after the re-key must travel the
+    // full BCH + decrypt path, not a stale cached decode.
+    VappServerConfig base;
+    base.cacheBytes = 0;
+    startCluster(2, base);
+
+    const Bytes old_key(32, 0x5F);
+    const Bytes new_key(32, 0xA3);
+    ClusterRouter r = router();
+
+    // Three encrypted clips, spread over the ring by name.
+    std::vector<std::string> names;
+    std::map<std::string, Bytes> before;
+    for (u64 seed : {301, 302, 303}) {
+        const std::string name = "clip" + std::to_string(seed);
+        names.push_back(name);
+        PutRequest put = makePutRequest(name, seed);
+        put.key = old_key;
+        put.cipherMode = static_cast<u8>(CipherMode::CTR);
+        put.keyId = 1;
+        put.ivSeed = seed;
+        auto stored = r.put(put);
+        ASSERT_TRUE(stored.has_value());
+        ASSERT_EQ(stored->status, Status::Ok);
+
+        GetFramesRequest request;
+        request.name = name;
+        request.gop = 0;
+        request.key = old_key;
+        auto got = r.getFrames(request);
+        ASSERT_TRUE(got.has_value());
+        ASSERT_EQ(got->status, Status::Ok);
+        before[name] = got->i420;
+    }
+
+    // Rotate every shard to the new key epoch.
+    EncryptionConfig new_enc;
+    new_enc.mode = CipherMode::CTR;
+    new_enc.key = new_key;
+    new_enc.keyId = 2;
+    new_enc.masterIv[0] = 0x42;
+    u64 rekeyed = 0;
+    for (u32 i = 0; i < kShards; ++i) {
+        RekeyReport report = services_[i]->rekey(old_key, new_enc);
+        EXPECT_EQ(report.keyMismatches, 0u);
+        EXPECT_EQ(report.skipped, 0u);
+        rekeyed += report.videos;
+    }
+    EXPECT_EQ(rekeyed, names.size());
+
+    for (const std::string &name : names) {
+        // Routed read under the new key: byte-exact with the
+        // pre-rotation read — zero precise-data loss.
+        GetFramesRequest request;
+        request.name = name;
+        request.gop = 0;
+        request.key = new_key;
+        auto got = r.getFrames(request);
+        ASSERT_TRUE(got.has_value()) << name;
+        ASSERT_EQ(got->status, Status::Ok) << name;
+        EXPECT_EQ(got->i420, before.at(name)) << name;
+
+        // The stale key is refused, not garbled.
+        request.key = old_key;
+        auto stale = r.getFrames(request);
+        ASSERT_TRUE(stale.has_value());
+        EXPECT_EQ(stale->status, Status::KeyRequired);
+
+        // Injected routed reads stay bit-exact with a shard-local
+        // read at the same seed — inside the 0.1 dB parity bar.
+        request.key = new_key;
+        request.injectRawBer = 1e-3;
+        request.seed = 77;
+        request.conceal = true;
+        auto noisy = r.getFrames(request);
+        ASSERT_TRUE(noisy.has_value());
+        ASSERT_TRUE(noisy->status == Status::Ok ||
+                    noisy->status == Status::Partial);
+
+        ArchiveGetOptions local;
+        local.key = new_key;
+        local.injectRawBer = 1e-3;
+        local.seed = 77;
+        local.conceal = true;
+        ArchiveGetResult reference =
+            services_[r.ownerOf(name)]->get(name, local);
+        ASSERT_EQ(reference.error, ArchiveError::None);
+        auto ranges = gopRanges(reference.frameHeaders,
+                                reference.decoded.frames.size());
+        ASSERT_FALSE(ranges.empty());
+        EXPECT_EQ(noisy->i420,
+                  packFramesI420(reference.decoded,
+                                 ranges[0].firstFrame,
+                                 ranges[0].frameCount))
+            << name;
+    }
+}
+
 // --- scrub scheduler --------------------------------------------------
 
 TEST(ClusterScrub, BudgetedSchedulerDefersAndStaysUnderBudget)
@@ -646,6 +749,105 @@ TEST(ClusterScrub, BudgetedSchedulerDefersAndStaysUnderBudget)
     EXPECT_GT(scheduler.deferrals(), 0u);
     // Round-robin: the sweep keeps visiting every video.
     EXPECT_GE(scheduler.videosScrubbed(), names.size() * 2);
+    std::remove(path.c_str());
+}
+
+TEST(ClusterScrub, DeferredWorkIsChargedToTheIntervalThatRunsIt)
+{
+    std::string path = tempPath("scrub_carry");
+    std::remove(path.c_str());
+    ArchiveService service(path);
+    ASSERT_EQ(service.open(true), ArchiveError::None);
+    const std::vector<std::string> names = {"a", "b", "c", "d"};
+    for (std::size_t i = 0; i < names.size(); ++i)
+        ASSERT_EQ(service.put(names[i],
+                              makePrepared(520 + i), {}),
+                  ArchiveError::None);
+
+    ScrubOptions options;
+    options.ageRawBer = 1e-3;
+    options.seed = 11;
+    u64 total = 0, per_video_max = 0;
+    for (const std::string &name : names) {
+        ScrubReport report = service.scrubVideo(name, options);
+        ASSERT_GT(report.cells.bitsCorrected, 0u) << name;
+        total += report.cells.bitsCorrected;
+        per_video_max = std::max(per_video_max,
+                                 report.cells.bitsCorrected);
+    }
+
+    ScrubSchedulerConfig config;
+    config.ageRawBer = options.ageRawBer;
+    config.seed = options.seed;
+    config.correctionBudget = per_video_max + 1;
+    ASSERT_LT(config.correctionBudget, total);
+    ScrubScheduler scheduler(service, config);
+    const u64 hist_before =
+        telemetry::globalRegistry()
+            .histogram("cluster.scrub.interval_corrections")
+            .sum();
+
+    std::vector<std::string> visit_order;
+    scheduler.onScrubbed = [&](const std::string &name) {
+        visit_order.push_back(name);
+    };
+
+    u64 learning_sum = 0;
+    while (scheduler.videosScrubbed() < names.size()) {
+        const u64 before = scheduler.bitsCorrected();
+        scheduler.runInterval();
+        learning_sum += scheduler.bitsCorrected() - before;
+    }
+    const std::size_t learned = visit_order.size();
+
+    u64 interval_sum = 0;
+    for (int i = 0; i < 12; ++i) {
+        const u64 before = scheduler.bitsCorrected();
+        scheduler.runInterval();
+        const u64 delta = scheduler.bitsCorrected() - before;
+        interval_sum += delta;
+        // Attribution: an interval is charged only for work it ran,
+        // and what it runs never exceeds the budget by more than the
+        // single video that trips the predictive gate.
+        EXPECT_LE(delta, config.correctionBudget + per_video_max)
+            << "interval " << i;
+    }
+
+    // The per-interval deltas (and the interval histogram) tile the
+    // total exactly: nothing is retro-charged to an earlier interval
+    // or double-counted by the carry.
+    EXPECT_EQ(learning_sum + interval_sum, scheduler.bitsCorrected());
+    if (telemetry::kEnabled) {
+        EXPECT_EQ(telemetry::globalRegistry()
+                          .histogram(
+                              "cluster.scrub.interval_corrections")
+                          .sum() -
+                      hist_before,
+                  scheduler.bitsCorrected());
+    }
+
+    // The budget deferred work every steady-state interval, and the
+    // deferred videos really ran (and were charged) later.
+    EXPECT_GT(scheduler.deferrals(), 0u);
+    EXPECT_GT(scheduler.carriedCorrections(), 0u);
+    EXPECT_LE(scheduler.carriedCorrections(),
+              scheduler.bitsCorrected());
+
+    // A deferred video heads the next interval: the flattened visit
+    // order stays a strict round-robin rotation — every window of
+    // |names| consecutive visits covers |names| distinct videos, so
+    // no video is skipped or revisited early by the carry.
+    ASSERT_GE(visit_order.size(), learned + names.size());
+    for (std::size_t i = 0; i + names.size() <= visit_order.size();
+         ++i) {
+        std::set<std::string> window(
+            visit_order.begin() +
+                static_cast<std::ptrdiff_t>(i),
+            visit_order.begin() +
+                static_cast<std::ptrdiff_t>(i + names.size()));
+        EXPECT_EQ(window.size(), names.size())
+            << "window at " << i;
+    }
     std::remove(path.c_str());
 }
 

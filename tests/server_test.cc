@@ -1414,6 +1414,185 @@ TEST_F(ServerLoopback, ServerShutdownYieldsTypedConnectionClosed)
     EXPECT_EQ(c.lastError(), WireError::ConnectionClosed);
 }
 
+// --- importance-aware load shedding -----------------------------------
+
+/** Same loopback harness, separate suite name so the TSan job's
+ * "Shed" regex picks these up. */
+using ServerShed = ServerLoopback;
+
+TEST_F(ServerShed, QueuePressureDegradesOnlyTheOverloadedTail)
+{
+    VappServerConfig config;
+    config.queueCapacity = 4;
+    config.workers = 2;
+    config.shedThreshold = 1;
+    startServer(config);
+    for (u64 i = 0; i < 5; ++i)
+        ASSERT_EQ(service_->put("clip" + std::to_string(i),
+                                makePrepared(90 + i), {}),
+                  ArchiveError::None);
+
+    // Warm the cache for clip0 while the pool still drains.
+    VappClient warm = client();
+    GetFramesRequest request;
+    request.gop = 0;
+    request.conceal = true;
+    request.name = "clip0";
+    auto warmed = warm.getFrames(request);
+    ASSERT_TRUE(warmed.has_value());
+    ASSERT_EQ(warmed->status, Status::Ok);
+
+    // Freeze the drain so admissions stack up. Distinct names keep
+    // the requests out of single-flight coalescing (waiters do not
+    // consume queue slots). Admission depths run 0,1,2,3 — only the
+    // last one reaches 3/4 of capacity and is flagged for shedding.
+    server_->setDrainPaused(true);
+    std::vector<std::unique_ptr<VappClient>> clients;
+    for (int i = 1; i <= 4; ++i) {
+        request.name = "clip" + std::to_string(i);
+        clients.push_back(std::make_unique<VappClient>());
+        ASSERT_TRUE(
+            clients.back()->connect("127.0.0.1", server_->port()));
+        ASSERT_TRUE(clients.back()->send(
+            Opcode::GetFrames, serializeGetFramesRequest(request)));
+    }
+    auto wait_deadline = std::chrono::steady_clock::now() +
+                         std::chrono::seconds(10);
+    while (server_->queueDepth() < 4 &&
+           std::chrono::steady_clock::now() < wait_deadline)
+        std::this_thread::sleep_for(std::chrono::milliseconds(1));
+    ASSERT_EQ(server_->queueDepth(), 4u);
+
+    // Cache hits stay full-fidelity even under pressure: the hit is
+    // answered inline before the shed decision ever runs.
+    request.name = "clip0";
+    auto hit = warm.getFrames(request);
+    ASSERT_TRUE(hit.has_value());
+    EXPECT_EQ(hit->status, Status::Ok);
+    EXPECT_TRUE(hit->fromCache);
+
+    server_->setDrainPaused(false);
+    std::size_t ok = 0;
+    int degraded_clip = -1;
+    for (std::size_t i = 0; i < clients.size(); ++i) {
+        auto raw = clients[i]->receive();
+        ASSERT_TRUE(raw.has_value());
+        GetFramesResponse response;
+        ASSERT_TRUE(
+            parseGetFramesResponse(raw->payload, response));
+        if (response.status == Status::Degraded) {
+            degraded_clip = static_cast<int>(i) + 1;
+            // Fidelity loss is flagged and quantified.
+            EXPECT_GT(response.streamsShed, 0u);
+            EXPECT_GT(response.bytesShed, 0u);
+            EXPECT_GT(response.shedDbEst, 0.0);
+            EXPECT_FALSE(response.fromCache);
+            EXPECT_FALSE(response.i420.empty());
+        } else {
+            EXPECT_EQ(response.status, Status::Ok);
+            EXPECT_EQ(response.streamsShed, 0u);
+            ++ok;
+        }
+    }
+    EXPECT_EQ(ok, 3u);
+    ASSERT_NE(degraded_clip, -1);
+    EXPECT_EQ(server_->shedResponses(), 1u);
+
+    // A degraded answer must never seed the cache: the next read of
+    // that clip decodes fresh and comes back full-fidelity.
+    VappClient again = client();
+    request.name = "clip" + std::to_string(degraded_clip);
+    auto full = again.getFrames(request);
+    ASSERT_TRUE(full.has_value());
+    EXPECT_EQ(full->status, Status::Ok);
+    EXPECT_EQ(full->streamsShed, 0u);
+
+    // HEALTH surfaces both the knob and the running count.
+    auto health = again.health();
+    ASSERT_TRUE(health.has_value());
+    EXPECT_EQ(health->shedThreshold, 1u);
+    EXPECT_EQ(health->shedResponses, 1u);
+}
+
+TEST_F(ServerShed, DeadlineRiskShedsInsteadOfMissing)
+{
+    VappServerConfig config;
+    config.workers = 1;
+    config.shedThreshold = 1;
+    startServer(config);
+    ASSERT_EQ(service_->put("clip", makePrepared(96), {}),
+              ArchiveError::None);
+
+    // Hold the job queued past half its deadline (but well short of
+    // the whole deadline): the worker must choose degraded-on-time
+    // over full-fidelity-late.
+    server_->setDrainPaused(true);
+    VappClient c = client();
+    GetFramesRequest request;
+    request.name = "clip";
+    request.conceal = true;
+    request.deadlineMs = 3000;
+    ASSERT_TRUE(c.send(Opcode::GetFrames,
+                       serializeGetFramesRequest(request)));
+    std::this_thread::sleep_for(
+        std::chrono::milliseconds(1600));
+    server_->setDrainPaused(false);
+
+    auto raw = c.receive();
+    ASSERT_TRUE(raw.has_value());
+    GetFramesResponse response;
+    ASSERT_TRUE(parseGetFramesResponse(raw->payload, response));
+    EXPECT_EQ(response.status, Status::Degraded);
+    EXPECT_GT(response.streamsShed, 0u);
+
+    // The same deadline with an idle queue is met at full fidelity.
+    auto relaxed = c.getFrames(request);
+    ASSERT_TRUE(relaxed.has_value());
+    EXPECT_EQ(relaxed->status, Status::Ok);
+    EXPECT_EQ(relaxed->streamsShed, 0u);
+}
+
+TEST_F(ServerShed, DisabledThresholdNeverDegrades)
+{
+    VappServerConfig config;
+    config.queueCapacity = 4;
+    config.workers = 2;
+    startServer(config); // shedThreshold left 0
+    for (u64 i = 0; i < 4; ++i)
+        ASSERT_EQ(service_->put("clip" + std::to_string(i),
+                                makePrepared(120 + i), {}),
+                  ArchiveError::None);
+
+    server_->setDrainPaused(true);
+    std::vector<std::unique_ptr<VappClient>> clients;
+    for (int i = 0; i < 4; ++i) {
+        GetFramesRequest request;
+        request.name = "clip" + std::to_string(i);
+        clients.push_back(std::make_unique<VappClient>());
+        ASSERT_TRUE(
+            clients.back()->connect("127.0.0.1", server_->port()));
+        ASSERT_TRUE(clients.back()->send(
+            Opcode::GetFrames, serializeGetFramesRequest(request)));
+    }
+    auto wait_deadline = std::chrono::steady_clock::now() +
+                         std::chrono::seconds(10);
+    while (server_->queueDepth() < 4 &&
+           std::chrono::steady_clock::now() < wait_deadline)
+        std::this_thread::sleep_for(std::chrono::milliseconds(1));
+    server_->setDrainPaused(false);
+
+    for (auto &c : clients) {
+        auto raw = c->receive();
+        ASSERT_TRUE(raw.has_value());
+        GetFramesResponse response;
+        ASSERT_TRUE(
+            parseGetFramesResponse(raw->payload, response));
+        EXPECT_EQ(response.status, Status::Ok);
+        EXPECT_EQ(response.streamsShed, 0u);
+    }
+    EXPECT_EQ(server_->shedResponses(), 0u);
+}
+
 // --- concurrency ------------------------------------------------------
 
 TEST(ServerConcurrency, MixedLoopbackLoadLosesNothing)

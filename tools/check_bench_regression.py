@@ -129,6 +129,17 @@ EXTRA_ROW_SECTIONS = {
             ("gets_ok", "not_found", "responses_lost"),
             ("wall_s", "ops_per_s", "get_p50_us", "get_p99_us"),
         ),
+        # Shed rows are keyed by shed threshold (0 = off, 1 = on) in
+        # their "threads" field. Only the schedule-fixed totals are
+        # hard; the full/degraded fidelity split depends on queue
+        # timing under load and drifts with the runner, so it is
+        # checked like a timing.
+        "shed": (
+            ("answered", "responses_lost"),
+            ("wall_s", "ops_per_s", "get_p50_us", "get_p99_us",
+             "full_p99_us", "full_fidelity", "degraded",
+             "streams_shed"),
+        ),
     },
 }
 
@@ -140,7 +151,9 @@ CORRECTNESS_FLAGS = {
     "perf_server": ("responses_all_accounted", "wire_matches_local",
                     "cache_hit_skips_decode",
                     "backpressure_returns_retry",
-                    "coalescing_single_flight"),
+                    "coalescing_single_flight",
+                    "shed_disabled_never_degrades",
+                    "shed_under_pressure_degrades_tail"),
 }
 
 # Flags a bench only emits in some modes (perf_server --shards N):
