@@ -24,7 +24,13 @@
  *     not-found responses and lost responses (always 0 — an
  *     admitted request never loses its response), all derived from
  *     the fixed per-client schedule.
- *  5. five correctness flags: every request got a response
+ *  5. with --shards N --resize, a live-membership section: N shards
+ *     serving 4 concurrent routed readers while a new shard joins
+ *     and the migration engine moves records, followed by a
+ *     kill-and-rebuild of one shard. Three hard flags gate it: zero
+ *     lost or byte-mismatched videos, moved count equal to the ring
+ *     diff prediction, and a byte-exact rebuild.
+ *  6. five correctness flags: every request got a response
  *     (responses_all_accounted), wire GET frames are byte-identical
  *     to a local ArchiveService::get (wire_matches_local), a warm
  *     GET is served from the decoded-GOP cache without touching the
@@ -42,6 +48,7 @@
  */
 
 #include <algorithm>
+#include <atomic>
 #include <cerrno>
 #include <chrono>
 #include <cstdio>
@@ -57,6 +64,7 @@
 #include "cluster/cluster_node.h"
 #include "cluster/cluster_router.h"
 #include "cluster/scrub_scheduler.h"
+#include "rebalance/rebalance.h"
 #include "common/telemetry.h"
 #include "server/vapp_client.h"
 #include "server/vapp_server.h"
@@ -742,11 +750,12 @@ struct ShardSet
     std::vector<std::unique_ptr<VappServer>> servers;
     std::vector<ClusterShard> shards;
 
+    u32 replicas = 0;
+
     bool
     start(int count)
     {
-        const u32 replicas =
-            static_cast<u32>(std::min(2, count - 1));
+        replicas = static_cast<u32>(std::min(2, count - 1));
         for (int i = 0; i < count; ++i) {
             std::string path = scratchPath() + ".shard" +
                                std::to_string(count) + "_" +
@@ -777,13 +786,54 @@ struct ShardSet
         return true;
     }
 
+    /** Boot one more shard (id = current size) on a one-member
+     * ring; the membership manager splices it in. */
+    bool
+    addOne()
+    {
+        const u32 id = static_cast<u32>(services.size());
+        std::string path = scratchPath() + ".shard_join_" +
+                           std::to_string(id);
+        std::remove(path.c_str());
+        services.push_back(std::make_unique<ArchiveService>(path));
+        if (services.back()->open() != ArchiveError::None)
+            return false;
+        ClusterNodeConfig node;
+        node.selfId = id;
+        node.replicas = replicas;
+        nodes.push_back(std::make_unique<ClusterNode>(
+            *services.back(), node));
+        VappServerConfig config;
+        config.cluster = nodes.back().get();
+        servers.push_back(std::make_unique<VappServer>(
+            *services.back(), config));
+        if (!servers.back()->start())
+            return false;
+        ClusterShard address = {id, "127.0.0.1",
+                                servers.back()->port()};
+        shards.push_back(address);
+        nodes.back()->setTopology({address}, 1);
+        return true;
+    }
+
+    std::vector<ManagedShard>
+    managed(std::size_t count) const
+    {
+        std::vector<ManagedShard> out;
+        for (std::size_t i = 0; i < count && i < nodes.size(); ++i)
+            out.push_back({shards[i], nodes[i].get()});
+        return out;
+    }
+
     void
     stop()
     {
         for (auto &server : servers)
-            server->stop();
+            if (server)
+                server->stop();
         for (auto &service : services)
-            std::remove(service->path().c_str());
+            if (service)
+                std::remove(service->path().c_str());
     }
 };
 
@@ -1053,6 +1103,235 @@ runClusterSection(int shards, int ops, int videos,
     return true;
 }
 
+// --- resize mode (--shards N --resize) ---------------------------------
+
+struct ResizeResults
+{
+    int shardsAfter = 0;
+    int readers = 0;
+    double transitionWallS = 0;
+    u64 videosTotal = 0;
+    u64 videosMoved = 0;
+    u64 videosLost = 0;
+    u64 readsOk = 0;
+    u64 readGaps = 0;
+    /** Hard flags the CI gate keys on. */
+    bool noLostVideos = false;
+    bool movedMatchesRingDiff = false;
+    bool rebuildByteExact = false;
+};
+
+/**
+ * Live resize under load: N shards serving concurrent routed reads
+ * while a new shard joins and the migration engine moves records,
+ * then a kill-and-rebuild of one shard. Hard outcomes: zero lost or
+ * byte-mismatched videos, moved count equal to the ring diff, and a
+ * byte-exact rebuild.
+ */
+bool
+runResizeSection(int shards, int videos,
+                 const std::vector<PreparedVideo> &prepared,
+                 const std::vector<Video> &sources,
+                 ResizeResults &results)
+{
+    results.shardsAfter = shards + 1;
+    results.readers = 4;
+    results.videosTotal = static_cast<u64>(videos);
+    std::printf("\nresize mode (%d -> %d shards, %d readers):\n",
+                shards, shards + 1, results.readers);
+
+    ShardSet set;
+    if (!set.start(shards)) {
+        set.stop();
+        return false;
+    }
+    for (int i = 0; i < videos; ++i) {
+        const std::string name = benchVideoName(i);
+        const u32 owner = set.nodes[0]->ownerOf(name);
+        set.services[owner]->put(
+            name, prepared[static_cast<std::size_t>(i)], {});
+        set.nodes[owner]->replicateMeta(name);
+    }
+
+    // Reference bytes (GOP 0 of every video) pinned before any
+    // membership change; every later read must reproduce them.
+    std::vector<Bytes> refs(static_cast<std::size_t>(videos));
+    {
+        ClusterRouterConfig config;
+        config.seeds = set.shards;
+        ClusterRouter router(config);
+        for (int i = 0; i < videos; ++i) {
+            GetFramesRequest get;
+            get.name = benchVideoName(i);
+            auto r = router.getFrames(get);
+            if (!r || r->status != Status::Ok) {
+                set.stop();
+                return false;
+            }
+            refs[static_cast<std::size_t>(i)] = std::move(r->i420);
+        }
+    }
+
+    const std::vector<ClusterShard> seeds = set.shards;
+    if (!set.addOne()) {
+        set.stop();
+        return false;
+    }
+
+    std::atomic<bool> stop{false};
+    std::atomic<u64> reads_ok{0}, read_gaps{0}, mismatches{0};
+    std::vector<std::thread> readers;
+    for (int t = 0; t < results.readers; ++t)
+        readers.emplace_back([&, t] {
+            ClusterRouterConfig config;
+            config.seeds = seeds;
+            ClusterRouter router(config);
+            std::size_t turn = static_cast<std::size_t>(t);
+            while (!stop.load(std::memory_order_relaxed)) {
+                const std::size_t i =
+                    turn++ % static_cast<std::size_t>(videos);
+                GetFramesRequest get;
+                get.name = benchVideoName(i);
+                auto r = router.getFrames(get);
+                if (!r) {
+                    read_gaps.fetch_add(
+                        1, std::memory_order_relaxed);
+                    continue;
+                }
+                if (r->status != Status::Ok)
+                    continue;
+                if (r->i420 == refs[i])
+                    reads_ok.fetch_add(1,
+                                       std::memory_order_relaxed);
+                else
+                    mismatches.fetch_add(
+                        1, std::memory_order_relaxed);
+            }
+        });
+
+    RebalanceConfig rebalance;
+    rebalance.replicas = set.replicas;
+    MembershipManager manager(
+        set.managed(static_cast<std::size_t>(shards)), 1,
+        rebalance);
+    double t0 = now();
+    MigrationReport report = manager.addShard(
+        {set.shards[static_cast<std::size_t>(shards)],
+         set.nodes[static_cast<std::size_t>(shards)].get()});
+    results.transitionWallS = now() - t0;
+    stop.store(true, std::memory_order_relaxed);
+    for (std::thread &t : readers)
+        t.join();
+
+    results.videosMoved =
+        report.movedRecords + report.skippedRecords;
+    results.readsOk = reads_ok.load();
+    results.readGaps = read_gaps.load();
+    results.movedMatchesRingDiff =
+        report.ok() && report.plannedMoves == report.predictedMoves &&
+        results.videosMoved == report.plannedMoves;
+
+    // Quiesced verification: every video present and byte-exact
+    // through a fresh router over the grown ring.
+    u64 lost = mismatches.load();
+    {
+        ClusterRouterConfig config;
+        config.seeds = set.shards;
+        ClusterRouter router(config);
+        for (int i = 0; i < videos; ++i) {
+            GetFramesRequest get;
+            get.name = benchVideoName(i);
+            auto r = router.getFrames(get);
+            if (!r || r->status != Status::Ok ||
+                r->i420 != refs[static_cast<std::size_t>(i)])
+                ++lost;
+        }
+    }
+    results.videosLost = lost;
+    results.noLostVideos = lost == 0;
+
+    // Kill-and-rebuild: lose one shard's archive outright, boot a
+    // replacement under the same id, and re-populate it from the
+    // surviving replicas + re-encoded origins.
+    const u32 victim = set.nodes.back()->ownerOf(benchVideoName(0));
+    set.servers[victim]->stop();
+    set.servers[victim].reset();
+    set.nodes[victim].reset();
+    std::string lost_path = set.services[victim]->path();
+    set.services[victim].reset();
+    std::remove(lost_path.c_str());
+
+    std::string fresh_path = scratchPath() + ".shard_rebuild";
+    std::remove(fresh_path.c_str());
+    set.services[victim] =
+        std::make_unique<ArchiveService>(fresh_path);
+    bool rebuild_ok =
+        set.services[victim]->open() == ArchiveError::None;
+    if (rebuild_ok) {
+        ClusterNodeConfig node;
+        node.selfId = victim;
+        node.replicas = set.replicas;
+        set.nodes[victim] = std::make_unique<ClusterNode>(
+            *set.services[victim], node);
+        VappServerConfig config;
+        config.cluster = set.nodes[victim].get();
+        set.servers[victim] = std::make_unique<VappServer>(
+            *set.services[victim], config);
+        rebuild_ok = set.servers[victim]->start();
+    }
+    if (rebuild_ok) {
+        set.shards[victim] = {victim, "127.0.0.1",
+                              set.servers[victim]->port()};
+        set.nodes[victim]->setTopology({set.shards[victim]}, 1);
+        RebuildReport rebuilt = manager.rebuildShard(
+            {set.shards[victim], set.nodes[victim].get()},
+            [&](const std::string &name, Video &video, Bytes &) {
+                for (int i = 0; i < videos; ++i)
+                    if (name == benchVideoName(i)) {
+                        video =
+                            sources[static_cast<std::size_t>(i)];
+                        return true;
+                    }
+                return false;
+            });
+        rebuild_ok = rebuilt.ok();
+        if (rebuild_ok) {
+            ClusterRouterConfig config;
+            config.seeds = set.shards;
+            ClusterRouter router(config);
+            for (int i = 0; i < videos && rebuild_ok; ++i) {
+                GetFramesRequest get;
+                get.name = benchVideoName(i);
+                auto r = router.getFrames(get);
+                rebuild_ok =
+                    r && r->status == Status::Ok &&
+                    r->i420 == refs[static_cast<std::size_t>(i)];
+            }
+        }
+    }
+    results.rebuildByteExact = rebuild_ok;
+    set.stop();
+
+    std::printf("%-8s %9s %8s %7s %6s %9s %9s\n", "shards",
+                "wall (s)", "videos", "moved", "lost", "reads ok",
+                "gaps");
+    std::printf(
+        "%-8d %9.3f %8llu %7llu %6llu %9llu %9llu\n",
+        results.shardsAfter, results.transitionWallS,
+        static_cast<unsigned long long>(results.videosTotal),
+        static_cast<unsigned long long>(results.videosMoved),
+        static_cast<unsigned long long>(results.videosLost),
+        static_cast<unsigned long long>(results.readsOk),
+        static_cast<unsigned long long>(results.readGaps));
+    std::printf("no lost or mismatched videos: %s\n",
+                results.noLostVideos ? "yes" : "NO (BUG)");
+    std::printf("moved == ring diff prediction: %s\n",
+                results.movedMatchesRingDiff ? "yes" : "NO (BUG)");
+    std::printf("killed shard rebuilt byte-exact: %s\n",
+                results.rebuildByteExact ? "yes" : "NO (BUG)");
+    return true;
+}
+
 std::string
 outputPath()
 {
@@ -1092,7 +1371,8 @@ writeJson(const BenchConfig &config,
           bool all_accounted, bool wire_matches_local,
           bool cache_hit_skips_decode, bool backpressure_retry,
           bool coalescing_single_flight, bool shed_disabled_clean,
-          bool shed_pressure_ok, const ClusterResults *cluster)
+          bool shed_pressure_ok, const ClusterResults *cluster,
+          const ResizeResults *resize)
 {
     const std::string path = outputPath();
     std::FILE *f = std::fopen(path.c_str(), "w");
@@ -1182,6 +1462,34 @@ writeJson(const BenchConfig &config,
                      cluster->scrubBudgetRespected ? "true"
                                                    : "false");
     }
+    if (resize != nullptr) {
+        // The resize row is keyed by the post-transition shard
+        // count in its "threads" field (the regression checker's
+        // row key); video totals are schedule-fixed and hard, the
+        // concurrent read tallies drift with the runner.
+        std::fprintf(
+            f,
+            "  \"resize\": [\n"
+            "    {\"threads\": %d, \"conns\": %d, "
+            "\"wall_s\": %.6f, \"videos_total\": %llu, "
+            "\"videos_moved\": %llu, \"videos_lost\": %llu, "
+            "\"reads_ok\": %llu, \"read_gaps\": %llu}\n  ],\n",
+            resize->shardsAfter, resize->readers,
+            resize->transitionWallS,
+            static_cast<unsigned long long>(resize->videosTotal),
+            static_cast<unsigned long long>(resize->videosMoved),
+            static_cast<unsigned long long>(resize->videosLost),
+            static_cast<unsigned long long>(resize->readsOk),
+            static_cast<unsigned long long>(resize->readGaps));
+        std::fprintf(f, "  \"resize_no_lost_videos\": %s,\n",
+                     resize->noLostVideos ? "true" : "false");
+        std::fprintf(f,
+                     "  \"resize_moved_matches_ring_diff\": %s,\n",
+                     resize->movedMatchesRingDiff ? "true"
+                                                  : "false");
+        std::fprintf(f, "  \"resize_rebuild_byte_exact\": %s,\n",
+                     resize->rebuildByteExact ? "true" : "false");
+    }
     std::fprintf(f, "  \"responses_all_accounted\": %s,\n",
                  all_accounted ? "true" : "false");
     std::fprintf(f, "  \"wire_matches_local\": %s,\n",
@@ -1204,7 +1512,7 @@ writeJson(const BenchConfig &config,
 }
 
 bool
-run(const BenchConfig &config, int shards)
+run(const BenchConfig &config, int shards, bool resize)
 {
     telemetry::globalRegistry().resetAll();
 
@@ -1386,17 +1694,30 @@ run(const BenchConfig &config, int shards)
                          cluster.scrubBudgetRespected;
     }
 
+    ResizeResults resize_results;
+    bool resize_ok = true;
+    if (resize && shards > 1) {
+        resize_ok = runResizeSection(shards, videos, prepared,
+                                     sources, resize_results);
+        if (resize_ok)
+            resize_ok = resize_results.noLostVideos &&
+                        resize_results.movedMatchesRingDiff &&
+                        resize_results.rebuildByteExact;
+    }
+
     if (!writeJson(config, points, skewed, shed_points,
                    shed_p99_speedup, ops, all_accounted,
                    wire_matches_local, cache_hit, backpressure,
                    coalescing, shed_disabled_clean, shed_pressure_ok,
                    shards > 1 && !cluster.points.empty() ? &cluster
-                                                         : nullptr))
+                                                         : nullptr,
+                   resize && shards > 1 ? &resize_results
+                                        : nullptr))
         return false;
     std::printf("wrote %s\n", outputPath().c_str());
     return all_accounted && wire_matches_local && cache_hit &&
            backpressure && coalescing && shed_disabled_clean &&
-           shed_pressure_ok && cluster_ok;
+           shed_pressure_ok && cluster_ok && resize_ok;
 }
 
 } // namespace
@@ -1407,12 +1728,16 @@ main(int argc, char **argv)
 {
     using namespace videoapp;
     int shards = 1;
+    bool resize = false;
     for (int i = 1; i < argc; ++i) {
         if (std::strcmp(argv[i], "--shards") == 0 && i + 1 < argc) {
             shards = std::atoi(argv[++i]);
+        } else if (std::strcmp(argv[i], "--resize") == 0) {
+            resize = true;
         } else {
-            std::fprintf(stderr,
-                         "usage: perf_server [--shards N]\n");
+            std::fprintf(
+                stderr,
+                "usage: perf_server [--shards N] [--resize]\n");
             return 2;
         }
     }
@@ -1420,8 +1745,13 @@ main(int argc, char **argv)
         std::fprintf(stderr, "error: --shards wants N >= 1\n");
         return 2;
     }
+    if (resize && shards < 2) {
+        std::fprintf(stderr,
+                     "error: --resize wants --shards N >= 2\n");
+        return 2;
+    }
     BenchConfig config = BenchConfig::fromEnv();
     printBenchBanner(
         "perf: VAPP store server (loopback load)", config);
-    return run(config, shards) ? 0 : 1;
+    return run(config, shards, resize) ? 0 : 1;
 }

@@ -42,6 +42,25 @@
  *     (<seeds> is host:port[,host:port...] of any live shards; the
  *     router learns the full ring via CLUSTER_INFO)
  *
+ * Membership commands (rebalance tier, src/rebalance/): each boots
+ * the named archives as an in-process cluster on ephemeral ports,
+ * runs one epoch-versioned transition with records moving over the
+ * live wire (CELL_PULL/CELL_PUSH), then flushes every archive:
+ *   cluster add <new.vapp> <a1.vapp> [...]   ADD_SHARD: the new
+ *     archive joins as the next shard id; ~1/N of the names
+ *     migrate onto it
+ *   cluster remove <shard-id> <a1.vapp> [...]  REMOVE_SHARD: drain
+ *     the shard's records to their new owners, then drop it
+ *   cluster rebuild <shard-id> <new.vapp> <srcdir> <w> <h>
+ *     <a1.vapp> [...]  REBUILD_SHARD: the shard's archive is lost;
+ *     re-populate <new.vapp> from surviving metadata replicas,
+ *     re-encoding <srcdir>/<name>.yuv (WxH I420) under each
+ *     record's stored crypto/policy (--key for encrypted records)
+ *
+ * `archive keycheck <a.vapp>` scans for retired key epochs after a
+ * rotation (--key-id pins the expected epoch; exit 2 when stale or
+ * inconsistent records remain).
+ *
  * Common options: --crf N, --gop N, --bframes N, --slices N,
  * --cavlc, --no-deblock, --raw-ber X, --seed N, --conceal.
  * Archive options: --key HEX (AES key: encrypts on put, decrypts on
@@ -71,6 +90,7 @@
 #include "cluster/cluster_node.h"
 #include "cluster/cluster_router.h"
 #include "cluster/scrub_scheduler.h"
+#include "rebalance/rebalance.h"
 #include "core/pipeline.h"
 #include "quality/metrics.h"
 #include "server/vapp_client.h"
@@ -123,6 +143,7 @@ usage()
         "  archive scrub <a.vapp>\n"
         "  archive stat  <a.vapp>\n"
         "  archive rekey <a.vapp>\n"
+        "  archive keycheck <a.vapp>\n"
         "  serve <a.vapp>\n"
         "  remote get    <host:port> <name> <gop> <out.yuv>\n"
         "  remote put    <host:port> <name> <in.yuv> <w> <h>\n"
@@ -133,6 +154,10 @@ usage()
         "  cluster get   <seeds> <name> <gop> <out.yuv>\n"
         "  cluster put   <seeds> <name> <in.yuv> <w> <h>\n"
         "  cluster stat  <seeds>\n"
+        "  cluster add     <new.vapp> <a1.vapp> [a2.vapp ...]\n"
+        "  cluster remove  <shard-id> <a1.vapp> [a2.vapp ...]\n"
+        "  cluster rebuild <shard-id> <new.vapp> <srcdir> <w> <h>\n"
+        "                  <a1.vapp> [a2.vapp ...]\n"
         "    (<seeds> = host:port[,host:port...])\n"
         "options: --crf N --gop N --bframes N --slices N --cavlc\n"
         "         --no-deblock --raw-ber X --seed N --conceal\n"
@@ -607,6 +632,35 @@ cmdArchiveStat(const std::string &archive)
     }
     std::printf("%zu video(s)\n", service.videoCount());
     return 0;
+}
+
+int
+cmdArchiveKeycheck(const std::string &archive,
+                   const CliOptions &opts)
+{
+    ArchiveService service(archive);
+    if (!openOrComplain(service, false))
+        return 1;
+    // --key-id pins the expected epoch; 0 (the default) takes the
+    // newest key-id observed across the archive.
+    KeyEpochReport report = service.verifyKeyEpochs(opts.keyId);
+    std::printf("%llu video(s), %llu encrypted, newest key-id %u\n",
+                static_cast<unsigned long long>(report.videos),
+                static_cast<unsigned long long>(report.encrypted),
+                report.newestKeyId);
+    for (const std::string &name : report.staleNames)
+        std::printf("  stale key epoch: %s\n", name.c_str());
+    for (const std::string &name : report.inconsistentNames)
+        std::printf("  crypto/policy key-id mismatch: %s\n",
+                    name.c_str());
+    if (report.clean()) {
+        std::printf("key epochs clean\n");
+        return 0;
+    }
+    std::printf("%zu stale, %zu inconsistent\n",
+                report.staleNames.size(),
+                report.inconsistentNames.size());
+    return 2;
 }
 
 volatile std::sig_atomic_t g_serve_stop = 0;
@@ -1154,6 +1208,202 @@ cmdClusterStat(const std::string &seeds, const CliOptions &opts)
     return 0;
 }
 
+/** One in-process shard booted for a membership transition. */
+struct LiveShard
+{
+    std::unique_ptr<ArchiveService> service;
+    std::unique_ptr<ClusterNode> node;
+    std::unique_ptr<VappServer> server;
+    ClusterShard address;
+};
+
+/** Boot @p archive as shard @p id on an ephemeral port (transition
+ * runs are transient; topology is installed afterwards). */
+bool
+bootShard(const std::string &archive, u32 id, const CliOptions &opts,
+          bool create, LiveShard &out)
+{
+    out.service = std::make_unique<ArchiveService>(archive);
+    if (!openOrComplain(*out.service, create))
+        return false;
+    ClusterNodeConfig node;
+    node.selfId = id;
+    node.replicas = opts.replicas;
+    node.vnodes = opts.vnodes;
+    out.node = std::make_unique<ClusterNode>(*out.service, node);
+    VappServerConfig config;
+    config.port = 0;
+    config.workers = opts.workers;
+    config.queueCapacity = opts.queueCapacity;
+    config.cacheBytes = opts.cacheMb << 20;
+    config.cluster = out.node.get();
+    out.server =
+        std::make_unique<VappServer>(*out.service, config);
+    if (!out.server->start()) {
+        std::fprintf(stderr, "error: cannot start shard %u: %s\n",
+                     id, std::strerror(errno));
+        return false;
+    }
+    out.address = {id, "127.0.0.1", out.server->port()};
+    return true;
+}
+
+/** Stop every server, then flush every archive. */
+int
+settleShards(std::vector<LiveShard> &shards)
+{
+    for (LiveShard &s : shards)
+        s.server->stop();
+    int status = 0;
+    for (LiveShard &s : shards) {
+        ArchiveError err = s.service->flush();
+        if (err != ArchiveError::None) {
+            std::fprintf(stderr, "error: cannot write '%s': %s\n",
+                         s.service->path().c_str(),
+                         archiveErrorName(err));
+            status = 1;
+        }
+    }
+    return status;
+}
+
+void
+printMigrationReport(const char *verb, const MigrationReport &r)
+{
+    std::printf("%s: ring epoch %llu -> %llu\n", verb,
+                static_cast<unsigned long long>(r.fromEpoch),
+                static_cast<unsigned long long>(r.toEpoch));
+    std::printf("  ring diff predicted %zu move(s), planned %zu\n",
+                r.predictedMoves, r.plannedMoves);
+    std::printf("  moved %zu, already settled %zu, failed %zu, "
+                "source copies erased %zu\n",
+                r.movedRecords, r.skippedRecords, r.failedRecords,
+                r.erasedAtSource);
+}
+
+int
+cmdClusterAdd(const std::vector<std::string> &archives,
+              const std::string &joining, const CliOptions &opts)
+{
+    std::vector<LiveShard> shards(archives.size() + 1);
+    for (std::size_t i = 0; i < archives.size(); ++i)
+        if (!bootShard(archives[i], static_cast<u32>(i), opts,
+                       false, shards[i]))
+            return 1;
+    const u32 new_id = static_cast<u32>(archives.size());
+    if (!bootShard(joining, new_id, opts, true, shards[new_id]))
+        return 1;
+
+    std::vector<ClusterShard> initial;
+    std::vector<ManagedShard> managed;
+    for (std::size_t i = 0; i < archives.size(); ++i) {
+        initial.push_back(shards[i].address);
+        managed.push_back({shards[i].address, shards[i].node.get()});
+    }
+    for (std::size_t i = 0; i < archives.size(); ++i)
+        shards[i].node->setTopology(initial, 1);
+    shards[new_id].node->setTopology({shards[new_id].address}, 1);
+
+    RebalanceConfig config;
+    config.vnodes = opts.vnodes;
+    config.replicas = opts.replicas;
+    MembershipManager manager(managed, 1, config);
+    MigrationReport report = manager.addShard(
+        {shards[new_id].address, shards[new_id].node.get()});
+    printMigrationReport("ADD_SHARD", report);
+    int status = settleShards(shards);
+    return report.ok() ? status : 1;
+}
+
+int
+cmdClusterRemove(const std::vector<std::string> &archives,
+                 u32 victim, const CliOptions &opts)
+{
+    if (victim >= archives.size()) {
+        std::fprintf(stderr, "error: no shard %u in a %zu-shard "
+                             "cluster\n",
+                     victim, archives.size());
+        return 1;
+    }
+    std::vector<LiveShard> shards(archives.size());
+    std::vector<ClusterShard> initial;
+    std::vector<ManagedShard> managed;
+    for (std::size_t i = 0; i < archives.size(); ++i) {
+        if (!bootShard(archives[i], static_cast<u32>(i), opts,
+                       false, shards[i]))
+            return 1;
+        initial.push_back(shards[i].address);
+        managed.push_back({shards[i].address, shards[i].node.get()});
+    }
+    for (LiveShard &s : shards)
+        s.node->setTopology(initial, 1);
+
+    RebalanceConfig config;
+    config.vnodes = opts.vnodes;
+    config.replicas = opts.replicas;
+    MembershipManager manager(managed, 1, config);
+    MigrationReport report = manager.removeShard(victim);
+    printMigrationReport("REMOVE_SHARD", report);
+    int status = settleShards(shards);
+    return report.ok() ? status : 1;
+}
+
+int
+cmdClusterRebuild(const std::vector<std::string> &archives,
+                  u32 victim, const std::string &replacement,
+                  const std::string &srcdir, int w, int h,
+                  const CliOptions &opts)
+{
+    if (victim >= archives.size()) {
+        std::fprintf(stderr, "error: no shard %u in a %zu-shard "
+                             "cluster\n",
+                     victim, archives.size());
+        return 1;
+    }
+    std::vector<LiveShard> shards(archives.size());
+    std::vector<ClusterShard> initial;
+    std::vector<ManagedShard> managed;
+    for (std::size_t i = 0; i < archives.size(); ++i) {
+        // The victim's archive is lost: its replacement path boots
+        // empty and is re-populated from replicas + origin videos.
+        const bool is_victim = i == victim;
+        if (!bootShard(is_victim ? replacement : archives[i],
+                       static_cast<u32>(i), opts, is_victim,
+                       shards[i]))
+            return 1;
+        initial.push_back(shards[i].address);
+        managed.push_back({shards[i].address, shards[i].node.get()});
+    }
+    for (LiveShard &s : shards)
+        s.node->setTopology(initial, 1);
+
+    RebalanceConfig config;
+    config.vnodes = opts.vnodes;
+    config.replicas = opts.replicas;
+    MembershipManager manager(managed, 1, config);
+    RebuildOriginFn origin = [&](const std::string &name,
+                                 Video &video, Bytes &key) {
+        video = loadI420(srcdir + "/" + name + ".yuv", w, h);
+        if (video.frames.empty())
+            return false;
+        key = opts.key;
+        return true;
+    };
+    RebuildReport report =
+        manager.rebuildShard(managed[victim], origin);
+    std::printf("REBUILD_SHARD %u: ring epoch -> %llu\n", victim,
+                static_cast<unsigned long long>(report.toEpoch));
+    std::printf("  %zu name(s) from surviving replicas: rebuilt "
+                "%zu, failed %zu\n",
+                report.names, report.rebuilt, report.failed);
+    std::printf("  precise meta byte-exact %zu; cells: %zu "
+                "stream(s) CRC-verified, %zu mismatched\n",
+                report.metaRepaired, report.streamsCrcVerified,
+                report.streamsCrcMismatched);
+    int status = settleShards(shards);
+    return report.ok() ? status : 1;
+}
+
 int
 cmdCluster(int argc, char **argv, CliOptions &opts)
 {
@@ -1189,6 +1439,37 @@ cmdCluster(int argc, char **argv, CliOptions &opts)
         if (!parseOptions(argc, argv, 4, opts))
             return 1;
         return cmdClusterStat(argv[3], opts);
+    }
+    if (sub == "add" && argc >= 5) {
+        std::vector<std::string> archives;
+        int i = 4;
+        for (; i < argc && std::strncmp(argv[i], "--", 2) != 0; ++i)
+            archives.push_back(argv[i]);
+        if (archives.empty() || !parseOptions(argc, argv, i, opts))
+            return 1;
+        return cmdClusterAdd(archives, argv[3], opts);
+    }
+    if (sub == "remove" && argc >= 5) {
+        std::vector<std::string> archives;
+        int i = 4;
+        for (; i < argc && std::strncmp(argv[i], "--", 2) != 0; ++i)
+            archives.push_back(argv[i]);
+        if (archives.empty() || !parseOptions(argc, argv, i, opts))
+            return 1;
+        return cmdClusterRemove(
+            archives, static_cast<u32>(std::atoi(argv[3])), opts);
+    }
+    if (sub == "rebuild" && argc >= 9) {
+        std::vector<std::string> archives;
+        int i = 8;
+        for (; i < argc && std::strncmp(argv[i], "--", 2) != 0; ++i)
+            archives.push_back(argv[i]);
+        if (archives.empty() || !parseOptions(argc, argv, i, opts))
+            return 1;
+        return cmdClusterRebuild(
+            archives, static_cast<u32>(std::atoi(argv[3])),
+            argv[4], argv[5], std::atoi(argv[6]),
+            std::atoi(argv[7]), opts);
     }
     usage();
     return 1;
@@ -1261,6 +1542,11 @@ cmdArchive(int argc, char **argv, CliOptions &opts)
         if (!parseOptions(argc, argv, 4, opts))
             return 1;
         return cmdArchiveRekey(argv[3], opts);
+    }
+    if (sub == "keycheck" && argc >= 4) {
+        if (!parseOptions(argc, argv, 4, opts))
+            return 1;
+        return cmdArchiveKeycheck(argv[3], opts);
     }
     usage();
     return 1;

@@ -1,5 +1,6 @@
 #include "archive/archive_service.h"
 
+#include <algorithm>
 #include <fstream>
 #include <functional>
 #include <memory>
@@ -128,6 +129,13 @@ ArchiveService::open(bool create_if_missing)
     metaCrc_.clear();
     for (const auto &[name, record] : archive_.videos)
         metaCrc_[name] = crc32(serializeRecordMeta(record));
+    {
+        // Held replica blobs live in replicaMeta_ while the service
+        // runs; the archive's copy is only their durable image.
+        std::lock_guard replicas(replicaMutex_);
+        replicaMeta_ = std::move(archive_.replicas);
+        archive_.replicas.clear();
+    }
     VA_TELEM_COUNT("archive.opens", 1);
     return ArchiveError::None;
 }
@@ -140,6 +148,11 @@ ArchiveService::flush()
     // least a shared directory lock, so this alone quiesces the
     // archive for a consistent snapshot.
     std::unique_lock dir(dirMutex_);
+    {
+        // Same dir -> replica lock order as remove().
+        std::lock_guard replicas(replicaMutex_);
+        archive_.replicas = replicaMeta_;
+    }
     ArchiveError err = writeArchive(archive_, path_);
     if (err == ArchiveError::None)
         VA_TELEM_COUNT("archive.flushes", 1);
@@ -700,6 +713,198 @@ ArchiveService::damageMetaForTest(const std::string &name)
     for (StreamRecord &s : it->second.streams)
         s.bitLength ^= 1;
     return true;
+}
+
+// --- record migration (rebalance tier) ---------------------------------
+
+namespace {
+
+void
+appendBe32(Bytes &out, u32 v)
+{
+    out.push_back(static_cast<u8>(v >> 24));
+    out.push_back(static_cast<u8>(v >> 16));
+    out.push_back(static_cast<u8>(v >> 8));
+    out.push_back(static_cast<u8>(v));
+}
+
+u32
+readBe32(const u8 *p)
+{
+    return static_cast<u32>(p[0]) << 24 |
+           static_cast<u32>(p[1]) << 16 |
+           static_cast<u32>(p[2]) << 8 | static_cast<u32>(p[3]);
+}
+
+} // namespace
+
+bool
+ArchiveService::contains(const std::string &name) const
+{
+    std::shared_lock dir(dirMutex_);
+    return archive_.videos.find(name) != archive_.videos.end();
+}
+
+Bytes
+ArchiveService::exportRecord(const std::string &name) const
+{
+    VA_TELEM_LATENCY("archive.export_record");
+    std::shared_lock dir(dirMutex_);
+    auto it = archive_.videos.find(name);
+    if (it == archive_.videos.end())
+        return {};
+    std::lock_guard shard(shardFor(name));
+    const VideoRecord &record = it->second;
+    Bytes meta = serializeRecordMeta(record);
+    std::size_t cells = 0;
+    for (const StreamRecord &s : record.streams)
+        cells += s.image.cells.size();
+    Bytes out;
+    out.reserve(4 + meta.size() + cells);
+    appendBe32(out, static_cast<u32>(meta.size()));
+    out.insert(out.end(), meta.begin(), meta.end());
+    for (const StreamRecord &s : record.streams)
+        out.insert(out.end(), s.image.cells.begin(),
+                   s.image.cells.end());
+    VA_TELEM_COUNT("archive.record_exports", 1);
+    return out;
+}
+
+ArchiveError
+ArchiveService::adoptRecord(const std::string &name,
+                            const Bytes &blob, bool overwrite,
+                            bool *adopted)
+{
+    VA_TELEM_LATENCY("archive.adopt_record");
+    if (adopted != nullptr)
+        *adopted = false;
+    if (name.empty() || blob.size() < 4)
+        return ArchiveError::Malformed;
+    const u32 meta_len = readBe32(blob.data());
+    if (static_cast<u64>(meta_len) + 4 > blob.size())
+        return ArchiveError::Malformed;
+    Bytes meta(blob.begin() + 4, blob.begin() + 4 + meta_len);
+    RecordMeta parsed;
+    if (parseRecordMeta(meta, parsed, kReplicaPayloadBound) !=
+        ArchiveError::None)
+        return ArchiveError::Malformed;
+
+    // The cell region must match the per-stream shapes exactly: a
+    // short or padded blob belongs to some other record.
+    u64 cells_total = 0;
+    for (const StreamMeta &m : parsed.streams)
+        cells_total += m.cellLength;
+    if (cells_total != blob.size() - 4 - meta_len)
+        return ArchiveError::Malformed;
+
+    VideoRecord record;
+    record.layout = std::move(parsed.layout);
+    record.crypto = parsed.crypto;
+    record.policy = parsed.policy;
+    record.streams.reserve(parsed.streams.size());
+    std::size_t off = 4 + meta_len;
+    for (const StreamMeta &m : parsed.streams) {
+        StreamRecord s;
+        s.schemeT = m.schemeT;
+        s.bitLength = m.bitLength;
+        s.trueBytes = m.trueBytes;
+        s.cellsCrc = m.cellsCrc;
+        s.image.schemeT = m.schemeT;
+        s.image.payloadBytes = m.payloadBytes;
+        s.image.cells.assign(
+            blob.begin() + static_cast<std::ptrdiff_t>(off),
+            blob.begin() +
+                static_cast<std::ptrdiff_t>(off + m.cellLength));
+        off += static_cast<std::size_t>(m.cellLength);
+        record.streams.push_back(std::move(s));
+    }
+
+    std::unique_lock dir(dirMutex_);
+    if (!overwrite &&
+        archive_.videos.find(name) != archive_.videos.end()) {
+        VA_TELEM_COUNT("archive.record_adopt_skipped", 1);
+        return ArchiveError::None;
+    }
+    archive_.videos[name] = std::move(record);
+    metaCrc_[name] = crc32(meta);
+    if (adopted != nullptr)
+        *adopted = true;
+    VA_TELEM_COUNT("archive.record_adopts", 1);
+    return ArchiveError::None;
+}
+
+std::vector<std::string>
+ArchiveService::replicaNames() const
+{
+    std::lock_guard replicas(replicaMutex_);
+    std::vector<std::string> names;
+    names.reserve(replicaMeta_.size());
+    for (const auto &[name, meta] : replicaMeta_)
+        names.push_back(name);
+    return names;
+}
+
+ArchiveGetResult
+ArchiveService::getFromReplica(const std::string &name) const
+{
+    VA_TELEM_LATENCY("archive.replica_get");
+    ArchiveGetResult result;
+    Bytes blob = replicaMeta(name);
+    if (blob.empty()) {
+        result.error = ArchiveError::NotFound;
+        return result;
+    }
+    RecordMeta parsed;
+    if (parseRecordMeta(blob, parsed, kReplicaPayloadBound) !=
+        ArchiveError::None) {
+        result.error = ArchiveError::Malformed;
+        return result;
+    }
+    // Every stream zero-filled at its true length: the merge only
+    // needs placement, and the concealing decoder treats the missing
+    // content as damage. The whole video counts as shed.
+    for (const StreamMeta &m : parsed.streams) {
+        result.streams.data[m.schemeT] =
+            Bytes(static_cast<std::size_t>(m.trueBytes), 0);
+        result.streams.bitLength[m.schemeT] = m.bitLength;
+        ++result.streamsShed;
+        result.bytesShed += m.payloadBytes;
+    }
+    DecodeOptions decode;
+    decode.concealErrors = true;
+    result.decoded = decodeStreams(parsed.layout, result.streams,
+                                   decode);
+    result.frameHeaders = std::move(parsed.layout.frameHeaders);
+    VA_TELEM_COUNT("archive.replica_gets", 1);
+    return result;
+}
+
+KeyEpochReport
+ArchiveService::verifyKeyEpochs(u32 expected_key_id) const
+{
+    VA_TELEM_LATENCY("archive.verify_key_epochs");
+    KeyEpochReport report;
+    std::shared_lock dir(dirMutex_);
+    for (const auto &[name, record] : archive_.videos) {
+        ++report.videos;
+        if (!record.crypto)
+            continue;
+        ++report.encrypted;
+        report.newestKeyId =
+            std::max(report.newestKeyId, record.crypto->keyId);
+        if (record.policy && record.policy->anyEncrypted() &&
+            record.policy->keyId != record.crypto->keyId)
+            report.inconsistentNames.push_back(name);
+    }
+    const u32 expected = expected_key_id != 0 ? expected_key_id
+                                              : report.newestKeyId;
+    for (const auto &[name, record] : archive_.videos)
+        if (record.crypto && record.crypto->keyId < expected)
+            report.staleNames.push_back(name);
+    if (!report.staleNames.empty())
+        VA_TELEM_COUNT("archive.key_epoch_stale",
+                       report.staleNames.size());
+    return report;
 }
 
 std::vector<std::string>

@@ -124,6 +124,30 @@ struct RekeyReport
     u64 skipped = 0;
 };
 
+/** Tally of one key-epoch GC scan (see verifyKeyEpochs). */
+struct KeyEpochReport
+{
+    /** Records scanned. */
+    u64 videos = 0;
+    /** Records carrying crypto metadata. */
+    u64 encrypted = 0;
+    /** Highest key-id referenced by any record (the live epoch). */
+    u32 newestKeyId = 0;
+    /** Encrypted records still referencing a key-id older than the
+     * expected one — retired epochs a completed rekey should have
+     * erased. */
+    std::vector<std::string> staleNames;
+    /** Records whose crypto key-id and policy key-id disagree (a
+     * half-applied rotation). */
+    std::vector<std::string> inconsistentNames;
+
+    bool
+    clean() const
+    {
+        return staleNames.empty() && inconsistentNames.empty();
+    }
+};
+
 /** Directory listing entry (archive stat). */
 struct ArchiveVideoStat
 {
@@ -249,6 +273,61 @@ class ArchiveService
      * the video is unknown.
      */
     bool damageMetaForTest(const std::string &name);
+
+    // --- record migration (rebalance tier) -------------------------
+
+    /** True when @p name is stored locally (owner copy). */
+    bool contains(const std::string &name) const;
+
+    /**
+     * @p name's full record as one opaque transfer blob: the
+     * CRC-checked precise metadata (length-prefixed) followed by the
+     * raw approximate cell images in stream order. This is the unit
+     * the migration engine ships over CELL_PULL/CELL_PUSH. The cells
+     * travel verbatim — accumulated bit errors move with the record,
+     * exactly as if the physical device were remapped — while the
+     * precise part stays CRC-checkable end to end. Empty when the
+     * video is unknown.
+     */
+    Bytes exportRecord(const std::string &name) const;
+
+    /**
+     * Install a record from an exportRecord() blob. The blob is
+     * fully validated (total meta parse, exact cell-region length
+     * against the per-stream shapes) before anything is touched;
+     * Malformed rejects it. When the name already exists and
+     * @p overwrite is false, the existing record wins — a concurrent
+     * PUT at the new owner must never be clobbered by a migration
+     * push — and the call returns None with *adopted = false.
+     */
+    ArchiveError adoptRecord(const std::string &name,
+                             const Bytes &blob, bool overwrite,
+                             bool *adopted = nullptr);
+
+    /** Names of every replica blob held for peers (sorted) — the
+     * survey a rebuild starts from when an owner's records are
+     * gone. */
+    std::vector<std::string> replicaNames() const;
+
+    /**
+     * Serve @p name from its held replica blob at degraded fidelity:
+     * the replica carries the precise layout only, so every
+     * approximate stream decodes zero-filled with concealment on and
+     * is counted shed. This is the router's owner-timeout fallback —
+     * precise geometry intact, approximate content sacrificed.
+     * NotFound when no replica blob is held.
+     */
+    ArchiveGetResult getFromReplica(const std::string &name) const;
+
+    /**
+     * Key-epoch GC scan: verify no record still references a retired
+     * key-id. With @p expected_key_id = 0 the newest key-id observed
+     * across the archive is the expected epoch (after a completed
+     * rekey every encrypted record sits at the same id); a nonzero
+     * value pins the expectation. Also flags records whose crypto
+     * and policy key-ids disagree.
+     */
+    KeyEpochReport verifyKeyEpochs(u32 expected_key_id = 0) const;
 
     /** Sorted names snapshot (scrub-scheduler round robin). */
     std::vector<std::string> videoNames() const;

@@ -1,5 +1,6 @@
 #include "archive/vapp_container.h"
 
+#include <algorithm>
 #include <cstdio>
 #include <fstream>
 
@@ -313,6 +314,13 @@ parseRecord(const u8 *bytes, std::size_t meta_len,
 Bytes
 serializeArchive(const Archive &archive)
 {
+    // The held-replica section exists only in version 3; an archive
+    // holding nothing keeps the version 2 layout so older readers
+    // can still open the file.
+    const u32 version = archive.replicas.empty()
+                            ? std::min(archive.version, 2u)
+                            : std::max(archive.version, 3u);
+
     Bytes out(kSuperblockSize, 0);
 
     struct DirEntry
@@ -352,11 +360,20 @@ serializeArchive(const Archive &archive)
         putU64(dir, e.metaLength);
         putU32(dir, e.metaCrc);
     }
+    if (version >= 3) {
+        putU32(dir, static_cast<u32>(archive.replicas.size()));
+        for (const auto &[name, blob] : archive.replicas) {
+            putU16(dir, static_cast<u16>(name.size()));
+            dir.insert(dir.end(), name.begin(), name.end());
+            putU32(dir, static_cast<u32>(blob.size()));
+            dir.insert(dir.end(), blob.begin(), blob.end());
+        }
+    }
     out.insert(out.end(), dir.begin(), dir.end());
 
     Bytes super;
     putU32(super, kVappMagic);
-    putU32(super, archive.version);
+    putU32(super, version);
     putU64(super, dir_offset);
     putU64(super, dir.size());
     putU32(super, crc32(dir));
@@ -392,6 +409,7 @@ parseArchive(const Bytes &blob, Archive &out)
 
     out.version = version;
     out.videos.clear();
+    out.replicas.clear();
 
     ByteCursor dir{blob.data() + dir_offset,
                    static_cast<std::size_t>(dir_length)};
@@ -425,6 +443,29 @@ parseArchive(const Bytes &blob, Archive &out)
         if (err != ArchiveError::None)
             return err;
         out.videos.emplace(std::move(name), std::move(record));
+    }
+    if (version >= 3) {
+        u32 replica_count = dir.u32v();
+        if (!dir.ok)
+            return ArchiveError::ShortRead;
+        for (u32 i = 0; i < replica_count; ++i) {
+            u16 name_len = dir.u16v();
+            if (!dir.ok || name_len > dir.remaining())
+                return ArchiveError::ShortRead;
+            std::string name(
+                reinterpret_cast<const char *>(dir.data + dir.pos),
+                name_len);
+            dir.pos += name_len;
+            u32 blob_len = dir.u32v();
+            if (!dir.ok || blob_len > dir.remaining())
+                return ArchiveError::ShortRead;
+            if (out.replicas.count(name))
+                return ArchiveError::Malformed;
+            Bytes blob(dir.data + dir.pos,
+                       dir.data + dir.pos + blob_len);
+            dir.pos += blob_len;
+            out.replicas.emplace(std::move(name), std::move(blob));
+        }
     }
     if (dir.pos != dir.size)
         return ArchiveError::Malformed;

@@ -24,6 +24,11 @@
  *   directory (at directoryOffset)
  *     u32 videoCount, then per video: name, record offset/length,
  *     meta length, meta CRC
+ *     (version 3) u32 replicaCount, then per replica: name and the
+ *     held precise-meta blob inline — replica blobs a shard holds
+ *     for its ring peers are small and CRC-covered by the directory
+ *     CRC, and persisting them is what lets a dead peer be rebuilt
+ *     after every process that held them in memory has restarted
  *
  * Versioning rules: the major format version is bumped on any
  * incompatible layout change; readers reject files whose version is
@@ -55,8 +60,10 @@ inline constexpr u32 kVappMagic = 0x56415041;
 
 /** Current container format version. Version 2 added the optional
  * key-check value in the crypto section and the per-stream policy
- * record; version-1 files (no policy, unchecked keys) still parse. */
-inline constexpr u32 kVappFormatVersion = 2;
+ * record; version 3 added the held-replica section in the directory.
+ * Older files still parse, and writers emit the oldest version that
+ * can represent the archive (no replicas held → version 2 layout). */
+inline constexpr u32 kVappFormatVersion = 3;
 
 /** Oldest format version readers still accept. */
 inline constexpr u32 kVappMinFormatVersion = 1;
@@ -119,6 +126,10 @@ struct Archive
     u32 version = kVappFormatVersion;
     /** Keyed (and serialized) by name, sorted. */
     std::map<std::string, VideoRecord> videos;
+    /** Replica precise-meta blobs held on behalf of ring peers
+     * (cluster tier). Serialized only when non-empty, which bumps
+     * the written file to version 3. */
+    std::map<std::string, Bytes> replicas;
 };
 
 // --- precise-metadata blobs (replication) ------------------------------

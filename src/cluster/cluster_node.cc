@@ -23,11 +23,33 @@ ClusterNode::setTopology(std::vector<ClusterShard> shards,
         addresses[s.id] = s;
     }
     HashRing ring(ids, config_.vnodes);
-    std::unique_lock lock(ringMutex_);
-    ring_ = std::move(ring);
-    addresses_ = std::move(addresses);
-    shards_ = std::move(shards);
-    epoch_ = epoch;
+    {
+        std::unique_lock lock(ringMutex_);
+        ring_ = std::move(ring);
+        addresses_ = std::move(addresses);
+        shards_ = std::move(shards);
+        epoch_ = epoch;
+    }
+    // Prune cached connections to shards the new topology removed or
+    // re-addressed: a retry through a stale connection would reach a
+    // dead (or wrong) peer. In-flight RPCs holding the shared_ptr
+    // finish on the old object and it dies with them.
+    std::size_t pruned = 0;
+    {
+        std::shared_lock ring_lock(ringMutex_);
+        std::lock_guard peers(peersMutex_);
+        for (auto it = peers_.begin(); it != peers_.end();) {
+            auto addr = addresses_.find(it->first);
+            if (addr == addresses_.end()) {
+                it = peers_.erase(it);
+                ++pruned;
+            } else {
+                ++it;
+            }
+        }
+    }
+    if (pruned > 0)
+        VA_TELEM_COUNT("cluster.peers_pruned", pruned);
 }
 
 u64
@@ -67,33 +89,43 @@ ClusterNode::infoPayload() const
     return serializeClusterInfoResponse(info);
 }
 
-ClusterNode::Peer *
+std::shared_ptr<ClusterNode::Peer>
 ClusterNode::peerFor(u32 shard)
 {
     std::lock_guard lock(peersMutex_);
     auto it = peers_.find(shard);
     if (it == peers_.end())
-        it = peers_.emplace(shard, std::make_unique<Peer>()).first;
-    return it->second.get();
+        it = peers_.emplace(shard, std::make_shared<Peer>()).first;
+    return it->second;
+}
+
+std::size_t
+ClusterNode::cachedPeerCount() const
+{
+    std::lock_guard lock(peersMutex_);
+    return peers_.size();
 }
 
 bool
 ClusterNode::rpc(u32 shard, Opcode op, const Bytes &payload,
                  u8 flags, u8 &kind, Bytes &response)
 {
-    ClusterShard addr;
-    {
-        std::shared_lock lock(ringMutex_);
-        auto it = addresses_.find(shard);
-        if (it == addresses_.end())
-            return false;
-        addr = it->second;
-    }
-    Peer *peer = peerFor(shard);
+    std::shared_ptr<Peer> peer = peerFor(shard);
     std::lock_guard lock(peer->mutex);
     // Two attempts: a cached connection may have rotted since the
-    // last RPC (peer restart); the second runs on a fresh one.
+    // last RPC (peer restart); the second runs on a fresh one. The
+    // address is re-resolved from the current ring each attempt so a
+    // topology bump mid-retry reaches the shard's new home — and a
+    // shard the new topology dropped entirely fails cleanly.
     for (int attempt = 0; attempt < 2; ++attempt) {
+        ClusterShard addr;
+        {
+            std::shared_lock ring_lock(ringMutex_);
+            auto it = addresses_.find(shard);
+            if (it == addresses_.end())
+                return false;
+            addr = it->second;
+        }
         if (!peer->client.connected() &&
             !peer->client.connect(addr.host, addr.port))
             continue;
@@ -181,6 +213,73 @@ ClusterNode::fetchReplicaMeta(const std::string &name, Bytes &meta)
     }
     VA_TELEM_COUNT("cluster.meta_fetch_failures", 1);
     return false;
+}
+
+// --- live membership ---------------------------------------------------
+
+void
+ClusterNode::beginMigrationIn(const std::string &name,
+                              const ClusterShard &source)
+{
+    std::lock_guard lock(migrationMutex_);
+    migrationIn_[name] = source;
+}
+
+void
+ClusterNode::clearPendingMigration(const std::string &name)
+{
+    std::lock_guard lock(migrationMutex_);
+    migrationIn_.erase(name);
+}
+
+std::optional<ClusterShard>
+ClusterNode::pendingMigrationSource(const std::string &name) const
+{
+    std::lock_guard lock(migrationMutex_);
+    auto it = migrationIn_.find(name);
+    if (it == migrationIn_.end())
+        return std::nullopt;
+    return it->second;
+}
+
+std::size_t
+ClusterNode::migrationInCount() const
+{
+    std::lock_guard lock(migrationMutex_);
+    return migrationIn_.size();
+}
+
+bool
+ClusterNode::pullRecord(const ClusterShard &source,
+                        const std::string &name, Bytes &record)
+{
+    // Ephemeral connection, not the peer cache: the source may be a
+    // departing shard the topology no longer lists, and bulk record
+    // transfers should not monopolize a cached peer's RPC mutex.
+    VappClient client;
+    if (!client.connect(source.host, source.port)) {
+        VA_TELEM_COUNT("cluster.pull_failures", 1);
+        return false;
+    }
+    CellPullRequest request;
+    request.name = name;
+    std::optional<VappClient::RawResponse> raw;
+    if (client.send(Opcode::CellPull,
+                    serializeCellPullRequest(request)))
+        raw = client.receive();
+    if (!raw || raw->kind != static_cast<u8>(Status::Ok)) {
+        VA_TELEM_COUNT("cluster.pull_failures", 1);
+        return false;
+    }
+    CellPullResponse parsed;
+    if (!parseCellPullResponse(raw->payload, parsed) ||
+        parsed.status != Status::Ok || parsed.record.empty()) {
+        VA_TELEM_COUNT("cluster.pull_failures", 1);
+        return false;
+    }
+    record = std::move(parsed.record);
+    VA_TELEM_COUNT("cluster.pulls", 1);
+    return true;
 }
 
 } // namespace videoapp

@@ -77,11 +77,36 @@ class ClusterNode : public ClusterPeer
     void replicateMeta(const std::string &name) override;
     bool fetchReplicaMeta(const std::string &name,
                           Bytes &meta) override;
+    u64 ringEpoch() const override { return epoch(); }
+    std::optional<ClusterShard> pendingMigrationSource(
+        const std::string &name) const override;
+    bool pullRecord(const ClusterShard &source,
+                    const std::string &name,
+                    Bytes &record) override;
+    void clearPendingMigration(const std::string &name) override;
 
     u64 epoch() const;
 
     /** The metadata replica set the ring assigns @p name. */
     std::vector<u32> successorsOf(const std::string &name) const;
+
+    /**
+     * Mark @p name as migrating in from @p source: until the record
+     * arrives (push, or pull-through on first GET), a local miss is
+     * served by pulling from @p source. The full address is kept —
+     * the source may already be off the ring (REMOVE_SHARD).
+     */
+    void beginMigrationIn(const std::string &name,
+                          const ClusterShard &source);
+
+    /** Migration-in entries still pending (tests/introspection). */
+    std::size_t migrationInCount() const;
+
+    /** Cached peer connections held (tests: topology pruning). */
+    std::size_t cachedPeerCount() const;
+
+    /** This node's archive (the migration engine's local half). */
+    ArchiveService &service() { return service_; }
 
   private:
     /** One cached peer connection; its mutex serializes the
@@ -93,10 +118,12 @@ class ClusterNode : public ClusterPeer
     };
 
     /** Send (op, payload, flags) to @p shard and read the response;
-     * reconnects and retries once on transport failure. */
+     * reconnects and retries once on transport failure. The shard's
+     * address is re-resolved from the ring on every attempt, so a
+     * topology change mid-retry reaches the shard's new home. */
     bool rpc(u32 shard, Opcode op, const Bytes &payload, u8 flags,
              u8 &kind, Bytes &response);
-    Peer *peerFor(u32 shard);
+    std::shared_ptr<Peer> peerFor(u32 shard);
 
     ArchiveService &service_;
     const ClusterNodeConfig config_;
@@ -109,8 +136,14 @@ class ClusterNode : public ClusterPeer
     std::vector<ClusterShard> shards_;
     u64 epoch_ = 0;
 
-    std::mutex peersMutex_;
-    std::map<u32, std::unique_ptr<Peer>> peers_;
+    /** Cached connections by shard id. shared_ptr: a topology bump
+     * prunes entries while an in-flight RPC may still hold one. */
+    mutable std::mutex peersMutex_;
+    std::map<u32, std::shared_ptr<Peer>> peers_;
+
+    /** Names migrating to this node -> current holder's address. */
+    mutable std::mutex migrationMutex_;
+    std::map<std::string, ClusterShard> migrationIn_;
 };
 
 } // namespace videoapp

@@ -33,23 +33,50 @@ ClusterRouter::refresh()
         if (!parseClusterInfoResponse(raw->payload, info) ||
             info.status != Status::Ok)
             continue;
-        shards_.clear();
-        std::vector<u32> ids;
-        ids.reserve(info.shards.size());
-        for (const ClusterShard &shard : info.shards) {
-            shards_[shard.id] = shard;
-            ids.push_back(shard.id);
-        }
-        ring_ = HashRing(ids, info.vnodes);
-        epoch_ = info.epoch;
-        // Keep warm connections to surviving shards only.
-        for (auto it = clients_.begin(); it != clients_.end();)
-            it = shards_.count(it->first) ? std::next(it)
-                                          : clients_.erase(it);
+        installTopology(info);
         VA_TELEM_COUNT("router.refreshes", 1);
         return true;
     }
     return false;
+}
+
+void
+ClusterRouter::installTopology(const ClusterInfoResponse &info)
+{
+    // An epoch change can re-address a surviving shard id (a shard
+    // rebuilt at a new port): cached connections would reconnect to
+    // the old home forever, so drop them all. Same-epoch installs
+    // only shed connections to shards that vanished.
+    if (info.epoch != epoch_)
+        clients_.clear();
+    shards_.clear();
+    std::vector<u32> ids;
+    ids.reserve(info.shards.size());
+    for (const ClusterShard &shard : info.shards) {
+        shards_[shard.id] = shard;
+        ids.push_back(shard.id);
+    }
+    ring_ = HashRing(ids, info.vnodes);
+    epoch_ = info.epoch;
+    for (auto it = clients_.begin(); it != clients_.end();)
+        it = shards_.count(it->first) ? std::next(it)
+                                      : clients_.erase(it);
+}
+
+bool
+ClusterRouter::handleWrongEpoch(const Bytes &payload)
+{
+    VA_TELEM_COUNT("router.wrong_epoch", 1);
+    ClusterInfoResponse info;
+    if (parseClusterInfoResponse(payload, info) &&
+        info.status == Status::WrongEpoch && info.epoch > epoch_) {
+        // Monotonic: only ever move forward, so a straggler node's
+        // stale refusal can never roll the ring back.
+        installTopology(info);
+        return true;
+    }
+    const u64 before = epoch_;
+    return refresh() && epoch_ > before;
 }
 
 u32
@@ -89,13 +116,48 @@ ClusterRouter::routeOrder(const std::string &name)
 }
 
 std::optional<GetFramesResponse>
+ClusterRouter::tryReplicaRead(const GetFramesRequest &request)
+{
+    std::vector<u32> successors =
+        ring_.successors(request.name, 1);
+    if (successors.empty())
+        return std::nullopt;
+    VappClient *client = clientFor(successors[0]);
+    if (client == nullptr)
+        return std::nullopt;
+    GetFramesRequest degraded = request;
+    degraded.allowReplica = true;
+    degraded.ringEpoch = epoch_;
+    // kWireFlagForwarded: serve locally off the replica blob; a
+    // plain request would bounce back to the unreachable owner.
+    std::optional<VappClient::RawResponse> raw;
+    if (client->send(Opcode::GetFrames,
+                     serializeGetFramesRequest(degraded), nullptr,
+                     kWireFlagForwarded))
+        raw = client->receive();
+    if (!raw)
+        return std::nullopt;
+    GetFramesResponse response;
+    if (!parseGetFramesResponse(raw->payload, response) ||
+        (response.status != Status::Ok &&
+         response.status != Status::Degraded))
+        return std::nullopt;
+    VA_TELEM_COUNT("client.replica_reads", 1);
+    return response;
+}
+
+std::optional<GetFramesResponse>
 ClusterRouter::getFrames(const GetFramesRequest &request)
 {
     if (!ready() && !refresh())
         return std::nullopt;
     std::vector<u32> tried;
-    for (std::size_t attempt = 0; attempt <= shards_.size();
-         ++attempt) {
+    // A resize mid-request bounces at most a few times (install,
+    // re-route, maybe race the next install); beyond that something
+    // is wrong and the normal failover budget applies.
+    int epoch_bounces = 0;
+    std::size_t failovers = 0;
+    while (failovers <= shards_.size()) {
         u32 shard = 0;
         bool found = false;
         for (u32 candidate : routeOrder(request.name)) {
@@ -108,11 +170,40 @@ ClusterRouter::getFrames(const GetFramesRequest &request)
         }
         if (!found)
             break;
+        const bool owner_attempt = tried.empty();
         if (VappClient *client = clientFor(shard)) {
-            if (auto response = client->getFrames(request))
-                return response;
+            GetFramesRequest stamped = request;
+            stamped.ringEpoch = epoch_;
+            auto raw = client->callRaw(
+                Opcode::GetFrames,
+                serializeGetFramesRequest(stamped));
+            if (raw) {
+                if (raw->kind ==
+                    static_cast<u8>(Status::WrongEpoch)) {
+                    if (handleWrongEpoch(raw->payload) &&
+                        ++epoch_bounces <= 3) {
+                        // Fresh ring installed: every shard is a
+                        // candidate again under the new placement.
+                        tried.clear();
+                        continue;
+                    }
+                } else {
+                    GetFramesResponse response;
+                    if (parseGetFramesResponse(raw->payload,
+                                               response))
+                        return response;
+                }
+            }
+        }
+        if (owner_attempt) {
+            // The owner itself is unreachable: a degraded replica
+            // read beats forwarding fallbacks that would only loop
+            // back to the same dead owner.
+            if (auto replica = tryReplicaRead(request))
+                return replica;
         }
         tried.push_back(shard);
+        ++failovers;
         VA_TELEM_COUNT("router.failovers", 1);
         refresh();
     }
@@ -125,8 +216,9 @@ ClusterRouter::put(const PutRequest &request)
     if (!ready() && !refresh())
         return std::nullopt;
     std::vector<u32> tried;
-    for (std::size_t attempt = 0; attempt <= shards_.size();
-         ++attempt) {
+    int epoch_bounces = 0;
+    std::size_t failovers = 0;
+    while (failovers <= shards_.size()) {
         u32 shard = 0;
         bool found = false;
         for (u32 candidate : routeOrder(request.name)) {
@@ -140,10 +232,28 @@ ClusterRouter::put(const PutRequest &request)
         if (!found)
             break;
         if (VappClient *client = clientFor(shard)) {
-            if (auto response = client->put(request))
-                return response;
+            PutRequest stamped = request;
+            stamped.ringEpoch = epoch_;
+            auto raw =
+                client->callRaw(Opcode::Put,
+                                serializePutRequest(stamped));
+            if (raw) {
+                if (raw->kind ==
+                    static_cast<u8>(Status::WrongEpoch)) {
+                    if (handleWrongEpoch(raw->payload) &&
+                        ++epoch_bounces <= 3) {
+                        tried.clear();
+                        continue;
+                    }
+                } else {
+                    PutResponse response;
+                    if (parsePutResponse(raw->payload, response))
+                        return response;
+                }
+            }
         }
         tried.push_back(shard);
+        ++failovers;
         VA_TELEM_COUNT("router.failovers", 1);
         refresh();
     }

@@ -14,6 +14,17 @@
  * Per-shard connections use the client retry policy, so transient
  * backpressure (Status::Retry) is absorbed below the router.
  *
+ * Live membership: every routed request is stamped with the
+ * router's ring epoch. A node that has moved to a newer ring
+ * refuses the request with WRONG_EPOCH and the fresh membership in
+ * the same round trip; the router installs it (only ever moving its
+ * epoch forward) and re-routes, so a resize heals in one bounce
+ * with no extra discovery RPC. When the owner times out on a GET,
+ * the router additionally asks the name's first metadata-replica
+ * successor to serve a degraded best-effort reconstruction
+ * (allowReplica) before failing over — counted in
+ * "client.replica_reads".
+ *
  * stat() aggregates every shard's directory; scrub() broadcasts and
  * sums the reports. Like VappClient, a router instance is
  * single-threaded; concurrency is one router per thread.
@@ -75,6 +86,19 @@ class ClusterRouter
     VappClient *clientFor(u32 shard);
     /** Owner first, then every other shard in id order. */
     std::vector<u32> routeOrder(const std::string &name);
+    /** Adopt @p info as the current topology. An epoch change drops
+     * every cached connection (a rebuilt shard may have moved). */
+    void installTopology(const ClusterInfoResponse &info);
+    /**
+     * React to a WRONG_EPOCH refusal: install the ring the response
+     * carries when it is ahead of ours, else refresh. True when the
+     * local epoch advanced (re-routing can make progress).
+     */
+    bool handleWrongEpoch(const Bytes &payload);
+    /** Owner-timeout fallback: degraded read off the first metadata
+     * replica successor (allowReplica + forwarded flag). */
+    std::optional<GetFramesResponse>
+    tryReplicaRead(const GetFramesRequest &request);
 
     ClusterRouterConfig config_;
     HashRing ring_;

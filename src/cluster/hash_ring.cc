@@ -18,6 +18,25 @@ fnv1a64(const void *data, std::size_t size)
 
 namespace {
 
+/**
+ * Finalization mix (MurmurHash3 fmix64). Raw FNV-1a has weak
+ * avalanche in its trailing bytes: names that differ only in the
+ * last character land within a ~2^48 span of each other, so whole
+ * name families cluster on one ring segment and resize moves stop
+ * tracking the 1/N expectation. Full-width mixing restores uniform
+ * point placement.
+ */
+u64
+mix64(u64 h)
+{
+    h ^= h >> 33;
+    h *= 0xff51afd7ed558ccdULL;
+    h ^= h >> 33;
+    h *= 0xc4ceb9fe1a85ec53ULL;
+    h ^= h >> 33;
+    return h;
+}
+
 u64
 vnodePoint(u32 shard_id, u32 vnode)
 {
@@ -27,7 +46,7 @@ vnodePoint(u32 shard_id, u32 vnode)
     key += std::to_string(shard_id);
     key += '/';
     key += std::to_string(vnode);
-    return fnv1a64(key.data(), key.size());
+    return mix64(fnv1a64(key.data(), key.size()));
 }
 
 } // namespace
@@ -49,7 +68,7 @@ HashRing::HashRing(const std::vector<u32> &shard_ids, u32 vnodes)
 std::size_t
 HashRing::ownerIndex(const std::string &name) const
 {
-    const u64 point = fnv1a64(name.data(), name.size());
+    const u64 point = mix64(fnv1a64(name.data(), name.size()));
     auto it = std::lower_bound(
         ring_.begin(), ring_.end(), point,
         [](const std::pair<u64, u32> &entry, u64 p) {
@@ -83,6 +102,22 @@ HashRing::successors(const std::string &name, u32 count) const
         out.push_back(id);
     }
     return out;
+}
+
+std::vector<RingMove>
+ringDiff(const HashRing &from, const HashRing &to,
+         const std::vector<std::string> &names)
+{
+    std::vector<RingMove> moves;
+    if (from.empty() || to.empty())
+        return moves;
+    for (const std::string &name : names) {
+        const u32 old_owner = from.ownerOf(name);
+        const u32 new_owner = to.ownerOf(name);
+        if (old_owner != new_owner)
+            moves.push_back({name, old_owner, new_owner});
+    }
+    return moves;
 }
 
 } // namespace videoapp

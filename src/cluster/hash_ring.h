@@ -63,6 +63,27 @@ class HashRing
     u32 vnodes_ = 0;
 };
 
+/** One name a topology change moves: consistent hashing guarantees
+ * the set is minimal (~1/N of the names on an add). */
+struct RingMove
+{
+    std::string name;
+    /** Owner under the old ring (where the record lives today). */
+    u32 fromShard = 0;
+    /** Owner under the new ring (where it must end up). */
+    u32 toShard = 0;
+};
+
+/**
+ * The exact names of @p names whose owner differs between @p from
+ * and @p to — the migration engine's work list, and the prediction
+ * the resize acceptance check compares actual moves against. Names
+ * keep their input order. Empty when either ring is empty.
+ */
+std::vector<RingMove> ringDiff(const HashRing &from,
+                               const HashRing &to,
+                               const std::vector<std::string> &names);
+
 } // namespace videoapp
 
 #endif // VIDEOAPP_CLUSTER_HASH_RING_H_

@@ -1,0 +1,417 @@
+#include "rebalance/rebalance.h"
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <set>
+#include <thread>
+
+#include "common/crc32.h"
+#include "common/telemetry.h"
+#include "core/pipeline.h"
+
+namespace videoapp {
+
+namespace {
+
+/** Allocation cap when parsing replica meta blobs pulled off peers
+ * (mirrors the archive's replication bound). */
+constexpr u64 kRebuildPayloadBound = u64{1} << 31;
+
+/** One request/response exchange with @p addr on a fresh
+ * connection. Migration traffic is bulk and infrequent; ephemeral
+ * connections keep the engine off the nodes' cached-peer mutexes
+ * and work against holders the ring no longer lists. */
+bool
+wireCall(const ClusterShard &addr, Opcode op, const Bytes &payload,
+         u8 &kind, Bytes &response)
+{
+    VappClient client;
+    if (!client.connect(addr.host, addr.port))
+        return false;
+    if (!client.send(op, payload))
+        return false;
+    auto raw = client.receive();
+    if (!raw)
+        return false;
+    kind = raw->kind;
+    response = std::move(raw->payload);
+    return true;
+}
+
+std::vector<u32>
+idsOf(const std::vector<ManagedShard> &shards)
+{
+    std::vector<u32> ids;
+    ids.reserve(shards.size());
+    for (const ManagedShard &s : shards)
+        ids.push_back(s.address.id);
+    return ids;
+}
+
+const ManagedShard *
+findShard(const std::vector<ManagedShard> &shards, u32 id)
+{
+    for (const ManagedShard &s : shards)
+        if (s.address.id == id)
+            return &s;
+    return nullptr;
+}
+
+} // namespace
+
+// --- MigrationEngine ---------------------------------------------------
+
+MigrationEngine::MigrationEngine(RebalanceConfig config)
+    : config_(config)
+{}
+
+MigrationEngine::Outcome
+MigrationEngine::executeMove(const PlannedMove &move)
+{
+    for (int attempt = 0; attempt <= config_.maxRetries;
+         ++attempt) {
+        if (attempt > 0)
+            std::this_thread::sleep_for(
+                std::chrono::milliseconds(10 << attempt));
+        CellPullRequest pull;
+        pull.name = move.name;
+        u8 kind = 0;
+        Bytes response;
+        if (!wireCall(move.source, Opcode::CellPull,
+                      serializeCellPullRequest(pull), kind,
+                      response))
+            continue;
+        if (kind == static_cast<u8>(Status::NotFound)) {
+            // The holder no longer has it: a pull-through GET at the
+            // destination already moved the record. Settled.
+            return Outcome::Skipped;
+        }
+        CellPullResponse pulled;
+        if (kind != static_cast<u8>(Status::Ok) ||
+            !parseCellPullResponse(response, pulled) ||
+            pulled.record.empty())
+            continue;
+
+        CellPushRequest push;
+        push.name = move.name;
+        push.record = std::move(pulled.record);
+        u8 push_kind = 0;
+        Bytes push_response;
+        if (!wireCall(move.dest, Opcode::CellPush,
+                      serializeCellPushRequest(push), push_kind,
+                      push_response))
+            continue;
+        CellPushResponse adopted;
+        if (push_kind != static_cast<u8>(Status::Ok) ||
+            !parseCellPushResponse(push_response, adopted))
+            continue;
+        return adopted.adopted ? Outcome::Moved : Outcome::Skipped;
+    }
+    return Outcome::Failed;
+}
+
+void
+MigrationEngine::run(const std::vector<PlannedMove> &moves,
+                     MigrationReport &report)
+{
+    if (moves.empty())
+        return;
+    std::vector<Outcome> outcomes(moves.size(), Outcome::Failed);
+    std::atomic<std::size_t> next{0};
+    const std::size_t workers = std::min(
+        config_.concurrency > 0 ? config_.concurrency : 1,
+        moves.size());
+    auto worker = [&] {
+        for (;;) {
+            const std::size_t i =
+                next.fetch_add(1, std::memory_order_relaxed);
+            if (i >= moves.size())
+                return;
+            outcomes[i] = executeMove(moves[i]);
+        }
+    };
+    std::vector<std::thread> pool;
+    pool.reserve(workers);
+    for (std::size_t w = 0; w < workers; ++w)
+        pool.emplace_back(worker);
+    for (std::thread &t : pool)
+        t.join();
+
+    // Cutover epilogue: only now that every move settled are source
+    // copies dropped — a pull-through racing the engine could still
+    // have needed them — and any leftover pull-through entries for
+    // settled names retired.
+    for (std::size_t i = 0; i < moves.size(); ++i) {
+        switch (outcomes[i]) {
+        case Outcome::Moved:
+            report.movedRecords++;
+            break;
+        case Outcome::Skipped:
+            report.skippedRecords++;
+            break;
+        case Outcome::Failed:
+            report.failedRecords++;
+            VA_TELEM_COUNT("rebalance.move_failures", 1);
+            continue;
+        }
+        if (moves[i].destNode != nullptr)
+            moves[i].destNode->clearPendingMigration(moves[i].name);
+        if (moves[i].sourceNode != nullptr &&
+            moves[i].sourceNode->service().remove(moves[i].name) ==
+                ArchiveError::None)
+            report.erasedAtSource++;
+        VA_TELEM_COUNT("rebalance.moves", 1);
+    }
+}
+
+// --- MembershipManager -------------------------------------------------
+
+MembershipManager::MembershipManager(
+    std::vector<ManagedShard> shards, u64 epoch,
+    RebalanceConfig config)
+    : config_(config), shards_(std::move(shards)), epoch_(epoch)
+{}
+
+std::vector<ClusterShard>
+MembershipManager::topology() const
+{
+    std::vector<ClusterShard> addresses;
+    addresses.reserve(shards_.size());
+    for (const ManagedShard &s : shards_)
+        addresses.push_back(s.address);
+    return addresses;
+}
+
+void
+MembershipManager::installTopology(
+    const std::vector<ManagedShard> &members,
+    const std::vector<ManagedShard> &extra, u64 epoch)
+{
+    std::vector<ClusterShard> addresses;
+    addresses.reserve(members.size());
+    for (const ManagedShard &s : members)
+        addresses.push_back(s.address);
+    for (const ManagedShard &s : members)
+        s.node->setTopology(addresses, epoch);
+    // Departing nodes learn the ring they are no longer part of:
+    // they keep answering (and forwarding) correctly for stale
+    // routers until the caller retires them.
+    for (const ManagedShard &s : extra)
+        s.node->setTopology(addresses, epoch);
+}
+
+MigrationReport
+MembershipManager::transition(
+    std::vector<ManagedShard> next,
+    const std::vector<ManagedShard> &departing)
+{
+    MigrationReport report;
+    report.fromEpoch = epoch_;
+    report.toEpoch = epoch_ + 1;
+
+    const HashRing old_ring(idsOf(shards_), config_.vnodes);
+    const HashRing new_ring(idsOf(next), config_.vnodes);
+
+    // Plan from the holders' own directories: every record not owned
+    // by its current holder under the new ring must move. The ring
+    // diff over the same survey is the theoretical minimum the
+    // acceptance check compares against.
+    std::vector<std::string> survey;
+    std::vector<PlannedMove> moves;
+    for (const ManagedShard &holder : shards_) {
+        for (std::string &name :
+             holder.node->service().videoNames()) {
+            const u32 new_owner = new_ring.ownerOf(name);
+            if (new_owner != holder.address.id) {
+                const ManagedShard *dest =
+                    findShard(next, new_owner);
+                if (dest != nullptr)
+                    moves.push_back({name, holder.address,
+                                     dest->address, holder.node,
+                                     dest->node});
+            }
+            survey.push_back(std::move(name));
+        }
+    }
+    report.predictedMoves =
+        ringDiff(old_ring, new_ring, survey).size();
+    report.plannedMoves = moves.size();
+
+    // Arm pull-through before any node runs the new ring: from the
+    // instant the topology lands, a GET reaching the new owner ahead
+    // of its record is served by pulling from the holder on demand.
+    for (const PlannedMove &move : moves)
+        move.destNode->beginMigrationIn(move.name, move.source);
+
+    installTopology(next, departing, report.toEpoch);
+
+    // Second survey: a concurrent PUT whose epoch check ran before
+    // the bump can have landed on an old-ring owner after the first
+    // survey. Every node now runs the new ring (late PUTs bounce at
+    // commit time), so one more sweep of the old holders catches
+    // every straggler deterministically.
+    std::set<std::string> planned;
+    for (const PlannedMove &move : moves)
+        planned.insert(move.name);
+    for (const ManagedShard &holder : shards_) {
+        for (std::string &name :
+             holder.node->service().videoNames()) {
+            if (planned.count(name) != 0)
+                continue;
+            const u32 new_owner = new_ring.ownerOf(name);
+            if (new_owner == holder.address.id)
+                continue;
+            const ManagedShard *dest = findShard(next, new_owner);
+            if (dest == nullptr)
+                continue;
+            dest->node->beginMigrationIn(name, holder.address);
+            moves.push_back({std::move(name), holder.address,
+                             dest->address, holder.node,
+                             dest->node});
+        }
+    }
+    report.plannedMoves = moves.size();
+
+    MigrationEngine engine(config_);
+    engine.run(moves, report);
+
+    shards_ = std::move(next);
+    epoch_ = report.toEpoch;
+    VA_TELEM_COUNT("rebalance.transitions", 1);
+    return report;
+}
+
+MigrationReport
+MembershipManager::addShard(const ManagedShard &next)
+{
+    std::vector<ManagedShard> members = shards_;
+    members.push_back(next);
+    return transition(std::move(members), {});
+}
+
+MigrationReport
+MembershipManager::removeShard(u32 shard_id)
+{
+    std::vector<ManagedShard> members;
+    std::vector<ManagedShard> departing;
+    for (const ManagedShard &s : shards_) {
+        if (s.address.id == shard_id)
+            departing.push_back(s);
+        else
+            members.push_back(s);
+    }
+    return transition(std::move(members), departing);
+}
+
+RebuildReport
+MembershipManager::rebuildShard(const ManagedShard &replacement,
+                                const RebuildOriginFn &origin)
+{
+    RebuildReport report;
+    report.toEpoch = epoch_ + 1;
+
+    // Swap the victim's entry for the replacement (same shard id,
+    // possibly a new address) and re-announce the ring: same
+    // membership, bumped epoch, so every router re-learns the
+    // replacement's address through WRONG_EPOCH or refresh.
+    for (ManagedShard &s : shards_)
+        if (s.address.id == replacement.address.id)
+            s = replacement;
+    installTopology(shards_, {}, report.toEpoch);
+    epoch_ = report.toEpoch;
+
+    const HashRing ring(idsOf(shards_), config_.vnodes);
+    const u32 victim = replacement.address.id;
+
+    // Survey: the victim's directory is gone; the union of surviving
+    // replica blobs, filtered by ring ownership, is what it held.
+    std::vector<std::string> names;
+    for (const ManagedShard &s : shards_) {
+        if (s.address.id == victim)
+            continue;
+        for (const std::string &name :
+             s.node->service().replicaNames())
+            if (ring.ownerOf(name) == victim)
+                names.push_back(name);
+    }
+    std::sort(names.begin(), names.end());
+    names.erase(std::unique(names.begin(), names.end()),
+                names.end());
+    report.names = names.size();
+
+    for (const std::string &name : names) {
+        // Precise half: any survivor's replica blob.
+        Bytes meta;
+        for (const ManagedShard &s : shards_) {
+            if (s.address.id == victim)
+                continue;
+            meta = s.node->service().replicaMeta(name);
+            if (!meta.empty())
+                break;
+        }
+        RecordMeta parsed;
+        if (meta.empty() ||
+            parseRecordMeta(meta, parsed, kRebuildPayloadBound) !=
+                ArchiveError::None) {
+            report.failed++;
+            continue;
+        }
+
+        // Approximate half: re-encode the origin under the recorded
+        // crypto and policy. recordFromPrepared is bit-deterministic,
+        // so equal inputs regenerate the pristine cells exactly.
+        Video video;
+        Bytes key;
+        if (!origin(name, video, key)) {
+            report.failed++;
+            continue;
+        }
+        PreparedVideo prepared = prepareVideo(
+            video, EncoderConfig{}, EccAssignment::paperTable1());
+        ArchivePutOptions options;
+        if (parsed.crypto) {
+            EncryptionConfig enc;
+            enc.mode = parsed.crypto->mode;
+            enc.key = key;
+            enc.masterIv = parsed.crypto->masterIv;
+            enc.keyId = parsed.crypto->keyId;
+            enc.encryptMinT =
+                parsed.policy ? parsed.policy->encryptMinT : 0;
+            options.encryption = enc;
+        }
+        ArchiveService &service = replacement.node->service();
+        if (service.put(name, prepared, options) !=
+            ArchiveError::None) {
+            report.failed++;
+            continue;
+        }
+        // Re-anchor the precise metadata byte-exact from the replica
+        // (policy versions, exact layout — nothing inferred).
+        if (service.repairMeta(name, meta) == ArchiveError::None)
+            report.metaRepaired++;
+
+        // Parity check: the regenerated streams' pristine cell CRCs
+        // must match what the original record anchored at put time.
+        RecordMeta rebuilt;
+        Bytes rebuilt_meta = service.exportMeta(name);
+        if (parseRecordMeta(rebuilt_meta, rebuilt,
+                            kRebuildPayloadBound) ==
+                ArchiveError::None &&
+            rebuilt.streams.size() == parsed.streams.size()) {
+            for (std::size_t i = 0; i < parsed.streams.size(); ++i) {
+                if (rebuilt.streams[i].cellsCrc ==
+                    parsed.streams[i].cellsCrc)
+                    report.streamsCrcVerified++;
+                else
+                    report.streamsCrcMismatched++;
+            }
+        }
+        report.rebuilt++;
+        VA_TELEM_COUNT("rebalance.rebuilt_records", 1);
+    }
+    VA_TELEM_COUNT("rebalance.rebuilds", 1);
+    return report;
+}
+
+} // namespace videoapp

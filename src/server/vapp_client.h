@@ -117,6 +117,19 @@ class VappClient
     /** Block for the next response frame on the connection. */
     std::optional<RawResponse> receive();
 
+    /**
+     * One synchronous round trip returning the raw response frame,
+     * with the retry policy applied. For callers that must branch on
+     * the status byte before choosing a parser — a WRONG_EPOCH
+     * refusal carries a ClusterInfo body inside a GET_FRAMES or PUT
+     * exchange.
+     */
+    std::optional<RawResponse> callRaw(Opcode op,
+                                       const Bytes &payload)
+    {
+        return call(op, payload);
+    }
+
   private:
     bool sendAll(const Bytes &data);
     /** @p frame_boundary: EOF before any byte is a clean close. */

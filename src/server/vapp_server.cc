@@ -436,7 +436,7 @@ VappServer::handleFrame(const std::shared_ptr<Connection> &conn,
                         const WireFrameHeader &header,
                         Bytes payload)
 {
-    if (header.kind > static_cast<u8>(Opcode::MetaGet)) {
+    if (header.kind > static_cast<u8>(Opcode::CellPush)) {
         VA_TELEM_COUNT("server.frames.bad", 1);
         respondStatus(conn, Status::BadRequest, header.requestId);
         return;
@@ -536,10 +536,14 @@ VappServer::handleFrame(const std::shared_ptr<Connection> &conn,
         }
     }
 
-    // Node-to-node replication traffic rides the maintenance class
-    // with puts and scrubs so it never crowds out serving.
+    // Node-to-node replication and migration traffic rides the
+    // maintenance class with puts and scrubs so it never crowds out
+    // serving.
     QueueClass cls = (op == Opcode::Put || op == Opcode::Scrub ||
-                      op == Opcode::MetaPut || op == Opcode::MetaGet)
+                      op == Opcode::MetaPut ||
+                      op == Opcode::MetaGet ||
+                      op == Opcode::CellPull ||
+                      op == Opcode::CellPush)
                          ? QueueClass::Maintain
                          : QueueClass::Serve;
     ServerJob job;
@@ -803,6 +807,8 @@ VappServer::execute(const ServerJob &job)
     case Opcode::Scrub: handleScrub(job); break;
     case Opcode::MetaPut: handleMetaPut(job); break;
     case Opcode::MetaGet: handleMetaGet(job); break;
+    case Opcode::CellPull: handleCellPull(job); break;
+    case Opcode::CellPush: handleCellPush(job); break;
     case Opcode::Health: answerHealth(job.conn, job.requestId); break;
     case Opcode::ClusterInfo: break; // answered inline at admission
     }
@@ -863,6 +869,79 @@ VappServer::handleMetaGet(const ServerJob &job)
     respondPayload(job.conn, static_cast<u8>(response.status),
                    job.requestId,
                    serializeMetaGetResponse(response));
+}
+
+void
+VappServer::handleCellPull(const ServerJob &job)
+{
+    VA_TELEM_LATENCY("server.op.cell_pull");
+    CellPullRequest request;
+    if (!parseCellPullRequest(job.payload, request)) {
+        respondStatus(job.conn, Status::BadRequest, job.requestId);
+        return;
+    }
+    CellPullResponse response;
+    response.record = service_.exportRecord(request.name);
+    if (response.record.empty()) {
+        respondStatus(job.conn, Status::NotFound, job.requestId);
+        return;
+    }
+    response.status = Status::Ok;
+    VA_TELEM_COUNT("server.cell_pulls", 1);
+    respondPayload(job.conn, static_cast<u8>(response.status),
+                   job.requestId,
+                   serializeCellPullResponse(response));
+}
+
+void
+VappServer::handleCellPush(const ServerJob &job)
+{
+    VA_TELEM_LATENCY("server.op.cell_push");
+    CellPushRequest request;
+    if (!parseCellPushRequest(job.payload, request)) {
+        respondStatus(job.conn, Status::BadRequest, job.requestId);
+        return;
+    }
+    bool adopted = false;
+    if (service_.adoptRecord(request.name, request.record,
+                             request.overwrite, &adopted) !=
+        ArchiveError::None) {
+        respondStatus(job.conn, Status::BadRequest, job.requestId);
+        return;
+    }
+    // Whether this push or a concurrent local PUT won, the name's
+    // migration is settled: stop deferring local misses to the old
+    // holder. An adopted record also re-replicates its precise meta
+    // from its new home and invalidates stale cached decodes.
+    if (config_.cluster != nullptr)
+        config_.cluster->clearPendingMigration(request.name);
+    if (adopted) {
+        cache_.eraseVideo(request.name);
+        if (config_.cluster != nullptr)
+            config_.cluster->replicateMeta(request.name);
+        VA_TELEM_COUNT("server.cell_pushes", 1);
+    }
+    CellPushResponse response;
+    response.status = Status::Ok;
+    response.adopted = adopted;
+    respondPayload(job.conn, static_cast<u8>(response.status),
+                   job.requestId,
+                   serializeCellPushResponse(response));
+}
+
+void
+VappServer::answerWrongEpoch(const ServerJob &job)
+{
+    // A WRONG_EPOCH response carries the full ClusterInfo body with
+    // the status byte patched, so one round trip both rejects the
+    // stale request and hands the client the ring it should have
+    // routed under.
+    Bytes payload = config_.cluster->infoPayload();
+    if (!payload.empty())
+        payload[0] = static_cast<u8>(Status::WrongEpoch);
+    VA_TELEM_COUNT("server.wrong_epoch", 1);
+    respondPayload(job.conn, static_cast<u8>(Status::WrongEpoch),
+                   job.requestId, payload);
 }
 
 void
@@ -934,6 +1013,16 @@ VappServer::handleGetFrames(const ServerJob &job)
         return;
     }
     const bool leader = !job.flightKey.empty();
+    if (config_.cluster != nullptr && request.ringEpoch != 0 &&
+        request.ringEpoch < config_.cluster->ringEpoch()) {
+        // The client routed under a ring this node has already moved
+        // past: refuse with the fresh membership so it re-routes,
+        // instead of serving (or missing) under stale placement.
+        if (leader)
+            failFlight(job.flightKey, Status::WrongEpoch);
+        answerWrongEpoch(job);
+        return;
+    }
     if (request.deadlineMs > 0 &&
         elapsedMs(job.admitted) > request.deadlineMs) {
         // Queued past its deadline: shed it now instead of doing
@@ -1003,6 +1092,84 @@ VappServer::handleGetFrames(const ServerJob &job)
                 ArchiveError::None) {
             VA_TELEM_COUNT("server.get.meta_repaired", 1);
             result = service_.get(request.name, options);
+        }
+    }
+    if (result.error == ArchiveError::NotFound &&
+        config_.cluster != nullptr) {
+        if (auto source = config_.cluster->pendingMigrationSource(
+                request.name)) {
+            // Migration race: this node owns the name under the new
+            // ring but the record has not arrived yet. Pull it from
+            // the holder now (adopt-if-absent: a concurrent PUT here
+            // wins) and serve as if it had always been local.
+            Bytes blob;
+            if (config_.cluster->pullRecord(*source, request.name,
+                                            blob) &&
+                service_.adoptRecord(request.name, blob,
+                                     /*overwrite=*/false) ==
+                    ArchiveError::None) {
+                config_.cluster->clearPendingMigration(
+                    request.name);
+                config_.cluster->replicateMeta(request.name);
+                VA_TELEM_COUNT("server.get.pull_through", 1);
+                result = service_.get(request.name, options);
+            } else {
+                // The holder is unreachable; the record still
+                // exists there, so NotFound would lie. Back off.
+                if (leader)
+                    failFlight(job.flightKey, Status::Retry);
+                respondStatus(job.conn, Status::Retry,
+                              job.requestId);
+                return;
+            }
+        }
+    }
+    if (result.error == ArchiveError::NotFound &&
+        request.allowReplica) {
+        // Router fallback after an owner timeout: reconstruct a
+        // best-effort degraded video from this successor's precise
+        // metadata replica (the cells live only on the owner, so
+        // every stream is served shed and concealed).
+        ArchiveGetResult rep =
+            service_.getFromReplica(request.name);
+        if (rep.error == ArchiveError::None) {
+            // Coalesced waiters wanted full fidelity; send them
+            // back to retry against the owner. Never cached.
+            if (leader)
+                failFlight(job.flightKey, Status::Retry);
+            std::vector<GopRange> ranges = gopRanges(
+                rep.frameHeaders, rep.decoded.frames.size());
+            if (request.gop >= ranges.size()) {
+                respondStatus(job.conn, Status::NotFound,
+                              job.requestId);
+                return;
+            }
+            GetFramesResponse response;
+            response.status = Status::Degraded;
+            response.streamsShed =
+                static_cast<u32>(rep.streamsShed);
+            response.bytesShed = rep.bytesShed;
+            // Every payload byte is shed: the capped value the
+            // shed-fraction model bottoms out at.
+            response.shedDbEst = 30.0;
+            response.width = static_cast<u16>(rep.decoded.width());
+            response.height =
+                static_cast<u16>(rep.decoded.height());
+            response.gopCount = static_cast<u32>(ranges.size());
+            response.firstFrame = ranges[request.gop].firstFrame;
+            response.frameCount = ranges[request.gop].frameCount;
+            response.i420 =
+                packFramesI420(rep.decoded,
+                               ranges[request.gop].firstFrame,
+                               ranges[request.gop].frameCount);
+            shedResponses_.fetch_add(1,
+                                     std::memory_order_relaxed);
+            VA_TELEM_COUNT("server.get.replica_served", 1);
+            respondPayload(job.conn,
+                           static_cast<u8>(response.status),
+                           job.requestId,
+                           serializeGetFramesResponse(response));
+            return;
         }
     }
     if (result.error != ArchiveError::None) {
@@ -1129,6 +1296,13 @@ VappServer::handlePut(const ServerJob &job)
         respondStatus(job.conn, Status::BadRequest, job.requestId);
         return;
     }
+    if (config_.cluster != nullptr && request.ringEpoch != 0 &&
+        request.ringEpoch < config_.cluster->ringEpoch()) {
+        // Writing under stale placement would strand the record on
+        // a non-owner; reject with the fresh ring instead.
+        answerWrongEpoch(job);
+        return;
+    }
 
     Video video;
     const std::size_t luma =
@@ -1166,6 +1340,20 @@ VappServer::handlePut(const ServerJob &job)
     if (service_.put(request.name, prepared, options) !=
         ArchiveError::None) {
         respondStatus(job.conn, Status::Error, job.requestId);
+        return;
+    }
+    if (config_.cluster != nullptr && request.ringEpoch != 0 &&
+        request.ringEpoch < config_.cluster->ringEpoch() &&
+        config_.cluster->ownerOf(request.name) !=
+            config_.cluster->selfShard()) {
+        // The ring moved while this PUT was in flight (the entry
+        // check ran before the bump) and took ownership elsewhere.
+        // Answering Ok would strand the record on a non-owner the
+        // migration sweep has already passed; undo and bounce so
+        // the client re-routes under the fresh ring.
+        service_.remove(request.name);
+        cache_.eraseVideo(request.name);
+        answerWrongEpoch(job);
         return;
     }
     cache_.eraseVideo(request.name);

@@ -107,6 +107,49 @@ class ClusterPeer
      * one. False when no replica could be retrieved. */
     virtual bool fetchReplicaMeta(const std::string &name,
                                   Bytes &meta) = 0;
+
+    // --- live membership (rebalance tier; defaults = static ring) --
+
+    /** Current ring epoch (requests carrying an older one are
+     * answered Status::WrongEpoch with the fresh ring). */
+    virtual u64
+    ringEpoch() const
+    {
+        return 0;
+    }
+
+    /**
+     * When @p name is still migrating *to* this node, the shard that
+     * holds it today. A worker seeing NotFound for such a name pulls
+     * the record from the source before answering (pull-through
+     * cutover — GETs stay correct mid-migration).
+     */
+    virtual std::optional<ClusterShard>
+    pendingMigrationSource(const std::string &name) const
+    {
+        (void)name;
+        return std::nullopt;
+    }
+
+    /** Blocking CELL_PULL of @p name's record blob from @p source
+     * (workers only). False on transport/status failure. */
+    virtual bool
+    pullRecord(const ClusterShard &source, const std::string &name,
+               Bytes &record)
+    {
+        (void)source;
+        (void)name;
+        (void)record;
+        return false;
+    }
+
+    /** The record for @p name arrived (pull-through or push):
+     * forget its migration-in entry. */
+    virtual void
+    clearPendingMigration(const std::string &name)
+    {
+        (void)name;
+    }
 };
 
 struct VappServerConfig
@@ -256,6 +299,11 @@ class VappServer
     void handleScrub(const ServerJob &job);
     void handleMetaPut(const ServerJob &job);
     void handleMetaGet(const ServerJob &job);
+    void handleCellPull(const ServerJob &job);
+    void handleCellPush(const ServerJob &job);
+    /** The request routed by a stale ring: answer Status::WrongEpoch
+     * carrying the fresh ring so the client self-heals. */
+    void answerWrongEpoch(const ServerJob &job);
     /** Relay a mis-targeted request to its owner shard and echo the
      * response verbatim (workers only: blocking peer I/O). */
     void handleForward(const ServerJob &job);

@@ -20,6 +20,8 @@ opcodeName(Opcode op)
     case Opcode::ClusterInfo: return "CLUSTER_INFO";
     case Opcode::MetaPut: return "META_PUT";
     case Opcode::MetaGet: return "META_GET";
+    case Opcode::CellPull: return "CELL_PULL";
+    case Opcode::CellPush: return "CELL_PUSH";
     }
     return "unknown opcode";
 }
@@ -37,6 +39,7 @@ statusName(Status status)
     case Status::BadRequest: return "BAD_REQUEST";
     case Status::Error: return "ERROR";
     case Status::Degraded: return "DEGRADED";
+    case Status::WrongEpoch: return "WRONG_EPOCH";
     }
     return "unknown status";
 }
@@ -331,6 +334,13 @@ serializeGetFramesRequest(const GetFramesRequest &request)
     w.putU8(request.conceal ? 1 : 0);
     w.putBytes(request.key);
     w.putU32(request.deadlineMs);
+    // Epoch/replica tail only when set: default-valued requests stay
+    // byte-identical to the pre-resize wire shape, so old captures
+    // and mixed-version peers keep parsing.
+    if (request.ringEpoch != 0 || request.allowReplica) {
+        w.putU64(request.ringEpoch);
+        w.putU8(request.allowReplica ? 1 : 0);
+    }
     return w.take();
 }
 
@@ -342,9 +352,18 @@ parseGetFramesRequest(const Bytes &payload, GetFramesRequest &out)
     if (!r.getString(out.name) || !r.getU32(out.gop) ||
         !r.getDouble(out.injectRawBer) || !r.getU64(out.seed) ||
         !r.getU8(conceal) || !r.getBytes(out.key) ||
-        !r.getU32(out.deadlineMs) || !r.exhausted())
+        !r.getU32(out.deadlineMs))
         return false;
     out.conceal = conceal != 0;
+    out.ringEpoch = 0;
+    out.allowReplica = false;
+    if (!r.exhausted()) {
+        u8 allow_replica = 0;
+        if (!r.getU64(out.ringEpoch) || !r.getU8(allow_replica) ||
+            !r.exhausted())
+            return false;
+        out.allowReplica = allow_replica != 0;
+    }
     // NaN / negative rates would poison the injection path.
     return out.injectRawBer >= 0.0 && out.injectRawBer <= 1.0;
 }
@@ -363,6 +382,8 @@ serializePutRequest(const PutRequest &request)
     w.putU32(request.keyId);
     w.putU64(request.ivSeed);
     w.putU8(request.encryptMinT);
+    if (request.ringEpoch != 0)
+        w.putU64(request.ringEpoch);
     return w.take();
 }
 
@@ -374,8 +395,11 @@ parsePutRequest(const Bytes &payload, PutRequest &out)
         !r.getU16(out.height) || !r.getU32(out.frameCount) ||
         !r.getBytes(out.i420) || !r.getBytes(out.key) ||
         !r.getU8(out.cipherMode) || !r.getU32(out.keyId) ||
-        !r.getU64(out.ivSeed) || !r.getU8(out.encryptMinT) ||
-        !r.exhausted())
+        !r.getU64(out.ivSeed) || !r.getU8(out.encryptMinT))
+        return false;
+    out.ringEpoch = 0;
+    if (!r.exhausted() &&
+        (!r.getU64(out.ringEpoch) || !r.exhausted()))
         return false;
     if (out.name.empty() || out.width == 0 || out.height == 0 ||
         out.width % 16 != 0 || out.height % 16 != 0 ||
@@ -431,7 +455,7 @@ parseGetFramesResponse(const Bytes &payload, GetFramesResponse &out)
 {
     WireReader r(payload);
     u8 status = 0;
-    if (!r.getU8(status) || status > static_cast<u8>(Status::Degraded))
+    if (!r.getU8(status) || status > static_cast<u8>(Status::WrongEpoch))
         return false;
     out.status = static_cast<Status>(status);
     if (out.status != Status::Ok && out.status != Status::Partial &&
@@ -466,7 +490,7 @@ parsePutResponse(const Bytes &payload, PutResponse &out)
 {
     WireReader r(payload);
     u8 status = 0;
-    if (!r.getU8(status) || status > static_cast<u8>(Status::Degraded))
+    if (!r.getU8(status) || status > static_cast<u8>(Status::WrongEpoch))
         return false;
     out.status = static_cast<Status>(status);
     if (out.status != Status::Ok)
@@ -499,7 +523,7 @@ parseStatResponse(const Bytes &payload, StatResponse &out)
 {
     WireReader r(payload);
     u8 status = 0;
-    if (!r.getU8(status) || status > static_cast<u8>(Status::Degraded))
+    if (!r.getU8(status) || status > static_cast<u8>(Status::WrongEpoch))
         return false;
     out.status = static_cast<Status>(status);
     if (out.status != Status::Ok)
@@ -551,7 +575,7 @@ parseScrubResponse(const Bytes &payload, ScrubResponse &out)
 {
     WireReader r(payload);
     u8 status = 0;
-    if (!r.getU8(status) || status > static_cast<u8>(Status::Degraded))
+    if (!r.getU8(status) || status > static_cast<u8>(Status::WrongEpoch))
         return false;
     out.status = static_cast<Status>(status);
     if (out.status != Status::Ok)
@@ -588,7 +612,7 @@ parseHealthResponse(const Bytes &payload, HealthResponse &out)
 {
     WireReader r(payload);
     u8 status = 0;
-    if (!r.getU8(status) || status > static_cast<u8>(Status::Degraded))
+    if (!r.getU8(status) || status > static_cast<u8>(Status::WrongEpoch))
         return false;
     out.status = static_cast<Status>(status);
     if (out.status != Status::Ok)
@@ -614,7 +638,7 @@ std::optional<Status>
 peekStatus(const Bytes &payload)
 {
     if (payload.empty() ||
-        payload[0] > static_cast<u8>(Status::Degraded))
+        payload[0] > static_cast<u8>(Status::WrongEpoch))
         return std::nullopt;
     return static_cast<Status>(payload[0]);
 }
@@ -645,10 +669,12 @@ parseClusterInfoResponse(const Bytes &payload,
 {
     WireReader r(payload);
     u8 status = 0;
-    if (!r.getU8(status) || status > static_cast<u8>(Status::Degraded))
+    if (!r.getU8(status) || status > static_cast<u8>(Status::WrongEpoch))
         return false;
     out.status = static_cast<Status>(status);
-    if (out.status != Status::Ok)
+    // WrongEpoch responses carry the full ring body too — that is
+    // the entire point: the rejected client heals from the reply.
+    if (out.status != Status::Ok && out.status != Status::WrongEpoch)
         return true; // bare-status error response
     u32 count = 0;
     if (!r.getU64(out.epoch) || !r.getU32(out.vnodes) ||
@@ -716,12 +742,101 @@ parseMetaGetResponse(const Bytes &payload, MetaGetResponse &out)
 {
     WireReader r(payload);
     u8 status = 0;
-    if (!r.getU8(status) || status > static_cast<u8>(Status::Degraded))
+    if (!r.getU8(status) || status > static_cast<u8>(Status::WrongEpoch))
         return false;
     out.status = static_cast<Status>(status);
     if (out.status != Status::Ok)
         return true;
     return r.getBytes(out.meta) && r.exhausted();
+}
+
+Bytes
+serializeCellPullRequest(const CellPullRequest &request)
+{
+    WireWriter w;
+    w.putString(request.name);
+    return w.take();
+}
+
+bool
+parseCellPullRequest(const Bytes &payload, CellPullRequest &out)
+{
+    WireReader r(payload);
+    return r.getString(out.name) && r.exhausted() &&
+           !out.name.empty();
+}
+
+Bytes
+serializeCellPullResponse(const CellPullResponse &response)
+{
+    WireWriter w;
+    w.putU8(static_cast<u8>(response.status));
+    if (response.status == Status::Ok)
+        w.putBytes(response.record);
+    return w.take();
+}
+
+bool
+parseCellPullResponse(const Bytes &payload, CellPullResponse &out)
+{
+    WireReader r(payload);
+    u8 status = 0;
+    if (!r.getU8(status) || status > static_cast<u8>(Status::WrongEpoch))
+        return false;
+    out.status = static_cast<Status>(status);
+    if (out.status != Status::Ok)
+        return true;
+    return r.getBytes(out.record) && r.exhausted() &&
+           !out.record.empty();
+}
+
+Bytes
+serializeCellPushRequest(const CellPushRequest &request)
+{
+    WireWriter w;
+    w.putString(request.name);
+    w.putBytes(request.record);
+    w.putU8(request.overwrite ? 1 : 0);
+    return w.take();
+}
+
+bool
+parseCellPushRequest(const Bytes &payload, CellPushRequest &out)
+{
+    WireReader r(payload);
+    u8 overwrite = 0;
+    if (!r.getString(out.name) || !r.getBytes(out.record) ||
+        !r.getU8(overwrite) || !r.exhausted())
+        return false;
+    out.overwrite = overwrite != 0;
+    return !out.name.empty() && !out.record.empty();
+}
+
+Bytes
+serializeCellPushResponse(const CellPushResponse &response)
+{
+    WireWriter w;
+    w.putU8(static_cast<u8>(response.status));
+    if (response.status == Status::Ok)
+        w.putU8(response.adopted ? 1 : 0);
+    return w.take();
+}
+
+bool
+parseCellPushResponse(const Bytes &payload, CellPushResponse &out)
+{
+    WireReader r(payload);
+    u8 status = 0;
+    if (!r.getU8(status) || status > static_cast<u8>(Status::WrongEpoch))
+        return false;
+    out.status = static_cast<Status>(status);
+    if (out.status != Status::Ok)
+        return true;
+    u8 adopted = 0;
+    if (!r.getU8(adopted) || !r.exhausted())
+        return false;
+    out.adopted = adopted != 0;
+    return true;
 }
 
 std::optional<std::string>

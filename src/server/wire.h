@@ -62,6 +62,8 @@ enum class Opcode : u8
     ClusterInfo = 5, // ring topology + epoch (cluster nodes only)
     MetaPut = 6,     // node-to-node: replicate a precise-meta blob
     MetaGet = 7,     // node-to-node: fetch a held replica blob
+    CellPull = 8,    // node-to-node: fetch a full record (migration)
+    CellPush = 9,    // node-to-node: install a full record (migration)
 };
 
 /**
@@ -87,6 +89,12 @@ enum class Status : u8
      * streams under load to protect latency. Distinct from Partial
      * (storage damage) — the loss here was chosen, not suffered. */
     Degraded = 8,
+    /** The request carried a ring epoch older than the node's: the
+     * topology changed under the client. The response payload is a
+     * full ClusterInfoResponse body (status byte = WrongEpoch), so
+     * the client installs the fresh ring and retries — no separate
+     * refresh round trip. */
+    WrongEpoch = 9,
 };
 
 /** Why a frame could not be decoded. */
@@ -261,6 +269,14 @@ struct GetFramesRequest
     /** Per-request deadline in ms (0 = none): expired requests get
      * Status::Deadline instead of tying up a worker. */
     u32 deadlineMs = 0;
+    /** The ring epoch the sender routed by (0 = not epoch-checked,
+     * the pre-resize wire shape). A node at a newer epoch answers
+     * Status::WrongEpoch with the fresh ring instead of serving. */
+    u64 ringEpoch = 0;
+    /** Allow a metadata-replica successor to answer a degraded,
+     * precise-streams-only response when it is not the owner (the
+     * router's owner-timeout fallback path). */
+    bool allowReplica = false;
 };
 
 struct PutRequest
@@ -280,6 +296,8 @@ struct PutRequest
     /** Selective encryption: encrypt only streams with scheme
      * t >= this (0 = encrypt every stream). */
     u8 encryptMinT = 0;
+    /** Ring epoch the sender routed by (0 = not epoch-checked). */
+    u64 ringEpoch = 0;
 };
 
 struct ScrubRequest
@@ -433,6 +451,41 @@ struct MetaGetResponse
     Bytes meta;
 };
 
+/**
+ * Node-to-node bulk record transfer (CELL_PULL / CELL_PUSH), the
+ * migration engine's data plane. `record` is an opaque archive
+ * export blob — the CRC-checked precise metadata followed by the
+ * raw approximate cell images in stream order (see
+ * ArchiveService::exportRecord) — so the wire layer never needs to
+ * understand cell geometry.
+ */
+struct CellPullRequest
+{
+    std::string name;
+};
+
+struct CellPullResponse
+{
+    Status status = Status::Error;
+    Bytes record;
+};
+
+struct CellPushRequest
+{
+    std::string name;
+    Bytes record;
+    /** Replace an existing record (rebuild); adopt-if-absent when
+     * false, so a concurrent PUT at the new owner wins. */
+    bool overwrite = false;
+};
+
+struct CellPushResponse
+{
+    Status status = Status::Error;
+    /** The record was installed (false: a newer one already there). */
+    bool adopted = false;
+};
+
 Bytes serializeClusterInfoResponse(const ClusterInfoResponse &r);
 bool parseClusterInfoResponse(const Bytes &payload,
                               ClusterInfoResponse &out);
@@ -442,11 +495,21 @@ Bytes serializeMetaGetRequest(const MetaGetRequest &request);
 bool parseMetaGetRequest(const Bytes &payload, MetaGetRequest &out);
 Bytes serializeMetaGetResponse(const MetaGetResponse &response);
 bool parseMetaGetResponse(const Bytes &payload, MetaGetResponse &out);
+Bytes serializeCellPullRequest(const CellPullRequest &request);
+bool parseCellPullRequest(const Bytes &payload, CellPullRequest &out);
+Bytes serializeCellPullResponse(const CellPullResponse &response);
+bool parseCellPullResponse(const Bytes &payload,
+                           CellPullResponse &out);
+Bytes serializeCellPushRequest(const CellPushRequest &request);
+bool parseCellPushRequest(const Bytes &payload, CellPushRequest &out);
+Bytes serializeCellPushResponse(const CellPushResponse &response);
+bool parseCellPushResponse(const Bytes &payload,
+                           CellPushResponse &out);
 
 /**
  * The leading length-prefixed name string shared by every
- * name-routed request payload (GET_FRAMES, PUT, META_PUT, META_GET
- * all serialize the name first). The routing decision needs only
+ * name-routed request payload (GET_FRAMES, PUT, META_PUT, META_GET,
+ * CELL_PULL and CELL_PUSH all serialize the name first). The routing decision needs only
  * this field, so a node peeks it without a full parse; nullopt when
  * the payload is too short to carry one.
  */

@@ -257,7 +257,41 @@ TEST(ArchiveContainer, EmptyArchiveRoundTrip)
     Archive parsed;
     ASSERT_EQ(parseArchive(blob, parsed), ArchiveError::None);
     EXPECT_TRUE(parsed.videos.empty());
-    EXPECT_EQ(parsed.version, kVappFormatVersion);
+    // Writers emit the oldest version that can represent the
+    // archive: nothing held for peers -> the version 2 layout.
+    EXPECT_EQ(parsed.version, 2u);
+}
+
+TEST(ArchiveContainer, ReplicaSectionRoundTripsAndGatesVersion)
+{
+    Archive archive = makeArchive();
+    EXPECT_EQ(serializeArchive(archive)[7], 2u);
+
+    // Holding a replica blob for a peer bumps the file to version 3
+    // and the blobs survive the round trip byte-exact.
+    archive.replicas["peer-a"] = Bytes{1, 2, 3, 4, 5};
+    archive.replicas["peer-b"] =
+        serializeRecordMeta(archive.videos.begin()->second);
+    Bytes blob = serializeArchive(archive);
+    EXPECT_EQ(blob[7], 3u);
+
+    Archive parsed;
+    ASSERT_EQ(parseArchive(blob, parsed), ArchiveError::None);
+    EXPECT_EQ(parsed.version, 3u);
+    EXPECT_EQ(parsed.replicas, archive.replicas);
+    EXPECT_EQ(parsed.videos.size(), archive.videos.size());
+    EXPECT_EQ(serializeArchive(parsed), blob);
+
+    // The section lives inside the CRC-protected directory, so
+    // every truncation of a version-3 file still fails cleanly.
+    for (std::size_t len = 0; len < blob.size();
+         len += 1 + len / 13) {
+        Bytes cut(blob.begin(),
+                  blob.begin() + static_cast<std::ptrdiff_t>(len));
+        Archive out;
+        EXPECT_NE(parseArchive(cut, out), ArchiveError::None)
+            << "prefix length " << len;
+    }
 }
 
 TEST(ArchiveContainer, BadMagicRejected)
@@ -408,6 +442,41 @@ TEST(ArchiveService_, PutFlushReopenGetIsExact)
     ArchiveGetResult sec = service.get("secret", with_key);
     ASSERT_EQ(sec.error, ArchiveError::None);
     EXPECT_EQ(sec.streams.data, secret.streams.data);
+    std::remove(path.c_str());
+}
+
+TEST(ArchiveService_, HeldReplicasSurviveFlushAndReopen)
+{
+    // Replica blobs held for ring peers must be durable: rebuilding
+    // a dead shard reads them from *restarted* survivors, so a blob
+    // that only lives in memory is no replica at all.
+    std::string path = tempPath("replica_reopen");
+    PreparedVideo own = makePrepared(53);
+    Bytes peer_blob;
+    {
+        ArchiveService service(path);
+        ASSERT_EQ(service.open(), ArchiveError::None);
+        ASSERT_EQ(service.put("mine", own, {}), ArchiveError::None);
+        peer_blob = service.exportMeta("mine");
+        ASSERT_FALSE(peer_blob.empty());
+        ASSERT_EQ(service.putReplicaMeta("peer-vid", peer_blob),
+                  ArchiveError::None);
+        ASSERT_EQ(service.flush(), ArchiveError::None);
+    }
+
+    ArchiveService service(path);
+    ASSERT_EQ(service.open(false), ArchiveError::None);
+    EXPECT_EQ(service.videoCount(), 1u);
+    ASSERT_EQ(service.replicaNames(),
+              std::vector<std::string>{"peer-vid"});
+    EXPECT_EQ(service.replicaMeta("peer-vid"), peer_blob);
+
+    // And a second flush/reopen keeps them (the held set is
+    // re-snapshotted every flush, not only on the first).
+    ASSERT_EQ(service.flush(), ArchiveError::None);
+    ArchiveService again(path);
+    ASSERT_EQ(again.open(false), ArchiveError::None);
+    EXPECT_EQ(again.replicaMeta("peer-vid"), peer_blob);
     std::remove(path.c_str());
 }
 

@@ -1,0 +1,658 @@
+/**
+ * @file
+ * Live membership tests: ADD_SHARD moves exactly the ring diff and
+ * keeps every byte; REMOVE_SHARD drains the victim; stale-epoch
+ * requests are refused with WRONG_EPOCH carrying the fresh ring and
+ * routers self-heal across the bump; a 3->4 resize under concurrent
+ * routed reads and writes loses nothing; a killed shard is rebuilt
+ * byte-exact (precise metadata from replicas, approximate cells
+ * re-encoded from the origin) with cell-CRC parity; and the
+ * key-epoch GC scan flags stale and inconsistent key ids. (Suite
+ * names contain "Cluster" so the TSan CI job picks them up.)
+ */
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <map>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "archive/archive_service.h"
+#include "cluster/cluster_node.h"
+#include "cluster/cluster_router.h"
+#include "cluster/hash_ring.h"
+#include "common/telemetry.h"
+#include "rebalance/rebalance.h"
+#include "server/vapp_client.h"
+#include "server/vapp_server.h"
+#include "video/synthetic.h"
+
+namespace videoapp {
+namespace {
+
+std::string
+tempPath(const std::string &name)
+{
+    return ::testing::TempDir() + "rebalance_test_" + name + ".vapp";
+}
+
+PutRequest
+makePutRequest(const std::string &name, u64 seed)
+{
+    Video source = generateSynthetic(tinySpec(seed));
+    PutRequest put;
+    put.name = name;
+    put.width = static_cast<u16>(source.width());
+    put.height = static_cast<u16>(source.height());
+    put.frameCount = static_cast<u32>(source.frames.size());
+    put.i420 = packFramesI420(source, 0, source.frames.size());
+    return put;
+}
+
+u64
+counterValue(const char *name)
+{
+    return telemetry::globalRegistry().counter(name).value();
+}
+
+/** One live shard: archive + node + server, bootable mid-test. */
+struct LiveShard
+{
+    std::string path;
+    std::unique_ptr<ArchiveService> service;
+    std::unique_ptr<ClusterNode> node;
+    std::unique_ptr<VappServer> server;
+    ClusterShard address;
+};
+
+constexpr u32 kVnodes = 64;
+
+/** A cluster whose shard set can grow, shrink, and be rebuilt. */
+class ClusterResize : public ::testing::Test
+{
+  protected:
+    void
+    bootShard(u32 id, u32 replicas)
+    {
+        const std::string test = ::testing::UnitTest::GetInstance()
+                                     ->current_test_info()
+                                     ->name();
+        auto shard = std::make_unique<LiveShard>();
+        shard->path = tempPath(test + "_s" + std::to_string(id));
+        std::remove(shard->path.c_str());
+        shard->service =
+            std::make_unique<ArchiveService>(shard->path);
+        ASSERT_EQ(shard->service->open(true), ArchiveError::None);
+        ClusterNodeConfig node;
+        node.selfId = id;
+        node.replicas = replicas;
+        node.vnodes = kVnodes;
+        node.epoch = 1;
+        shard->node = std::make_unique<ClusterNode>(*shard->service,
+                                                    node);
+        VappServerConfig config;
+        config.port = 0;
+        config.cluster = shard->node.get();
+        shard->server =
+            std::make_unique<VappServer>(*shard->service, config);
+        ASSERT_TRUE(shard->server->start());
+        shard->address = {id, "127.0.0.1", shard->server->port()};
+        // A joining shard runs a one-member ring until the manager
+        // splices it into the cluster.
+        shard->node->setTopology({shard->address}, 1);
+        shards_.push_back(std::move(shard));
+    }
+
+    void
+    startCluster(u32 count, u32 replicas = 2)
+    {
+        replicas_ = replicas;
+        for (u32 i = 0; i < count; ++i)
+            bootShard(i, replicas);
+        std::vector<ClusterShard> addresses;
+        for (const auto &shard : shards_)
+            addresses.push_back(shard->address);
+        for (const auto &shard : shards_)
+            shard->node->setTopology(addresses, 1);
+    }
+
+    void
+    TearDown() override
+    {
+        for (auto &shard : shards_) {
+            if (shard->server)
+                shard->server->stop();
+            if (!shard->path.empty())
+                std::remove(shard->path.c_str());
+        }
+    }
+
+    std::vector<ManagedShard>
+    managed(std::size_t count) const
+    {
+        std::vector<ManagedShard> out;
+        for (std::size_t i = 0; i < count && i < shards_.size(); ++i)
+            out.push_back(
+                {shards_[i]->address, shards_[i]->node.get()});
+        return out;
+    }
+
+    RebalanceConfig
+    rebalanceConfig() const
+    {
+        RebalanceConfig config;
+        config.vnodes = kVnodes;
+        config.replicas = replicas_;
+        return config;
+    }
+
+    ClusterRouter
+    routerOver(std::size_t count)
+    {
+        ClusterRouterConfig config;
+        for (std::size_t i = 0; i < count && i < shards_.size(); ++i)
+            config.seeds.push_back(shards_[i]->address);
+        return ClusterRouter(config);
+    }
+
+    std::vector<std::unique_ptr<LiveShard>> shards_;
+    u32 replicas_ = 2;
+};
+
+/** Names -> reference gop-0 responses captured before a transition;
+ * every later read must reproduce them byte for byte. */
+using References = std::map<std::string, GetFramesResponse>;
+
+References
+captureReferences(ClusterRouter &router,
+                  const std::vector<std::string> &names,
+                  const Bytes &key = {})
+{
+    References refs;
+    for (const std::string &name : names) {
+        GetFramesRequest get;
+        get.name = name;
+        get.gop = 0;
+        get.key = key;
+        auto response = router.getFrames(get);
+        EXPECT_TRUE(response.has_value()) << name;
+        if (response) {
+            EXPECT_EQ(response->status, Status::Ok) << name;
+            refs[name] = *response;
+        }
+    }
+    return refs;
+}
+
+void
+expectByteExact(ClusterRouter &router, const References &refs,
+                const Bytes &key = {})
+{
+    for (const auto &[name, ref] : refs) {
+        GetFramesRequest get;
+        get.name = name;
+        get.gop = 0;
+        get.key = key;
+        auto response = router.getFrames(get);
+        ASSERT_TRUE(response.has_value()) << name;
+        EXPECT_EQ(response->status, Status::Ok) << name;
+        EXPECT_EQ(response->frameCount, ref.frameCount) << name;
+        EXPECT_EQ(response->i420, ref.i420) << name;
+    }
+}
+
+TEST_F(ClusterResize, AddShardMovesExactlyTheRingDiffByteExact)
+{
+    startCluster(3);
+    ClusterRouter router = routerOver(3);
+
+    std::vector<std::string> names;
+    for (int i = 0; i < 12; ++i) {
+        const std::string name = "grow-" + std::to_string(i);
+        auto ack = router.put(makePutRequest(name, 100 + i));
+        ASSERT_TRUE(ack.has_value()) << name;
+        ASSERT_EQ(ack->status, Status::Ok) << name;
+        names.push_back(name);
+    }
+    References refs = captureReferences(router, names);
+    ASSERT_EQ(refs.size(), names.size());
+    ASSERT_EQ(router.epoch(), 1u);
+
+    bootShard(3, replicas_);
+    MembershipManager manager(managed(3), 1, rebalanceConfig());
+    MigrationReport report = manager.addShard(
+        {shards_[3]->address, shards_[3]->node.get()});
+
+    EXPECT_EQ(report.fromEpoch, 1u);
+    EXPECT_EQ(report.toEpoch, 2u);
+    EXPECT_EQ(report.failedRecords, 0u);
+    // The survey-driven plan must equal what consistent hashing
+    // predicts over the same names — the minimal moved set.
+    EXPECT_EQ(report.plannedMoves, report.predictedMoves);
+    EXPECT_GT(report.plannedMoves, 0u);
+    EXPECT_EQ(report.movedRecords + report.skippedRecords,
+              report.plannedMoves);
+    EXPECT_EQ(report.erasedAtSource, report.plannedMoves);
+
+    // Every record sits on (exactly) its new ring owner.
+    HashRing after({0, 1, 2, 3}, kVnodes);
+    std::size_t on_new_shard = 0;
+    for (const std::string &name : names) {
+        const u32 owner = after.ownerOf(name);
+        for (u32 shard = 0; shard < 4; ++shard)
+            EXPECT_EQ(shards_[shard]->service->contains(name),
+                      shard == owner)
+                << name << " shard " << shard;
+        if (owner == 3)
+            ++on_new_shard;
+    }
+    EXPECT_EQ(on_new_shard, report.plannedMoves);
+
+    // The pre-resize router heals through WRONG_EPOCH mid-call and
+    // reads every name byte-exact under the new placement.
+    expectByteExact(router, refs);
+    EXPECT_EQ(router.epoch(), 2u);
+
+    // Nothing lost: the merged directory still lists every name.
+    auto stat = router.stat();
+    ASSERT_TRUE(stat.has_value());
+    EXPECT_EQ(stat->videos.size(), names.size());
+}
+
+TEST_F(ClusterResize, RemoveShardDrainsTheVictim)
+{
+    startCluster(3);
+    ClusterRouter router = routerOver(3);
+
+    std::vector<std::string> names;
+    for (int i = 0; i < 10; ++i) {
+        const std::string name = "drain-" + std::to_string(i);
+        auto ack = router.put(makePutRequest(name, 300 + i));
+        ASSERT_TRUE(ack.has_value()) << name;
+        ASSERT_EQ(ack->status, Status::Ok) << name;
+        names.push_back(name);
+    }
+    References refs = captureReferences(router, names);
+
+    constexpr u32 kVictim = 1;
+    MembershipManager manager(managed(3), 1, rebalanceConfig());
+    MigrationReport report = manager.removeShard(kVictim);
+
+    EXPECT_EQ(report.toEpoch, 2u);
+    EXPECT_EQ(report.failedRecords, 0u);
+    EXPECT_EQ(report.plannedMoves, report.predictedMoves);
+    EXPECT_EQ(manager.shardCount(), 2u);
+    // Fully drained: the victim holds no owner copies and can be
+    // retired.
+    EXPECT_EQ(shards_[kVictim]->service->videoCount(), 0u);
+
+    HashRing after({0, 2}, kVnodes);
+    for (const std::string &name : names)
+        EXPECT_TRUE(shards_[after.ownerOf(name)]->service->contains(
+            name))
+            << name;
+
+    // Survivors pruned their cached connection to the departed peer.
+    EXPECT_LE(shards_[0]->node->cachedPeerCount(), 1u);
+    EXPECT_LE(shards_[2]->node->cachedPeerCount(), 1u);
+
+    expectByteExact(router, refs);
+    EXPECT_EQ(router.epoch(), 2u);
+}
+
+TEST_F(ClusterResize, WrongEpochCarriesTheFreshRingOnTheWire)
+{
+    startCluster(3);
+    ClusterRouter router = routerOver(3);
+    const std::string name = "epoch-probe";
+    auto ack = router.put(makePutRequest(name, 900));
+    ASSERT_TRUE(ack.has_value());
+    ASSERT_EQ(ack->status, Status::Ok);
+
+    // Bump every node to epoch 5 without changing membership.
+    std::vector<ClusterShard> addresses;
+    for (const auto &shard : shards_)
+        addresses.push_back(shard->address);
+    for (const auto &shard : shards_)
+        shard->node->setTopology(addresses, 5);
+
+    const u32 owner = HashRing({0, 1, 2}, kVnodes).ownerOf(name);
+    VappClient client;
+    ASSERT_TRUE(client.connect("127.0.0.1",
+                               shards_[owner]->server->port()));
+
+    GetFramesRequest get;
+    get.name = name;
+    get.gop = 0;
+
+    // Stale epoch: refused, and the refusal body is the fresh ring.
+    get.ringEpoch = 1;
+    auto raw = client.callRaw(Opcode::GetFrames,
+                              serializeGetFramesRequest(get));
+    ASSERT_TRUE(raw.has_value());
+    EXPECT_EQ(raw->kind, static_cast<u8>(Status::WrongEpoch));
+    ClusterInfoResponse info;
+    ASSERT_TRUE(parseClusterInfoResponse(raw->payload, info));
+    EXPECT_EQ(info.status, Status::WrongEpoch);
+    EXPECT_EQ(info.epoch, 5u);
+    EXPECT_EQ(info.shards.size(), 3u);
+
+    // Unstamped (legacy wire shape) and current-epoch requests are
+    // served normally.
+    get.ringEpoch = 0;
+    auto legacy = client.getFrames(get);
+    ASSERT_TRUE(legacy.has_value());
+    EXPECT_EQ(legacy->status, Status::Ok);
+    get.ringEpoch = 5;
+    auto current = client.getFrames(get);
+    ASSERT_TRUE(current.has_value());
+    EXPECT_EQ(current->status, Status::Ok);
+
+    // Stale PUTs bounce the same way: nothing is stored.
+    PutRequest put = makePutRequest("epoch-put", 901);
+    put.ringEpoch = 1;
+    auto put_raw =
+        client.callRaw(Opcode::Put, serializePutRequest(put));
+    ASSERT_TRUE(put_raw.has_value());
+    EXPECT_EQ(put_raw->kind, static_cast<u8>(Status::WrongEpoch));
+    for (const auto &shard : shards_)
+        EXPECT_FALSE(shard->service->contains("epoch-put"));
+}
+
+TEST_F(ClusterResize, ResizeUnderConcurrentLoadKeepsEveryByte)
+{
+    startCluster(3);
+    ClusterRouter setup = routerOver(3);
+
+    std::vector<std::string> names;
+    for (int i = 0; i < 6; ++i) {
+        const std::string name = "live-" + std::to_string(i);
+        auto ack = setup.put(makePutRequest(name, 500 + i));
+        ASSERT_TRUE(ack.has_value()) << name;
+        ASSERT_EQ(ack->status, Status::Ok) << name;
+        names.push_back(name);
+    }
+    References refs = captureReferences(setup, names);
+    ASSERT_EQ(refs.size(), names.size());
+
+    bootShard(3, replicas_);
+
+    std::atomic<bool> stop{false};
+    std::atomic<int> mismatches{0};
+    std::atomic<int> full_reads{0};
+    std::atomic<int> read_gaps{0};
+
+    auto reader = [&](std::size_t offset) {
+        ClusterRouter router = routerOver(3);
+        std::size_t turn = offset;
+        while (!stop.load(std::memory_order_relaxed)) {
+            const std::string &name = names[turn++ % names.size()];
+            GetFramesRequest get;
+            get.name = name;
+            get.gop = 0;
+            auto response = router.getFrames(get);
+            if (!response) {
+                // Transient routing gaps are tolerated (and
+                // counted); wrong bytes never are.
+                read_gaps.fetch_add(1, std::memory_order_relaxed);
+                continue;
+            }
+            if (response->status != Status::Ok)
+                continue;
+            const GetFramesResponse &ref = refs[name];
+            if (response->i420 == ref.i420 &&
+                response->frameCount == ref.frameCount)
+                full_reads.fetch_add(1, std::memory_order_relaxed);
+            else
+                mismatches.fetch_add(1, std::memory_order_relaxed);
+        }
+    };
+
+    std::vector<std::string> written;
+    auto writer = [&] {
+        ClusterRouter router = routerOver(3);
+        for (int j = 0; j < 6; ++j) {
+            const std::string name =
+                "concurrent-" + std::to_string(j);
+            PutRequest put = makePutRequest(name, 700 + j);
+            for (int attempt = 0; attempt < 8; ++attempt) {
+                auto ack = router.put(put);
+                if (ack && ack->status == Status::Ok) {
+                    written.push_back(name);
+                    break;
+                }
+            }
+        }
+    };
+
+    std::vector<std::thread> threads;
+    for (std::size_t t = 0; t < 3; ++t)
+        threads.emplace_back(reader, t);
+    threads.emplace_back(writer);
+
+    std::this_thread::sleep_for(std::chrono::milliseconds(30));
+    MembershipManager manager(managed(3), 1, rebalanceConfig());
+    MigrationReport report = manager.addShard(
+        {shards_[3]->address, shards_[3]->node.get()});
+    stop.store(true, std::memory_order_relaxed);
+    for (std::thread &t : threads)
+        t.join();
+
+    EXPECT_EQ(report.failedRecords, 0u);
+    EXPECT_EQ(mismatches.load(), 0);
+    EXPECT_GT(full_reads.load(), 0);
+
+    // Quiesced: every pre-existing and every acknowledged
+    // concurrent write is present and byte-exact.
+    ClusterRouter after = routerOver(4);
+    expectByteExact(after, refs);
+    EXPECT_EQ(written.size(), 6u);
+    HashRing ring({0, 1, 2, 3}, kVnodes);
+    for (const std::string &name : written) {
+        EXPECT_TRUE(
+            shards_[ring.ownerOf(name)]->service->contains(name))
+            << name;
+        GetFramesRequest get;
+        get.name = name;
+        get.gop = 0;
+        auto response = after.getFrames(get);
+        ASSERT_TRUE(response.has_value()) << name;
+        EXPECT_EQ(response->status, Status::Ok) << name;
+    }
+    auto stat = after.stat();
+    ASSERT_TRUE(stat.has_value());
+    EXPECT_EQ(stat->videos.size(), names.size() + written.size());
+}
+
+TEST_F(ClusterResize, KilledShardRebuildsByteExact)
+{
+    startCluster(3);
+    ClusterRouter router = routerOver(3);
+    const Bytes key(16, 0x5A);
+
+    // Mixed population: plaintext and encrypted records, all with
+    // replicated precise metadata (replicas = 2 covers every peer).
+    std::map<std::string, u64> seeds;
+    std::map<std::string, bool> secret;
+    for (int i = 0; i < 8; ++i) {
+        const std::string name = "rebuild-" + std::to_string(i);
+        PutRequest put = makePutRequest(name, 800 + i);
+        if (i % 3 == 0) {
+            put.key = key;
+            put.cipherMode = static_cast<u8>(CipherMode::CTR);
+            put.keyId = 7;
+        }
+        auto ack = router.put(put);
+        ASSERT_TRUE(ack.has_value()) << name;
+        ASSERT_EQ(ack->status, Status::Ok) << name;
+        seeds[name] = 800 + i;
+        secret[name] = i % 3 == 0;
+    }
+
+    References refs;
+    for (const auto &[name, seed] : seeds) {
+        GetFramesRequest get;
+        get.name = name;
+        get.gop = 0;
+        if (secret[name])
+            get.key = key;
+        auto response = router.getFrames(get);
+        ASSERT_TRUE(response.has_value()) << name;
+        ASSERT_EQ(response->status, Status::Ok) << name;
+        refs[name] = *response;
+    }
+
+    // Kill a shard that owns at least one record: server down,
+    // archive gone.
+    HashRing ring({0, 1, 2}, kVnodes);
+    const u32 victim = ring.ownerOf("rebuild-0");
+    std::size_t owned = 0;
+    for (const auto &[name, seed] : seeds)
+        if (ring.ownerOf(name) == victim)
+            ++owned;
+    ASSERT_GT(owned, 0u);
+    MembershipManager manager(managed(3), 1, rebalanceConfig());
+    shards_[victim]->server->stop();
+    shards_[victim]->server.reset();
+    shards_[victim]->node.reset();
+    shards_[victim]->service.reset();
+    std::remove(shards_[victim]->path.c_str());
+
+    // Boot the replacement under the same shard id (new port).
+    bootShard(victim, replicas_);
+    LiveShard &fresh = *shards_.back();
+
+    RebuildReport report = manager.rebuildShard(
+        {fresh.address, fresh.node.get()},
+        [&](const std::string &name, Video &video, Bytes &out_key) {
+            auto seed = seeds.find(name);
+            if (seed == seeds.end())
+                return false;
+            video = generateSynthetic(tinySpec(seed->second));
+            if (secret[name])
+                out_key = key;
+            return true;
+        });
+
+    EXPECT_EQ(report.toEpoch, 2u);
+    EXPECT_EQ(report.names, owned);
+    EXPECT_EQ(report.rebuilt, owned);
+    EXPECT_EQ(report.failed, 0u);
+    EXPECT_EQ(report.metaRepaired, owned);
+    // Parity: regenerated approximate cells match the original
+    // pristine cell CRCs bit for bit, for every stream.
+    EXPECT_GT(report.streamsCrcVerified, 0u);
+    EXPECT_EQ(report.streamsCrcMismatched, 0u);
+    EXPECT_TRUE(report.ok());
+
+    // Every read — including through the pre-kill router, which
+    // must re-learn the replacement's address via WRONG_EPOCH — is
+    // byte-identical to the pre-kill capture.
+    for (const auto &[name, ref] : refs) {
+        GetFramesRequest get;
+        get.name = name;
+        get.gop = 0;
+        if (secret[name])
+            get.key = key;
+        auto response = router.getFrames(get);
+        ASSERT_TRUE(response.has_value()) << name;
+        EXPECT_EQ(response->status, Status::Ok) << name;
+        EXPECT_EQ(response->i420, ref.i420) << name;
+    }
+    EXPECT_EQ(router.epoch(), 2u);
+}
+
+TEST_F(ClusterResize, ReplicaReadServesDegradedWhenOwnerIsDown)
+{
+    startCluster(3);
+    ClusterRouter router = routerOver(3);
+    const std::string name = "degraded-read";
+    auto ack = router.put(makePutRequest(name, 950));
+    ASSERT_TRUE(ack.has_value());
+    ASSERT_EQ(ack->status, Status::Ok);
+
+    const u64 replica_reads_before =
+        counterValue("client.replica_reads");
+    const u32 owner = HashRing({0, 1, 2}, kVnodes).ownerOf(name);
+    shards_[owner]->server->stop();
+
+    GetFramesRequest get;
+    get.name = name;
+    get.gop = 0;
+    auto response = router.getFrames(get);
+    ASSERT_TRUE(response.has_value());
+    // The owner's cells are unreachable; a metadata-replica
+    // successor serves shape-correct, shed-stream frames.
+    EXPECT_EQ(response->status, Status::Degraded);
+    EXPECT_GT(response->streamsShed, 0u);
+    EXPECT_GT(response->frameCount, 0u);
+    EXPECT_GT(response->shedDbEst, 0.0);
+    if (telemetry::kEnabled)
+        EXPECT_GT(counterValue("client.replica_reads"),
+                  replica_reads_before);
+}
+
+// --- key-epoch GC -----------------------------------------------------
+
+TEST(ClusterKeyEpochs, ScanFlagsStaleKeyIdsAndRekeyClearsThem)
+{
+    const std::string path = tempPath("keycheck");
+    std::remove(path.c_str());
+    ArchiveService service(path);
+    ASSERT_EQ(service.open(true), ArchiveError::None);
+
+    const Bytes old_key(16, 0x11);
+    const Bytes new_key(16, 0x22);
+    EncryptionConfig old_epoch;
+    old_epoch.key = old_key;
+    old_epoch.keyId = 1;
+    EncryptionConfig new_epoch;
+    new_epoch.key = new_key;
+    new_epoch.keyId = 2;
+
+    Video video = generateSynthetic(tinySpec(42));
+    PreparedVideo prepared = prepareVideo(
+        video, EncoderConfig{}, EccAssignment::paperTable1());
+    ArchivePutOptions plain;
+    ArchivePutOptions stale;
+    stale.encryption = old_epoch;
+    ArchivePutOptions current;
+    current.encryption = new_epoch;
+    ASSERT_EQ(service.put("plain", prepared, plain),
+              ArchiveError::None);
+    ASSERT_EQ(service.put("stale", prepared, stale),
+              ArchiveError::None);
+    ASSERT_EQ(service.put("current", prepared, current),
+              ArchiveError::None);
+
+    // A half-finished rotation: the newest key id becomes the
+    // expectation and older records are flagged for GC.
+    KeyEpochReport report = service.verifyKeyEpochs();
+    EXPECT_EQ(report.videos, 3u);
+    EXPECT_EQ(report.encrypted, 2u);
+    EXPECT_EQ(report.newestKeyId, 2u);
+    ASSERT_EQ(report.staleNames.size(), 1u);
+    EXPECT_EQ(report.staleNames[0], "stale");
+    EXPECT_TRUE(report.inconsistentNames.empty());
+    EXPECT_FALSE(report.clean());
+
+    // Pinning the expectation works the same way.
+    EXPECT_FALSE(service.verifyKeyEpochs(2).clean());
+
+    // Completing the rotation retires the old epoch.
+    ASSERT_EQ(service.rekeyVideo("stale", old_key, new_epoch),
+              ArchiveError::None);
+    KeyEpochReport after = service.verifyKeyEpochs();
+    EXPECT_TRUE(after.clean());
+    EXPECT_EQ(after.newestKeyId, 2u);
+
+    std::remove(path.c_str());
+}
+
+} // namespace
+} // namespace videoapp

@@ -669,6 +669,131 @@ TEST(ServerWireFuzz, RandomBytesNeverCrashThePayloadParsers)
     SUCCEED();
 }
 
+TEST(ServerWireFuzz, MigrationMessagesRoundTripAndRejectDamage)
+{
+    CellPullRequest pull;
+    pull.name = "migrating/clip";
+    CellPullResponse pulled;
+    pulled.status = Status::Ok;
+    pulled.record = Bytes(97, 0x3C);
+    CellPushRequest push;
+    push.name = "migrating/clip";
+    push.record = Bytes(61, 0xD2);
+    push.overwrite = true;
+    CellPushResponse adopted;
+    adopted.status = Status::Ok;
+    adopted.adopted = true;
+
+    CellPullRequest pull2;
+    ASSERT_TRUE(
+        parseCellPullRequest(serializeCellPullRequest(pull), pull2));
+    EXPECT_EQ(pull2.name, pull.name);
+    CellPullResponse pulled2;
+    ASSERT_TRUE(parseCellPullResponse(
+        serializeCellPullResponse(pulled), pulled2));
+    EXPECT_EQ(pulled2.status, Status::Ok);
+    EXPECT_EQ(pulled2.record, pulled.record);
+    CellPushRequest push2;
+    ASSERT_TRUE(
+        parseCellPushRequest(serializeCellPushRequest(push), push2));
+    EXPECT_EQ(push2.name, push.name);
+    EXPECT_EQ(push2.record, push.record);
+    EXPECT_TRUE(push2.overwrite);
+    CellPushResponse adopted2;
+    ASSERT_TRUE(parseCellPushResponse(
+        serializeCellPushResponse(adopted), adopted2));
+    EXPECT_TRUE(adopted2.adopted);
+
+    // Every truncation of every migration payload fails cleanly.
+    const Bytes payloads[] = {
+        serializeCellPullRequest(pull),
+        serializeCellPullResponse(pulled),
+        serializeCellPushRequest(push),
+    };
+    for (const Bytes &payload : payloads) {
+        for (std::size_t n = 0; n < payload.size(); ++n) {
+            Bytes cut(payload.begin(), payload.begin() + n);
+            CellPullRequest a;
+            CellPullResponse b;
+            CellPushRequest c;
+            if (&payload == &payloads[0])
+                EXPECT_FALSE(parseCellPullRequest(cut, a)) << n;
+            if (&payload == &payloads[1])
+                EXPECT_FALSE(parseCellPullResponse(cut, b)) << n;
+            if (&payload == &payloads[2])
+                EXPECT_FALSE(parseCellPushRequest(cut, c)) << n;
+        }
+    }
+
+    // Random junk must never crash the migration parsers.
+    Rng rng(4049);
+    for (int trial = 0; trial < 200; ++trial) {
+        Bytes junk(rng.nextBelow(160), 0);
+        for (auto &b : junk)
+            b = static_cast<u8>(rng.next());
+        CellPullRequest a;
+        CellPullResponse b;
+        CellPushRequest c;
+        CellPushResponse d;
+        parseCellPullRequest(junk, a);
+        parseCellPullResponse(junk, b);
+        parseCellPushRequest(junk, c);
+        parseCellPushResponse(junk, d);
+    }
+}
+
+TEST(ServerWireFuzz, EpochStampedRequestTailsRoundTrip)
+{
+    // Default (unstamped) requests keep the pre-resize wire shape:
+    // serialize -> parse yields epoch 0 and no replica grant.
+    GetFramesRequest legacy;
+    legacy.name = "clip";
+    GetFramesRequest legacy2;
+    ASSERT_TRUE(parseGetFramesRequest(
+        serializeGetFramesRequest(legacy), legacy2));
+    EXPECT_EQ(legacy2.ringEpoch, 0u);
+    EXPECT_FALSE(legacy2.allowReplica);
+
+    GetFramesRequest stamped;
+    stamped.name = "clip";
+    stamped.gop = 3;
+    stamped.ringEpoch = 17;
+    stamped.allowReplica = true;
+    Bytes wire = serializeGetFramesRequest(stamped);
+    GetFramesRequest stamped2;
+    ASSERT_TRUE(parseGetFramesRequest(wire, stamped2));
+    EXPECT_EQ(stamped2.ringEpoch, 17u);
+    EXPECT_TRUE(stamped2.allowReplica);
+    // A truncated epoch tail must not parse as a stamped request.
+    for (std::size_t cut = 1; cut <= 8; ++cut) {
+        Bytes shorter(wire.begin(), wire.end() - cut);
+        GetFramesRequest out;
+        if (parseGetFramesRequest(shorter, out))
+            EXPECT_EQ(out.ringEpoch, 0u) << cut;
+    }
+
+    PutRequest put;
+    put.name = "clip";
+    put.width = 16;
+    put.height = 16;
+    put.frameCount = 1;
+    put.i420 = Bytes(16 * 16 * 3 / 2, 0x30);
+    put.ringEpoch = 23;
+    PutRequest put2;
+    ASSERT_TRUE(parsePutRequest(serializePutRequest(put), put2));
+    EXPECT_EQ(put2.ringEpoch, 23u);
+    PutRequest unstamped;
+    unstamped.name = put.name;
+    unstamped.width = put.width;
+    unstamped.height = put.height;
+    unstamped.frameCount = put.frameCount;
+    unstamped.i420 = put.i420;
+    PutRequest unstamped2;
+    ASSERT_TRUE(
+        parsePutRequest(serializePutRequest(unstamped), unstamped2));
+    EXPECT_EQ(unstamped2.ringEpoch, 0u);
+}
+
 // --- incremental deframing --------------------------------------------
 
 TEST(ServerDeframer, ByteAtATimeDeliveryReassembles)

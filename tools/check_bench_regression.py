@@ -129,6 +129,17 @@ EXTRA_ROW_SECTIONS = {
             ("gets_ok", "not_found", "responses_lost"),
             ("wall_s", "ops_per_s", "get_p50_us", "get_p99_us"),
         ),
+        # The resize section only exists for `perf_server --shards N
+        # --resize` runs (one row keyed by the post-transition shard
+        # count). The video totals are fixed by the bench schedule
+        # and the ring, so they are hard; the concurrent read
+        # tallies and the transition wall time drift with the
+        # runner. Zero lost videos is additionally enforced by the
+        # resize_no_lost_videos flag below.
+        "resize": (
+            ("videos_total", "videos_moved", "videos_lost"),
+            ("wall_s", "reads_ok", "read_gaps"),
+        ),
         # Shed rows are keyed by shed threshold (0 = off, 1 = on) in
         # their "threads" field. Only the schedule-fixed totals are
         # hard; the full/degraded fidelity split depends on queue
@@ -156,12 +167,19 @@ CORRECTNESS_FLAGS = {
                     "shed_under_pressure_degrades_tail"),
 }
 
-# Flags a bench only emits in some modes (perf_server --shards N):
-# absent is fine, present-but-false is a failure.
+# Flags a bench only emits in some modes (perf_server --shards N,
+# --resize): absent is fine, present-but-false is a failure. The
+# resize trio is the live-membership gate: no video may be lost or
+# byte-mismatched across a ring transition, the migration must move
+# exactly the ring-diff prediction, and a killed shard must rebuild
+# byte-exact.
 OPTIONAL_FLAGS = {
     "perf_server": ("cluster_routed_get_matches_single",
                     "cluster_meta_repair_get_ok",
-                    "cluster_scrub_budget_respected"),
+                    "cluster_scrub_budget_respected",
+                    "resize_no_lost_videos",
+                    "resize_moved_matches_ring_diff",
+                    "resize_rebuild_byte_exact"),
 }
 
 
